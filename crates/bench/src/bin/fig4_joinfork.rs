@@ -1,0 +1,45 @@
+//! Regenerates **Fig. 4**: the lazy join and eager fork controllers —
+//! gate-level compilation, area, and behavioural demonstration of the
+//! eager fork letting a fast branch run ahead.
+
+use elastic_core::compile::{compile, CompileOptions};
+use elastic_core::network::ElasticNetwork;
+use elastic_core::sim::{BehavSim, EnvConfig, RandomEnv, SinkCfg};
+use elastic_netlist::area::AreaReport;
+use elastic_netlist::export::to_verilog;
+
+fn main() {
+    let mut net = ElasticNetwork::new("fig4");
+    let s1 = net.add_source("s1");
+    let s2 = net.add_source("s2");
+    let j = net.add_join("join", 2);
+    let b = net.add_eb("eb", false);
+    let f = net.add_fork("fork", 2);
+    let fast = net.add_sink("fast");
+    let slow = net.add_sink("slow");
+    net.connect(s1, 0, j, 0, "a1").unwrap();
+    net.connect(s2, 0, j, 1, "a2").unwrap();
+    net.connect(j, 0, b, 0, "jb").unwrap();
+    net.connect(b, 0, f, 0, "bf").unwrap();
+    let cf = net.connect(f, 0, fast, 0, "cf").unwrap();
+    let cs = net.connect(f, 1, slow, 0, "cs").unwrap();
+
+    let compiled = compile(&net, &CompileOptions::default()).expect("compiles");
+    println!("Fig. 4 — join + eager fork controllers");
+    println!("gate-level area: {}", AreaReport::of(&compiled.netlist));
+    println!("\nVerilog (excerpt):");
+    for line in to_verilog(&compiled.netlist).lines().take(12) {
+        println!("  {line}");
+    }
+
+    let mut sim = BehavSim::new(&net).expect("valid");
+    let mut cfg = EnvConfig::default();
+    cfg.sinks.insert("slow".into(), SinkCfg { stop_prob: 0.8, kill_prob: 0.0 });
+    let mut env = RandomEnv::new(3, cfg);
+    sim.run(&mut env, 2000).expect("runs");
+    let r = sim.report();
+    println!("\neager fork with a stalling branch (stop 80%):");
+    println!("  fast branch rate: {:.3}", r.positive_rate(cf));
+    println!("  slow branch rate: {:.3}", r.positive_rate(cs));
+    println!("  (equal in steady state; the fork decouples per-cycle timing)");
+}

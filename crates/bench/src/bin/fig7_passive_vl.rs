@@ -1,0 +1,27 @@
+//! Regenerates **Fig. 7**: (a) the passive anti-token interface — active
+//! vs passive comparison on the paper example; (b) the variable-latency
+//! controller's go/done/ack handshake.
+
+use elastic_core::sim::{BehavSim, RandomEnv};
+use elastic_core::systems::{paper_example, Config};
+
+fn main() {
+    println!("Fig. 7(a) — active vs passive anti-token interfaces\n");
+    for config in [Config::ActiveAntiTokens, Config::PassiveF3W, Config::PassiveM2W] {
+        let sys = paper_example(config).expect("builds");
+        let mut sim = BehavSim::new(&sys.network).expect("valid");
+        let mut env = RandomEnv::new(7, sys.env_config.clone());
+        sim.run(&mut env, 10_000).expect("runs");
+        let r = sim.report();
+        println!(
+            "  {:<22} Th {:.3}   F3->W neg {:.3}   Mo->W neg {:.3}",
+            sys.config.label(),
+            r.positive_rate(sys.output_channel),
+            r.negative_rate(sys.channels.f3_w),
+            r.negative_rate(sys.channels.mo_w),
+        );
+    }
+    println!("\nFig. 7(b) — variable-latency units use a go/done/ack handshake;");
+    println!("their gate-level controller exposes `<name>.go` and samples the");
+    println!("nondeterministic `<name>.finish` input (see compile.rs).");
+}

@@ -1,0 +1,74 @@
+//! Ablation: depth of the opcode bypass buffer `C` on `S -> W`
+//! (generalizing Table 1's "No buffer" row): 0 = row 2, 1 = row 1,
+//! deeper buffers show diminishing returns.
+
+use elastic_core::ee::EarlyEval;
+use elastic_core::network::ElasticNetwork;
+use elastic_core::sim::{BehavSim, RandomEnv};
+use elastic_core::systems::{opcode_distribution, paper_example, w_early_eval, Config};
+
+fn build_with_c_depth(depth: usize) -> (ElasticNetwork, elastic_core::channel::ChanId) {
+    // Rebuild the Fig. 9 topology with a parameterized C chain.
+    let mut net = ElasticNetwork::new(format!("fig9_c{depth}"));
+    let din = net.add_source("Din");
+    let dout = net.add_sink("Dout");
+    let s_join = net.add_join("S", 2);
+    let s_fork = net.add_fork("Sfork", 4);
+    net.connect(din, 0, s_join, 0, "Din->S").unwrap();
+    net.connect(s_join, 0, s_fork, 0, "S->Sfork").unwrap();
+    let eb_i = net.add_buffer("EBi", 1, 0);
+    net.connect(s_fork, 0, eb_i, 0, "S->I").unwrap();
+    let f1 = net.add_buffer("F1", 1, 0);
+    let f2 = net.add_buffer("F2", 1, 0);
+    let f3 = net.add_buffer("F3", 1, 0);
+    net.connect(s_fork, 1, f1, 0, "S->F1").unwrap();
+    net.connect(f1, 0, f2, 0, "F1->F2").unwrap();
+    net.connect(f2, 0, f3, 0, "F2->F3").unwrap();
+    let eb_sm = net.add_buffer("EBsm", 1, 0);
+    let m1 = net.add_var_latency("M1");
+    let m2 = net.add_var_latency("M2");
+    let eb_mo = net.add_buffer("EBmo", 1, 0);
+    net.connect(s_fork, 2, eb_sm, 0, "S->EBsm").unwrap();
+    net.connect(eb_sm, 0, m1, 0, "S->M1").unwrap();
+    net.connect(m1, 0, m2, 0, "M1->M2").unwrap();
+    net.connect(m2, 0, eb_mo, 0, "M2->W").unwrap();
+    let _ = EarlyEval::lazy(1); // silence unused import when depth paths differ
+    let w = net.add_early_join("W", 4, w_early_eval()).unwrap();
+    if depth == 0 {
+        net.connect(s_fork, 3, w, 0, "S->W").unwrap();
+    } else {
+        let c = net.add_buffer("C", depth, 0);
+        net.connect(s_fork, 3, c, 0, "S->C").unwrap();
+        net.connect(c, 0, w, 0, "C->W").unwrap();
+    }
+    net.connect(eb_i, 0, w, 1, "I->W").unwrap();
+    net.connect(f3, 0, w, 2, "F3->W").unwrap();
+    net.connect(eb_mo, 0, w, 3, "Mo->W").unwrap();
+    let w1 = net.add_buffer("W1", 1, 1);
+    let w2 = net.add_buffer("W2", 1, 1);
+    let w3 = net.add_buffer("W3", 1, 1);
+    let wf = net.add_fork("Wfork", 2);
+    net.connect(w, 0, w1, 0, "W->W1").unwrap();
+    net.connect(w1, 0, w2, 0, "W1->W2").unwrap();
+    net.connect(w2, 0, w3, 0, "W2->W3").unwrap();
+    net.connect(w3, 0, wf, 0, "W3->Wfork").unwrap();
+    let out = net.connect(wf, 0, dout, 0, "W->Dout").unwrap();
+    net.connect(wf, 1, s_join, 1, "W->S").unwrap();
+    net.check().unwrap();
+    (net, out)
+}
+
+fn main() {
+    let base = paper_example(Config::ActiveAntiTokens).expect("builds");
+    let _ = opcode_distribution();
+    println!("{:>8} {:>11}", "C depth", "throughput");
+    for depth in 0..=4usize {
+        let (net, out) = build_with_c_depth(depth);
+        let mut sim = BehavSim::new(&net).expect("valid");
+        let mut env = RandomEnv::new(19, base.env_config.clone());
+        sim.run(&mut env, 8000).expect("runs");
+        println!("{depth:>8} {:>11.3}", sim.report().positive_rate(out));
+    }
+    println!("\ndepth 0 is Table 1 row 2 (no buffer); depth 1 is row 1;");
+    println!("beyond depth 1 the bypass is no longer the bottleneck.");
+}

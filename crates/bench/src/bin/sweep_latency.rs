@@ -1,0 +1,23 @@
+//! Ablation: throughput vs the slow-path latency of M1 (mean latency
+//! sweep), early vs lazy — early evaluation decouples the system from the
+//! slow unit, the lazy join tracks 1/latency.
+
+use elastic_core::sim::{BehavSim, LatencyDist, RandomEnv};
+use elastic_core::systems::{paper_example, Config};
+
+fn main() {
+    println!("{:>9} {:>9} {:>9}", "M1 mean", "early", "lazy");
+    for lat in [1u32, 2, 4, 8, 16] {
+        let mut th = [0.0f64; 2];
+        for (k, config) in [Config::ActiveAntiTokens, Config::NoEarlyEval].iter().enumerate() {
+            let sys = paper_example(*config).expect("builds");
+            let mut env_cfg = sys.env_config.clone();
+            env_cfg.vls.insert("M1".into(), LatencyDist::fixed(lat));
+            let mut sim = BehavSim::new(&sys.network).expect("valid");
+            let mut env = RandomEnv::new(17, env_cfg);
+            sim.run(&mut env, 5000).expect("runs");
+            th[k] = sim.report().positive_rate(sys.output_channel);
+        }
+        println!("{lat:>9} {:>9.3} {:>9.3}", th[0], th[1]);
+    }
+}

@@ -1,0 +1,13 @@
+//! Regenerates **Table 1** of the paper: throughput, per-channel transfer
+//! statistics and control-layer area for the five configurations of the
+//! Fig. 9 example, from 10k-cycle simulations (as in the paper).
+
+fn main() {
+    let cycles = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10_000);
+    let rows = elastic_bench::run_table1(cycles, 2007);
+    println!("Table 1 — {cycles}-cycle simulations, seed 2007\n");
+    println!("{}", elastic_bench::format_table1(&rows));
+}

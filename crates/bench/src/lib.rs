@@ -1,0 +1,141 @@
+//! Shared harness code for the table/figure regeneration binaries and the
+//! Criterion benches.
+
+use elastic_core::channel::ChanId;
+use elastic_core::sim::{BehavSim, RandomEnv};
+use elastic_core::stats::SimReport;
+use elastic_core::systems::{paper_example, Config, PaperSystem};
+use elastic_netlist::area::AreaReport;
+use elastic_netlist::opt::optimize;
+
+/// One row of the regenerated Table 1.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Configuration label (paper row name).
+    pub label: String,
+    /// System throughput (positive transfers per cycle at the environment).
+    pub throughput: f64,
+    /// Per-channel `(name, positive, negative, kill)` rates for the five
+    /// Table 1 channels.
+    pub channels: Vec<(String, f64, f64, f64)>,
+    /// Post-optimization area of the compiled control layer.
+    pub area: AreaReport,
+}
+
+/// Runs one Table 1 configuration for `cycles` cycles with `seed`.
+///
+/// # Panics
+///
+/// Panics if the fixed example system fails to build or simulate — that
+/// would be a library bug, and the binaries want a loud failure.
+pub fn run_table1_row(config: Config, cycles: u64, seed: u64) -> Table1Row {
+    let sys = paper_example(config).expect("example builds");
+    let mut sim = BehavSim::new(&sys.network).expect("network is valid");
+    let mut env = RandomEnv::new(seed, sys.env_config.clone());
+    sim.run(&mut env, cycles).expect("simulation runs");
+    let report = sim.report();
+    let ch = &sys.channels;
+    let named: [(&str, ChanId); 5] = [
+        ("F2->F3", ch.f2_f3),
+        ("F3->W", ch.f3_w),
+        ("S->M1", ch.s_m1),
+        ("M1->M2", ch.m1_m2),
+        ("M2->W", ch.m2_w),
+    ];
+    let channels = named
+        .iter()
+        .map(|&(name, c)| {
+            (
+                name.to_string(),
+                report.positive_rate(c),
+                report.negative_rate(c),
+                report.kill_rate(c),
+            )
+        })
+        .collect();
+    let area = control_area(&sys);
+    Table1Row {
+        label: config.label().to_string(),
+        throughput: report.positive_rate(sys.output_channel),
+        channels,
+        area,
+    }
+}
+
+/// Compiles the control layer of a system, optimizes it and reports area.
+///
+/// # Panics
+///
+/// Panics on compilation failure (library bug).
+pub fn control_area(sys: &PaperSystem) -> AreaReport {
+    let compiled = elastic_core::compile::compile(
+        &sys.network,
+        &elastic_core::compile::CompileOptions { data_width: 2, nondet_merge: false },
+    )
+    .expect("compiles");
+    let (opt, _) = optimize(&compiled.netlist).expect("optimizes");
+    AreaReport::of(&opt)
+}
+
+/// Runs all five configurations and returns the rows in paper order.
+pub fn run_table1(cycles: u64, seed: u64) -> Vec<Table1Row> {
+    Config::all().into_iter().map(|c| run_table1_row(c, cycles, seed)).collect()
+}
+
+/// Formats the regenerated table alongside the paper's reference values.
+pub fn format_table1(rows: &[Table1Row]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<22} {:>6}  {:<28} {:<28} {:<28} {:<28} {:<28}  area",
+        "Configuration", "Th", "F2->F3 (+ - x)", "F3->W (+ - x)", "S->M1 (+ - x)",
+        "M1->M2 (+ - x)", "M2->W (+ - x)"
+    );
+    for r in rows {
+        let _ = write!(s, "{:<22} {:>6.3}  ", r.label, r.throughput);
+        for (_, p, nr, k) in &r.channels {
+            let _ = write!(s, "{p:>7.3} {nr:>7.3} {k:>7.3}      ");
+        }
+        let _ = writeln!(s, "{}", r.area);
+    }
+    let _ = writeln!(s);
+    let _ = writeln!(s, "Paper reference (Table 1): Th = 0.400 / 0.343 / 0.387 / 0.280 / 0.277;");
+    let _ = writeln!(s, "area lit = 253 / 241 / 213 / 234 / 176 (SIS factored literals).");
+    s
+}
+
+/// Convenience: positive/negative/kill rates of a channel from a report.
+pub fn rates(report: &SimReport, chan: ChanId) -> (f64, f64, f64) {
+    (report.positive_rate(chan), report.negative_rate(chan), report.kill_rate(chan))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shapes_hold() {
+        let rows = run_table1(6000, 11);
+        let th: Vec<f64> = rows.iter().map(|r| r.throughput).collect();
+        // Row order: Active, NoBuffer, PassiveF3W, PassiveM2W, NoEarlyEval.
+        assert!(th[0] > th[4] * 1.15, "active {} >> lazy {}", th[0], th[4]);
+        assert!(th[0] > th[1], "active {} > no-buffer {}", th[0], th[1]);
+        assert!(th[2] > th[3], "passive-F3 {} > passive-M {}", th[2], th[3]);
+        assert!(th[3] < th[0], "passive-M {} < active {}", th[3], th[0]);
+        // Area ordering: lazy smallest; active >= passive variants.
+        let lits: Vec<usize> = rows.iter().map(|r| r.area.literals).collect();
+        assert!(lits[4] < lits[0], "lazy area {} < active {}", lits[4], lits[0]);
+        assert!(lits[2] <= lits[0], "passive F3 {} <= active {}", lits[2], lits[0]);
+        assert!(lits[3] <= lits[0], "passive M {} <= active {}", lits[3], lits[0]);
+    }
+
+    #[test]
+    fn table_formatting_contains_all_rows() {
+        let rows = run_table1(300, 1);
+        let text = format_table1(&rows);
+        for r in &rows {
+            assert!(text.contains(&r.label));
+        }
+    }
+}

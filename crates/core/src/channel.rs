@@ -1,0 +1,170 @@
+//! Dual elastic channels and their per-cycle event classification.
+//!
+//! A channel carries the forward SELF pair `(V⁺,S⁺)` plus the backward
+//! anti-token pair `(V⁻,S⁻)`. The producer side drives `V⁺` and `S⁻`; the
+//! consumer side drives `S⁺` and `V⁻`. Both sides maintain the channel
+//! invariants of the paper's eq. (2):
+//!
+//! ```text
+//! ¬(V⁻ ∧ S⁺)    a token cannot be killed and stopped at once
+//! ¬(V⁺ ∧ S⁻)    an anti-token cannot be killed and stopped at once
+//! ```
+
+use std::fmt;
+
+/// Identifier of a channel in an
+/// [`ElasticNetwork`](crate::network::ElasticNetwork).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChanId(pub(crate) u32);
+
+impl ChanId {
+    /// Dense index of this channel.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ChanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// The four handshake wires of a dual channel, as settled in one cycle,
+/// plus the data payload travelling with the token.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelSignals {
+    /// Forward valid: the producer offers a token.
+    pub vp: bool,
+    /// Forward stop: the consumer cannot accept this cycle.
+    pub sp: bool,
+    /// Backward valid: the consumer sends an anti-token (a *kill*).
+    pub vn: bool,
+    /// Backward stop: the producer cannot accept the anti-token this cycle.
+    pub sn: bool,
+    /// Payload carried when `vp` is asserted.
+    pub data: u64,
+}
+
+/// What happened on a channel during one cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChannelEvent {
+    /// `V⁺ ∧ ¬S⁺ ∧ ¬V⁻`: a token moved forward.
+    PositiveTransfer,
+    /// `V⁻ ∧ ¬S⁻ ∧ ¬V⁺`: an anti-token moved backward.
+    NegativeTransfer,
+    /// `V⁺ ∧ V⁻`: a token and an anti-token met and annihilated.
+    Kill,
+    /// `V⁺ ∧ S⁺ ∧ ¬V⁻`: the producer must persist (retry next cycle).
+    Retry,
+    /// `V⁻ ∧ S⁻ ∧ ¬V⁺`: the anti-token holder must persist.
+    NegativeRetry,
+    /// Nothing offered in either direction.
+    Idle,
+}
+
+impl ChannelSignals {
+    /// Classifies the cycle according to the counterflow semantics.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use elastic_core::channel::{ChannelEvent, ChannelSignals};
+    ///
+    /// let sig = ChannelSignals { vp: true, sp: false, vn: true, ..Default::default() };
+    /// assert_eq!(sig.event(), ChannelEvent::Kill);
+    /// ```
+    pub fn event(&self) -> ChannelEvent {
+        match (self.vp, self.vn) {
+            (true, true) => ChannelEvent::Kill,
+            (true, false) => {
+                if self.sp {
+                    ChannelEvent::Retry
+                } else {
+                    ChannelEvent::PositiveTransfer
+                }
+            }
+            (false, true) => {
+                if self.sn {
+                    ChannelEvent::NegativeRetry
+                } else {
+                    ChannelEvent::NegativeTransfer
+                }
+            }
+            (false, false) => ChannelEvent::Idle,
+        }
+    }
+
+    /// Checks the channel invariants of eq. (2).
+    ///
+    /// Returns `Err` with a description of the violated invariant.
+    ///
+    /// # Errors
+    ///
+    /// A `&'static str` naming the violated invariant — converted to
+    /// [`CoreError::ProtocolViolation`](crate::CoreError::ProtocolViolation)
+    /// by the monitors.
+    pub fn check_invariants(&self) -> Result<(), &'static str> {
+        if self.vn && self.sp {
+            return Err("V- and S+ asserted together (kill while stopping)");
+        }
+        if self.vp && self.sn {
+            return Err("V+ and S- asserted together (token against stopped anti-token)");
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ChannelSignals {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "V+={} S+={} V-={} S-={}",
+            u8::from(self.vp),
+            u8::from(self.sp),
+            u8::from(self.vn),
+            u8::from(self.sn)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(vp: bool, sp: bool, vn: bool, sn: bool) -> ChannelSignals {
+        ChannelSignals { vp, sp, vn, sn, data: 0 }
+    }
+
+    #[test]
+    fn event_classification() {
+        assert_eq!(sig(true, false, false, false).event(), ChannelEvent::PositiveTransfer);
+        assert_eq!(sig(true, true, false, false).event(), ChannelEvent::Retry);
+        assert_eq!(sig(false, false, true, false).event(), ChannelEvent::NegativeTransfer);
+        assert_eq!(sig(false, false, true, true).event(), ChannelEvent::NegativeRetry);
+        assert_eq!(sig(true, false, true, false).event(), ChannelEvent::Kill);
+        assert_eq!(sig(false, false, false, false).event(), ChannelEvent::Idle);
+        assert_eq!(sig(false, true, false, false).event(), ChannelEvent::Idle, "S+ without V+ is idle");
+    }
+
+    #[test]
+    fn kill_wins_over_stop_bits() {
+        // With the invariants enforced, S+ cannot be set during a kill, but
+        // classification is defined regardless.
+        assert_eq!(sig(true, true, true, true).event(), ChannelEvent::Kill);
+    }
+
+    #[test]
+    fn invariants() {
+        assert!(sig(true, true, false, false).check_invariants().is_ok());
+        assert!(sig(false, true, true, false).check_invariants().is_err());
+        assert!(sig(true, false, false, true).check_invariants().is_err());
+        assert!(sig(true, false, true, false).check_invariants().is_ok(), "kill is legal");
+    }
+
+    #[test]
+    fn display_shows_all_wires() {
+        let s = sig(true, false, true, false).to_string();
+        assert_eq!(s, "V+=1 S+=0 V-=1 S-=0");
+    }
+}

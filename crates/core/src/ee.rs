@@ -1,0 +1,246 @@
+//! Early-evaluation functions for join controllers.
+//!
+//! An early-evaluation (EE) function decides, from the *valid* bits of the
+//! join inputs and from data bundled with a guard channel, whether the join
+//! can fire before all inputs have arrived — e.g. a multiplexer that fires
+//! as soon as the select and the selected operand are present.
+//!
+//! Sect. 4.3 of the paper requires every cofactor of EE with respect to the
+//! data inputs to be **positive unate** in the valid bits: decisions are
+//! based on the *presence* of inputs, never on their absence. The
+//! representation below enforces that by construction: an [`EarlyEval`] is a
+//! disjunction of [`EeTerm`]s, each requiring a guard pattern and a positive
+//! conjunction of valid inputs.
+
+use crate::error::CoreError;
+
+/// One disjunct of an early-evaluation function: "if the guard data matches
+/// `pattern`, fire once the `required` inputs are valid, forwarding the data
+/// of input `select`".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EeTerm {
+    /// Bits of the guard payload that participate in the match.
+    pub guard_mask: u64,
+    /// Required value of the masked guard payload.
+    pub guard_value: u64,
+    /// Indices of join inputs that must be valid for this term to fire
+    /// (the guard input itself is always implicitly required).
+    pub required: Vec<usize>,
+    /// Join input whose payload becomes the output payload.
+    pub select: usize,
+}
+
+/// An early-evaluation function: a guard input plus a list of terms.
+///
+/// # Example
+///
+/// The paper's module `W` multiplexes results from `I`, `F` and `M` under a
+/// two-bit opcode `(s1,s2)` bundled with the control channel: `00 → I`,
+/// `01 → F`, `1- → M`:
+///
+/// ```
+/// use elastic_core::ee::{EarlyEval, EeTerm};
+///
+/// // Join inputs: 0 = control (guard), 1 = I, 2 = F, 3 = M.
+/// // Guard payload bit 0 is s1, bit 1 is s2.
+/// let ee = EarlyEval::new(0, vec![
+///     EeTerm { guard_mask: 0b11, guard_value: 0b00, required: vec![1], select: 1 },
+///     EeTerm { guard_mask: 0b11, guard_value: 0b10, required: vec![2], select: 2 },
+///     EeTerm { guard_mask: 0b01, guard_value: 0b01, required: vec![3], select: 3 },
+/// ]);
+/// ee.validate(4).unwrap();
+/// assert!(ee.is_positive_unate());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EarlyEval {
+    /// Index of the guard (control) input whose payload steers the terms.
+    pub guard_input: usize,
+    /// The disjuncts.
+    pub terms: Vec<EeTerm>,
+}
+
+impl EarlyEval {
+    /// Creates an EE function.
+    pub fn new(guard_input: usize, terms: Vec<EeTerm>) -> Self {
+        EarlyEval { guard_input, terms }
+    }
+
+    /// Validates the function against a join with `num_inputs` inputs.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BadEarlyEval`] when an index is out of range, a term
+    /// selects an input it does not require, the term list is empty, or two
+    /// terms can match the same guard value but select different inputs
+    /// (a non-deterministic multiplexer).
+    pub fn validate(&self, num_inputs: usize) -> Result<(), CoreError> {
+        let fail = |msg: String| Err(CoreError::BadEarlyEval(msg));
+        if self.guard_input >= num_inputs {
+            return fail(format!("guard input {} out of range", self.guard_input));
+        }
+        if self.terms.is_empty() {
+            return fail("term list is empty".into());
+        }
+        for (i, t) in self.terms.iter().enumerate() {
+            if t.guard_value & !t.guard_mask != 0 {
+                return fail(format!("term {i} has guard value bits outside its mask"));
+            }
+            for &r in &t.required {
+                if r >= num_inputs {
+                    return fail(format!("term {i} requires input {r} out of range"));
+                }
+            }
+            if t.select >= num_inputs {
+                return fail(format!("term {i} selects input {} out of range", t.select));
+            }
+            if t.select != self.guard_input && !t.required.contains(&t.select) {
+                return fail(format!(
+                    "term {i} selects input {} without requiring it",
+                    t.select
+                ));
+            }
+        }
+        // Overlapping guard patterns must agree on the selected input,
+        // otherwise the multiplexer is ambiguous.
+        for (i, a) in self.terms.iter().enumerate() {
+            for b in &self.terms[i + 1..] {
+                let common = a.guard_mask & b.guard_mask;
+                let compatible = a.guard_value & common == b.guard_value & common;
+                if compatible && a.select != b.select {
+                    return fail(format!(
+                        "terms with overlapping guard patterns select different inputs \
+                         ({} vs {})",
+                        a.select, b.select
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the function is positive unate in the valid bits.
+    ///
+    /// Always true: the representation only allows positive conjunctions of
+    /// valid inputs, which is exactly the paper's Sect. 4.3 constraint. The
+    /// method exists so call sites can state the obligation explicitly.
+    pub fn is_positive_unate(&self) -> bool {
+        true
+    }
+
+    /// Evaluates the function: given per-input *effective* valid bits and
+    /// the guard payload, returns the first matching term index that can
+    /// fire, or `None`.
+    ///
+    /// The guard input must itself be valid for anything to fire.
+    pub fn eval(&self, valid: &[bool], guard_data: u64) -> Option<usize> {
+        if !valid.get(self.guard_input).copied().unwrap_or(false) {
+            return None;
+        }
+        self.terms.iter().position(|t| {
+            guard_data & t.guard_mask == t.guard_value
+                && t.required.iter().all(|&r| valid[r])
+        })
+    }
+
+    /// The lazy (conventional) counterpart: fire only when *all* inputs are
+    /// valid, regardless of the guard payload. Used when replacing an early
+    /// join by a regular join (Table 1's "no early evaluation" row).
+    pub fn lazy(num_inputs: usize) -> EarlyEval {
+        EarlyEval {
+            guard_input: 0,
+            terms: vec![EeTerm {
+                guard_mask: 0,
+                guard_value: 0,
+                required: (0..num_inputs).collect(),
+                select: 0,
+            }],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mux3() -> EarlyEval {
+        EarlyEval::new(
+            0,
+            vec![
+                EeTerm { guard_mask: 0b11, guard_value: 0b00, required: vec![1], select: 1 },
+                EeTerm { guard_mask: 0b11, guard_value: 0b10, required: vec![2], select: 2 },
+                EeTerm { guard_mask: 0b01, guard_value: 0b01, required: vec![3], select: 3 },
+            ],
+        )
+    }
+
+    #[test]
+    fn paper_w_function_validates() {
+        mux3().validate(4).unwrap();
+    }
+
+    #[test]
+    fn fires_with_only_selected_input() {
+        let ee = mux3();
+        // Guard valid, input 1 valid, others missing, opcode 00 -> term 0.
+        assert_eq!(ee.eval(&[true, true, false, false], 0b00), Some(0));
+        // Opcode s2=1,s1=0 (0b10) needs input 2.
+        assert_eq!(ee.eval(&[true, true, false, false], 0b10), None);
+        assert_eq!(ee.eval(&[true, false, true, false], 0b10), Some(1));
+        // Opcode 1- needs input 3 (mask ignores s2).
+        assert_eq!(ee.eval(&[true, false, false, true], 0b11), Some(2));
+    }
+
+    #[test]
+    fn guard_must_be_valid() {
+        let ee = mux3();
+        assert_eq!(ee.eval(&[false, true, true, true], 0b00), None);
+    }
+
+    #[test]
+    fn lazy_requires_all() {
+        let ee = EarlyEval::lazy(3);
+        ee.validate(3).unwrap();
+        assert_eq!(ee.eval(&[true, true, true], 123), Some(0));
+        assert_eq!(ee.eval(&[true, false, true], 123), None);
+    }
+
+    #[test]
+    fn validation_catches_bad_indices() {
+        let ee = EarlyEval::new(5, vec![]);
+        assert!(matches!(ee.validate(3), Err(CoreError::BadEarlyEval(_))));
+        let ee = EarlyEval::new(0, vec![]);
+        assert!(ee.validate(3).is_err(), "empty term list");
+        let ee = EarlyEval::new(
+            0,
+            vec![EeTerm { guard_mask: 0, guard_value: 1, required: vec![], select: 0 }],
+        );
+        assert!(ee.validate(1).is_err(), "value outside mask");
+    }
+
+    #[test]
+    fn validation_catches_unrequired_select() {
+        let ee = EarlyEval::new(
+            0,
+            vec![EeTerm { guard_mask: 0, guard_value: 0, required: vec![], select: 1 }],
+        );
+        assert!(ee.validate(2).is_err());
+    }
+
+    #[test]
+    fn validation_catches_ambiguous_overlap() {
+        let ee = EarlyEval::new(
+            0,
+            vec![
+                EeTerm { guard_mask: 0b01, guard_value: 0b01, required: vec![1], select: 1 },
+                EeTerm { guard_mask: 0b10, guard_value: 0b10, required: vec![2], select: 2 },
+            ],
+        );
+        // Guard 0b11 matches both terms with different selects.
+        assert!(ee.validate(3).is_err());
+    }
+
+    #[test]
+    fn unateness_is_structural() {
+        assert!(mux3().is_positive_unate());
+    }
+}

@@ -1,0 +1,362 @@
+//! The elasticization flow of Sect. 6: converting an ordinary synchronous
+//! datapath into an elastic system.
+//!
+//! The paper describes an automated conversion: (1) every register becomes
+//! a pair of latches with independent enables — an elastic buffer in the
+//! control layer; (2) every functional block gets a join (or early join) at
+//! its inputs and a fork at its outputs, omitted for single connections;
+//! (3) variable-latency units get a go/done/ack controller; (4) controllers
+//! are wired following the datapath connectivity.
+//!
+//! [`SyncDatapath`] is the synchronous-side description (registers, blocks,
+//! environment ports and wires); [`elasticize`] performs the conversion and
+//! returns the [`ElasticNetwork`] control layer.
+
+use std::collections::HashMap;
+
+use crate::ee::EarlyEval;
+use crate::error::CoreError;
+use crate::network::{CompId, ElasticNetwork};
+
+/// Node kinds in a synchronous datapath description.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SyncNode {
+    /// Environment input port.
+    Input,
+    /// Environment output port.
+    Output,
+    /// A register (one pipeline stage of storage), optionally holding an
+    /// initial value at reset.
+    Register {
+        /// Whether the register holds valid data at reset.
+        init_valid: bool,
+    },
+    /// A functional block. `early` designates the inputs-enabling function
+    /// when the designer opts into early evaluation for this block — "it is
+    /// the designer's responsibility to decide when to use early joins".
+    Block {
+        /// Number of data inputs.
+        inputs: usize,
+        /// Optional early-evaluation function over those inputs.
+        early: Option<EarlyEval>,
+        /// Whether the block has data-dependent (variable) latency and
+        /// needs a go/done/ack controller.
+        variable_latency: bool,
+    },
+}
+
+/// Identifier of a node in a [`SyncDatapath`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SyncId(usize);
+
+/// A synchronous datapath: nodes plus point-to-point wires. Fan-out is
+/// expressed by wiring one node to several consumers; the elasticization
+/// inserts the fork controllers.
+#[derive(Debug, Clone, Default)]
+pub struct SyncDatapath {
+    name: String,
+    nodes: Vec<(String, SyncNode)>,
+    /// (from, to, to_input_port)
+    wires: Vec<(SyncId, SyncId, usize)>,
+}
+
+impl SyncDatapath {
+    /// Creates an empty description.
+    pub fn new(name: impl Into<String>) -> Self {
+        SyncDatapath { name: name.into(), ..Default::default() }
+    }
+
+    /// Adds a node.
+    pub fn node(&mut self, name: impl Into<String>, kind: SyncNode) -> SyncId {
+        self.nodes.push((name.into(), kind));
+        SyncId(self.nodes.len() - 1)
+    }
+
+    /// Adds an environment input.
+    pub fn input(&mut self, name: impl Into<String>) -> SyncId {
+        self.node(name, SyncNode::Input)
+    }
+
+    /// Adds an environment output.
+    pub fn output(&mut self, name: impl Into<String>) -> SyncId {
+        self.node(name, SyncNode::Output)
+    }
+
+    /// Adds a register.
+    pub fn register(&mut self, name: impl Into<String>, init_valid: bool) -> SyncId {
+        self.node(name, SyncNode::Register { init_valid })
+    }
+
+    /// Adds a combinational single-cycle block.
+    pub fn block(&mut self, name: impl Into<String>, inputs: usize) -> SyncId {
+        self.node(name, SyncNode::Block { inputs, early: None, variable_latency: false })
+    }
+
+    /// Adds a block with early evaluation on its inputs.
+    pub fn early_block(
+        &mut self,
+        name: impl Into<String>,
+        inputs: usize,
+        early: EarlyEval,
+    ) -> SyncId {
+        self.node(name, SyncNode::Block { inputs, early: Some(early), variable_latency: false })
+    }
+
+    /// Adds a variable-latency multi-cycle block (single input).
+    pub fn var_latency_block(&mut self, name: impl Into<String>) -> SyncId {
+        self.node(name, SyncNode::Block { inputs: 1, early: None, variable_latency: true })
+    }
+
+    /// Wires `from`'s output to input `port` of `to`.
+    pub fn wire(&mut self, from: SyncId, to: SyncId, port: usize) {
+        self.wires.push((from, to, port));
+    }
+}
+
+/// Converts a synchronous datapath into its elastic control network,
+/// following the paper's recipe: EB controllers for registers, join/early
+/// join + fork controllers for blocks, VL controllers for variable-latency
+/// units, sources/sinks for the environment ports.
+///
+/// # Errors
+///
+/// Propagates [`CoreError`] from network construction (bad ports, invalid
+/// early-evaluation functions, buffer-free cycles).
+pub fn elasticize(dp: &SyncDatapath) -> Result<ElasticNetwork, CoreError> {
+    let mut net = ElasticNetwork::new(dp.name.clone());
+
+    // Fan-out per node decides whether a fork is inserted.
+    let mut fanout: HashMap<usize, usize> = HashMap::new();
+    for &(from, _, _) in &dp.wires {
+        *fanout.entry(from.0).or_insert(0) += 1;
+    }
+
+    // Build per-node component clusters: (input_target, output_source).
+    // input_target: component+port offset receiving each wired input.
+    struct Cluster {
+        /// Component consuming input port i of the sync node.
+        input: Option<CompId>,
+        /// Component producing the node's output (pre-fork).
+        output: Option<CompId>,
+        /// Fork distributing the output, if fan-out > 1.
+        fork: Option<CompId>,
+        next_fork_port: usize,
+    }
+    let mut clusters: Vec<Cluster> = Vec::new();
+    for (i, (name, kind)) in dp.nodes.iter().enumerate() {
+        let fan = fanout.get(&i).copied().unwrap_or(0);
+        let mut cluster = match kind {
+            SyncNode::Input => {
+                let s = net.add_source(name.clone());
+                Cluster { input: None, output: Some(s), fork: None, next_fork_port: 0 }
+            }
+            SyncNode::Output => {
+                let s = net.add_sink(name.clone());
+                Cluster { input: Some(s), output: None, fork: None, next_fork_port: 0 }
+            }
+            SyncNode::Register { init_valid } => {
+                let b = net.add_eb(name.clone(), *init_valid);
+                Cluster { input: Some(b), output: Some(b), fork: None, next_fork_port: 0 }
+            }
+            SyncNode::Block { inputs, early, variable_latency } => {
+                // Join (if needed) feeding an optional VL controller.
+                let front = if *inputs > 1 {
+                    Some(match early {
+                        Some(f) => net.add_early_join(format!("{name}.join"), *inputs, f.clone())?,
+                        None => net.add_join(format!("{name}.join"), *inputs),
+                    })
+                } else {
+                    None
+                };
+                let vl = if *variable_latency {
+                    Some(net.add_var_latency(format!("{name}.vl")))
+                } else {
+                    None
+                };
+                let (input, output) = match (front, vl) {
+                    (Some(j), Some(v)) => {
+                        net.connect(j, 0, v, 0, format!("{name}.go"))?;
+                        (Some(j), Some(v))
+                    }
+                    (Some(j), None) => (Some(j), Some(j)),
+                    (None, Some(v)) => (Some(v), Some(v)),
+                    (None, None) => {
+                        // A 1-input combinational block is control-transparent;
+                        // represent it by a plain join of one input so the
+                        // channel structure matches the datapath.
+                        let j = net.add_join(format!("{name}.pass"), 1);
+                        (Some(j), Some(j))
+                    }
+                };
+                Cluster { input, output, fork: None, next_fork_port: 0 }
+            }
+        };
+        if fan > 1 {
+            let f = net.add_fork(format!("{name}.fork"), fan);
+            let out = cluster.output.expect("fan-out from a node with no output");
+            net.connect(out, 0, f, 0, format!("{name}.fo"))?;
+            cluster.fork = Some(f);
+        }
+        clusters.push(cluster);
+    }
+
+    // Wire the clusters.
+    for &(from, to, port) in &dp.wires {
+        let name = format!("{}->{}", dp.nodes[from.0].0, dp.nodes[to.0].0);
+        let dst = clusters[to.0].input.ok_or(CoreError::BadPort {
+            comp: CompId(0),
+            port,
+            input: true,
+        })?;
+        let (src, sport) = match clusters[from.0].fork {
+            Some(f) => {
+                let p = clusters[from.0].next_fork_port;
+                clusters[from.0].next_fork_port += 1;
+                (f, p)
+            }
+            None => (
+                clusters[from.0].output.ok_or(CoreError::BadPort {
+                    comp: CompId(0),
+                    port,
+                    input: false,
+                })?,
+                0,
+            ),
+        };
+        net.connect(src, sport, dst, port, name)?;
+    }
+
+    net.check()?;
+    Ok(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::ComponentKind;
+    use crate::sim::{BehavSim, EnvConfig, RandomEnv};
+
+    /// in -> reg -> adder(2 inputs: reg, reg2) -> reg3 -> out, with a
+    /// constant-side register fed by the same input through a fork.
+    fn small_datapath() -> SyncDatapath {
+        let mut dp = SyncDatapath::new("adder");
+        let i = dp.input("in");
+        let r1 = dp.register("r1", false);
+        let r2 = dp.register("r2", false);
+        let add = dp.block("add", 2);
+        let r3 = dp.register("r3", false);
+        let o = dp.output("out");
+        dp.wire(i, r1, 0);
+        dp.wire(r1, add, 0);
+        dp.wire(r1, r2, 0);
+        dp.wire(r2, add, 1);
+        dp.wire(add, r3, 0);
+        dp.wire(r3, o, 0);
+        dp
+    }
+
+    #[test]
+    fn registers_become_buffers_blocks_become_joins() {
+        let net = elasticize(&small_datapath()).unwrap();
+        let kinds: Vec<_> =
+            net.components().map(|c| net.component(c).kind.clone()).collect();
+        let ebs = kinds.iter().filter(|k| matches!(k, ComponentKind::Eb { .. })).count();
+        let joins =
+            kinds.iter().filter(|k| matches!(k, ComponentKind::Join { .. })).count();
+        let forks =
+            kinds.iter().filter(|k| matches!(k, ComponentKind::Fork { .. })).count();
+        assert_eq!(ebs, 3, "three registers");
+        assert_eq!(joins, 1, "one two-input block");
+        assert_eq!(forks, 1, "r1 fans out twice");
+    }
+
+    #[test]
+    fn elasticized_datapath_simulates() {
+        let net = elasticize(&small_datapath()).unwrap();
+        let mut sim = BehavSim::new(&net).unwrap();
+        let mut env = RandomEnv::new(3, EnvConfig::default());
+        sim.run(&mut env, 400).unwrap();
+        let out = net.channel_by_name("r3->out").unwrap();
+        let th = sim.report().positive_rate(out);
+        // The reconvergent fork has register depth 0 on the direct branch
+        // and 1 through r2, so the join alternates: rate 1/2. (The paper's
+        // correct-by-construction re-pipelining would insert a buffer on
+        // the short branch to recover rate 1.)
+        assert!((0.4..0.6).contains(&th), "unbalanced reconvergence: {th}");
+    }
+
+    #[test]
+    fn balancing_the_reconvergence_restores_full_rate() {
+        let mut dp = SyncDatapath::new("balanced");
+        let i = dp.input("in");
+        let r1 = dp.register("r1", false);
+        let r1b = dp.register("r1b", false); // balance register
+        let r2 = dp.register("r2", false);
+        let add = dp.block("add", 2);
+        let r3 = dp.register("r3", false);
+        let o = dp.output("out");
+        dp.wire(i, r1, 0);
+        dp.wire(r1, r1b, 0);
+        dp.wire(r1b, add, 0);
+        dp.wire(r1, r2, 0);
+        dp.wire(r2, add, 1);
+        dp.wire(add, r3, 0);
+        dp.wire(r3, o, 0);
+        let net = elasticize(&dp).unwrap();
+        let mut sim = BehavSim::new(&net).unwrap();
+        let mut env = RandomEnv::new(3, EnvConfig::default());
+        sim.run(&mut env, 400).unwrap();
+        let out = net.channel_by_name("r3->out").unwrap();
+        let th = sim.report().positive_rate(out);
+        assert!(th > 0.9, "balanced pipeline reaches full rate: {th}");
+    }
+
+    #[test]
+    fn variable_latency_block_gets_vl_controller() {
+        let mut dp = SyncDatapath::new("vl");
+        let i = dp.input("in");
+        let r = dp.register("r", false);
+        let m = dp.var_latency_block("mul");
+        let o = dp.output("out");
+        dp.wire(i, r, 0);
+        dp.wire(r, m, 0);
+        dp.wire(m, o, 0);
+        let net = elasticize(&dp).unwrap();
+        assert!(net
+            .components()
+            .any(|c| matches!(net.component(c).kind, ComponentKind::VarLatency)));
+    }
+
+    #[test]
+    fn early_block_gets_early_join() {
+        use crate::ee::EeTerm;
+        let mut dp = SyncDatapath::new("mux");
+        let sel = dp.input("sel");
+        let a = dp.input("a");
+        let b = dp.input("b");
+        let rs = dp.register("rs", false);
+        let ra = dp.register("ra", false);
+        let rb = dp.register("rb", false);
+        let ee = EarlyEval::new(
+            0,
+            vec![
+                EeTerm { guard_mask: 1, guard_value: 0, required: vec![1], select: 1 },
+                EeTerm { guard_mask: 1, guard_value: 1, required: vec![2], select: 2 },
+            ],
+        );
+        let mux = dp.early_block("mux", 3, ee);
+        let o = dp.output("out");
+        dp.wire(sel, rs, 0);
+        dp.wire(a, ra, 0);
+        dp.wire(b, rb, 0);
+        dp.wire(rs, mux, 0);
+        dp.wire(ra, mux, 1);
+        dp.wire(rb, mux, 2);
+        dp.wire(mux, o, 0);
+        let net = elasticize(&dp).unwrap();
+        let has_ej = net.components().any(|c| {
+            matches!(&net.component(c).kind, ComponentKind::Join { ee: Some(_), .. })
+        });
+        assert!(has_ej);
+    }
+}

@@ -1,0 +1,109 @@
+use std::fmt;
+
+use crate::channel::ChanId;
+use crate::network::CompId;
+
+/// Errors from building or simulating elastic networks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A component id referenced an index outside the network.
+    UnknownComponent(CompId),
+    /// A channel id referenced an index outside the network.
+    UnknownChannel(ChanId),
+    /// A port was connected more than once, or the port index is out of
+    /// range for the component.
+    BadPort {
+        /// Component whose port is at fault.
+        comp: CompId,
+        /// The port index.
+        port: usize,
+        /// Whether it is an input port.
+        input: bool,
+    },
+    /// After building, some port was left unconnected.
+    UnconnectedPort {
+        /// Component whose port is dangling.
+        comp: CompId,
+        /// The port index.
+        port: usize,
+        /// Whether it is an input port.
+        input: bool,
+    },
+    /// A cycle of components exists with no elastic buffer stage on it —
+    /// composing the controllers would create a combinational cycle.
+    BufferlessCycle(Vec<String>),
+    /// An early-evaluation function failed validation.
+    BadEarlyEval(String),
+    /// Signal evaluation failed to converge (controller implementation bug).
+    NoFixpoint,
+    /// A protocol violation was observed at runtime on a channel.
+    ProtocolViolation {
+        /// Offending channel.
+        channel: ChanId,
+        /// What was violated.
+        message: String,
+    },
+    /// Underlying netlist error (compilation only).
+    Netlist(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownComponent(c) => write!(f, "unknown component id {}", c.index()),
+            CoreError::UnknownChannel(c) => write!(f, "unknown channel id {}", c.index()),
+            CoreError::BadPort { comp, port, input } => write!(
+                f,
+                "component {} {} port {port} is out of range or already connected",
+                comp.index(),
+                if *input { "input" } else { "output" }
+            ),
+            CoreError::UnconnectedPort { comp, port, input } => write!(
+                f,
+                "component {} {} port {port} is not connected",
+                comp.index(),
+                if *input { "input" } else { "output" }
+            ),
+            CoreError::BufferlessCycle(names) => {
+                write!(f, "combinational (buffer-free) cycle through: {}", names.join(" -> "))
+            }
+            CoreError::BadEarlyEval(msg) => write!(f, "invalid early-evaluation function: {msg}"),
+            CoreError::NoFixpoint => write!(f, "signal evaluation did not converge"),
+            CoreError::ProtocolViolation { channel, message } => {
+                write!(f, "protocol violation on channel {}: {message}", channel.index())
+            }
+            CoreError::Netlist(e) => write!(f, "netlist error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<elastic_netlist::NetlistError> for CoreError {
+    fn from(e: elastic_netlist::NetlistError) -> Self {
+        CoreError::Netlist(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase() {
+        for e in [
+            CoreError::NoFixpoint,
+            CoreError::BadEarlyEval("x".into()),
+            CoreError::BufferlessCycle(vec!["a".into()]),
+        ] {
+            assert!(e.to_string().chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_trait() {
+        fn assert_err<E: std::error::Error + Send + Sync>() {}
+        assert_err::<CoreError>();
+    }
+}

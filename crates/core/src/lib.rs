@@ -1,0 +1,58 @@
+//! Synchronous elastic circuits with early evaluation and token counterflow.
+//!
+//! This crate implements the contribution of Cortadella & Kishinevsky,
+//! *"Synchronous Elastic Circuits with Early Evaluation and Token
+//! Counterflow"* (DAC 2007):
+//!
+//! * the **SELF protocol** — Valid/Stop channels with Transfer / Idle /
+//!   Retry states and persistent senders ([`protocol`]),
+//! * **dual channels** carrying a positive token flow `(V⁺,S⁺)` forward and
+//!   a negative anti-token flow `(V⁻,S⁻)` backward, annihilating on contact
+//!   ([`channel`]),
+//! * the **elastic controller library**: elastic half-buffers and buffers,
+//!   lazy joins, eager forks, their counterflow duals, the early-evaluation
+//!   join that *generates* anti-tokens, passive anti-token interfaces and
+//!   variable-latency (go/done/ack) controllers ([`network`], [`sim`]),
+//! * a **compiler to gate-level netlists** ([`compile`]) for area reports,
+//!   export and model checking,
+//! * the **elasticization flow** of Sect. 6 ([`elasticize`]) and the paper's
+//!   example system with all Table 1 configurations ([`systems`]),
+//! * verification harnesses reproducing Fig. 8 ([`verify`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use elastic_core::systems::{paper_example, Config};
+//! use elastic_core::sim::{BehavSim, RandomEnv};
+//!
+//! # fn main() -> Result<(), elastic_core::CoreError> {
+//! let system = paper_example(Config::ActiveAntiTokens)?;
+//! let mut sim = BehavSim::new(&system.network)?;
+//! let mut env = RandomEnv::new(1, system.env_config.clone());
+//! sim.run(&mut env, 1000)?;
+//! let th = sim.report().throughput(system.output_channel);
+//! assert!(th > 0.0 && th <= 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+
+pub mod channel;
+pub mod compile;
+pub mod dmg_bridge;
+pub mod ee;
+pub mod elasticize;
+pub mod network;
+pub mod protocol;
+pub mod sim;
+pub mod stats;
+pub mod systems;
+pub mod verify;
+
+pub use channel::{ChanId, ChannelEvent, ChannelSignals};
+pub use ee::{EarlyEval, EeTerm};
+pub use error::CoreError;
+pub use network::{CompId, Component, ComponentKind, ElasticNetwork};

@@ -1,0 +1,617 @@
+//! Elastic networks: components wired by dual channels.
+//!
+//! A network is the control-layer view of an elastic system: sources and
+//! sinks abstract the environment, elastic half-buffer stages provide
+//! storage, joins/forks synchronize flows, early-evaluation joins generate
+//! anti-tokens, and variable-latency units wrap multi-cycle datapath blocks
+//! behind a go/done/ack handshake.
+//!
+//! The same network drives both back-ends: the reference behavioural
+//! simulator ([`crate::sim`]) and the gate-level compiler
+//! ([`crate::compile`]).
+
+use std::fmt;
+
+use crate::channel::ChanId;
+use crate::ee::EarlyEval;
+use crate::error::CoreError;
+
+/// Identifier of a component in an [`ElasticNetwork`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CompId(pub(crate) u32);
+
+impl CompId {
+    /// Dense index of this component.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CompId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+/// The kind (and static parameters) of a component.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ComponentKind {
+    /// Environment producer: offers tokens on its single output channel
+    /// according to the environment policy; absorbs anti-tokens passively
+    /// (`S⁻ = ¬V⁺`), annihilating them against its own pending tokens.
+    Source,
+    /// Environment consumer on a single input channel: accepts or stalls
+    /// tokens and may emit anti-tokens (kills) per the environment policy.
+    Sink,
+    /// Elastic buffer (EB): forward latency one cycle, capacity two tokens
+    /// *or* two anti-tokens, with both stop rails registered — the
+    /// flip-flop equivalent of the paper's pair of elastic half-buffers,
+    /// whose latched V and S signals cut every combinational path
+    /// (Sect. 4, Fig. 5).
+    Eb {
+        /// Whether the buffer powers up holding one token.
+        init_token: bool,
+        /// Payload of the initial token.
+        init_data: u64,
+    },
+    /// Join: `inputs` input channels, one output. `ee = None` is the lazy
+    /// join (fires when all inputs are valid); `Some` is the
+    /// early-evaluation join of Fig. 6(c), which generates anti-tokens on
+    /// the inputs it fired without.
+    Join {
+        /// Number of input channels.
+        inputs: usize,
+        /// Optional early-evaluation function.
+        ee: Option<EarlyEval>,
+    },
+    /// Eager fork: one input, `outputs` output channels. Each output fires
+    /// as soon as its consumer is ready; per-output flip-flops remember who
+    /// already took the current token (Fig. 4(b)/6(b)).
+    Fork {
+        /// Number of output channels.
+        outputs: usize,
+    },
+    /// Variable-latency unit (Fig. 7(b)): one input, one output, go/done/ack
+    /// handshake around a multi-cycle computation whose latency is drawn by
+    /// the environment policy. A busy unit annihilates an arriving
+    /// anti-token against its in-flight token; an idle unit lets anti-tokens
+    /// flow through backwards.
+    VarLatency,
+}
+
+impl ComponentKind {
+    /// Number of input ports.
+    pub fn num_inputs(&self) -> usize {
+        match self {
+            ComponentKind::Source => 0,
+            ComponentKind::Sink | ComponentKind::Eb { .. } | ComponentKind::VarLatency => 1,
+            ComponentKind::Join { inputs, .. } => *inputs,
+            ComponentKind::Fork { .. } => 1,
+        }
+    }
+
+    /// Number of output ports.
+    pub fn num_outputs(&self) -> usize {
+        match self {
+            ComponentKind::Sink => 0,
+            ComponentKind::Source | ComponentKind::Eb { .. } | ComponentKind::VarLatency => 1,
+            ComponentKind::Join { .. } => 1,
+            ComponentKind::Fork { outputs } => *outputs,
+        }
+    }
+
+    /// Whether every combinational rail (forward valid *and* both backward
+    /// stop rails) is registered through this component. Only elastic
+    /// buffers cut all of them; variable-latency units register V⁺ but pass
+    /// the stop rails through, and joins/forks are fully combinational —
+    /// so every cycle of the network must contain an [`ComponentKind::Eb`].
+    pub fn cuts_forward_path(&self) -> bool {
+        matches!(
+            self,
+            ComponentKind::Source | ComponentKind::Sink | ComponentKind::Eb { .. }
+        )
+    }
+}
+
+/// A component instance: kind plus display name.
+#[derive(Debug, Clone)]
+pub struct Component {
+    /// Static parameters.
+    pub kind: ComponentKind,
+    /// Display name (used in diagnostics, stats and compiled net names).
+    pub name: String,
+}
+
+/// A channel instance.
+#[derive(Debug, Clone)]
+pub struct Channel {
+    /// Display name.
+    pub name: String,
+    /// Producing component and its output-port index.
+    pub from: (CompId, usize),
+    /// Consuming component and its input-port index.
+    pub to: (CompId, usize),
+    /// Whether the channel uses the passive anti-token interface of
+    /// Fig. 7(a): anti-tokens are stopped at this boundary (`S⁻ = ¬V⁺`) and
+    /// wait for a token to kill instead of propagating further upstream.
+    pub passive: bool,
+}
+
+/// An elastic control network.
+///
+/// Build with the `add_*` methods and [`ElasticNetwork::connect`], then
+/// validate with [`ElasticNetwork::check`] (the simulator and compiler call
+/// it for you).
+///
+/// # Example
+///
+/// ```
+/// use elastic_core::network::ElasticNetwork;
+///
+/// # fn main() -> Result<(), elastic_core::CoreError> {
+/// let mut net = ElasticNetwork::new("pipeline");
+/// let src = net.add_source("src");
+/// let b = net.add_buffer("b", 2, 1); // one EB (2 stages), one initial token
+/// let snk = net.add_sink("snk");
+/// net.connect(src, 0, b, 0, "in")?;
+/// net.connect(b, 0, snk, 0, "out")?;
+/// net.check()?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ElasticNetwork {
+    name: String,
+    components: Vec<Component>,
+    channels: Vec<Channel>,
+    /// For each component: input-port -> channel (filled by `connect`).
+    in_conn: Vec<Vec<Option<ChanId>>>,
+    /// For each component: output-port -> channel.
+    out_conn: Vec<Vec<Option<ChanId>>>,
+    /// `(first stage, last stage)` pairs of buffer chains, so that
+    /// connecting *from* a chain's handle attaches to its last stage.
+    buffer_alias: Vec<(CompId, CompId)>,
+}
+
+impl ElasticNetwork {
+    /// Creates an empty network.
+    pub fn new(name: impl Into<String>) -> Self {
+        ElasticNetwork {
+            name: name.into(),
+            components: Vec::new(),
+            channels: Vec::new(),
+            in_conn: Vec::new(),
+            out_conn: Vec::new(),
+            buffer_alias: Vec::new(),
+        }
+    }
+
+    /// Network name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a component of arbitrary kind.
+    pub fn add(&mut self, name: impl Into<String>, kind: ComponentKind) -> CompId {
+        let id = CompId(self.components.len() as u32);
+        self.in_conn.push(vec![None; kind.num_inputs()]);
+        self.out_conn.push(vec![None; kind.num_outputs()]);
+        self.components.push(Component { kind, name: name.into() });
+        id
+    }
+
+    /// Adds an environment source.
+    pub fn add_source(&mut self, name: impl Into<String>) -> CompId {
+        self.add(name, ComponentKind::Source)
+    }
+
+    /// Adds an environment sink.
+    pub fn add_sink(&mut self, name: impl Into<String>) -> CompId {
+        self.add(name, ComponentKind::Sink)
+    }
+
+    /// Adds a single elastic buffer (capacity 2, latency 1).
+    pub fn add_eb(&mut self, name: impl Into<String>, init_token: bool) -> CompId {
+        self.add(name, ComponentKind::Eb { init_token, init_data: 0 })
+    }
+
+    /// Adds a chain of `stages` elastic buffers carrying `tokens` initial
+    /// tokens, placed in the downstream-most buffers like the paper's
+    /// initialized EBs.
+    ///
+    /// The stages are separate `Eb` components named `<name>.<i>` and wired
+    /// internally. The returned handle stands for the whole chain when
+    /// passed to [`ElasticNetwork::connect`]: connecting *to* it attaches to
+    /// the first stage's input; connecting *from* it attaches to the last
+    /// stage's output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages == 0` or `tokens > stages`.
+    pub fn add_buffer(&mut self, name: impl Into<String>, stages: usize, tokens: usize) -> CompId {
+        let name = name.into();
+        assert!(stages > 0, "buffer needs at least one stage");
+        assert!(tokens <= stages, "one initial token per stage at most");
+        let mut ids = Vec::with_capacity(stages);
+        for i in 0..stages {
+            // Fill tokens from the output end (stages count down).
+            let holds = i >= stages - tokens;
+            let id = self.add(
+                format!("{name}.{i}"),
+                ComponentKind::Eb { init_token: holds, init_data: 0 },
+            );
+            ids.push(id);
+        }
+        for w in ids.windows(2) {
+            self.connect(w[0], 0, w[1], 0, format!("{name}.int{}", w[0].0))
+                .expect("fresh ports cannot clash");
+        }
+        // Alias bookkeeping: input = first stage, output = last stage.
+        self.buffer_alias.push((ids[0], *ids.last().expect("non-empty")));
+        ids[0]
+    }
+
+    /// Adds a lazy join with `inputs` inputs.
+    pub fn add_join(&mut self, name: impl Into<String>, inputs: usize) -> CompId {
+        self.add(name, ComponentKind::Join { inputs, ee: None })
+    }
+
+    /// Adds an early-evaluation join.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError::BadEarlyEval`] from validation.
+    pub fn add_early_join(
+        &mut self,
+        name: impl Into<String>,
+        inputs: usize,
+        ee: EarlyEval,
+    ) -> Result<CompId, CoreError> {
+        ee.validate(inputs)?;
+        Ok(self.add(name, ComponentKind::Join { inputs, ee: Some(ee) }))
+    }
+
+    /// Adds an eager fork with `outputs` outputs.
+    pub fn add_fork(&mut self, name: impl Into<String>, outputs: usize) -> CompId {
+        self.add(name, ComponentKind::Fork { outputs })
+    }
+
+    /// Adds a variable-latency unit.
+    pub fn add_var_latency(&mut self, name: impl Into<String>) -> CompId {
+        self.add(name, ComponentKind::VarLatency)
+    }
+
+    /// Connects output port `out_port` of `from` to input port `in_port` of
+    /// `to` with a fresh channel.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BadPort`] if a port index is out of range or already
+    /// connected; [`CoreError::UnknownComponent`] for bad ids.
+    pub fn connect(
+        &mut self,
+        from: CompId,
+        out_port: usize,
+        to: CompId,
+        in_port: usize,
+        name: impl Into<String>,
+    ) -> Result<ChanId, CoreError> {
+        let from = self.resolve_out(from);
+        let to = self.resolve_in(to);
+        self.check_comp(from)?;
+        self.check_comp(to)?;
+        let out_slot = self
+            .out_conn
+            .get_mut(from.index())
+            .and_then(|v| v.get_mut(out_port))
+            .ok_or(CoreError::BadPort { comp: from, port: out_port, input: false })?;
+        if out_slot.is_some() {
+            return Err(CoreError::BadPort { comp: from, port: out_port, input: false });
+        }
+        let id = ChanId(self.channels.len() as u32);
+        *out_slot = Some(id);
+        let in_slot = self
+            .in_conn
+            .get_mut(to.index())
+            .and_then(|v| v.get_mut(in_port))
+            .ok_or(CoreError::BadPort { comp: to, port: in_port, input: true })?;
+        if in_slot.is_some() {
+            // roll back the output slot
+            self.out_conn[from.index()][out_port] = None;
+            return Err(CoreError::BadPort { comp: to, port: in_port, input: true });
+        }
+        *in_slot = Some(id);
+        self.channels.push(Channel {
+            name: name.into(),
+            from: (from, out_port),
+            to: (to, in_port),
+            passive: false,
+        });
+        Ok(id)
+    }
+
+    /// Marks a channel as using the passive anti-token interface
+    /// (Fig. 7(a)).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownChannel`] for a bad id.
+    pub fn set_passive(&mut self, chan: ChanId) -> Result<(), CoreError> {
+        self.channels
+            .get_mut(chan.index())
+            .ok_or(CoreError::UnknownChannel(chan))?
+            .passive = true;
+        Ok(())
+    }
+
+    /// Number of components (buffer chains count one component per stage).
+    pub fn num_components(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Number of channels.
+    pub fn num_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Component metadata.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn component(&self, id: CompId) -> &Component {
+        &self.components[id.index()]
+    }
+
+    /// Channel metadata.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn channel(&self, id: ChanId) -> &Channel {
+        &self.channels[id.index()]
+    }
+
+    /// Iterator over component ids.
+    pub fn components(&self) -> impl ExactSizeIterator<Item = CompId> + '_ {
+        (0..self.components.len() as u32).map(CompId)
+    }
+
+    /// Iterator over channel ids.
+    pub fn channels(&self) -> impl ExactSizeIterator<Item = ChanId> + '_ {
+        (0..self.channels.len() as u32).map(ChanId)
+    }
+
+    /// Looks up a component by name (first match).
+    pub fn component_by_name(&self, name: &str) -> Option<CompId> {
+        self.components.iter().position(|c| c.name == name).map(|i| CompId(i as u32))
+    }
+
+    /// Looks up a channel by name (first match).
+    pub fn channel_by_name(&self, name: &str) -> Option<ChanId> {
+        self.channels.iter().position(|c| c.name == name).map(|i| ChanId(i as u32))
+    }
+
+    /// Channel connected to an input port, if wired.
+    pub fn input_channel(&self, comp: CompId, port: usize) -> Option<ChanId> {
+        self.in_conn.get(comp.index()).and_then(|v| v.get(port)).copied().flatten()
+    }
+
+    /// Channel connected to an output port, if wired.
+    pub fn output_channel(&self, comp: CompId, port: usize) -> Option<ChanId> {
+        self.out_conn.get(comp.index()).and_then(|v| v.get(port)).copied().flatten()
+    }
+
+    /// Validates the network: all ports wired, and no buffer-free cycle.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnconnectedPort`] or [`CoreError::BufferlessCycle`].
+    pub fn check(&self) -> Result<(), CoreError> {
+        for comp in self.components() {
+            for (port, slot) in self.in_conn[comp.index()].iter().enumerate() {
+                if slot.is_none() {
+                    return Err(CoreError::UnconnectedPort { comp, port, input: true });
+                }
+            }
+            for (port, slot) in self.out_conn[comp.index()].iter().enumerate() {
+                if slot.is_none() {
+                    return Err(CoreError::UnconnectedPort { comp, port, input: false });
+                }
+            }
+        }
+        // Cycle check over pass-through (non-registering) components.
+        self.check_bufferless_cycles()
+    }
+
+    fn check_bufferless_cycles(&self) -> Result<(), CoreError> {
+        // DFS over components, following channels forward, where only
+        // pass-through components propagate the path.
+        const WHITE: u8 = 0;
+        const GREY: u8 = 1;
+        const BLACK: u8 = 2;
+        let n = self.components.len();
+        let mut colour = vec![WHITE; n];
+        for start in 0..n {
+            if colour[start] != WHITE || self.components[start].kind.cuts_forward_path() {
+                continue;
+            }
+            let mut stack = vec![(start, 0usize)];
+            let mut path = vec![start];
+            colour[start] = GREY;
+            while let Some(&mut (v, ref mut cursor)) = stack.last_mut() {
+                let outs = &self.out_conn[v];
+                if *cursor < outs.len() {
+                    let chan = outs[*cursor].expect("checked wired");
+                    *cursor += 1;
+                    let w = self.channels[chan.index()].to.0.index();
+                    if self.components[w].kind.cuts_forward_path() {
+                        continue;
+                    }
+                    match colour[w] {
+                        WHITE => {
+                            colour[w] = GREY;
+                            stack.push((w, 0));
+                            path.push(w);
+                        }
+                        GREY => {
+                            let pos = path.iter().position(|&p| p == w).expect("on path");
+                            let names = path[pos..]
+                                .iter()
+                                .map(|&p| self.components[p].name.clone())
+                                .collect();
+                            return Err(CoreError::BufferlessCycle(names));
+                        }
+                        _ => {}
+                    }
+                } else {
+                    colour[v] = BLACK;
+                    stack.pop();
+                    path.pop();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_comp(&self, id: CompId) -> Result<(), CoreError> {
+        if id.index() >= self.components.len() {
+            return Err(CoreError::UnknownComponent(id));
+        }
+        Ok(())
+    }
+
+    fn resolve_out(&self, id: CompId) -> CompId {
+        for &(first, last) in &self.buffer_alias {
+            if id == first {
+                return last;
+            }
+        }
+        id
+    }
+
+    fn resolve_in(&self, id: CompId) -> CompId {
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_linear_pipeline() {
+        let mut net = ElasticNetwork::new("lin");
+        let src = net.add_source("src");
+        let b1 = net.add_eb("b1", true);
+        let b2 = net.add_eb("b2", false);
+        let snk = net.add_sink("snk");
+        net.connect(src, 0, b1, 0, "c0").unwrap();
+        net.connect(b1, 0, b2, 0, "c1").unwrap();
+        net.connect(b2, 0, snk, 0, "c2").unwrap();
+        net.check().unwrap();
+        assert_eq!(net.num_components(), 4);
+        assert_eq!(net.num_channels(), 3);
+    }
+
+    #[test]
+    fn unconnected_port_detected() {
+        let mut net = ElasticNetwork::new("bad");
+        let src = net.add_source("src");
+        let snk = net.add_sink("snk");
+        let _ = src;
+        let _ = snk;
+        let err = net.check().unwrap_err();
+        assert!(matches!(err, CoreError::UnconnectedPort { .. }));
+    }
+
+    #[test]
+    fn double_connection_rejected() {
+        let mut net = ElasticNetwork::new("dup");
+        let src = net.add_source("src");
+        let f = net.add_fork("f", 2);
+        let snk1 = net.add_sink("s1");
+        net.connect(src, 0, f, 0, "a").unwrap();
+        let err = net.connect(src, 0, snk1, 0, "b").unwrap_err();
+        assert!(matches!(err, CoreError::BadPort { input: false, .. }));
+    }
+
+    #[test]
+    fn bufferless_cycle_detected() {
+        // fork -> join -> fork with no buffer: combinational loop.
+        let mut net = ElasticNetwork::new("loop");
+        let src = net.add_source("src");
+        let join = net.add_join("j", 2);
+        let fork = net.add_fork("f", 2);
+        let snk = net.add_sink("snk");
+        net.connect(src, 0, join, 0, "in").unwrap();
+        net.connect(join, 0, fork, 0, "jf").unwrap();
+        net.connect(fork, 0, join, 1, "fb").unwrap();
+        net.connect(fork, 1, snk, 0, "out").unwrap();
+        let err = net.check().unwrap_err();
+        assert!(matches!(err, CoreError::BufferlessCycle(_)), "{err:?}");
+    }
+
+    #[test]
+    fn buffered_cycle_is_fine() {
+        let mut net = ElasticNetwork::new("ring");
+        let join = net.add_join("j", 2);
+        let fork = net.add_fork("f", 2);
+        let b = net.add_eb("b", true);
+        let src = net.add_source("src");
+        let snk = net.add_sink("snk");
+        net.connect(src, 0, join, 0, "in").unwrap();
+        net.connect(join, 0, fork, 0, "jf").unwrap();
+        net.connect(fork, 0, b, 0, "fb").unwrap();
+        net.connect(b, 0, join, 1, "bj").unwrap();
+        net.connect(fork, 1, snk, 0, "out").unwrap();
+        net.check().unwrap();
+    }
+
+    #[test]
+    fn buffer_chain_aliases_last_stage_output() {
+        let mut net = ElasticNetwork::new("chain");
+        let src = net.add_source("src");
+        let eb = net.add_buffer("eb", 2, 1);
+        let snk = net.add_sink("snk");
+        net.connect(src, 0, eb, 0, "in").unwrap();
+        net.connect(eb, 0, snk, 0, "out").unwrap();
+        net.check().unwrap();
+        // Two stages created, internal channel wired.
+        assert_eq!(net.num_components(), 4);
+        assert_eq!(net.num_channels(), 3);
+        let last = net.component_by_name("eb.1").unwrap();
+        match &net.component(last).kind {
+            ComponentKind::Eb { init_token, .. } => assert!(*init_token),
+            other => panic!("unexpected {other:?}"),
+        }
+        let first = net.component_by_name("eb.0").unwrap();
+        match &net.component(first).kind {
+            ComponentKind::Eb { init_token, .. } => assert!(!*init_token),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn passive_marking() {
+        let mut net = ElasticNetwork::new("p");
+        let src = net.add_source("src");
+        let snk = net.add_sink("snk");
+        let c = net.connect(src, 0, snk, 0, "c").unwrap();
+        net.set_passive(c).unwrap();
+        assert!(net.channel(c).passive);
+        assert!(net.set_passive(ChanId(9)).is_err());
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let mut net = ElasticNetwork::new("n");
+        let src = net.add_source("alpha");
+        let snk = net.add_sink("beta");
+        let c = net.connect(src, 0, snk, 0, "alpha->beta").unwrap();
+        assert_eq!(net.component_by_name("alpha"), Some(src));
+        assert_eq!(net.channel_by_name("alpha->beta"), Some(c));
+        assert_eq!(net.input_channel(snk, 0), Some(c));
+        assert_eq!(net.output_channel(src, 0), Some(c));
+    }
+}

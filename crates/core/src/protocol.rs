@@ -1,0 +1,207 @@
+//! Runtime protocol monitoring.
+//!
+//! The SELF protocol restricts every channel trace to `(I*R*T)*` — once a
+//! sender asserts Valid it must persist, with unchanged data, until the
+//! transfer happens (paper Sect. 3). With counterflow there is a symmetric
+//! obligation on the negative rails. [`ProtocolMonitor`] checks both
+//! persistence properties plus data stability online, one observation per
+//! channel per cycle; the model checker proves the same properties
+//! exhaustively on the gate-level controllers (Sect. 5).
+
+use crate::channel::{ChanId, ChannelEvent, ChannelSignals};
+use crate::error::CoreError;
+
+/// Per-channel trace state for the `(I*R*T)*` language monitor.
+#[derive(Debug, Clone, Copy, Default)]
+struct ChannelTrace {
+    /// Previous cycle was a positive retry: V⁺ must persist.
+    retry_pos: bool,
+    /// Previous cycle was a negative retry: V⁻ must persist.
+    retry_neg: bool,
+    /// Data offered during the pending positive retry.
+    held_data: u64,
+}
+
+/// Online monitor for protocol persistence on every channel.
+#[derive(Debug, Clone)]
+pub struct ProtocolMonitor {
+    traces: Vec<ChannelTrace>,
+}
+
+impl ProtocolMonitor {
+    /// Creates a monitor for `num_channels` channels.
+    pub fn new(num_channels: usize) -> Self {
+        ProtocolMonitor { traces: vec![ChannelTrace::default(); num_channels] }
+    }
+
+    /// Feeds one settled cycle of one channel.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::ProtocolViolation`] when persistence is broken:
+    ///
+    /// * a positive Retry not followed by Valid (`AG (V⁺∧S⁺ → AX V⁺)`),
+    /// * data changing during a Retry,
+    /// * a negative Retry not followed by V⁻ (`AG (V⁻∧S⁻ → AX V⁻)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chan` is out of range for this monitor.
+    pub fn observe(&mut self, chan: ChanId, sig: ChannelSignals) -> Result<(), CoreError> {
+        let trace = &mut self.traces[chan.index()];
+        if trace.retry_pos {
+            if !sig.vp {
+                return Err(CoreError::ProtocolViolation {
+                    channel: chan,
+                    message: "V+ dropped after a retry (persistence)".into(),
+                });
+            }
+            if sig.data != trace.held_data {
+                return Err(CoreError::ProtocolViolation {
+                    channel: chan,
+                    message: format!(
+                        "data changed during retry: held {} got {}",
+                        trace.held_data, sig.data
+                    ),
+                });
+            }
+        }
+        if trace.retry_neg && !sig.vn {
+            return Err(CoreError::ProtocolViolation {
+                channel: chan,
+                message: "V- dropped after a negative retry (persistence)".into(),
+            });
+        }
+        trace.retry_pos = matches!(sig.event(), ChannelEvent::Retry);
+        trace.retry_neg = matches!(sig.event(), ChannelEvent::NegativeRetry);
+        if trace.retry_pos {
+            trace.held_data = sig.data;
+        }
+        Ok(())
+    }
+
+    /// Resets all per-channel trace state.
+    pub fn reset(&mut self) {
+        for t in &mut self.traces {
+            *t = ChannelTrace::default();
+        }
+    }
+}
+
+/// Classifies a whole trace of channel signals, returning the event string
+/// (`T`, `R`, `I`, `N`/`n` for negative transfer/retry, `K` for kill) —
+/// useful in tests and the Fig. 2 demo binary.
+pub fn trace_string<I: IntoIterator<Item = ChannelSignals>>(signals: I) -> String {
+    signals
+        .into_iter()
+        .map(|s| match s.event() {
+            ChannelEvent::PositiveTransfer => 'T',
+            ChannelEvent::Retry => 'R',
+            ChannelEvent::Idle => 'I',
+            ChannelEvent::NegativeTransfer => 'N',
+            ChannelEvent::NegativeRetry => 'n',
+            ChannelEvent::Kill => 'K',
+        })
+        .collect()
+}
+
+/// Checks that a positive-rail trace string belongs to `(I*R*T)*` — the
+/// language of the SELF protocol (Fig. 2). Kills count as transfers for the
+/// positive rail (the token left the channel), and negative-rail events are
+/// ignored.
+pub fn is_self_language(trace: &str) -> bool {
+    // State machine: outside a burst (accepts I), or inside a retry burst
+    // (accepts R until T).
+    let mut in_retry = false;
+    for c in trace.chars() {
+        match (in_retry, c) {
+            (false, 'I' | 'N' | 'n') => {}
+            (false, 'T' | 'K') => {}
+            (false, 'R') => in_retry = true,
+            (true, 'R') => {}
+            (true, 'T' | 'K') => in_retry = false,
+            (true, _) => return false, // retry burst broken
+            (false, _) => return false,
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(vp: bool, sp: bool, vn: bool, sn: bool, data: u64) -> ChannelSignals {
+        ChannelSignals { vp, sp, vn, sn, data }
+    }
+
+    #[test]
+    fn persistence_ok() {
+        let mut m = ProtocolMonitor::new(1);
+        let c = ChanId(0);
+        m.observe(c, sig(true, true, false, false, 7)).unwrap(); // R
+        m.observe(c, sig(true, true, false, false, 7)).unwrap(); // R
+        m.observe(c, sig(true, false, false, false, 7)).unwrap(); // T
+        m.observe(c, sig(false, false, false, false, 0)).unwrap(); // I
+    }
+
+    #[test]
+    fn dropped_valid_detected() {
+        let mut m = ProtocolMonitor::new(1);
+        let c = ChanId(0);
+        m.observe(c, sig(true, true, false, false, 7)).unwrap();
+        let err = m.observe(c, sig(false, false, false, false, 0)).unwrap_err();
+        assert!(matches!(err, CoreError::ProtocolViolation { .. }));
+    }
+
+    #[test]
+    fn changed_data_detected() {
+        let mut m = ProtocolMonitor::new(1);
+        let c = ChanId(0);
+        m.observe(c, sig(true, true, false, false, 7)).unwrap();
+        let err = m.observe(c, sig(true, true, false, false, 8)).unwrap_err();
+        assert!(err.to_string().contains("data changed"), "{err}");
+    }
+
+    #[test]
+    fn negative_persistence() {
+        let mut m = ProtocolMonitor::new(1);
+        let c = ChanId(0);
+        m.observe(c, sig(false, false, true, true, 0)).unwrap(); // neg retry
+        let err = m.observe(c, sig(false, false, false, false, 0)).unwrap_err();
+        assert!(err.to_string().contains("V- dropped"), "{err}");
+    }
+
+    #[test]
+    fn kill_resolves_a_retry_burst() {
+        let mut m = ProtocolMonitor::new(1);
+        let c = ChanId(0);
+        m.observe(c, sig(true, true, false, false, 3)).unwrap(); // R
+        // Next cycle the consumer kills: V+ still offered, V- asserted.
+        m.observe(c, sig(true, false, true, false, 3)).unwrap(); // K
+        m.observe(c, sig(false, false, false, false, 0)).unwrap(); // I
+    }
+
+    #[test]
+    fn language_membership() {
+        assert!(is_self_language("IIRRTITRT"));
+        assert!(is_self_language(""));
+        assert!(is_self_language("TTTT"));
+        assert!(is_self_language("RK"));
+        assert!(!is_self_language("RRI"), "retry burst cannot fall idle");
+        assert!(!is_self_language("RIT"));
+    }
+
+    #[test]
+    fn trace_string_rendering() {
+        let t = trace_string([
+            sig(false, false, false, false, 0),
+            sig(true, true, false, false, 0),
+            sig(true, false, false, false, 0),
+            sig(true, false, true, false, 0),
+            sig(false, false, true, false, 0),
+            sig(false, false, true, true, 0),
+        ]);
+        assert_eq!(t, "IRTKNn");
+    }
+}

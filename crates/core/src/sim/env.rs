@@ -1,0 +1,302 @@
+//! Environment models: who offers tokens, who stops or kills them, and how
+//! long variable-latency units take.
+//!
+//! The paper's Verilog testbench "incorporates statements to randomly
+//! generate the values of the control signals according to the probability
+//! distributions defined by the user" and "random delays for the
+//! variable-latency units" (Sect. 6.1). [`RandomEnv`] is that testbench.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::network::CompId;
+
+/// Decides the per-cycle behaviour of sources, sinks and variable-latency
+/// units during behavioural simulation.
+///
+/// Components are identified both by id and by display name so
+/// configurations can be written against stable names.
+pub trait Environment {
+    /// Called when `comp` (a source) is idle: return `Some(payload)` to
+    /// offer a new token this cycle.
+    fn source_offer(&mut self, comp: CompId, name: &str, time: u64) -> Option<u64>;
+
+    /// Whether the sink stops (back-pressures) this cycle.
+    fn sink_stop(&mut self, comp: CompId, name: &str, time: u64) -> bool;
+
+    /// Whether the sink launches an anti-token this cycle (ignored while a
+    /// previous anti-token is still pending — persistence is enforced by
+    /// the simulator).
+    fn sink_kill(&mut self, comp: CompId, name: &str, time: u64) -> bool;
+
+    /// Latency draw for a variable-latency unit accepting a token now.
+    /// Values are clamped to at least 1 by the simulator.
+    fn vl_latency(&mut self, comp: CompId, name: &str, time: u64) -> u32;
+}
+
+/// Payload generator for sources.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataGen {
+    /// Always the same value.
+    Const(u64),
+    /// 0, 1, 2, ... (handy for checking FIFO order).
+    Counter,
+    /// Alternating 0/1 — the producers of the paper's Fig. 8(b) correctness
+    /// testbench.
+    Alternate,
+    /// Weighted choice among values (used for the opcode distribution of
+    /// the paper's example: 0.6/0.3/0.1).
+    Weighted(Vec<(u64, f64)>),
+}
+
+/// Per-source configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceCfg {
+    /// Probability of offering a token on an idle cycle.
+    pub rate: f64,
+    /// Payload generator.
+    pub data: DataGen,
+}
+
+impl Default for SourceCfg {
+    fn default() -> Self {
+        SourceCfg { rate: 1.0, data: DataGen::Const(0) }
+    }
+}
+
+/// Per-sink configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SinkCfg {
+    /// Probability of stopping on any cycle.
+    pub stop_prob: f64,
+    /// Probability of launching an anti-token on any cycle (when none is
+    /// pending).
+    pub kill_prob: f64,
+}
+
+impl Default for SinkCfg {
+    fn default() -> Self {
+        SinkCfg { stop_prob: 0.0, kill_prob: 0.0 }
+    }
+}
+
+/// A weighted latency distribution for variable-latency units.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyDist {
+    /// `(latency, weight)` pairs; weights need not sum to 1.
+    pub choices: Vec<(u32, f64)>,
+}
+
+impl LatencyDist {
+    /// Single fixed latency.
+    pub fn fixed(latency: u32) -> Self {
+        LatencyDist { choices: vec![(latency, 1.0)] }
+    }
+
+    /// Weighted mixture, e.g. the paper's `M1`: 2 or 10 cycles with
+    /// probabilities 0.8 / 0.2.
+    pub fn weighted(choices: Vec<(u32, f64)>) -> Self {
+        LatencyDist { choices }
+    }
+
+    /// Expected latency.
+    pub fn mean(&self) -> f64 {
+        let total: f64 = self.choices.iter().map(|&(_, w)| w).sum();
+        self.choices.iter().map(|&(l, w)| f64::from(l) * w).sum::<f64>() / total
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> u32 {
+        let total: f64 = self.choices.iter().map(|&(_, w)| w).sum();
+        let mut x = rng.gen_range(0.0..total);
+        for &(l, w) in &self.choices {
+            if x < w {
+                return l;
+            }
+            x -= w;
+        }
+        self.choices.last().map(|&(l, _)| l).unwrap_or(1)
+    }
+}
+
+impl Default for LatencyDist {
+    fn default() -> Self {
+        LatencyDist::fixed(1)
+    }
+}
+
+/// Configuration of a [`RandomEnv`]: per-component overrides keyed by
+/// component display name, with defaults for unnamed components.
+#[derive(Debug, Clone, Default)]
+pub struct EnvConfig {
+    /// Source overrides by name.
+    pub sources: HashMap<String, SourceCfg>,
+    /// Sink overrides by name.
+    pub sinks: HashMap<String, SinkCfg>,
+    /// Variable-latency overrides by name.
+    pub vls: HashMap<String, LatencyDist>,
+    /// Default source behaviour (always offer, payload 0).
+    pub default_source: SourceCfg,
+    /// Default sink behaviour (always accept, never kill).
+    pub default_sink: SinkCfg,
+    /// Default latency (1 cycle).
+    pub default_vl: LatencyDist,
+}
+
+/// Seeded random environment implementing the paper's testbench behaviour.
+#[derive(Debug, Clone)]
+pub struct RandomEnv {
+    rng: StdRng,
+    cfg: EnvConfig,
+    counters: HashMap<CompId, u64>,
+}
+
+impl RandomEnv {
+    /// Creates a reproducible environment.
+    pub fn new(seed: u64, cfg: EnvConfig) -> Self {
+        RandomEnv { rng: StdRng::seed_from_u64(seed), cfg, counters: HashMap::new() }
+    }
+
+    fn gen_data(&mut self, comp: CompId, gen: &DataGen) -> u64 {
+        match gen {
+            DataGen::Const(v) => *v,
+            DataGen::Counter => {
+                let c = self.counters.entry(comp).or_insert(0);
+                let v = *c;
+                *c += 1;
+                v
+            }
+            DataGen::Alternate => {
+                let c = self.counters.entry(comp).or_insert(0);
+                let v = *c % 2;
+                *c += 1;
+                v
+            }
+            DataGen::Weighted(choices) => {
+                let total: f64 = choices.iter().map(|&(_, w)| w).sum();
+                let mut x = self.rng.gen_range(0.0..total);
+                for &(v, w) in choices {
+                    if x < w {
+                        return v;
+                    }
+                    x -= w;
+                }
+                choices.last().map(|&(v, _)| v).unwrap_or(0)
+            }
+        }
+    }
+}
+
+impl Environment for RandomEnv {
+    fn source_offer(&mut self, comp: CompId, name: &str, _time: u64) -> Option<u64> {
+        let cfg = self.cfg.sources.get(name).unwrap_or(&self.cfg.default_source).clone();
+        if cfg.rate >= 1.0 || self.rng.gen_bool(cfg.rate.clamp(0.0, 1.0)) {
+            Some(self.gen_data(comp, &cfg.data))
+        } else {
+            None
+        }
+    }
+
+    fn sink_stop(&mut self, _comp: CompId, name: &str, _time: u64) -> bool {
+        let cfg = self.cfg.sinks.get(name).copied().unwrap_or(self.cfg.default_sink);
+        cfg.stop_prob > 0.0 && self.rng.gen_bool(cfg.stop_prob.clamp(0.0, 1.0))
+    }
+
+    fn sink_kill(&mut self, _comp: CompId, name: &str, _time: u64) -> bool {
+        let cfg = self.cfg.sinks.get(name).copied().unwrap_or(self.cfg.default_sink);
+        cfg.kill_prob > 0.0 && self.rng.gen_bool(cfg.kill_prob.clamp(0.0, 1.0))
+    }
+
+    fn vl_latency(&mut self, _comp: CompId, name: &str, _time: u64) -> u32 {
+        let dist = self.cfg.vls.get(name).cloned().unwrap_or_else(|| self.cfg.default_vl.clone());
+        dist.sample(&mut self.rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_distribution_mean() {
+        let m1 = LatencyDist::weighted(vec![(2, 0.8), (10, 0.2)]);
+        assert!((m1.mean() - 3.6).abs() < 1e-12);
+        assert_eq!(LatencyDist::fixed(4).mean(), 4.0);
+    }
+
+    #[test]
+    fn latency_samples_come_from_support() {
+        let m2 = LatencyDist::weighted(vec![(1, 0.5), (2, 0.5)]);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut seen1 = false;
+        let mut seen2 = false;
+        for _ in 0..100 {
+            match m2.sample(&mut rng) {
+                1 => seen1 = true,
+                2 => seen2 = true,
+                other => panic!("impossible latency {other}"),
+            }
+        }
+        assert!(seen1 && seen2);
+    }
+
+    #[test]
+    fn weighted_data_matches_probabilities_roughly() {
+        let mut env = RandomEnv::new(
+            42,
+            EnvConfig {
+                default_source: SourceCfg {
+                    rate: 1.0,
+                    data: DataGen::Weighted(vec![(0, 0.6), (1, 0.3), (2, 0.1)]),
+                },
+                ..Default::default()
+            },
+        );
+        let mut counts = [0u32; 3];
+        for t in 0..10_000 {
+            let v = env.source_offer(CompId(0), "s", t).unwrap();
+            counts[v as usize] += 1;
+        }
+        assert!((counts[0] as f64 / 10_000.0 - 0.6).abs() < 0.03);
+        assert!((counts[1] as f64 / 10_000.0 - 0.3).abs() < 0.03);
+        assert!((counts[2] as f64 / 10_000.0 - 0.1).abs() < 0.03);
+    }
+
+    #[test]
+    fn alternate_generator_toggles() {
+        let mut env = RandomEnv::new(
+            1,
+            EnvConfig {
+                default_source: SourceCfg { rate: 1.0, data: DataGen::Alternate },
+                ..Default::default()
+            },
+        );
+        let seq: Vec<u64> =
+            (0..6).map(|t| env.source_offer(CompId(0), "p", t).unwrap()).collect();
+        assert_eq!(seq, vec![0, 1, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn source_rate_zero_never_offers() {
+        let mut env = RandomEnv::new(
+            1,
+            EnvConfig {
+                default_source: SourceCfg { rate: 0.0, data: DataGen::Const(9) },
+                ..Default::default()
+            },
+        );
+        for t in 0..50 {
+            assert!(env.source_offer(CompId(0), "s", t).is_none());
+        }
+    }
+
+    #[test]
+    fn per_name_overrides_apply() {
+        let mut cfg = EnvConfig::default();
+        cfg.sinks.insert("x".into(), SinkCfg { stop_prob: 1.0, kill_prob: 0.0 });
+        let mut env = RandomEnv::new(1, cfg);
+        assert!(env.sink_stop(CompId(0), "x", 0));
+        assert!(!env.sink_stop(CompId(1), "other", 0));
+    }
+}

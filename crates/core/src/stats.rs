@@ -1,0 +1,177 @@
+//! Per-channel transfer statistics, matching the accounting of Table 1.
+//!
+//! The throughput of a channel is the number of positive transfers plus
+//! negative transfers plus kill cycles, divided by elapsed cycles; token
+//! preservation on cycles of the underlying DMG makes this quantity equal
+//! on every channel of a strongly connected system (paper Sect. 6.1).
+
+use std::fmt;
+
+use crate::channel::{ChanId, ChannelEvent};
+
+/// Event counts observed on one channel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Positive transfers (`V⁺ ∧ ¬S⁺ ∧ ¬V⁻`).
+    pub positive: u64,
+    /// Negative transfers (`V⁻ ∧ ¬S⁻ ∧ ¬V⁺`).
+    pub negative: u64,
+    /// Kill cycles (`V⁺ ∧ V⁻`).
+    pub kills: u64,
+    /// Retry cycles on the positive flow.
+    pub retries: u64,
+    /// Retry cycles on the negative flow.
+    pub negative_retries: u64,
+    /// Cycles with no activity in either direction.
+    pub idle: u64,
+}
+
+impl ChannelStats {
+    /// Records one classified cycle.
+    pub fn record(&mut self, event: ChannelEvent) {
+        match event {
+            ChannelEvent::PositiveTransfer => self.positive += 1,
+            ChannelEvent::NegativeTransfer => self.negative += 1,
+            ChannelEvent::Kill => self.kills += 1,
+            ChannelEvent::Retry => self.retries += 1,
+            ChannelEvent::NegativeRetry => self.negative_retries += 1,
+            ChannelEvent::Idle => self.idle += 1,
+        }
+    }
+
+    /// Total "useful" events — the per-channel throughput numerator.
+    pub fn total_activity(&self) -> u64 {
+        self.positive + self.negative + self.kills
+    }
+}
+
+/// Statistics of a whole simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct SimReport {
+    /// Per-channel counters, indexed by [`ChanId`].
+    pub channels: Vec<ChannelStats>,
+    /// Channel display names (parallel to `channels`).
+    pub names: Vec<String>,
+    /// Number of simulated cycles.
+    pub cycles: u64,
+    /// Annihilations that happened *inside* a buffer stage when a token and
+    /// an anti-token entered from opposite sides in the same cycle. They are
+    /// not visible as `V⁺ ∧ V⁻` on any channel and are counted separately.
+    pub internal_annihilations: u64,
+}
+
+impl SimReport {
+    /// Per-cycle rate of positive transfers on `chan`.
+    pub fn positive_rate(&self, chan: ChanId) -> f64 {
+        self.rate(self.channels[chan.index()].positive)
+    }
+
+    /// Per-cycle rate of negative transfers on `chan`.
+    pub fn negative_rate(&self, chan: ChanId) -> f64 {
+        self.rate(self.channels[chan.index()].negative)
+    }
+
+    /// Per-cycle rate of kills on `chan`.
+    pub fn kill_rate(&self, chan: ChanId) -> f64 {
+        self.rate(self.channels[chan.index()].kills)
+    }
+
+    /// Channel throughput: positive + negative + kills, per cycle
+    /// (the quantity the paper reports as `Th`).
+    pub fn throughput(&self, chan: ChanId) -> f64 {
+        self.rate(self.channels[chan.index()].total_activity())
+    }
+
+    fn rate(&self, count: u64) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            count as f64 / self.cycles as f64
+        }
+    }
+
+    /// Stats of one channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chan` is out of range.
+    pub fn channel(&self, chan: ChanId) -> &ChannelStats {
+        &self.channels[chan.index()]
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} cycles", self.cycles)?;
+        for (i, (s, name)) in self.channels.iter().zip(&self.names).enumerate() {
+            writeln!(
+                f,
+                "  {name:>16}: +{:.3} -{:.3} x{:.3} (retry {:.3})",
+                self.rate(s.positive),
+                self.rate(s.negative),
+                self.rate(s.kills),
+                self.rate(s.retries),
+            )?;
+            let _ = i;
+        }
+        if self.internal_annihilations > 0 {
+            writeln!(f, "  internal annihilations: {}", self.internal_annihilations)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_rates() {
+        let mut r = SimReport {
+            channels: vec![ChannelStats::default()],
+            names: vec!["c".into()],
+            cycles: 10,
+            internal_annihilations: 0,
+        };
+        let c = ChanId(0);
+        for e in [
+            ChannelEvent::PositiveTransfer,
+            ChannelEvent::PositiveTransfer,
+            ChannelEvent::Kill,
+            ChannelEvent::NegativeTransfer,
+            ChannelEvent::Retry,
+            ChannelEvent::Idle,
+        ] {
+            r.channels[0].record(e);
+        }
+        assert_eq!(r.channel(c).positive, 2);
+        assert!((r.throughput(c) - 0.4).abs() < 1e-12);
+        assert!((r.positive_rate(c) - 0.2).abs() < 1e-12);
+        assert!((r.kill_rate(c) - 0.1).abs() < 1e-12);
+        assert!((r.negative_rate(c) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cycles_is_zero_rate() {
+        let r = SimReport {
+            channels: vec![ChannelStats::default()],
+            names: vec!["c".into()],
+            cycles: 0,
+            internal_annihilations: 0,
+        };
+        assert_eq!(r.throughput(ChanId(0)), 0.0);
+    }
+
+    #[test]
+    fn display_lists_channels() {
+        let r = SimReport {
+            channels: vec![ChannelStats { positive: 5, ..Default::default() }],
+            names: vec!["S->W".into()],
+            cycles: 10,
+            internal_annihilations: 2,
+        };
+        let s = r.to_string();
+        assert!(s.contains("S->W"));
+        assert!(s.contains("internal annihilations: 2"));
+    }
+}

@@ -1,0 +1,403 @@
+//! Ready-made elastic systems, including the paper's example (Fig. 9) in
+//! all five Table 1 configurations.
+//!
+//! The example datapath has five units: `S` (dispatch, not pipelined), `I`
+//! (1-stage integer path), `F` (3-stage pipeline), `M` (two variable-latency
+//! multi-cycle units `M1`, `M2` delivering into a register) and `W` (a
+//! result multiplexer realized as an early-evaluation join). `S` forks every
+//! operation to `I`, `F` and `M` and sends the opcode through register `C`
+//! to `W`; `W` selects one result according to the opcode (probabilities
+//! 0.6/0.3/0.1 for I/F/M) and its output, after a 3-register chain, both
+//! leaves the system and loops back to `S` — closing the strongly connected
+//! system that makes per-channel throughput a single number.
+
+use std::collections::HashMap;
+
+use crate::channel::ChanId;
+use crate::ee::{EarlyEval, EeTerm};
+use crate::error::CoreError;
+use crate::network::ElasticNetwork;
+use crate::sim::{DataGen, EnvConfig, LatencyDist, SinkCfg, SourceCfg};
+
+/// The five control configurations of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Config {
+    /// Early-evaluation join with full anti-token counterflow (row 1).
+    ActiveAntiTokens,
+    /// Like row 1, but without the bypass buffer `C` on `S → W` (row 2).
+    NoBufferSw,
+    /// Passive anti-token interface on the `F3 → W` boundary (row 3).
+    PassiveF3W,
+    /// Passive anti-token interface on the `M → W` boundary (row 4).
+    PassiveM2W,
+    /// Conventional lazy join for `W`; no anti-tokens anywhere (row 5).
+    NoEarlyEval,
+}
+
+impl Config {
+    /// All five configurations in Table 1 row order.
+    pub fn all() -> [Config; 5] {
+        [
+            Config::ActiveAntiTokens,
+            Config::NoBufferSw,
+            Config::PassiveF3W,
+            Config::PassiveM2W,
+            Config::NoEarlyEval,
+        ]
+    }
+
+    /// Table 1 row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Config::ActiveAntiTokens => "Active anti-tokens",
+            Config::NoBufferSw => "No buffer (S->W)",
+            Config::PassiveF3W => "Passive (F3->W)",
+            Config::PassiveM2W => "Passive (M2->W)",
+            Config::NoEarlyEval => "No early evaluation",
+        }
+    }
+}
+
+/// The channels reported in Table 1 (plus the environment interfaces).
+#[derive(Debug, Clone, Copy)]
+pub struct PaperChannels {
+    /// Between the second and third F-pipeline registers.
+    pub f2_f3: ChanId,
+    /// Between the last F register and `W`.
+    pub f3_w: ChanId,
+    /// Between `S`'s M-operand register and `M1`.
+    pub s_m1: ChanId,
+    /// Between the two variable-latency units.
+    pub m1_m2: ChanId,
+    /// Between `M2` and `M`'s output register.
+    pub m2_w: ChanId,
+    /// Between `M`'s output register and `W` (the passive boundary of
+    /// row 4; unlabeled in Table 1).
+    pub mo_w: ChanId,
+    /// Environment input (`Din → S`).
+    pub din: ChanId,
+    /// Environment output (last W register to `Dout`).
+    pub dout: ChanId,
+}
+
+/// A built example system: network, environment and channels of interest.
+#[derive(Debug, Clone)]
+pub struct PaperSystem {
+    /// The elastic control network.
+    pub network: ElasticNetwork,
+    /// The environment distributions of Sect. 6.1.
+    pub env_config: EnvConfig,
+    /// The channel whose positive-transfer rate is the system throughput
+    /// (the `Dout` interface).
+    pub output_channel: ChanId,
+    /// The Table 1 channels.
+    pub channels: PaperChannels,
+    /// The configuration this system was built for.
+    pub config: Config,
+}
+
+/// Opcode encoding: bit 0 is `s1`, bit 1 is `s2`; `00 → I`, `01(s2=1,s1=0)
+/// encoded as 0b10 → F`, `s1=1 → M` (paper Sect. 6).
+pub fn w_early_eval() -> EarlyEval {
+    EarlyEval::new(
+        0,
+        vec![
+            EeTerm { guard_mask: 0b11, guard_value: 0b00, required: vec![1], select: 1 },
+            EeTerm { guard_mask: 0b11, guard_value: 0b10, required: vec![2], select: 2 },
+            EeTerm { guard_mask: 0b01, guard_value: 0b01, required: vec![3], select: 3 },
+        ],
+    )
+}
+
+/// The opcode distribution: `I` 0.6, `F` 0.3, `M` 0.1.
+pub fn opcode_distribution() -> DataGen {
+    DataGen::Weighted(vec![(0b00, 0.6), (0b10, 0.3), (0b01, 0.05), (0b11, 0.05)])
+}
+
+/// Builds the example system of Fig. 9 in the given configuration.
+///
+/// # Errors
+///
+/// Propagates network construction errors (none expected for the fixed
+/// topology; early-evaluation validation runs on the fly).
+#[allow(clippy::too_many_lines)]
+pub fn paper_example(config: Config) -> Result<PaperSystem, CoreError> {
+    let mut net = ElasticNetwork::new(format!("fig9_{config:?}"));
+
+    let din = net.add_source("Din");
+    let dout = net.add_sink("Dout");
+
+    // S: dispatch = join(new operand, write-back) then fork to the three
+    // execution paths and the opcode register C.
+    let s_join = net.add_join("S", 2);
+    let s_fork = net.add_fork("Sfork", 4);
+    let c_din = net.connect(din, 0, s_join, 0, "Din->S")?;
+    net.connect(s_join, 0, s_fork, 0, "S->Sfork")?;
+
+    // I path: one operand register, I itself is unpipelined (combinational).
+    let eb_i = net.add_buffer("EBi", 1, 0);
+    net.connect(s_fork, 0, eb_i, 0, "S->I")?;
+
+    // F path: three pipeline registers F1, F2, F3.
+    let f1 = net.add_buffer("F1", 1, 0);
+    let f2 = net.add_buffer("F2", 1, 0);
+    let f3 = net.add_buffer("F3", 1, 0);
+    net.connect(s_fork, 1, f1, 0, "S->F1")?;
+    let _f1_f2 = net.connect(f1, 0, f2, 0, "F1->F2")?;
+    let c_f2_f3 = net.connect(f2, 0, f3, 0, "F2->F3")?;
+
+    // M path: operand register, M1, M2, output register.
+    let eb_sm = net.add_buffer("EBsm", 1, 0);
+    let m1 = net.add_var_latency("M1");
+    let m2 = net.add_var_latency("M2");
+    let eb_mo = net.add_buffer("EBmo", 1, 0);
+    net.connect(s_fork, 2, eb_sm, 0, "S->EBsm")?;
+    let c_s_m1 = net.connect(eb_sm, 0, m1, 0, "S->M1")?;
+    let c_m1_m2 = net.connect(m1, 0, m2, 0, "M1->M2")?;
+    let c_m2_w = net.connect(m2, 0, eb_mo, 0, "M2->W")?;
+
+    // Control path: opcode through register C (omitted in NoBufferSw).
+    let w = net.add_early_join(
+        "W",
+        4,
+        match config {
+            Config::NoEarlyEval => EarlyEval::lazy(4),
+            _ => w_early_eval(),
+        },
+    )?;
+    match config {
+        Config::NoBufferSw => {
+            net.connect(s_fork, 3, w, 0, "S->W")?;
+        }
+        _ => {
+            let c = net.add_buffer("C", 1, 0);
+            net.connect(s_fork, 3, c, 0, "S->C")?;
+            net.connect(c, 0, w, 0, "C->W")?;
+        }
+    }
+    let _c_i_w = net.connect(eb_i, 0, w, 1, "I->W")?;
+    let c_f3_w = net.connect(f3, 0, w, 2, "F3->W")?;
+    let c_mo_w = net.connect(eb_mo, 0, w, 3, "Mo->W")?;
+
+    // W output chain: three registers holding the initial tokens, then a
+    // fork to the environment and back to S.
+    let w1 = net.add_buffer("W1", 1, 1);
+    let w2 = net.add_buffer("W2", 1, 1);
+    let w3 = net.add_buffer("W3", 1, 1);
+    let wf = net.add_fork("Wfork", 2);
+    net.connect(w, 0, w1, 0, "W->W1")?;
+    net.connect(w1, 0, w2, 0, "W1->W2")?;
+    net.connect(w2, 0, w3, 0, "W2->W3")?;
+    net.connect(w3, 0, wf, 0, "W3->Wfork")?;
+    let c_dout = net.connect(wf, 0, dout, 0, "W->Dout")?;
+    net.connect(wf, 1, s_join, 1, "W->S")?;
+
+    // Passive interfaces per configuration.
+    match config {
+        Config::PassiveF3W => net.set_passive(c_f3_w)?,
+        Config::PassiveM2W => net.set_passive(c_mo_w)?,
+        _ => {}
+    }
+
+    net.check()?;
+
+    // Environment of Sect. 6.1.
+    let mut env = EnvConfig {
+        default_source: SourceCfg { rate: 1.0, data: opcode_distribution() },
+        default_sink: SinkCfg { stop_prob: 0.0, kill_prob: 0.0 },
+        default_vl: LatencyDist::fixed(1),
+        sources: HashMap::new(),
+        sinks: HashMap::new(),
+        vls: HashMap::new(),
+    };
+    env.vls.insert("M1".into(), LatencyDist::weighted(vec![(2, 0.8), (10, 0.2)]));
+    env.vls.insert("M2".into(), LatencyDist::weighted(vec![(1, 0.5), (2, 0.5)]));
+
+    Ok(PaperSystem {
+        network: net,
+        env_config: env,
+        output_channel: c_dout,
+        channels: PaperChannels {
+            f2_f3: c_f2_f3,
+            f3_w: c_f3_w,
+            s_m1: c_s_m1,
+            m1_m2: c_m1_m2,
+            m2_w: c_m2_w,
+            mo_w: c_mo_w,
+            din: c_din,
+            dout: c_dout,
+        },
+        config,
+    })
+}
+
+/// A linear elastic pipeline: source, `stages` single-register buffers
+/// carrying `tokens` initial tokens, sink. Returns the network plus the
+/// input and output channel ids — the Fig. 3 structure.
+///
+/// # Errors
+///
+/// Propagates construction errors (none expected).
+pub fn linear_pipeline(
+    stages: usize,
+    tokens: usize,
+) -> Result<(ElasticNetwork, ChanId, ChanId), CoreError> {
+    let mut net = ElasticNetwork::new("linear");
+    let src = net.add_source("src");
+    let snk = net.add_sink("snk");
+    let mut prev = src;
+    let mut cin = None;
+    for i in 0..stages {
+        let b = net.add_eb(format!("b{i}"), i < tokens);
+        let c = net.connect(prev, 0, b, 0, format!("c{i}"))?;
+        if i == 0 {
+            cin = Some(c);
+        }
+        prev = b;
+    }
+    let cout = net.connect(prev, 0, snk, 0, "out")?;
+    net.check()?;
+    Ok((net, cin.unwrap_or(cout), cout))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{BehavSim, RandomEnv};
+
+    fn run(config: Config, cycles: u64, seed: u64) -> (PaperSystem, crate::stats::SimReport) {
+        let sys = paper_example(config).unwrap();
+        let mut sim = BehavSim::new(&sys.network).unwrap();
+        let mut env = RandomEnv::new(seed, sys.env_config.clone());
+        sim.run(&mut env, cycles).unwrap();
+        (sys, sim.report())
+    }
+
+    #[test]
+    fn all_configs_build_and_run() {
+        for config in Config::all() {
+            let (sys, r) = run(config, 500, 1);
+            let th = r.positive_rate(sys.output_channel);
+            assert!(th > 0.05 && th < 1.0, "{config:?} throughput {th}");
+        }
+    }
+
+    #[test]
+    fn lazy_throughput_tracks_m1_occupancy() {
+        // Without early evaluation every operation waits for M; M1's mean
+        // latency is 3.6 cycles, so Th ≈ 1/3.6 = 0.277.
+        let (sys, r) = run(Config::NoEarlyEval, 10_000, 7);
+        let th = r.positive_rate(sys.output_channel);
+        assert!((0.2..0.32).contains(&th), "lazy Th {th}");
+        // No anti-token activity anywhere.
+        for c in sys.network.channels() {
+            assert_eq!(r.channel(c).negative, 0, "{}", sys.network.channel(c).name);
+            assert_eq!(r.channel(c).kills, 0, "{}", sys.network.channel(c).name);
+        }
+    }
+
+    #[test]
+    fn early_evaluation_beats_lazy() {
+        let (sys_a, ra) = run(Config::ActiveAntiTokens, 10_000, 7);
+        let (sys_l, rl) = run(Config::NoEarlyEval, 10_000, 7);
+        let th_a = ra.positive_rate(sys_a.output_channel);
+        let th_l = rl.positive_rate(sys_l.output_channel);
+        assert!(
+            th_a > th_l * 1.15,
+            "early evaluation should win clearly: active {th_a} vs lazy {th_l}"
+        );
+    }
+
+    #[test]
+    fn active_config_shows_counterflow_on_m_branch() {
+        let (sys, r) = run(Config::ActiveAntiTokens, 10_000, 7);
+        let ch = &sys.channels;
+        // Anti-tokens travel backwards across Mo->W and M2->W, abort inside
+        // M2/M1, and the survivors kill at the S->M1 register boundary.
+        assert!(r.channel(ch.mo_w).negative > 100, "{:?}", r.channel(ch.mo_w));
+        assert!(r.channel(ch.m2_w).negative > 50, "{:?}", r.channel(ch.m2_w));
+        assert!(
+            r.channel(ch.s_m1).kills > 0,
+            "kills at the latch boundary: {:?}",
+            r.channel(ch.s_m1)
+        );
+        // Anti-token flow thins out on the way upstream: some abort
+        // in-flight computations inside M2 and M1, the survivors kill at
+        // the S->M1 latch boundary (the paper reports the same thinning
+        // between M2->W and M1->M2; our VL units also absorb inside M1,
+        // see EXPERIMENTS.md).
+        let mo_neg = r.channel(ch.mo_w).negative;
+        let m2_neg = r.channel(ch.m2_w).negative;
+        let m1_neg = r.channel(ch.m1_m2).negative;
+        let sm1 = r.channel(ch.s_m1).kills + r.channel(ch.s_m1).negative;
+        assert!(mo_neg >= m2_neg, "mo {mo_neg} >= m2 {m2_neg}");
+        assert!(m2_neg >= m1_neg, "m2 {m2_neg} >= m1 {m1_neg}");
+        assert!(m1_neg >= sm1, "m1 {m1_neg} >= s_m1 {sm1}");
+        assert!(sm1 > 0, "survivors kill at the latch boundary");
+    }
+
+    #[test]
+    fn passive_f3_boundary_stops_backward_flow_into_f() {
+        let (sys, r) = run(Config::PassiveF3W, 10_000, 7);
+        let ch = &sys.channels;
+        assert_eq!(r.channel(ch.f3_w).negative, 0, "no anti-token crosses F3->W");
+        assert_eq!(r.channel(ch.f2_f3).negative, 0);
+        assert_eq!(r.channel(ch.f2_f3).kills, 0, "F keeps computing everything");
+        // The M branch still uses active counterflow in this configuration.
+        assert!(r.channel(ch.m2_w).negative > 50);
+    }
+
+    #[test]
+    fn passive_m_boundary_degrades_toward_lazy() {
+        let (sys_p, rp) = run(Config::PassiveM2W, 10_000, 7);
+        let (sys_a, ra) = run(Config::ActiveAntiTokens, 10_000, 7);
+        let (sys_l, rl) = run(Config::NoEarlyEval, 10_000, 7);
+        let th_p = rp.positive_rate(sys_p.output_channel);
+        let th_a = ra.positive_rate(sys_a.output_channel);
+        let th_l = rl.positive_rate(sys_l.output_channel);
+        // With M shielded from anti-tokens, M1 is again the bottleneck.
+        assert!(th_p < th_a, "passive M {th_p} < active {th_a}");
+        assert!(th_p < th_l * 1.25, "passive M {th_p} close to lazy {th_l}");
+        // And nothing negative crosses into the M units.
+        assert_eq!(rp.channel(sys_p.channels.m2_w).negative, 0);
+        assert_eq!(rp.channel(sys_p.channels.m1_m2).negative, 0);
+        assert_eq!(rp.channel(sys_p.channels.s_m1).kills, 0);
+    }
+
+    #[test]
+    fn no_buffer_config_loses_throughput() {
+        let (sys_a, ra) = run(Config::ActiveAntiTokens, 10_000, 7);
+        let (sys_n, rn) = run(Config::NoBufferSw, 10_000, 7);
+        let th_a = ra.positive_rate(sys_a.output_channel);
+        let th_n = rn.positive_rate(sys_n.output_channel);
+        assert!(
+            th_n < th_a,
+            "removing the C buffer hurts: no-buffer {th_n} vs active {th_a}"
+        );
+    }
+
+    #[test]
+    fn throughput_is_equal_on_all_channels() {
+        // Th = positive + negative + kills is the same on every channel
+        // (token preservation on the SCDMG cycles) — checked on the
+        // environment interfaces and the Table 1 channels.
+        let (sys, r) = run(Config::ActiveAntiTokens, 10_000, 3);
+        let th_out = r.throughput(sys.channels.dout);
+        for c in [sys.channels.din, sys.channels.s_m1, sys.channels.f2_f3, sys.channels.mo_w]
+        {
+            let th = r.throughput(c);
+            assert!(
+                (th - th_out).abs() < 0.02,
+                "channel {} Th {th} vs output {th_out}",
+                sys.network.channel(c).name
+            );
+        }
+    }
+
+    #[test]
+    fn linear_pipeline_builder() {
+        let (net, cin, cout) = linear_pipeline(4, 2).unwrap();
+        assert_eq!(net.num_channels(), 5);
+        assert_ne!(cin, cout);
+    }
+}

@@ -1,0 +1,465 @@
+//! Verification harnesses reproducing Sect. 5 / Fig. 8 of the paper.
+//!
+//! Three layers:
+//!
+//! 1. **Co-simulation** — the behavioural simulator and the compiled gate
+//!    netlist run the same pre-generated environment schedule and must agree
+//!    on every channel rail every cycle ([`cosim_check`]).
+//! 2. **Protocol model checking** (Fig. 8(a)) — the compiled netlist with
+//!    its nondeterministic environment inputs is explored exhaustively and
+//!    the paper's four CTL properties are checked per channel
+//!    ([`paper_properties`], [`check_network_properties`]).
+//! 3. **Data correctness** (Fig. 8(b)) — producers emit alternating 0/1
+//!    payloads into an acyclic netlist whose consumers nondeterministically
+//!    accept or kill; consumers must always observe an alternating stream
+//!    (exercised by the integration tests via sink data recording).
+
+use std::collections::HashMap;
+
+use elastic_mc::{check_fair, netlist_kripke, parse, BridgeOptions, Kripke, NetlistKripke};
+use elastic_netlist::sim::Simulator;
+use elastic_netlist::NetId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::compile::{compile, sanitize, CompileOptions};
+use crate::error::CoreError;
+use crate::network::{CompId, ComponentKind, ElasticNetwork};
+use crate::sim::{BehavSim, EnvConfig, Environment};
+
+/// A pre-generated environment schedule, replayable both by the behavioural
+/// simulator (as an [`Environment`]) and by the netlist testbench (as
+/// primary-input values). One entry per cycle per component.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    offers: HashMap<String, Vec<Option<u64>>>,
+    stops: HashMap<String, Vec<bool>>,
+    kills: HashMap<String, Vec<bool>>,
+    finishes: HashMap<String, Vec<bool>>,
+    cycles: usize,
+}
+
+impl Schedule {
+    /// Generates a random schedule for `net` using the probabilities in
+    /// `cfg`. Variable-latency completion streams are Bernoulli with rate
+    /// `1/mean(latency)` — any stream is a legal delay behaviour, and both
+    /// back-ends interpret the *same* stream, so equivalence is exact.
+    pub fn random(net: &ElasticNetwork, cfg: &EnvConfig, seed: u64, cycles: usize) -> Schedule {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = Schedule {
+            offers: HashMap::new(),
+            stops: HashMap::new(),
+            kills: HashMap::new(),
+            finishes: HashMap::new(),
+            cycles,
+        };
+        for comp in net.components() {
+            let name = net.component(comp).name.clone();
+            match &net.component(comp).kind {
+                ComponentKind::Source => {
+                    let c = cfg.sources.get(&name).unwrap_or(&cfg.default_source).clone();
+                    let data_bits = 2u64;
+                    let stream = (0..cycles)
+                        .map(|_| {
+                            if c.rate >= 1.0 || rng.gen_bool(c.rate.clamp(0.0, 1.0)) {
+                                Some(rng.gen_range(0..1 << data_bits))
+                            } else {
+                                None
+                            }
+                        })
+                        .collect();
+                    s.offers.insert(name, stream);
+                }
+                ComponentKind::Sink => {
+                    let c = cfg.sinks.get(&name).copied().unwrap_or(cfg.default_sink);
+                    s.stops.insert(
+                        name.clone(),
+                        (0..cycles)
+                            .map(|_| c.stop_prob > 0.0 && rng.gen_bool(c.stop_prob.min(1.0)))
+                            .collect(),
+                    );
+                    s.kills.insert(
+                        name,
+                        (0..cycles)
+                            .map(|_| c.kill_prob > 0.0 && rng.gen_bool(c.kill_prob.min(1.0)))
+                            .collect(),
+                    );
+                }
+                ComponentKind::VarLatency => {
+                    let dist =
+                        cfg.vls.get(&name).cloned().unwrap_or_else(|| cfg.default_vl.clone());
+                    let p = (1.0 / dist.mean()).clamp(0.05, 1.0);
+                    s.finishes.insert(name, (0..cycles).map(|_| rng.gen_bool(p)).collect());
+                }
+                _ => {}
+            }
+        }
+        s
+    }
+
+    fn offer(&self, name: &str, t: u64) -> Option<u64> {
+        self.offers.get(name).and_then(|v| v.get(t as usize).copied().flatten())
+    }
+
+    fn bit(map: &HashMap<String, Vec<bool>>, name: &str, t: u64) -> bool {
+        map.get(name).and_then(|v| v.get(t as usize).copied()).unwrap_or(false)
+    }
+}
+
+impl Environment for Schedule {
+    fn source_offer(&mut self, _comp: CompId, name: &str, time: u64) -> Option<u64> {
+        self.offer(name, time)
+    }
+
+    fn sink_stop(&mut self, _comp: CompId, name: &str, time: u64) -> bool {
+        Schedule::bit(&self.stops, name, time)
+    }
+
+    fn sink_kill(&mut self, _comp: CompId, name: &str, time: u64) -> bool {
+        Schedule::bit(&self.kills, name, time)
+    }
+
+    fn vl_latency(&mut self, _comp: CompId, name: &str, time: u64) -> u32 {
+        // Latency = distance to the next asserted finish bit, inclusive.
+        let Some(stream) = self.finishes.get(name) else { return 1 };
+        let start = time as usize;
+        for (i, &f) in stream.iter().enumerate().skip(start) {
+            if f {
+                return (i - start + 1) as u32;
+            }
+        }
+        // No completion scheduled within the horizon: effectively stuck.
+        (stream.len() - start + 1) as u32
+    }
+}
+
+/// Runs the behavioural simulator and the compiled netlist side by side
+/// under the same [`Schedule`] and compares all four rails of every channel
+/// on every cycle.
+///
+/// # Errors
+///
+/// Returns the first divergence as [`CoreError::ProtocolViolation`], or
+/// propagates simulation/compilation errors.
+#[allow(clippy::too_many_lines)]
+pub fn cosim_check(
+    net: &ElasticNetwork,
+    schedule: &Schedule,
+    data_width: usize,
+) -> Result<(), CoreError> {
+    let mut behav = BehavSim::new(net)?;
+    let mut sched_env = schedule.clone();
+    let compiled = compile(net, &CompileOptions { data_width, nondet_merge: false })?;
+    let nl = &compiled.netlist;
+    let mut gates = Simulator::new(nl)?;
+
+    // Primary-input handles.
+    let mut src_inputs: Vec<(String, NetId, Vec<NetId>)> = Vec::new();
+    let mut sink_inputs: Vec<(String, NetId, NetId)> = Vec::new();
+    let mut vl_inputs: Vec<(String, NetId)> = Vec::new();
+    for comp in net.components() {
+        let raw = net.component(comp).name.clone();
+        let name = sanitize(&raw);
+        match &net.component(comp).kind {
+            ComponentKind::Source => {
+                let offer = nl.find(&format!("{name}.offer"))?;
+                let dins = (0..data_width)
+                    .map(|i| nl.find(&format!("{name}.din{i}")))
+                    .collect::<Result<Vec<_>, _>>()?;
+                src_inputs.push((raw, offer, dins));
+            }
+            ComponentKind::Sink => {
+                let stop = nl.find(&format!("{name}.stop"))?;
+                let kill = nl.find(&format!("{name}.kill"))?;
+                sink_inputs.push((raw, stop, kill));
+            }
+            ComponentKind::VarLatency => {
+                let fin = nl.find(&format!("{name}.finish"))?;
+                vl_inputs.push((raw, fin));
+            }
+            _ => {}
+        }
+    }
+
+    for t in 0..schedule.cycles as u64 {
+        // Drive the netlist inputs from the schedule.
+        let mut inputs: Vec<(NetId, bool)> = Vec::new();
+        for (name, offer, dins) in &src_inputs {
+            let o = schedule.offer(name, t);
+            inputs.push((*offer, o.is_some()));
+            for (i, &din) in dins.iter().enumerate() {
+                inputs.push((din, o.is_some_and(|d| d >> i & 1 == 1)));
+            }
+        }
+        for (name, stop, kill) in &sink_inputs {
+            inputs.push((*stop, Schedule::bit(&schedule.stops, name, t)));
+            inputs.push((*kill, Schedule::bit(&schedule.kills, name, t)));
+        }
+        for (name, fin) in &vl_inputs {
+            inputs.push((*fin, Schedule::bit(&schedule.finishes, name, t)));
+        }
+        gates.cycle(&inputs)?;
+        behav.step(&mut sched_env)?;
+
+        // Compare every rail.
+        for chan in net.channels() {
+            let b = behav.signals(chan);
+            let nets = &compiled.channels[chan.index()];
+            let g = (
+                gates.value(nets.vp),
+                gates.value(nets.sp),
+                gates.value(nets.vn),
+                gates.value(nets.sn),
+            );
+            if (b.vp, b.sp, b.vn, b.sn) != g {
+                return Err(CoreError::ProtocolViolation {
+                    channel: chan,
+                    message: format!(
+                        "co-simulation divergence at cycle {t} on {}: behavioural {b}, \
+                         gates V+={} S+={} V-={} S-={}",
+                        net.channel(chan).name,
+                        u8::from(g.0),
+                        u8::from(g.1),
+                        u8::from(g.2),
+                        u8::from(g.3),
+                    ),
+                });
+            }
+            if b.vp && data_width > 0 {
+                for (i, &dn) in nets.data.iter().enumerate() {
+                    let gb = gates.value(dn);
+                    let bb = b.data >> i & 1 == 1;
+                    if gb != bb {
+                        return Err(CoreError::ProtocolViolation {
+                            channel: chan,
+                            message: format!(
+                                "data divergence at cycle {t} on {} bit {i}",
+                                net.channel(chan).name
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The four CTL properties of Sect. 5 for one channel, over the rail-net
+/// naming convention of the compiler.
+pub fn paper_properties(channel_name: &str) -> [(String, String); 4] {
+    let c = sanitize(channel_name);
+    [
+        ("Retry+".to_string(), format!("AG ({c}.vp & {c}.sp -> AX {c}.vp)")),
+        ("Retry-".to_string(), format!("AG ({c}.vn & {c}.sn -> AX {c}.vn)")),
+        (
+            "Invariant".to_string(),
+            format!("AG ((!{c}.vn | !{c}.sp) & (!{c}.vp | !{c}.sn))"),
+        ),
+        (
+            "Liveness".to_string(),
+            format!("AG AF (({c}.vp & !{c}.sp) | ({c}.vn & !{c}.sn))"),
+        ),
+    ]
+}
+
+/// Result of model-checking one property on one channel.
+#[derive(Debug, Clone)]
+pub struct PropertyResult {
+    /// Channel display name.
+    pub channel: String,
+    /// Property short name (`Retry+`, `Retry-`, `Invariant`, `Liveness`).
+    pub property: String,
+    /// The CTL formula that was checked.
+    pub formula: String,
+    /// Whether it holds in all initial states.
+    pub holds: bool,
+}
+
+/// Compiles `net` and exhaustively model-checks the paper's four properties
+/// on every channel, under fairness constraints making every environment
+/// input recur (offers, accepts and completions happen infinitely often,
+/// kills stay finite).
+///
+/// Returns one [`PropertyResult`] per (channel, property) pair plus the
+/// explored state-space size.
+///
+/// # Errors
+///
+/// Propagates compilation and model-checking errors (including the input
+/// budget when the environment is too wide for exhaustive exploration).
+pub fn check_network_properties(
+    net: &ElasticNetwork,
+    opts: BridgeOptions,
+) -> Result<(Vec<PropertyResult>, usize), CoreError> {
+    let compiled = compile(net, &CompileOptions::default())?;
+    let kripke = build_kripke(net, &compiled.netlist, opts)?;
+    let mut results = Vec::new();
+    for chan in net.channels() {
+        let cname = net.channel(chan).name.clone();
+        for (prop, formula) in paper_properties(&cname) {
+            let f = parse(&formula).map_err(|e| CoreError::Netlist(e.to_string()))?;
+            let holds = check_fair(&kripke, &f)
+                .map_err(|e| CoreError::Netlist(e.to_string()))?
+                .holds();
+            results.push(PropertyResult {
+                channel: cname.clone(),
+                property: prop,
+                formula,
+                holds,
+            });
+        }
+    }
+    let states = kripke.num_states();
+    Ok((results, states))
+}
+
+/// Builds the Kripke structure of a compiled network with the standard
+/// fairness constraints: every source offers infinitely often, every sink
+/// is non-stopping and non-killing infinitely often, and every
+/// variable-latency unit finishes infinitely often.
+fn build_kripke(
+    net: &ElasticNetwork,
+    nl: &elastic_netlist::Netlist,
+    opts: BridgeOptions,
+) -> Result<NetlistKripke, CoreError> {
+    // Fairness nets must exist by name; add helper nets for negated
+    // conditions (e.g. "not stopping") before bridging.
+    let mut nl = nl.clone();
+    let mut fairness: Vec<String> = Vec::new();
+    for comp in net.components() {
+        let name = sanitize(&net.component(comp).name);
+        match &net.component(comp).kind {
+            ComponentKind::Source => fairness.push(format!("{name}.offer")),
+            ComponentKind::Sink => {
+                let stop = nl.find(&format!("{name}.stop"))?;
+                let go = nl.not(stop);
+                let gname = format!("{name}.accepting");
+                nl.set_name(go, &gname)?;
+                fairness.push(gname);
+                let kill = nl.find(&format!("{name}.kill"))?;
+                let nk = nl.not(kill);
+                let nkname = format!("{name}.benign");
+                nl.set_name(nk, &nkname)?;
+                fairness.push(nkname);
+            }
+            ComponentKind::VarLatency => fairness.push(format!("{name}.finish")),
+            _ => {}
+        }
+    }
+    let fair_refs: Vec<&str> = fairness.iter().map(String::as_str).collect();
+    netlist_kripke(&nl, &fair_refs, opts).map_err(|e| CoreError::Netlist(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{SinkCfg, SourceCfg};
+    use crate::systems::linear_pipeline;
+
+    fn stress_cfg() -> EnvConfig {
+        EnvConfig {
+            default_source: SourceCfg { rate: 0.7, data: crate::sim::DataGen::Const(0) },
+            default_sink: SinkCfg { stop_prob: 0.3, kill_prob: 0.15 },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn cosim_linear_pipeline() {
+        let (net, _, _) = linear_pipeline(3, 1).unwrap();
+        let sched = Schedule::random(&net, &stress_cfg(), 11, 600);
+        cosim_check(&net, &sched, 2).unwrap();
+    }
+
+    #[test]
+    fn cosim_join_fork_network() {
+        let mut net = ElasticNetwork::new("jf");
+        let s1 = net.add_source("s1");
+        let s2 = net.add_source("s2");
+        let b1 = net.add_eb("b1", false);
+        let b2 = net.add_eb("b2", true);
+        let j = net.add_join("j", 2);
+        let bj = net.add_eb("bj", false);
+        let f = net.add_fork("f", 2);
+        let k1 = net.add_sink("k1");
+        let k2 = net.add_sink("k2");
+        net.connect(s1, 0, b1, 0, "c1").unwrap();
+        net.connect(s2, 0, b2, 0, "c2").unwrap();
+        net.connect(b1, 0, j, 0, "j1").unwrap();
+        net.connect(b2, 0, j, 1, "j2").unwrap();
+        net.connect(j, 0, bj, 0, "jo").unwrap();
+        net.connect(bj, 0, f, 0, "fi").unwrap();
+        net.connect(f, 0, k1, 0, "o1").unwrap();
+        net.connect(f, 1, k2, 0, "o2").unwrap();
+        let sched = Schedule::random(&net, &stress_cfg(), 23, 800);
+        cosim_check(&net, &sched, 1).unwrap();
+    }
+
+    #[test]
+    fn cosim_early_join_with_vl() {
+        use crate::ee::{EarlyEval, EeTerm};
+        let mut net = ElasticNetwork::new("ejvl");
+        let g = net.add_source("g");
+        let s1 = net.add_source("s1");
+        let bg = net.add_eb("bg", false);
+        let b1 = net.add_eb("b1", false);
+        let vl = net.add_var_latency("vl");
+        let ee = EarlyEval::new(
+            0,
+            vec![
+                EeTerm { guard_mask: 1, guard_value: 0, required: vec![], select: 0 },
+                EeTerm { guard_mask: 1, guard_value: 1, required: vec![1], select: 1 },
+            ],
+        );
+        let j = net.add_early_join("w", 2, ee).unwrap();
+        let snk = net.add_sink("snk");
+        net.connect(g, 0, bg, 0, "cg").unwrap();
+        net.connect(s1, 0, b1, 0, "c1").unwrap();
+        net.connect(b1, 0, vl, 0, "bv").unwrap();
+        net.connect(bg, 0, j, 0, "jg").unwrap();
+        net.connect(vl, 0, j, 1, "jv").unwrap();
+        net.connect(j, 0, snk, 0, "out").unwrap();
+        let sched = Schedule::random(&net, &stress_cfg(), 31, 800);
+        cosim_check(&net, &sched, 1).unwrap();
+    }
+
+    #[test]
+    fn cosim_paper_example_all_configs() {
+        use crate::systems::{paper_example, Config};
+        for config in Config::all() {
+            let sys = paper_example(config).unwrap();
+            let sched = Schedule::random(&sys.network, &sys.env_config, 5, 400);
+            cosim_check(&sys.network, &sched, 2)
+                .unwrap_or_else(|e| panic!("{config:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn paper_properties_have_expected_shape() {
+        let props = paper_properties("a->b");
+        assert_eq!(props.len(), 4);
+        assert!(props[0].1.contains("a__b.vp"));
+        assert!(props[3].1.contains("AG AF"));
+    }
+
+    #[test]
+    fn model_check_single_buffer() {
+        let (net, _, _) = linear_pipeline(1, 0).unwrap();
+        let (results, states) =
+            check_network_properties(&net, BridgeOptions::default()).unwrap();
+        assert!(states > 4);
+        for r in &results {
+            assert!(r.holds, "{} on {} failed: {}", r.property, r.channel, r.formula);
+        }
+    }
+
+    #[test]
+    fn model_check_two_buffer_pipeline() {
+        let (net, _, _) = linear_pipeline(2, 1).unwrap();
+        let (results, _) = check_network_properties(&net, BridgeOptions::default()).unwrap();
+        for r in &results {
+            assert!(r.holds, "{} on {} failed", r.property, r.channel);
+        }
+    }
+}

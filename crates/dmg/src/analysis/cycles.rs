@@ -1,0 +1,239 @@
+//! Enumeration of simple directed cycles via Johnson's algorithm.
+//!
+//! Cycles matter because they carry the fundamental invariant of marked
+//! graphs: no firing changes the token sum of a cycle. All invariant and
+//! liveness checks in this crate are phrased over the cycles produced here.
+
+use crate::graph::{ArcId, Dmg};
+
+/// A simple directed cycle, stored as the arc ids traversed in order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cycle {
+    arcs: Vec<ArcId>,
+}
+
+impl Cycle {
+    /// The arcs of the cycle in traversal order.
+    pub fn arcs(&self) -> &[ArcId] {
+        &self.arcs
+    }
+
+    /// Number of arcs (equals the number of distinct nodes on the cycle).
+    pub fn len(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Whether the cycle is empty (never produced by [`simple_cycles`]).
+    pub fn is_empty(&self) -> bool {
+        self.arcs.is_empty()
+    }
+
+    /// Token sum of the cycle under marking `m` — `M(φ)` in the paper.
+    pub fn tokens(&self, m: &crate::Marking) -> i64 {
+        self.arcs.iter().map(|&a| m.get(a)).sum()
+    }
+
+    /// Builds a cycle from raw arcs without validating closure.
+    ///
+    /// Crate-internal: used by analyses that construct cycles they have
+    /// already proven closed (e.g. the negative-cycle extractor).
+    pub(crate) fn from_arcs_unchecked(arcs: Vec<ArcId>) -> Self {
+        Cycle { arcs }
+    }
+}
+
+/// Enumerates all simple directed cycles of `g`, up to `limit` cycles.
+///
+/// Uses Johnson's algorithm (1975): for each start node in increasing index
+/// order, depth-first search restricted to nodes with index ≥ start, with
+/// the blocked-set bookkeeping that makes the enumeration output-polynomial.
+/// Parallel arcs are handled (each arc combination yields its own cycle).
+///
+/// Returns `(cycles, truncated)` where `truncated` reports whether the limit
+/// stopped the enumeration early.
+pub fn simple_cycles(g: &Dmg, limit: usize) -> (Vec<Cycle>, bool) {
+    let n = g.num_nodes();
+    let mut cycles = Vec::new();
+    let mut truncated = false;
+
+    'starts: for start in 0..n {
+        let mut blocked = vec![false; n];
+        let mut block_map: Vec<Vec<usize>> = vec![Vec::new(); n];
+        // Stack of (node, out-arc cursor) and the arc taken to reach each
+        // stack entry past the first.
+        let mut path_nodes: Vec<usize> = vec![start];
+        let mut path_arcs: Vec<ArcId> = Vec::new();
+        let mut cursors: Vec<usize> = vec![0];
+        blocked[start] = true;
+
+        fn unblock(v: usize, blocked: &mut [bool], block_map: &mut [Vec<usize>]) {
+            if !blocked[v] {
+                return;
+            }
+            blocked[v] = false;
+            let waiters = std::mem::take(&mut block_map[v]);
+            for w in waiters {
+                unblock(w, blocked, block_map);
+            }
+        }
+
+        // Tracks whether a cycle was closed from each stack frame, to decide
+        // between unblocking and deferred blocking on pop.
+        let mut found_flags: Vec<bool> = vec![false];
+
+        while let Some(&v) = path_nodes.last() {
+            let cursor = *cursors.last().unwrap();
+            let outs = g.out_arcs(crate::NodeId(v as u32));
+            if cursor < outs.len() {
+                *cursors.last_mut().unwrap() += 1;
+                let arc = outs[cursor];
+                let w = g.arc_info(arc).to.index();
+                if w < start {
+                    continue; // restrict to the sub-graph of indices >= start
+                }
+                if w == start {
+                    // Found a cycle: path_arcs + this closing arc.
+                    let mut arcs = path_arcs.clone();
+                    arcs.push(arc);
+                    cycles.push(Cycle { arcs });
+                    *found_flags.last_mut().unwrap() = true;
+                    if cycles.len() >= limit {
+                        truncated = true;
+                        break 'starts;
+                    }
+                } else if !blocked[w] {
+                    blocked[w] = true;
+                    path_nodes.push(w);
+                    path_arcs.push(arc);
+                    cursors.push(0);
+                    found_flags.push(false);
+                }
+            } else {
+                // Exhausted v's successors: pop.
+                let v_found = found_flags.pop().unwrap();
+                path_nodes.pop();
+                cursors.pop();
+                let popped_arc = path_arcs.pop();
+                if v_found {
+                    unblock(v, &mut blocked, &mut block_map);
+                    if let Some(parent_found) = found_flags.last_mut() {
+                        *parent_found = true;
+                    }
+                } else {
+                    // Defer: unblock v only when some successor unblocks.
+                    for &a in g.out_arcs(crate::NodeId(v as u32)) {
+                        let w = g.arc_info(a).to.index();
+                        if w >= start && !block_map[w].contains(&v) {
+                            block_map[w].push(v);
+                        }
+                    }
+                }
+                let _ = popped_arc;
+            }
+        }
+    }
+    (cycles, truncated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DmgBuilder;
+
+    fn ring(k: usize) -> Dmg {
+        let mut b = DmgBuilder::new();
+        let ns: Vec<_> = (0..k).map(|i| b.node(format!("n{i}"))).collect();
+        for i in 0..k {
+            b.arc(ns[i], ns[(i + 1) % k], 0);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn ring_has_one_cycle() {
+        let g = ring(5);
+        let (cycles, truncated) = simple_cycles(&g, 100);
+        assert!(!truncated);
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].len(), 5);
+    }
+
+    #[test]
+    fn figure1_graph_has_three_cycles() {
+        let g = crate::examples::fig1_dmg();
+        let (cycles, truncated) = simple_cycles(&g, 100);
+        assert!(!truncated);
+        assert_eq!(cycles.len(), 3, "C1, C2, C3 from the paper");
+        let mut lens: Vec<_> = cycles.iter().map(Cycle::len).collect();
+        lens.sort_unstable();
+        assert_eq!(lens, vec![4, 4, 4]);
+    }
+
+    #[test]
+    fn two_node_double_ring_counts_parallel_structures() {
+        // x <-> y with two forward arcs: two distinct cycles through y.
+        let mut b = DmgBuilder::new();
+        let x = b.node("x");
+        let y = b.node("y");
+        b.arc(x, y, 0);
+        b.arc(x, y, 0);
+        b.arc(y, x, 0);
+        let g = b.build().unwrap();
+        let (cycles, _) = simple_cycles(&g, 100);
+        assert_eq!(cycles.len(), 2);
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let mut b = DmgBuilder::new();
+        let x = b.node("x");
+        b.arc(x, x, 1);
+        let g = b.build().unwrap();
+        let (cycles, _) = simple_cycles(&g, 10);
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].len(), 1);
+    }
+
+    #[test]
+    fn limit_truncates() {
+        // Complete digraph on 5 nodes has many cycles.
+        let mut b = DmgBuilder::new();
+        let ns: Vec<_> = (0..5).map(|i| b.node(format!("n{i}"))).collect();
+        for i in 0..5 {
+            for j in 0..5 {
+                if i != j {
+                    b.arc(ns[i], ns[j], 0);
+                }
+            }
+        }
+        let g = b.build().unwrap();
+        let (cycles, truncated) = simple_cycles(&g, 7);
+        assert!(truncated);
+        assert_eq!(cycles.len(), 7);
+    }
+
+    #[test]
+    fn acyclic_graph_has_no_cycles() {
+        let mut b = DmgBuilder::new();
+        let x = b.node("x");
+        let y = b.node("y");
+        let z = b.node("z");
+        b.arc(x, y, 0);
+        b.arc(y, z, 0);
+        b.arc(x, z, 0);
+        let g = b.build().unwrap();
+        let (cycles, truncated) = simple_cycles(&g, 10);
+        assert!(cycles.is_empty());
+        assert!(!truncated);
+    }
+
+    #[test]
+    fn cycle_token_sum() {
+        let g = ring(3);
+        let (cycles, _) = simple_cycles(&g, 10);
+        let mut m = g.initial_marking();
+        m.set_index(0, 2);
+        m.set_index(1, -1);
+        assert_eq!(cycles[0].tokens(&m), 1);
+    }
+}

@@ -1,0 +1,207 @@
+//! Checks of the algebraic properties of strongly connected DMGs
+//! (paper Sect. 2.2): token preservation, liveness, repetitive behaviour.
+
+use std::collections::HashMap;
+
+use crate::analysis::cycles::{simple_cycles, Cycle};
+use crate::error::DmgError;
+use crate::exec::{RandomExecutor, SchedulingPolicy};
+use crate::graph::{Dmg, NodeId};
+use crate::marking::Marking;
+
+/// Outcome of a token-preservation check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TokenPreservationReport {
+    /// Per-cycle token sums at the initial marking, in the order produced by
+    /// [`simple_cycles`].
+    pub initial_sums: Vec<i64>,
+    /// Number of firings exercised during the check.
+    pub steps: usize,
+}
+
+/// Verifies that every simple cycle keeps a constant token sum across
+/// `steps` random firings from the initial marking.
+///
+/// This is a *dynamic* check: the property is a theorem of the firing rule,
+/// so a failure indicates a bug in the implementation rather than in the
+/// model — which is exactly why it makes a good regression test.
+///
+/// # Errors
+///
+/// Returns [`DmgError::Empty`] when the graph has no arcs to check.
+///
+/// # Panics
+///
+/// Panics if a firing changes the token sum of any cycle — a violation of
+/// the marked-graph invariant that can only arise from an implementation
+/// bug.
+pub fn check_token_preservation(
+    g: &Dmg,
+    steps: usize,
+    seed: u64,
+) -> Result<TokenPreservationReport, DmgError> {
+    if g.num_arcs() == 0 {
+        return Err(DmgError::Empty);
+    }
+    let (cycles, _) = simple_cycles(g, 10_000);
+    let mut m = g.initial_marking();
+    let initial_sums: Vec<i64> = cycles.iter().map(|c| c.tokens(&m)).collect();
+    let mut exec = RandomExecutor::new(seed, SchedulingPolicy::UniformEnabled);
+    let mut done = 0;
+    for _ in 0..steps {
+        if exec.step(g, &mut m)?.is_none() {
+            break; // deadlock: nothing more to exercise
+        }
+        done += 1;
+        for (c, &expect) in cycles.iter().zip(&initial_sums) {
+            let got = c.tokens(&m);
+            assert_eq!(
+                got, expect,
+                "token preservation violated on a cycle of length {} after {} steps",
+                c.len(),
+                done
+            );
+        }
+    }
+    Ok(TokenPreservationReport { initial_sums, steps: done })
+}
+
+/// Checks liveness of the initial marking of a strongly connected graph:
+/// every simple cycle must carry a positive token sum (paper Sect. 2).
+///
+/// Returns the first unmarked cycle on failure so callers can report it.
+///
+/// # Errors
+///
+/// Returns [`DmgError::NotStronglyConnected`] when the structural
+/// precondition fails (the theorem is stated for SCMGs only).
+pub fn check_liveness(g: &Dmg) -> Result<Result<(), Cycle>, DmgError> {
+    if !g.is_strongly_connected() {
+        return Err(DmgError::NotStronglyConnected);
+    }
+    let m = g.initial_marking();
+    let (cycles, _) = simple_cycles(g, 100_000);
+    for c in cycles {
+        if c.tokens(&m) <= 0 {
+            return Ok(Err(c));
+        }
+    }
+    Ok(Ok(()))
+}
+
+/// Checks repetitive behaviour: a firing sequence in which every node fires
+/// the same number of times returns to the starting marking, regardless of
+/// the mix of P/N/E firings used (paper Sect. 2.2).
+///
+/// Runs a random execution for at most `max_steps`, watching the firing
+/// count vector; every time the counts are uniform, the marking must equal
+/// the initial one. Returns the number of uniform points witnessed.
+///
+/// # Errors
+///
+/// Propagates executor errors (none in practice for well-formed graphs).
+///
+/// # Panics
+///
+/// Panics if a uniform firing-count vector does not reproduce the initial
+/// marking — an implementation bug, not a modelling error.
+pub fn check_repetitive(g: &Dmg, max_steps: usize, seed: u64) -> Result<usize, DmgError> {
+    let mut counts: HashMap<NodeId, u64> = HashMap::new();
+    let mut m = g.initial_marking();
+    let initial = m.clone();
+    let mut exec = RandomExecutor::new(seed, SchedulingPolicy::UniformEnabled);
+    let mut witnessed = 0;
+    for _ in 0..max_steps {
+        let Some(rec) = exec.step(g, &mut m)? else { break };
+        *counts.entry(rec.node).or_insert(0) += 1;
+        let uniform = counts.len() == g.num_nodes()
+            && counts.values().all(|&c| c == counts[&rec.node])
+            // all equal to each other:
+            && {
+                let first = *counts.values().next().unwrap();
+                counts.values().all(|&c| c == first)
+            };
+        if uniform {
+            assert_eq!(
+                m, initial,
+                "repetitive behaviour violated: uniform firing counts did not \
+                 restore the initial marking"
+            );
+            witnessed += 1;
+        }
+    }
+    Ok(witnessed)
+}
+
+/// Convenience: asserts the marking `m` is reachable-consistent with `g`'s
+/// cycle invariant, i.e. every simple cycle has the same token sum as in the
+/// initial marking. Returns `false` (rather than panicking) on mismatch.
+pub fn marking_consistent_with_invariant(g: &Dmg, m: &Marking) -> bool {
+    let init = g.initial_marking();
+    let (cycles, _) = simple_cycles(g, 100_000);
+    cycles.iter().all(|c| c.tokens(m) == c.tokens(&init))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DmgBuilder;
+
+    #[test]
+    fn fig1_preserves_tokens_over_random_runs() {
+        let g = crate::examples::fig1_dmg();
+        let report = check_token_preservation(&g, 500, 7).unwrap();
+        assert_eq!(report.initial_sums, vec![1, 1, 1]);
+        assert!(report.steps > 0);
+    }
+
+    #[test]
+    fn liveness_holds_for_fig1() {
+        let g = crate::examples::fig1_dmg();
+        assert!(check_liveness(&g).unwrap().is_ok());
+    }
+
+    #[test]
+    fn liveness_detects_unmarked_cycle() {
+        let mut b = DmgBuilder::new();
+        let x = b.node("x");
+        let y = b.node("y");
+        b.arc(x, y, 0);
+        b.arc(y, x, 0);
+        let g = b.build().unwrap();
+        let verdict = check_liveness(&g).unwrap();
+        assert!(verdict.is_err());
+        assert_eq!(verdict.unwrap_err().len(), 2);
+    }
+
+    #[test]
+    fn liveness_requires_strong_connectivity() {
+        let mut b = DmgBuilder::new();
+        let x = b.node("x");
+        let y = b.node("y");
+        b.arc(x, y, 1);
+        let g = b.build().unwrap();
+        assert_eq!(check_liveness(&g).unwrap_err(), DmgError::NotStronglyConnected);
+    }
+
+    #[test]
+    fn repetitive_behaviour_witnessed_on_small_ring() {
+        let mut b = DmgBuilder::new();
+        let x = b.node("x");
+        let y = b.node("y");
+        b.arc(x, y, 1);
+        b.arc(y, x, 1);
+        let g = b.build().unwrap();
+        let witnessed = check_repetitive(&g, 400, 3).unwrap();
+        assert!(witnessed > 0, "a 2-ring must revisit its initial marking");
+    }
+
+    #[test]
+    fn consistency_helper_detects_corruption() {
+        let g = crate::examples::fig1_dmg();
+        let mut m = g.initial_marking();
+        assert!(marking_consistent_with_invariant(&g, &m));
+        m.set_index(0, m.as_slice()[0] + 1);
+        assert!(!marking_consistent_with_invariant(&g, &m));
+    }
+}

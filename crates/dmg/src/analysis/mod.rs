@@ -1,0 +1,21 @@
+//! Structural and behavioural analyses of dual marked graphs.
+//!
+//! * [`cycles`] — enumeration of simple directed cycles (Johnson's
+//!   algorithm), the carriers of the token-preservation invariant.
+//! * [`invariants`] — checks of the three algebraic properties of
+//!   strongly connected DMGs from Sect. 2.2 of the paper: token
+//!   preservation, liveness of the initial marking, repetitive behaviour.
+//! * [`reach`] — bounded explicit-state reachability and deadlock search.
+//! * [`throughput`] — minimum-cycle-ratio throughput bounds for the lazy
+//!   (marked-graph) abstraction, the performance model of the paper's
+//!   reference \[8\].
+
+pub mod cycles;
+pub mod invariants;
+pub mod reach;
+pub mod throughput;
+
+pub use cycles::{simple_cycles, Cycle};
+pub use invariants::{check_liveness, check_repetitive, check_token_preservation};
+pub use reach::{explore, ReachOptions, ReachResult};
+pub use throughput::{min_cycle_ratio, CycleRatio};

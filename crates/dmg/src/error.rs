@@ -1,0 +1,71 @@
+use std::fmt;
+
+use crate::graph::{ArcId, NodeId};
+
+/// Errors produced while building or executing a dual marked graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DmgError {
+    /// A node id referenced an index outside the graph.
+    UnknownNode(NodeId),
+    /// An arc id referenced an index outside the graph.
+    UnknownArc(ArcId),
+    /// The graph has no nodes, which makes every analysis vacuous.
+    Empty,
+    /// A node was fired that is not enabled under any of the P/N/E rules.
+    NotEnabled(NodeId),
+    /// A marking vector had the wrong number of entries for this graph.
+    MarkingSize {
+        /// Number of entries the graph expects (one per arc).
+        expected: usize,
+        /// Number of entries that were supplied.
+        found: usize,
+    },
+    /// An analysis requires a strongly connected graph and this one is not.
+    NotStronglyConnected,
+    /// Bounded state-space exploration hit its configured limit.
+    StateLimit(usize),
+}
+
+impl fmt::Display for DmgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DmgError::UnknownNode(n) => write!(f, "unknown node id {}", n.index()),
+            DmgError::UnknownArc(a) => write!(f, "unknown arc id {}", a.index()),
+            DmgError::Empty => write!(f, "graph has no nodes"),
+            DmgError::NotEnabled(n) => {
+                write!(f, "node {} is not enabled under P, N or E rules", n.index())
+            }
+            DmgError::MarkingSize { expected, found } => {
+                write!(f, "marking has {found} entries, graph has {expected} arcs")
+            }
+            DmgError::NotStronglyConnected => {
+                write!(f, "analysis requires a strongly connected graph")
+            }
+            DmgError::StateLimit(limit) => {
+                write!(f, "state-space exploration exceeded limit of {limit} markings")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DmgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = DmgError::MarkingSize { expected: 3, found: 2 };
+        let msg = e.to_string();
+        assert!(msg.contains('3') && msg.contains('2'));
+        assert!(msg.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn error_trait_object_usable() {
+        fn takes_err(_: &(dyn std::error::Error + Send + Sync)) {}
+        takes_err(&DmgError::Empty);
+    }
+}

@@ -1,0 +1,167 @@
+//! Ready-made DMGs used across tests, examples and the figure-regeneration
+//! binaries.
+
+use crate::fire::Enabling;
+use crate::graph::{Dmg, DmgBuilder};
+use crate::marking::Marking;
+
+/// The dual marked graph of **Fig. 1** of the paper.
+///
+/// Eight nodes `n1..n8`, one early-enabling node (`n1`), and three simple
+/// cycles, each initially carrying one token:
+///
+/// * `C1 = n1 → n2 → n4 → n7 → n1` (token on `n1→n2`)
+/// * `C2 = n1 → n3 → n5 → n7 → n1` (token on `n5→n7`)
+/// * `C3 = n1 → n3 → n6 → n8 → n1` (token on `n8→n1`)
+///
+/// The paper's Fig. 1(b) marking is reached by firing `n2` (P-enabled),
+/// `n1` (E-enabled) and `n7` (N-enabled); see [`fig1_firing_sequence`].
+///
+/// # Example
+///
+/// ```
+/// let g = elastic_dmg::examples::fig1_dmg();
+/// assert_eq!(g.num_nodes(), 8);
+/// assert!(g.is_strongly_connected());
+/// ```
+pub fn fig1_dmg() -> Dmg {
+    let mut b = DmgBuilder::new();
+    let n1 = b.early_node("n1");
+    let n2 = b.node("n2");
+    let n3 = b.node("n3");
+    let n4 = b.node("n4");
+    let n5 = b.node("n5");
+    let n6 = b.node("n6");
+    let n7 = b.node("n7");
+    let n8 = b.node("n8");
+    // C1
+    b.arc(n1, n2, 1);
+    b.arc(n2, n4, 0);
+    b.arc(n4, n7, 0);
+    b.arc(n7, n1, 0);
+    // C2 (shares n7->n1)
+    b.arc(n1, n3, 0);
+    b.arc(n3, n5, 0);
+    b.arc(n5, n7, 1);
+    // C3 (shares n1->n3)
+    b.arc(n3, n6, 0);
+    b.arc(n6, n8, 0);
+    b.arc(n8, n1, 1);
+    b.build().expect("fig. 1 graph is well-formed")
+}
+
+/// Replays the paper's Fig. 1 firing sequence (`n2`, `n1`, `n7`) on a fresh
+/// initial marking, returning the rules used and the reached marking.
+///
+/// The rules are exactly `[Positive, Early, Negative]` and the reached
+/// marking matches Fig. 1(b): an anti-token on `n4→n7` and positive tokens
+/// on `n1→n2`, `n2→n4` and `n1→n3`.
+pub fn fig1_firing_sequence() -> (Dmg, Vec<Enabling>, Marking) {
+    let g = fig1_dmg();
+    let mut m = g.initial_marking();
+    let seq = ["n2", "n1", "n7"].map(|n| g.node_by_name(n).expect("node exists"));
+    let rules = g.fire_sequence(&mut m, seq).expect("paper sequence is fireable");
+    (g, rules, m)
+}
+
+/// A linear elastic pipeline abstracted as a marked graph ring:
+/// `stages` forward arcs carrying `tokens` initial tokens and matching
+/// backward arcs carrying the `capacity - tokens` bubbles.
+///
+/// This is the classic MG abstraction of a buffer chain with per-stage
+/// capacity `capacity` (2 for an elastic buffer made of two EHBs); its
+/// minimum cycle ratio predicts the lazy pipeline throughput
+/// `min(k/N, (capacity·N − k)/N, 1)` for `k` tokens over `N` stages.
+///
+/// # Panics
+///
+/// Panics if `stages == 0` or `tokens > stages * capacity`.
+pub fn pipeline_ring(stages: usize, tokens: usize, capacity: usize) -> Dmg {
+    assert!(stages > 0, "pipeline needs at least one stage");
+    assert!(tokens <= stages * capacity, "tokens exceed total capacity");
+    let mut b = DmgBuilder::new();
+    let ns: Vec<_> = (0..stages).map(|i| b.node(format!("s{i}"))).collect();
+    // Distribute tokens round-robin over forward arcs; bubbles over the
+    // backward arcs (capacity accounting).
+    let mut fwd = vec![0i64; stages];
+    for t in 0..tokens {
+        fwd[t % stages] += 1;
+    }
+    for i in 0..stages {
+        let j = (i + 1) % stages;
+        b.named_arc(format!("f{i}"), ns[i], ns[j], fwd[i]);
+        b.named_arc(format!("b{i}"), ns[j], ns[i], capacity as i64 - fwd[i]);
+    }
+    b.build().expect("ring is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{check_liveness, min_cycle_ratio, simple_cycles};
+
+    #[test]
+    fn fig1_matches_paper_structure() {
+        let g = fig1_dmg();
+        assert_eq!(g.num_nodes(), 8);
+        assert_eq!(g.num_arcs(), 10);
+        assert!(g.is_early(g.node_by_name("n1").unwrap()));
+        assert!(check_liveness(&g).unwrap().is_ok());
+    }
+
+    #[test]
+    fn fig1_sequence_uses_p_then_e_then_n() {
+        let (_, rules, _) = fig1_firing_sequence();
+        assert_eq!(rules, vec![Enabling::Positive, Enabling::Early, Enabling::Negative]);
+    }
+
+    #[test]
+    fn fig1b_marking_matches_paper() {
+        let (g, _, m) = fig1_firing_sequence();
+        let arc = |name: &str| g.arc_by_name(name).unwrap();
+        assert_eq!(m.get(arc("n1->n2")), 1);
+        assert_eq!(m.get(arc("n2->n4")), 1);
+        assert_eq!(m.get(arc("n4->n7")), -1, "anti-token from counterflow");
+        assert_eq!(m.get(arc("n7->n1")), 0);
+        assert_eq!(m.get(arc("n1->n3")), 1);
+        assert_eq!(m.get(arc("n5->n7")), 0);
+        assert_eq!(m.get(arc("n8->n1")), 0);
+    }
+
+    #[test]
+    fn fig1_cycle_sums_preserved_by_paper_sequence() {
+        let (g, _, m) = fig1_firing_sequence();
+        let (cycles, _) = simple_cycles(&g, 100);
+        let init = g.initial_marking();
+        for c in &cycles {
+            assert_eq!(c.tokens(&m), c.tokens(&init));
+            assert_eq!(c.tokens(&init), 1, "every cycle starts with one token");
+        }
+        // The paper calls out C1: two positive tokens and one anti-token.
+        let c1: Vec<_> = cycles.iter().filter(|c| c.tokens(&m) == 1).collect();
+        assert_eq!(c1.len(), 3);
+    }
+
+    #[test]
+    fn pipeline_ring_throughput_bound() {
+        // 4 stages, 2 tokens, capacity 2: forward ratio 2/4, backward
+        // (8-2)/4 > 1 -> bound 0.5.
+        let g = pipeline_ring(4, 2, 2);
+        let r = min_cycle_ratio(&g, &vec![1; g.num_nodes()]).unwrap();
+        assert!((r.ratio - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn full_pipeline_is_backpressure_limited() {
+        // 4 stages, 7 tokens, capacity 2: bubbles limit at (8-7)/4 = 0.25.
+        let g = pipeline_ring(4, 7, 2);
+        let r = min_cycle_ratio(&g, &vec![1; g.num_nodes()]).unwrap();
+        assert!((r.ratio - 0.25).abs() < 1e-6, "got {}", r.ratio);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn overfull_pipeline_panics() {
+        let _ = pipeline_ring(2, 5, 2);
+    }
+}

@@ -1,0 +1,185 @@
+//! Execution engines for DMGs: deterministic sequences and random policies.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::DmgError;
+use crate::fire::{Enabling, FiringRecord};
+use crate::graph::Dmg;
+use crate::marking::Marking;
+
+/// How a [`RandomExecutor`] picks among enabled nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulingPolicy {
+    /// Uniformly random among all enabled nodes (any rule).
+    #[default]
+    UniformEnabled,
+    /// Prefer positively enabled nodes; fall back to N, then E.
+    ///
+    /// Mirrors a conservative controller that only early-evaluates when
+    /// nothing conventional can proceed.
+    PositiveFirst,
+    /// Prefer early-enabled nodes: an aggressive early-evaluation policy that
+    /// maximizes anti-token generation. Useful to stress counterflow paths.
+    EarlyFirst,
+}
+
+/// A seeded random executor over a DMG.
+///
+/// # Example
+///
+/// ```
+/// use elastic_dmg::exec::{RandomExecutor, SchedulingPolicy};
+///
+/// # fn main() -> Result<(), elastic_dmg::DmgError> {
+/// let g = elastic_dmg::examples::fig1_dmg();
+/// let mut m = g.initial_marking();
+/// let mut exec = RandomExecutor::new(42, SchedulingPolicy::UniformEnabled);
+/// let trace = exec.run(&g, &mut m, 100)?;
+/// assert!(!trace.is_empty());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct RandomExecutor {
+    rng: StdRng,
+    policy: SchedulingPolicy,
+}
+
+impl RandomExecutor {
+    /// Creates an executor with a fixed seed (runs are reproducible).
+    pub fn new(seed: u64, policy: SchedulingPolicy) -> Self {
+        RandomExecutor { rng: StdRng::seed_from_u64(seed), policy }
+    }
+
+    /// Fires one enabled node according to the policy.
+    ///
+    /// Returns `Ok(None)` when no node is enabled (deadlock — impossible
+    /// from a live marking of a strongly connected graph).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DmgError::MarkingSize`] for mismatched markings.
+    pub fn step(&mut self, g: &Dmg, m: &mut Marking) -> Result<Option<FiringRecord>, DmgError> {
+        g.check_marking(m)?;
+        let enabled = g.enabled_nodes(m);
+        if enabled.is_empty() {
+            return Ok(None);
+        }
+        let pick = |cands: &[FiringRecord], rng: &mut StdRng| cands[rng.gen_range(0..cands.len())];
+        let chosen = match self.policy {
+            SchedulingPolicy::UniformEnabled => pick(&enabled, &mut self.rng),
+            SchedulingPolicy::PositiveFirst => {
+                let pref: Vec<_> = enabled
+                    .iter()
+                    .copied()
+                    .filter(|r| r.rule == Enabling::Positive)
+                    .collect();
+                if pref.is_empty() {
+                    pick(&enabled, &mut self.rng)
+                } else {
+                    pick(&pref, &mut self.rng)
+                }
+            }
+            SchedulingPolicy::EarlyFirst => {
+                let pref: Vec<_> =
+                    enabled.iter().copied().filter(|r| r.rule == Enabling::Early).collect();
+                if pref.is_empty() {
+                    pick(&enabled, &mut self.rng)
+                } else {
+                    pick(&pref, &mut self.rng)
+                }
+            }
+        };
+        g.fire_unchecked(m, chosen.node);
+        Ok(Some(chosen))
+    }
+
+    /// Runs up to `steps` firings, returning the trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error from [`RandomExecutor::step`].
+    pub fn run(
+        &mut self,
+        g: &Dmg,
+        m: &mut Marking,
+        steps: usize,
+    ) -> Result<Vec<FiringRecord>, DmgError> {
+        let mut trace = Vec::new();
+        for _ in 0..steps {
+            match self.step(g, m)? {
+                Some(rec) => trace.push(rec),
+                None => break,
+            }
+        }
+        Ok(trace)
+    }
+}
+
+/// Formats a trace as a compact string such as `"n2:P n1:E n7:N"`, handy in
+/// test failure messages and the figure-1 demo binary.
+pub fn format_trace(g: &Dmg, trace: &[FiringRecord]) -> String {
+    trace
+        .iter()
+        .map(|r| format!("{}:{}", g.node_name(r.node), r.rule.tag()))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = crate::examples::fig1_dmg();
+        let run = |seed| {
+            let mut m = g.initial_marking();
+            let mut e = RandomExecutor::new(seed, SchedulingPolicy::UniformEnabled);
+            e.run(&g, &mut m, 50).unwrap()
+        };
+        assert_eq!(run(1), run(1));
+    }
+
+    #[test]
+    fn live_graph_never_deadlocks() {
+        let g = crate::examples::fig1_dmg();
+        let mut m = g.initial_marking();
+        let mut e = RandomExecutor::new(9, SchedulingPolicy::UniformEnabled);
+        let trace = e.run(&g, &mut m, 300).unwrap();
+        assert_eq!(trace.len(), 300, "live SCDMG must keep firing");
+    }
+
+    #[test]
+    fn early_first_policy_uses_early_firings() {
+        let g = crate::examples::fig1_dmg();
+        let mut m = g.initial_marking();
+        let mut e = RandomExecutor::new(5, SchedulingPolicy::EarlyFirst);
+        let trace = e.run(&g, &mut m, 200).unwrap();
+        assert!(
+            trace.iter().any(|r| r.rule == Enabling::Early),
+            "aggressive policy should exercise early firing"
+        );
+    }
+
+    #[test]
+    fn positive_first_policy_prefers_positive() {
+        let g = crate::examples::fig1_dmg();
+        let mut m = g.initial_marking();
+        let mut e = RandomExecutor::new(5, SchedulingPolicy::PositiveFirst);
+        let trace = e.run(&g, &mut m, 200).unwrap();
+        let pos = trace.iter().filter(|r| r.rule == Enabling::Positive).count();
+        assert!(pos * 2 > trace.len(), "most firings should be positive");
+    }
+
+    #[test]
+    fn trace_formatting() {
+        let g = crate::examples::fig1_dmg();
+        let mut m = g.initial_marking();
+        let n2 = g.node_by_name("n2").unwrap();
+        let rule = g.fire(&mut m, n2).unwrap();
+        let s = format_trace(&g, &[FiringRecord { node: n2, rule }]);
+        assert_eq!(s, "n2:P");
+    }
+}

@@ -1,0 +1,259 @@
+use crate::error::DmgError;
+use crate::graph::{Dmg, NodeId};
+use crate::marking::Marking;
+
+/// The rule under which a node is enabled at a marking (paper Sect. 2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Enabling {
+    /// Conventional enabling: every input arc is positively marked.
+    Positive,
+    /// Counterflow enabling: every output arc is negatively marked; firing
+    /// moves anti-tokens from the outputs to the inputs.
+    Negative,
+    /// Early enabling (only for early nodes): the input arcs sum to a
+    /// positive count but at least one input arc is unmarked; firing leaves
+    /// anti-tokens on the late inputs.
+    Early,
+}
+
+impl Enabling {
+    /// Short tag used in execution traces: `P`, `N` or `E`.
+    pub fn tag(self) -> char {
+        match self {
+            Enabling::Positive => 'P',
+            Enabling::Negative => 'N',
+            Enabling::Early => 'E',
+        }
+    }
+}
+
+/// One step of an execution: which node fired and under which rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FiringRecord {
+    /// The node that fired.
+    pub node: NodeId,
+    /// The enabling rule that justified the firing.
+    pub rule: Enabling,
+}
+
+impl Dmg {
+    /// Determines whether `node` is enabled at `m`, and under which rule.
+    ///
+    /// Positive enabling is reported in preference to early enabling when
+    /// both hold (a P-enabled early node does not need to guess), and
+    /// negative enabling is reported only when positive enabling does not
+    /// hold, mirroring the priority used by the controllers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not part of this graph or `m` has the wrong size.
+    pub fn enabling(&self, m: &Marking, node: NodeId) -> Option<Enabling> {
+        let ins = self.in_arcs(node);
+        let outs = self.out_arcs(node);
+        if !ins.is_empty() && ins.iter().all(|&a| m.get(a) > 0) {
+            return Some(Enabling::Positive);
+        }
+        if !outs.is_empty() && outs.iter().all(|&a| m.get(a) < 0) {
+            return Some(Enabling::Negative);
+        }
+        if self.is_early(node) {
+            let sum: i64 = ins.iter().map(|&a| m.get(a)).sum();
+            let some_empty = ins.iter().any(|&a| m.get(a) == 0);
+            if sum > 0 && some_empty {
+                return Some(Enabling::Early);
+            }
+        }
+        None
+    }
+
+    /// All nodes enabled at `m`, with their rules.
+    pub fn enabled_nodes(&self, m: &Marking) -> Vec<FiringRecord> {
+        self.nodes()
+            .filter_map(|n| self.enabling(m, n).map(|rule| FiringRecord { node: n, rule }))
+            .collect()
+    }
+
+    /// Fires `node` at `m` using the marked-graph firing rule (paper eq. 1):
+    /// each pure input arc loses a token, each pure output arc gains one,
+    /// self-loop arcs are untouched. The rule is identical for P, N and E
+    /// firings — that identity is what preserves the MG invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmgError::NotEnabled`] if no enabling rule holds, leaving
+    /// `m` untouched, or [`DmgError::MarkingSize`] for a mismatched marking.
+    pub fn fire(&self, m: &mut Marking, node: NodeId) -> Result<Enabling, DmgError> {
+        self.check_marking(m)?;
+        let rule = self.enabling(m, node).ok_or(DmgError::NotEnabled(node))?;
+        self.fire_unchecked(m, node);
+        Ok(rule)
+    }
+
+    /// Applies the firing rule without checking enabledness.
+    ///
+    /// Useful for analyses that explore hypothetical firings; ordinary
+    /// executions should call [`Dmg::fire`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or `m` has the wrong size.
+    pub fn fire_unchecked(&self, m: &mut Marking, node: NodeId) {
+        // Self-loop arcs appear in both presets; the +1 and -1 cancel, which
+        // the paper encodes as the "otherwise" branch of eq. (1).
+        for &a in self.in_arcs(node) {
+            m.add(a, -1);
+        }
+        for &a in self.out_arcs(node) {
+            m.add(a, 1);
+        }
+    }
+
+    /// Fires a sequence of nodes, returning the rules used.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first node that is not enabled and reports it; `m` keeps
+    /// the marking reached so far.
+    pub fn fire_sequence<I>(&self, m: &mut Marking, seq: I) -> Result<Vec<Enabling>, DmgError>
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        let mut rules = Vec::new();
+        for node in seq {
+            rules.push(self.fire(m, node)?);
+        }
+        Ok(rules)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DmgBuilder;
+
+    /// a -> b -> a ring with one token on a->b.
+    fn two_ring() -> (Dmg, NodeId, NodeId) {
+        let mut b = DmgBuilder::new();
+        let x = b.node("x");
+        let y = b.node("y");
+        b.arc(x, y, 1);
+        b.arc(y, x, 0);
+        (b.build().unwrap(), x, y)
+    }
+
+    #[test]
+    fn positive_enabling_and_firing() {
+        let (g, x, y) = two_ring();
+        let mut m = g.initial_marking();
+        assert_eq!(g.enabling(&m, y), Some(Enabling::Positive));
+        assert_eq!(g.enabling(&m, x), None);
+        assert_eq!(g.fire(&mut m, y).unwrap(), Enabling::Positive);
+        assert_eq!(m.as_slice(), &[0, 1]);
+    }
+
+    #[test]
+    fn firing_disabled_node_is_an_error_and_preserves_marking() {
+        let (g, x, _) = two_ring();
+        let mut m = g.initial_marking();
+        let before = m.clone();
+        assert_eq!(g.fire(&mut m, x).unwrap_err(), DmgError::NotEnabled(x));
+        assert_eq!(m, before);
+    }
+
+    #[test]
+    fn negative_enabling_propagates_anti_tokens_backwards() {
+        let (g, x, _y) = two_ring();
+        // Put an anti-token on x's only output arc x->y.
+        let mut m = Marking::from_vec(vec![-1, 0]);
+        assert_eq!(g.enabling(&m, x), Some(Enabling::Negative));
+        g.fire(&mut m, x).unwrap();
+        // x->y gains a token (back to 0), y->x loses one (anti-token moved).
+        assert_eq!(m.as_slice(), &[0, -1]);
+    }
+
+    #[test]
+    fn early_enabling_generates_anti_tokens() {
+        // join node j with two inputs; early.
+        let mut b = DmgBuilder::new();
+        let p1 = b.node("p1");
+        let p2 = b.node("p2");
+        let j = b.early_node("j");
+        let a1 = b.arc(p1, j, 1);
+        let a2 = b.arc(p2, j, 0);
+        let out = b.arc(j, p1, 0); // close enough for the rule test
+        let g = b.build().unwrap();
+        let mut m = g.initial_marking();
+        assert_eq!(g.enabling(&m, j), Some(Enabling::Early));
+        g.fire(&mut m, j).unwrap();
+        assert_eq!(m.get(a1), 0);
+        assert_eq!(m.get(a2), -1, "late input receives an anti-token");
+        assert_eq!(m.get(out), 1);
+    }
+
+    #[test]
+    fn early_node_prefers_positive_when_all_inputs_ready() {
+        let mut b = DmgBuilder::new();
+        let p = b.node("p");
+        let j = b.early_node("j");
+        b.arc(p, j, 1);
+        b.arc(j, p, 0);
+        let g = b.build().unwrap();
+        let m = g.initial_marking();
+        assert_eq!(g.enabling(&m, j), Some(Enabling::Positive));
+    }
+
+    #[test]
+    fn early_requires_positive_sum() {
+        let mut b = DmgBuilder::new();
+        let p1 = b.node("p1");
+        let p2 = b.node("p2");
+        let j = b.early_node("j");
+        let a1 = b.arc(p1, j, 1);
+        let a2 = b.arc(p2, j, 0);
+        b.arc(j, p1, 0);
+        let g = b.build().unwrap();
+        let mut m = g.initial_marking();
+        m.set(a1, 1);
+        m.set(a2, -1);
+        // Sum is zero: not early-enabled.
+        assert_eq!(g.enabling(&m, j), None);
+    }
+
+    #[test]
+    fn non_early_node_never_early_enables() {
+        let mut b = DmgBuilder::new();
+        let p1 = b.node("p1");
+        let p2 = b.node("p2");
+        let j = b.node("j"); // lazy
+        b.arc(p1, j, 5);
+        b.arc(p2, j, 0);
+        b.arc(j, p1, 0);
+        let g = b.build().unwrap();
+        let m = g.initial_marking();
+        assert_eq!(g.enabling(&m, j), None);
+    }
+
+    #[test]
+    fn enabled_nodes_lists_all() {
+        let (g, _, y) = two_ring();
+        let m = g.initial_marking();
+        let en = g.enabled_nodes(&m);
+        assert_eq!(en, vec![FiringRecord { node: y, rule: Enabling::Positive }]);
+    }
+
+    #[test]
+    fn fire_sequence_reports_rules() {
+        let (g, x, y) = two_ring();
+        let mut m = g.initial_marking();
+        let rules = g.fire_sequence(&mut m, [y, x]).unwrap();
+        assert_eq!(rules, vec![Enabling::Positive, Enabling::Positive]);
+        assert_eq!(m, g.initial_marking());
+    }
+
+    #[test]
+    fn rule_tags() {
+        assert_eq!(Enabling::Positive.tag(), 'P');
+        assert_eq!(Enabling::Negative.tag(), 'N');
+        assert_eq!(Enabling::Early.tag(), 'E');
+    }
+}

@@ -1,0 +1,400 @@
+use std::fmt;
+
+use crate::error::DmgError;
+use crate::marking::Marking;
+
+/// Identifier of a node (transition) in a [`Dmg`].
+///
+/// Node ids are dense indices assigned in creation order by [`DmgBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+/// Identifier of an arc (place) in a [`Dmg`].
+///
+/// Arc ids are dense indices assigned in creation order by [`DmgBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArcId(pub(crate) u32);
+
+impl NodeId {
+    /// Dense index of this node, suitable for indexing per-node tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ArcId {
+    /// Dense index of this arc, suitable for indexing per-arc tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for ArcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// Endpoints and metadata of one arc.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArcInfo {
+    /// Producing node.
+    pub from: NodeId,
+    /// Consuming node.
+    pub to: NodeId,
+    /// Human-readable label used in diagnostics and dumps.
+    pub name: String,
+}
+
+/// Builder for [`Dmg`] graphs.
+///
+/// # Example
+///
+/// ```
+/// use elastic_dmg::DmgBuilder;
+///
+/// # fn main() -> Result<(), elastic_dmg::DmgError> {
+/// let mut b = DmgBuilder::new();
+/// let n1 = b.early_node("mux");
+/// let n2 = b.node("adder");
+/// b.arc(n1, n2, 1);
+/// b.arc(n2, n1, 0);
+/// let dmg = b.build()?;
+/// assert_eq!(dmg.num_nodes(), 2);
+/// assert!(dmg.is_early(n1));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct DmgBuilder {
+    names: Vec<String>,
+    early: Vec<bool>,
+    arcs: Vec<ArcInfo>,
+    initial: Vec<i64>,
+}
+
+impl DmgBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an ordinary (lazy) node and returns its id.
+    pub fn node(&mut self, name: impl Into<String>) -> NodeId {
+        self.names.push(name.into());
+        self.early.push(false);
+        NodeId(self.names.len() as u32 - 1)
+    }
+
+    /// Adds an early-enabling node (drawn with a thick bar in the paper).
+    pub fn early_node(&mut self, name: impl Into<String>) -> NodeId {
+        let id = self.node(name);
+        self.early[id.index()] = true;
+        id
+    }
+
+    /// Adds an arc from `from` to `to` with `tokens` initial tokens
+    /// (may be negative to start with anti-tokens) and returns its id.
+    ///
+    /// The arc is named `"<from>-><to>"`; use [`DmgBuilder::named_arc`] to
+    /// control the label.
+    pub fn arc(&mut self, from: NodeId, to: NodeId, tokens: i64) -> ArcId {
+        let name = format!(
+            "{}->{}",
+            self.names.get(from.index()).map(String::as_str).unwrap_or("?"),
+            self.names.get(to.index()).map(String::as_str).unwrap_or("?")
+        );
+        self.named_arc(name, from, to, tokens)
+    }
+
+    /// Adds an arc with an explicit label.
+    pub fn named_arc(
+        &mut self,
+        name: impl Into<String>,
+        from: NodeId,
+        to: NodeId,
+        tokens: i64,
+    ) -> ArcId {
+        self.arcs.push(ArcInfo { from, to, name: name.into() });
+        self.initial.push(tokens);
+        ArcId(self.arcs.len() as u32 - 1)
+    }
+
+    /// Finalizes the graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmgError::Empty`] for a graph without nodes and
+    /// [`DmgError::UnknownNode`] if an arc references a node id that was
+    /// never created by this builder.
+    pub fn build(self) -> Result<Dmg, DmgError> {
+        if self.names.is_empty() {
+            return Err(DmgError::Empty);
+        }
+        let n = self.names.len();
+        for info in &self.arcs {
+            if info.from.index() >= n {
+                return Err(DmgError::UnknownNode(info.from));
+            }
+            if info.to.index() >= n {
+                return Err(DmgError::UnknownNode(info.to));
+            }
+        }
+        let mut in_arcs = vec![Vec::new(); n];
+        let mut out_arcs = vec![Vec::new(); n];
+        for (i, info) in self.arcs.iter().enumerate() {
+            out_arcs[info.from.index()].push(ArcId(i as u32));
+            in_arcs[info.to.index()].push(ArcId(i as u32));
+        }
+        Ok(Dmg {
+            names: self.names,
+            early: self.early,
+            arcs: self.arcs,
+            in_arcs,
+            out_arcs,
+            initial: Marking::from_vec(self.initial),
+        })
+    }
+}
+
+/// A dual marked graph: nodes, arcs, an early-enabling subset of nodes and an
+/// initial (possibly negative) marking.
+///
+/// The structure is immutable after [`DmgBuilder::build`]; markings evolve
+/// separately as [`Marking`] values so that many executions can share one
+/// graph.
+#[derive(Debug, Clone)]
+pub struct Dmg {
+    names: Vec<String>,
+    early: Vec<bool>,
+    arcs: Vec<ArcInfo>,
+    in_arcs: Vec<Vec<ArcId>>,
+    out_arcs: Vec<Vec<ArcId>>,
+    initial: Marking,
+}
+
+impl Dmg {
+    /// Number of nodes (transitions).
+    pub fn num_nodes(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of arcs (places).
+    pub fn num_arcs(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Iterator over all node ids in index order.
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        (0..self.names.len() as u32).map(NodeId)
+    }
+
+    /// Iterator over all arc ids in index order.
+    pub fn arcs(&self) -> impl ExactSizeIterator<Item = ArcId> + '_ {
+        (0..self.arcs.len() as u32).map(ArcId)
+    }
+
+    /// Name of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not belong to this graph.
+    pub fn node_name(&self, node: NodeId) -> &str {
+        &self.names[node.index()]
+    }
+
+    /// Metadata of `arc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arc` does not belong to this graph.
+    pub fn arc_info(&self, arc: ArcId) -> &ArcInfo {
+        &self.arcs[arc.index()]
+    }
+
+    /// Looks a node up by name. Names are not required to be unique; the
+    /// first match in creation order wins.
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.names.iter().position(|n| n == name).map(|i| NodeId(i as u32))
+    }
+
+    /// Looks an arc up by label.
+    pub fn arc_by_name(&self, name: &str) -> Option<ArcId> {
+        self.arcs.iter().position(|a| a.name == name).map(|i| ArcId(i as u32))
+    }
+
+    /// Incoming arcs of `node` (the preset `•n`).
+    pub fn in_arcs(&self, node: NodeId) -> &[ArcId] {
+        &self.in_arcs[node.index()]
+    }
+
+    /// Outgoing arcs of `node` (the postset `n•`).
+    pub fn out_arcs(&self, node: NodeId) -> &[ArcId] {
+        &self.out_arcs[node.index()]
+    }
+
+    /// Whether `node` belongs to the early-enabling subset `E`.
+    pub fn is_early(&self, node: NodeId) -> bool {
+        self.early[node.index()]
+    }
+
+    /// A fresh copy of the initial marking.
+    pub fn initial_marking(&self) -> Marking {
+        self.initial.clone()
+    }
+
+    /// Checks that a marking has one entry per arc.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmgError::MarkingSize`] on mismatch.
+    pub fn check_marking(&self, m: &Marking) -> Result<(), DmgError> {
+        if m.len() != self.num_arcs() {
+            return Err(DmgError::MarkingSize { expected: self.num_arcs(), found: m.len() });
+        }
+        Ok(())
+    }
+
+    /// Whether the graph is strongly connected (ignoring markings).
+    ///
+    /// Elastic systems are modelled as strongly connected DMGs; open systems
+    /// close the loop through an environment node.
+    pub fn is_strongly_connected(&self) -> bool {
+        let n = self.num_nodes();
+        if n == 0 {
+            return false;
+        }
+        let reaches = |start: usize, forward: bool| -> usize {
+            let mut seen = vec![false; n];
+            let mut stack = vec![start];
+            seen[start] = true;
+            let mut count = 1;
+            while let Some(v) = stack.pop() {
+                let arcs = if forward { &self.out_arcs[v] } else { &self.in_arcs[v] };
+                for &a in arcs {
+                    let info = &self.arcs[a.index()];
+                    let w = if forward { info.to.index() } else { info.from.index() };
+                    if !seen[w] {
+                        seen[w] = true;
+                        count += 1;
+                        stack.push(w);
+                    }
+                }
+            }
+            count
+        };
+        reaches(0, true) == n && reaches(0, false) == n
+    }
+
+    /// Renders the marking as a one-line diagnostic string, using `(-k)` for
+    /// anti-tokens, matching the paper's circle/anti-circle notation.
+    pub fn format_marking(&self, m: &Marking) -> String {
+        let mut parts = Vec::new();
+        for a in self.arcs() {
+            let v = m.get(a);
+            if v != 0 {
+                parts.push(format!("{}:{}", self.arcs[a.index()].name, v));
+            }
+        }
+        if parts.is_empty() {
+            "(empty)".to_string()
+        } else {
+            parts.join(", ")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(k: usize) -> Dmg {
+        let mut b = DmgBuilder::new();
+        let nodes: Vec<_> = (0..k).map(|i| b.node(format!("n{i}"))).collect();
+        for i in 0..k {
+            b.arc(nodes[i], nodes[(i + 1) % k], i64::from(i == 0));
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_assigns_dense_ids() {
+        let mut b = DmgBuilder::new();
+        let a = b.node("a");
+        let c = b.node("c");
+        assert_eq!(a.index(), 0);
+        assert_eq!(c.index(), 1);
+        let arc = b.arc(a, c, 2);
+        assert_eq!(arc.index(), 0);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.num_arcs(), 1);
+        assert_eq!(g.initial_marking().get(arc), 2);
+    }
+
+    #[test]
+    fn empty_graph_rejected() {
+        assert_eq!(DmgBuilder::new().build().unwrap_err(), DmgError::Empty);
+    }
+
+    #[test]
+    fn arc_names_follow_node_names() {
+        let mut b = DmgBuilder::new();
+        let s = b.node("S");
+        let w = b.node("W");
+        let a = b.arc(s, w, 0);
+        let g = b.build().unwrap();
+        assert_eq!(g.arc_info(a).name, "S->W");
+        assert_eq!(g.arc_by_name("S->W"), Some(a));
+        assert_eq!(g.node_by_name("W"), Some(w));
+    }
+
+    #[test]
+    fn preset_and_postset() {
+        let mut b = DmgBuilder::new();
+        let x = b.node("x");
+        let y = b.node("y");
+        let z = b.node("z");
+        let xy = b.arc(x, y, 0);
+        let xz = b.arc(x, z, 0);
+        let zy = b.arc(z, y, 0);
+        let g = b.build().unwrap();
+        assert_eq!(g.out_arcs(x), &[xy, xz]);
+        assert_eq!(g.in_arcs(y), &[xy, zy]);
+        assert_eq!(g.in_arcs(x), &[]);
+    }
+
+    #[test]
+    fn strong_connectivity() {
+        assert!(ring(4).is_strongly_connected());
+        let mut b = DmgBuilder::new();
+        let a = b.node("a");
+        let c = b.node("b");
+        b.arc(a, c, 0);
+        assert!(!b.build().unwrap().is_strongly_connected());
+    }
+
+    #[test]
+    fn format_marking_shows_nonzero_entries() {
+        let g = ring(3);
+        let m = g.initial_marking();
+        let s = g.format_marking(&m);
+        assert!(s.contains("n0->n1:1"), "{s}");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(NodeId(0));
+        set.insert(NodeId(1));
+        assert!(NodeId(0) < NodeId(1));
+        assert_eq!(set.len(), 2);
+    }
+}

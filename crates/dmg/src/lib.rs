@@ -1,0 +1,60 @@
+//! Dual marked graphs (DMGs): the behavioural model behind synchronous
+//! elastic circuits with early evaluation and token counterflow.
+//!
+//! A *marked graph* (MG) is a Petri net without choice: every place has one
+//! producer and one consumer, so it can be drawn as a directed graph whose
+//! arcs carry tokens. A *dual marked graph* (DMG) extends MGs with
+//!
+//! * **negative markings** — an arc may hold *anti-tokens* (negative counts),
+//! * **negative (N) enabling** — a node fires backwards when all its output
+//!   arcs are negatively marked, propagating anti-tokens toward its inputs,
+//! * **early (E) enabling** — designated nodes may fire before all their
+//!   input arcs are marked, leaving anti-tokens behind on the late inputs.
+//!
+//! The firing rule itself is unchanged, which is why the classic MG
+//! invariants survive: the token sum of every directed cycle is preserved by
+//! any firing, live initial markings stay deadlock-free, and firing every
+//! node the same number of times returns to the same marking.
+//!
+//! This crate provides the graph/marking data structures, the three enabling
+//! rules, executors, cycle enumeration, liveness and token-preservation
+//! checks, bounded reachability, and minimum-cycle-ratio throughput bounds.
+//!
+//! # Example
+//!
+//! ```
+//! use elastic_dmg::{DmgBuilder, Enabling};
+//!
+//! # fn main() -> Result<(), elastic_dmg::DmgError> {
+//! // A two-node ring: producer -> consumer -> producer, one token.
+//! let mut b = DmgBuilder::new();
+//! let p = b.node("producer");
+//! let c = b.node("consumer");
+//! let forward = b.arc(p, c, 1);
+//! let backward = b.arc(c, p, 0);
+//! let dmg = b.build()?;
+//!
+//! let mut m = dmg.initial_marking();
+//! assert_eq!(dmg.enabling(&m, c), Some(Enabling::Positive));
+//! dmg.fire(&mut m, c)?;
+//! assert_eq!(m.get(forward), 0);
+//! assert_eq!(m.get(backward), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+mod fire;
+mod graph;
+mod marking;
+
+pub mod analysis;
+pub mod examples;
+pub mod exec;
+
+pub use error::DmgError;
+pub use fire::{Enabling, FiringRecord};
+pub use graph::{ArcId, ArcInfo, Dmg, DmgBuilder, NodeId};
+pub use marking::Marking;

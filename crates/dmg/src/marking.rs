@@ -1,0 +1,176 @@
+use std::fmt;
+
+use crate::graph::ArcId;
+
+/// A marking of a dual marked graph: one signed token count per arc.
+///
+/// Positive entries are ordinary tokens carrying data forward; negative
+/// entries are *anti-tokens* travelling backwards to cancel data that became
+/// irrelevant after an early evaluation.
+///
+/// # Example
+///
+/// ```
+/// use elastic_dmg::Marking;
+///
+/// let mut m = Marking::zero(3);
+/// m.set_index(1, -2);
+/// assert_eq!(m.total(), -2);
+/// assert_eq!(m.as_slice(), &[0, -2, 0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Marking(Vec<i64>);
+
+impl Marking {
+    /// All-zero marking over `num_arcs` arcs.
+    pub fn zero(num_arcs: usize) -> Self {
+        Marking(vec![0; num_arcs])
+    }
+
+    /// Builds a marking from an explicit vector (one entry per arc).
+    pub fn from_vec(v: Vec<i64>) -> Self {
+        Marking(v)
+    }
+
+    /// Number of arcs this marking covers.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the marking covers zero arcs.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Token count of `arc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arc` is out of range for this marking.
+    pub fn get(&self, arc: ArcId) -> i64 {
+        self.0[arc.index()]
+    }
+
+    /// Sets the token count of `arc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arc` is out of range for this marking.
+    pub fn set(&mut self, arc: ArcId, tokens: i64) {
+        self.0[arc.index()] = tokens;
+    }
+
+    /// Sets by raw index (useful in tests and property generators).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn set_index(&mut self, index: usize, tokens: i64) {
+        self.0[index] = tokens;
+    }
+
+    /// Adds `delta` tokens to `arc` (negative to add anti-tokens).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arc` is out of range for this marking.
+    pub fn add(&mut self, arc: ArcId, delta: i64) {
+        self.0[arc.index()] += delta;
+    }
+
+    /// Sum of tokens over a subset of arcs — `M(φ)` in the paper.
+    pub fn sum<I: IntoIterator<Item = ArcId>>(&self, arcs: I) -> i64 {
+        arcs.into_iter().map(|a| self.get(a)).sum()
+    }
+
+    /// Sum over all arcs.
+    pub fn total(&self) -> i64 {
+        self.0.iter().sum()
+    }
+
+    /// Number of arcs carrying at least one anti-token.
+    pub fn num_negative(&self) -> usize {
+        self.0.iter().filter(|&&v| v < 0).count()
+    }
+
+    /// Number of arcs carrying at least one positive token.
+    pub fn num_positive(&self) -> usize {
+        self.0.iter().filter(|&&v| v > 0).count()
+    }
+
+    /// Whether every arc is non-negatively marked (an ordinary MG marking).
+    pub fn is_nonnegative(&self) -> bool {
+        self.0.iter().all(|&v| v >= 0)
+    }
+
+    /// Raw view of the per-arc counts in arc-id order.
+    pub fn as_slice(&self) -> &[i64] {
+        &self.0
+    }
+}
+
+impl FromIterator<i64> for Marking {
+    fn from_iter<T: IntoIterator<Item = i64>>(iter: T) -> Self {
+        Marking(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Display for Marking {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_marking() {
+        let m = Marking::zero(4);
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.total(), 0);
+        assert!(m.is_nonnegative());
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn add_and_sum() {
+        let mut m = Marking::zero(3);
+        m.add(ArcId(0), 2);
+        m.add(ArcId(2), -1);
+        assert_eq!(m.get(ArcId(0)), 2);
+        assert_eq!(m.sum([ArcId(0), ArcId(2)]), 1);
+        assert_eq!(m.num_negative(), 1);
+        assert_eq!(m.num_positive(), 1);
+        assert!(!m.is_nonnegative());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let m = Marking::from_vec(vec![1, -1, 0]);
+        assert_eq!(m.to_string(), "[1 -1 0]");
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let m: Marking = (0..3).map(|i| i as i64).collect();
+        assert_eq!(m.as_slice(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn equality_and_hash_for_state_sets() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Marking::from_vec(vec![1, 0]));
+        set.insert(Marking::from_vec(vec![1, 0]));
+        assert_eq!(set.len(), 1);
+    }
+}

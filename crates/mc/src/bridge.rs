@@ -1,0 +1,315 @@
+//! Bridge from gate-level netlists to Kripke structures.
+//!
+//! Primary inputs of the netlist are treated as free (nondeterministic)
+//! environment variables, exactly like `VAR`s in an SMV model: a Kripke
+//! state is a pair *(flip-flop state, input valuation)* and every state has
+//! one successor per input valuation of the next cycle. Every *named* net
+//! becomes an atomic proposition, evaluated on the settled combinational
+//! valuation of the pair.
+//!
+//! Fairness constraints are given as net names: the set of pairs where the
+//! net is true must recur on fair paths (used for "the environment offers
+//! data / accepts data infinitely often" when checking liveness).
+
+use std::collections::HashMap;
+
+use elastic_netlist::sim::Simulator;
+use elastic_netlist::Netlist;
+
+use crate::bitset::StateSet;
+use crate::error::McError;
+use crate::kripke::{Kripke, StateId};
+
+/// Budgets for the exhaustive exploration.
+#[derive(Debug, Clone, Copy)]
+pub struct BridgeOptions {
+    /// Maximum number of distinct flip-flop states.
+    pub max_ff_states: usize,
+    /// Maximum number of primary inputs (the input alphabet is `2^inputs`).
+    pub max_inputs: usize,
+}
+
+impl Default for BridgeOptions {
+    fn default() -> Self {
+        BridgeOptions { max_ff_states: 1 << 20, max_inputs: 14 }
+    }
+}
+
+/// A Kripke structure backed by the reachable state space of a netlist.
+#[derive(Debug, Clone)]
+pub struct NetlistKripke {
+    /// Number of input valuations (`2^k`).
+    combos: usize,
+    /// Successor flip-flop state per pair, indexed `ff_idx * combos + i`.
+    delta: Vec<u32>,
+    /// Atom sets over pairs, one per named net.
+    atoms: HashMap<String, StateSet>,
+    /// Fairness sets over pairs.
+    fairness: Vec<StateSet>,
+    /// Stored flip-flop states (for state descriptions in witnesses).
+    ff_states: Vec<Vec<bool>>,
+    /// Names of the state nets and input nets, for descriptions.
+    state_names: Vec<String>,
+    input_names: Vec<String>,
+}
+
+impl NetlistKripke {
+    /// Number of distinct flip-flop states discovered.
+    pub fn num_ff_states(&self) -> usize {
+        self.ff_states.len()
+    }
+
+    /// Decomposes a pair id into (flip-flop state index, input index).
+    fn split(&self, s: StateId) -> (usize, usize) {
+        (s / self.combos, s % self.combos)
+    }
+}
+
+/// Explores the reachable states of `netlist` under all input sequences and
+/// builds the Kripke structure.
+///
+/// Every named net becomes an atom; `fairness_nets` lists net names whose
+/// truth must recur along fair paths.
+///
+/// # Errors
+///
+/// * [`McError::Budget`] when the input count or state budget is exceeded;
+/// * [`McError::UnknownAtom`] when a fairness net name does not exist;
+/// * [`McError::Netlist`] for netlist construction errors (unbound state,
+///   combinational cycles, oscillation).
+pub fn netlist_kripke(
+    netlist: &Netlist,
+    fairness_nets: &[&str],
+    opts: BridgeOptions,
+) -> Result<NetlistKripke, McError> {
+    let num_inputs = netlist.inputs().len();
+    if num_inputs > opts.max_inputs {
+        return Err(McError::Budget { what: "inputs", limit: opts.max_inputs });
+    }
+    let combos = 1usize << num_inputs;
+    let mut sim = Simulator::new(netlist)?;
+    let inputs: Vec<_> = netlist.inputs().to_vec();
+    let named: Vec<(String, _)> =
+        netlist.named_nets().into_iter().map(|(s, n)| (s.to_string(), n)).collect();
+    for f in fairness_nets {
+        if !named.iter().any(|(n, _)| n == f) {
+            return Err(McError::UnknownAtom((*f).to_string()));
+        }
+    }
+
+    // Pass 1: BFS over flip-flop states; record successor and atom bits per
+    // (state, input) pair.
+    let initial = sim.state();
+    let mut index: HashMap<Vec<bool>, usize> = HashMap::new();
+    let mut ff_states = vec![initial.clone()];
+    index.insert(initial, 0);
+    // labels[pair] -> bitmask over named nets is too wide; store per-atom
+    // pair lists instead.
+    let mut atom_pairs: Vec<Vec<usize>> = vec![Vec::new(); named.len()];
+    let mut delta: Vec<u32> = Vec::new();
+    let mut frontier = 0usize;
+    while frontier < ff_states.len() {
+        let state = ff_states[frontier].clone();
+        for combo in 0..combos {
+            sim.load_state(&state);
+            for (bit, &inp) in inputs.iter().enumerate() {
+                sim.set_input(inp, combo >> bit & 1 == 1)?;
+            }
+            sim.settle()?;
+            let pair = frontier * combos + combo;
+            debug_assert_eq!(delta.len(), pair);
+            for (ai, (_, net)) in named.iter().enumerate() {
+                if sim.value(*net) {
+                    atom_pairs[ai].push(pair);
+                }
+            }
+            let next = sim.next_state();
+            let ni = match index.get(&next) {
+                Some(&i) => i,
+                None => {
+                    let i = ff_states.len();
+                    if i >= opts.max_ff_states {
+                        return Err(McError::Budget {
+                            what: "states",
+                            limit: opts.max_ff_states,
+                        });
+                    }
+                    index.insert(next.clone(), i);
+                    ff_states.push(next);
+                    i
+                }
+            };
+            delta.push(ni as u32);
+        }
+        frontier += 1;
+    }
+
+    let n_pairs = ff_states.len() * combos;
+    let mut atoms = HashMap::new();
+    for (ai, (name, _)) in named.iter().enumerate() {
+        let mut set = StateSet::empty(n_pairs);
+        for &p in &atom_pairs[ai] {
+            set.insert(p);
+        }
+        atoms.insert(name.clone(), set);
+    }
+    let fairness = fairness_nets
+        .iter()
+        .map(|f| atoms.get(*f).expect("validated above").clone())
+        .collect();
+    let state_names =
+        sim.state_nets().iter().map(|&n| netlist.net_name(n)).collect();
+    let input_names = inputs.iter().map(|&n| netlist.net_name(n)).collect();
+    Ok(NetlistKripke { combos, delta, atoms, fairness, ff_states, state_names, input_names })
+}
+
+impl Kripke for NetlistKripke {
+    fn num_states(&self) -> usize {
+        self.delta.len()
+    }
+
+    fn initial_states(&self) -> StateSet {
+        let mut s = StateSet::empty(self.num_states());
+        for i in 0..self.combos {
+            s.insert(i); // pairs (ff-state 0, every input valuation)
+        }
+        s
+    }
+
+    fn pre_exists(&self, target: &StateSet) -> StateSet {
+        // g[s'] = some pair (s', *) is in target.
+        let nff = self.ff_states.len();
+        let mut g = vec![false; nff];
+        for p in target.iter() {
+            g[p / self.combos] = true;
+        }
+        let mut out = StateSet::empty(self.num_states());
+        for (p, &succ) in self.delta.iter().enumerate() {
+            if g[succ as usize] {
+                out.insert(p);
+            }
+        }
+        out
+    }
+
+    fn post(&self, s: StateId, out: &mut Vec<StateId>) {
+        let succ = self.delta[s] as usize;
+        out.extend((0..self.combos).map(|i| succ * self.combos + i));
+    }
+
+    fn atom_set(&self, name: &str) -> Option<StateSet> {
+        self.atoms.get(name).cloned()
+    }
+
+    fn fairness_sets(&self) -> Vec<StateSet> {
+        self.fairness.clone()
+    }
+
+    fn describe_state(&self, s: StateId) -> String {
+        let (ff, combo) = self.split(s);
+        let bits = &self.ff_states[ff];
+        let regs: Vec<String> = self
+            .state_names
+            .iter()
+            .zip(bits)
+            .map(|(n, &b)| format!("{n}={}", u8::from(b)))
+            .collect();
+        let ins: Vec<String> = self
+            .input_names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| format!("{n}={}", u8::from(combo >> i & 1 == 1)))
+            .collect();
+        format!("[{} | {}]", regs.join(" "), ins.join(" "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::{check, check_fair};
+    use crate::parse;
+    use elastic_netlist::Netlist;
+
+    /// One-bit handshake: req input; grant FF follows req one cycle later.
+    fn follower() -> Netlist {
+        let mut n = Netlist::new("follower");
+        let req = n.input("req");
+        let grant = n.dff_bound(req, false);
+        n.set_name(grant, "grant").unwrap();
+        n
+    }
+
+    #[test]
+    fn follower_properties() {
+        let k = netlist_kripke(&follower(), &[], BridgeOptions::default()).unwrap();
+        assert_eq!(k.num_ff_states(), 2);
+        assert_eq!(k.num_states(), 4);
+        let f = parse("AG (req -> AX grant)").unwrap();
+        assert!(check(&k, &f).unwrap().holds());
+        // The input valuation is part of the state (SMV-style), so
+        // grant & !req deterministically loses the grant next cycle...
+        let g = parse("AG ((grant & req) -> AX grant)").unwrap();
+        assert!(check(&k, &g).unwrap().holds());
+        // ...and `EX grant` fails from (grant, req=0) pairs.
+        let ng = parse("AG (grant -> EX grant)").unwrap();
+        assert!(!check(&k, &ng).unwrap().holds());
+        let h = parse("AG grant").unwrap();
+        assert!(!check(&k, &h).unwrap().holds());
+    }
+
+    #[test]
+    fn liveness_needs_fairness() {
+        let n = follower();
+        let free = netlist_kripke(&n, &[], BridgeOptions::default()).unwrap();
+        let live = parse("AG AF grant").unwrap();
+        assert!(!check(&free, &live).unwrap().holds(), "env may never request");
+        let fair = netlist_kripke(&n, &["req"], BridgeOptions::default()).unwrap();
+        assert!(check_fair(&fair, &live).unwrap().holds());
+    }
+
+    #[test]
+    fn unknown_fairness_net() {
+        let e = netlist_kripke(&follower(), &["nope"], BridgeOptions::default()).unwrap_err();
+        assert_eq!(e, McError::UnknownAtom("nope".into()));
+    }
+
+    #[test]
+    fn input_budget_enforced() {
+        let mut n = Netlist::new("wide");
+        for i in 0..4 {
+            n.input(format!("i{i}"));
+        }
+        let e = netlist_kripke(&n, &[], BridgeOptions { max_ff_states: 10, max_inputs: 3 })
+            .unwrap_err();
+        assert!(matches!(e, McError::Budget { what: "inputs", .. }));
+    }
+
+    #[test]
+    fn state_descriptions_mention_nets() {
+        let n = follower();
+        let k = netlist_kripke(&n, &[], BridgeOptions::default()).unwrap();
+        let d = k.describe_state(1);
+        assert!(d.contains("grant=0"), "{d}");
+        assert!(d.contains("req=1"), "{d}");
+    }
+
+    #[test]
+    fn counter_reaches_all_states() {
+        // 2-bit counter: 4 ff states, no inputs.
+        let mut n = Netlist::new("counter");
+        let b0 = n.dff(false);
+        let b1 = n.dff(false);
+        let nb0 = n.not(b0);
+        let carry = b0;
+        let d1 = n.xor(b1, carry);
+        n.bind_dff(b0, nb0).unwrap();
+        n.bind_dff(b1, d1).unwrap();
+        n.set_name(b0, "b0").unwrap();
+        n.set_name(b1, "b1").unwrap();
+        let k = netlist_kripke(&n, &[], BridgeOptions::default()).unwrap();
+        assert_eq!(k.num_ff_states(), 4);
+        let f = parse("AG AF (b1 & b0)").unwrap();
+        assert!(check(&k, &f).unwrap().holds());
+    }
+}

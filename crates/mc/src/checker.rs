@@ -1,0 +1,394 @@
+//! Fixpoint evaluation of CTL formulae over [`Kripke`] models, with
+//! optional Emerson–Lei fairness.
+//!
+//! Universal operators are evaluated through their existential duals, which
+//! remains sound under fairness (`A_f X φ = ¬E_f X ¬φ`, etc.). Fair
+//! existential operators restrict to states with at least one fair path:
+//!
+//! * `E_f X φ = EX (φ ∧ fair)`
+//! * `E_f [φ U ψ] = E[φ U (ψ ∧ fair)]`
+//! * `E_f G φ` — the Emerson–Lei greatest fixpoint,
+//!
+//! where `fair = E_f G true`.
+
+use crate::bitset::StateSet;
+use crate::ctl::Ctl;
+use crate::error::McError;
+use crate::kripke::{Kripke, StateId};
+
+/// Result of checking one formula: the satisfying set plus the verdict on
+/// the initial states.
+#[derive(Debug, Clone)]
+pub struct CheckResult {
+    /// States satisfying the formula.
+    pub sat: StateSet,
+    /// Initial states of the model.
+    pub initial: StateSet,
+}
+
+impl CheckResult {
+    /// Whether every initial state satisfies the formula (the usual
+    /// `M ⊨ φ` verdict).
+    pub fn holds(&self) -> bool {
+        self.initial.is_subset(&self.sat)
+    }
+
+    /// Initial states violating the formula (empty iff [`holds`]).
+    ///
+    /// [`holds`]: CheckResult::holds
+    pub fn failing_initial(&self) -> StateSet {
+        let mut f = self.initial.clone();
+        f.subtract(&self.sat);
+        f
+    }
+}
+
+/// Checks `f` over `k` with plain CTL semantics (fairness ignored).
+///
+/// # Errors
+///
+/// [`McError::UnknownAtom`] if the formula references an undefined atom;
+/// [`McError::EmptyModel`] if the model has no states.
+pub fn check<K: Kripke + ?Sized>(k: &K, f: &Ctl) -> Result<CheckResult, McError> {
+    run(k, f, &[])
+}
+
+/// Checks `f` over `k` under the model's fairness constraints:
+/// path quantifiers range over paths that visit every fairness set
+/// infinitely often.
+///
+/// # Errors
+///
+/// Same as [`check`].
+pub fn check_fair<K: Kripke + ?Sized>(k: &K, f: &Ctl) -> Result<CheckResult, McError> {
+    let fairness = k.fairness_sets();
+    run(k, f, &fairness)
+}
+
+fn run<K: Kripke + ?Sized>(k: &K, f: &Ctl, fairness: &[StateSet]) -> Result<CheckResult, McError> {
+    if k.num_states() == 0 {
+        return Err(McError::EmptyModel);
+    }
+    let mut ev = Eval { k, fairness, fair: None };
+    let sat = ev.eval(f)?;
+    Ok(CheckResult { sat, initial: k.initial_states() })
+}
+
+struct Eval<'a, K: Kripke + ?Sized> {
+    k: &'a K,
+    fairness: &'a [StateSet],
+    /// Cache of `E_f G true` (all states with some fair path).
+    fair: Option<StateSet>,
+}
+
+impl<'a, K: Kripke + ?Sized> Eval<'a, K> {
+    fn n(&self) -> usize {
+        self.k.num_states()
+    }
+
+    fn fair_states(&mut self) -> StateSet {
+        if self.fairness.is_empty() {
+            return StateSet::full(self.n());
+        }
+        if let Some(f) = &self.fair {
+            return f.clone();
+        }
+        let f = self.eg_fair(&StateSet::full(self.n()));
+        self.fair = Some(f.clone());
+        f
+    }
+
+    fn eval(&mut self, f: &Ctl) -> Result<StateSet, McError> {
+        Ok(match f {
+            Ctl::Const(true) => StateSet::full(self.n()),
+            Ctl::Const(false) => StateSet::empty(self.n()),
+            Ctl::Atom(a) => {
+                self.k.atom_set(a).ok_or_else(|| McError::UnknownAtom(a.clone()))?
+            }
+            Ctl::Not(x) => self.eval(x)?.complement(),
+            Ctl::And(a, b) => {
+                let mut s = self.eval(a)?;
+                s.intersect_with(&self.eval(b)?);
+                s
+            }
+            Ctl::Or(a, b) => {
+                let mut s = self.eval(a)?;
+                s.union_with(&self.eval(b)?);
+                s
+            }
+            Ctl::Imp(a, b) => {
+                let mut s = self.eval(a)?.complement();
+                s.union_with(&self.eval(b)?);
+                s
+            }
+            Ctl::Ex(x) => {
+                let mut t = self.eval(x)?;
+                t.intersect_with(&self.fair_states());
+                self.k.pre_exists(&t)
+            }
+            Ctl::Ax(x) => {
+                // AX φ = ¬EX ¬φ
+                let mut t = self.eval(x)?.complement();
+                t.intersect_with(&self.fair_states());
+                self.k.pre_exists(&t).complement()
+            }
+            Ctl::Ef(x) => {
+                let phi = self.eval(x)?;
+                self.eu(&StateSet::full(self.n()), &phi)
+            }
+            Ctl::Af(x) => {
+                // AF φ = ¬EG ¬φ
+                let phi = self.eval(x)?.complement();
+                self.eg(&phi).complement()
+            }
+            Ctl::Eg(x) => {
+                let phi = self.eval(x)?;
+                self.eg(&phi)
+            }
+            Ctl::Ag(x) => {
+                // AG φ = ¬EF ¬φ
+                let phi = self.eval(x)?.complement();
+                self.eu(&StateSet::full(self.n()), &phi).complement()
+            }
+            Ctl::Eu(a, b) => {
+                let pa = self.eval(a)?;
+                let pb = self.eval(b)?;
+                self.eu(&pa, &pb)
+            }
+            Ctl::Au(a, b) => {
+                // A[a U b] = ¬( E[¬b U (¬a ∧ ¬b)] ∨ EG ¬b )
+                let pa = self.eval(a)?;
+                let pb = self.eval(b)?;
+                let nb = pb.complement();
+                let mut nanb = pa.complement();
+                nanb.intersect_with(&nb);
+                let mut bad = self.eu(&nb, &nanb);
+                bad.union_with(&self.eg(&nb));
+                bad.complement()
+            }
+        })
+    }
+
+    /// `E[φ U ψ]` restricted to fair paths: ψ-states must have a fair path.
+    fn eu(&mut self, phi: &StateSet, psi: &StateSet) -> StateSet {
+        let mut target = psi.clone();
+        target.intersect_with(&self.fair_states());
+        // Least fixpoint: Z = target ∪ (φ ∩ pre∃ Z).
+        let mut z = target;
+        loop {
+            let mut step = self.k.pre_exists(&z);
+            step.intersect_with(phi);
+            step.subtract(&z);
+            if step.is_empty() {
+                return z;
+            }
+            z.union_with(&step);
+        }
+    }
+
+    /// `EG φ` under fairness (plain greatest fixpoint when no constraints).
+    fn eg(&mut self, phi: &StateSet) -> StateSet {
+        if self.fairness.is_empty() {
+            // Greatest fixpoint: Z = φ ∩ pre∃ Z.
+            let mut z = phi.clone();
+            loop {
+                let mut next = self.k.pre_exists(&z);
+                next.intersect_with(phi);
+                if next == z {
+                    return z;
+                }
+                z = next;
+            }
+        } else {
+            self.eg_fair(phi)
+        }
+    }
+
+    /// Emerson–Lei `E_f G φ`: the largest `Z ⊆ φ` such that from every
+    /// `s ∈ Z` and for every fairness set `F_i` there is a non-empty path
+    /// through φ-states to some state of `Z ∩ F_i`.
+    fn eg_fair(&mut self, phi: &StateSet) -> StateSet {
+        let mut z = phi.clone();
+        loop {
+            let mut next = z.clone();
+            for fi in self.fairness {
+                let mut target = next.clone();
+                target.intersect_with(fi);
+                // E[φ U target] computed without fairness gating.
+                let mut reach = target;
+                loop {
+                    let mut step = self.k.pre_exists(&reach);
+                    step.intersect_with(phi);
+                    step.subtract(&reach);
+                    if step.is_empty() {
+                        break;
+                    }
+                    reach.union_with(&step);
+                }
+                let mut keep = self.k.pre_exists(&reach);
+                keep.intersect_with(phi);
+                next.intersect_with(&keep);
+            }
+            if next == z {
+                return z;
+            }
+            z = next;
+        }
+    }
+}
+
+/// Breadth-first witness: a shortest path from an initial state into
+/// `target`, or `None` when unreachable. Used to print counterexamples to
+/// failed `AG` properties (the reachable bad state).
+pub fn witness_to<K: Kripke + ?Sized>(k: &K, target: &StateSet) -> Option<Vec<StateId>> {
+    use std::collections::VecDeque;
+    let n = k.num_states();
+    let mut pred: Vec<Option<StateId>> = vec![None; n];
+    let mut seen = StateSet::empty(n);
+    let mut queue = VecDeque::new();
+    for s in k.initial_states().iter() {
+        if target.contains(s) {
+            return Some(vec![s]);
+        }
+        seen.insert(s);
+        queue.push_back(s);
+    }
+    let mut out = Vec::new();
+    while let Some(s) = queue.pop_front() {
+        out.clear();
+        k.post(s, &mut out);
+        for &t in &out {
+            if seen.contains(t) {
+                continue;
+            }
+            seen.insert(t);
+            pred[t] = Some(s);
+            if target.contains(t) {
+                let mut path = vec![t];
+                let mut cur = t;
+                while let Some(p) = pred[cur] {
+                    path.push(p);
+                    cur = p;
+                }
+                path.reverse();
+                return Some(path);
+            }
+            queue.push_back(t);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kripke::ExplicitKripke;
+    use crate::parse;
+
+    /// 0 -> 1 -> 2 -> 2, with a side loop 1 -> 0.
+    fn model() -> ExplicitKripke {
+        let mut k = ExplicitKripke::new(3);
+        k.add_edge(0, 1);
+        k.add_edge(1, 2);
+        k.add_edge(1, 0);
+        k.add_edge(2, 2);
+        k.set_initial(0);
+        k.set_atom("a", [0]).unwrap();
+        k.set_atom("b", [1]).unwrap();
+        k.set_atom("c", [2]).unwrap();
+        k
+    }
+
+    fn holds(k: &ExplicitKripke, f: &str) -> bool {
+        check(k, &parse(f).unwrap()).unwrap().holds()
+    }
+
+    fn holds_fair(k: &ExplicitKripke, f: &str) -> bool {
+        check_fair(k, &parse(f).unwrap()).unwrap().holds()
+    }
+
+    #[test]
+    fn basic_operators() {
+        let k = model();
+        assert!(holds(&k, "a"));
+        assert!(!holds(&k, "b"));
+        assert!(holds(&k, "EX b"));
+        assert!(holds(&k, "AX b"));
+        assert!(holds(&k, "EF c"));
+        assert!(!holds(&k, "AF c"), "the 0<->1 loop avoids c forever");
+        assert!(holds(&k, "AG (c -> AG c)"), "c is a sink");
+        assert!(holds(&k, "EG !c"));
+        assert!(holds(&k, "E[!c U c]"));
+        assert!(!holds(&k, "A[!c U c]"));
+        assert!(holds(&k, "AG (a | b | c)"));
+    }
+
+    #[test]
+    fn fairness_forces_progress() {
+        let k0 = model();
+        // Unfair: AF c fails. With fairness "infinitely often c-predecessors
+        // leave the loop", i.e. fairness set {2}: all fair paths end in 2.
+        assert!(!holds(&k0, "AF c"));
+        let mut k = model();
+        k.add_fairness([2]);
+        assert!(holds_fair(&k, "AF c"));
+        // EG !c becomes false under that fairness.
+        assert!(!holds_fair(&k, "EG !c"));
+    }
+
+    #[test]
+    fn fairness_with_multiple_constraints() {
+        // Two-state toggle; fairness on each state individually.
+        let mut k = ExplicitKripke::new(2);
+        k.add_edge(0, 1);
+        k.add_edge(1, 0);
+        k.add_edge(0, 0); // self-loop that unfair paths could abuse
+        k.set_initial(0);
+        k.set_atom("one", [1]).unwrap();
+        k.add_fairness([0]);
+        k.add_fairness([1]);
+        assert!(holds_fair(&k, "AG AF one"));
+        assert!(!holds(&k, "AG AF one"), "unfairly, stay in 0 forever");
+    }
+
+    #[test]
+    fn unknown_atom_reported() {
+        let k = model();
+        let e = check(&k, &parse("AG nosuch").unwrap()).unwrap_err();
+        assert_eq!(e, McError::UnknownAtom("nosuch".into()));
+    }
+
+    #[test]
+    fn au_duality() {
+        let k = model();
+        let r = check(&k, &parse("A[true U c]").unwrap()).unwrap();
+        assert!(r.sat.contains(2));
+        // From both 0 and 1 a path can loop 0<->1 forever, avoiding c.
+        assert!(!r.sat.contains(0));
+        assert!(!r.sat.contains(1));
+    }
+
+    #[test]
+    fn witness_paths() {
+        let k = model();
+        let c = k.atom_set("c").unwrap();
+        let w = witness_to(&k, &c).unwrap();
+        assert_eq!(w, vec![0, 1, 2]);
+        let nowhere = StateSet::empty(3);
+        assert!(witness_to(&k, &nowhere).is_none());
+    }
+
+    #[test]
+    fn failing_initial_reported() {
+        let k = model();
+        let r = check(&k, &parse("AF c").unwrap()).unwrap();
+        assert!(!r.holds());
+        assert!(r.failing_initial().contains(0));
+    }
+
+    #[test]
+    fn empty_model_is_an_error() {
+        let k = ExplicitKripke::new(0);
+        assert_eq!(check(&k, &Ctl::Const(true)).unwrap_err(), McError::EmptyModel);
+    }
+}

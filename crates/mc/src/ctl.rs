@@ -1,0 +1,265 @@
+use std::fmt;
+use std::sync::Arc;
+
+/// A CTL formula.
+///
+/// Build formulae either programmatically with the constructor methods or
+/// from text with [`crate::parse`]. Sub-formulae are shared via [`Arc`] so
+/// large properties stay cheap to clone.
+///
+/// # Example
+///
+/// ```
+/// use elastic_mc::Ctl;
+///
+/// let retry = Ctl::ag(Ctl::imp(
+///     Ctl::and(Ctl::atom("v"), Ctl::atom("s")),
+///     Ctl::ax(Ctl::atom("v")),
+/// ));
+/// assert_eq!(retry.to_string(), "AG (v & s -> AX v)");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ctl {
+    /// Constant truth value.
+    Const(bool),
+    /// Atomic proposition, named after a model label (a net name for
+    /// netlist-backed models).
+    Atom(String),
+    /// Negation.
+    Not(Arc<Ctl>),
+    /// Conjunction.
+    And(Arc<Ctl>, Arc<Ctl>),
+    /// Disjunction.
+    Or(Arc<Ctl>, Arc<Ctl>),
+    /// Implication.
+    Imp(Arc<Ctl>, Arc<Ctl>),
+    /// There is a successor where the operand holds.
+    Ex(Arc<Ctl>),
+    /// The operand holds in every successor.
+    Ax(Arc<Ctl>),
+    /// Some path eventually satisfies the operand.
+    Ef(Arc<Ctl>),
+    /// Every path eventually satisfies the operand.
+    Af(Arc<Ctl>),
+    /// Some path globally satisfies the operand.
+    Eg(Arc<Ctl>),
+    /// Every path globally satisfies the operand.
+    Ag(Arc<Ctl>),
+    /// Exists a path where the first operand holds until the second does.
+    Eu(Arc<Ctl>, Arc<Ctl>),
+    /// On all paths the first operand holds until the second does.
+    Au(Arc<Ctl>, Arc<Ctl>),
+}
+
+impl Ctl {
+    /// Atomic proposition.
+    pub fn atom(name: impl Into<String>) -> Ctl {
+        Ctl::Atom(name.into())
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(f: Ctl) -> Ctl {
+        Ctl::Not(Arc::new(f))
+    }
+
+    /// Conjunction.
+    pub fn and(a: Ctl, b: Ctl) -> Ctl {
+        Ctl::And(Arc::new(a), Arc::new(b))
+    }
+
+    /// Disjunction.
+    pub fn or(a: Ctl, b: Ctl) -> Ctl {
+        Ctl::Or(Arc::new(a), Arc::new(b))
+    }
+
+    /// Implication.
+    pub fn imp(a: Ctl, b: Ctl) -> Ctl {
+        Ctl::Imp(Arc::new(a), Arc::new(b))
+    }
+
+    /// `EX f`.
+    pub fn ex(f: Ctl) -> Ctl {
+        Ctl::Ex(Arc::new(f))
+    }
+
+    /// `AX f`.
+    pub fn ax(f: Ctl) -> Ctl {
+        Ctl::Ax(Arc::new(f))
+    }
+
+    /// `EF f`.
+    pub fn ef(f: Ctl) -> Ctl {
+        Ctl::Ef(Arc::new(f))
+    }
+
+    /// `AF f`.
+    pub fn af(f: Ctl) -> Ctl {
+        Ctl::Af(Arc::new(f))
+    }
+
+    /// `EG f`.
+    pub fn eg(f: Ctl) -> Ctl {
+        Ctl::Eg(Arc::new(f))
+    }
+
+    /// `AG f`.
+    pub fn ag(f: Ctl) -> Ctl {
+        Ctl::Ag(Arc::new(f))
+    }
+
+    /// `E[a U b]`.
+    pub fn eu(a: Ctl, b: Ctl) -> Ctl {
+        Ctl::Eu(Arc::new(a), Arc::new(b))
+    }
+
+    /// `A[a U b]`.
+    pub fn au(a: Ctl, b: Ctl) -> Ctl {
+        Ctl::Au(Arc::new(a), Arc::new(b))
+    }
+
+    /// All atom names referenced by the formula.
+    pub fn atoms(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.walk_atoms(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn walk_atoms<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Ctl::Const(_) => {}
+            Ctl::Atom(a) => out.push(a),
+            Ctl::Not(f) | Ctl::Ex(f) | Ctl::Ax(f) | Ctl::Ef(f) | Ctl::Af(f) | Ctl::Eg(f)
+            | Ctl::Ag(f) => f.walk_atoms(out),
+            Ctl::And(a, b) | Ctl::Or(a, b) | Ctl::Imp(a, b) | Ctl::Eu(a, b) | Ctl::Au(a, b) => {
+                a.walk_atoms(out);
+                b.walk_atoms(out);
+            }
+        }
+    }
+
+    fn fmt_prec(&self, f: &mut fmt::Formatter<'_>, parent: u8) -> fmt::Result {
+        // precedence: atoms/unary 3, & 2, | 1, -> 0
+        let prec = match self {
+            Ctl::Const(_) | Ctl::Atom(_) | Ctl::Not(_) | Ctl::Ex(_) | Ctl::Ax(_) | Ctl::Ef(_)
+            | Ctl::Af(_) | Ctl::Eg(_) | Ctl::Ag(_) | Ctl::Eu(_, _) | Ctl::Au(_, _) => 3,
+            Ctl::And(_, _) => 2,
+            Ctl::Or(_, _) => 1,
+            Ctl::Imp(_, _) => 0,
+        };
+        let need_parens = prec < parent;
+        if need_parens {
+            write!(f, "(")?;
+        }
+        match self {
+            Ctl::Const(true) => write!(f, "true")?,
+            Ctl::Const(false) => write!(f, "false")?,
+            Ctl::Atom(a) => write!(f, "{a}")?,
+            Ctl::Not(x) => {
+                write!(f, "!")?;
+                x.fmt_prec(f, 3)?;
+            }
+            Ctl::And(a, b) => {
+                a.fmt_prec(f, 2)?;
+                write!(f, " & ")?;
+                b.fmt_prec(f, 3)?;
+            }
+            Ctl::Or(a, b) => {
+                a.fmt_prec(f, 1)?;
+                write!(f, " | ")?;
+                b.fmt_prec(f, 2)?;
+            }
+            Ctl::Imp(a, b) => {
+                a.fmt_prec(f, 1)?;
+                write!(f, " -> ")?;
+                b.fmt_prec(f, 0)?;
+            }
+            Ctl::Ex(x) => {
+                write!(f, "EX ")?;
+                x.fmt_prec(f, 3)?;
+            }
+            Ctl::Ax(x) => {
+                write!(f, "AX ")?;
+                x.fmt_prec(f, 3)?;
+            }
+            Ctl::Ef(x) => {
+                write!(f, "EF ")?;
+                x.fmt_prec(f, 3)?;
+            }
+            Ctl::Af(x) => {
+                write!(f, "AF ")?;
+                x.fmt_prec(f, 3)?;
+            }
+            Ctl::Eg(x) => {
+                write!(f, "EG ")?;
+                x.fmt_prec(f, 3)?;
+            }
+            Ctl::Ag(x) => {
+                write!(f, "AG ")?;
+                x.fmt_prec(f, 3)?;
+            }
+            Ctl::Eu(a, b) => {
+                write!(f, "E[")?;
+                a.fmt_prec(f, 0)?;
+                write!(f, " U ")?;
+                b.fmt_prec(f, 0)?;
+                write!(f, "]")?;
+            }
+            Ctl::Au(a, b) => {
+                write!(f, "A[")?;
+                a.fmt_prec(f, 0)?;
+                write!(f, " U ")?;
+                b.fmt_prec(f, 0)?;
+                write!(f, "]")?;
+            }
+        }
+        if need_parens {
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Ctl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_prec(f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trips_through_parser() {
+        let f = Ctl::ag(Ctl::imp(
+            Ctl::and(Ctl::atom("vp"), Ctl::atom("sp")),
+            Ctl::ax(Ctl::atom("vp")),
+        ));
+        let text = f.to_string();
+        let parsed = crate::parse(&text).unwrap();
+        assert_eq!(parsed, f);
+    }
+
+    #[test]
+    fn atoms_deduplicated_and_sorted() {
+        let f = Ctl::or(Ctl::and(Ctl::atom("b"), Ctl::atom("a")), Ctl::atom("a"));
+        assert_eq!(f.atoms(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn until_display() {
+        let f = Ctl::eu(Ctl::atom("x"), Ctl::atom("y"));
+        assert_eq!(f.to_string(), "E[x U y]");
+    }
+
+    #[test]
+    fn precedence_in_display() {
+        let f = Ctl::imp(Ctl::or(Ctl::atom("a"), Ctl::atom("b")), Ctl::atom("c"));
+        assert_eq!(f.to_string(), "a | b -> c");
+        let g = Ctl::and(Ctl::or(Ctl::atom("a"), Ctl::atom("b")), Ctl::atom("c"));
+        assert_eq!(g.to_string(), "(a | b) & c");
+    }
+}

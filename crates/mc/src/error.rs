@@ -1,0 +1,61 @@
+use std::fmt;
+
+/// Errors from parsing or checking CTL properties.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum McError {
+    /// The formula references an atom the model does not define.
+    UnknownAtom(String),
+    /// Formula text failed to parse; carries position and message.
+    Parse {
+        /// Byte offset of the offending token.
+        at: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// The model has no states or no initial states.
+    EmptyModel,
+    /// The netlist bridge hit its state or input budget.
+    Budget {
+        /// What was exhausted ("states" or "inputs").
+        what: &'static str,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// Underlying netlist error (bridge only).
+    Netlist(String),
+}
+
+impl fmt::Display for McError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            McError::UnknownAtom(a) => write!(f, "unknown atom {a:?}"),
+            McError::Parse { at, message } => write!(f, "parse error at byte {at}: {message}"),
+            McError::EmptyModel => write!(f, "model has no (initial) states"),
+            McError::Budget { what, limit } => {
+                write!(f, "exploration exceeded {what} budget of {limit}")
+            }
+            McError::Netlist(e) => write!(f, "netlist error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for McError {}
+
+impl From<elastic_netlist::NetlistError> for McError {
+    fn from(e: elastic_netlist::NetlistError) -> Self {
+        McError::Netlist(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(McError::UnknownAtom("vp".into()).to_string().contains("vp"));
+        let e = McError::Parse { at: 3, message: "expected ')'".into() };
+        assert!(e.to_string().contains("byte 3"));
+    }
+}

@@ -1,0 +1,223 @@
+use std::collections::HashMap;
+
+use crate::bitset::StateSet;
+use crate::error::McError;
+
+/// Index of a state in a [`Kripke`] model.
+pub type StateId = usize;
+
+/// A finite transition system with labelled states, the input to the CTL
+/// checker.
+///
+/// The only graph operation the fixpoint algorithms need is the existential
+/// pre-image [`Kripke::pre_exists`]; implementations are free to realize it
+/// from explicit edge lists ([`ExplicitKripke`]) or from a transition
+/// function (the netlist bridge).
+pub trait Kripke {
+    /// Number of states.
+    fn num_states(&self) -> usize;
+
+    /// The set of initial states.
+    fn initial_states(&self) -> StateSet;
+
+    /// `{ s | ∃ t ∈ post(s) : t ∈ target }`.
+    fn pre_exists(&self, target: &StateSet) -> StateSet;
+
+    /// Successors of `s`, appended to `out` (used for witness traces).
+    fn post(&self, s: StateId, out: &mut Vec<StateId>);
+
+    /// The set of states where the named atomic proposition holds.
+    fn atom_set(&self, name: &str) -> Option<StateSet>;
+
+    /// Fairness constraints: each set must be visited infinitely often along
+    /// fair paths. Empty means plain CTL semantics.
+    fn fairness_sets(&self) -> Vec<StateSet>;
+
+    /// Human-readable rendering of a state, for witnesses. The default just
+    /// prints the index.
+    fn describe_state(&self, s: StateId) -> String {
+        format!("s{s}")
+    }
+}
+
+/// A Kripke structure stored as explicit adjacency lists.
+///
+/// # Example
+///
+/// ```
+/// use elastic_mc::ExplicitKripke;
+///
+/// # fn main() -> Result<(), elastic_mc::McError> {
+/// let mut k = ExplicitKripke::new(3);
+/// k.add_edge(0, 1);
+/// k.add_edge(1, 2);
+/// k.add_edge(2, 2);
+/// k.set_initial(0);
+/// k.set_atom("done", [2])?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExplicitKripke {
+    n: usize,
+    initial: Vec<StateId>,
+    succ: Vec<Vec<StateId>>,
+    atoms: HashMap<String, StateSet>,
+    fairness: Vec<StateSet>,
+}
+
+impl ExplicitKripke {
+    /// Creates a structure with `n` states and no edges.
+    pub fn new(n: usize) -> Self {
+        ExplicitKripke {
+            n,
+            initial: Vec::new(),
+            succ: vec![Vec::new(); n],
+            atoms: HashMap::new(),
+            fairness: Vec::new(),
+        }
+    }
+
+    /// Adds a transition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, from: StateId, to: StateId) {
+        assert!(from < self.n && to < self.n, "edge endpoint out of range");
+        self.succ[from].push(to);
+    }
+
+    /// Marks a state initial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn set_initial(&mut self, s: StateId) {
+        assert!(s < self.n, "initial state out of range");
+        if !self.initial.contains(&s) {
+            self.initial.push(s);
+        }
+    }
+
+    /// Defines (or redefines) an atom as the set of given states.
+    ///
+    /// # Errors
+    ///
+    /// Reserved for future validation; currently always succeeds (kept
+    /// fallible so call sites read the same as the netlist-backed bridge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any state index is out of range.
+    pub fn set_atom<I: IntoIterator<Item = StateId>>(
+        &mut self,
+        name: &str,
+        states: I,
+    ) -> Result<(), McError> {
+        let mut set = StateSet::empty(self.n);
+        for s in states {
+            set.insert(s);
+        }
+        self.atoms.insert(name.to_string(), set);
+        Ok(())
+    }
+
+    /// Adds a fairness constraint (a set of states to be visited infinitely
+    /// often on fair paths).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any state index is out of range.
+    pub fn add_fairness<I: IntoIterator<Item = StateId>>(&mut self, states: I) {
+        let mut set = StateSet::empty(self.n);
+        for s in states {
+            set.insert(s);
+        }
+        self.fairness.push(set);
+    }
+}
+
+impl Kripke for ExplicitKripke {
+    fn num_states(&self) -> usize {
+        self.n
+    }
+
+    fn initial_states(&self) -> StateSet {
+        let mut s = StateSet::empty(self.n);
+        for &i in &self.initial {
+            s.insert(i);
+        }
+        s
+    }
+
+    fn pre_exists(&self, target: &StateSet) -> StateSet {
+        let mut out = StateSet::empty(self.n);
+        for s in 0..self.n {
+            if self.succ[s].iter().any(|&t| target.contains(t)) {
+                out.insert(s);
+            }
+        }
+        out
+    }
+
+    fn post(&self, s: StateId, out: &mut Vec<StateId>) {
+        out.extend_from_slice(&self.succ[s]);
+    }
+
+    fn atom_set(&self, name: &str) -> Option<StateSet> {
+        self.atoms.get(name).cloned()
+    }
+
+    fn fairness_sets(&self) -> Vec<StateSet> {
+        self.fairness.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> ExplicitKripke {
+        let mut k = ExplicitKripke::new(3);
+        k.add_edge(0, 1);
+        k.add_edge(1, 2);
+        k.add_edge(2, 2);
+        k.set_initial(0);
+        k
+    }
+
+    #[test]
+    fn pre_image() {
+        let k = chain();
+        let mut t = StateSet::empty(3);
+        t.insert(2);
+        let pre = k.pre_exists(&t);
+        assert!(pre.contains(1) && pre.contains(2) && !pre.contains(0));
+    }
+
+    #[test]
+    fn initial_and_atoms() {
+        let mut k = chain();
+        k.set_atom("p", [0, 2]).unwrap();
+        assert!(k.initial_states().contains(0));
+        let p = k.atom_set("p").unwrap();
+        assert_eq!(p.iter().collect::<Vec<_>>(), vec![0, 2]);
+        assert!(k.atom_set("q").is_none());
+    }
+
+    #[test]
+    fn post_lists_successors() {
+        let k = chain();
+        let mut out = Vec::new();
+        k.post(1, &mut out);
+        assert_eq!(out, vec![2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_edge_panics() {
+        let mut k = ExplicitKripke::new(1);
+        k.add_edge(0, 5);
+    }
+}

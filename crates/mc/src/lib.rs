@@ -1,0 +1,53 @@
+//! Explicit-state CTL model checking with fairness.
+//!
+//! The paper verifies its elastic controllers with NuSMV: protocol
+//! persistence, channel invariants and liveness as CTL formulae, plus a
+//! data-correctness harness (Sect. 5). This crate is the stand-in checker:
+//!
+//! * [`StateSet`] — a dense bit-set over state indices,
+//! * [`Kripke`] — the transition-system interface, with an explicit
+//!   implementation ([`ExplicitKripke`]) and a bridge from gate-level
+//!   netlists ([`netlist_kripke`]) that treats primary inputs as
+//!   nondeterministic environment variables (NuSMV-style),
+//! * [`Ctl`] — formula AST with a text [`parser`],
+//! * [`check`] / [`check_fair`] — fixpoint evaluation, with Emerson–Lei
+//!   fair-CTL semantics for liveness under fairness constraints,
+//! * witness extraction for failed universal properties.
+//!
+//! # Example
+//!
+//! ```
+//! use elastic_mc::{check, parse, ExplicitKripke};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Two states toggling forever; atom "p" holds in state 0 only.
+//! let mut k = ExplicitKripke::new(2);
+//! k.add_edge(0, 1);
+//! k.add_edge(1, 0);
+//! k.set_initial(0);
+//! k.set_atom("p", [0])?;
+//!
+//! let f = parse("AG (p -> AX !p)")?;
+//! assert!(check(&k, &f)?.holds());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod bitset;
+mod bridge;
+mod checker;
+mod ctl;
+mod error;
+mod kripke;
+
+pub mod parser;
+
+pub use bitset::StateSet;
+pub use bridge::{netlist_kripke, BridgeOptions, NetlistKripke};
+pub use checker::{check, check_fair, witness_to, CheckResult};
+pub use ctl::Ctl;
+pub use error::McError;
+pub use kripke::{ExplicitKripke, Kripke, StateId};
+pub use parser::parse;

@@ -1,0 +1,266 @@
+//! Text syntax for CTL formulae.
+//!
+//! Grammar (lowest precedence first):
+//!
+//! ```text
+//! imp    := or ( "->" imp )?
+//! or     := and ( "|" and )*
+//! and    := unary ( "&" unary )*
+//! unary  := "!" unary
+//!         | ("AG"|"AF"|"AX"|"EG"|"EF"|"EX") unary
+//!         | "A[" imp "U" imp "]" | "E[" imp "U" imp "]"
+//!         | "(" imp ")" | "true" | "false" | atom
+//! atom   := [A-Za-z_][A-Za-z0-9_.+-]*
+//! ```
+//!
+//! Atom names may contain `.`, `+` and `-` after the first character so the
+//! controller nets (`c0.v+`, `F3->W.kill`) can be referenced directly;
+//! `->` only acts as implication when surrounded by whitespace or when the
+//! left side is a complete formula — in practice, quote-free channel names
+//! use `_` in generated netlists, so the overlap does not arise.
+
+use crate::ctl::Ctl;
+use crate::error::McError;
+
+/// Parses a CTL formula from text.
+///
+/// # Errors
+///
+/// [`McError::Parse`] with a byte offset and message on malformed input.
+///
+/// # Example
+///
+/// ```
+/// let f = elastic_mc::parse("AG AF ((vp & !sp) | (vn & !sn))")?;
+/// assert_eq!(f.atoms(), vec!["sn", "sp", "vn", "vp"]);
+/// # Ok::<(), elastic_mc::McError>(())
+/// ```
+pub fn parse(text: &str) -> Result<Ctl, McError> {
+    let mut p = Parser { text: text.as_bytes(), pos: 0 };
+    let f = p.imp()?;
+    p.skip_ws();
+    if p.pos != p.text.len() {
+        return Err(p.err("unexpected trailing input"));
+    }
+    Ok(f)
+}
+
+struct Parser<'a> {
+    text: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> McError {
+        McError::Parse { at: self.pos, message: message.to_string() }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.text.len() && self.text[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.text.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, tok: &str) -> bool {
+        self.skip_ws();
+        if self.text[self.pos..].starts_with(tok.as_bytes()) {
+            self.pos += tok.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn imp(&mut self) -> Result<Ctl, McError> {
+        let lhs = self.or()?;
+        if self.eat("->") {
+            let rhs = self.imp()?;
+            return Ok(Ctl::imp(lhs, rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn or(&mut self) -> Result<Ctl, McError> {
+        let mut lhs = self.and()?;
+        loop {
+            self.skip_ws();
+            // Don't confuse `|` with nothing else; single char.
+            if self.peek() == Some(b'|') {
+                self.pos += 1;
+                let rhs = self.and()?;
+                lhs = Ctl::or(lhs, rhs);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn and(&mut self) -> Result<Ctl, McError> {
+        let mut lhs = self.unary()?;
+        loop {
+            self.skip_ws();
+            if self.peek() == Some(b'&') {
+                self.pos += 1;
+                let rhs = self.unary()?;
+                lhs = Ctl::and(lhs, rhs);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn unary(&mut self) -> Result<Ctl, McError> {
+        self.skip_ws();
+        if self.eat("!") {
+            return Ok(Ctl::not(self.unary()?));
+        }
+        // Temporal operators: letter pairs followed by a non-ident char.
+        for (tok, ctor) in [
+            ("AG", Ctl::ag as fn(Ctl) -> Ctl),
+            ("AF", Ctl::af),
+            ("AX", Ctl::ax),
+            ("EG", Ctl::eg),
+            ("EF", Ctl::ef),
+            ("EX", Ctl::ex),
+        ] {
+            if self.text[self.pos..].starts_with(tok.as_bytes()) {
+                let after = self.text.get(self.pos + 2).copied();
+                if !after.is_some_and(is_ident_char) {
+                    self.pos += 2;
+                    return Ok(ctor(self.unary()?));
+                }
+            }
+        }
+        // Until forms.
+        for (tok, all) in [("A[", true), ("E[", false)] {
+            if self.text[self.pos..].starts_with(tok.as_bytes()) {
+                self.pos += 2;
+                let a = self.imp()?;
+                self.skip_ws();
+                if !self.eat("U") {
+                    return Err(self.err("expected 'U' in until formula"));
+                }
+                let b = self.imp()?;
+                self.skip_ws();
+                if !self.eat("]") {
+                    return Err(self.err("expected ']' closing until formula"));
+                }
+                return Ok(if all { Ctl::au(a, b) } else { Ctl::eu(a, b) });
+            }
+        }
+        if self.eat("(") {
+            let f = self.imp()?;
+            self.skip_ws();
+            if !self.eat(")") {
+                return Err(self.err("expected ')'"));
+            }
+            return Ok(f);
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> Result<Ctl, McError> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.pos >= self.text.len() {
+            return Err(self.err("expected a formula"));
+        }
+        let first = self.text[self.pos];
+        if !(first.is_ascii_alphabetic() || first == b'_') {
+            return Err(self.err("expected an atom, '(', '!', or a temporal operator"));
+        }
+        self.pos += 1;
+        while self.pos < self.text.len() && is_ident_char(self.text[self.pos]) {
+            // stop before "->" so implication still parses
+            if self.text[self.pos] == b'-'
+                && self.text.get(self.pos + 1) == Some(&b'>')
+            {
+                break;
+            }
+            self.pos += 1;
+        }
+        let name = std::str::from_utf8(&self.text[start..self.pos])
+            .map_err(|_| self.err("atom is not valid utf-8"))?;
+        Ok(match name {
+            "true" => Ctl::Const(true),
+            "false" => Ctl::Const(false),
+            _ => Ctl::atom(name),
+        })
+    }
+}
+
+fn is_ident_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, b'_' | b'.' | b'+' | b'-')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_properties() {
+        // The four channel properties of Sect. 5.
+        let retry_plus = parse("AG ((vp & sp) -> AX vp)").unwrap();
+        assert_eq!(retry_plus.to_string(), "AG (vp & sp -> AX vp)");
+        parse("AG ((vn & sn) -> AX vn)").unwrap();
+        parse("AG ((!vn | !sp) & (!vp | !sn))").unwrap();
+        parse("AG AF ((vp & !sp) | (vn & !sn))").unwrap();
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let f = parse("a & b | c -> d").unwrap();
+        assert_eq!(f.to_string(), "a & b | c -> d");
+        // -> is right-associative
+        let g = parse("a -> b -> c").unwrap();
+        assert_eq!(g.to_string(), "a -> b -> c");
+    }
+
+    #[test]
+    fn until_forms() {
+        let f = parse("E[a U b] & A[c U d]").unwrap();
+        assert_eq!(f.to_string(), "E[a U b] & A[c U d]");
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(parse("true").unwrap(), Ctl::Const(true));
+        assert_eq!(parse("false").unwrap(), Ctl::Const(false));
+    }
+
+    #[test]
+    fn atom_with_dots_and_plus() {
+        let f = parse("c0.v+").unwrap();
+        assert_eq!(f, Ctl::atom("c0.v+"));
+    }
+
+    #[test]
+    fn atom_stops_before_arrow() {
+        let f = parse("a->b").unwrap();
+        assert_eq!(f.to_string(), "a -> b");
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let e = parse("AG (").unwrap_err();
+        match e {
+            McError::Parse { at, .. } => assert!(at >= 4),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse("").is_err());
+        assert!(parse("a b").is_err());
+        assert!(parse("E[a b]").is_err());
+    }
+
+    #[test]
+    fn temporal_prefix_of_identifier_is_an_atom() {
+        // "AGx" is an atom, not AG applied to x.
+        let f = parse("AGx").unwrap();
+        assert_eq!(f, Ctl::atom("AGx"));
+    }
+}

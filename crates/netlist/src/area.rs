@@ -1,0 +1,149 @@
+//! Area model: factored-form literal counting.
+//!
+//! The paper's Table 1 reports controller area as literals in factored form
+//! (from SIS), transparent latches and flip-flops. We count the same three
+//! quantities structurally:
+//!
+//! * each input pin of an AND/OR gate contributes one literal (inverters are
+//!   absorbed into complemented literals, as in factored form),
+//! * XOR counts as 4 literals (`a·b' + a'·b`), MUX as 4 (`s·a + s'·b`),
+//! * buffers, constants, inverters and state elements contribute none,
+//! * latches and flip-flops are counted separately.
+//!
+//! Absolute values differ from SIS (which restructures logic); the *ranking*
+//! between controller configurations — all that Table 1 uses area for — is
+//! preserved because it is driven by which controller pieces exist at all.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::Add;
+
+use crate::build::{Gate, Netlist};
+
+/// Area summary of a netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AreaReport {
+    /// Factored-form literals of the combinational logic.
+    pub literals: usize,
+    /// Transparent latches.
+    pub latches: usize,
+    /// Flip-flops.
+    pub flipflops: usize,
+    /// Total gate count (combinational gates with at least one input).
+    pub gates: usize,
+}
+
+impl AreaReport {
+    /// Computes the report for a netlist.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use elastic_netlist::{area::AreaReport, Netlist};
+    ///
+    /// let mut n = Netlist::new("m");
+    /// let a = n.input("a");
+    /// let b = n.input("b");
+    /// let x = n.and2(a, b);
+    /// let q = n.dff_bound(x, false);
+    /// # let _ = q;
+    /// let area = AreaReport::of(&n);
+    /// assert_eq!(area.literals, 2);
+    /// assert_eq!(area.flipflops, 1);
+    /// ```
+    pub fn of(netlist: &Netlist) -> Self {
+        let mut r = AreaReport::default();
+        for id in netlist.nets() {
+            match netlist.gate(id) {
+                Gate::Input | Gate::Const(_) | Gate::Buf(_) | Gate::Wire { .. } => {}
+                Gate::Not(_) => {
+                    // Inverters fold into complemented literals downstream.
+                    r.gates += 1;
+                }
+                Gate::And(v) | Gate::Or(v) => {
+                    r.literals += v.len();
+                    r.gates += 1;
+                }
+                Gate::Xor(_, _) | Gate::Mux { .. } => {
+                    r.literals += 4;
+                    r.gates += 1;
+                }
+                Gate::Dff { .. } => r.flipflops += 1,
+                Gate::Latch { .. } => r.latches += 1,
+            }
+        }
+        r
+    }
+}
+
+impl Add for AreaReport {
+    type Output = AreaReport;
+
+    fn add(self, rhs: AreaReport) -> AreaReport {
+        AreaReport {
+            literals: self.literals + rhs.literals,
+            latches: self.latches + rhs.latches,
+            flipflops: self.flipflops + rhs.flipflops,
+            gates: self.gates + rhs.gates,
+        }
+    }
+}
+
+impl Sum for AreaReport {
+    fn sum<I: Iterator<Item = AreaReport>>(iter: I) -> Self {
+        iter.fold(AreaReport::default(), Add::add)
+    }
+}
+
+impl fmt::Display for AreaReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} lit, {} lat, {} ff ({} gates)",
+            self.literals, self.latches, self.flipflops, self.gates
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::LatchPhase;
+
+    #[test]
+    fn counts_each_kind() {
+        let mut n = Netlist::new("m");
+        let a = n.input("a");
+        let b = n.input("b");
+        let s = n.input("s");
+        let x = n.and([a, b, s]); // 3 literals
+        let o = n.or2(a, x); // 2 literals
+        let z = n.xor(a, b); // 4
+        let m = n.mux(s, o, z); // 4
+        let q = n.dff_bound(m, false);
+        let l = n.latch(LatchPhase::High, false);
+        n.bind_latch(l, q).unwrap();
+        let inv = n.not(l); // 0 literals, 1 gate
+        let _ = inv;
+        let r = AreaReport::of(&n);
+        assert_eq!(r.literals, 13);
+        assert_eq!(r.flipflops, 1);
+        assert_eq!(r.latches, 1);
+        assert_eq!(r.gates, 5);
+    }
+
+    #[test]
+    fn addition_and_sum() {
+        let a = AreaReport { literals: 1, latches: 2, flipflops: 3, gates: 4 };
+        let b = AreaReport { literals: 10, latches: 20, flipflops: 30, gates: 40 };
+        let s: AreaReport = [a, b].into_iter().sum();
+        assert_eq!(s, a + b);
+        assert_eq!(s.literals, 11);
+    }
+
+    #[test]
+    fn display_matches_table1_style() {
+        let r = AreaReport { literals: 253, latches: 56, flipflops: 9, gates: 0 };
+        assert!(r.to_string().starts_with("253 lit, 56 lat, 9 ff"));
+    }
+}

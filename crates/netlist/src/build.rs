@@ -1,0 +1,539 @@
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::NetlistError;
+
+/// Identifier of a net (equivalently, of its driving gate — every net has
+/// exactly one driver).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NetId(pub(crate) u32);
+
+impl NetId {
+    /// Dense index of this net.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+/// Active phase of a transparent latch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LatchPhase {
+    /// Transparent while the clock is high (the paper's `H` label).
+    High,
+    /// Transparent while the clock is low (the paper's `L` label).
+    Low,
+}
+
+impl LatchPhase {
+    /// The other phase.
+    pub fn opposite(self) -> LatchPhase {
+        match self {
+            LatchPhase::High => LatchPhase::Low,
+            LatchPhase::Low => LatchPhase::High,
+        }
+    }
+}
+
+/// The driver of one net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Gate {
+    /// Primary input; its value is supplied per cycle by the testbench.
+    Input,
+    /// Constant driver.
+    Const(bool),
+    /// Buffer (used by exporters to alias nets).
+    Buf(NetId),
+    /// Late-bound alias: behaves like [`Gate::Buf`] once bound via
+    /// [`Netlist::bind_wire`]. Wires let mutually-referencing blocks (such
+    /// as elastic controllers exchanging valid/stop rails) be emitted one
+    /// block at a time.
+    Wire {
+        /// The driven source, `None` until bound.
+        src: Option<NetId>,
+    },
+    /// Inverter.
+    Not(NetId),
+    /// N-ary conjunction. Empty input list is constant true.
+    And(Vec<NetId>),
+    /// N-ary disjunction. Empty input list is constant false.
+    Or(Vec<NetId>),
+    /// Exclusive or of two nets.
+    Xor(NetId, NetId),
+    /// Two-way multiplexer: `if sel { a } else { b }` — the paper's
+    /// `z = if s then a else b`.
+    Mux {
+        /// Select input.
+        sel: NetId,
+        /// Output when `sel` is true.
+        a: NetId,
+        /// Output when `sel` is false.
+        b: NetId,
+    },
+    /// Rising-edge D flip-flop. `d == None` until bound via
+    /// [`Netlist::bind_dff`], which allows feedback loops.
+    Dff {
+        /// Data input (next-state function).
+        d: Option<NetId>,
+        /// Power-up value.
+        init: bool,
+    },
+    /// Transparent latch, optionally gated by an enable (the datapath
+    /// latches of the paper are enabled by the elastic controllers).
+    Latch {
+        /// Data input.
+        d: Option<NetId>,
+        /// Optional enable: when present and false, the latch holds even
+        /// while transparent (clock gating).
+        en: Option<NetId>,
+        /// Active phase.
+        phase: LatchPhase,
+        /// Power-up value.
+        init: bool,
+    },
+}
+
+impl Gate {
+    /// Nets read combinationally by this gate *during evaluation*.
+    ///
+    /// Flip-flops read nothing combinationally (their `d` is sampled at the
+    /// clock edge); latches read `d`/`en` only while transparent, which the
+    /// structural checks handle phase by phase.
+    pub fn comb_inputs(&self) -> Vec<NetId> {
+        match self {
+            Gate::Input | Gate::Const(_) | Gate::Dff { .. } => Vec::new(),
+            Gate::Buf(a) | Gate::Not(a) => vec![*a],
+            Gate::Wire { src } => src.iter().copied().collect(),
+            Gate::And(v) | Gate::Or(v) => v.clone(),
+            Gate::Xor(a, b) => vec![*a, *b],
+            Gate::Mux { sel, a, b } => vec![*sel, *a, *b],
+            Gate::Latch { d, en, .. } => {
+                let mut v = Vec::new();
+                if let Some(d) = d {
+                    v.push(*d);
+                }
+                if let Some(en) = en {
+                    v.push(*en);
+                }
+                v
+            }
+        }
+    }
+
+    /// Whether this gate holds state across cycles.
+    pub fn is_stateful(&self) -> bool {
+        matches!(self, Gate::Dff { .. } | Gate::Latch { .. })
+    }
+}
+
+/// A flat gate-level netlist.
+///
+/// Construction is incremental: each builder method allocates a net driven
+/// by the new gate and returns its [`NetId`]. Sequential elements are
+/// allocated first and bound to their data inputs later, so feedback loops
+/// can be expressed naturally:
+///
+/// ```
+/// use elastic_netlist::Netlist;
+///
+/// # fn main() -> Result<(), elastic_netlist::NetlistError> {
+/// let mut n = Netlist::new("counter_bit");
+/// let q = n.dff(false);
+/// let t = n.input("toggle");
+/// let d = n.xor(q, t);
+/// n.bind_dff(q, d)?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    name: String,
+    gates: Vec<Gate>,
+    names: Vec<Option<String>>,
+    by_name: HashMap<String, NetId>,
+    inputs: Vec<NetId>,
+    outputs: Vec<NetId>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist with a module name (used by exporters).
+    pub fn new(name: impl Into<String>) -> Self {
+        Netlist {
+            name: name.into(),
+            gates: Vec::new(),
+            names: Vec::new(),
+            by_name: HashMap::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Module name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nets (= number of gates).
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Whether the netlist is empty.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    fn push(&mut self, gate: Gate) -> NetId {
+        self.gates.push(gate);
+        self.names.push(None);
+        NetId(self.gates.len() as u32 - 1)
+    }
+
+    /// Adds a primary input with a name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already taken (inputs must be addressable).
+    pub fn input(&mut self, name: impl Into<String>) -> NetId {
+        let id = self.push(Gate::Input);
+        self.inputs.push(id);
+        let name = name.into();
+        self.set_name(id, name.clone())
+            .unwrap_or_else(|_| panic!("duplicate input name {name:?}"));
+        id
+    }
+
+    /// Adds a constant driver.
+    pub fn constant(&mut self, value: bool) -> NetId {
+        self.push(Gate::Const(value))
+    }
+
+    /// Adds a buffer of `a`.
+    pub fn buf(&mut self, a: NetId) -> NetId {
+        self.push(Gate::Buf(a))
+    }
+
+    /// Adds an inverter of `a`.
+    pub fn not(&mut self, a: NetId) -> NetId {
+        self.push(Gate::Not(a))
+    }
+
+    /// Allocates a late-bound wire; bind its driver later with
+    /// [`Netlist::bind_wire`].
+    pub fn wire(&mut self) -> NetId {
+        self.push(Gate::Wire { src: None })
+    }
+
+    /// Binds the driver of wire `w`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::BadBind`] if `w` is not an unbound wire;
+    /// [`NetlistError::UnknownNet`] if either net is out of range.
+    pub fn bind_wire(&mut self, w: NetId, src: NetId) -> Result<(), NetlistError> {
+        self.check_net(w)?;
+        self.check_net(src)?;
+        match &mut self.gates[w.index()] {
+            Gate::Wire { src: slot @ None } => {
+                *slot = Some(src);
+                Ok(())
+            }
+            _ => Err(NetlistError::BadBind(w)),
+        }
+    }
+
+    /// Adds an N-ary AND of `inputs`. An empty list is constant true.
+    pub fn and<I: IntoIterator<Item = NetId>>(&mut self, inputs: I) -> NetId {
+        self.push(Gate::And(inputs.into_iter().collect()))
+    }
+
+    /// Adds a two-input AND (convenience over [`Netlist::and`]).
+    pub fn and2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.and([a, b])
+    }
+
+    /// Adds an N-ary OR of `inputs`. An empty list is constant false.
+    pub fn or<I: IntoIterator<Item = NetId>>(&mut self, inputs: I) -> NetId {
+        self.push(Gate::Or(inputs.into_iter().collect()))
+    }
+
+    /// Adds a two-input OR (convenience over [`Netlist::or`]).
+    pub fn or2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.or([a, b])
+    }
+
+    /// Adds `a AND NOT b` — the "kill"-style gating that appears throughout
+    /// the elastic controllers.
+    pub fn and_not(&mut self, a: NetId, b: NetId) -> NetId {
+        let nb = self.not(b);
+        self.and([a, nb])
+    }
+
+    /// Adds a two-input XOR.
+    pub fn xor(&mut self, a: NetId, b: NetId) -> NetId {
+        self.push(Gate::Xor(a, b))
+    }
+
+    /// Adds a 2:1 multiplexer `if sel { a } else { b }`.
+    pub fn mux(&mut self, sel: NetId, a: NetId, b: NetId) -> NetId {
+        self.push(Gate::Mux { sel, a, b })
+    }
+
+    /// Allocates a D flip-flop with power-up value `init`; bind its data
+    /// input later with [`Netlist::bind_dff`].
+    pub fn dff(&mut self, init: bool) -> NetId {
+        self.push(Gate::Dff { d: None, init })
+    }
+
+    /// Allocates and immediately binds a D flip-flop.
+    pub fn dff_bound(&mut self, d: NetId, init: bool) -> NetId {
+        self.push(Gate::Dff { d: Some(d), init })
+    }
+
+    /// Binds the data input of flip-flop `q`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::BadBind`] if `q` is not an unbound flip-flop;
+    /// [`NetlistError::UnknownNet`] if either net is out of range.
+    pub fn bind_dff(&mut self, q: NetId, d: NetId) -> Result<(), NetlistError> {
+        self.check_net(q)?;
+        self.check_net(d)?;
+        match &mut self.gates[q.index()] {
+            Gate::Dff { d: slot @ None, .. } => {
+                *slot = Some(d);
+                Ok(())
+            }
+            _ => Err(NetlistError::BadBind(q)),
+        }
+    }
+
+    /// Allocates a transparent latch; bind its data input later with
+    /// [`Netlist::bind_latch`].
+    pub fn latch(&mut self, phase: LatchPhase, init: bool) -> NetId {
+        self.push(Gate::Latch { d: None, en: None, phase, init })
+    }
+
+    /// Allocates an enable-gated transparent latch (datapath style).
+    pub fn latch_en(&mut self, phase: LatchPhase, en: NetId, init: bool) -> NetId {
+        self.push(Gate::Latch { d: None, en: Some(en), phase, init })
+    }
+
+    /// Binds the data input of latch `q`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::BadBind`] if `q` is not an unbound latch;
+    /// [`NetlistError::UnknownNet`] if either net is out of range.
+    pub fn bind_latch(&mut self, q: NetId, d: NetId) -> Result<(), NetlistError> {
+        self.check_net(q)?;
+        self.check_net(d)?;
+        match &mut self.gates[q.index()] {
+            Gate::Latch { d: slot @ None, .. } => {
+                *slot = Some(d);
+                Ok(())
+            }
+            _ => Err(NetlistError::BadBind(q)),
+        }
+    }
+
+    /// Marks `net` as a primary output (affects exporters only).
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::UnknownNet`] if `net` is out of range.
+    pub fn mark_output(&mut self, net: NetId) -> Result<(), NetlistError> {
+        self.check_net(net)?;
+        if !self.outputs.contains(&net) {
+            self.outputs.push(net);
+        }
+        Ok(())
+    }
+
+    /// Assigns a display name to a net (required for MC atoms & exporters).
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::DuplicateName`] if the name is taken,
+    /// [`NetlistError::UnknownNet`] if `net` is out of range.
+    pub fn set_name(&mut self, net: NetId, name: impl Into<String>) -> Result<(), NetlistError> {
+        self.check_net(net)?;
+        let name = name.into();
+        if self.by_name.contains_key(&name) {
+            return Err(NetlistError::DuplicateName(name));
+        }
+        if let Some(old) = self.names[net.index()].take() {
+            self.by_name.remove(&old);
+        }
+        self.by_name.insert(name.clone(), net);
+        self.names[net.index()] = Some(name);
+        Ok(())
+    }
+
+    /// Looks up a net by display name.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::UnknownName`] if no net has this name.
+    pub fn find(&self, name: &str) -> Result<NetId, NetlistError> {
+        self.by_name.get(name).copied().ok_or_else(|| NetlistError::UnknownName(name.into()))
+    }
+
+    /// The display name of `net`, or a synthesized `w<i>` fallback.
+    pub fn net_name(&self, net: NetId) -> String {
+        self.names
+            .get(net.index())
+            .and_then(|n| n.clone())
+            .unwrap_or_else(|| format!("w{}", net.index()))
+    }
+
+    /// The gate driving `net`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is out of range.
+    pub fn gate(&self, net: NetId) -> &Gate {
+        &self.gates[net.index()]
+    }
+
+    /// Iterator over all net ids in index order.
+    pub fn nets(&self) -> impl ExactSizeIterator<Item = NetId> + '_ {
+        (0..self.gates.len() as u32).map(NetId)
+    }
+
+    /// Primary inputs in declaration order.
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Primary outputs in declaration order.
+    pub fn outputs(&self) -> &[NetId] {
+        &self.outputs
+    }
+
+    /// All stateful nets (flip-flops and latches) in index order.
+    pub fn state_elements(&self) -> Vec<NetId> {
+        self.nets().filter(|&n| self.gates[n.index()].is_stateful()).collect()
+    }
+
+    /// All nets that carry a display name, as `(name, id)` pairs in net
+    /// order. These are the observable atoms for the model checker.
+    pub fn named_nets(&self) -> Vec<(&str, NetId)> {
+        self.nets()
+            .filter_map(|n| self.names[n.index()].as_deref().map(|s| (s, n)))
+            .collect()
+    }
+
+    /// Verifies that every flip-flop and latch has a bound data input.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::UnboundState`] naming the first offender.
+    pub fn check_bound(&self) -> Result<(), NetlistError> {
+        for n in self.nets() {
+            match &self.gates[n.index()] {
+                Gate::Dff { d: None, .. }
+                | Gate::Latch { d: None, .. }
+                | Gate::Wire { src: None } => {
+                    return Err(NetlistError::UnboundState { net: n, name: self.net_name(n) });
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    fn check_net(&self, net: NetId) -> Result<(), NetlistError> {
+        if net.index() >= self.gates.len() {
+            return Err(NetlistError::UnknownNet(net));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut n = Netlist::new("m");
+        let a = n.input("a");
+        let b = n.input("b");
+        let x = n.and2(a, b);
+        n.set_name(x, "x").unwrap();
+        assert_eq!(n.find("x").unwrap(), x);
+        assert_eq!(n.net_name(x), "x");
+        assert_eq!(n.inputs(), &[a, b]);
+        assert_eq!(n.gate(x), &Gate::And(vec![a, b]));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut n = Netlist::new("m");
+        let a = n.input("a");
+        let b = n.constant(true);
+        assert_eq!(n.set_name(b, "a").unwrap_err(), NetlistError::DuplicateName("a".into()));
+        let _ = a;
+    }
+
+    #[test]
+    fn unbound_dff_detected() {
+        let mut n = Netlist::new("m");
+        let q = n.dff(false);
+        assert!(matches!(n.check_bound().unwrap_err(), NetlistError::UnboundState { net, .. } if net == q));
+        let d = n.constant(true);
+        n.bind_dff(q, d).unwrap();
+        n.check_bound().unwrap();
+    }
+
+    #[test]
+    fn double_bind_rejected() {
+        let mut n = Netlist::new("m");
+        let q = n.dff(false);
+        let d = n.constant(true);
+        n.bind_dff(q, d).unwrap();
+        assert_eq!(n.bind_dff(q, d).unwrap_err(), NetlistError::BadBind(q));
+    }
+
+    #[test]
+    fn bind_kind_checked() {
+        let mut n = Netlist::new("m");
+        let l = n.latch(LatchPhase::High, false);
+        let d = n.constant(false);
+        assert_eq!(n.bind_dff(l, d).unwrap_err(), NetlistError::BadBind(l));
+        n.bind_latch(l, d).unwrap();
+    }
+
+    #[test]
+    fn comb_inputs_reflect_evaluation_deps() {
+        let mut n = Netlist::new("m");
+        let a = n.input("a");
+        let q = n.dff_bound(a, false);
+        assert!(n.gate(q).comb_inputs().is_empty(), "dff cuts comb paths");
+        let l = n.latch(LatchPhase::Low, false);
+        n.bind_latch(l, a).unwrap();
+        assert_eq!(n.gate(l).comb_inputs(), vec![a], "latches read d when transparent");
+    }
+
+    #[test]
+    fn fallback_names() {
+        let mut n = Netlist::new("m");
+        let c = n.constant(false);
+        assert_eq!(n.net_name(c), "w0");
+    }
+
+    #[test]
+    fn outputs_deduplicated() {
+        let mut n = Netlist::new("m");
+        let a = n.input("a");
+        n.mark_output(a).unwrap();
+        n.mark_output(a).unwrap();
+        assert_eq!(n.outputs().len(), 1);
+    }
+}

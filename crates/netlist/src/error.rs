@@ -1,0 +1,76 @@
+use std::fmt;
+
+use crate::build::NetId;
+
+/// Errors produced while building, checking or simulating a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A net id referenced an index outside the netlist.
+    UnknownNet(NetId),
+    /// A flip-flop or latch data input was never bound.
+    UnboundState {
+        /// The state element's output net.
+        net: NetId,
+        /// Its display name, if one was assigned.
+        name: String,
+    },
+    /// `bind_dff`/`bind_latch` was applied to a net that is not of that kind,
+    /// or applied twice.
+    BadBind(NetId),
+    /// The netlist contains a combinational cycle (not cut by any flip-flop
+    /// or by latches of both phases). The cycle is reported through the
+    /// names of the participating nets.
+    CombinationalCycle(Vec<String>),
+    /// Simulation failed to reach a fixpoint within the iteration budget —
+    /// the symptom of an oscillating (level-sensitive) loop.
+    Oscillation {
+        /// The clock phase during which the oscillation was observed.
+        phase: &'static str,
+    },
+    /// A duplicate net name was assigned.
+    DuplicateName(String),
+    /// A name lookup failed.
+    UnknownName(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::UnknownNet(n) => write!(f, "unknown net id {}", n.index()),
+            NetlistError::UnboundState { net, name } => {
+                write!(f, "state element {} ({name}) has no bound data input", net.index())
+            }
+            NetlistError::BadBind(n) => {
+                write!(f, "net {} cannot be (re)bound: not an unbound state element", n.index())
+            }
+            NetlistError::CombinationalCycle(names) => {
+                write!(f, "combinational cycle through: {}", names.join(" -> "))
+            }
+            NetlistError::Oscillation { phase } => {
+                write!(f, "simulation oscillated during the {phase} phase")
+            }
+            NetlistError::DuplicateName(n) => write!(f, "duplicate net name {n:?}"),
+            NetlistError::UnknownName(n) => write!(f, "no net named {n:?}"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NetlistError::CombinationalCycle(vec!["a".into(), "b".into()]);
+        assert!(e.to_string().contains("a -> b"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_bounds<T: Send + Sync>() {}
+        assert_bounds::<NetlistError>();
+    }
+}

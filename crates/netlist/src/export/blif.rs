@@ -1,0 +1,173 @@
+//! BLIF export (Berkeley Logic Interchange Format, as consumed by SIS).
+
+use std::fmt::Write as _;
+
+use crate::build::{Gate, LatchPhase, Netlist};
+use crate::export::ident;
+
+/// Renders the netlist in BLIF.
+///
+/// Combinational gates become `.names` blocks with on-set cubes; flip-flops
+/// become `.latch <d> <q> re clk <init>` lines and transparent latches use
+/// the `ah`/`al` (active-high/low) latch types, which is how SIS models
+/// level-sensitive storage.
+///
+/// # Example
+///
+/// ```
+/// use elastic_netlist::{export::to_blif, Netlist};
+///
+/// let mut n = Netlist::new("andgate");
+/// let a = n.input("a");
+/// let b = n.input("b");
+/// let y = n.and2(a, b);
+/// n.set_name(y, "y").unwrap();
+/// n.mark_output(y).unwrap();
+/// let blif = to_blif(&n);
+/// assert!(blif.contains(".model andgate"));
+/// assert!(blif.contains(".names a b y\n11 1"));
+/// ```
+pub fn to_blif(netlist: &Netlist) -> String {
+    let mut s = String::new();
+    let name = |id| ident(&netlist.net_name(id));
+    let _ = writeln!(s, ".model {}", ident(netlist.name()));
+    let ins: Vec<_> = netlist.inputs().iter().map(|&i| name(i)).collect();
+    let outs: Vec<_> = netlist.outputs().iter().map(|&o| name(o)).collect();
+    let _ = writeln!(s, ".inputs {}", ins.join(" "));
+    let _ = writeln!(s, ".outputs {}", outs.join(" "));
+
+    for id in netlist.nets() {
+        let lhs = name(id);
+        match netlist.gate(id) {
+            Gate::Input => {}
+            Gate::Const(v) => {
+                let _ = writeln!(s, ".names {lhs}");
+                if *v {
+                    let _ = writeln!(s, "1");
+                }
+            }
+            Gate::Buf(a) => {
+                let _ = writeln!(s, ".names {} {lhs}\n1 1", name(*a));
+            }
+            Gate::Wire { src } => {
+                let src = src.expect("bound before export");
+                let _ = writeln!(s, ".names {} {lhs}\n1 1", name(src));
+            }
+            Gate::Not(a) => {
+                let _ = writeln!(s, ".names {} {lhs}\n0 1", name(*a));
+            }
+            Gate::And(v) => {
+                let fan: Vec<_> = v.iter().map(|&a| name(a)).collect();
+                let _ = writeln!(s, ".names {} {lhs}", fan.join(" "));
+                let _ = writeln!(s, "{} 1", "1".repeat(v.len()));
+            }
+            Gate::Or(v) => {
+                let fan: Vec<_> = v.iter().map(|&a| name(a)).collect();
+                let _ = writeln!(s, ".names {} {lhs}", fan.join(" "));
+                for i in 0..v.len() {
+                    let mut cube: Vec<u8> = vec![b'-'; v.len()];
+                    cube[i] = b'1';
+                    let _ = writeln!(s, "{} 1", String::from_utf8(cube).expect("ascii"));
+                }
+                if v.is_empty() {
+                    // empty OR is constant 0: no on-set cubes.
+                }
+            }
+            Gate::Xor(a, b) => {
+                let _ = writeln!(s, ".names {} {} {lhs}", name(*a), name(*b));
+                let _ = writeln!(s, "10 1\n01 1");
+            }
+            Gate::Mux { sel, a, b } => {
+                let _ = writeln!(s, ".names {} {} {} {lhs}", name(*sel), name(*a), name(*b));
+                let _ = writeln!(s, "11- 1\n0-1 1");
+            }
+            Gate::Dff { d, init } => {
+                let d = d.expect("bound before export");
+                let _ = writeln!(s, ".latch {} {lhs} re clk {}", name(d), u8::from(*init));
+            }
+            Gate::Latch { d, en, phase, init } => {
+                let d = d.expect("bound before export");
+                // SIS has no enabled latch; expand the enable as a hold mux
+                // feeding an active-high/low latch.
+                let dn = match en {
+                    Some(e) => {
+                        let held = format!("{lhs}_hold");
+                        let _ =
+                            writeln!(s, ".names {} {} {lhs} {held}", name(*e), name(d));
+                        let _ = writeln!(s, "11- 1\n0-1 1");
+                        held
+                    }
+                    None => name(d),
+                };
+                let ty = match phase {
+                    LatchPhase::High => "ah",
+                    LatchPhase::Low => "al",
+                };
+                let _ = writeln!(s, ".latch {dn} {lhs} {ty} clk {}", u8::from(*init));
+            }
+        }
+    }
+    let _ = writeln!(s, ".end");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn or_gate_cubes() {
+        let mut n = Netlist::new("orgate");
+        let a = n.input("a");
+        let b = n.input("b");
+        let c = n.input("c");
+        let y = n.or([a, b, c]);
+        n.set_name(y, "y").unwrap();
+        n.mark_output(y).unwrap();
+        let blif = to_blif(&n);
+        assert!(blif.contains("1-- 1\n-1- 1\n--1 1"), "{blif}");
+    }
+
+    #[test]
+    fn ff_latch_lines() {
+        let mut n = Netlist::new("seq");
+        let a = n.input("a");
+        let q = n.dff_bound(a, true);
+        n.set_name(q, "q").unwrap();
+        let l = n.latch(LatchPhase::Low, false);
+        n.bind_latch(l, q).unwrap();
+        n.set_name(l, "l").unwrap();
+        let blif = to_blif(&n);
+        assert!(blif.contains(".latch a q re clk 1"), "{blif}");
+        assert!(blif.contains(".latch q l al clk 0"), "{blif}");
+    }
+
+    #[test]
+    fn enabled_latch_expands_hold_mux() {
+        let mut n = Netlist::new("gated");
+        let a = n.input("a");
+        let en = n.input("en");
+        let l = n.latch_en(LatchPhase::High, en, false);
+        n.bind_latch(l, a).unwrap();
+        n.set_name(l, "l").unwrap();
+        let blif = to_blif(&n);
+        assert!(blif.contains(".names en a l l_hold"), "{blif}");
+        assert!(blif.contains(".latch l_hold l ah clk 0"), "{blif}");
+    }
+
+    #[test]
+    fn constants_and_inverters() {
+        let mut n = Netlist::new("k");
+        let a = n.input("a");
+        let inv = n.not(a);
+        let one = n.constant(true);
+        let zero = n.constant(false);
+        for (net, nm) in [(inv, "inv"), (one, "one"), (zero, "zero")] {
+            n.set_name(net, nm).unwrap();
+        }
+        let blif = to_blif(&n);
+        assert!(blif.contains(".names a inv\n0 1"));
+        assert!(blif.contains(".names one\n1"));
+        assert!(blif.contains(".names zero\n.end") || blif.contains(".names zero\n.names"));
+    }
+}

@@ -1,0 +1,45 @@
+//! Textual exporters.
+//!
+//! The paper's framework "can generate Verilog models for simulation, SMV
+//! models for verification and BLIF models for logic synthesis with SIS"
+//! (Sect. 6.1). These modules emit the same three formats from our netlists
+//! so the artefacts can be fed to external tools when available; inside this
+//! project they are exercised as golden-text tests.
+
+mod blif;
+mod smv;
+mod verilog;
+
+pub use blif::to_blif;
+pub use smv::to_smv;
+pub use verilog::to_verilog;
+
+/// Sanitizes a net name into an identifier acceptable to all three
+/// target languages (alphanumerics and underscores, non-digit start).
+pub(crate) fn ident(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.chars().next().is_none_or(|c| c.is_ascii_digit()) {
+        out.insert(0, 'n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ident_sanitizes() {
+        assert_eq!(ident("V+/S+"), "V__S_");
+        assert_eq!(ident("3x"), "n3x");
+        assert_eq!(ident("ok_name"), "ok_name");
+        assert_eq!(ident(""), "n");
+    }
+}

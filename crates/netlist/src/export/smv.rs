@@ -1,0 +1,143 @@
+//! SMV export for symbolic model checkers (NuSMV dialect).
+
+use std::fmt::Write as _;
+
+use crate::build::{Gate, Netlist};
+use crate::error::NetlistError;
+use crate::export::ident;
+
+/// Renders the netlist as an SMV module.
+///
+/// Primary inputs become unconstrained `VAR` booleans (the nondeterministic
+/// environment), flip-flops become `VAR`s with `init`/`next` assignments and
+/// combinational nets become `DEFINE`s.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::BadBind`] if the netlist contains transparent
+/// latches: SMV's synchronous semantics has no level-sensitive storage, so
+/// latch-based designs must be converted to their flip-flop equivalents
+/// before export (our controllers are flip-flop based already).
+///
+/// # Example
+///
+/// ```
+/// use elastic_netlist::{export::to_smv, Netlist};
+///
+/// # fn main() -> Result<(), elastic_netlist::NetlistError> {
+/// let mut n = Netlist::new("toggle");
+/// let q = n.dff(false);
+/// let d = n.not(q);
+/// n.bind_dff(q, d)?;
+/// n.set_name(q, "q")?;
+/// let smv = to_smv(&n)?;
+/// assert!(smv.contains("init(q) := FALSE;"));
+/// assert!(smv.contains("next(q) :="));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_smv(netlist: &Netlist) -> Result<String, NetlistError> {
+    let name = |id| ident(&netlist.net_name(id));
+    for id in netlist.nets() {
+        if let Gate::Latch { .. } = netlist.gate(id) {
+            return Err(NetlistError::BadBind(id));
+        }
+    }
+    let mut s = String::new();
+    let _ = writeln!(s, "MODULE main");
+    let _ = writeln!(s, "VAR");
+    for &i in netlist.inputs() {
+        let _ = writeln!(s, "  {} : boolean;", name(i));
+    }
+    for id in netlist.nets() {
+        if matches!(netlist.gate(id), Gate::Dff { .. }) {
+            let _ = writeln!(s, "  {} : boolean;", name(id));
+        }
+    }
+    let mut defines = String::new();
+    let mut assigns = String::new();
+    for id in netlist.nets() {
+        let lhs = name(id);
+        let expr = match netlist.gate(id) {
+            Gate::Input => continue,
+            Gate::Const(v) => if *v { "TRUE" } else { "FALSE" }.to_string(),
+            Gate::Buf(a) => name(*a),
+            Gate::Wire { src } => name(src.expect("bound before export")),
+            Gate::Not(a) => format!("!{}", name(*a)),
+            Gate::And(v) if v.is_empty() => "TRUE".to_string(),
+            Gate::And(v) => {
+                v.iter().map(|&a| name(a)).collect::<Vec<_>>().join(" & ")
+            }
+            Gate::Or(v) if v.is_empty() => "FALSE".to_string(),
+            Gate::Or(v) => v.iter().map(|&a| name(a)).collect::<Vec<_>>().join(" | "),
+            Gate::Xor(a, b) => format!("{} xor {}", name(*a), name(*b)),
+            Gate::Mux { sel, a, b } => {
+                format!("({} ? {} : {})", name(*sel), name(*a), name(*b))
+            }
+            Gate::Dff { d, init } => {
+                let d = d.expect("bound before export");
+                let _ = writeln!(
+                    assigns,
+                    "  init({lhs}) := {};",
+                    if *init { "TRUE" } else { "FALSE" }
+                );
+                let _ = writeln!(assigns, "  next({lhs}) := {};", name(d));
+                continue;
+            }
+            Gate::Latch { .. } => unreachable!("rejected above"),
+        };
+        let _ = writeln!(defines, "  {lhs} := {expr};");
+    }
+    if !defines.is_empty() {
+        let _ = writeln!(s, "DEFINE");
+        s.push_str(&defines);
+    }
+    if !assigns.is_empty() {
+        let _ = writeln!(s, "ASSIGN");
+        s.push_str(&assigns);
+    }
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::LatchPhase;
+
+    #[test]
+    fn inputs_are_free_variables() {
+        let mut n = Netlist::new("m");
+        let a = n.input("a");
+        let y = n.not(a);
+        n.set_name(y, "y").unwrap();
+        let smv = to_smv(&n).unwrap();
+        assert!(smv.contains("VAR\n  a : boolean;"), "{smv}");
+        assert!(smv.contains("  y := !a;"));
+    }
+
+    #[test]
+    fn latches_rejected() {
+        let mut n = Netlist::new("m");
+        let l = n.latch(LatchPhase::High, false);
+        let d = n.constant(false);
+        n.bind_latch(l, d).unwrap();
+        assert!(to_smv(&n).is_err());
+    }
+
+    #[test]
+    fn gate_operators() {
+        let mut n = Netlist::new("m");
+        let a = n.input("a");
+        let b = n.input("b");
+        let x = n.xor(a, b);
+        let m = n.mux(a, b, x);
+        let c = n.and2(a, b);
+        for (net, nm) in [(x, "x"), (m, "m"), (c, "c")] {
+            n.set_name(net, nm).unwrap();
+        }
+        let smv = to_smv(&n).unwrap();
+        assert!(smv.contains("x := a xor b;"));
+        assert!(smv.contains("m := (a ? b : x);"));
+        assert!(smv.contains("c := a & b;"));
+    }
+}

@@ -1,0 +1,197 @@
+//! Structural Verilog-2001 export.
+
+use std::fmt::Write as _;
+
+use crate::build::{Gate, LatchPhase, Netlist};
+use crate::export::ident;
+
+/// Renders the netlist as a synthesizable structural Verilog module.
+///
+/// Flip-flops become `always @(posedge clk)` blocks, latches become
+/// level-sensitive `always @*` blocks on `clk`/`!clk` (and the enable when
+/// present). Nets keep their display names when set.
+///
+/// # Example
+///
+/// ```
+/// use elastic_netlist::{export::to_verilog, Netlist};
+///
+/// let mut n = Netlist::new("inv");
+/// let a = n.input("a");
+/// let y = n.not(a);
+/// n.set_name(y, "y").unwrap();
+/// n.mark_output(y).unwrap();
+/// let v = to_verilog(&n);
+/// assert!(v.contains("module inv"));
+/// assert!(v.contains("assign y = ~a;"));
+/// ```
+pub fn to_verilog(netlist: &Netlist) -> String {
+    let mut s = String::new();
+    let name = |id| ident(&netlist.net_name(id));
+    let has_state = netlist.nets().any(|n| netlist.gate(n).is_stateful());
+
+    let mut ports: Vec<String> = Vec::new();
+    if has_state {
+        ports.push("clk".into());
+        ports.push("rst".into());
+    }
+    ports.extend(netlist.inputs().iter().map(|&i| name(i)));
+    ports.extend(netlist.outputs().iter().map(|&o| name(o)));
+    let _ = writeln!(s, "module {} ({});", ident(netlist.name()), ports.join(", "));
+    if has_state {
+        let _ = writeln!(s, "  input clk, rst;");
+    }
+    for &i in netlist.inputs() {
+        let _ = writeln!(s, "  input {};", name(i));
+    }
+    for &o in netlist.outputs() {
+        let _ = writeln!(s, "  output {};", name(o));
+    }
+    for id in netlist.nets() {
+        match netlist.gate(id) {
+            Gate::Input => {}
+            Gate::Dff { .. } | Gate::Latch { .. } => {
+                let _ = writeln!(s, "  reg {};", name(id));
+            }
+            _ => {
+                if !netlist.outputs().contains(&id) {
+                    let _ = writeln!(s, "  wire {};", name(id));
+                }
+            }
+        }
+    }
+    for id in netlist.nets() {
+        let lhs = name(id);
+        match netlist.gate(id) {
+            Gate::Input => {}
+            Gate::Const(v) => {
+                let _ = writeln!(s, "  assign {lhs} = 1'b{};", u8::from(*v));
+            }
+            Gate::Buf(a) => {
+                let _ = writeln!(s, "  assign {lhs} = {};", name(*a));
+            }
+            Gate::Wire { src } => {
+                let src = src.expect("bound before export");
+                let _ = writeln!(s, "  assign {lhs} = {};", name(src));
+            }
+            Gate::Not(a) => {
+                let _ = writeln!(s, "  assign {lhs} = ~{};", name(*a));
+            }
+            Gate::And(v) if v.is_empty() => {
+                let _ = writeln!(s, "  assign {lhs} = 1'b1;");
+            }
+            Gate::And(v) => {
+                let expr: Vec<_> = v.iter().map(|&a| name(a)).collect();
+                let _ = writeln!(s, "  assign {lhs} = {};", expr.join(" & "));
+            }
+            Gate::Or(v) if v.is_empty() => {
+                let _ = writeln!(s, "  assign {lhs} = 1'b0;");
+            }
+            Gate::Or(v) => {
+                let expr: Vec<_> = v.iter().map(|&a| name(a)).collect();
+                let _ = writeln!(s, "  assign {lhs} = {};", expr.join(" | "));
+            }
+            Gate::Xor(a, b) => {
+                let _ = writeln!(s, "  assign {lhs} = {} ^ {};", name(*a), name(*b));
+            }
+            Gate::Mux { sel, a, b } => {
+                let _ = writeln!(
+                    s,
+                    "  assign {lhs} = {} ? {} : {};",
+                    name(*sel),
+                    name(*a),
+                    name(*b)
+                );
+            }
+            Gate::Dff { d, init } => {
+                let d = d.expect("bound before export");
+                let _ = writeln!(s, "  always @(posedge clk)");
+                let _ = writeln!(
+                    s,
+                    "    if (rst) {lhs} <= 1'b{}; else {lhs} <= {};",
+                    u8::from(*init),
+                    name(d)
+                );
+            }
+            Gate::Latch { d, en, phase, .. } => {
+                let d = d.expect("bound before export");
+                let level = match phase {
+                    LatchPhase::High => "clk".to_string(),
+                    LatchPhase::Low => "~clk".to_string(),
+                };
+                let cond = match en {
+                    Some(e) => format!("{} & {}", level, name(*e)),
+                    None => level,
+                };
+                let _ = writeln!(s, "  always @*");
+                let _ = writeln!(s, "    if ({cond}) {lhs} = {};", name(d));
+            }
+        }
+    }
+    let _ = writeln!(s, "endmodule");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_module_has_clock_and_reset() {
+        let mut n = Netlist::new("ff");
+        let a = n.input("a");
+        let q = n.dff_bound(a, true);
+        n.set_name(q, "q").unwrap();
+        n.mark_output(q).unwrap();
+        let v = to_verilog(&n);
+        assert!(v.contains("input clk, rst;"), "{v}");
+        assert!(v.contains("always @(posedge clk)"));
+        assert!(v.contains("q <= 1'b1; else q <= a;"));
+    }
+
+    #[test]
+    fn latch_export_uses_level_sensitivity() {
+        let mut n = Netlist::new("lat");
+        let a = n.input("a");
+        let en = n.input("en");
+        let l = n.latch_en(LatchPhase::Low, en, false);
+        n.bind_latch(l, a).unwrap();
+        n.set_name(l, "l").unwrap();
+        let v = to_verilog(&n);
+        assert!(v.contains("if (~clk & en) l = a;"), "{v}");
+    }
+
+    #[test]
+    fn combinational_module_omits_clock() {
+        let mut n = Netlist::new("comb");
+        let a = n.input("a");
+        let b = n.input("b");
+        let y = n.or2(a, b);
+        n.set_name(y, "y").unwrap();
+        n.mark_output(y).unwrap();
+        let v = to_verilog(&n);
+        assert!(!v.contains("clk"));
+        assert!(v.contains("assign y = a | b;"));
+    }
+
+    #[test]
+    fn gate_varieties_render() {
+        let mut n = Netlist::new("kinds");
+        let a = n.input("a");
+        let b = n.input("b");
+        let c0 = n.constant(false);
+        let x = n.xor(a, b);
+        let m = n.mux(a, b, c0);
+        let t = n.and([]);
+        let f = n.or([]);
+        for (net, nm) in [(x, "x"), (m, "m"), (t, "t"), (f, "f"), (c0, "c0")] {
+            n.set_name(net, nm).unwrap();
+        }
+        let v = to_verilog(&n);
+        assert!(v.contains("assign x = a ^ b;"));
+        assert!(v.contains("assign m = a ? b : c0;"));
+        assert!(v.contains("assign t = 1'b1;"));
+        assert!(v.contains("assign f = 1'b0;"));
+        assert!(v.contains("assign c0 = 1'b0;"));
+    }
+}

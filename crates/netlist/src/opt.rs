@@ -1,0 +1,559 @@
+//! Logic simplification: constant propagation, alias collapsing and dead
+//! code elimination.
+//!
+//! This is the "simple logic synthesis techniques" step of the paper's flow
+//! (Sect. 6): channels without a negative part have `V⁻ = S⁻ = 0`, and the
+//! associated controller logic must disappear so that lazy configurations
+//! come out smaller than counterflow ones (Table 1's area column).
+//!
+//! Three passes run to a joint fixpoint:
+//!
+//! 1. **constant propagation** — combinational gates with constant inputs
+//!    fold; a flip-flop whose data input is a constant equal to its initial
+//!    value is itself a constant (sequential constants);
+//! 2. **alias collapsing** — buffers, bound wires and single-input AND/OR
+//!    forward their source;
+//! 3. **dead code elimination** — only gates transitively reachable from
+//!    the marked outputs (plus all primary inputs, to keep the interface)
+//!    survive.
+
+use std::collections::HashMap;
+
+use crate::build::{Gate, NetId, Netlist};
+use crate::error::NetlistError;
+
+/// Simplifies `netlist`, returning the optimized copy and the mapping from
+/// old net ids to new ones (`None` for dropped nets).
+///
+/// Net names and output markings survive on the nets that remain; a net
+/// folded to a constant keeps its name on the replacement constant, so
+/// simulation probes and model-checking atoms stay valid.
+///
+/// # Errors
+///
+/// [`NetlistError::UnboundState`] if a flip-flop, latch or wire was never
+/// bound.
+///
+/// # Example
+///
+/// ```
+/// use elastic_netlist::{opt::optimize, area::AreaReport, Netlist};
+///
+/// # fn main() -> Result<(), elastic_netlist::NetlistError> {
+/// let mut n = Netlist::new("m");
+/// let a = n.input("a");
+/// let zero = n.constant(false);
+/// let dead = n.and2(a, zero);     // folds to 0 and is unused
+/// let keep = n.or2(a, zero);      // folds to just `a`
+/// n.set_name(keep, "keep")?;
+/// n.mark_output(keep)?;
+/// # let _ = dead;
+/// let (opt, _map) = optimize(&n)?;
+/// assert_eq!(AreaReport::of(&opt).literals, 0);
+/// assert!(opt.find("keep").is_ok());
+/// # Ok(())
+/// # }
+/// ```
+pub fn optimize(netlist: &Netlist) -> Result<(Netlist, Vec<Option<NetId>>), NetlistError> {
+    netlist.check_bound()?;
+    let n = netlist.len();
+
+    // --- pass 1: constant analysis (combinational + sequential) ---
+    //
+    // Sequential constants are found inductively (a greatest fixpoint):
+    // assume every state element is stuck at its initial value, derive the
+    // combinational constants under that assumption, then demote any state
+    // element whose next-state function does not evaluate back to its
+    // initial value. Repeat until no demotion happens. This catches
+    // self-holding registers like `nv' = nv ∧ x` with `init = 0`, which a
+    // purely forward analysis misses.
+    let mut assumed: Vec<Option<bool>> = netlist
+        .nets()
+        .map(|id| match netlist.gate(id) {
+            Gate::Dff { init, .. } | Gate::Latch { init, .. } => Some(*init),
+            _ => None,
+        })
+        .collect();
+    let forward = |assumed: &[Option<bool>]| -> Vec<Option<bool>> {
+        let mut konst: Vec<Option<bool>> = netlist
+            .nets()
+            .map(|id| match netlist.gate(id) {
+                Gate::Const(v) => Some(*v),
+                Gate::Dff { .. } | Gate::Latch { .. } => assumed[id.index()],
+                _ => None,
+            })
+            .collect();
+        loop {
+            let mut changed = false;
+            for id in netlist.nets() {
+                if konst[id.index()].is_some() {
+                    continue;
+                }
+                let get = |x: NetId| konst[x.index()];
+                let new = match netlist.gate(id) {
+                    Gate::Input | Gate::Const(_) | Gate::Dff { .. } | Gate::Latch { .. } => {
+                        None
+                    }
+                    Gate::Buf(a) => get(*a),
+                    Gate::Wire { src } => get(src.expect("checked")),
+                    Gate::Not(a) => get(*a).map(|v| !v),
+                    Gate::And(v) => {
+                        if v.iter().any(|&a| get(a) == Some(false)) {
+                            Some(false)
+                        } else if v.iter().all(|&a| get(a) == Some(true)) {
+                            Some(true)
+                        } else {
+                            None
+                        }
+                    }
+                    Gate::Or(v) => {
+                        if v.iter().any(|&a| get(a) == Some(true)) {
+                            Some(true)
+                        } else if v.iter().all(|&a| get(a) == Some(false)) {
+                            Some(false)
+                        } else {
+                            None
+                        }
+                    }
+                    Gate::Xor(a, b) => match (get(*a), get(*b)) {
+                        (Some(x), Some(y)) => Some(x ^ y),
+                        _ => None,
+                    },
+                    Gate::Mux { sel, a, b } => match get(*sel) {
+                        Some(true) => get(*a),
+                        Some(false) => get(*b),
+                        None => match (get(*a), get(*b)) {
+                            (Some(x), Some(y)) if x == y => Some(x),
+                            _ => None,
+                        },
+                    },
+                };
+                if new.is_some() {
+                    konst[id.index()] = new;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return konst;
+            }
+        }
+    };
+    let konst = loop {
+        let konst = forward(&assumed);
+        let mut demoted = false;
+        for id in netlist.nets() {
+            if assumed[id.index()].is_none() {
+                continue;
+            }
+            let (d, init) = match netlist.gate(id) {
+                Gate::Dff { d, init } => (d.expect("checked"), *init),
+                Gate::Latch { d, init, .. } => (d.expect("checked"), *init),
+                _ => unreachable!("only state elements are assumed"),
+            };
+            // An enabled latch that never updates would also be constant,
+            // but we conservatively require the data input to agree.
+            if konst[d.index()] != Some(init) {
+                assumed[id.index()] = None;
+                demoted = true;
+            }
+        }
+        if !demoted {
+            break konst;
+        }
+    };
+
+    // --- pass 2: alias resolution (follow buffers/wires/1-input gates) ---
+    let resolve = |start: NetId, konst: &[Option<bool>]| -> NetId {
+        let mut cur = start;
+        for _ in 0..n {
+            if konst[cur.index()].is_some() {
+                return cur;
+            }
+            cur = match netlist.gate(cur) {
+                Gate::Buf(a) => *a,
+                Gate::Wire { src } => src.expect("checked"),
+                Gate::And(v) | Gate::Or(v) if v.len() == 1 => v[0],
+                _ => return cur,
+            };
+        }
+        cur
+    };
+
+    // --- pass 3: liveness from outputs (and state kept alive by itself) ---
+    let mut live = vec![false; n];
+    let mut stack: Vec<NetId> = netlist.outputs().to_vec();
+    // Keep all primary inputs as interface, but they carry no logic.
+    while let Some(id) = stack.pop() {
+        if live[id.index()] {
+            continue;
+        }
+        live[id.index()] = true;
+        if konst[id.index()].is_some() {
+            continue; // a constant net needs none of its fan-in
+        }
+        let deps: Vec<NetId> = match netlist.gate(id) {
+            Gate::Dff { d, .. } => vec![d.expect("checked")],
+            Gate::Latch { d, en, .. } => {
+                let mut v = vec![d.expect("checked")];
+                if let Some(e) = en {
+                    v.push(*e);
+                }
+                v
+            }
+            g => g.comb_inputs(),
+        };
+        stack.extend(deps);
+    }
+
+    // --- rebuild ---
+    let mut out = Netlist::new(netlist.name());
+    let mut map: Vec<Option<NetId>> = vec![None; n];
+    let mut const_nets: HashMap<bool, NetId> = HashMap::new();
+    // Inputs first (interface preserved in order).
+    for &i in netlist.inputs() {
+        let ni = out.input(netlist.net_name(i));
+        map[i.index()] = Some(ni);
+    }
+    // Everything live, in creation order (sources precede users except for
+    // state loops, which are re-bound afterwards).
+    let mut rebind: Vec<(NetId, NetId)> = Vec::new(); // (new q, old d)
+    let mut wire_rebind: Vec<(NetId, NetId)> = Vec::new(); // (new wire, old src)
+    for id in netlist.nets() {
+        if !live[id.index()] || map[id.index()].is_some() {
+            continue;
+        }
+        if let Some(v) = konst[id.index()] {
+            let c = *const_nets.entry(v).or_insert_with(|| out.constant(v));
+            map[id.index()] = Some(c);
+            continue;
+        }
+        let target = resolve(id, &konst);
+        if target != id {
+            // Alias: reuse the target's new id (created earlier or later).
+            if let Some(&Some(t)) = map.get(target.index()) {
+                map[id.index()] = Some(t);
+            } else if konst[target.index()].is_some() {
+                let v = konst[target.index()].expect("checked");
+                let c = *const_nets.entry(v).or_insert_with(|| out.constant(v));
+                map[id.index()] = Some(c);
+            } else {
+                // Target not yet emitted (forward reference through a bound
+                // wire): emit a wire now and bind it after the main pass.
+                let wirenew = out.wire();
+                wire_rebind.push((wirenew, target));
+                map[id.index()] = Some(wirenew);
+            }
+            continue;
+        }
+        let new = match netlist.gate(id).clone() {
+            Gate::Input => unreachable!("inputs handled above"),
+            Gate::Const(v) => *const_nets.entry(v).or_insert_with(|| out.constant(v)),
+            Gate::Buf(_) | Gate::Wire { .. } => unreachable!("aliases resolved above"),
+            Gate::Not(a) => {
+                let a = lookup(netlist, &mut out, &mut map, &mut const_nets, &konst, a);
+                out.not(a)
+            }
+            Gate::And(v) => {
+                let ins: Vec<NetId> = v
+                    .into_iter()
+                    .filter(|&a| konst[resolve(a, &konst).index()] != Some(true))
+                    .map(|a| lookup(netlist, &mut out, &mut map, &mut const_nets, &konst, a))
+                    .collect();
+                match ins.len() {
+                    0 => *const_nets.entry(true).or_insert_with(|| out.constant(true)),
+                    1 => ins[0],
+                    _ => out.and(ins),
+                }
+            }
+            Gate::Or(v) => {
+                let ins: Vec<NetId> = v
+                    .into_iter()
+                    .filter(|&a| konst[resolve(a, &konst).index()] != Some(false))
+                    .map(|a| lookup(netlist, &mut out, &mut map, &mut const_nets, &konst, a))
+                    .collect();
+                match ins.len() {
+                    0 => *const_nets.entry(false).or_insert_with(|| out.constant(false)),
+                    1 => ins[0],
+                    _ => out.or(ins),
+                }
+            }
+            Gate::Xor(a, b) => {
+                let (ka, kb) =
+                    (konst[resolve(a, &konst).index()], konst[resolve(b, &konst).index()]);
+                match (ka, kb) {
+                    (Some(true), _) => {
+                        let b = lookup(netlist, &mut out, &mut map, &mut const_nets, &konst, b);
+                        out.not(b)
+                    }
+                    (Some(false), _) => {
+                        lookup(netlist, &mut out, &mut map, &mut const_nets, &konst, b)
+                    }
+                    (_, Some(true)) => {
+                        let a = lookup(netlist, &mut out, &mut map, &mut const_nets, &konst, a);
+                        out.not(a)
+                    }
+                    (_, Some(false)) => {
+                        lookup(netlist, &mut out, &mut map, &mut const_nets, &konst, a)
+                    }
+                    _ => {
+                        let a = lookup(netlist, &mut out, &mut map, &mut const_nets, &konst, a);
+                        let b = lookup(netlist, &mut out, &mut map, &mut const_nets, &konst, b);
+                        out.xor(a, b)
+                    }
+                }
+            }
+            Gate::Mux { sel, a, b } => {
+                let ks = konst[resolve(sel, &konst).index()];
+                match ks {
+                    Some(true) => lookup(netlist, &mut out, &mut map, &mut const_nets, &konst, a),
+                    Some(false) => {
+                        lookup(netlist, &mut out, &mut map, &mut const_nets, &konst, b)
+                    }
+                    None => {
+                        let s = lookup(netlist, &mut out, &mut map, &mut const_nets, &konst, sel);
+                        let a = lookup(netlist, &mut out, &mut map, &mut const_nets, &konst, a);
+                        let b = lookup(netlist, &mut out, &mut map, &mut const_nets, &konst, b);
+                        out.mux(s, a, b)
+                    }
+                }
+            }
+            Gate::Dff { d, init } => {
+                let q = out.dff(init);
+                rebind.push((q, d.expect("checked")));
+                q
+            }
+            Gate::Latch { d, en, phase, init } => {
+                let q = match en {
+                    Some(e) => {
+                        let e = lookup(netlist, &mut out, &mut map, &mut const_nets, &konst, e);
+                        out.latch_en(phase, e, init)
+                    }
+                    None => out.latch(phase, init),
+                };
+                rebind.push((q, d.expect("checked")));
+                q
+            }
+        };
+        map[id.index()] = Some(new);
+    }
+    // Second pass: bind state data inputs (feedback loops legal now).
+    for (q, old_d) in rebind {
+        let d = lookup(netlist, &mut out, &mut map, &mut const_nets, &konst, old_d);
+        match out.gate(q) {
+            Gate::Dff { .. } => out.bind_dff(q, d)?,
+            _ => out.bind_latch(q, d)?,
+        }
+    }
+    for (wirenew, old_src) in wire_rebind {
+        let src = lookup(netlist, &mut out, &mut map, &mut const_nets, &konst, old_src);
+        out.bind_wire(wirenew, src)?;
+    }
+    // Names and outputs. When several old nets merged into one new net, the
+    // first name (in creation order) stays on the net itself; every further
+    // name goes on a zero-area alias buffer, so probes and model-checking
+    // atoms keep working after optimization.
+    let mut named_new: std::collections::HashSet<NetId> =
+        out.inputs().iter().copied().collect();
+    for (name, id) in netlist.named_nets() {
+        if let Some(new) = map[id.index()] {
+            if out.find(name).is_ok() {
+                continue; // the name survived already (e.g. on an input)
+            }
+            if named_new.insert(new) {
+                let _ = out.set_name(new, name);
+            } else {
+                let alias = out.buf(new);
+                out.set_name(alias, name)?;
+                map[id.index()] = Some(alias);
+            }
+        }
+    }
+    for &o in netlist.outputs() {
+        if let Some(new) = map[o.index()] {
+            out.mark_output(new)?;
+        }
+    }
+    Ok((out, map))
+}
+
+/// Maps an old net id to the new netlist, materializing constants on
+/// demand. Walks the alias chain (buffers, bound wires, 1-input AND/OR) and
+/// stops at the first node that is constant or already materialized — a
+/// forward reference through a wire resolves to the deferred wire emitted
+/// for it, which is bound at the end of the rebuild.
+fn lookup(
+    old: &Netlist,
+    out: &mut Netlist,
+    map: &mut [Option<NetId>],
+    const_nets: &mut HashMap<bool, NetId>,
+    konst: &[Option<bool>],
+    x: NetId,
+) -> NetId {
+    let mut cur = x;
+    for _ in 0..=map.len() {
+        if let Some(v) = konst[cur.index()] {
+            return *const_nets.entry(v).or_insert_with(|| out.constant(v));
+        }
+        if let Some(id) = map[cur.index()] {
+            return id;
+        }
+        cur = match old.gate(cur) {
+            Gate::Buf(a) => *a,
+            Gate::Wire { src } => src.expect("checked"),
+            Gate::And(v) | Gate::Or(v) if v.len() == 1 => v[0],
+            _ => break,
+        };
+    }
+    unreachable!("combinational dependency {x} not emitted before use")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::area::AreaReport;
+    use crate::sim::Simulator;
+
+    #[test]
+    fn folds_constants_through_gates() {
+        let mut n = Netlist::new("m");
+        let a = n.input("a");
+        let zero = n.constant(false);
+        let one = n.constant(true);
+        let x = n.and2(a, one); // = a
+        let y = n.or2(x, zero); // = a
+        let z = n.xor(y, zero); // = a
+        let w = n.mux(one, z, zero); // = a
+        n.set_name(w, "w").unwrap();
+        n.mark_output(w).unwrap();
+        let (opt, _) = optimize(&n).unwrap();
+        assert_eq!(AreaReport::of(&opt).literals, 0, "{opt:?}");
+        // Behaviour preserved: w follows a.
+        let mut sim = Simulator::new(&opt).unwrap();
+        let a2 = opt.find("a").unwrap();
+        let w2 = opt.find("w").unwrap();
+        sim.cycle(&[(a2, true)]).unwrap();
+        assert!(sim.value(w2));
+        sim.cycle(&[(a2, false)]).unwrap();
+        assert!(!sim.value(w2));
+    }
+
+    #[test]
+    fn sequential_constants_fold() {
+        // FF with d = q & 0 and init 0: constant zero forever.
+        let mut n = Netlist::new("m");
+        let q = n.dff(false);
+        let zero = n.constant(false);
+        let d = n.and2(q, zero);
+        n.bind_dff(q, d).unwrap();
+        let a = n.input("a");
+        let y = n.or2(a, q); // = a
+        n.set_name(y, "y").unwrap();
+        n.mark_output(y).unwrap();
+        let (opt, _) = optimize(&n).unwrap();
+        let r = AreaReport::of(&opt);
+        assert_eq!(r.flipflops, 0, "sequential constant removed");
+        assert_eq!(r.literals, 0);
+    }
+
+    #[test]
+    fn dead_logic_removed() {
+        let mut n = Netlist::new("m");
+        let a = n.input("a");
+        let b = n.input("b");
+        let dead = n.and2(a, b);
+        let deader = n.not(dead);
+        let _ = deader;
+        let live = n.or2(a, b);
+        n.mark_output(live).unwrap();
+        let (opt, map) = optimize(&n).unwrap();
+        assert_eq!(AreaReport::of(&opt).literals, 2);
+        assert!(map[dead.index()].is_none());
+    }
+
+    #[test]
+    fn live_state_survives() {
+        let mut n = Netlist::new("m");
+        let q = n.dff(false);
+        let d = n.not(q);
+        n.bind_dff(q, d).unwrap();
+        n.set_name(q, "q").unwrap();
+        n.mark_output(q).unwrap();
+        let (opt, _) = optimize(&n).unwrap();
+        assert_eq!(AreaReport::of(&opt).flipflops, 1);
+        // Still toggles.
+        let mut sim = Simulator::new(&opt).unwrap();
+        let q2 = opt.find("q").unwrap();
+        sim.cycle(&[]).unwrap();
+        assert!(!sim.value(q2));
+        sim.cycle(&[]).unwrap();
+        assert!(sim.value(q2));
+    }
+
+    #[test]
+    fn wires_collapse() {
+        let mut n = Netlist::new("m");
+        let a = n.input("a");
+        let w = n.wire();
+        n.bind_wire(w, a).unwrap();
+        let y = n.not(w);
+        n.set_name(y, "y").unwrap();
+        n.mark_output(y).unwrap();
+        let (opt, _) = optimize(&n).unwrap();
+        // Only input + NOT remain.
+        assert_eq!(opt.len(), 2);
+    }
+
+    #[test]
+    fn names_preserved_on_constants() {
+        let mut n = Netlist::new("m");
+        let a = n.input("a");
+        let zero = n.constant(false);
+        let y = n.and2(a, zero);
+        n.set_name(y, "y").unwrap();
+        n.mark_output(y).unwrap();
+        let (opt, _) = optimize(&n).unwrap();
+        let y2 = opt.find("y").unwrap();
+        assert!(matches!(opt.gate(y2), Gate::Const(false)));
+    }
+
+    #[test]
+    fn random_equivalence_after_optimization() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        // A small random sequential circuit; optimized version must match
+        // the original cycle by cycle on random stimulus.
+        let mut n = Netlist::new("rand");
+        let i0 = n.input("i0");
+        let i1 = n.input("i1");
+        let one = n.constant(true);
+        let q0 = n.dff(false);
+        let q1 = n.dff(true);
+        let x = n.xor(i0, q0);
+        let y = n.and([i1, q1, one]);
+        let z = n.or2(x, y);
+        let m = n.mux(q0, z, i1);
+        n.bind_dff(q0, z).unwrap();
+        n.bind_dff(q1, m).unwrap();
+        n.set_name(z, "z").unwrap();
+        n.set_name(m, "m").unwrap();
+        n.mark_output(z).unwrap();
+        n.mark_output(m).unwrap();
+        let (opt, _) = optimize(&n).unwrap();
+        let mut s1 = Simulator::new(&n).unwrap();
+        let mut s2 = Simulator::new(&opt).unwrap();
+        let (oi0, oi1) = (opt.find("i0").unwrap(), opt.find("i1").unwrap());
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..200 {
+            let (a, b) = (rng.gen_bool(0.5), rng.gen_bool(0.5));
+            s1.cycle(&[(i0, a), (i1, b)]).unwrap();
+            s2.cycle(&[(oi0, a), (oi1, b)]).unwrap();
+            for name in ["z", "m"] {
+                assert_eq!(
+                    s1.value(n.find(name).unwrap()),
+                    s2.value(opt.find(name).unwrap()),
+                    "mismatch on {name}"
+                );
+            }
+        }
+    }
+}

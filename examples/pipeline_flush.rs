@@ -1,0 +1,65 @@
+//! Anti-token pipeline flush — the application sketched in the paper's
+//! conclusions: "flushing a pipeline on branch mispredictions can be done
+//! by injecting anti-tokens".
+//!
+//! A 6-stage speculative pipeline runs at full rate; on a misprediction
+//! the consumer injects anti-tokens that travel backwards and annihilate
+//! the speculative tokens in flight, and the correct-path tokens follow.
+//!
+//! Run with `cargo run --example pipeline_flush`.
+
+use elastic_circuits::core::network::CompId;
+use elastic_circuits::core::sim::{BehavSim, Environment};
+use elastic_circuits::core::systems::linear_pipeline;
+
+/// A scripted environment: the front end fetches continuously; the commit
+/// stage flushes `flushes` speculative instructions at cycle 20.
+struct FlushEnv {
+    flushes_left: u32,
+    issued: u64,
+}
+
+impl Environment for FlushEnv {
+    fn source_offer(&mut self, _c: CompId, _n: &str, _t: u64) -> Option<u64> {
+        self.issued += 1;
+        Some(self.issued)
+    }
+    fn sink_stop(&mut self, _c: CompId, _n: &str, _t: u64) -> bool {
+        false
+    }
+    fn sink_kill(&mut self, _c: CompId, _n: &str, t: u64) -> bool {
+        if (20..40).contains(&t) && self.flushes_left > 0 {
+            self.flushes_left -= 1;
+            true
+        } else {
+            false
+        }
+    }
+    fn vl_latency(&mut self, _c: CompId, _n: &str, _t: u64) -> u32 {
+        1
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (net, _cin, _cout) = linear_pipeline(6, 0)?;
+    let snk = net.component_by_name("snk").expect("sink exists");
+    let mut sim = BehavSim::new(&net)?;
+    let mut env = FlushEnv { flushes_left: 4, issued: 0 };
+    sim.run(&mut env, 100)?;
+    let r = sim.report();
+    println!("6-stage speculative pipeline, 4 anti-token flushes at cycle 20:");
+    println!("{r}");
+    let received = sim.sink_received(snk);
+    // No instruction is duplicated and order is preserved; exactly the
+    // flushed ones are missing.
+    let mut prev = 0;
+    for &d in received {
+        assert!(d > prev, "order preserved, no duplication");
+        prev = d;
+    }
+    let killed: u64 = net.channels().map(|c| r.channel(c).kills).sum::<u64>()
+        + r.internal_annihilations;
+    println!("committed {} instructions; {} speculative ones annihilated in flight",
+        received.len(), killed);
+    Ok(())
+}

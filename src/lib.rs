@@ -1,0 +1,14 @@
+//! Umbrella crate for the DAC 2007 elastic-circuits reproduction.
+//!
+//! Re-exports the workspace crates under stable module names:
+//!
+//! * [`dmg`] — dual marked graphs (the behavioural model).
+//! * [`netlist`] — gate-level netlists, simulation, area, exporters.
+//! * [`mc`] — CTL model checking with fairness.
+//! * [`core`] — the SELF elastic controllers with early evaluation and
+//!   token counterflow, the paper's contribution.
+
+pub use elastic_core as core;
+pub use elastic_dmg as dmg;
+pub use elastic_mc as mc;
+pub use elastic_netlist as netlist;

@@ -1,0 +1,92 @@
+//! Property-based tests over the core invariants, using proptest.
+
+use elastic_circuits::core::protocol::is_self_language;
+use elastic_circuits::core::sim::{BehavSim, DataGen, EnvConfig, RandomEnv, SinkCfg, SourceCfg};
+use elastic_circuits::core::systems::linear_pipeline;
+use elastic_circuits::dmg::analysis::simple_cycles;
+use elastic_circuits::dmg::exec::{RandomExecutor, SchedulingPolicy};
+use elastic_circuits::dmg::examples::{fig1_dmg, pipeline_ring};
+use proptest::prelude::*;
+
+proptest! {
+    /// Token preservation: any interleaving of P/N/E firings keeps every
+    /// cycle's token sum constant (the fundamental SCDMG invariant).
+    #[test]
+    fn dmg_cycles_preserve_tokens(seed in 0u64..500, steps in 1usize..200) {
+        let g = fig1_dmg();
+        let (cycles, _) = simple_cycles(&g, 100);
+        let init = g.initial_marking();
+        let sums: Vec<i64> = cycles.iter().map(|c| c.tokens(&init)).collect();
+        let mut m = g.initial_marking();
+        let mut exec = RandomExecutor::new(seed, SchedulingPolicy::UniformEnabled);
+        exec.run(&g, &mut m, steps).unwrap();
+        for (c, &expect) in cycles.iter().zip(&sums) {
+            prop_assert_eq!(c.tokens(&m), expect);
+        }
+    }
+
+    /// Ring pipelines with any legal token count stay live and their
+    /// min-cycle-ratio bound is tokens/length (capped by bubbles).
+    #[test]
+    fn ring_throughput_bound(stages in 2usize..8, tokens in 1usize..8) {
+        prop_assume!(tokens < stages * 2);
+        let g = pipeline_ring(stages, tokens, 2);
+        let r = elastic_circuits::dmg::analysis::min_cycle_ratio(&g, &vec![1; stages]).unwrap();
+        let expect = (tokens as f64 / stages as f64)
+            .min((stages as f64 * 2.0 - tokens as f64) / stages as f64);
+        prop_assert!((r.ratio - expect).abs() < 1e-6,
+            "stages {} tokens {}: got {} expect {}", stages, tokens, r.ratio, expect);
+    }
+
+    /// The SELF protocol language (I*R*T)* holds on every channel of a
+    /// pipeline under arbitrary environment probabilities, and tokens are
+    /// never lost, duplicated or reordered.
+    #[test]
+    fn pipeline_protocol_and_fifo(
+        seed in 0u64..200,
+        rate in 0.1f64..1.0,
+        stop in 0.0f64..0.9,
+        stages in 1usize..5,
+    ) {
+        let (net, _, cout) = linear_pipeline(stages, 0).unwrap();
+        let snk = net.component_by_name("snk").unwrap();
+        let mut cfg = EnvConfig::default();
+        cfg.sources.insert("src".into(), SourceCfg { rate, data: DataGen::Counter });
+        cfg.sinks.insert("snk".into(), SinkCfg { stop_prob: stop, kill_prob: 0.0 });
+        let mut sim = BehavSim::new(&net).unwrap();
+        let mut env = RandomEnv::new(seed, cfg);
+        let mut trace = String::new();
+        for _ in 0..400 {
+            sim.step(&mut env).unwrap(); // protocol monitor armed inside
+            trace.push(match sim.signals(cout).event() {
+                elastic_circuits::core::channel::ChannelEvent::PositiveTransfer => 'T',
+                elastic_circuits::core::channel::ChannelEvent::Retry => 'R',
+                elastic_circuits::core::channel::ChannelEvent::Kill => 'K',
+                _ => 'I',
+            });
+        }
+        prop_assert!(is_self_language(&trace), "trace {}", trace);
+        let got = sim.sink_received(snk);
+        for (i, w) in got.windows(2).enumerate() {
+            prop_assert_eq!(w[0] + 1, w[1], "gap at {}", i);
+        }
+    }
+
+    /// With kills enabled, received data is still strictly increasing
+    /// (no duplication, no reordering — kills only delete).
+    #[test]
+    fn kills_only_delete(seed in 0u64..200, kill in 0.05f64..0.5) {
+        let (net, _, _) = linear_pipeline(3, 0).unwrap();
+        let snk = net.component_by_name("snk").unwrap();
+        let mut cfg = EnvConfig::default();
+        cfg.sources.insert("src".into(), SourceCfg { rate: 0.8, data: DataGen::Counter });
+        cfg.sinks.insert("snk".into(), SinkCfg { stop_prob: 0.2, kill_prob: kill });
+        let mut sim = BehavSim::new(&net).unwrap();
+        let mut env = RandomEnv::new(seed, cfg);
+        sim.run(&mut env, 600).unwrap();
+        let got = sim.sink_received(snk);
+        for w in got.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+    }
+}
