@@ -23,16 +23,20 @@ fn bench_table1(c: &mut Criterion) {
 fn bench_pipeline(c: &mut Criterion) {
     let mut g = c.benchmark_group("pipeline_sim");
     for stages in [4usize, 16, 64] {
-        g.bench_with_input(BenchmarkId::from_parameter(stages), &stages, |b, &stages| {
-            let (net, _, _) = linear_pipeline(stages, stages / 2).expect("builds");
-            b.iter(|| {
-                let mut sim = BehavSim::new(&net).expect("valid");
-                sim.set_check_protocol(false);
-                let mut env = RandomEnv::new(1, EnvConfig::default());
-                sim.run(&mut env, 1000).expect("runs");
-                sim.report().cycles
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(stages),
+            &stages,
+            |b, &stages| {
+                let (net, _, _) = linear_pipeline(stages, stages / 2).expect("builds");
+                b.iter(|| {
+                    let mut sim = BehavSim::new(&net).expect("valid");
+                    sim.set_check_protocol(false);
+                    let mut env = RandomEnv::new(1, EnvConfig::default());
+                    sim.run(&mut env, 1000).expect("runs");
+                    sim.report().cycles
+                });
+            },
+        );
     }
     g.finish();
 }
@@ -61,9 +65,14 @@ fn bench_gate_sim(c: &mut Criterion) {
         use elastic_core::compile::{compile, CompileOptions};
         use elastic_netlist::sim::Simulator;
         let sys = paper_example(Config::ActiveAntiTokens).expect("builds");
-        let compiled =
-            compile(&sys.network, &CompileOptions { data_width: 2, nondet_merge: false })
-                .expect("compiles");
+        let compiled = compile(
+            &sys.network,
+            &CompileOptions {
+                data_width: 2,
+                nondet_merge: false,
+            },
+        )
+        .expect("compiles");
         let inputs: Vec<_> = compiled.netlist.inputs().to_vec();
         b.iter(|| {
             let mut sim = Simulator::new(&compiled.netlist).expect("valid");
@@ -76,5 +85,11 @@ fn bench_gate_sim(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_table1, bench_pipeline, bench_dmg, bench_gate_sim);
+criterion_group!(
+    benches,
+    bench_table1,
+    bench_pipeline,
+    bench_dmg,
+    bench_gate_sim
+);
 criterion_main!(benches);

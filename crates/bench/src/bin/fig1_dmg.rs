@@ -7,13 +7,28 @@ use elastic_dmg::examples::{fig1_dmg, fig1_firing_sequence};
 
 fn main() {
     let g = fig1_dmg();
-    println!("Fig. 1 dual marked graph: {} nodes, {} arcs", g.num_nodes(), g.num_arcs());
-    println!("initial marking: {}", g.format_marking(&g.initial_marking()));
+    println!(
+        "Fig. 1 dual marked graph: {} nodes, {} arcs",
+        g.num_nodes(),
+        g.num_arcs()
+    );
+    println!(
+        "initial marking: {}",
+        g.format_marking(&g.initial_marking())
+    );
     let (cycles, _) = simple_cycles(&g, 100);
     for (i, c) in cycles.iter().enumerate() {
-        println!("  cycle C{} ({} arcs): tokens = {}", i + 1, c.len(), c.tokens(&g.initial_marking()));
+        println!(
+            "  cycle C{} ({} arcs): tokens = {}",
+            i + 1,
+            c.len(),
+            c.tokens(&g.initial_marking())
+        );
     }
-    println!("liveness: {:?}", check_liveness(&g).expect("strongly connected"));
+    println!(
+        "liveness: {:?}",
+        check_liveness(&g).expect("strongly connected")
+    );
     let (g, rules, m) = fig1_firing_sequence();
     let tags: String = rules.iter().map(|r| r.tag()).collect();
     println!("\nfiring n2, n1, n7 with rules [{tags}]");

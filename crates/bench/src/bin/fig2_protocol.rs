@@ -9,8 +9,20 @@ fn main() {
     let (net, _, cout) = linear_pipeline(2, 1).expect("builds");
     let mut sim = BehavSim::new(&net).expect("valid");
     let mut cfg = EnvConfig::default();
-    cfg.sources.insert("src".into(), SourceCfg { rate: 0.6, data: elastic_core::sim::DataGen::Counter });
-    cfg.sinks.insert("snk".into(), SinkCfg { stop_prob: 0.35, kill_prob: 0.0 });
+    cfg.sources.insert(
+        "src".into(),
+        SourceCfg {
+            rate: 0.6,
+            data: elastic_core::sim::DataGen::Counter,
+        },
+    );
+    cfg.sinks.insert(
+        "snk".into(),
+        SinkCfg {
+            stop_prob: 0.35,
+            kill_prob: 0.0,
+        },
+    );
     let mut env = RandomEnv::new(42, cfg);
     let mut sigs = Vec::new();
     for _ in 0..60 {

@@ -15,11 +15,17 @@ fn main() {
             let mut cfg = EnvConfig::default();
             cfg.sources.insert(
                 "src".into(),
-                SourceCfg { rate: 1.0, data: elastic_core::sim::DataGen::Const(0) },
+                SourceCfg {
+                    rate: 1.0,
+                    data: elastic_core::sim::DataGen::Const(0),
+                },
             );
             let mut env = RandomEnv::new(1, cfg);
             sim.run(&mut env, 3000).expect("runs");
-            println!("{stages:>7} {tokens:>7} {:>11.3}", sim.report().positive_rate(cout));
+            println!(
+                "{stages:>7} {tokens:>7} {:>11.3}",
+                sim.report().positive_rate(cout)
+            );
         }
     }
 }

@@ -34,7 +34,13 @@ fn main() {
 
     let mut sim = BehavSim::new(&net).expect("valid");
     let mut cfg = EnvConfig::default();
-    cfg.sinks.insert("slow".into(), SinkCfg { stop_prob: 0.8, kill_prob: 0.0 });
+    cfg.sinks.insert(
+        "slow".into(),
+        SinkCfg {
+            stop_prob: 0.8,
+            kill_prob: 0.0,
+        },
+    );
     let mut env = RandomEnv::new(3, cfg);
     sim.run(&mut env, 2000).expect("runs");
     let r = sim.report();

@@ -8,14 +8,29 @@ fn main() {
     let (net, cin, cout) = linear_pipeline(4, 2).expect("builds");
     let mut sim = BehavSim::new(&net).expect("valid");
     let mut cfg = EnvConfig::default();
-    cfg.sources.insert("src".into(), SourceCfg { rate: 0.5, data: elastic_core::sim::DataGen::Const(0) });
-    cfg.sinks.insert("snk".into(), SinkCfg { stop_prob: 0.2, kill_prob: 0.3 });
+    cfg.sources.insert(
+        "src".into(),
+        SourceCfg {
+            rate: 0.5,
+            data: elastic_core::sim::DataGen::Const(0),
+        },
+    );
+    cfg.sinks.insert(
+        "snk".into(),
+        SinkCfg {
+            stop_prob: 0.2,
+            kill_prob: 0.3,
+        },
+    );
     let mut env = RandomEnv::new(9, cfg);
     sim.run(&mut env, 10_000).expect("runs");
     let r = sim.report();
     println!("Fig. 5 — dual pipeline with token counterflow (10k cycles)");
     println!("{}", r);
     println!("kills + internal annihilations account for every injected anti-token;");
-    println!("input channel activity {:.3} equals output activity {:.3} (token preservation)",
-        r.throughput(cin), r.throughput(cout));
+    println!(
+        "input channel activity {:.3} equals output activity {:.3} (token preservation)",
+        r.throughput(cin),
+        r.throughput(cout)
+    );
 }

@@ -14,8 +14,13 @@ fn main() {
     println!("two-buffer pipeline: {states} states explored");
     let mut all = true;
     for r in &results {
-        println!("  [{}] {:<10} on {:<8} {}", if r.holds { "ok" } else { "FAIL" },
-            r.property, r.channel, r.formula);
+        println!(
+            "  [{}] {:<10} on {:<8} {}",
+            if r.holds { "ok" } else { "FAIL" },
+            r.property,
+            r.channel,
+            r.formula
+        );
         all &= r.holds;
     }
     assert!(all, "a controller property failed");

@@ -7,7 +7,11 @@ use elastic_core::systems::{paper_example, Config};
 
 fn main() {
     println!("Fig. 7(a) — active vs passive anti-token interfaces\n");
-    for config in [Config::ActiveAntiTokens, Config::PassiveF3W, Config::PassiveM2W] {
+    for config in [
+        Config::ActiveAntiTokens,
+        Config::PassiveF3W,
+        Config::PassiveM2W,
+    ] {
         let sys = paper_example(config).expect("builds");
         let mut sim = BehavSim::new(&sys.network).expect("valid");
         let mut env = RandomEnv::new(7, sys.env_config.clone());

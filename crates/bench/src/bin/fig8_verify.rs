@@ -24,8 +24,14 @@ fn main() {
     println!("nondeterministic killing environment (alternating-data producers):\n");
     let (net, _, _) = linear_pipeline(3, 1).expect("builds");
     let cfg = EnvConfig {
-        default_source: SourceCfg { rate: 0.7, data: elastic_core::sim::DataGen::Alternate },
-        default_sink: SinkCfg { stop_prob: 0.3, kill_prob: 0.2 },
+        default_source: SourceCfg {
+            rate: 0.7,
+            data: elastic_core::sim::DataGen::Alternate,
+        },
+        default_sink: SinkCfg {
+            stop_prob: 0.3,
+            kill_prob: 0.2,
+        },
         ..Default::default()
     };
     for seed in 0..8 {

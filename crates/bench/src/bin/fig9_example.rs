@@ -9,8 +9,11 @@ use elastic_core::systems::{paper_example, Config};
 fn main() {
     let sys = paper_example(Config::ActiveAntiTokens).expect("builds");
     let net = &sys.network;
-    println!("Fig. 9 — example elastic system ({} components, {} channels)\n",
-        net.num_components(), net.num_channels());
+    println!(
+        "Fig. 9 — example elastic system ({} components, {} channels)\n",
+        net.num_components(),
+        net.num_channels()
+    );
     for c in net.channels() {
         let ch = net.channel(c);
         println!(
@@ -29,5 +32,8 @@ fn main() {
     sim.run(&mut env, 10_000).expect("runs");
     let th = sim.report().positive_rate(sys.output_channel);
     println!("measured throughput with early evaluation: {th:.3}");
-    println!("early evaluation beats the lazy bound: {}", th > bound.bound);
+    println!(
+        "early evaluation beats the lazy bound: {}",
+        th > bound.bound
+    );
 }

@@ -9,16 +9,21 @@ fn main() {
     for step in 0..=10 {
         let p_i = f64::from(step) / 10.0;
         let rest = 1.0 - p_i;
-        let dist = DataGen::Weighted(vec![
-            (0b00, p_i),
-            (0b10, rest * 0.75),
-            (0b01, rest * 0.25),
-        ]);
+        let dist = DataGen::Weighted(vec![(0b00, p_i), (0b10, rest * 0.75), (0b01, rest * 0.25)]);
         let mut th = [0.0f64; 2];
-        for (k, config) in [Config::ActiveAntiTokens, Config::NoEarlyEval].iter().enumerate() {
+        for (k, config) in [Config::ActiveAntiTokens, Config::NoEarlyEval]
+            .iter()
+            .enumerate()
+        {
             let sys = paper_example(*config).expect("builds");
             let mut env_cfg = sys.env_config.clone();
-            env_cfg.sources.insert("Din".into(), SourceCfg { rate: 1.0, data: dist.clone() });
+            env_cfg.sources.insert(
+                "Din".into(),
+                SourceCfg {
+                    rate: 1.0,
+                    data: dist.clone(),
+                },
+            );
             let mut sim = BehavSim::new(&sys.network).expect("valid");
             let mut env = RandomEnv::new(13, env_cfg);
             sim.run(&mut env, 5000).expect("runs");

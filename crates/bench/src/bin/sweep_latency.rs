@@ -9,7 +9,10 @@ fn main() {
     println!("{:>9} {:>9} {:>9}", "M1 mean", "early", "lazy");
     for lat in [1u32, 2, 4, 8, 16] {
         let mut th = [0.0f64; 2];
-        for (k, config) in [Config::ActiveAntiTokens, Config::NoEarlyEval].iter().enumerate() {
+        for (k, config) in [Config::ActiveAntiTokens, Config::NoEarlyEval]
+            .iter()
+            .enumerate()
+        {
             let sys = paper_example(*config).expect("builds");
             let mut env_cfg = sys.env_config.clone();
             env_cfg.vls.insert("M1".into(), LatencyDist::fixed(lat));

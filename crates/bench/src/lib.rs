@@ -70,7 +70,10 @@ pub fn run_table1_row(config: Config, cycles: u64, seed: u64) -> Table1Row {
 pub fn control_area(sys: &PaperSystem) -> AreaReport {
     let compiled = elastic_core::compile::compile(
         &sys.network,
-        &elastic_core::compile::CompileOptions { data_width: 2, nondet_merge: false },
+        &elastic_core::compile::CompileOptions {
+            data_width: 2,
+            nondet_merge: false,
+        },
     )
     .expect("compiles");
     let (opt, _) = optimize(&compiled.netlist).expect("optimizes");
@@ -79,7 +82,10 @@ pub fn control_area(sys: &PaperSystem) -> AreaReport {
 
 /// Runs all five configurations and returns the rows in paper order.
 pub fn run_table1(cycles: u64, seed: u64) -> Vec<Table1Row> {
-    Config::all().into_iter().map(|c| run_table1_row(c, cycles, seed)).collect()
+    Config::all()
+        .into_iter()
+        .map(|c| run_table1_row(c, cycles, seed))
+        .collect()
 }
 
 /// Formats the regenerated table alongside the paper's reference values.
@@ -89,8 +95,13 @@ pub fn format_table1(rows: &[Table1Row]) -> String {
     let _ = writeln!(
         s,
         "{:<22} {:>6}  {:<28} {:<28} {:<28} {:<28} {:<28}  area",
-        "Configuration", "Th", "F2->F3 (+ - x)", "F3->W (+ - x)", "S->M1 (+ - x)",
-        "M1->M2 (+ - x)", "M2->W (+ - x)"
+        "Configuration",
+        "Th",
+        "F2->F3 (+ - x)",
+        "F3->W (+ - x)",
+        "S->M1 (+ - x)",
+        "M1->M2 (+ - x)",
+        "M2->W (+ - x)"
     );
     for r in rows {
         let _ = write!(s, "{:<22} {:>6.3}  ", r.label, r.throughput);
@@ -100,14 +111,24 @@ pub fn format_table1(rows: &[Table1Row]) -> String {
         let _ = writeln!(s, "{}", r.area);
     }
     let _ = writeln!(s);
-    let _ = writeln!(s, "Paper reference (Table 1): Th = 0.400 / 0.343 / 0.387 / 0.280 / 0.277;");
-    let _ = writeln!(s, "area lit = 253 / 241 / 213 / 234 / 176 (SIS factored literals).");
+    let _ = writeln!(
+        s,
+        "Paper reference (Table 1): Th = 0.400 / 0.343 / 0.387 / 0.280 / 0.277;"
+    );
+    let _ = writeln!(
+        s,
+        "area lit = 253 / 241 / 213 / 234 / 176 (SIS factored literals)."
+    );
     s
 }
 
 /// Convenience: positive/negative/kill rates of a channel from a report.
 pub fn rates(report: &SimReport, chan: ChanId) -> (f64, f64, f64) {
-    (report.positive_rate(chan), report.negative_rate(chan), report.kill_rate(chan))
+    (
+        report.positive_rate(chan),
+        report.negative_rate(chan),
+        report.kill_rate(chan),
+    )
 }
 
 #[cfg(test)]
@@ -125,9 +146,24 @@ mod tests {
         assert!(th[3] < th[0], "passive-M {} < active {}", th[3], th[0]);
         // Area ordering: lazy smallest; active >= passive variants.
         let lits: Vec<usize> = rows.iter().map(|r| r.area.literals).collect();
-        assert!(lits[4] < lits[0], "lazy area {} < active {}", lits[4], lits[0]);
-        assert!(lits[2] <= lits[0], "passive F3 {} <= active {}", lits[2], lits[0]);
-        assert!(lits[3] <= lits[0], "passive M {} <= active {}", lits[3], lits[0]);
+        assert!(
+            lits[4] < lits[0],
+            "lazy area {} < active {}",
+            lits[4],
+            lits[0]
+        );
+        assert!(
+            lits[2] <= lits[0],
+            "passive F3 {} <= active {}",
+            lits[2],
+            lits[0]
+        );
+        assert!(
+            lits[3] <= lits[0],
+            "passive M {} <= active {}",
+            lits[3],
+            lits[0]
+        );
     }
 
     #[test]

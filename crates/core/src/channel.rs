@@ -133,18 +133,37 @@ mod tests {
     use super::*;
 
     fn sig(vp: bool, sp: bool, vn: bool, sn: bool) -> ChannelSignals {
-        ChannelSignals { vp, sp, vn, sn, data: 0 }
+        ChannelSignals {
+            vp,
+            sp,
+            vn,
+            sn,
+            data: 0,
+        }
     }
 
     #[test]
     fn event_classification() {
-        assert_eq!(sig(true, false, false, false).event(), ChannelEvent::PositiveTransfer);
+        assert_eq!(
+            sig(true, false, false, false).event(),
+            ChannelEvent::PositiveTransfer
+        );
         assert_eq!(sig(true, true, false, false).event(), ChannelEvent::Retry);
-        assert_eq!(sig(false, false, true, false).event(), ChannelEvent::NegativeTransfer);
-        assert_eq!(sig(false, false, true, true).event(), ChannelEvent::NegativeRetry);
+        assert_eq!(
+            sig(false, false, true, false).event(),
+            ChannelEvent::NegativeTransfer
+        );
+        assert_eq!(
+            sig(false, false, true, true).event(),
+            ChannelEvent::NegativeRetry
+        );
         assert_eq!(sig(true, false, true, false).event(), ChannelEvent::Kill);
         assert_eq!(sig(false, false, false, false).event(), ChannelEvent::Idle);
-        assert_eq!(sig(false, true, false, false).event(), ChannelEvent::Idle, "S+ without V+ is idle");
+        assert_eq!(
+            sig(false, true, false, false).event(),
+            ChannelEvent::Idle,
+            "S+ without V+ is idle"
+        );
     }
 
     #[test]
@@ -159,7 +178,10 @@ mod tests {
         assert!(sig(true, true, false, false).check_invariants().is_ok());
         assert!(sig(false, true, true, false).check_invariants().is_err());
         assert!(sig(true, false, false, true).check_invariants().is_err());
-        assert!(sig(true, false, true, false).check_invariants().is_ok(), "kill is legal");
+        assert!(
+            sig(true, false, true, false).check_invariants().is_ok(),
+            "kill is legal"
+        );
     }
 
     #[test]

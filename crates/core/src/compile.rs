@@ -22,8 +22,7 @@ use crate::error::CoreError;
 use crate::network::{CompId, ComponentKind, ElasticNetwork};
 
 /// Options controlling compilation.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct CompileOptions {
     /// Payload width in bits (0 = control only). Guard-driven early joins
     /// need enough bits to cover their guard masks.
@@ -33,7 +32,6 @@ pub struct CompileOptions {
     /// testbenches.
     pub nondet_merge: bool,
 }
-
 
 /// Per-channel rail nets of a compiled network.
 #[derive(Debug, Clone)]
@@ -70,7 +68,15 @@ impl Compiled {
 /// Sanitizes display names into atom-safe identifiers (alphanumerics and
 /// `_`; other characters become `_`).
 pub fn sanitize(name: &str) -> String {
-    name.chars().map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' }).collect()
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
 }
 
 /// Compiles the network.
@@ -99,9 +105,16 @@ pub fn compile(net: &ElasticNetwork, opts: &CompileOptions) -> Result<Compiled, 
         let sp = mk(&mut n, "sp")?;
         let vn = mk(&mut n, "vn")?;
         let sn = mk(&mut n, "sn")?;
-        let data =
-            (0..w).map(|i| mk(&mut n, &format!("d{i}"))).collect::<Result<Vec<_>, _>>()?;
-        channels.push(ChannelNets { vp, sp, vn, sn, data });
+        let data = (0..w)
+            .map(|i| mk(&mut n, &format!("d{i}")))
+            .collect::<Result<Vec<_>, _>>()?;
+        channels.push(ChannelNets {
+            vp,
+            sp,
+            vn,
+            sn,
+            data,
+        });
     }
 
     // Passive channels: the boundary inverter S⁻ = ¬V⁺ replaces whatever the
@@ -173,7 +186,10 @@ pub fn compile(net: &ElasticNetwork, opts: &CompileOptions) -> Result<Compiled, 
                 let hold = n.and([vn, nvp, ch.sn]);
                 n.bind_dff(killing, hold)?;
             }
-            ComponentKind::Eb { init_token, init_data } => {
+            ComponentKind::Eb {
+                init_token,
+                init_data,
+            } => {
                 // Skid-buffer EB: main/skid token slots (v, vs) and the
                 // mirror anti-token slots (nv, nvs). All four rails are
                 // driven from flip-flops, so the buffer cuts every
@@ -257,7 +273,16 @@ pub fn compile(net: &ElasticNetwork, opts: &CompileOptions) -> Result<Compiled, 
                 }
             }
             ComponentKind::Join { inputs, ee } => {
-                emit_join(&mut n, net, &channels, &sn_shadow, comp, inputs, ee.as_ref(), opts)?;
+                emit_join(
+                    &mut n,
+                    net,
+                    &channels,
+                    &sn_shadow,
+                    comp,
+                    inputs,
+                    ee.as_ref(),
+                    opts,
+                )?;
             }
             ComponentKind::Fork { outputs } => {
                 let a = net.input_channel(comp, 0).expect("wired");
@@ -391,7 +416,10 @@ pub fn compile(net: &ElasticNetwork, opts: &CompileOptions) -> Result<Compiled, 
         }
     }
 
-    Ok(Compiled { netlist: n, channels })
+    Ok(Compiled {
+        netlist: n,
+        channels,
+    })
 }
 
 /// Emits a join (lazy or early-evaluation) controller.
@@ -407,11 +435,16 @@ fn emit_join(
     opts: &CompileOptions,
 ) -> Result<(), CoreError> {
     let cname = sanitize(&net.component(comp).name);
-    let ins: Vec<ChanId> =
-        (0..inputs).map(|i| net.input_channel(comp, i).expect("wired")).collect();
+    let ins: Vec<ChanId> = (0..inputs)
+        .map(|i| net.input_channel(comp, i).expect("wired"))
+        .collect();
     let b = net.output_channel(comp, 0).expect("wired");
     let chb = channels[b.index()].clone();
-    let vn_b = if net.channel(b).passive { None } else { Some(chb.vn) };
+    let vn_b = if net.channel(b).passive {
+        None
+    } else {
+        Some(chb.vn)
+    };
 
     // Pending anti-token flip-flops, one per input (the FFs of Fig. 6).
     let pend: Vec<NetId> = (0..inputs)
@@ -503,8 +536,10 @@ fn emit_join(
     // Output payload: priority mux over the EE terms, or a (possibly
     // nondeterministic) merge for lazy joins.
     if opts.data_width > 0 {
-        let datas: Vec<Vec<NetId>> =
-            ins.iter().map(|&a| channels[a.index()].data.clone()).collect();
+        let datas: Vec<Vec<NetId>> = ins
+            .iter()
+            .map(|&a| channels[a.index()].data.clone())
+            .collect();
         let out_bits: Vec<NetId> = match ee {
             Some(f) => {
                 // Term-match signals (guard pattern only) drive a priority
@@ -538,7 +573,11 @@ fn emit_join(
                     let mut acc = datas[0].clone();
                     for (i, d) in datas.iter().enumerate().skip(1) {
                         let pick = n.input(format!("{cname}.merge{i}"));
-                        acc = acc.iter().zip(d).map(|(&x, &y)| n.mux(pick, y, x)).collect();
+                        acc = acc
+                            .iter()
+                            .zip(d)
+                            .map(|(&x, &y)| n.mux(pick, y, x))
+                            .collect();
                     }
                     acc
                 } else {
@@ -583,7 +622,8 @@ mod tests {
         // Always offer, never stop: after two cycles tokens stream out.
         let mut seen = 0;
         for _ in 0..10 {
-            sim.cycle(&[(offer, true), (stop, false), (kill, false)]).unwrap();
+            sim.cycle(&[(offer, true), (stop, false), (kill, false)])
+                .unwrap();
             if sim.value(vp_out) {
                 seen += 1;
             }
@@ -671,17 +711,36 @@ mod tests {
             net.connect(j, 0, snk, 0, "out").unwrap();
             net
         };
-        let err = compile(&build(), &CompileOptions { data_width: 1, nondet_merge: false })
-            .unwrap_err();
+        let err = compile(
+            &build(),
+            &CompileOptions {
+                data_width: 1,
+                nondet_merge: false,
+            },
+        )
+        .unwrap_err();
         assert!(matches!(err, CoreError::BadEarlyEval(_)));
-        compile(&build(), &CompileOptions { data_width: 3, nondet_merge: false }).unwrap();
+        compile(
+            &build(),
+            &CompileOptions {
+                data_width: 3,
+                nondet_merge: false,
+            },
+        )
+        .unwrap();
     }
 
     #[test]
     fn data_travels_through_compiled_pipeline() {
         let (net, _cin, _cout) = pipeline();
-        let compiled =
-            compile(&net, &CompileOptions { data_width: 1, nondet_merge: false }).unwrap();
+        let compiled = compile(
+            &net,
+            &CompileOptions {
+                data_width: 1,
+                nondet_merge: false,
+            },
+        )
+        .unwrap();
         let nl = &compiled.netlist;
         let mut sim = Simulator::new(nl).unwrap();
         let offer = nl.find("src.offer").unwrap();

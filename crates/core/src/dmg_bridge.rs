@@ -41,16 +41,16 @@ pub struct DmgBound {
 /// [`CoreError::Netlist`] wraps DMG analysis failures (e.g. a network that
 /// is not strongly connected after abstraction — open systems must be
 /// closed through source/sink capacity).
-pub fn lazy_throughput_bound(
-    net: &ElasticNetwork,
-    env: &EnvConfig,
-) -> Result<DmgBound, CoreError> {
+pub fn lazy_throughput_bound(net: &ElasticNetwork, env: &EnvConfig) -> Result<DmgBound, CoreError> {
     net.check()?;
     // Stateful nodes: everything except joins and forks.
     let stateful: Vec<CompId> = net
         .components()
         .filter(|&c| {
-            !matches!(net.component(c).kind, ComponentKind::Join { .. } | ComponentKind::Fork { .. })
+            !matches!(
+                net.component(c).kind,
+                ComponentKind::Join { .. } | ComponentKind::Fork { .. }
+            )
         })
         .collect();
 
@@ -61,8 +61,11 @@ pub fn lazy_throughput_bound(
         let name = net.component(c).name.clone();
         let delay = match &net.component(c).kind {
             ComponentKind::VarLatency => {
-                let dist =
-                    env.vls.get(&name).cloned().unwrap_or_else(|| env.default_vl.clone());
+                let dist = env
+                    .vls
+                    .get(&name)
+                    .cloned()
+                    .unwrap_or_else(|| env.default_vl.clone());
                 (dist.mean() * SCALE as f64).round().max(1.0) as u64
             }
             _ => SCALE,
@@ -106,7 +109,11 @@ pub fn lazy_throughput_bound(
         .iter()
         .map(|&a| dmg.node_name(dmg.arc_info(a).from).to_string())
         .collect();
-    Ok(DmgBound { bound: mcr.ratio * SCALE as f64, critical, dmg })
+    Ok(DmgBound {
+        bound: mcr.ratio * SCALE as f64,
+        critical,
+        dmg,
+    })
 }
 
 /// Initial tokens and capacity contributed by the *consumer-side* stateful
@@ -134,7 +141,10 @@ fn comb_successors(net: &ElasticNetwork, comp: CompId) -> Vec<CompId> {
     while let Some(c) = stack.pop() {
         let kind = &net.component(c).kind;
         if !first
-            && !matches!(kind, ComponentKind::Join { .. } | ComponentKind::Fork { .. })
+            && !matches!(
+                kind,
+                ComponentKind::Join { .. } | ComponentKind::Fork { .. }
+            )
         {
             if !seen[c.index()] {
                 seen[c.index()] = true;
@@ -184,7 +194,11 @@ mod tests {
         sim.run(&mut env, 2000).unwrap();
         let out = net.channel_by_name("out").unwrap();
         let th = sim.report().positive_rate(out);
-        assert!(th <= bound.bound + 0.02, "measured {th} vs bound {}", bound.bound);
+        assert!(
+            th <= bound.bound + 0.02,
+            "measured {th} vs bound {}",
+            bound.bound
+        );
         assert!(th > bound.bound - 0.1, "bound should be tight here: {th}");
     }
 

@@ -137,8 +137,7 @@ impl EarlyEval {
             return None;
         }
         self.terms.iter().position(|t| {
-            guard_data & t.guard_mask == t.guard_value
-                && t.required.iter().all(|&r| valid[r])
+            guard_data & t.guard_mask == t.guard_value && t.required.iter().all(|&r| valid[r])
         })
     }
 
@@ -166,9 +165,24 @@ mod tests {
         EarlyEval::new(
             0,
             vec![
-                EeTerm { guard_mask: 0b11, guard_value: 0b00, required: vec![1], select: 1 },
-                EeTerm { guard_mask: 0b11, guard_value: 0b10, required: vec![2], select: 2 },
-                EeTerm { guard_mask: 0b01, guard_value: 0b01, required: vec![3], select: 3 },
+                EeTerm {
+                    guard_mask: 0b11,
+                    guard_value: 0b00,
+                    required: vec![1],
+                    select: 1,
+                },
+                EeTerm {
+                    guard_mask: 0b11,
+                    guard_value: 0b10,
+                    required: vec![2],
+                    select: 2,
+                },
+                EeTerm {
+                    guard_mask: 0b01,
+                    guard_value: 0b01,
+                    required: vec![3],
+                    select: 3,
+                },
             ],
         )
     }
@@ -212,7 +226,12 @@ mod tests {
         assert!(ee.validate(3).is_err(), "empty term list");
         let ee = EarlyEval::new(
             0,
-            vec![EeTerm { guard_mask: 0, guard_value: 1, required: vec![], select: 0 }],
+            vec![EeTerm {
+                guard_mask: 0,
+                guard_value: 1,
+                required: vec![],
+                select: 0,
+            }],
         );
         assert!(ee.validate(1).is_err(), "value outside mask");
     }
@@ -221,7 +240,12 @@ mod tests {
     fn validation_catches_unrequired_select() {
         let ee = EarlyEval::new(
             0,
-            vec![EeTerm { guard_mask: 0, guard_value: 0, required: vec![], select: 1 }],
+            vec![EeTerm {
+                guard_mask: 0,
+                guard_value: 0,
+                required: vec![],
+                select: 1,
+            }],
         );
         assert!(ee.validate(2).is_err());
     }
@@ -231,8 +255,18 @@ mod tests {
         let ee = EarlyEval::new(
             0,
             vec![
-                EeTerm { guard_mask: 0b01, guard_value: 0b01, required: vec![1], select: 1 },
-                EeTerm { guard_mask: 0b10, guard_value: 0b10, required: vec![2], select: 2 },
+                EeTerm {
+                    guard_mask: 0b01,
+                    guard_value: 0b01,
+                    required: vec![1],
+                    select: 1,
+                },
+                EeTerm {
+                    guard_mask: 0b10,
+                    guard_value: 0b10,
+                    required: vec![2],
+                    select: 2,
+                },
             ],
         );
         // Guard 0b11 matches both terms with different selects.

@@ -63,7 +63,10 @@ pub struct SyncDatapath {
 impl SyncDatapath {
     /// Creates an empty description.
     pub fn new(name: impl Into<String>) -> Self {
-        SyncDatapath { name: name.into(), ..Default::default() }
+        SyncDatapath {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// Adds a node.
@@ -89,7 +92,14 @@ impl SyncDatapath {
 
     /// Adds a combinational single-cycle block.
     pub fn block(&mut self, name: impl Into<String>, inputs: usize) -> SyncId {
-        self.node(name, SyncNode::Block { inputs, early: None, variable_latency: false })
+        self.node(
+            name,
+            SyncNode::Block {
+                inputs,
+                early: None,
+                variable_latency: false,
+            },
+        )
     }
 
     /// Adds a block with early evaluation on its inputs.
@@ -99,12 +109,26 @@ impl SyncDatapath {
         inputs: usize,
         early: EarlyEval,
     ) -> SyncId {
-        self.node(name, SyncNode::Block { inputs, early: Some(early), variable_latency: false })
+        self.node(
+            name,
+            SyncNode::Block {
+                inputs,
+                early: Some(early),
+                variable_latency: false,
+            },
+        )
     }
 
     /// Adds a variable-latency multi-cycle block (single input).
     pub fn var_latency_block(&mut self, name: impl Into<String>) -> SyncId {
-        self.node(name, SyncNode::Block { inputs: 1, early: None, variable_latency: true })
+        self.node(
+            name,
+            SyncNode::Block {
+                inputs: 1,
+                early: None,
+                variable_latency: true,
+            },
+        )
     }
 
     /// Wires `from`'s output to input `port` of `to`.
@@ -148,21 +172,42 @@ pub fn elasticize(dp: &SyncDatapath) -> Result<ElasticNetwork, CoreError> {
         let mut cluster = match kind {
             SyncNode::Input => {
                 let s = net.add_source(name.clone());
-                Cluster { input: None, output: Some(s), fork: None, next_fork_port: 0 }
+                Cluster {
+                    input: None,
+                    output: Some(s),
+                    fork: None,
+                    next_fork_port: 0,
+                }
             }
             SyncNode::Output => {
                 let s = net.add_sink(name.clone());
-                Cluster { input: Some(s), output: None, fork: None, next_fork_port: 0 }
+                Cluster {
+                    input: Some(s),
+                    output: None,
+                    fork: None,
+                    next_fork_port: 0,
+                }
             }
             SyncNode::Register { init_valid } => {
                 let b = net.add_eb(name.clone(), *init_valid);
-                Cluster { input: Some(b), output: Some(b), fork: None, next_fork_port: 0 }
+                Cluster {
+                    input: Some(b),
+                    output: Some(b),
+                    fork: None,
+                    next_fork_port: 0,
+                }
             }
-            SyncNode::Block { inputs, early, variable_latency } => {
+            SyncNode::Block {
+                inputs,
+                early,
+                variable_latency,
+            } => {
                 // Join (if needed) feeding an optional VL controller.
                 let front = if *inputs > 1 {
                     Some(match early {
-                        Some(f) => net.add_early_join(format!("{name}.join"), *inputs, f.clone())?,
+                        Some(f) => {
+                            net.add_early_join(format!("{name}.join"), *inputs, f.clone())?
+                        }
                         None => net.add_join(format!("{name}.join"), *inputs),
                     })
                 } else {
@@ -188,7 +233,12 @@ pub fn elasticize(dp: &SyncDatapath) -> Result<ElasticNetwork, CoreError> {
                         (Some(j), Some(j))
                     }
                 };
-                Cluster { input, output, fork: None, next_fork_port: 0 }
+                Cluster {
+                    input,
+                    output,
+                    fork: None,
+                    next_fork_port: 0,
+                }
             }
         };
         if fan > 1 {
@@ -258,13 +308,22 @@ mod tests {
     #[test]
     fn registers_become_buffers_blocks_become_joins() {
         let net = elasticize(&small_datapath()).unwrap();
-        let kinds: Vec<_> =
-            net.components().map(|c| net.component(c).kind.clone()).collect();
-        let ebs = kinds.iter().filter(|k| matches!(k, ComponentKind::Eb { .. })).count();
-        let joins =
-            kinds.iter().filter(|k| matches!(k, ComponentKind::Join { .. })).count();
-        let forks =
-            kinds.iter().filter(|k| matches!(k, ComponentKind::Fork { .. })).count();
+        let kinds: Vec<_> = net
+            .components()
+            .map(|c| net.component(c).kind.clone())
+            .collect();
+        let ebs = kinds
+            .iter()
+            .filter(|k| matches!(k, ComponentKind::Eb { .. }))
+            .count();
+        let joins = kinds
+            .iter()
+            .filter(|k| matches!(k, ComponentKind::Join { .. }))
+            .count();
+        let forks = kinds
+            .iter()
+            .filter(|k| matches!(k, ComponentKind::Fork { .. }))
+            .count();
         assert_eq!(ebs, 3, "three registers");
         assert_eq!(joins, 1, "one two-input block");
         assert_eq!(forks, 1, "r1 fans out twice");
@@ -340,8 +399,18 @@ mod tests {
         let ee = EarlyEval::new(
             0,
             vec![
-                EeTerm { guard_mask: 1, guard_value: 0, required: vec![1], select: 1 },
-                EeTerm { guard_mask: 1, guard_value: 1, required: vec![2], select: 2 },
+                EeTerm {
+                    guard_mask: 1,
+                    guard_value: 0,
+                    required: vec![1],
+                    select: 1,
+                },
+                EeTerm {
+                    guard_mask: 1,
+                    guard_value: 1,
+                    required: vec![2],
+                    select: 2,
+                },
             ],
         );
         let mux = dp.early_block("mux", 3, ee);
@@ -355,7 +424,10 @@ mod tests {
         dp.wire(mux, o, 0);
         let net = elasticize(&dp).unwrap();
         let has_ej = net.components().any(|c| {
-            matches!(&net.component(c).kind, ComponentKind::Join { ee: Some(_), .. })
+            matches!(
+                &net.component(c).kind,
+                ComponentKind::Join { ee: Some(_), .. }
+            )
         });
         assert!(has_ej);
     }

@@ -66,12 +66,20 @@ impl fmt::Display for CoreError {
                 if *input { "input" } else { "output" }
             ),
             CoreError::BufferlessCycle(names) => {
-                write!(f, "combinational (buffer-free) cycle through: {}", names.join(" -> "))
+                write!(
+                    f,
+                    "combinational (buffer-free) cycle through: {}",
+                    names.join(" -> ")
+                )
             }
             CoreError::BadEarlyEval(msg) => write!(f, "invalid early-evaluation function: {msg}"),
             CoreError::NoFixpoint => write!(f, "signal evaluation did not converge"),
             CoreError::ProtocolViolation { channel, message } => {
-                write!(f, "protocol violation on channel {}: {message}", channel.index())
+                write!(
+                    f,
+                    "protocol violation on channel {}: {message}",
+                    channel.index()
+                )
             }
             CoreError::Netlist(e) => write!(f, "netlist error: {e}"),
         }

@@ -196,7 +196,10 @@ impl ElasticNetwork {
         let id = CompId(self.components.len() as u32);
         self.in_conn.push(vec![None; kind.num_inputs()]);
         self.out_conn.push(vec![None; kind.num_outputs()]);
-        self.components.push(Component { kind, name: name.into() });
+        self.components.push(Component {
+            kind,
+            name: name.into(),
+        });
         id
     }
 
@@ -212,7 +215,13 @@ impl ElasticNetwork {
 
     /// Adds a single elastic buffer (capacity 2, latency 1).
     pub fn add_eb(&mut self, name: impl Into<String>, init_token: bool) -> CompId {
-        self.add(name, ComponentKind::Eb { init_token, init_data: 0 })
+        self.add(
+            name,
+            ComponentKind::Eb {
+                init_token,
+                init_data: 0,
+            },
+        )
     }
 
     /// Adds a chain of `stages` elastic buffers carrying `tokens` initial
@@ -238,7 +247,10 @@ impl ElasticNetwork {
             let holds = i >= stages - tokens;
             let id = self.add(
                 format!("{name}.{i}"),
-                ComponentKind::Eb { init_token: holds, init_data: 0 },
+                ComponentKind::Eb {
+                    init_token: holds,
+                    init_data: 0,
+                },
             );
             ids.push(id);
         }
@@ -247,7 +259,8 @@ impl ElasticNetwork {
                 .expect("fresh ports cannot clash");
         }
         // Alias bookkeeping: input = first stage, output = last stage.
-        self.buffer_alias.push((ids[0], *ids.last().expect("non-empty")));
+        self.buffer_alias
+            .push((ids[0], *ids.last().expect("non-empty")));
         ids[0]
     }
 
@@ -268,7 +281,13 @@ impl ElasticNetwork {
         ee: EarlyEval,
     ) -> Result<CompId, CoreError> {
         ee.validate(inputs)?;
-        Ok(self.add(name, ComponentKind::Join { inputs, ee: Some(ee) }))
+        Ok(self.add(
+            name,
+            ComponentKind::Join {
+                inputs,
+                ee: Some(ee),
+            },
+        ))
     }
 
     /// Adds an eager fork with `outputs` outputs.
@@ -304,9 +323,17 @@ impl ElasticNetwork {
             .out_conn
             .get_mut(from.index())
             .and_then(|v| v.get_mut(out_port))
-            .ok_or(CoreError::BadPort { comp: from, port: out_port, input: false })?;
+            .ok_or(CoreError::BadPort {
+                comp: from,
+                port: out_port,
+                input: false,
+            })?;
         if out_slot.is_some() {
-            return Err(CoreError::BadPort { comp: from, port: out_port, input: false });
+            return Err(CoreError::BadPort {
+                comp: from,
+                port: out_port,
+                input: false,
+            });
         }
         let id = ChanId(self.channels.len() as u32);
         *out_slot = Some(id);
@@ -314,11 +341,19 @@ impl ElasticNetwork {
             .in_conn
             .get_mut(to.index())
             .and_then(|v| v.get_mut(in_port))
-            .ok_or(CoreError::BadPort { comp: to, port: in_port, input: true })?;
+            .ok_or(CoreError::BadPort {
+                comp: to,
+                port: in_port,
+                input: true,
+            })?;
         if in_slot.is_some() {
             // roll back the output slot
             self.out_conn[from.index()][out_port] = None;
-            return Err(CoreError::BadPort { comp: to, port: in_port, input: true });
+            return Err(CoreError::BadPort {
+                comp: to,
+                port: in_port,
+                input: true,
+            });
         }
         *in_slot = Some(id);
         self.channels.push(Channel {
@@ -384,22 +419,36 @@ impl ElasticNetwork {
 
     /// Looks up a component by name (first match).
     pub fn component_by_name(&self, name: &str) -> Option<CompId> {
-        self.components.iter().position(|c| c.name == name).map(|i| CompId(i as u32))
+        self.components
+            .iter()
+            .position(|c| c.name == name)
+            .map(|i| CompId(i as u32))
     }
 
     /// Looks up a channel by name (first match).
     pub fn channel_by_name(&self, name: &str) -> Option<ChanId> {
-        self.channels.iter().position(|c| c.name == name).map(|i| ChanId(i as u32))
+        self.channels
+            .iter()
+            .position(|c| c.name == name)
+            .map(|i| ChanId(i as u32))
     }
 
     /// Channel connected to an input port, if wired.
     pub fn input_channel(&self, comp: CompId, port: usize) -> Option<ChanId> {
-        self.in_conn.get(comp.index()).and_then(|v| v.get(port)).copied().flatten()
+        self.in_conn
+            .get(comp.index())
+            .and_then(|v| v.get(port))
+            .copied()
+            .flatten()
     }
 
     /// Channel connected to an output port, if wired.
     pub fn output_channel(&self, comp: CompId, port: usize) -> Option<ChanId> {
-        self.out_conn.get(comp.index()).and_then(|v| v.get(port)).copied().flatten()
+        self.out_conn
+            .get(comp.index())
+            .and_then(|v| v.get(port))
+            .copied()
+            .flatten()
     }
 
     /// Validates the network: all ports wired, and no buffer-free cycle.
@@ -411,12 +460,20 @@ impl ElasticNetwork {
         for comp in self.components() {
             for (port, slot) in self.in_conn[comp.index()].iter().enumerate() {
                 if slot.is_none() {
-                    return Err(CoreError::UnconnectedPort { comp, port, input: true });
+                    return Err(CoreError::UnconnectedPort {
+                        comp,
+                        port,
+                        input: true,
+                    });
                 }
             }
             for (port, slot) in self.out_conn[comp.index()].iter().enumerate() {
                 if slot.is_none() {
-                    return Err(CoreError::UnconnectedPort { comp, port, input: false });
+                    return Err(CoreError::UnconnectedPort {
+                        comp,
+                        port,
+                        input: false,
+                    });
                 }
             }
         }

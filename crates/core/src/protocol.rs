@@ -31,7 +31,9 @@ pub struct ProtocolMonitor {
 impl ProtocolMonitor {
     /// Creates a monitor for `num_channels` channels.
     pub fn new(num_channels: usize) -> Self {
-        ProtocolMonitor { traces: vec![ChannelTrace::default(); num_channels] }
+        ProtocolMonitor {
+            traces: vec![ChannelTrace::default(); num_channels],
+        }
     }
 
     /// Feeds one settled cycle of one channel.
@@ -132,7 +134,13 @@ mod tests {
     use super::*;
 
     fn sig(vp: bool, sp: bool, vn: bool, sn: bool, data: u64) -> ChannelSignals {
-        ChannelSignals { vp, sp, vn, sn, data }
+        ChannelSignals {
+            vp,
+            sp,
+            vn,
+            sn,
+            data,
+        }
     }
 
     #[test]
@@ -150,7 +158,9 @@ mod tests {
         let mut m = ProtocolMonitor::new(1);
         let c = ChanId(0);
         m.observe(c, sig(true, true, false, false, 7)).unwrap();
-        let err = m.observe(c, sig(false, false, false, false, 0)).unwrap_err();
+        let err = m
+            .observe(c, sig(false, false, false, false, 0))
+            .unwrap_err();
         assert!(matches!(err, CoreError::ProtocolViolation { .. }));
     }
 
@@ -168,7 +178,9 @@ mod tests {
         let mut m = ProtocolMonitor::new(1);
         let c = ChanId(0);
         m.observe(c, sig(false, false, true, true, 0)).unwrap(); // neg retry
-        let err = m.observe(c, sig(false, false, false, false, 0)).unwrap_err();
+        let err = m
+            .observe(c, sig(false, false, false, false, 0))
+            .unwrap_err();
         assert!(err.to_string().contains("V- dropped"), "{err}");
     }
 
@@ -177,7 +189,7 @@ mod tests {
         let mut m = ProtocolMonitor::new(1);
         let c = ChanId(0);
         m.observe(c, sig(true, true, false, false, 3)).unwrap(); // R
-        // Next cycle the consumer kills: V+ still offered, V- asserted.
+                                                                 // Next cycle the consumer kills: V+ still offered, V- asserted.
         m.observe(c, sig(true, false, true, false, 3)).unwrap(); // K
         m.observe(c, sig(false, false, false, false, 0)).unwrap(); // I
     }
@@ -190,6 +202,40 @@ mod tests {
         assert!(is_self_language("RK"));
         assert!(!is_self_language("RRI"), "retry burst cannot fall idle");
         assert!(!is_self_language("RIT"));
+    }
+
+    #[test]
+    fn language_edge_cases() {
+        // Empty trace: zero iterations of (I*R*T)*.
+        assert!(is_self_language(""));
+        // A lone Idle cycle.
+        assert!(is_self_language("I"));
+        // R without a (yet) matching T is a legal *prefix*: the burst is
+        // still awaiting its transfer, and the online monitor only enforces
+        // persistence on the following cycle.
+        assert!(is_self_language("R"));
+        assert!(is_self_language("IIRR"));
+        assert!(is_self_language("TR"));
+        // A retry burst broken by anything but R/T/K is a violation.
+        assert!(!is_self_language("RIT"), "burst fell idle");
+        assert!(!is_self_language("RN"), "negative transfer inside burst");
+        assert!(!is_self_language("Rn"), "negative retry inside burst");
+        // Unknown letters are rejected in either state.
+        assert!(!is_self_language("X"));
+        assert!(!is_self_language("RX"));
+        // Negative-rail events outside a burst are ignored by the
+        // positive-rail language.
+        assert!(is_self_language("NnINT"));
+    }
+
+    #[test]
+    fn monitor_reset_clears_pending_obligations() {
+        let mut m = ProtocolMonitor::new(1);
+        let c = ChanId(0);
+        m.observe(c, sig(true, true, false, false, 5)).unwrap(); // R
+        m.reset();
+        // Without the reset this would be a persistence violation.
+        m.observe(c, sig(false, false, false, false, 0)).unwrap();
     }
 
     #[test]

@@ -62,7 +62,10 @@ pub struct SourceCfg {
 
 impl Default for SourceCfg {
     fn default() -> Self {
-        SourceCfg { rate: 1.0, data: DataGen::Const(0) }
+        SourceCfg {
+            rate: 1.0,
+            data: DataGen::Const(0),
+        }
     }
 }
 
@@ -78,7 +81,10 @@ pub struct SinkCfg {
 
 impl Default for SinkCfg {
     fn default() -> Self {
-        SinkCfg { stop_prob: 0.0, kill_prob: 0.0 }
+        SinkCfg {
+            stop_prob: 0.0,
+            kill_prob: 0.0,
+        }
     }
 }
 
@@ -92,7 +98,9 @@ pub struct LatencyDist {
 impl LatencyDist {
     /// Single fixed latency.
     pub fn fixed(latency: u32) -> Self {
-        LatencyDist { choices: vec![(latency, 1.0)] }
+        LatencyDist {
+            choices: vec![(latency, 1.0)],
+        }
     }
 
     /// Weighted mixture, e.g. the paper's `M1`: 2 or 10 cycles with
@@ -104,7 +112,11 @@ impl LatencyDist {
     /// Expected latency.
     pub fn mean(&self) -> f64 {
         let total: f64 = self.choices.iter().map(|&(_, w)| w).sum();
-        self.choices.iter().map(|&(l, w)| f64::from(l) * w).sum::<f64>() / total
+        self.choices
+            .iter()
+            .map(|&(l, w)| f64::from(l) * w)
+            .sum::<f64>()
+            / total
     }
 
     fn sample(&self, rng: &mut StdRng) -> u32 {
@@ -155,7 +167,11 @@ pub struct RandomEnv {
 impl RandomEnv {
     /// Creates a reproducible environment.
     pub fn new(seed: u64, cfg: EnvConfig) -> Self {
-        RandomEnv { rng: StdRng::seed_from_u64(seed), cfg, counters: HashMap::new() }
+        RandomEnv {
+            rng: StdRng::seed_from_u64(seed),
+            cfg,
+            counters: HashMap::new(),
+        }
     }
 
     fn gen_data(&mut self, comp: CompId, gen: &DataGen) -> u64 {
@@ -190,7 +206,12 @@ impl RandomEnv {
 
 impl Environment for RandomEnv {
     fn source_offer(&mut self, comp: CompId, name: &str, _time: u64) -> Option<u64> {
-        let cfg = self.cfg.sources.get(name).unwrap_or(&self.cfg.default_source).clone();
+        let cfg = self
+            .cfg
+            .sources
+            .get(name)
+            .unwrap_or(&self.cfg.default_source)
+            .clone();
         if cfg.rate >= 1.0 || self.rng.gen_bool(cfg.rate.clamp(0.0, 1.0)) {
             Some(self.gen_data(comp, &cfg.data))
         } else {
@@ -199,17 +220,32 @@ impl Environment for RandomEnv {
     }
 
     fn sink_stop(&mut self, _comp: CompId, name: &str, _time: u64) -> bool {
-        let cfg = self.cfg.sinks.get(name).copied().unwrap_or(self.cfg.default_sink);
+        let cfg = self
+            .cfg
+            .sinks
+            .get(name)
+            .copied()
+            .unwrap_or(self.cfg.default_sink);
         cfg.stop_prob > 0.0 && self.rng.gen_bool(cfg.stop_prob.clamp(0.0, 1.0))
     }
 
     fn sink_kill(&mut self, _comp: CompId, name: &str, _time: u64) -> bool {
-        let cfg = self.cfg.sinks.get(name).copied().unwrap_or(self.cfg.default_sink);
+        let cfg = self
+            .cfg
+            .sinks
+            .get(name)
+            .copied()
+            .unwrap_or(self.cfg.default_sink);
         cfg.kill_prob > 0.0 && self.rng.gen_bool(cfg.kill_prob.clamp(0.0, 1.0))
     }
 
     fn vl_latency(&mut self, _comp: CompId, name: &str, _time: u64) -> u32 {
-        let dist = self.cfg.vls.get(name).cloned().unwrap_or_else(|| self.cfg.default_vl.clone());
+        let dist = self
+            .cfg
+            .vls
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| self.cfg.default_vl.clone());
         dist.sample(&mut self.rng)
     }
 }
@@ -268,12 +304,16 @@ mod tests {
         let mut env = RandomEnv::new(
             1,
             EnvConfig {
-                default_source: SourceCfg { rate: 1.0, data: DataGen::Alternate },
+                default_source: SourceCfg {
+                    rate: 1.0,
+                    data: DataGen::Alternate,
+                },
                 ..Default::default()
             },
         );
-        let seq: Vec<u64> =
-            (0..6).map(|t| env.source_offer(CompId(0), "p", t).unwrap()).collect();
+        let seq: Vec<u64> = (0..6)
+            .map(|t| env.source_offer(CompId(0), "p", t).unwrap())
+            .collect();
         assert_eq!(seq, vec![0, 1, 0, 1, 0, 1]);
     }
 
@@ -282,7 +322,10 @@ mod tests {
         let mut env = RandomEnv::new(
             1,
             EnvConfig {
-                default_source: SourceCfg { rate: 0.0, data: DataGen::Const(9) },
+                default_source: SourceCfg {
+                    rate: 0.0,
+                    data: DataGen::Const(9),
+                },
                 ..Default::default()
             },
         );
@@ -294,7 +337,13 @@ mod tests {
     #[test]
     fn per_name_overrides_apply() {
         let mut cfg = EnvConfig::default();
-        cfg.sinks.insert("x".into(), SinkCfg { stop_prob: 1.0, kill_prob: 0.0 });
+        cfg.sinks.insert(
+            "x".into(),
+            SinkCfg {
+                stop_prob: 1.0,
+                kill_prob: 0.0,
+            },
+        );
         let mut env = RandomEnv::new(1, cfg);
         assert!(env.sink_stop(CompId(0), "x", 0));
         assert!(!env.sink_stop(CompId(1), "other", 0));

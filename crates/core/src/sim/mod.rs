@@ -29,12 +29,33 @@ use crate::stats::{ChannelStats, SimReport};
 /// Runtime state of one component.
 #[derive(Debug, Clone, PartialEq)]
 enum CompState {
-    Source { offering: bool, data: u64 },
-    Sink { stop_now: bool, killing: bool, received: Vec<u64> },
-    Eb { v: bool, vs: bool, nv: bool, nvs: bool, data: u64, data_skid: u64 },
-    Join { pend: Vec<bool> },
-    Fork { done: Vec<bool> },
-    Vl { phase: VlPhase, data: u64 },
+    Source {
+        offering: bool,
+        data: u64,
+    },
+    Sink {
+        stop_now: bool,
+        killing: bool,
+        received: Vec<u64>,
+    },
+    Eb {
+        v: bool,
+        vs: bool,
+        nv: bool,
+        nvs: bool,
+        data: u64,
+        data_skid: u64,
+    },
+    Join {
+        pend: Vec<bool>,
+    },
+    Fork {
+        done: Vec<bool>,
+    },
+    Vl {
+        phase: VlPhase,
+        data: u64,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,11 +110,19 @@ impl BehavSim {
         let state = net
             .components()
             .map(|c| match &net.component(c).kind {
-                ComponentKind::Source => CompState::Source { offering: false, data: 0 },
-                ComponentKind::Sink => {
-                    CompState::Sink { stop_now: false, killing: false, received: Vec::new() }
-                }
-                ComponentKind::Eb { init_token, init_data } => CompState::Eb {
+                ComponentKind::Source => CompState::Source {
+                    offering: false,
+                    data: 0,
+                },
+                ComponentKind::Sink => CompState::Sink {
+                    stop_now: false,
+                    killing: false,
+                    received: Vec::new(),
+                },
+                ComponentKind::Eb {
+                    init_token,
+                    init_data,
+                } => CompState::Eb {
                     v: *init_token,
                     vs: false,
                     nv: false,
@@ -101,13 +130,16 @@ impl BehavSim {
                     data: *init_data,
                     data_skid: 0,
                 },
-                ComponentKind::Join { inputs, .. } => {
-                    CompState::Join { pend: vec![false; *inputs] }
-                }
-                ComponentKind::Fork { outputs } => {
-                    CompState::Fork { done: vec![false; *outputs] }
-                }
-                ComponentKind::VarLatency => CompState::Vl { phase: VlPhase::Idle, data: 0 },
+                ComponentKind::Join { inputs, .. } => CompState::Join {
+                    pend: vec![false; *inputs],
+                },
+                ComponentKind::Fork { outputs } => CompState::Fork {
+                    done: vec![false; *outputs],
+                },
+                ComponentKind::VarLatency => CompState::Vl {
+                    phase: VlPhase::Idle,
+                    data: 0,
+                },
             })
             .collect();
         let nch = net.num_channels();
@@ -157,7 +189,11 @@ impl BehavSim {
     pub fn report(&self) -> SimReport {
         SimReport {
             channels: self.stats.clone(),
-            names: self.net.channels().map(|c| self.net.channel(c).name.clone()).collect(),
+            names: self
+                .net
+                .channels()
+                .map(|c| self.net.channel(c).name.clone())
+                .collect(),
             cycles: self.time,
             internal_annihilations: self.internal_annihilations,
         }
@@ -195,14 +231,15 @@ impl BehavSim {
         for comp in self.net.components() {
             let name = self.net.component(comp).name.clone();
             match &mut self.state[comp.index()] {
-                CompState::Source { offering, data }
-                    if !*offering => {
-                        if let Some(d) = env.source_offer(comp, &name, self.time) {
-                            *offering = true;
-                            *data = d;
-                        }
+                CompState::Source { offering, data } if !*offering => {
+                    if let Some(d) = env.source_offer(comp, &name, self.time) {
+                        *offering = true;
+                        *data = d;
                     }
-                CompState::Sink { stop_now, killing, .. } => {
+                }
+                CompState::Sink {
+                    stop_now, killing, ..
+                } => {
                     *stop_now = env.sink_stop(comp, &name, self.time);
                     if !*killing && env.sink_kill(comp, &name, self.time) {
                         *killing = true;
@@ -219,8 +256,11 @@ impl BehavSim {
         }
         let budget = self.net.num_components() + self.net.num_channels() + 4;
         let comps: Vec<CompId> = self.net.components().collect();
-        let passive: Vec<ChanId> =
-            self.net.channels().filter(|&c| self.net.channel(c).passive).collect();
+        let passive: Vec<ChanId> = self
+            .net
+            .channels()
+            .filter(|&c| self.net.channel(c).passive)
+            .collect();
         for _ in 0..budget {
             let before = self.sig.clone();
             for &comp in &comps {
@@ -271,7 +311,9 @@ impl BehavSim {
             ComponentKind::Sink => {
                 let a = self.net.input_channel(comp, 0).expect("wired");
                 let (stop_now, killing) = match &self.state[comp.index()] {
-                    CompState::Sink { stop_now, killing, .. } => (*stop_now, *killing),
+                    CompState::Sink {
+                        stop_now, killing, ..
+                    } => (*stop_now, *killing),
                     _ => unreachable!(),
                 };
                 let s = &mut self.sig[a.index()];
@@ -286,7 +328,14 @@ impl BehavSim {
                 let a = self.net.input_channel(comp, 0).expect("wired");
                 let b = self.net.output_channel(comp, 0).expect("wired");
                 let (v, vs, nv, nvs, data) = match &self.state[comp.index()] {
-                    CompState::Eb { v, vs, nv, nvs, data, .. } => (*v, *vs, *nv, *nvs, *data),
+                    CompState::Eb {
+                        v,
+                        vs,
+                        nv,
+                        nvs,
+                        data,
+                        ..
+                    } => (*v, *vs, *nv, *nvs, *data),
                     _ => unreachable!(),
                 };
                 {
@@ -313,8 +362,7 @@ impl BehavSim {
                     _ => unreachable!(),
                 };
                 let vp_in: Vec<bool> = ins.iter().map(|&c| self.sig[c.index()].vp).collect();
-                let vpeff: Vec<bool> =
-                    vp_in.iter().zip(&pend).map(|(&vi, &p)| vi && !p).collect();
+                let vpeff: Vec<bool> = vp_in.iter().zip(&pend).map(|(&vi, &p)| vi && !p).collect();
                 let any_pend = pend.iter().any(|&p| p);
                 let (enabled, select) = match &ee {
                     Some(f) => {
@@ -475,8 +523,9 @@ impl BehavSim {
                 ComponentKind::Sink => {
                     let a = self.net.input_channel(comp, 0).expect("wired");
                     let s = self.sig[a.index()];
-                    if let CompState::Sink { killing, received, .. } =
-                        &mut self.state[comp.index()]
+                    if let CompState::Sink {
+                        killing, received, ..
+                    } = &mut self.state[comp.index()]
                     {
                         if s.vp && !s.sp && !s.vn {
                             received.push(s.data);
@@ -496,8 +545,14 @@ impl BehavSim {
                     let sa = self.sig[a.index()];
                     let sb = self.sig[b.index()];
                     let vn_b = self.backward_vn(b);
-                    if let CompState::Eb { v, vs, nv, nvs, data, data_skid } =
-                        &mut self.state[comp.index()]
+                    if let CompState::Eb {
+                        v,
+                        vs,
+                        nv,
+                        nvs,
+                        data,
+                        data_skid,
+                    } = &mut self.state[comp.index()]
                     {
                         let t_in = sa.vp && !sa.sp && !sa.vn;
                         let tn_in = vn_b && !sb.sn && !sb.vp;
@@ -672,8 +727,16 @@ mod tests {
         let mut env = RandomEnv::new(3, EnvConfig::default());
         sim.run(&mut env, 200).unwrap();
         let r = sim.report();
-        assert!(r.positive_rate(cin) > 0.95, "in rate {}", r.positive_rate(cin));
-        assert!(r.positive_rate(cout) > 0.95, "out rate {}", r.positive_rate(cout));
+        assert!(
+            r.positive_rate(cin) > 0.95,
+            "in rate {}",
+            r.positive_rate(cin)
+        );
+        assert!(
+            r.positive_rate(cout) > 0.95,
+            "out rate {}",
+            r.positive_rate(cout)
+        );
     }
 
     #[test]
@@ -696,7 +759,13 @@ mod tests {
         let (net, cin, cout) = pipeline(0);
         let mut sim = BehavSim::new(&net).unwrap();
         let mut cfg = EnvConfig::default();
-        cfg.sinks.insert("snk".into(), SinkCfg { stop_prob: 1.0, kill_prob: 0.0 });
+        cfg.sinks.insert(
+            "snk".into(),
+            SinkCfg {
+                stop_prob: 1.0,
+                kill_prob: 0.0,
+            },
+        );
         let mut env = RandomEnv::new(3, cfg);
         sim.run(&mut env, 50).unwrap();
         let r = sim.report();
@@ -711,8 +780,20 @@ mod tests {
         let (net, _cin, cout) = pipeline(2);
         let mut sim = BehavSim::new(&net).unwrap();
         let mut cfg = EnvConfig::default();
-        cfg.sources.insert("src".into(), SourceCfg { rate: 0.0, data: DataGen::Const(0) });
-        cfg.sinks.insert("snk".into(), SinkCfg { stop_prob: 0.0, kill_prob: 1.0 });
+        cfg.sources.insert(
+            "src".into(),
+            SourceCfg {
+                rate: 0.0,
+                data: DataGen::Const(0),
+            },
+        );
+        cfg.sinks.insert(
+            "snk".into(),
+            SinkCfg {
+                stop_prob: 0.0,
+                kill_prob: 1.0,
+            },
+        );
         let mut env = RandomEnv::new(3, cfg);
         sim.run(&mut env, 10).unwrap();
         let r = sim.report();
@@ -729,7 +810,13 @@ mod tests {
         let snk = net.component_by_name("snk").unwrap();
         let mut sim = BehavSim::new(&net).unwrap();
         let mut cfg = EnvConfig::default();
-        cfg.sources.insert("src".into(), SourceCfg { rate: 1.0, data: DataGen::Counter });
+        cfg.sources.insert(
+            "src".into(),
+            SourceCfg {
+                rate: 1.0,
+                data: DataGen::Counter,
+            },
+        );
         let mut env = RandomEnv::new(3, cfg);
         sim.run(&mut env, 20).unwrap();
         let got = sim.sink_received(snk);
@@ -756,7 +843,13 @@ mod tests {
         let mut sim = BehavSim::new(&net).unwrap();
         let mut cfg = EnvConfig::default();
         // s2 only offers half the time: join throughput tracks the slow one.
-        cfg.sources.insert("s2".into(), SourceCfg { rate: 0.5, data: DataGen::Const(0) });
+        cfg.sources.insert(
+            "s2".into(),
+            SourceCfg {
+                rate: 0.5,
+                data: DataGen::Const(0),
+            },
+        );
         let mut env = RandomEnv::new(5, cfg);
         sim.run(&mut env, 2000).unwrap();
         let r = sim.report();
@@ -776,7 +869,13 @@ mod tests {
         let cs = net.connect(f, 1, slow, 0, "cs").unwrap();
         let mut sim = BehavSim::new(&net).unwrap();
         let mut cfg = EnvConfig::default();
-        cfg.sinks.insert("slow".into(), SinkCfg { stop_prob: 1.0, kill_prob: 0.0 });
+        cfg.sinks.insert(
+            "slow".into(),
+            SinkCfg {
+                stop_prob: 1.0,
+                kill_prob: 0.0,
+            },
+        );
         let mut env = RandomEnv::new(5, cfg);
         sim.run(&mut env, 30).unwrap();
         let r = sim.report();
@@ -800,7 +899,12 @@ mod tests {
         let b2 = net.add_eb("b2", false);
         let ee = EarlyEval::new(
             0,
-            vec![EeTerm { guard_mask: 1, guard_value: 0, required: vec![1], select: 1 }],
+            vec![EeTerm {
+                guard_mask: 1,
+                guard_value: 0,
+                required: vec![1],
+                select: 1,
+            }],
         );
         let j = net.add_early_join("w", 3, ee).unwrap();
         let snk = net.add_sink("snk");
@@ -821,7 +925,13 @@ mod tests {
         let (net, c2, j2, out) = ej_harness();
         let mut sim = BehavSim::new(&net).unwrap();
         let mut cfg = EnvConfig::default();
-        cfg.sources.insert("s2".into(), SourceCfg { rate: 0.5, data: DataGen::Const(0) });
+        cfg.sources.insert(
+            "s2".into(),
+            SourceCfg {
+                rate: 0.5,
+                data: DataGen::Const(0),
+            },
+        );
         let mut env = RandomEnv::new(5, cfg);
         sim.run(&mut env, 4000).unwrap();
         let r = sim.report();
@@ -830,7 +940,11 @@ mod tests {
         // s2's rate — the early join buys decoupling, not rate.
         let th = r.positive_rate(out);
         assert!((0.42..0.58).contains(&th), "out rate {th}");
-        assert!(r.channel(j2).negative > 100, "anti-tokens flow on j2: {:?}", r.channel(j2));
+        assert!(
+            r.channel(j2).negative > 100,
+            "anti-tokens flow on j2: {:?}",
+            r.channel(j2)
+        );
         let kills = r.channel(j2).kills + r.channel(c2).kills;
         assert!(kills > 100, "late tokens are annihilated: {kills}");
         // Conservation: every fire consumes one branch-2 token, either as a
@@ -858,7 +972,13 @@ mod tests {
         let (net, _c2, j2, out) = ej_harness();
         let mut sim = BehavSim::new(&net).unwrap();
         let mut cfg = EnvConfig::default();
-        cfg.sources.insert("s2".into(), SourceCfg { rate: 0.0, data: DataGen::Const(0) });
+        cfg.sources.insert(
+            "s2".into(),
+            SourceCfg {
+                rate: 0.0,
+                data: DataGen::Const(0),
+            },
+        );
         let mut env = RandomEnv::new(5, cfg);
         sim.run(&mut env, 100).unwrap();
         let r = sim.report();
@@ -880,7 +1000,10 @@ mod tests {
         assert_eq!(r.channel(j2).kills, 0);
         assert_eq!(r.channel(c2).kills, 0);
         assert_eq!(r.channel(j2).negative, 0);
-        assert!(r.channel(j2).positive > 190, "branch-2 tokens consumed as data");
+        assert!(
+            r.channel(j2).positive > 190,
+            "branch-2 tokens consumed as data"
+        );
     }
 
     #[test]
@@ -908,8 +1031,20 @@ mod tests {
         let (net, _cin, _cout) = pipeline(1);
         let mut sim = BehavSim::new(&net).unwrap();
         let mut cfg = EnvConfig::default();
-        cfg.sources.insert("src".into(), SourceCfg { rate: 0.6, data: DataGen::Counter });
-        cfg.sinks.insert("snk".into(), SinkCfg { stop_prob: 0.4, kill_prob: 0.1 });
+        cfg.sources.insert(
+            "src".into(),
+            SourceCfg {
+                rate: 0.6,
+                data: DataGen::Counter,
+            },
+        );
+        cfg.sinks.insert(
+            "snk".into(),
+            SinkCfg {
+                stop_prob: 0.4,
+                kill_prob: 0.1,
+            },
+        );
         let mut env = RandomEnv::new(11, cfg);
         // Any invariant or persistence violation would error out here.
         sim.run(&mut env, 5000).unwrap();
@@ -930,14 +1065,33 @@ mod tests {
         net.set_passive(c3).unwrap();
         let mut sim = BehavSim::new(&net).unwrap();
         let mut cfg = EnvConfig::default();
-        cfg.sources.insert("src".into(), SourceCfg { rate: 0.3, data: DataGen::Const(0) });
-        cfg.sinks.insert("snk".into(), SinkCfg { stop_prob: 0.0, kill_prob: 0.5 });
+        cfg.sources.insert(
+            "src".into(),
+            SourceCfg {
+                rate: 0.3,
+                data: DataGen::Const(0),
+            },
+        );
+        cfg.sinks.insert(
+            "snk".into(),
+            SinkCfg {
+                stop_prob: 0.0,
+                kill_prob: 0.5,
+            },
+        );
         let mut env = RandomEnv::new(13, cfg);
         sim.run(&mut env, 2000).unwrap();
         let r = sim.report();
         assert_eq!(r.channel(c2).negative, 0, "no anti-token crosses c2");
         assert_eq!(r.channel(c1).negative, 0);
-        assert!(r.channel(c3).kills > 100, "kills happen at the passive boundary");
-        assert_eq!(r.channel(c3).negative, 0, "anti-tokens never cross c3 either");
+        assert!(
+            r.channel(c3).kills > 100,
+            "kills happen at the passive boundary"
+        );
+        assert_eq!(
+            r.channel(c3).negative,
+            0,
+            "anti-tokens never cross c3 either"
+        );
     }
 }

@@ -115,7 +115,11 @@ impl fmt::Display for SimReport {
             let _ = i;
         }
         if self.internal_annihilations > 0 {
-            writeln!(f, "  internal annihilations: {}", self.internal_annihilations)?;
+            writeln!(
+                f,
+                "  internal annihilations: {}",
+                self.internal_annihilations
+            )?;
         }
         Ok(())
     }
@@ -165,7 +169,10 @@ mod tests {
     #[test]
     fn display_lists_channels() {
         let r = SimReport {
-            channels: vec![ChannelStats { positive: 5, ..Default::default() }],
+            channels: vec![ChannelStats {
+                positive: 5,
+                ..Default::default()
+            }],
             names: vec!["S->W".into()],
             cycles: 10,
             internal_annihilations: 2,

@@ -102,9 +102,24 @@ pub fn w_early_eval() -> EarlyEval {
     EarlyEval::new(
         0,
         vec![
-            EeTerm { guard_mask: 0b11, guard_value: 0b00, required: vec![1], select: 1 },
-            EeTerm { guard_mask: 0b11, guard_value: 0b10, required: vec![2], select: 2 },
-            EeTerm { guard_mask: 0b01, guard_value: 0b01, required: vec![3], select: 3 },
+            EeTerm {
+                guard_mask: 0b11,
+                guard_value: 0b00,
+                required: vec![1],
+                select: 1,
+            },
+            EeTerm {
+                guard_mask: 0b11,
+                guard_value: 0b10,
+                required: vec![2],
+                select: 2,
+            },
+            EeTerm {
+                guard_mask: 0b01,
+                guard_value: 0b01,
+                required: vec![3],
+                select: 3,
+            },
         ],
     )
 }
@@ -203,15 +218,25 @@ pub fn paper_example(config: Config) -> Result<PaperSystem, CoreError> {
 
     // Environment of Sect. 6.1.
     let mut env = EnvConfig {
-        default_source: SourceCfg { rate: 1.0, data: opcode_distribution() },
-        default_sink: SinkCfg { stop_prob: 0.0, kill_prob: 0.0 },
+        default_source: SourceCfg {
+            rate: 1.0,
+            data: opcode_distribution(),
+        },
+        default_sink: SinkCfg {
+            stop_prob: 0.0,
+            kill_prob: 0.0,
+        },
         default_vl: LatencyDist::fixed(1),
         sources: HashMap::new(),
         sinks: HashMap::new(),
         vls: HashMap::new(),
     };
-    env.vls.insert("M1".into(), LatencyDist::weighted(vec![(2, 0.8), (10, 0.2)]));
-    env.vls.insert("M2".into(), LatencyDist::weighted(vec![(1, 0.5), (2, 0.5)]));
+    env.vls.insert(
+        "M1".into(),
+        LatencyDist::weighted(vec![(2, 0.8), (10, 0.2)]),
+    );
+    env.vls
+        .insert("M2".into(), LatencyDist::weighted(vec![(1, 0.5), (2, 0.5)]));
 
     Ok(PaperSystem {
         network: net,
@@ -314,7 +339,11 @@ mod tests {
         let ch = &sys.channels;
         // Anti-tokens travel backwards across Mo->W and M2->W, abort inside
         // M2/M1, and the survivors kill at the S->M1 register boundary.
-        assert!(r.channel(ch.mo_w).negative > 100, "{:?}", r.channel(ch.mo_w));
+        assert!(
+            r.channel(ch.mo_w).negative > 100,
+            "{:?}",
+            r.channel(ch.mo_w)
+        );
         assert!(r.channel(ch.m2_w).negative > 50, "{:?}", r.channel(ch.m2_w));
         assert!(
             r.channel(ch.s_m1).kills > 0,
@@ -340,7 +369,11 @@ mod tests {
     fn passive_f3_boundary_stops_backward_flow_into_f() {
         let (sys, r) = run(Config::PassiveF3W, 10_000, 7);
         let ch = &sys.channels;
-        assert_eq!(r.channel(ch.f3_w).negative, 0, "no anti-token crosses F3->W");
+        assert_eq!(
+            r.channel(ch.f3_w).negative,
+            0,
+            "no anti-token crosses F3->W"
+        );
         assert_eq!(r.channel(ch.f2_f3).negative, 0);
         assert_eq!(r.channel(ch.f2_f3).kills, 0, "F keeps computing everything");
         // The M branch still uses active counterflow in this configuration.
@@ -383,8 +416,12 @@ mod tests {
         // environment interfaces and the Table 1 channels.
         let (sys, r) = run(Config::ActiveAntiTokens, 10_000, 3);
         let th_out = r.throughput(sys.channels.dout);
-        for c in [sys.channels.din, sys.channels.s_m1, sys.channels.f2_f3, sys.channels.mo_w]
-        {
+        for c in [
+            sys.channels.din,
+            sys.channels.s_m1,
+            sys.channels.f2_f3,
+            sys.channels.mo_w,
+        ] {
             let th = r.throughput(c);
             assert!(
                 (th - th_out).abs() < 0.02,

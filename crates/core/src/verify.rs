@@ -57,7 +57,11 @@ impl Schedule {
             let name = net.component(comp).name.clone();
             match &net.component(comp).kind {
                 ComponentKind::Source => {
-                    let c = cfg.sources.get(&name).unwrap_or(&cfg.default_source).clone();
+                    let c = cfg
+                        .sources
+                        .get(&name)
+                        .unwrap_or(&cfg.default_source)
+                        .clone();
                     let data_bits = 2u64;
                     let stream = (0..cycles)
                         .map(|_| {
@@ -86,10 +90,14 @@ impl Schedule {
                     );
                 }
                 ComponentKind::VarLatency => {
-                    let dist =
-                        cfg.vls.get(&name).cloned().unwrap_or_else(|| cfg.default_vl.clone());
+                    let dist = cfg
+                        .vls
+                        .get(&name)
+                        .cloned()
+                        .unwrap_or_else(|| cfg.default_vl.clone());
                     let p = (1.0 / dist.mean()).clamp(0.05, 1.0);
-                    s.finishes.insert(name, (0..cycles).map(|_| rng.gen_bool(p)).collect());
+                    s.finishes
+                        .insert(name, (0..cycles).map(|_| rng.gen_bool(p)).collect());
                 }
                 _ => {}
             }
@@ -98,11 +106,15 @@ impl Schedule {
     }
 
     fn offer(&self, name: &str, t: u64) -> Option<u64> {
-        self.offers.get(name).and_then(|v| v.get(t as usize).copied().flatten())
+        self.offers
+            .get(name)
+            .and_then(|v| v.get(t as usize).copied().flatten())
     }
 
     fn bit(map: &HashMap<String, Vec<bool>>, name: &str, t: u64) -> bool {
-        map.get(name).and_then(|v| v.get(t as usize).copied()).unwrap_or(false)
+        map.get(name)
+            .and_then(|v| v.get(t as usize).copied())
+            .unwrap_or(false)
     }
 }
 
@@ -121,7 +133,9 @@ impl Environment for Schedule {
 
     fn vl_latency(&mut self, _comp: CompId, name: &str, time: u64) -> u32 {
         // Latency = distance to the next asserted finish bit, inclusive.
-        let Some(stream) = self.finishes.get(name) else { return 1 };
+        let Some(stream) = self.finishes.get(name) else {
+            return 1;
+        };
         let start = time as usize;
         for (i, &f) in stream.iter().enumerate().skip(start) {
             if f {
@@ -149,7 +163,13 @@ pub fn cosim_check(
 ) -> Result<(), CoreError> {
     let mut behav = BehavSim::new(net)?;
     let mut sched_env = schedule.clone();
-    let compiled = compile(net, &CompileOptions { data_width, nondet_merge: false })?;
+    let compiled = compile(
+        net,
+        &CompileOptions {
+            data_width,
+            nondet_merge: false,
+        },
+    )?;
     let nl = &compiled.netlist;
     let mut gates = Simulator::new(nl)?;
 
@@ -250,8 +270,14 @@ pub fn cosim_check(
 pub fn paper_properties(channel_name: &str) -> [(String, String); 4] {
     let c = sanitize(channel_name);
     [
-        ("Retry+".to_string(), format!("AG ({c}.vp & {c}.sp -> AX {c}.vp)")),
-        ("Retry-".to_string(), format!("AG ({c}.vn & {c}.sn -> AX {c}.vn)")),
+        (
+            "Retry+".to_string(),
+            format!("AG ({c}.vp & {c}.sp -> AX {c}.vp)"),
+        ),
+        (
+            "Retry-".to_string(),
+            format!("AG ({c}.vn & {c}.sn -> AX {c}.vn)"),
+        ),
         (
             "Invariant".to_string(),
             format!("AG ((!{c}.vn | !{c}.sp) & (!{c}.vp | !{c}.sn))"),
@@ -359,8 +385,14 @@ mod tests {
 
     fn stress_cfg() -> EnvConfig {
         EnvConfig {
-            default_source: SourceCfg { rate: 0.7, data: crate::sim::DataGen::Const(0) },
-            default_sink: SinkCfg { stop_prob: 0.3, kill_prob: 0.15 },
+            default_source: SourceCfg {
+                rate: 0.7,
+                data: crate::sim::DataGen::Const(0),
+            },
+            default_sink: SinkCfg {
+                stop_prob: 0.3,
+                kill_prob: 0.15,
+            },
             ..Default::default()
         }
     }
@@ -408,8 +440,18 @@ mod tests {
         let ee = EarlyEval::new(
             0,
             vec![
-                EeTerm { guard_mask: 1, guard_value: 0, required: vec![], select: 0 },
-                EeTerm { guard_mask: 1, guard_value: 1, required: vec![1], select: 1 },
+                EeTerm {
+                    guard_mask: 1,
+                    guard_value: 0,
+                    required: vec![],
+                    select: 0,
+                },
+                EeTerm {
+                    guard_mask: 1,
+                    guard_value: 1,
+                    required: vec![1],
+                    select: 1,
+                },
             ],
         );
         let j = net.add_early_join("w", 2, ee).unwrap();
@@ -430,8 +472,7 @@ mod tests {
         for config in Config::all() {
             let sys = paper_example(config).unwrap();
             let sched = Schedule::random(&sys.network, &sys.env_config, 5, 400);
-            cosim_check(&sys.network, &sched, 2)
-                .unwrap_or_else(|e| panic!("{config:?}: {e}"));
+            cosim_check(&sys.network, &sched, 2).unwrap_or_else(|e| panic!("{config:?}: {e}"));
         }
     }
 
@@ -446,11 +487,14 @@ mod tests {
     #[test]
     fn model_check_single_buffer() {
         let (net, _, _) = linear_pipeline(1, 0).unwrap();
-        let (results, states) =
-            check_network_properties(&net, BridgeOptions::default()).unwrap();
+        let (results, states) = check_network_properties(&net, BridgeOptions::default()).unwrap();
         assert!(states > 4);
         for r in &results {
-            assert!(r.holds, "{} on {} failed: {}", r.property, r.channel, r.formula);
+            assert!(
+                r.holds,
+                "{} on {} failed: {}",
+                r.property, r.channel, r.formula
+            );
         }
     }
 

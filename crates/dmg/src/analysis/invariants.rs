@@ -56,14 +56,18 @@ pub fn check_token_preservation(
         for (c, &expect) in cycles.iter().zip(&initial_sums) {
             let got = c.tokens(&m);
             assert_eq!(
-                got, expect,
+                got,
+                expect,
                 "token preservation violated on a cycle of length {} after {} steps",
                 c.len(),
                 done
             );
         }
     }
-    Ok(TokenPreservationReport { initial_sums, steps: done })
+    Ok(TokenPreservationReport {
+        initial_sums,
+        steps: done,
+    })
 }
 
 /// Checks liveness of the initial marking of a strongly connected graph:
@@ -112,7 +116,9 @@ pub fn check_repetitive(g: &Dmg, max_steps: usize, seed: u64) -> Result<usize, D
     let mut exec = RandomExecutor::new(seed, SchedulingPolicy::UniformEnabled);
     let mut witnessed = 0;
     for _ in 0..max_steps {
-        let Some(rec) = exec.step(g, &mut m)? else { break };
+        let Some(rec) = exec.step(g, &mut m)? else {
+            break;
+        };
         *counts.entry(rec.node).or_insert(0) += 1;
         let uniform = counts.len() == g.num_nodes()
             && counts.values().all(|&c| c == counts[&rec.node])
@@ -181,7 +187,10 @@ mod tests {
         let y = b.node("y");
         b.arc(x, y, 1);
         let g = b.build().unwrap();
-        assert_eq!(check_liveness(&g).unwrap_err(), DmgError::NotStronglyConnected);
+        assert_eq!(
+            check_liveness(&g).unwrap_err(),
+            DmgError::NotStronglyConnected
+        );
     }
 
     #[test]

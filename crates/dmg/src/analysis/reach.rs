@@ -25,7 +25,10 @@ pub struct ReachOptions {
 
 impl Default for ReachOptions {
     fn default() -> Self {
-        ReachOptions { max_states: 100_000, max_tokens_per_arc: 16 }
+        ReachOptions {
+            max_states: 100_000,
+            max_tokens_per_arc: 16,
+        }
     }
 }
 
@@ -74,7 +77,10 @@ pub fn explore(g: &Dmg, opts: ReachOptions) -> Result<ReachResult, DmgError> {
 
     while let Some(si) = queue.pop_front() {
         let m = states[si].clone();
-        if m.as_slice().iter().any(|&v| v.abs() > opts.max_tokens_per_arc) {
+        if m.as_slice()
+            .iter()
+            .any(|&v| v.abs() > opts.max_tokens_per_arc)
+        {
             clipped = true;
             continue; // do not expand out-of-scope states
         }
@@ -103,7 +109,12 @@ pub fn explore(g: &Dmg, opts: ReachOptions) -> Result<ReachResult, DmgError> {
             transitions[si].push((rec.node, rec.rule, ti));
         }
     }
-    Ok(ReachResult { states, transitions, deadlocks, clipped })
+    Ok(ReachResult {
+        states,
+        transitions,
+        deadlocks,
+        clipped,
+    })
 }
 
 #[cfg(test)]
@@ -129,8 +140,14 @@ mod tests {
     #[test]
     fn fig1_reachable_space_is_finite_and_deadlock_free() {
         let g = crate::examples::fig1_dmg();
-        let r = explore(&g, ReachOptions { max_states: 200_000, max_tokens_per_arc: 8 })
-            .unwrap();
+        let r = explore(
+            &g,
+            ReachOptions {
+                max_states: 200_000,
+                max_tokens_per_arc: 8,
+            },
+        )
+        .unwrap();
         assert!(r.num_states() > 3, "early firing should open extra states");
         assert!(!r.has_deadlock(), "live SCDMG has no reachable deadlock");
     }
@@ -156,8 +173,14 @@ mod tests {
         // A source-like ring that accumulates tokens cannot exist in a pure
         // MG (cycles preserve counts), so emulate growth with a small limit.
         let g = crate::examples::fig1_dmg();
-        let err = explore(&g, ReachOptions { max_states: 2, max_tokens_per_arc: 8 })
-            .unwrap_err();
+        let err = explore(
+            &g,
+            ReachOptions {
+                max_states: 2,
+                max_tokens_per_arc: 8,
+            },
+        )
+        .unwrap_err();
         assert_eq!(err, DmgError::StateLimit(2));
     }
 
@@ -170,8 +193,14 @@ mod tests {
             let n = g.node_by_name(name).unwrap();
             g.fire(&mut m, n).unwrap();
         }
-        let r = explore(&g, ReachOptions { max_states: 200_000, max_tokens_per_arc: 8 })
-            .unwrap();
+        let r = explore(
+            &g,
+            ReachOptions {
+                max_states: 200_000,
+                max_tokens_per_arc: 8,
+            },
+        )
+        .unwrap();
         assert!(r.states.contains(&m), "Fig. 1(b) marking must be reachable");
     }
 }

@@ -143,8 +143,17 @@ pub fn min_cycle_ratio(g: &Dmg, delays: &[u64]) -> Result<CycleRatio, DmgError> 
     };
     let cycle = cycle_from_arcs(arcs);
     let tokens = cycle.tokens(&m0);
-    let delay: u64 = cycle.arcs().iter().map(|&a| delays[g.arc_info(a).to.index()]).sum();
-    Ok(CycleRatio { tokens, delay, ratio: tokens as f64 / delay as f64, cycle })
+    let delay: u64 = cycle
+        .arcs()
+        .iter()
+        .map(|&a| delays[g.arc_info(a).to.index()])
+        .sum();
+    Ok(CycleRatio {
+        tokens,
+        delay,
+        ratio: tokens as f64 / delay as f64,
+        cycle,
+    })
 }
 
 fn cycle_from_arcs(arcs: Vec<ArcId>) -> Cycle {

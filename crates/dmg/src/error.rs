@@ -43,7 +43,10 @@ impl fmt::Display for DmgError {
                 write!(f, "analysis requires a strongly connected graph")
             }
             DmgError::StateLimit(limit) => {
-                write!(f, "state-space exploration exceeded limit of {limit} markings")
+                write!(
+                    f,
+                    "state-space exploration exceeded limit of {limit} markings"
+                )
             }
         }
     }
@@ -57,7 +60,10 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_informative() {
-        let e = DmgError::MarkingSize { expected: 3, found: 2 };
+        let e = DmgError::MarkingSize {
+            expected: 3,
+            found: 2,
+        };
         let msg = e.to_string();
         assert!(msg.contains('3') && msg.contains('2'));
         assert!(msg.chars().next().unwrap().is_lowercase());

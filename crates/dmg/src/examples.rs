@@ -60,7 +60,9 @@ pub fn fig1_firing_sequence() -> (Dmg, Vec<Enabling>, Marking) {
     let g = fig1_dmg();
     let mut m = g.initial_marking();
     let seq = ["n2", "n1", "n7"].map(|n| g.node_by_name(n).expect("node exists"));
-    let rules = g.fire_sequence(&mut m, seq).expect("paper sequence is fireable");
+    let rules = g
+        .fire_sequence(&mut m, seq)
+        .expect("paper sequence is fireable");
     (g, rules, m)
 }
 
@@ -112,7 +114,10 @@ mod tests {
     #[test]
     fn fig1_sequence_uses_p_then_e_then_n() {
         let (_, rules, _) = fig1_firing_sequence();
-        assert_eq!(rules, vec![Enabling::Positive, Enabling::Early, Enabling::Negative]);
+        assert_eq!(
+            rules,
+            vec![Enabling::Positive, Enabling::Early, Enabling::Negative]
+        );
     }
 
     #[test]

@@ -49,7 +49,10 @@ pub struct RandomExecutor {
 impl RandomExecutor {
     /// Creates an executor with a fixed seed (runs are reproducible).
     pub fn new(seed: u64, policy: SchedulingPolicy) -> Self {
-        RandomExecutor { rng: StdRng::seed_from_u64(seed), policy }
+        RandomExecutor {
+            rng: StdRng::seed_from_u64(seed),
+            policy,
+        }
     }
 
     /// Fires one enabled node according to the policy.
@@ -82,8 +85,11 @@ impl RandomExecutor {
                 }
             }
             SchedulingPolicy::EarlyFirst => {
-                let pref: Vec<_> =
-                    enabled.iter().copied().filter(|r| r.rule == Enabling::Early).collect();
+                let pref: Vec<_> = enabled
+                    .iter()
+                    .copied()
+                    .filter(|r| r.rule == Enabling::Early)
+                    .collect();
                 if pref.is_empty() {
                     pick(&enabled, &mut self.rng)
                 } else {
@@ -169,7 +175,10 @@ mod tests {
         let mut m = g.initial_marking();
         let mut e = RandomExecutor::new(5, SchedulingPolicy::PositiveFirst);
         let trace = e.run(&g, &mut m, 200).unwrap();
-        let pos = trace.iter().filter(|r| r.rule == Enabling::Positive).count();
+        let pos = trace
+            .iter()
+            .filter(|r| r.rule == Enabling::Positive)
+            .count();
         assert!(pos * 2 > trace.len(), "most firings should be positive");
     }
 

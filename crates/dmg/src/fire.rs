@@ -69,7 +69,10 @@ impl Dmg {
     /// All nodes enabled at `m`, with their rules.
     pub fn enabled_nodes(&self, m: &Marking) -> Vec<FiringRecord> {
         self.nodes()
-            .filter_map(|n| self.enabling(m, n).map(|rule| FiringRecord { node: n, rule }))
+            .filter_map(|n| {
+                self.enabling(m, n)
+                    .map(|rule| FiringRecord { node: n, rule })
+            })
             .collect()
     }
 
@@ -238,7 +241,13 @@ mod tests {
         let (g, _, y) = two_ring();
         let m = g.initial_marking();
         let en = g.enabled_nodes(&m);
-        assert_eq!(en, vec![FiringRecord { node: y, rule: Enabling::Positive }]);
+        assert_eq!(
+            en,
+            vec![FiringRecord {
+                node: y,
+                rule: Enabling::Positive
+            }]
+        );
     }
 
     #[test]
@@ -248,6 +257,76 @@ mod tests {
         let rules = g.fire_sequence(&mut m, [y, x]).unwrap();
         assert_eq!(rules, vec![Enabling::Positive, Enabling::Positive]);
         assert_eq!(m, g.initial_marking());
+    }
+
+    #[test]
+    fn p_firing_annihilates_anti_token_on_output_arc() {
+        let (g, x, _y) = two_ring();
+        // Anti-token waiting on x->y, token available on y->x: x is
+        // P-enabled and fires a token straight into the anti-token.
+        let mut m = Marking::from_vec(vec![-1, 1]);
+        assert_eq!(g.enabling(&m, x), Some(Enabling::Positive));
+        g.fire(&mut m, x).unwrap();
+        // Annihilation: both arcs return to zero, and the cycle token sum
+        // is unchanged (-1 + 1 = 0 before, 0 + 0 = 0 after).
+        assert_eq!(m.as_slice(), &[0, 0]);
+    }
+
+    #[test]
+    fn n_firing_moves_anti_token_toward_its_victim() {
+        // Three-node ring a -> b -> c -> a; anti-token on b's output arc
+        // b->c, token far away on c->a. Counterflow sends the anti-token
+        // backwards through b onto a->b, where the next forward token will
+        // annihilate it.
+        let mut bld = DmgBuilder::new();
+        let a = bld.node("a");
+        let b = bld.node("b");
+        let c = bld.node("c");
+        let ab = bld.arc(a, b, 0);
+        let bc = bld.arc(b, c, 0);
+        let ca = bld.arc(c, a, 1);
+        let g = bld.build().unwrap();
+        let mut m = g.initial_marking();
+        m.set(bc, -1);
+        let sum: i64 = [ab, bc, ca].iter().map(|&x| m.get(x)).sum();
+        assert_eq!(g.enabling(&m, b), Some(Enabling::Negative));
+        assert_eq!(g.fire(&mut m, b).unwrap(), Enabling::Negative);
+        assert_eq!(m.get(ab), -1, "anti-token moved to b's input");
+        assert_eq!(m.get(bc), 0);
+        // a is now P-enabled via c->a; its firing annihilates the
+        // anti-token on a->b.
+        assert_eq!(g.enabling(&m, a), Some(Enabling::Positive));
+        g.fire(&mut m, a).unwrap();
+        assert_eq!(m.get(ab), 0, "token and anti-token annihilated");
+        assert_eq!(m.get(ca), 0);
+        let sum_after: i64 = [ab, bc, ca].iter().map(|&x| m.get(x)).sum();
+        assert_eq!(sum, sum_after, "cycle token sum is invariant");
+    }
+
+    #[test]
+    fn early_firing_then_late_arrival_annihilates() {
+        // The paper's core counterflow story: an early join fires on its
+        // ready input, leaving an anti-token on the late input; when the
+        // late token finally arrives (its producer P-fires), the pair
+        // annihilates and the late datum is discarded.
+        let mut bld = DmgBuilder::new();
+        let p1 = bld.node("p1");
+        let p2 = bld.node("p2");
+        let j = bld.early_node("j");
+        let a1 = bld.arc(p1, j, 1);
+        let a2 = bld.arc(p2, j, 0);
+        let back2 = bld.arc(j, p2, 0); // gives p2 an input so it can fire
+        let out = bld.arc(j, p1, 0);
+        let g = bld.build().unwrap();
+        let mut m = g.initial_marking();
+        m.set(back2, 1);
+        assert_eq!(g.fire(&mut m, j).unwrap(), Enabling::Early);
+        assert_eq!(m.get(a2), -1, "late input owes an anti-token");
+        assert_eq!(g.enabling(&m, p2), Some(Enabling::Positive));
+        g.fire(&mut m, p2).unwrap();
+        assert_eq!(m.get(a2), 0, "late token annihilated on arrival");
+        assert_eq!(m.get(a1), 0);
+        assert_eq!(m.get(out), 1);
     }
 
     #[test]

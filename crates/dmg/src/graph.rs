@@ -107,8 +107,14 @@ impl DmgBuilder {
     pub fn arc(&mut self, from: NodeId, to: NodeId, tokens: i64) -> ArcId {
         let name = format!(
             "{}->{}",
-            self.names.get(from.index()).map(String::as_str).unwrap_or("?"),
-            self.names.get(to.index()).map(String::as_str).unwrap_or("?")
+            self.names
+                .get(from.index())
+                .map(String::as_str)
+                .unwrap_or("?"),
+            self.names
+                .get(to.index())
+                .map(String::as_str)
+                .unwrap_or("?")
         );
         self.named_arc(name, from, to, tokens)
     }
@@ -121,7 +127,11 @@ impl DmgBuilder {
         to: NodeId,
         tokens: i64,
     ) -> ArcId {
-        self.arcs.push(ArcInfo { from, to, name: name.into() });
+        self.arcs.push(ArcInfo {
+            from,
+            to,
+            name: name.into(),
+        });
         self.initial.push(tokens);
         ArcId(self.arcs.len() as u32 - 1)
     }
@@ -221,12 +231,18 @@ impl Dmg {
     /// Looks a node up by name. Names are not required to be unique; the
     /// first match in creation order wins.
     pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
-        self.names.iter().position(|n| n == name).map(|i| NodeId(i as u32))
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| NodeId(i as u32))
     }
 
     /// Looks an arc up by label.
     pub fn arc_by_name(&self, name: &str) -> Option<ArcId> {
-        self.arcs.iter().position(|a| a.name == name).map(|i| ArcId(i as u32))
+        self.arcs
+            .iter()
+            .position(|a| a.name == name)
+            .map(|i| ArcId(i as u32))
     }
 
     /// Incoming arcs of `node` (the preset `•n`).
@@ -256,7 +272,10 @@ impl Dmg {
     /// Returns [`DmgError::MarkingSize`] on mismatch.
     pub fn check_marking(&self, m: &Marking) -> Result<(), DmgError> {
         if m.len() != self.num_arcs() {
-            return Err(DmgError::MarkingSize { expected: self.num_arcs(), found: m.len() });
+            return Err(DmgError::MarkingSize {
+                expected: self.num_arcs(),
+                found: m.len(),
+            });
         }
         Ok(())
     }
@@ -276,10 +295,18 @@ impl Dmg {
             seen[start] = true;
             let mut count = 1;
             while let Some(v) = stack.pop() {
-                let arcs = if forward { &self.out_arcs[v] } else { &self.in_arcs[v] };
+                let arcs = if forward {
+                    &self.out_arcs[v]
+                } else {
+                    &self.in_arcs[v]
+                };
                 for &a in arcs {
                     let info = &self.arcs[a.index()];
-                    let w = if forward { info.to.index() } else { info.from.index() };
+                    let w = if forward {
+                        info.to.index()
+                    } else {
+                        info.from.index()
+                    };
                     if !seen[w] {
                         seen[w] = true;
                         count += 1;

@@ -14,12 +14,18 @@ pub struct StateSet {
 impl StateSet {
     /// Empty set over a universe of `len` states.
     pub fn empty(len: usize) -> Self {
-        StateSet { blocks: vec![0; len.div_ceil(64)], len }
+        StateSet {
+            blocks: vec![0; len.div_ceil(64)],
+            len,
+        }
     }
 
     /// Full set over a universe of `len` states.
     pub fn full(len: usize) -> Self {
-        let mut s = StateSet { blocks: vec![!0u64; len.div_ceil(64)], len };
+        let mut s = StateSet {
+            blocks: vec![!0u64; len.div_ceil(64)],
+            len,
+        };
         s.trim();
         s
     }
@@ -126,23 +132,29 @@ impl StateSet {
     /// Panics on universe mismatch.
     pub fn is_subset(&self, other: &StateSet) -> bool {
         assert_eq!(self.len, other.len, "universe mismatch");
-        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & !b == 0)
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Iterates over member state indices in increasing order.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
-        self.blocks.iter().enumerate().flat_map(move |(bi, &block)| {
-            let mut b = block;
-            std::iter::from_fn(move || {
-                if b == 0 {
-                    None
-                } else {
-                    let t = b.trailing_zeros() as usize;
-                    b &= b - 1;
-                    Some(bi * 64 + t)
-                }
+        self.blocks
+            .iter()
+            .enumerate()
+            .flat_map(move |(bi, &block)| {
+                let mut b = block;
+                std::iter::from_fn(move || {
+                    if b == 0 {
+                        None
+                    } else {
+                        let t = b.trailing_zeros() as usize;
+                        b &= b - 1;
+                        Some(bi * 64 + t)
+                    }
+                })
             })
-        })
     }
 }
 

@@ -31,7 +31,10 @@ pub struct BridgeOptions {
 
 impl Default for BridgeOptions {
     fn default() -> Self {
-        BridgeOptions { max_ff_states: 1 << 20, max_inputs: 14 }
+        BridgeOptions {
+            max_ff_states: 1 << 20,
+            max_inputs: 14,
+        }
     }
 }
 
@@ -84,13 +87,19 @@ pub fn netlist_kripke(
 ) -> Result<NetlistKripke, McError> {
     let num_inputs = netlist.inputs().len();
     if num_inputs > opts.max_inputs {
-        return Err(McError::Budget { what: "inputs", limit: opts.max_inputs });
+        return Err(McError::Budget {
+            what: "inputs",
+            limit: opts.max_inputs,
+        });
     }
     let combos = 1usize << num_inputs;
     let mut sim = Simulator::new(netlist)?;
     let inputs: Vec<_> = netlist.inputs().to_vec();
-    let named: Vec<(String, _)> =
-        netlist.named_nets().into_iter().map(|(s, n)| (s.to_string(), n)).collect();
+    let named: Vec<(String, _)> = netlist
+        .named_nets()
+        .into_iter()
+        .map(|(s, n)| (s.to_string(), n))
+        .collect();
     for f in fairness_nets {
         if !named.iter().any(|(n, _)| n == f) {
             return Err(McError::UnknownAtom((*f).to_string()));
@@ -157,10 +166,21 @@ pub fn netlist_kripke(
         .iter()
         .map(|f| atoms.get(*f).expect("validated above").clone())
         .collect();
-    let state_names =
-        sim.state_nets().iter().map(|&n| netlist.net_name(n)).collect();
+    let state_names = sim
+        .state_nets()
+        .iter()
+        .map(|&n| netlist.net_name(n))
+        .collect();
     let input_names = inputs.iter().map(|&n| netlist.net_name(n)).collect();
-    Ok(NetlistKripke { combos, delta, atoms, fairness, ff_states, state_names, input_names })
+    Ok(NetlistKripke {
+        combos,
+        delta,
+        atoms,
+        fairness,
+        ff_states,
+        state_names,
+        input_names,
+    })
 }
 
 impl Kripke for NetlistKripke {
@@ -263,7 +283,10 @@ mod tests {
         let n = follower();
         let free = netlist_kripke(&n, &[], BridgeOptions::default()).unwrap();
         let live = parse("AG AF grant").unwrap();
-        assert!(!check(&free, &live).unwrap().holds(), "env may never request");
+        assert!(
+            !check(&free, &live).unwrap().holds(),
+            "env may never request"
+        );
         let fair = netlist_kripke(&n, &["req"], BridgeOptions::default()).unwrap();
         assert!(check_fair(&fair, &live).unwrap().holds());
     }
@@ -280,8 +303,15 @@ mod tests {
         for i in 0..4 {
             n.input(format!("i{i}"));
         }
-        let e = netlist_kripke(&n, &[], BridgeOptions { max_ff_states: 10, max_inputs: 3 })
-            .unwrap_err();
+        let e = netlist_kripke(
+            &n,
+            &[],
+            BridgeOptions {
+                max_ff_states: 10,
+                max_inputs: 3,
+            },
+        )
+        .unwrap_err();
         assert!(matches!(e, McError::Budget { what: "inputs", .. }));
     }
 

@@ -69,9 +69,16 @@ fn run<K: Kripke + ?Sized>(k: &K, f: &Ctl, fairness: &[StateSet]) -> Result<Chec
     if k.num_states() == 0 {
         return Err(McError::EmptyModel);
     }
-    let mut ev = Eval { k, fairness, fair: None };
+    let mut ev = Eval {
+        k,
+        fairness,
+        fair: None,
+    };
     let sat = ev.eval(f)?;
-    Ok(CheckResult { sat, initial: k.initial_states() })
+    Ok(CheckResult {
+        sat,
+        initial: k.initial_states(),
+    })
 }
 
 struct Eval<'a, K: Kripke + ?Sized> {
@@ -102,9 +109,10 @@ impl<'a, K: Kripke + ?Sized> Eval<'a, K> {
         Ok(match f {
             Ctl::Const(true) => StateSet::full(self.n()),
             Ctl::Const(false) => StateSet::empty(self.n()),
-            Ctl::Atom(a) => {
-                self.k.atom_set(a).ok_or_else(|| McError::UnknownAtom(a.clone()))?
-            }
+            Ctl::Atom(a) => self
+                .k
+                .atom_set(a)
+                .ok_or_else(|| McError::UnknownAtom(a.clone()))?,
             Ctl::Not(x) => self.eval(x)?.complement(),
             Ctl::And(a, b) => {
                 let mut s = self.eval(a)?;
@@ -389,6 +397,9 @@ mod tests {
     #[test]
     fn empty_model_is_an_error() {
         let k = ExplicitKripke::new(0);
-        assert_eq!(check(&k, &Ctl::Const(true)).unwrap_err(), McError::EmptyModel);
+        assert_eq!(
+            check(&k, &Ctl::Const(true)).unwrap_err(),
+            McError::EmptyModel
+        );
     }
 }

@@ -131,7 +131,12 @@ impl Ctl {
         match self {
             Ctl::Const(_) => {}
             Ctl::Atom(a) => out.push(a),
-            Ctl::Not(f) | Ctl::Ex(f) | Ctl::Ax(f) | Ctl::Ef(f) | Ctl::Af(f) | Ctl::Eg(f)
+            Ctl::Not(f)
+            | Ctl::Ex(f)
+            | Ctl::Ax(f)
+            | Ctl::Ef(f)
+            | Ctl::Af(f)
+            | Ctl::Eg(f)
             | Ctl::Ag(f) => f.walk_atoms(out),
             Ctl::And(a, b) | Ctl::Or(a, b) | Ctl::Imp(a, b) | Ctl::Eu(a, b) | Ctl::Au(a, b) => {
                 a.walk_atoms(out);
@@ -143,8 +148,17 @@ impl Ctl {
     fn fmt_prec(&self, f: &mut fmt::Formatter<'_>, parent: u8) -> fmt::Result {
         // precedence: atoms/unary 3, & 2, | 1, -> 0
         let prec = match self {
-            Ctl::Const(_) | Ctl::Atom(_) | Ctl::Not(_) | Ctl::Ex(_) | Ctl::Ax(_) | Ctl::Ef(_)
-            | Ctl::Af(_) | Ctl::Eg(_) | Ctl::Ag(_) | Ctl::Eu(_, _) | Ctl::Au(_, _) => 3,
+            Ctl::Const(_)
+            | Ctl::Atom(_)
+            | Ctl::Not(_)
+            | Ctl::Ex(_)
+            | Ctl::Ax(_)
+            | Ctl::Ef(_)
+            | Ctl::Af(_)
+            | Ctl::Eg(_)
+            | Ctl::Ag(_)
+            | Ctl::Eu(_, _)
+            | Ctl::Au(_, _) => 3,
             Ctl::And(_, _) => 2,
             Ctl::Or(_, _) => 1,
             Ctl::Imp(_, _) => 0,

@@ -55,7 +55,10 @@ mod tests {
     #[test]
     fn display() {
         assert!(McError::UnknownAtom("vp".into()).to_string().contains("vp"));
-        let e = McError::Parse { at: 3, message: "expected ')'".into() };
+        let e = McError::Parse {
+            at: 3,
+            message: "expected ')'".into(),
+        };
         assert!(e.to_string().contains("byte 3"));
     }
 }

@@ -36,7 +36,10 @@ use crate::error::McError;
 /// # Ok::<(), elastic_mc::McError>(())
 /// ```
 pub fn parse(text: &str) -> Result<Ctl, McError> {
-    let mut p = Parser { text: text.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        text: text.as_bytes(),
+        pos: 0,
+    };
     let f = p.imp()?;
     p.skip_ws();
     if p.pos != p.text.len() {
@@ -52,7 +55,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, message: &str) -> McError {
-        McError::Parse { at: self.pos, message: message.to_string() }
+        McError::Parse {
+            at: self.pos,
+            message: message.to_string(),
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -177,9 +183,7 @@ impl<'a> Parser<'a> {
         self.pos += 1;
         while self.pos < self.text.len() && is_ident_char(self.text[self.pos]) {
             // stop before "->" so implication still parses
-            if self.text[self.pos] == b'-'
-                && self.text.get(self.pos + 1) == Some(&b'>')
-            {
+            if self.text[self.pos] == b'-' && self.text.get(self.pos + 1) == Some(&b'>') {
                 break;
             }
             self.pos += 1;

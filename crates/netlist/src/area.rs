@@ -134,8 +134,18 @@ mod tests {
 
     #[test]
     fn addition_and_sum() {
-        let a = AreaReport { literals: 1, latches: 2, flipflops: 3, gates: 4 };
-        let b = AreaReport { literals: 10, latches: 20, flipflops: 30, gates: 40 };
+        let a = AreaReport {
+            literals: 1,
+            latches: 2,
+            flipflops: 3,
+            gates: 4,
+        };
+        let b = AreaReport {
+            literals: 10,
+            latches: 20,
+            flipflops: 30,
+            gates: 40,
+        };
         let s: AreaReport = [a, b].into_iter().sum();
         assert_eq!(s, a + b);
         assert_eq!(s.literals, 11);
@@ -143,7 +153,12 @@ mod tests {
 
     #[test]
     fn display_matches_table1_style() {
-        let r = AreaReport { literals: 253, latches: 56, flipflops: 9, gates: 0 };
+        let r = AreaReport {
+            literals: 253,
+            latches: 56,
+            flipflops: 9,
+            gates: 0,
+        };
         assert!(r.to_string().starts_with("253 lit, 56 lat, 9 ff"));
     }
 }

@@ -316,12 +316,22 @@ impl Netlist {
     /// Allocates a transparent latch; bind its data input later with
     /// [`Netlist::bind_latch`].
     pub fn latch(&mut self, phase: LatchPhase, init: bool) -> NetId {
-        self.push(Gate::Latch { d: None, en: None, phase, init })
+        self.push(Gate::Latch {
+            d: None,
+            en: None,
+            phase,
+            init,
+        })
     }
 
     /// Allocates an enable-gated transparent latch (datapath style).
     pub fn latch_en(&mut self, phase: LatchPhase, en: NetId, init: bool) -> NetId {
-        self.push(Gate::Latch { d: None, en: Some(en), phase, init })
+        self.push(Gate::Latch {
+            d: None,
+            en: Some(en),
+            phase,
+            init,
+        })
     }
 
     /// Binds the data input of latch `q`.
@@ -381,7 +391,10 @@ impl Netlist {
     ///
     /// [`NetlistError::UnknownName`] if no net has this name.
     pub fn find(&self, name: &str) -> Result<NetId, NetlistError> {
-        self.by_name.get(name).copied().ok_or_else(|| NetlistError::UnknownName(name.into()))
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| NetlistError::UnknownName(name.into()))
     }
 
     /// The display name of `net`, or a synthesized `w<i>` fallback.
@@ -418,7 +431,9 @@ impl Netlist {
 
     /// All stateful nets (flip-flops and latches) in index order.
     pub fn state_elements(&self) -> Vec<NetId> {
-        self.nets().filter(|&n| self.gates[n.index()].is_stateful()).collect()
+        self.nets()
+            .filter(|&n| self.gates[n.index()].is_stateful())
+            .collect()
     }
 
     /// All nets that carry a display name, as `(name, id)` pairs in net
@@ -440,7 +455,10 @@ impl Netlist {
                 Gate::Dff { d: None, .. }
                 | Gate::Latch { d: None, .. }
                 | Gate::Wire { src: None } => {
-                    return Err(NetlistError::UnboundState { net: n, name: self.net_name(n) });
+                    return Err(NetlistError::UnboundState {
+                        net: n,
+                        name: self.net_name(n),
+                    });
                 }
                 _ => {}
             }
@@ -478,7 +496,10 @@ mod tests {
         let mut n = Netlist::new("m");
         let a = n.input("a");
         let b = n.constant(true);
-        assert_eq!(n.set_name(b, "a").unwrap_err(), NetlistError::DuplicateName("a".into()));
+        assert_eq!(
+            n.set_name(b, "a").unwrap_err(),
+            NetlistError::DuplicateName("a".into())
+        );
         let _ = a;
     }
 
@@ -486,7 +507,9 @@ mod tests {
     fn unbound_dff_detected() {
         let mut n = Netlist::new("m");
         let q = n.dff(false);
-        assert!(matches!(n.check_bound().unwrap_err(), NetlistError::UnboundState { net, .. } if net == q));
+        assert!(
+            matches!(n.check_bound().unwrap_err(), NetlistError::UnboundState { net, .. } if net == q)
+        );
         let d = n.constant(true);
         n.bind_dff(q, d).unwrap();
         n.check_bound().unwrap();
@@ -518,7 +541,11 @@ mod tests {
         assert!(n.gate(q).comb_inputs().is_empty(), "dff cuts comb paths");
         let l = n.latch(LatchPhase::Low, false);
         n.bind_latch(l, a).unwrap();
-        assert_eq!(n.gate(l).comb_inputs(), vec![a], "latches read d when transparent");
+        assert_eq!(
+            n.gate(l).comb_inputs(),
+            vec![a],
+            "latches read d when transparent"
+        );
     }
 
     #[test]

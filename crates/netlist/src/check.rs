@@ -73,7 +73,10 @@ fn find_cycle_in_phase(netlist: &Netlist, phase: LatchPhase) -> Option<Vec<NetId
                     GREY => {
                         // Found a back edge: the cycle is the path suffix
                         // from w to v, plus the edge v->w.
-                        let pos = path.iter().position(|&p| p == w).expect("grey node on path");
+                        let pos = path
+                            .iter()
+                            .position(|&p| p == w)
+                            .expect("grey node on path");
                         return Some(path[pos..].to_vec());
                     }
                     _ => {}

@@ -39,10 +39,18 @@ impl fmt::Display for NetlistError {
         match self {
             NetlistError::UnknownNet(n) => write!(f, "unknown net id {}", n.index()),
             NetlistError::UnboundState { net, name } => {
-                write!(f, "state element {} ({name}) has no bound data input", net.index())
+                write!(
+                    f,
+                    "state element {} ({name}) has no bound data input",
+                    net.index()
+                )
             }
             NetlistError::BadBind(n) => {
-                write!(f, "net {} cannot be (re)bound: not an unbound state element", n.index())
+                write!(
+                    f,
+                    "net {} cannot be (re)bound: not an unbound state element",
+                    n.index()
+                )
             }
             NetlistError::CombinationalCycle(names) => {
                 write!(f, "combinational cycle through: {}", names.join(" -> "))

@@ -92,8 +92,7 @@ pub fn to_blif(netlist: &Netlist) -> String {
                 let dn = match en {
                     Some(e) => {
                         let held = format!("{lhs}_hold");
-                        let _ =
-                            writeln!(s, ".names {} {} {lhs} {held}", name(*e), name(d));
+                        let _ = writeln!(s, ".names {} {} {lhs} {held}", name(*e), name(d));
                         let _ = writeln!(s, "11- 1\n0-1 1");
                         held
                     }

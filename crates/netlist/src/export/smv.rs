@@ -65,9 +65,7 @@ pub fn to_smv(netlist: &Netlist) -> Result<String, NetlistError> {
             Gate::Wire { src } => name(src.expect("bound before export")),
             Gate::Not(a) => format!("!{}", name(*a)),
             Gate::And(v) if v.is_empty() => "TRUE".to_string(),
-            Gate::And(v) => {
-                v.iter().map(|&a| name(a)).collect::<Vec<_>>().join(" & ")
-            }
+            Gate::And(v) => v.iter().map(|&a| name(a)).collect::<Vec<_>>().join(" & "),
             Gate::Or(v) if v.is_empty() => "FALSE".to_string(),
             Gate::Or(v) => v.iter().map(|&a| name(a)).collect::<Vec<_>>().join(" | "),
             Gate::Xor(a, b) => format!("{} xor {}", name(*a), name(*b)),

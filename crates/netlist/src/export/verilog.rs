@@ -37,7 +37,12 @@ pub fn to_verilog(netlist: &Netlist) -> String {
     }
     ports.extend(netlist.inputs().iter().map(|&i| name(i)));
     ports.extend(netlist.outputs().iter().map(|&o| name(o)));
-    let _ = writeln!(s, "module {} ({});", ident(netlist.name()), ports.join(", "));
+    let _ = writeln!(
+        s,
+        "module {} ({});",
+        ident(netlist.name()),
+        ports.join(", ")
+    );
     if has_state {
         let _ = writeln!(s, "  input clk, rst;");
     }

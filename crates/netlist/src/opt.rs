@@ -91,9 +91,7 @@ pub fn optimize(netlist: &Netlist) -> Result<(Netlist, Vec<Option<NetId>>), Netl
                 }
                 let get = |x: NetId| konst[x.index()];
                 let new = match netlist.gate(id) {
-                    Gate::Input | Gate::Const(_) | Gate::Dff { .. } | Gate::Latch { .. } => {
-                        None
-                    }
+                    Gate::Input | Gate::Const(_) | Gate::Dff { .. } | Gate::Latch { .. } => None,
                     Gate::Buf(a) => get(*a),
                     Gate::Wire { src } => get(src.expect("checked")),
                     Gate::Not(a) => get(*a).map(|v| !v),
@@ -272,14 +270,18 @@ pub fn optimize(netlist: &Netlist) -> Result<(Netlist, Vec<Option<NetId>>), Netl
                     .map(|a| lookup(netlist, &mut out, &mut map, &mut const_nets, &konst, a))
                     .collect();
                 match ins.len() {
-                    0 => *const_nets.entry(false).or_insert_with(|| out.constant(false)),
+                    0 => *const_nets
+                        .entry(false)
+                        .or_insert_with(|| out.constant(false)),
                     1 => ins[0],
                     _ => out.or(ins),
                 }
             }
             Gate::Xor(a, b) => {
-                let (ka, kb) =
-                    (konst[resolve(a, &konst).index()], konst[resolve(b, &konst).index()]);
+                let (ka, kb) = (
+                    konst[resolve(a, &konst).index()],
+                    konst[resolve(b, &konst).index()],
+                );
                 match (ka, kb) {
                     (Some(true), _) => {
                         let b = lookup(netlist, &mut out, &mut map, &mut const_nets, &konst, b);
@@ -306,9 +308,7 @@ pub fn optimize(netlist: &Netlist) -> Result<(Netlist, Vec<Option<NetId>>), Netl
                 let ks = konst[resolve(sel, &konst).index()];
                 match ks {
                     Some(true) => lookup(netlist, &mut out, &mut map, &mut const_nets, &konst, a),
-                    Some(false) => {
-                        lookup(netlist, &mut out, &mut map, &mut const_nets, &konst, b)
-                    }
+                    Some(false) => lookup(netlist, &mut out, &mut map, &mut const_nets, &konst, b),
                     None => {
                         let s = lookup(netlist, &mut out, &mut map, &mut const_nets, &konst, sel);
                         let a = lookup(netlist, &mut out, &mut map, &mut const_nets, &konst, a);
@@ -345,15 +345,21 @@ pub fn optimize(netlist: &Netlist) -> Result<(Netlist, Vec<Option<NetId>>), Netl
         }
     }
     for (wirenew, old_src) in wire_rebind {
-        let src = lookup(netlist, &mut out, &mut map, &mut const_nets, &konst, old_src);
+        let src = lookup(
+            netlist,
+            &mut out,
+            &mut map,
+            &mut const_nets,
+            &konst,
+            old_src,
+        );
         out.bind_wire(wirenew, src)?;
     }
     // Names and outputs. When several old nets merged into one new net, the
     // first name (in creation order) stays on the net itself; every further
     // name goes on a zero-area alias buffer, so probes and model-checking
     // atoms keep working after optimization.
-    let mut named_new: std::collections::HashSet<NetId> =
-        out.inputs().iter().copied().collect();
+    let mut named_new: std::collections::HashSet<NetId> = out.inputs().iter().copied().collect();
     for (name, id) in netlist.named_nets() {
         if let Some(new) = map[id.index()] {
             if out.find(name).is_ok() {

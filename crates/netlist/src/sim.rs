@@ -61,7 +61,15 @@ impl Simulator {
         }
         let captured = ffs.iter().map(|f| values[f.index()]).collect();
         let state_nets = netlist.state_elements();
-        Ok(Simulator { net: netlist.clone(), values, captured, ff_slot, ffs, state_nets, time: 0 })
+        Ok(Simulator {
+            net: netlist.clone(),
+            values,
+            captured,
+            ff_slot,
+            ffs,
+            state_nets,
+            time: 0,
+        })
     }
 
     /// The netlist being simulated.
@@ -152,9 +160,7 @@ impl Simulator {
                     Gate::Input | Gate::Dff { .. } => continue,
                     Gate::Const(v) => *v,
                     Gate::Buf(a) => self.values[a.index()],
-                    Gate::Wire { src } => {
-                        self.values[src.expect("checked by check_bound").index()]
-                    }
+                    Gate::Wire { src } => self.values[src.expect("checked by check_bound").index()],
                     Gate::Not(a) => !self.values[a.index()],
                     Gate::And(v) => v.iter().all(|a| self.values[a.index()]),
                     Gate::Or(v) => v.iter().any(|a| self.values[a.index()]),
@@ -166,7 +172,9 @@ impl Simulator {
                             self.values[b.index()]
                         }
                     }
-                    Gate::Latch { d, en, phase: lp, .. } => {
+                    Gate::Latch {
+                        d, en, phase: lp, ..
+                    } => {
                         if *lp != phase {
                             continue; // opaque this phase
                         }
@@ -198,7 +206,10 @@ impl Simulator {
     /// Snapshot of the current state-element outputs, in
     /// [`Netlist::state_elements`] order.
     pub fn state(&self) -> Vec<bool> {
-        self.state_nets.iter().map(|&n| self.values[n.index()]).collect()
+        self.state_nets
+            .iter()
+            .map(|&n| self.values[n.index()])
+            .collect()
     }
 
     /// Overwrites the state-element outputs (flip-flops and latches) and
@@ -320,7 +331,10 @@ mod tests {
         // except the low latch passes the captured value in the same cycle.
         sim.cycle(&[(a, true)]).unwrap();
         assert!(sim.value(h));
-        assert!(sim.value(l), "L latch follows the frozen H value in the low phase");
+        assert!(
+            sim.value(l),
+            "L latch follows the frozen H value in the low phase"
+        );
         sim.cycle(&[(a, false)]).unwrap();
         assert!(!sim.value(h));
         assert!(!sim.value(l));

@@ -50,7 +50,11 @@ impl VcdRecorder {
             .into_iter()
             .map(|(n, id)| (n.to_string(), id))
             .collect();
-        VcdRecorder { module: netlist.name().to_string(), nets, samples: Vec::new() }
+        VcdRecorder {
+            module: netlist.name().to_string(),
+            nets,
+            samples: Vec::new(),
+        }
     }
 
     /// Creates a recorder tracking only the given named nets.
@@ -58,21 +62,23 @@ impl VcdRecorder {
     /// # Errors
     ///
     /// Propagates [`crate::NetlistError::UnknownName`] for missing names.
-    pub fn with_nets(
-        netlist: &Netlist,
-        names: &[&str],
-    ) -> Result<Self, crate::NetlistError> {
+    pub fn with_nets(netlist: &Netlist, names: &[&str]) -> Result<Self, crate::NetlistError> {
         let nets = names
             .iter()
             .map(|&n| netlist.find(n).map(|id| (n.to_string(), id)))
             .collect::<Result<_, _>>()?;
-        Ok(VcdRecorder { module: netlist.name().to_string(), nets, samples: Vec::new() })
+        Ok(VcdRecorder {
+            module: netlist.name().to_string(),
+            nets,
+            samples: Vec::new(),
+        })
     }
 
     /// Samples the current simulator values (call once per cycle, after the
     /// cycle settles).
     pub fn sample(&mut self, sim: &Simulator) {
-        self.samples.push(self.nets.iter().map(|&(_, id)| sim.value(id)).collect());
+        self.samples
+            .push(self.nets.iter().map(|&(_, id)| sim.value(id)).collect());
     }
 
     /// Number of recorded cycles.
@@ -92,7 +98,11 @@ impl VcdRecorder {
         let _ = writeln!(s, "$date reproduction run $end");
         let _ = writeln!(s, "$version elastic-netlist vcd $end");
         let _ = writeln!(s, "$timescale 1ns $end");
-        let _ = writeln!(s, "$scope module {} $end", crate::export::ident(&self.module));
+        let _ = writeln!(
+            s,
+            "$scope module {} $end",
+            crate::export::ident(&self.module)
+        );
         for (i, (name, _)) in self.nets.iter().enumerate() {
             let _ = writeln!(
                 s,
@@ -159,7 +169,10 @@ mod tests {
         assert!(text.contains("$var wire 1 ! q $end"), "{text}");
         assert!(text.contains("#0\n") && text.contains("#2\n"));
         // q toggles 0,1,0: changes emitted at #1 and #2.
-        assert!(text.contains("#1\n1!") || text.contains("#1\n0\"\n1!"), "{text}");
+        assert!(
+            text.contains("#1\n1!") || text.contains("#1\n0\"\n1!"),
+            "{text}"
+        );
     }
 
     #[test]

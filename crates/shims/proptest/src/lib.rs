@@ -1,0 +1,332 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so this workspace vendors a
+//! minimal property-testing harness with the same surface syntax as real
+//! proptest for the features the test suite uses:
+//!
+//! * the [`proptest!`] macro wrapping `#[test] fn name(arg in strategy, ...)`,
+//! * half-open ranges as strategies (`0u64..500`, `0.1f64..1.0`),
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`],
+//! * a bounded, deterministic case count (`PROPTEST_CASES`, default 64),
+//! * a checked-in regression corpus under `proptest-regressions/` whose
+//!   seeds are replayed before the random phase (format: `cc <u64>` lines).
+//!
+//! Each case derives its RNG seed from the test name and case index, so runs
+//! are fully deterministic with no state carried between cases. On failure
+//! the harness panics with the failing seed and the sampled argument values,
+//! and prints a line suitable for appending to the regression corpus.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform, SeedableRng};
+use std::ops::Range;
+
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Strategy,
+        TestCaseError, TestRunner,
+    };
+}
+
+/// Outcome of one property-test case body.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The property failed: this is a real bug (or shrunk counterexample).
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; the case does not count.
+    Reject,
+}
+
+/// A source of random values of type `Value` (mirrors `proptest::Strategy`).
+pub trait Strategy {
+    type Value;
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+/// Drives the cases of one `proptest!` test function.
+pub struct TestRunner {
+    name: &'static str,
+    cases: u32,
+}
+
+/// Number of random cases per property (`PROPTEST_CASES`, default 64).
+///
+/// The default is deliberately small so `cargo test -q` stays fast; CI pins
+/// it explicitly. Invalid values fall back to the default.
+pub fn configured_cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(64)
+}
+
+impl TestRunner {
+    pub fn new(name: &'static str) -> Self {
+        TestRunner {
+            name,
+            cases: configured_cases(),
+        }
+    }
+
+    /// The corpus file stem: test names are `file_stem::test_fn` (see the
+    /// `proptest!` macro).
+    fn stem(&self) -> &str {
+        self.name
+            .split_once("::")
+            .map_or(self.name, |(stem, _)| stem)
+    }
+
+    /// Seeds replayed before the random phase: the checked-in regression
+    /// corpus at `proptest-regressions/<file_stem>.txt`, lines `cc <u64>`.
+    fn regression_seeds(&self) -> Vec<u64> {
+        corpus_seeds(self.stem())
+    }
+
+    /// Run `case` for every corpus seed plus `cases` derived seeds, stopping
+    /// at the first counterexample (no shrinking). The closure receives the
+    /// seed (not an rng) so the failure path can deterministically re-sample
+    /// the inputs for the report.
+    pub fn run(&self, case: impl Fn(u64) -> Result<(), TestCaseError>) {
+        let corpus = self.regression_seeds();
+        let derived = (0..self.cases as u64).map(|i| derive_seed(self.name, i));
+        let mut rejects = 0u32;
+        for (origin, seed) in corpus
+            .iter()
+            .map(|&s| ("corpus", s))
+            .chain(derived.map(|s| ("derived", s)))
+        {
+            match case(seed) {
+                Ok(()) => {}
+                Err(TestCaseError::Reject) => rejects += 1,
+                Err(TestCaseError::Fail(msg)) => panic!(
+                    "proptest failure\n[{}] seed {seed} ({origin}): {msg}\n  to pin: \
+                     echo 'cc {seed}' >> proptest-regressions/{}.txt",
+                    self.name,
+                    self.stem()
+                ),
+            }
+        }
+        // Guard against vacuous properties where prop_assume! rejects
+        // nearly everything.
+        let total = corpus.len() as u32 + self.cases;
+        assert!(
+            rejects < total,
+            "[{}] all {total} cases rejected by prop_assume!",
+            self.name
+        );
+    }
+}
+
+/// Renders a caught panic payload for the failure report.
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".into())
+}
+
+/// Creates the RNG for one test case. Used by the `proptest!` macro, both
+/// for the run itself and to re-sample inputs when reporting a failure.
+pub fn new_case_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Loads the regression corpus for one test-file stem: the nearest
+/// `proptest-regressions/<stem>.txt` walking up from this crate, lines of
+/// the form `cc <u64>` (everything else is a comment). Public so test
+/// suites can assert their corpus is actually being replayed.
+pub fn corpus_seeds(stem: &str) -> Vec<u64> {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .map(|a| a.join("proptest-regressions").join(format!("{stem}.txt")))
+        .find(|p| p.is_file());
+    let Some(path) = path else { return Vec::new() };
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|l| l.trim().strip_prefix("cc "))
+        .filter_map(|s| s.trim().parse().ok())
+        .collect()
+}
+
+/// Stable 64-bit seed from test name + case index (FNV-1a over both).
+fn derive_seed(name: &str, index: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes().chain(index.to_le_bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond),
+                file!(),
+                line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} at {}:{}: {}",
+                stringify!($cond),
+                file!(),
+                line!(),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "prop_assert_eq: left = {:?}, right = {:?}",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "prop_assert_eq: left = {:?}, right = {:?}: {}",
+            l,
+            r,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "prop_assert_ne: both = {:?}", l);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )+) => {$(
+        $(#[$meta])*
+        fn $name() {
+            // `module_path!` ends with the integration-test file stem (the
+            // crate name of the test binary), which is what the regression
+            // corpus files are keyed on.
+            let full = concat!(module_path!(), "::", stringify!($name));
+            let runner = $crate::TestRunner::new(full);
+            runner.run(|seed| {
+                let mut rng = $crate::new_case_rng(seed);
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                // Catch panics (unwraps, asserts) inside the body so real
+                // regressions still get the seed + pin line instead of a
+                // bare panic that bypasses the runner's reporting.
+                let res: Result<(), $crate::TestCaseError> = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })
+                )
+                .unwrap_or_else(|payload| {
+                    Err($crate::TestCaseError::Fail(format!(
+                        "panicked: {}",
+                        $crate::panic_message(payload)
+                    )))
+                });
+                match res {
+                    Err($crate::TestCaseError::Fail(msg)) => {
+                        // Cold path: re-sample the inputs (deterministic from
+                        // the seed; the body may have consumed the originals)
+                        // to report the concrete values.
+                        let mut rng = $crate::new_case_rng(seed);
+                        $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                        let vals = format!(
+                            concat!($(stringify!($arg), " = {:?}; "),+),
+                            $(&$arg),+
+                        );
+                        Err($crate::TestCaseError::Fail(format!("{msg}\n  inputs: {vals}")))
+                    }
+                    other => other,
+                }
+            });
+        }
+    )+};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respected(x in 10u64..20, f in 0.0f64..1.0) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn assume_rejects(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        /// A body that panics (rather than prop_assert-failing) must still
+        /// produce the seed + corpus pin line.
+        #[test]
+        #[should_panic(expected = "to pin")]
+        fn panicking_body_reports_seed(x in 0u64..10) {
+            assert!(x > 100, "deliberate panic for the harness test");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest failure")]
+    fn failing_property_panics_with_seed() {
+        let runner = TestRunner::new("shim::always_fails");
+        runner.run(|_seed| Err(TestCaseError::Fail("nope".into())));
+    }
+
+    #[test]
+    fn derived_seeds_differ_between_tests() {
+        assert_ne!(
+            super::derive_seed("a::t1", 0),
+            super::derive_seed("a::t2", 0)
+        );
+        assert_ne!(
+            super::derive_seed("a::t1", 0),
+            super::derive_seed("a::t1", 1)
+        );
+    }
+}

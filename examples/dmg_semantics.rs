@@ -17,7 +17,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Random execution preserves every cycle's token sum.
     let g = fig1_dmg();
     let report = check_token_preservation(&g, 1000, 7)?;
-    println!("\n1000 random firings: cycle sums stayed {:?}", report.initial_sums);
+    println!(
+        "\n1000 random firings: cycle sums stayed {:?}",
+        report.initial_sums
+    );
 
     // An aggressive early policy exercises counterflow heavily.
     let mut m = g.initial_marking();

@@ -19,14 +19,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let th = sim.report().positive_rate(sys.output_channel);
         let compiled = compile(
             &sys.network,
-            &CompileOptions { data_width: 2, nondet_merge: false },
+            &CompileOptions {
+                data_width: 2,
+                nondet_merge: false,
+            },
         )?;
         let (opt, _) = optimize(&compiled.netlist)?;
-        println!("{:<22} Th {th:.3}   control area: {}", config.label(), AreaReport::of(&opt));
+        println!(
+            "{:<22} Th {th:.3}   control area: {}",
+            config.label(),
+            AreaReport::of(&opt)
+        );
     }
     let sys = paper_example(Config::NoEarlyEval)?;
     let bound = lazy_throughput_bound(&sys.network, &sys.env_config)?;
-    println!("\nlazy marked-graph bound: {:.3} (critical cycle {:?})", bound.bound, bound.critical);
+    println!(
+        "\nlazy marked-graph bound: {:.3} (critical cycle {:?})",
+        bound.bound, bound.critical
+    );
     println!("the active configuration beats it — that is early evaluation at work.");
     Ok(())
 }

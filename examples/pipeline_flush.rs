@@ -44,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (net, _cin, _cout) = linear_pipeline(6, 0)?;
     let snk = net.component_by_name("snk").expect("sink exists");
     let mut sim = BehavSim::new(&net)?;
-    let mut env = FlushEnv { flushes_left: 4, issued: 0 };
+    let mut env = FlushEnv {
+        flushes_left: 4,
+        issued: 0,
+    };
     sim.run(&mut env, 100)?;
     let r = sim.report();
     println!("6-stage speculative pipeline, 4 anti-token flushes at cycle 20:");
@@ -57,9 +60,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         assert!(d > prev, "order preserved, no duplication");
         prev = d;
     }
-    let killed: u64 = net.channels().map(|c| r.channel(c).kills).sum::<u64>()
-        + r.internal_annihilations;
-    println!("committed {} instructions; {} speculative ones annihilated in flight",
-        received.len(), killed);
+    let killed: u64 =
+        net.channels().map(|c| r.channel(c).kills).sum::<u64>() + r.internal_annihilations;
+    println!(
+        "committed {} instructions; {} speculative ones annihilated in flight",
+        received.len(),
+        killed
+    );
     Ok(())
 }

@@ -19,9 +19,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut cfg = EnvConfig::default();
     cfg.sources.insert(
         "producer".into(),
-        SourceCfg { rate: 0.9, data: elastic_circuits::core::sim::DataGen::Counter },
+        SourceCfg {
+            rate: 0.9,
+            data: elastic_circuits::core::sim::DataGen::Counter,
+        },
     );
-    cfg.sinks.insert("consumer".into(), SinkCfg { stop_prob: 0.3, kill_prob: 0.0 });
+    cfg.sinks.insert(
+        "consumer".into(),
+        SinkCfg {
+            stop_prob: 0.3,
+            kill_prob: 0.0,
+        },
+    );
 
     let mut sim = BehavSim::new(&net)?;
     let mut env = RandomEnv::new(42, cfg);
@@ -29,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let report = sim.report();
     println!("{report}");
-    println!("output throughput: {:.3} tokens/cycle", report.positive_rate(out));
+    println!(
+        "output throughput: {:.3} tokens/cycle",
+        report.positive_rate(out)
+    );
     println!("FIFO order preserved: {:?}", &sim.sink_received(snk)[..8]);
     Ok(())
 }

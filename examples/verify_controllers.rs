@@ -14,7 +14,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (results, states) = check_network_properties(&net, BridgeOptions::default())?;
     println!("explored {states} states of the two-buffer pipeline\n");
     for r in &results {
-        println!("[{}] {:<10} {}", if r.holds { "ok" } else { "FAIL" }, r.property, r.formula);
+        println!(
+            "[{}] {:<10} {}",
+            if r.holds { "ok" } else { "FAIL" },
+            r.property,
+            r.formula
+        );
     }
     assert!(results.iter().all(|r| r.holds));
 

@@ -1,11 +1,32 @@
 //! Cross-crate integration tests: end-to-end flows spanning the DMG model,
 //! the elastic core, the netlist compiler and the model checker.
 
-use elastic_circuits::core::sim::{
-    BehavSim, DataGen, EnvConfig, RandomEnv, SinkCfg, SourceCfg,
-};
+use elastic_circuits::core::sim::{BehavSim, DataGen, EnvConfig, RandomEnv, SinkCfg, SourceCfg};
 use elastic_circuits::core::systems::{linear_pipeline, paper_example, Config};
 use elastic_circuits::core::verify::{cosim_check, Schedule};
+
+#[test]
+fn fig8a_cosim_smoke_linear_pipeline() {
+    // Fast, fully deterministic gate-level vs behavioural equivalence check
+    // on linear_pipeline(2, 0): one fixed seed, every rail of every channel
+    // compared on every cycle. The randomized fuzz test below covers
+    // breadth; this pins the fig. 8 equivalence claim in tier-1 even if the
+    // fuzz seeds ever change.
+    let (net, _, _) = linear_pipeline(2, 0).unwrap();
+    let cfg = EnvConfig {
+        default_source: SourceCfg {
+            rate: 0.7,
+            data: DataGen::Counter,
+        },
+        default_sink: SinkCfg {
+            stop_prob: 0.3,
+            kill_prob: 0.2,
+        },
+        ..Default::default()
+    };
+    let sched = Schedule::random(&net, &cfg, 2007, 500);
+    cosim_check(&net, &sched, 2).expect("gate-level and behavioural sims must agree");
+}
 
 #[test]
 fn fig8b_data_correctness_alternating_stream() {
@@ -18,9 +39,20 @@ fn fig8b_data_correctness_alternating_stream() {
     let (net, _, _) = linear_pipeline(4, 0).unwrap();
     let snk = net.component_by_name("snk").unwrap();
     let mut cfg = EnvConfig::default();
-    cfg.sources
-        .insert("src".into(), SourceCfg { rate: 0.8, data: DataGen::Counter });
-    cfg.sinks.insert("snk".into(), SinkCfg { stop_prob: 0.3, kill_prob: 0.25 });
+    cfg.sources.insert(
+        "src".into(),
+        SourceCfg {
+            rate: 0.8,
+            data: DataGen::Counter,
+        },
+    );
+    cfg.sinks.insert(
+        "snk".into(),
+        SinkCfg {
+            stop_prob: 0.3,
+            kill_prob: 0.25,
+        },
+    );
     for seed in 0..10 {
         let mut sim = BehavSim::new(&net).unwrap();
         let mut env = RandomEnv::new(seed, cfg.clone());
@@ -47,7 +79,12 @@ fn paper_table1_ordering_end_to_end() {
     assert!(th[0] > th[2], "active {} > passiveF3 {}", th[0], th[2]);
     assert!(th[2] > th[1], "passiveF3 {} > nobuffer {}", th[2], th[1]);
     assert!(th[1] > th[3], "nobuffer {} > passiveM {}", th[1], th[3]);
-    assert!(th[3] > th[4] * 0.95, "passiveM {} ~>= lazy {}", th[3], th[4]);
+    assert!(
+        th[3] > th[4] * 0.95,
+        "passiveM {} ~>= lazy {}",
+        th[3],
+        th[4]
+    );
 }
 
 #[test]
@@ -81,7 +118,10 @@ fn gate_level_agrees_with_reference_on_random_networks() {
             net.set_passive(o1).unwrap();
         }
         let cfg = EnvConfig {
-            default_source: SourceCfg { rate: rng.gen_range(0.3..1.0), data: DataGen::Counter },
+            default_source: SourceCfg {
+                rate: rng.gen_range(0.3..1.0),
+                data: DataGen::Counter,
+            },
             default_sink: SinkCfg {
                 stop_prob: rng.gen_range(0.0..0.5),
                 kill_prob: rng.gen_range(0.0..0.4),
@@ -98,8 +138,14 @@ fn verilog_blif_smv_export_of_paper_example() {
     use elastic_circuits::core::compile::{compile, CompileOptions};
     use elastic_circuits::netlist::export::{to_blif, to_smv, to_verilog};
     let sys = paper_example(Config::ActiveAntiTokens).unwrap();
-    let compiled =
-        compile(&sys.network, &CompileOptions { data_width: 2, nondet_merge: false }).unwrap();
+    let compiled = compile(
+        &sys.network,
+        &CompileOptions {
+            data_width: 2,
+            nondet_merge: false,
+        },
+    )
+    .unwrap();
     let v = to_verilog(&compiled.netlist);
     assert!(v.contains("module") && v.contains("endmodule"));
     assert!(v.len() > 5000, "full controller netlist");

@@ -4,9 +4,22 @@ use elastic_circuits::core::protocol::is_self_language;
 use elastic_circuits::core::sim::{BehavSim, DataGen, EnvConfig, RandomEnv, SinkCfg, SourceCfg};
 use elastic_circuits::core::systems::linear_pipeline;
 use elastic_circuits::dmg::analysis::simple_cycles;
-use elastic_circuits::dmg::exec::{RandomExecutor, SchedulingPolicy};
 use elastic_circuits::dmg::examples::{fig1_dmg, pipeline_ring};
+use elastic_circuits::dmg::exec::{RandomExecutor, SchedulingPolicy};
 use proptest::prelude::*;
+
+/// The checked-in corpus (`proptest-regressions/proptests.txt`) must be
+/// found and parsed, otherwise the `cc <seed>` replay guarantee is silently
+/// lost (e.g. after a move of the file or a format change).
+#[test]
+fn regression_corpus_is_loaded() {
+    let seeds = proptest::corpus_seeds("proptests");
+    assert!(
+        seeds.len() >= 4,
+        "expected the checked-in regression corpus, got {seeds:?}"
+    );
+    assert!(seeds.contains(&2007), "bootstrap seed missing: {seeds:?}");
+}
 
 proptest! {
     /// Token preservation: any interleaving of P/N/E firings keeps every
