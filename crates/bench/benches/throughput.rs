@@ -60,6 +60,30 @@ fn bench_dmg(c: &mut Criterion) {
     });
 }
 
+/// 64 Monte-Carlo schedules through the bit-parallel backend vs one-by-one
+/// through the scalar gate-level interpreter — the per-trial speedup that
+/// makes the Fig. 5–9 sweeps cheap.
+fn bench_wide_mc(c: &mut Criterion) {
+    use elastic_bench::WideHarness;
+    use elastic_netlist::wide::LANES;
+    let sys = paper_example(Config::ActiveAntiTokens).expect("builds");
+    let harness = WideHarness::new(&sys.network, sys.output_channel);
+    let scheds = WideHarness::schedules(&sys.network, &sys.env_config, 3, 500, LANES);
+    let mut g = c.benchmark_group("mc_64_trials_500_cycles");
+    g.sample_size(10);
+    g.bench_with_input(BenchmarkId::from_parameter("wide_backend"), &(), |b, ()| {
+        b.iter(|| harness.run(&scheds).mean());
+    });
+    g.bench_with_input(
+        BenchmarkId::from_parameter("scalar_backend"),
+        &(),
+        |b, ()| {
+            b.iter(|| harness.run_scalar(&scheds).mean());
+        },
+    );
+    g.finish();
+}
+
 fn bench_gate_sim(c: &mut Criterion) {
     c.bench_function("gate_level_fig9_1k_cycles", |b| {
         use elastic_core::compile::{compile, CompileOptions};
@@ -90,6 +114,7 @@ criterion_group!(
     bench_table1,
     bench_pipeline,
     bench_dmg,
-    bench_gate_sim
+    bench_gate_sim,
+    bench_wide_mc
 );
 criterion_main!(benches);

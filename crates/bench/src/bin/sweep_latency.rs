@@ -1,14 +1,28 @@
 //! Ablation: throughput vs the slow-path latency of M1 (mean latency
 //! sweep), early vs lazy — early evaluation decouples the system from the
 //! slow unit, the lazy join tracks 1/latency.
+//!
+//! Each point averages 64 Monte-Carlo schedules evaluated in one pass by
+//! the bit-parallel `WideSimulator` backend. Pre-generated schedules model
+//! variable-latency completions as an open-loop Bernoulli stream with rate
+//! `1/mean` (see `Schedule::random`), so the configured value is the *mean*
+//! completion time (geometric latency), not an exact per-token latency —
+//! the decoupling-vs-1/latency contrast is unchanged.
 
-use elastic_core::sim::{BehavSim, LatencyDist, RandomEnv};
+use elastic_bench::WideHarness;
+use elastic_core::sim::LatencyDist;
 use elastic_core::systems::{paper_example, Config};
+use elastic_netlist::wide::LANES;
+
+const CYCLES: usize = 2000;
 
 fn main() {
-    println!("{:>9} {:>9} {:>9}", "M1 mean", "early", "lazy");
+    println!(
+        "{:>9} {:>9} {:>8} {:>9} {:>8}   ({} trials x {CYCLES} cycles per point)",
+        "M1 mean*", "early", "+/-sd", "lazy", "+/-sd", LANES
+    );
     for lat in [1u32, 2, 4, 8, 16] {
-        let mut th = [0.0f64; 2];
+        let mut cells = [(0.0f64, 0.0f64); 2];
         for (k, config) in [Config::ActiveAntiTokens, Config::NoEarlyEval]
             .iter()
             .enumerate()
@@ -16,11 +30,16 @@ fn main() {
             let sys = paper_example(*config).expect("builds");
             let mut env_cfg = sys.env_config.clone();
             env_cfg.vls.insert("M1".into(), LatencyDist::fixed(lat));
-            let mut sim = BehavSim::new(&sys.network).expect("valid");
-            let mut env = RandomEnv::new(17, env_cfg);
-            sim.run(&mut env, 5000).expect("runs");
-            th[k] = sim.report().positive_rate(sys.output_channel);
+            let harness = WideHarness::new(&sys.network, sys.output_channel);
+            let scheds = WideHarness::schedules(&sys.network, &env_cfg, 17, CYCLES, LANES);
+            let stats = harness.run(&scheds);
+            cells[k] = (stats.mean(), stats.stddev());
         }
-        println!("{lat:>9} {:>9.3} {:>9.3}", th[0], th[1]);
+        println!(
+            "{lat:>9} {:>9.3} {:>8.3} {:>9.3} {:>8.3}",
+            cells[0].0, cells[0].1, cells[1].0, cells[1].1
+        );
     }
+    println!("\n* mean of the geometric completion stream (Bernoulli at 1/mean);");
+    println!("  schedules are open-loop, so exact fixed latencies are not expressible.");
 }

@@ -1,12 +1,26 @@
 //! Shared harness code for the table/figure regeneration binaries and the
 //! Criterion benches.
+//!
+//! The Monte-Carlo machinery lives here: [`WideHarness`] compiles an
+//! elastic network once and then evaluates up to 64 independent random
+//! schedules per run through the bit-parallel
+//! [`elastic_netlist::wide::WideSimulator`] backend, with a scalar
+//! reference path ([`WideHarness::run_scalar`]) for equivalence checks and
+//! speedup measurements.
+
+use std::time::Instant;
 
 use elastic_core::channel::ChanId;
-use elastic_core::sim::{BehavSim, RandomEnv};
+use elastic_core::compile::{compile, CompileOptions, Compiled};
+use elastic_core::network::ElasticNetwork;
+use elastic_core::sim::{BehavSim, EnvConfig, RandomEnv};
 use elastic_core::stats::SimReport;
 use elastic_core::systems::{paper_example, Config, PaperSystem};
+use elastic_core::verify::{NetlistTestbench, Schedule};
 use elastic_netlist::area::AreaReport;
 use elastic_netlist::opt::optimize;
+use elastic_netlist::sim::Simulator;
+use elastic_netlist::wide::{WideSimulator, LANES};
 
 /// One row of the regenerated Table 1.
 #[derive(Debug, Clone)]
@@ -122,6 +136,201 @@ pub fn format_table1(rows: &[Table1Row]) -> String {
     s
 }
 
+/// Per-lane positive-transfer statistics of one Monte-Carlo run.
+#[derive(Debug, Clone)]
+pub struct McStats {
+    /// Simulated cycles per trial.
+    pub cycles: u64,
+    /// Positive-transfer rate of the observed channel per trial.
+    pub per_lane: Vec<f64>,
+}
+
+impl McStats {
+    /// Mean throughput across trials.
+    pub fn mean(&self) -> f64 {
+        self.per_lane.iter().sum::<f64>() / self.per_lane.len() as f64
+    }
+
+    /// Sample standard deviation across trials (0 for a single trial).
+    pub fn stddev(&self) -> f64 {
+        if self.per_lane.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var = self
+            .per_lane
+            .iter()
+            .map(|&x| (x - m) * (x - m))
+            .sum::<f64>()
+            / (self.per_lane.len() - 1) as f64;
+        var.sqrt()
+    }
+}
+
+/// A compiled network plus the testbench handles needed to replay
+/// [`Schedule`]s against it — compile once, run many schedule batches.
+///
+/// # Panics
+///
+/// Construction and runs panic on library errors (compilation failures,
+/// missing rails): the bench binaries want loud failures, like the rest of
+/// this crate.
+pub struct WideHarness {
+    compiled: Compiled,
+    tb: NetlistTestbench,
+    out: ChanId,
+    /// Power-up-state simulators built once at construction; runs clone
+    /// them instead of re-levelizing / re-checking the netlist per call.
+    wide_proto: WideSimulator,
+    scalar_proto: Simulator,
+}
+
+/// Payload width used by the Monte-Carlo harness (matches the 2-bit opcode
+/// space of the paper's example).
+pub const MC_DATA_WIDTH: usize = 2;
+
+impl WideHarness {
+    /// Compiles `net` and resolves the testbench handles. `out` is the
+    /// channel whose positive-transfer rate is reported as throughput.
+    pub fn new(net: &ElasticNetwork, out: ChanId) -> WideHarness {
+        let compiled = compile(
+            net,
+            &CompileOptions {
+                data_width: MC_DATA_WIDTH,
+                nondet_merge: false,
+            },
+        )
+        .expect("compiles");
+        let tb = NetlistTestbench::new(net, &compiled.netlist, MC_DATA_WIDTH).expect("testbench");
+        let wide_proto = WideSimulator::new(&compiled.netlist).expect("valid");
+        let scalar_proto = Simulator::new(&compiled.netlist).expect("valid");
+        WideHarness {
+            compiled,
+            tb,
+            out,
+            wide_proto,
+            scalar_proto,
+        }
+    }
+
+    /// Shared horizon of a schedule batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the batch is empty or mixes horizons — per-lane rates
+    /// would silently be wrong for the shorter schedules otherwise.
+    fn horizon(schedules: &[Schedule]) -> u64 {
+        let cycles = schedules.first().expect("at least one schedule").cycles();
+        assert!(
+            schedules.iter().all(|s| s.cycles() == cycles),
+            "schedules must share one horizon"
+        );
+        cycles as u64
+    }
+
+    /// Generates `lanes` independent random schedules with seeds
+    /// `seed..seed + lanes`.
+    pub fn schedules(
+        net: &ElasticNetwork,
+        env: &EnvConfig,
+        seed: u64,
+        cycles: usize,
+        lanes: usize,
+    ) -> Vec<Schedule> {
+        assert!((1..=LANES).contains(&lanes), "1..={LANES} lanes");
+        (0..lanes as u64)
+            .map(|k| Schedule::random(net, env, seed + k, cycles))
+            .collect()
+    }
+
+    /// Runs all schedules at once through the bit-parallel backend: one
+    /// compiled-tape pass per cycle advances every trial.
+    pub fn run(&self, schedules: &[Schedule]) -> McStats {
+        let cycles = Self::horizon(schedules);
+        let mut sim = self.wide_proto.clone();
+        let nets = &self.compiled.channels[self.out.index()];
+        let mut counts = vec![0u64; schedules.len()];
+        for t in 0..cycles {
+            sim.cycle(&self.tb.wide_inputs_at(schedules, t))
+                .expect("runs");
+            // Positive transfer: V+ & !S+ & !V- (kills excluded), all lanes
+            // at once.
+            let mask = sim.value(nets.vp) & !sim.value(nets.sp) & !sim.value(nets.vn);
+            for (lane, c) in counts.iter_mut().enumerate() {
+                *c += mask >> lane & 1;
+            }
+        }
+        McStats {
+            cycles,
+            per_lane: counts.iter().map(|&c| c as f64 / cycles as f64).collect(),
+        }
+    }
+
+    /// Reference path: the same schedules, one scalar gate-level
+    /// [`Simulator`] run per trial. Produces identical statistics to
+    /// [`WideHarness::run`] (asserted in tests); exists to measure the
+    /// per-trial speedup of the wide backend.
+    pub fn run_scalar(&self, schedules: &[Schedule]) -> McStats {
+        let cycles = Self::horizon(schedules);
+        let nets = &self.compiled.channels[self.out.index()];
+        let per_lane = schedules
+            .iter()
+            .map(|sched| {
+                let mut sim = self.scalar_proto.clone();
+                let mut count = 0u64;
+                for t in 0..cycles {
+                    sim.cycle(&self.tb.inputs_at(sched, t)).expect("runs");
+                    if sim.value(nets.vp) && !sim.value(nets.sp) && !sim.value(nets.vn) {
+                        count += 1;
+                    }
+                }
+                count as f64 / cycles as f64
+            })
+            .collect();
+        McStats { cycles, per_lane }
+    }
+}
+
+/// Outcome of a wide-vs-scalar speedup measurement.
+#[derive(Debug, Clone)]
+pub struct SpeedupReport {
+    /// Trials (lanes) measured.
+    pub lanes: usize,
+    /// Cycles per trial.
+    pub cycles: u64,
+    /// Wall-clock seconds for the wide pass (all trials at once).
+    pub wide_secs: f64,
+    /// Wall-clock seconds for the scalar pass (one run per trial).
+    pub scalar_secs: f64,
+    /// Whether both paths produced identical per-lane rates.
+    pub rates_match: bool,
+}
+
+impl SpeedupReport {
+    /// Per-trial speedup of the wide backend over the scalar path.
+    pub fn speedup(&self) -> f64 {
+        self.scalar_secs / self.wide_secs
+    }
+}
+
+/// Times the wide backend against the scalar path on the same schedule set
+/// and cross-checks their statistics.
+pub fn measure_speedup(harness: &WideHarness, schedules: &[Schedule]) -> SpeedupReport {
+    let t0 = Instant::now();
+    let wide = harness.run(schedules);
+    let wide_secs = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let scalar = harness.run_scalar(schedules);
+    let scalar_secs = t1.elapsed().as_secs_f64();
+    SpeedupReport {
+        lanes: schedules.len(),
+        cycles: wide.cycles,
+        wide_secs,
+        scalar_secs,
+        rates_match: wide.per_lane == scalar.per_lane,
+    }
+}
+
 /// Convenience: positive/negative/kill rates of a channel from a report.
 pub fn rates(report: &SimReport, chan: ChanId) -> (f64, f64, f64) {
     (
@@ -173,5 +382,51 @@ mod tests {
         for r in &rows {
             assert!(text.contains(&r.label));
         }
+    }
+
+    #[test]
+    fn wide_and_scalar_mc_agree_exactly() {
+        let sys = paper_example(Config::ActiveAntiTokens).unwrap();
+        let h = WideHarness::new(&sys.network, sys.output_channel);
+        let scheds = WideHarness::schedules(&sys.network, &sys.env_config, 5, 400, 6);
+        let wide = h.run(&scheds);
+        let scalar = h.run_scalar(&scheds);
+        assert_eq!(wide.per_lane, scalar.per_lane);
+        assert!(wide.mean() > 0.1 && wide.mean() < 1.0, "{}", wide.mean());
+    }
+
+    #[test]
+    fn mc_stats_mean_and_stddev() {
+        let s = McStats {
+            cycles: 10,
+            per_lane: vec![0.2, 0.4],
+        };
+        assert!((s.mean() - 0.3).abs() < 1e-12);
+        assert!((s.stddev() - (0.02f64).sqrt()).abs() < 1e-12);
+        let one = McStats {
+            cycles: 10,
+            per_lane: vec![0.5],
+        };
+        assert_eq!(one.stddev(), 0.0);
+    }
+
+    #[test]
+    fn wide_mc_reproduces_table1_ordering() {
+        // The wide Monte-Carlo backend must reproduce the Table 1 shape:
+        // active anti-tokens beat the lazy join clearly, averaged over many
+        // independent schedules.
+        let mut means = Vec::new();
+        for config in [Config::ActiveAntiTokens, Config::NoEarlyEval] {
+            let sys = paper_example(config).unwrap();
+            let h = WideHarness::new(&sys.network, sys.output_channel);
+            let scheds = WideHarness::schedules(&sys.network, &sys.env_config, 11, 1500, 32);
+            means.push(h.run(&scheds).mean());
+        }
+        assert!(
+            means[0] > means[1] * 1.1,
+            "active {} should beat lazy {}",
+            means[0],
+            means[1]
+        );
     }
 }

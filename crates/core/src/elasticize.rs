@@ -85,7 +85,8 @@ impl SyncDatapath {
         self.node(name, SyncNode::Output)
     }
 
-    /// Adds a register.
+    /// Adds a register — elasticized into an EB controller driving the
+    /// latch-pair with independent enables (paper Sect. 6, step 1).
     pub fn register(&mut self, name: impl Into<String>, init_valid: bool) -> SyncId {
         self.node(name, SyncNode::Register { init_valid })
     }
@@ -119,7 +120,8 @@ impl SyncDatapath {
         )
     }
 
-    /// Adds a variable-latency multi-cycle block (single input).
+    /// Adds a variable-latency multi-cycle block (single input) —
+    /// elasticized into a go/done/ack controller (paper Sect. 4.4).
     pub fn var_latency_block(&mut self, name: impl Into<String>) -> SyncId {
         self.node(
             name,

@@ -14,7 +14,10 @@ use rand::{Rng, SeedableRng};
 use crate::network::CompId;
 
 /// Decides the per-cycle behaviour of sources, sinks and variable-latency
-/// units during behavioural simulation.
+/// units during behavioural simulation — the programmable face of the
+/// paper's randomized testbench (Sect. 6.1). Implemented by [`RandomEnv`]
+/// (fresh draws every cycle) and by `crate::verify::Schedule` (pre-recorded
+/// streams replayable against the gate-level back-ends).
 ///
 /// Components are identified both by id and by display name so
 /// configurations can be written against stable names.
@@ -51,7 +54,44 @@ pub enum DataGen {
     Weighted(Vec<(u64, f64)>),
 }
 
-/// Per-source configuration.
+impl DataGen {
+    /// Draws the next payload. `seq` is the per-source sequence counter the
+    /// stateful generators ([`DataGen::Counter`], [`DataGen::Alternate`])
+    /// advance; stateless generators leave it untouched. Shared between
+    /// [`RandomEnv`] and the pre-generated schedules of
+    /// [`crate::verify::Schedule`], so both testbenches sample the same
+    /// distributions (paper Sect. 6.1).
+    pub fn sample(&self, rng: &mut StdRng, seq: &mut u64) -> u64 {
+        match self {
+            DataGen::Const(v) => *v,
+            DataGen::Counter => {
+                let v = *seq;
+                *seq += 1;
+                v
+            }
+            DataGen::Alternate => {
+                let v = *seq % 2;
+                *seq += 1;
+                v
+            }
+            DataGen::Weighted(choices) => {
+                let total: f64 = choices.iter().map(|&(_, w)| w).sum();
+                let mut x = rng.gen_range(0.0..total);
+                for &(v, w) in choices {
+                    if x < w {
+                        return v;
+                    }
+                    x -= w;
+                }
+                choices.last().map(|&(v, _)| v).unwrap_or(0)
+            }
+        }
+    }
+}
+
+/// Per-source configuration: how often the environment offers a token and
+/// which payload it carries (the paper's "probability distributions defined
+/// by the user", Sect. 6.1).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SourceCfg {
     /// Probability of offering a token on an idle cycle.
@@ -69,7 +109,9 @@ impl Default for SourceCfg {
     }
 }
 
-/// Per-sink configuration.
+/// Per-sink configuration: back-pressure and anti-token launch rates. A
+/// non-zero `kill_prob` makes the consumer emit the negative tokens of
+/// Sect. 2 that travel upstream and annihilate work in flight.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SinkCfg {
     /// Probability of stopping on any cycle.
@@ -88,7 +130,9 @@ impl Default for SinkCfg {
     }
 }
 
-/// A weighted latency distribution for variable-latency units.
+/// A weighted latency distribution for variable-latency units — e.g. the
+/// paper's cached multiplier `M1` taking 2 cycles with probability 0.8 and
+/// 10 with probability 0.2 (Sect. 6.1).
 #[derive(Debug, Clone, PartialEq)]
 pub struct LatencyDist {
     /// `(latency, weight)` pairs; weights need not sum to 1.
@@ -175,32 +219,7 @@ impl RandomEnv {
     }
 
     fn gen_data(&mut self, comp: CompId, gen: &DataGen) -> u64 {
-        match gen {
-            DataGen::Const(v) => *v,
-            DataGen::Counter => {
-                let c = self.counters.entry(comp).or_insert(0);
-                let v = *c;
-                *c += 1;
-                v
-            }
-            DataGen::Alternate => {
-                let c = self.counters.entry(comp).or_insert(0);
-                let v = *c % 2;
-                *c += 1;
-                v
-            }
-            DataGen::Weighted(choices) => {
-                let total: f64 = choices.iter().map(|&(_, w)| w).sum();
-                let mut x = self.rng.gen_range(0.0..total);
-                for &(v, w) in choices {
-                    if x < w {
-                        return v;
-                    }
-                    x -= w;
-                }
-                choices.last().map(|&(v, _)| v).unwrap_or(0)
-            }
-        }
+        gen.sample(&mut self.rng, self.counters.entry(comp).or_insert(0))
     }
 }
 

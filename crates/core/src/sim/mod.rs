@@ -65,7 +65,16 @@ enum VlPhase {
     Done,
 }
 
-/// Cycle-accurate behavioural simulator.
+/// Cycle-accurate behavioural simulator — the executable semantics of the
+/// paper's controller library (Sect. 4): elastic buffers, lazy joins,
+/// eager forks, early-evaluation joins with anti-token generation
+/// (Sect. 4.2–4.3), passive interfaces (Fig. 7a) and variable-latency
+/// go/done/ack units (Sect. 4.4).
+///
+/// For statistical experiments over many random schedules prefer the
+/// compiled bit-parallel backend (`elastic_netlist::wide::WideSimulator`
+/// driven through `crate::verify::NetlistTestbench`), which this simulator
+/// cross-validates (see `crate::verify::cosim_check_wide`).
 ///
 /// # Example
 ///
@@ -166,7 +175,9 @@ impl BehavSim {
         self.time
     }
 
-    /// The settled signals of the last completed cycle.
+    /// The settled signals of the last completed cycle: the four SELF rails
+    /// `(V⁺, S⁺, V⁻, S⁻)` of the dual channel (paper Sect. 3, Fig. 5) plus
+    /// the forward payload.
     ///
     /// # Panics
     ///
@@ -175,7 +186,10 @@ impl BehavSim {
         self.sig[chan.index()]
     }
 
-    /// Data values accepted so far by a sink, in arrival order.
+    /// Data values accepted so far by a sink, in arrival order — the
+    /// observation stream of the paper's Fig. 8(b) data-correctness
+    /// testbench (consumers must see the produced sequence with deletions
+    /// only, never reordering or duplication).
     ///
     /// Returns an empty slice for non-sink components.
     pub fn sink_received(&self, comp: CompId) -> &[u64] {
@@ -185,7 +199,9 @@ impl BehavSim {
         }
     }
 
-    /// Statistics accumulated so far.
+    /// Statistics accumulated so far: per-channel positive/negative
+    /// transfer, retry and kill counts — the raw material of the paper's
+    /// Table 1 columns and the throughput plots of Sect. 6.1.
     pub fn report(&self) -> SimReport {
         SimReport {
             channels: self.stats.clone(),

@@ -18,6 +18,7 @@ use std::collections::HashMap;
 
 use elastic_mc::{check_fair, netlist_kripke, parse, BridgeOptions, Kripke, NetlistKripke};
 use elastic_netlist::sim::Simulator;
+use elastic_netlist::wide::{WideSimulator, LANES};
 use elastic_netlist::NetId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -41,9 +42,12 @@ pub struct Schedule {
 
 impl Schedule {
     /// Generates a random schedule for `net` using the probabilities in
-    /// `cfg`. Variable-latency completion streams are Bernoulli with rate
-    /// `1/mean(latency)` — any stream is a legal delay behaviour, and both
-    /// back-ends interpret the *same* stream, so equivalence is exact.
+    /// `cfg`. Source payloads are drawn from the configured
+    /// [`crate::sim::DataGen`] (e.g. the paper's 0.6/0.3/0.1 opcode
+    /// distribution, Sect. 6.1). Variable-latency completion streams are
+    /// Bernoulli with rate `1/mean(latency)` — any stream is a legal delay
+    /// behaviour, and both back-ends interpret the *same* stream, so
+    /// equivalence is exact.
     pub fn random(net: &ElasticNetwork, cfg: &EnvConfig, seed: u64, cycles: usize) -> Schedule {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut s = Schedule {
@@ -62,11 +66,11 @@ impl Schedule {
                         .get(&name)
                         .unwrap_or(&cfg.default_source)
                         .clone();
-                    let data_bits = 2u64;
+                    let mut seq = 0u64;
                     let stream = (0..cycles)
                         .map(|_| {
                             if c.rate >= 1.0 || rng.gen_bool(c.rate.clamp(0.0, 1.0)) {
-                                Some(rng.gen_range(0..1 << data_bits))
+                                Some(c.data.sample(&mut rng, &mut seq))
                             } else {
                                 None
                             }
@@ -105,10 +109,38 @@ impl Schedule {
         s
     }
 
-    fn offer(&self, name: &str, t: u64) -> Option<u64> {
+    /// Horizon of the schedule in cycles.
+    pub fn cycles(&self) -> usize {
+        self.cycles
+    }
+
+    /// The payload the named source offers at cycle `t`, if any. These
+    /// per-cycle accessors let testbenches drive a compiled netlist's
+    /// primary inputs from the same stream the behavioural simulator
+    /// replays through [`Environment`].
+    pub fn offer_at(&self, name: &str, t: u64) -> Option<u64> {
         self.offers
             .get(name)
             .and_then(|v| v.get(t as usize).copied().flatten())
+    }
+
+    /// Whether the named sink back-pressures (stop) at cycle `t`.
+    pub fn stop_at(&self, name: &str, t: u64) -> bool {
+        Schedule::bit(&self.stops, name, t)
+    }
+
+    /// Whether the named sink launches an anti-token (kill) at cycle `t`.
+    pub fn kill_at(&self, name: &str, t: u64) -> bool {
+        Schedule::bit(&self.kills, name, t)
+    }
+
+    /// Whether the named variable-latency unit raises `finish` at cycle `t`.
+    pub fn finish_at(&self, name: &str, t: u64) -> bool {
+        Schedule::bit(&self.finishes, name, t)
+    }
+
+    fn offer(&self, name: &str, t: u64) -> Option<u64> {
+        self.offer_at(name, t)
     }
 
     fn bit(map: &HashMap<String, Vec<bool>>, name: &str, t: u64) -> bool {
@@ -147,6 +179,134 @@ impl Environment for Schedule {
     }
 }
 
+/// Handles to the environment-facing primary inputs of a compiled network:
+/// one `offer`/`din*` group per source, `stop`/`kill` per sink and `finish`
+/// per variable-latency unit — the nondeterministic closure of Sect. 5,
+/// resolved against the rail-naming convention of [`crate::compile`].
+///
+/// A testbench translates a [`Schedule`] into per-cycle primary-input
+/// assignments, either for one scalar simulator run ([`Self::inputs_at`])
+/// or for up to 64 schedules at once packed into the lanes of a
+/// [`WideSimulator`] ([`Self::wide_inputs_at`]).
+#[derive(Debug, Clone)]
+pub struct NetlistTestbench {
+    srcs: Vec<(String, NetId, Vec<NetId>)>,
+    sinks: Vec<(String, NetId, NetId)>,
+    vls: Vec<(String, NetId)>,
+}
+
+impl NetlistTestbench {
+    /// Resolves the input handles of `compiled` (a compilation of `net`
+    /// with `data_width` payload bits).
+    ///
+    /// # Errors
+    ///
+    /// [`elastic_netlist::NetlistError::UnknownName`] (via
+    /// [`CoreError::Netlist`] conversion) when the compiled netlist does not
+    /// follow the expected naming, e.g. because `data_width` differs from
+    /// the compilation options.
+    pub fn new(
+        net: &ElasticNetwork,
+        nl: &elastic_netlist::Netlist,
+        data_width: usize,
+    ) -> Result<Self, CoreError> {
+        let mut srcs: Vec<(String, NetId, Vec<NetId>)> = Vec::new();
+        let mut sinks: Vec<(String, NetId, NetId)> = Vec::new();
+        let mut vls: Vec<(String, NetId)> = Vec::new();
+        for comp in net.components() {
+            let raw = net.component(comp).name.clone();
+            let name = sanitize(&raw);
+            match &net.component(comp).kind {
+                ComponentKind::Source => {
+                    let offer = nl.find(&format!("{name}.offer"))?;
+                    let dins = (0..data_width)
+                        .map(|i| nl.find(&format!("{name}.din{i}")))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    srcs.push((raw, offer, dins));
+                }
+                ComponentKind::Sink => {
+                    let stop = nl.find(&format!("{name}.stop"))?;
+                    let kill = nl.find(&format!("{name}.kill"))?;
+                    sinks.push((raw, stop, kill));
+                }
+                ComponentKind::VarLatency => {
+                    let fin = nl.find(&format!("{name}.finish"))?;
+                    vls.push((raw, fin));
+                }
+                _ => {}
+            }
+        }
+        Ok(NetlistTestbench { srcs, sinks, vls })
+    }
+
+    /// Primary-input assignments for cycle `t` of one schedule.
+    pub fn inputs_at(&self, schedule: &Schedule, t: u64) -> Vec<(NetId, bool)> {
+        let mut inputs: Vec<(NetId, bool)> = Vec::new();
+        for (name, offer, dins) in &self.srcs {
+            let o = schedule.offer_at(name, t);
+            inputs.push((*offer, o.is_some()));
+            for (i, &din) in dins.iter().enumerate() {
+                inputs.push((din, o.is_some_and(|d| d >> i & 1 == 1)));
+            }
+        }
+        for (name, stop, kill) in &self.sinks {
+            inputs.push((*stop, schedule.stop_at(name, t)));
+            inputs.push((*kill, schedule.kill_at(name, t)));
+        }
+        for (name, fin) in &self.vls {
+            inputs.push((*fin, schedule.finish_at(name, t)));
+        }
+        inputs
+    }
+
+    /// Lane-packed primary-input assignments for cycle `t`: bit `k` of each
+    /// mask drives lane `k` from `schedules[k]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`LANES`] schedules are supplied.
+    pub fn wide_inputs_at(&self, schedules: &[Schedule], t: u64) -> Vec<(NetId, u64)> {
+        assert!(
+            schedules.len() <= LANES,
+            "at most {LANES} schedules per wide run"
+        );
+        let pack = |f: &dyn Fn(&Schedule) -> bool| -> u64 {
+            schedules
+                .iter()
+                .enumerate()
+                .fold(0u64, |m, (k, s)| m | u64::from(f(s)) << k)
+        };
+        let mut inputs: Vec<(NetId, u64)> = Vec::new();
+        for (name, offer, dins) in &self.srcs {
+            // One schedule lookup per lane; the offer and payload-bit masks
+            // all derive from it (this runs every cycle of the Monte-Carlo
+            // hot path).
+            let mut offer_mask = 0u64;
+            let mut din_masks = vec![0u64; dins.len()];
+            for (k, s) in schedules.iter().enumerate() {
+                if let Some(d) = s.offer_at(name, t) {
+                    offer_mask |= 1 << k;
+                    for (i, m) in din_masks.iter_mut().enumerate() {
+                        *m |= (d >> i & 1) << k;
+                    }
+                }
+            }
+            inputs.push((*offer, offer_mask));
+            for (&din, &m) in dins.iter().zip(&din_masks) {
+                inputs.push((din, m));
+            }
+        }
+        for (name, stop, kill) in &self.sinks {
+            inputs.push((*stop, pack(&|s| s.stop_at(name, t))));
+            inputs.push((*kill, pack(&|s| s.kill_at(name, t))));
+        }
+        for (name, fin) in &self.vls {
+            inputs.push((*fin, pack(&|s| s.finish_at(name, t))));
+        }
+        inputs
+    }
+}
+
 /// Runs the behavioural simulator and the compiled netlist side by side
 /// under the same [`Schedule`] and compares all four rails of every channel
 /// on every cycle.
@@ -155,7 +315,6 @@ impl Environment for Schedule {
 ///
 /// Returns the first divergence as [`CoreError::ProtocolViolation`], or
 /// propagates simulation/compilation errors.
-#[allow(clippy::too_many_lines)]
 pub fn cosim_check(
     net: &ElasticNetwork,
     schedule: &Schedule,
@@ -172,53 +331,10 @@ pub fn cosim_check(
     )?;
     let nl = &compiled.netlist;
     let mut gates = Simulator::new(nl)?;
-
-    // Primary-input handles.
-    let mut src_inputs: Vec<(String, NetId, Vec<NetId>)> = Vec::new();
-    let mut sink_inputs: Vec<(String, NetId, NetId)> = Vec::new();
-    let mut vl_inputs: Vec<(String, NetId)> = Vec::new();
-    for comp in net.components() {
-        let raw = net.component(comp).name.clone();
-        let name = sanitize(&raw);
-        match &net.component(comp).kind {
-            ComponentKind::Source => {
-                let offer = nl.find(&format!("{name}.offer"))?;
-                let dins = (0..data_width)
-                    .map(|i| nl.find(&format!("{name}.din{i}")))
-                    .collect::<Result<Vec<_>, _>>()?;
-                src_inputs.push((raw, offer, dins));
-            }
-            ComponentKind::Sink => {
-                let stop = nl.find(&format!("{name}.stop"))?;
-                let kill = nl.find(&format!("{name}.kill"))?;
-                sink_inputs.push((raw, stop, kill));
-            }
-            ComponentKind::VarLatency => {
-                let fin = nl.find(&format!("{name}.finish"))?;
-                vl_inputs.push((raw, fin));
-            }
-            _ => {}
-        }
-    }
+    let tb = NetlistTestbench::new(net, nl, data_width)?;
 
     for t in 0..schedule.cycles as u64 {
-        // Drive the netlist inputs from the schedule.
-        let mut inputs: Vec<(NetId, bool)> = Vec::new();
-        for (name, offer, dins) in &src_inputs {
-            let o = schedule.offer(name, t);
-            inputs.push((*offer, o.is_some()));
-            for (i, &din) in dins.iter().enumerate() {
-                inputs.push((din, o.is_some_and(|d| d >> i & 1 == 1)));
-            }
-        }
-        for (name, stop, kill) in &sink_inputs {
-            inputs.push((*stop, Schedule::bit(&schedule.stops, name, t)));
-            inputs.push((*kill, Schedule::bit(&schedule.kills, name, t)));
-        }
-        for (name, fin) in &vl_inputs {
-            inputs.push((*fin, Schedule::bit(&schedule.finishes, name, t)));
-        }
-        gates.cycle(&inputs)?;
+        gates.cycle(&tb.inputs_at(schedule, t))?;
         behav.step(&mut sched_env)?;
 
         // Compare every rail.
@@ -257,6 +373,121 @@ pub fn cosim_check(
                                 net.channel(chan).name
                             ),
                         });
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Three-way co-simulation of the bit-parallel backend: runs up to 64
+/// [`Schedule`]s at once through a [`WideSimulator`], the behavioural
+/// simulator once per lane, and the scalar gate-level [`Simulator`] on
+/// lane 0, comparing all four rails (and payload bits on valid cycles) of
+/// every channel, every cycle, in every lane.
+///
+/// This is the compiled-backend extension of the paper's Fig. 8
+/// verification story: the wide backend must be indistinguishable from the
+/// reference interpreters before its Monte-Carlo statistics (Table 1,
+/// Figs. 5–7, 9) can be trusted.
+///
+/// # Errors
+///
+/// Returns the first divergence as [`CoreError::ProtocolViolation`] naming
+/// the cycle, channel and lane, or propagates simulation/compilation
+/// errors.
+///
+/// # Panics
+///
+/// Panics if `schedules` is empty, holds more than 64 entries, or mixes
+/// horizons.
+#[allow(clippy::too_many_lines)]
+pub fn cosim_check_wide(
+    net: &ElasticNetwork,
+    schedules: &[Schedule],
+    data_width: usize,
+) -> Result<(), CoreError> {
+    assert!(
+        !schedules.is_empty() && schedules.len() <= LANES,
+        "1..={LANES} schedules required"
+    );
+    assert!(
+        schedules.iter().all(|s| s.cycles == schedules[0].cycles),
+        "schedules must share one horizon"
+    );
+    let compiled = compile(
+        net,
+        &CompileOptions {
+            data_width,
+            nondet_merge: false,
+        },
+    )?;
+    let nl = &compiled.netlist;
+    let tb = NetlistTestbench::new(net, nl, data_width)?;
+    let mut wide = WideSimulator::new(nl)?;
+    let mut scalar = Simulator::new(nl)?;
+    let mut behavs: Vec<(BehavSim, Schedule)> = schedules
+        .iter()
+        .map(|s| Ok((BehavSim::new(net)?, s.clone())))
+        .collect::<Result<_, CoreError>>()?;
+
+    let diverged = |t: u64, chan, lane: usize, what: &str| CoreError::ProtocolViolation {
+        channel: chan,
+        message: format!(
+            "wide co-simulation divergence at cycle {t} on {} lane {lane}: {what}",
+            net.channel(chan).name
+        ),
+    };
+
+    for t in 0..schedules[0].cycles as u64 {
+        wide.cycle(&tb.wide_inputs_at(schedules, t))?;
+        scalar.cycle(&tb.inputs_at(&schedules[0], t))?;
+        for (behav, sched) in &mut behavs {
+            behav.step(sched)?;
+        }
+        for chan in net.channels() {
+            let nets = &compiled.channels[chan.index()];
+            // Lane 0 must bit-match the scalar gate-level interpreter on
+            // every rail net.
+            for (rail, id) in [
+                ("vp", nets.vp),
+                ("sp", nets.sp),
+                ("vn", nets.vn),
+                ("sn", nets.sn),
+            ] {
+                if wide.value_lane(id, 0) != scalar.value(id) {
+                    return Err(diverged(t, chan, 0, &format!("{rail} != scalar gates")));
+                }
+            }
+            // Every lane must match its behavioural run.
+            for (lane, (behav, _)) in behavs.iter().enumerate() {
+                let b = behav.signals(chan);
+                let g = (
+                    wide.value_lane(nets.vp, lane),
+                    wide.value_lane(nets.sp, lane),
+                    wide.value_lane(nets.vn, lane),
+                    wide.value_lane(nets.sn, lane),
+                );
+                if (b.vp, b.sp, b.vn, b.sn) != g {
+                    return Err(diverged(
+                        t,
+                        chan,
+                        lane,
+                        &format!(
+                            "behavioural {b}, wide V+={} S+={} V-={} S-={}",
+                            u8::from(g.0),
+                            u8::from(g.1),
+                            u8::from(g.2),
+                            u8::from(g.3)
+                        ),
+                    ));
+                }
+                if b.vp {
+                    for (i, &dn) in nets.data.iter().enumerate() {
+                        if wide.value_lane(dn, lane) != (b.data >> i & 1 == 1) {
+                            return Err(diverged(t, chan, lane, &format!("data bit {i}")));
+                        }
                     }
                 }
             }
@@ -387,7 +618,14 @@ mod tests {
         EnvConfig {
             default_source: SourceCfg {
                 rate: 0.7,
-                data: crate::sim::DataGen::Const(0),
+                // Uniform over the 2-bit payload space so the data rails are
+                // exercised (schedules honor the configured DataGen).
+                data: crate::sim::DataGen::Weighted(vec![
+                    (0, 0.25),
+                    (1, 0.25),
+                    (2, 0.25),
+                    (3, 0.25),
+                ]),
             },
             default_sink: SinkCfg {
                 stop_prob: 0.3,
@@ -473,6 +711,46 @@ mod tests {
             let sys = paper_example(config).unwrap();
             let sched = Schedule::random(&sys.network, &sys.env_config, 5, 400);
             cosim_check(&sys.network, &sched, 2).unwrap_or_else(|e| panic!("{config:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn wide_cosim_fig6_controllers() {
+        // The Fig. 6 / Fig. 8(a) model-checked controllers: short pipelines
+        // with and without initial tokens. 16 lanes of independent
+        // schedules; lane 0 is additionally checked against the scalar
+        // gate-level interpreter inside cosim_check_wide.
+        for (stages, tokens) in [(1usize, 0usize), (2, 1)] {
+            let (net, _, _) = linear_pipeline(stages, tokens).unwrap();
+            let scheds: Vec<Schedule> = (0..16)
+                .map(|k| Schedule::random(&net, &stress_cfg(), 100 + k, 400))
+                .collect();
+            cosim_check_wide(&net, &scheds, 1).unwrap_or_else(|e| panic!("{stages} stages: {e}"));
+        }
+    }
+
+    #[test]
+    fn wide_cosim_fig8_pipeline_full_64_lanes() {
+        // The Fig. 8(b) data-correctness pipeline under a killing
+        // environment, with every one of the 64 lanes holding a distinct
+        // schedule.
+        let (net, _, _) = linear_pipeline(3, 1).unwrap();
+        let scheds: Vec<Schedule> = (0..64)
+            .map(|k| Schedule::random(&net, &stress_cfg(), 7000 + k, 300))
+            .collect();
+        cosim_check_wide(&net, &scheds, 2).unwrap();
+    }
+
+    #[test]
+    fn wide_cosim_paper_example_all_configs() {
+        use crate::systems::{paper_example, Config};
+        for config in Config::all() {
+            let sys = paper_example(config).unwrap();
+            let scheds: Vec<Schedule> = (0..8)
+                .map(|k| Schedule::random(&sys.network, &sys.env_config, 40 + k, 250))
+                .collect();
+            cosim_check_wide(&sys.network, &scheds, 2)
+                .unwrap_or_else(|e| panic!("{config:?}: {e}"));
         }
     }
 

@@ -120,7 +120,7 @@ pub fn netlist_kripke(
     while frontier < ff_states.len() {
         let state = ff_states[frontier].clone();
         for combo in 0..combos {
-            sim.load_state(&state);
+            sim.load_state(&state)?;
             for (bit, &inp) in inputs.iter().enumerate() {
                 sim.set_input(inp, combo >> bit & 1 == 1)?;
             }

@@ -34,11 +34,56 @@ pub fn check_combinational_cycles(netlist: &Netlist) -> Result<(), NetlistError>
 /// Edges active during `phase`: plain gates always read their inputs;
 /// latches read `d`/`en` only when transparent in this phase; flip-flops
 /// and opposite-phase latches are cut points.
-fn deps_in_phase(netlist: &Netlist, net: NetId, phase: LatchPhase) -> Vec<NetId> {
+///
+/// This single definition is shared by the cycle check, the scalar
+/// simulator's settle order and the levelizer — tape correctness depends on
+/// all three agreeing on what an intra-phase dependency is.
+pub(crate) fn deps_in_phase(netlist: &Netlist, net: NetId, phase: LatchPhase) -> Vec<NetId> {
     match netlist.gate(net) {
         Gate::Latch { phase: lp, .. } if *lp != phase => Vec::new(),
         g => g.comb_inputs(),
     }
+}
+
+/// Dependency-ordered net sequence for one phase: every net appears after
+/// all its phase-active dependencies (iterative DFS post-order over
+/// [`deps_in_phase`] edges). Only meaningful for netlists that passed
+/// [`check_combinational_cycles`]; with a cyclic phase graph the order is
+/// merely *some* permutation.
+pub(crate) fn topo_order_in_phase(netlist: &Netlist, phase: LatchPhase) -> Vec<NetId> {
+    const WHITE: u8 = 0;
+    const GREY: u8 = 1;
+    const BLACK: u8 = 2;
+    let n = netlist.len();
+    let mut colour = vec![WHITE; n];
+    let mut order = Vec::with_capacity(n);
+    // Each frame carries its dependency list, computed once on push (this
+    // runs in every Simulator/Program construction, so avoid re-deriving
+    // deps on every cursor step).
+    let mut stack: Vec<(NetId, Vec<NetId>, usize)> = Vec::new();
+    for start in netlist.nets() {
+        if colour[start.index()] != WHITE {
+            continue;
+        }
+        colour[start.index()] = GREY;
+        stack.push((start, deps_in_phase(netlist, start, phase), 0));
+        while let Some((v, deps, cursor)) = stack.last_mut() {
+            if *cursor < deps.len() {
+                let w = deps[*cursor];
+                *cursor += 1;
+                if colour[w.index()] == WHITE {
+                    colour[w.index()] = GREY;
+                    stack.push((w, deps_in_phase(netlist, w, phase), 0));
+                }
+            } else {
+                let v = *v;
+                colour[v.index()] = BLACK;
+                stack.pop();
+                order.push(v);
+            }
+        }
+    }
+    order
 }
 
 /// Finds one cycle among the phase-active edges via iterative DFS with

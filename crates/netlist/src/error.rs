@@ -28,6 +28,13 @@ pub enum NetlistError {
         /// The clock phase during which the oscillation was observed.
         phase: &'static str,
     },
+    /// A state vector of the wrong width was passed to `load_state`.
+    StateWidthMismatch {
+        /// Number of state elements in the netlist.
+        expected: usize,
+        /// Length of the supplied vector.
+        got: usize,
+    },
     /// A duplicate net name was assigned.
     DuplicateName(String),
     /// A name lookup failed.
@@ -57,6 +64,12 @@ impl fmt::Display for NetlistError {
             }
             NetlistError::Oscillation { phase } => {
                 write!(f, "simulation oscillated during the {phase} phase")
+            }
+            NetlistError::StateWidthMismatch { expected, got } => {
+                write!(
+                    f,
+                    "state vector has {got} bits, netlist has {expected} state elements"
+                )
             }
             NetlistError::DuplicateName(n) => write!(f, "duplicate net name {n:?}"),
             NetlistError::UnknownName(n) => write!(f, "no net named {n:?}"),

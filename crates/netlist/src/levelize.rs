@@ -1,0 +1,468 @@
+//! Levelization: lowering a netlist into a flat, topologically sorted
+//! instruction tape.
+//!
+//! [`sim::Simulator`](crate::sim::Simulator) evaluates one gate at a time
+//! and iterates the whole netlist to a fixpoint — robust, but slow when the
+//! paper's experiments (Figs. 5–9, Table 1) need thousands of random
+//! schedules. [`Program::compile`] pays the scheduling cost once instead:
+//! it checks the netlist statically (bound state, no combinational cycles),
+//! then emits one straight-line instruction sequence per clock phase in
+//! dependency order. Executing a tape is a single pass — no fixpoint
+//! iteration and no possibility of [`NetlistError::Oscillation`] — and the
+//! instruction operands are dense slot indices, so a backend can evaluate
+//! many independent trials at once with word-wide operations (see
+//! [`wide::WideSimulator`](crate::wide::WideSimulator)).
+//!
+//! The two-phase clocking discipline of the interpreter is preserved
+//! exactly: the high tape evaluates combinational gates and `H`-phase
+//! latches, the low tape combinational gates and `L`-phase latches, and
+//! flip-flops commit between cycles. Because the structural check rejects
+//! loops that close within one phase, a topological pass per phase reaches
+//! the same settled valuation as the interpreter's fixpoint.
+
+use crate::build::{Gate, LatchPhase, NetId, Netlist};
+use crate::check;
+use crate::error::NetlistError;
+
+/// One straight-line instruction of a levelized [`Program`].
+///
+/// `dst`/operand fields are *slot* indices; slot `i` holds the value of net
+/// `NetId(i)`, so probes can keep using [`NetId`]s unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// `slots[dst] = if ones { all-ones } else { zero }` — an empty
+    /// [`Gate::And`] / [`Gate::Or`] input list.
+    Fill {
+        /// Destination slot.
+        dst: u32,
+        /// Fill with ones (true) or zeros (false).
+        ones: bool,
+    },
+    /// `slots[dst] = slots[src]` — buffers, bound wires and transparent
+    /// latches without an enable.
+    Copy {
+        /// Destination slot.
+        dst: u32,
+        /// Source slot.
+        src: u32,
+    },
+    /// `slots[dst] = !slots[src]`.
+    Not {
+        /// Destination slot.
+        dst: u32,
+        /// Source slot.
+        src: u32,
+    },
+    /// `slots[dst] = slots[a] & slots[b]`.
+    And2 {
+        /// Destination slot.
+        dst: u32,
+        /// First input slot.
+        a: u32,
+        /// Second input slot.
+        b: u32,
+    },
+    /// `slots[dst] = slots[a] | slots[b]`.
+    Or2 {
+        /// Destination slot.
+        dst: u32,
+        /// First input slot.
+        a: u32,
+        /// Second input slot.
+        b: u32,
+    },
+    /// `slots[dst] = slots[a] ^ slots[b]`.
+    Xor2 {
+        /// Destination slot.
+        dst: u32,
+        /// First input slot.
+        a: u32,
+        /// Second input slot.
+        b: u32,
+    },
+    /// N-ary AND over `args[start..start + len]` (see [`Program::args`]).
+    AndN {
+        /// Destination slot.
+        dst: u32,
+        /// Start offset into the operand pool.
+        start: u32,
+        /// Number of operands.
+        len: u32,
+    },
+    /// N-ary OR over `args[start..start + len]`.
+    OrN {
+        /// Destination slot.
+        dst: u32,
+        /// Start offset into the operand pool.
+        start: u32,
+        /// Number of operands.
+        len: u32,
+    },
+    /// `slots[dst] = if slots[sel] { slots[a] } else { slots[b] }`.
+    Mux {
+        /// Destination slot.
+        dst: u32,
+        /// Select slot.
+        sel: u32,
+        /// Slot taken when `sel` is true.
+        a: u32,
+        /// Slot taken when `sel` is false.
+        b: u32,
+    },
+    /// Enable-gated transparent latch in its active phase:
+    /// `slots[dst] = if slots[en] { slots[d] } else { slots[dst] }` — the
+    /// hold path reads the latch's own previous value.
+    LatchEn {
+        /// Destination slot (the latch output).
+        dst: u32,
+        /// Data slot.
+        d: u32,
+        /// Enable slot.
+        en: u32,
+    },
+}
+
+/// A flip-flop commit record: at every rising edge slot `q` takes the value
+/// captured from slot `d` at the end of the previous cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FfCommit {
+    /// The flip-flop's output slot.
+    pub q: u32,
+    /// The slot of its data input.
+    pub d: u32,
+}
+
+/// A levelized netlist: one instruction tape per clock phase, plus the
+/// flip-flop commit list and initial slot values.
+///
+/// Produced by [`Program::compile`]; executed by
+/// [`wide::WideSimulator`](crate::wide::WideSimulator). The tape layout is
+/// public so alternative backends (e.g. a future SIMD or JIT evaluator) can
+/// reuse the levelization pass.
+#[derive(Debug, Clone)]
+pub struct Program {
+    num_slots: usize,
+    init: Vec<bool>,
+    high: Vec<Instr>,
+    low: Vec<Instr>,
+    args: Vec<u32>,
+    ffs: Vec<FfCommit>,
+    inputs: Vec<NetId>,
+    state_nets: Vec<NetId>,
+}
+
+impl Program {
+    /// Lowers `netlist` into a levelized program.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetlistError::UnboundState`] and
+    /// [`NetlistError::CombinationalCycle`] — the same preconditions as
+    /// [`sim::Simulator::new`](crate::sim::Simulator::new). A compiled
+    /// program can never oscillate, so those are the only failure modes.
+    pub fn compile(netlist: &Netlist) -> Result<Program, NetlistError> {
+        netlist.check_bound()?;
+        check::check_combinational_cycles(netlist)?;
+        let n = netlist.len();
+        let mut init = vec![false; n];
+        let mut ffs = Vec::new();
+        for id in netlist.nets() {
+            match netlist.gate(id) {
+                Gate::Dff { init: v, d } => {
+                    init[id.index()] = *v;
+                    let d = d.expect("checked by check_bound");
+                    ffs.push(FfCommit { q: id.0, d: d.0 });
+                }
+                Gate::Latch { init: v, .. } => init[id.index()] = *v,
+                Gate::Const(v) => init[id.index()] = *v,
+                _ => {}
+            }
+        }
+        let mut args = Vec::new();
+        let high = emit_phase(netlist, LatchPhase::High, &mut args);
+        let low = emit_phase(netlist, LatchPhase::Low, &mut args);
+        Ok(Program {
+            num_slots: n,
+            init,
+            high,
+            low,
+            args,
+            ffs,
+            inputs: netlist.inputs().to_vec(),
+            state_nets: netlist.state_elements(),
+        })
+    }
+
+    /// Number of value slots (= number of nets in the source netlist).
+    pub fn num_slots(&self) -> usize {
+        self.num_slots
+    }
+
+    /// Power-up value of every slot (flip-flop/latch `init` bits, constant
+    /// drivers; everything else false).
+    pub fn init(&self) -> &[bool] {
+        &self.init
+    }
+
+    /// The high-phase instruction tape, in evaluation order.
+    pub fn high(&self) -> &[Instr] {
+        &self.high
+    }
+
+    /// The low-phase instruction tape, in evaluation order.
+    pub fn low(&self) -> &[Instr] {
+        &self.low
+    }
+
+    /// Operand pool for [`Instr::AndN`] / [`Instr::OrN`].
+    pub fn args(&self) -> &[u32] {
+        &self.args
+    }
+
+    /// Flip-flop commit list, in net order.
+    pub fn ffs(&self) -> &[FfCommit] {
+        &self.ffs
+    }
+
+    /// Primary inputs of the source netlist, in declaration order.
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// State-element nets in [`Netlist::state_elements`] order — the state
+    /// vector layout shared with the scalar simulator.
+    pub fn state_nets(&self) -> &[NetId] {
+        &self.state_nets
+    }
+}
+
+/// Whether `net` is (re)computed during `phase`, i.e. gets an instruction.
+fn active_in_phase(netlist: &Netlist, net: NetId, phase: LatchPhase) -> bool {
+    match netlist.gate(net) {
+        Gate::Input | Gate::Const(_) | Gate::Dff { .. } => false,
+        Gate::Latch { phase: lp, .. } => *lp == phase,
+        _ => true,
+    }
+}
+
+/// Emits the instruction tape for one phase: lowers the phase-active gates
+/// in the dependency order of [`check::topo_order_in_phase`] (acyclic by
+/// precondition — the same edge definition the structural check and the
+/// scalar simulator use), so every instruction's operands are settled
+/// before it executes.
+fn emit_phase(netlist: &Netlist, phase: LatchPhase, args: &mut Vec<u32>) -> Vec<Instr> {
+    check::topo_order_in_phase(netlist, phase)
+        .into_iter()
+        .filter(|&v| active_in_phase(netlist, v, phase))
+        .filter_map(|v| lower_gate(netlist, v, args))
+        .collect()
+}
+
+/// Lowers one gate to an instruction (`None` for gates with no evaluation
+/// step in any phase — unreachable here, kept total for clarity).
+fn lower_gate(netlist: &Netlist, net: NetId, args: &mut Vec<u32>) -> Option<Instr> {
+    let dst = net.0;
+    Some(match netlist.gate(net) {
+        Gate::Input | Gate::Const(_) | Gate::Dff { .. } => return None,
+        Gate::Buf(a) => Instr::Copy { dst, src: a.0 },
+        Gate::Wire { src } => Instr::Copy {
+            dst,
+            src: src.expect("checked by check_bound").0,
+        },
+        Gate::Not(a) => Instr::Not { dst, src: a.0 },
+        Gate::And(v) => match v.as_slice() {
+            [] => Instr::Fill { dst, ones: true },
+            [a] => Instr::Copy { dst, src: a.0 },
+            [a, b] => Instr::And2 {
+                dst,
+                a: a.0,
+                b: b.0,
+            },
+            many => {
+                let start = args.len() as u32;
+                args.extend(many.iter().map(|a| a.0));
+                Instr::AndN {
+                    dst,
+                    start,
+                    len: many.len() as u32,
+                }
+            }
+        },
+        Gate::Or(v) => match v.as_slice() {
+            [] => Instr::Fill { dst, ones: false },
+            [a] => Instr::Copy { dst, src: a.0 },
+            [a, b] => Instr::Or2 {
+                dst,
+                a: a.0,
+                b: b.0,
+            },
+            many => {
+                let start = args.len() as u32;
+                args.extend(many.iter().map(|a| a.0));
+                Instr::OrN {
+                    dst,
+                    start,
+                    len: many.len() as u32,
+                }
+            }
+        },
+        Gate::Xor(a, b) => Instr::Xor2 {
+            dst,
+            a: a.0,
+            b: b.0,
+        },
+        Gate::Mux { sel, a, b } => Instr::Mux {
+            dst,
+            sel: sel.0,
+            a: a.0,
+            b: b.0,
+        },
+        Gate::Latch { d, en, .. } => {
+            let d = d.expect("checked by check_bound").0;
+            match en {
+                Some(en) => Instr::LatchEn { dst, d, en: en.0 },
+                None => Instr::Copy { dst, src: d },
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::Netlist;
+
+    #[test]
+    fn compile_rejects_unbound_and_cyclic() {
+        let mut n = Netlist::new("bad");
+        let q = n.dff(false);
+        assert!(matches!(
+            Program::compile(&n).unwrap_err(),
+            NetlistError::UnboundState { .. }
+        ));
+        let d = n.not(q);
+        n.bind_dff(q, d).unwrap();
+        Program::compile(&n).unwrap();
+
+        let mut c = Netlist::new("cyc");
+        let l = c.latch(LatchPhase::High, false);
+        let inv = c.not(l);
+        c.bind_latch(l, inv).unwrap();
+        assert!(matches!(
+            Program::compile(&c).unwrap_err(),
+            NetlistError::CombinationalCycle(_)
+        ));
+    }
+
+    #[test]
+    fn operands_precede_uses_in_both_tapes() {
+        let mut n = Netlist::new("order");
+        let a = n.input("a");
+        let b = n.input("b");
+        // Deliberately build consumers before producers are referenced in
+        // index order via a late-bound wire.
+        let w = n.wire();
+        let x = n.and2(w, b);
+        let y = n.or2(x, a);
+        n.bind_wire(w, y).unwrap();
+        // y -> x -> w is a combinational cycle; break it with a fresh net.
+        let mut n = Netlist::new("order2");
+        let a = n.input("a");
+        let b = n.input("b");
+        let w = n.wire();
+        let x = n.and2(w, b);
+        let _y = n.or2(x, a);
+        let src = n.xor(a, b);
+        n.bind_wire(w, src).unwrap();
+        let p = Program::compile(&n).unwrap();
+        for tape in [p.high(), p.low()] {
+            let mut written = vec![false; p.num_slots()];
+            for i in tape {
+                let (dst, operands): (u32, Vec<u32>) = match *i {
+                    Instr::Fill { dst, .. } => (dst, vec![]),
+                    Instr::Copy { dst, src } | Instr::Not { dst, src } => (dst, vec![src]),
+                    Instr::And2 { dst, a, b }
+                    | Instr::Or2 { dst, a, b }
+                    | Instr::Xor2 { dst, a, b } => (dst, vec![a, b]),
+                    Instr::AndN { dst, start, len } | Instr::OrN { dst, start, len } => (
+                        dst,
+                        p.args()[start as usize..(start + len) as usize].to_vec(),
+                    ),
+                    Instr::Mux { dst, sel, a, b } => (dst, vec![sel, a, b]),
+                    Instr::LatchEn { dst, d, en } => (dst, vec![d, en]),
+                };
+                for op in operands {
+                    let is_source = matches!(
+                        n.gate(NetId(op)),
+                        Gate::Input | Gate::Const(_) | Gate::Dff { .. } | Gate::Latch { .. }
+                    );
+                    assert!(
+                        written[op as usize] || is_source,
+                        "instruction for slot {dst} reads unsettled slot {op}"
+                    );
+                }
+                written[dst as usize] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn nary_gates_use_operand_pool() {
+        let mut n = Netlist::new("nary");
+        let a = n.input("a");
+        let b = n.input("b");
+        let c = n.input("c");
+        let x = n.and([a, b, c]);
+        let _ = n.or([a, b, c, x]);
+        let p = Program::compile(&n).unwrap();
+        // Both phase tapes re-evaluate the combinational gates, so the
+        // operand pool holds one run per phase: (3 + 4) * 2.
+        assert_eq!(p.args().len(), 14);
+        assert!(p
+            .high()
+            .iter()
+            .any(|i| matches!(i, Instr::AndN { len: 3, .. })));
+        assert!(p
+            .high()
+            .iter()
+            .any(|i| matches!(i, Instr::OrN { len: 4, .. })));
+    }
+
+    #[test]
+    fn latch_phases_split_across_tapes() {
+        let mut n = Netlist::new("ms");
+        let a = n.input("a");
+        let h = n.latch(LatchPhase::High, false);
+        n.bind_latch(h, a).unwrap();
+        let l = n.latch(LatchPhase::Low, false);
+        n.bind_latch(l, h).unwrap();
+        let p = Program::compile(&n).unwrap();
+        assert!(p
+            .high()
+            .iter()
+            .any(|i| matches!(i, Instr::Copy { dst, .. } if *dst == h.0)));
+        assert!(!p
+            .high()
+            .iter()
+            .any(|i| matches!(i, Instr::Copy { dst, .. } if *dst == l.0)));
+        assert!(p
+            .low()
+            .iter()
+            .any(|i| matches!(i, Instr::Copy { dst, .. } if *dst == l.0)));
+    }
+
+    #[test]
+    fn ff_commits_and_init_recorded() {
+        let mut n = Netlist::new("ff");
+        let q = n.dff(true);
+        let d = n.not(q);
+        n.bind_dff(q, d).unwrap();
+        let k = n.constant(true);
+        let _ = k;
+        let p = Program::compile(&n).unwrap();
+        assert_eq!(p.ffs(), &[FfCommit { q: q.0, d: d.0 }]);
+        assert!(p.init()[q.index()]);
+        assert!(p.init()[k.index()]);
+        assert_eq!(p.state_nets(), &[q]);
+    }
+}

@@ -9,6 +9,9 @@
 //!   [`Netlist`]'s builder methods,
 //! * a cycle-accurate two-phase [`sim::Simulator`] with oscillation
 //!   detection,
+//! * a compiled, bit-parallel backend: [`levelize::Program`] lowers the
+//!   gate graph into a flat instruction tape and [`wide::WideSimulator`]
+//!   steps 64 independent trials per cycle with word-wide operations,
 //! * structural sanity checks, including combinational-cycle detection,
 //! * an [`area`] model that counts factored-form literals, latches and
 //!   flip-flops the way SIS reports them in the paper's Table 1,
@@ -45,9 +48,11 @@ mod error;
 pub mod area;
 pub mod check;
 pub mod export;
+pub mod levelize;
 pub mod opt;
 pub mod sim;
 pub mod vcd;
+pub mod wide;
 
 pub use build::{Gate, LatchPhase, NetId, Netlist};
 pub use error::NetlistError;

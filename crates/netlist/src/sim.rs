@@ -29,6 +29,11 @@ pub struct Simulator {
     ff_slot: Vec<usize>,
     ffs: Vec<NetId>,
     state_nets: Vec<NetId>,
+    /// Dependency-ordered evaluation sequence per clock phase, so each
+    /// settle pass reads only already-settled operands (no glitch captures
+    /// on enable-gated latches whose enable cone crosses net-index order).
+    order_high: Vec<NetId>,
+    order_low: Vec<NetId>,
     time: u64,
 }
 
@@ -61,6 +66,8 @@ impl Simulator {
         }
         let captured = ffs.iter().map(|f| values[f.index()]).collect();
         let state_nets = netlist.state_elements();
+        let order_high = check::topo_order_in_phase(netlist, LatchPhase::High);
+        let order_low = check::topo_order_in_phase(netlist, LatchPhase::Low);
         Ok(Simulator {
             net: netlist.clone(),
             values,
@@ -68,6 +75,8 @@ impl Simulator {
             ff_slot,
             ffs,
             state_nets,
+            order_high,
+            order_low,
             time: 0,
         })
     }
@@ -152,11 +161,20 @@ impl Simulator {
     }
 
     fn settle_phase(&mut self, phase: LatchPhase) -> Result<(), NetlistError> {
+        // Evaluation follows the phase's dependency order, so a structurally
+        // acyclic netlist settles in one pass (the second pass verifies
+        // quiescence); the budget only matters for the pathological loops
+        // the constructor already rejects.
+        let order = match phase {
+            LatchPhase::High => &self.order_high,
+            LatchPhase::Low => &self.order_low,
+        };
         let budget = self.net.len() + 2;
         for _ in 0..budget {
             let mut changed = false;
-            for id in 0..self.values.len() {
-                let new = match self.net.gate(NetId(id as u32)) {
+            for &net in order {
+                let id = net.index();
+                let new = match self.net.gate(net) {
                     Gate::Input | Gate::Dff { .. } => continue,
                     Gate::Const(v) => *v,
                     Gate::Buf(a) => self.values[a.index()],
@@ -216,11 +234,17 @@ impl Simulator {
     /// clears any pending flip-flop capture, so the next [`Simulator::cycle`]
     /// starts exactly from this state. Used by the model-checker bridge.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `bits.len()` differs from the number of state elements.
-    pub fn load_state(&mut self, bits: &[bool]) {
-        assert_eq!(bits.len(), self.state_nets.len(), "state width mismatch");
+    /// [`NetlistError::StateWidthMismatch`] when `bits.len()` differs from
+    /// the number of state elements.
+    pub fn load_state(&mut self, bits: &[bool]) -> Result<(), NetlistError> {
+        if bits.len() != self.state_nets.len() {
+            return Err(NetlistError::StateWidthMismatch {
+                expected: self.state_nets.len(),
+                got: bits.len(),
+            });
+        }
         for (&net, &b) in self.state_nets.iter().zip(bits) {
             self.values[net.index()] = b;
             let slot = self.ff_slot[net.index()];
@@ -228,6 +252,7 @@ impl Simulator {
                 self.captured[slot] = b;
             }
         }
+        Ok(())
     }
 
     /// The successor state implied by the current settled valuation: for
@@ -363,10 +388,17 @@ mod tests {
         let d = n.not(q);
         n.bind_dff(q, d).unwrap();
         let mut sim = Simulator::new(&n).unwrap();
-        sim.load_state(&[true]);
+        sim.load_state(&[true]).unwrap();
         assert_eq!(sim.state(), vec![true]);
         sim.settle().unwrap();
         assert_eq!(sim.next_state(), vec![false]);
+        assert!(matches!(
+            sim.load_state(&[true, false]).unwrap_err(),
+            NetlistError::StateWidthMismatch {
+                expected: 1,
+                got: 2
+            }
+        ));
     }
 
     #[test]
