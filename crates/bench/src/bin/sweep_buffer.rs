@@ -1,11 +1,19 @@
 //! Ablation: depth of the opcode bypass buffer `C` on `S -> W`
 //! (generalizing Table 1's "No buffer" row): 0 = row 2, 1 = row 1,
 //! deeper buffers show diminishing returns.
+//!
+//! Each depth is rebuilt as a custom Fig. 9 topology and measured as a
+//! sharded Monte-Carlo campaign (`SystemSpec::Custom` through the
+//! experiment engine), replacing the old single-seed behavioural run with
+//! a `--trials`-schedule gate-level estimate plus confidence interval.
+//!
+//! Usage: `sweep_buffer [--trials N] [--threads N] [--cycles N]
+//! [--seed N] [--json PATH]`
 
-use elastic_core::ee::EarlyEval;
+use elastic_bench::exp::{run_experiment, CampaignReport, CliOpts, Experiment, SystemSpec};
 use elastic_core::network::ElasticNetwork;
-use elastic_core::sim::{BehavSim, RandomEnv};
-use elastic_core::systems::{opcode_distribution, paper_example, w_early_eval, Config};
+use elastic_core::systems::{paper_example, w_early_eval, Config};
+use elastic_netlist::wide::LANES;
 
 fn build_with_c_depth(depth: usize) -> (ElasticNetwork, elastic_core::channel::ChanId) {
     // Rebuild the Fig. 9 topology with a parameterized C chain.
@@ -32,7 +40,6 @@ fn build_with_c_depth(depth: usize) -> (ElasticNetwork, elastic_core::channel::C
     net.connect(eb_sm, 0, m1, 0, "S->M1").unwrap();
     net.connect(m1, 0, m2, 0, "M1->M2").unwrap();
     net.connect(m2, 0, eb_mo, 0, "M2->W").unwrap();
-    let _ = EarlyEval::lazy(1); // silence unused import when depth paths differ
     let w = net.add_early_join("W", 4, w_early_eval()).unwrap();
     if depth == 0 {
         net.connect(s_fork, 3, w, 0, "S->W").unwrap();
@@ -59,16 +66,39 @@ fn build_with_c_depth(depth: usize) -> (ElasticNetwork, elastic_core::channel::C
 }
 
 fn main() {
+    let opts = CliOpts::parse(LANES, 2000);
     let base = paper_example(Config::ActiveAntiTokens).expect("builds");
-    let _ = opcode_distribution();
-    println!("{:>8} {:>11}", "C depth", "throughput");
+    let mut report = CampaignReport {
+        name: "sweep_buffer".into(),
+        ..Default::default()
+    };
+    println!(
+        "{:>8} {:>11} {:>8}   ({} trials x {} cycles per point, {} threads)",
+        "C depth", "throughput", "+/-ci95", opts.trials, opts.cycles, opts.threads
+    );
     for depth in 0..=4usize {
-        let (net, out) = build_with_c_depth(depth);
-        let mut sim = BehavSim::new(&net).expect("valid");
-        let mut env = RandomEnv::new(19, base.env_config.clone());
-        sim.run(&mut env, 8000).expect("runs");
-        println!("{depth:>8} {:>11.3}", sim.report().positive_rate(out));
+        let (network, output) = build_with_c_depth(depth);
+        let exp = Experiment {
+            label: format!("c_depth={depth}"),
+            system: SystemSpec::Custom { network, output },
+            env: base.env_config.clone(),
+            cycles: opts.cycles,
+            trials: opts.trials,
+            seed: opts.seed.wrapping_add(19),
+        };
+        let res = run_experiment(&exp, opts.threads).expect("campaign point");
+        println!(
+            "{depth:>8} {:>11.3} {:>8.3}",
+            res.stats.mean(),
+            res.stats.ci95()
+        );
+        report.points.push(res);
     }
     println!("\ndepth 0 is Table 1 row 2 (no buffer); depth 1 is row 1;");
-    println!("beyond depth 1 the bypass is no longer the bottleneck.");
+    println!("beyond depth 1 the bypass is no longer the bottleneck, and each");
+    println!("extra stage only adds forward latency on the S->W path.");
+    if let Some(path) = &opts.json {
+        report.write_json(path).expect("write json");
+        println!("wrote {path}");
+    }
 }

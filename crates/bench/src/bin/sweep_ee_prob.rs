@@ -1,49 +1,44 @@
 //! Ablation: throughput of the example system as the fast-branch (I)
 //! selection probability sweeps from 0 to 1, early vs lazy control.
 //!
-//! Every point is a 64-trial Monte-Carlo estimate: the control layer is
-//! compiled to gates once per configuration and all 64 random schedules run
-//! simultaneously through the bit-parallel `WideSimulator` (one `u64` lane
-//! per trial). Variable-latency completions follow the schedule convention
-//! (open-loop Bernoulli at rate `1/mean`, see `Schedule::random`), so M1/M2
-//! delays are geometric with the configured means. The binary ends with a
-//! wide-vs-scalar speedup measurement on the same schedule set — the
-//! per-trial cost drops by well over an order of magnitude.
+//! Every point is a Monte-Carlo campaign run by the sharded experiment
+//! engine (`elastic_bench::exp`): the control layer is compiled to gates
+//! once per configuration, `--trials` independent random schedules are
+//! split into 64-lane shards and executed by a `--threads`-wide worker
+//! pool on the bit-parallel `WideSimulator`. Variable-latency completions
+//! follow the schedule convention (open-loop Bernoulli at rate `1/mean`,
+//! see `Schedule::random`), so M1/M2 delays are geometric with the
+//! configured means. The binary ends with a wide-vs-scalar speedup
+//! measurement — the per-trial cost drops by well over an order of
+//! magnitude.
+//!
+//! Usage: `sweep_ee_prob [--trials N] [--threads N] [--cycles N]
+//! [--seed N] [--json PATH]`
 
+use elastic_bench::exp::{ee_prob_experiment, run_experiment, CampaignReport, CliOpts, EE_CONFIGS};
 use elastic_bench::{measure_speedup, WideHarness};
-use elastic_core::sim::{DataGen, SourceCfg};
 use elastic_core::systems::{paper_example, Config};
 use elastic_netlist::wide::LANES;
 
-const CYCLES: usize = 2000;
-
 fn main() {
+    let opts = CliOpts::parse(LANES, 2000);
+    let mut report = CampaignReport {
+        name: "sweep_ee_prob".into(),
+        ..Default::default()
+    };
     println!(
-        "{:>6} {:>9} {:>8} {:>9} {:>8}   ({} trials x {CYCLES} cycles per point)",
-        "p(I)", "early", "+/-sd", "lazy", "+/-sd", LANES
+        "{:>6} {:>9} {:>8} {:>9} {:>8}   ({} trials x {} cycles per point, {} threads)",
+        "p(I)", "early", "+/-ci95", "lazy", "+/-ci95", opts.trials, opts.cycles, opts.threads
     );
     for step in 0..=10 {
         let p_i = f64::from(step) / 10.0;
-        let rest = 1.0 - p_i;
-        let dist = DataGen::Weighted(vec![(0b00, p_i), (0b10, rest * 0.75), (0b01, rest * 0.25)]);
         let mut cells = [(0.0f64, 0.0f64); 2];
-        for (k, config) in [Config::ActiveAntiTokens, Config::NoEarlyEval]
-            .iter()
-            .enumerate()
-        {
-            let sys = paper_example(*config).expect("builds");
-            let mut env_cfg = sys.env_config.clone();
-            env_cfg.sources.insert(
-                "Din".into(),
-                SourceCfg {
-                    rate: 1.0,
-                    data: dist.clone(),
-                },
-            );
-            let harness = WideHarness::new(&sys.network, sys.output_channel);
-            let scheds = WideHarness::schedules(&sys.network, &env_cfg, 13, CYCLES, LANES);
-            let stats = harness.run(&scheds);
-            cells[k] = (stats.mean(), stats.stddev());
+        for (k, (config, tag)) in EE_CONFIGS.into_iter().enumerate() {
+            let exp = ee_prob_experiment(p_i, config, tag, opts.cycles, opts.trials, opts.seed)
+                .expect("builds");
+            let res = run_experiment(&exp, opts.threads).expect("campaign point");
+            cells[k] = (res.stats.mean(), res.stats.ci95());
+            report.points.push(res);
         }
         println!(
             "{p_i:>6.1} {:>9.3} {:>8.3} {:>9.3} {:>8.3}",
@@ -52,19 +47,23 @@ fn main() {
     }
 
     // Speedup of the bit-parallel backend over the scalar gate-level
-    // interpreter, on the same 64 schedules of the active configuration.
+    // interpreter, on one 64-schedule word of the active configuration.
     let sys = paper_example(Config::ActiveAntiTokens).expect("builds");
     let harness = WideHarness::new(&sys.network, sys.output_channel);
-    let scheds = WideHarness::schedules(&sys.network, &sys.env_config, 13, CYCLES, LANES);
-    let report = measure_speedup(&harness, &scheds);
-    assert!(report.rates_match, "wide and scalar paths diverged");
+    let scheds = WideHarness::schedules(&sys.network, &sys.env_config, 13, opts.cycles, LANES);
+    let speed = measure_speedup(&harness, &scheds);
+    assert!(speed.rates_match, "wide and scalar paths diverged");
     println!(
         "\nwide backend: {} trials x {} cycles in {:.3}s; scalar path {:.3}s \
          -> {:.1}x per-trial speedup (rates bit-identical)",
-        report.lanes,
-        report.cycles,
-        report.wide_secs,
-        report.scalar_secs,
-        report.speedup()
+        speed.lanes,
+        speed.cycles,
+        speed.wide_secs,
+        speed.scalar_secs,
+        speed.speedup()
     );
+    if let Some(path) = &opts.json {
+        report.write_json(path).expect("write json");
+        println!("wrote {path}");
+    }
 }

@@ -1,0 +1,722 @@
+//! Sharded multi-threaded Monte-Carlo experiment engine.
+//!
+//! A single [`crate::WideHarness::run`] advances at most
+//! [`LANES`] (= 64) trials in one bit-parallel pass. This module scales the
+//! paper's randomized experiments (Sect. 6.1, Figs. 5–9, Table 1) to
+//! arbitrary trial counts across OS threads:
+//!
+//! ```text
+//!   Experiment { system × env × cycles × trials, seed }
+//!        │ shards()                 ⌈trials/64⌉ shards, shard i covering
+//!        ▼                          seeds seed+64·i .. seed+64·i+lanes
+//!   [Shard 0][Shard 1]…[Shard n-1]  (the last shard may be partial)
+//!        │ std::thread::scope       compile once, share &WideHarness;
+//!        ▼                          each worker clones the power-up
+//!   worker₀ … workerₜ               WideSimulator per shard it claims
+//!        │ reduce (by shard index)
+//!        ▼
+//!   McStats { per_lane[trials] } → mean / stddev / 95% CI
+//! ```
+//!
+//! **Determinism contract:** lane *j* of the campaign always runs the
+//! schedule seeded `seed + j`, and shards are reduced in shard-index order
+//! — so the per-lane vector (and therefore mean/sd/CI) is bit-identical for
+//! every thread count, including a single-threaded run of the same seeds.
+//!
+//! **Thread-safety contract:** a compiled [`elastic_netlist::levelize::Program`]
+//! is immutable instruction data and a
+//! [`elastic_netlist::wide::WideSimulator`] is plain owned state; both are
+//! `Send + Sync` (statically asserted in `elastic_netlist::wide`), so one
+//! [`WideHarness`] is shared by reference across the scoped worker pool and
+//! each worker clones the power-up prototype per shard.
+//!
+//! Analytic cross-check: for configurations without early evaluation the
+//! system is a marked graph, and measured throughput must respect the
+//! minimum-cycle-ratio bound (paper Sect. 6.1, reference \[8\]) — see
+//! [`lazy_bound_check`].
+
+use std::fmt;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use elastic_core::channel::ChanId;
+use elastic_core::dmg_bridge::lazy_throughput_bound;
+use elastic_core::network::ElasticNetwork;
+use elastic_core::sim::{DataGen, EnvConfig, SourceCfg};
+use elastic_core::systems::{paper_example, Config};
+use elastic_core::CoreError;
+use elastic_netlist::wide::LANES;
+
+use crate::{McStats, WideHarness};
+
+/// Which elastic system a campaign point simulates.
+#[derive(Debug, Clone)]
+pub enum SystemSpec {
+    /// One of the five Table 1 configurations of the paper's Fig. 9
+    /// example.
+    Paper(Config),
+    /// An arbitrary user-built network; `output` is the channel whose
+    /// positive-transfer rate is reported as throughput.
+    Custom {
+        /// The elastic control network.
+        network: ElasticNetwork,
+        /// Observed output channel.
+        output: ChanId,
+    },
+}
+
+impl SystemSpec {
+    /// Resolves the spec into a network and its observed output channel.
+    ///
+    /// # Errors
+    ///
+    /// Propagates build failures of the paper example.
+    pub fn build(&self) -> Result<(ElasticNetwork, ChanId), CoreError> {
+        match self {
+            SystemSpec::Paper(config) => {
+                let sys = paper_example(*config)?;
+                Ok((sys.network, sys.output_channel))
+            }
+            SystemSpec::Custom { network, output } => Ok((network.clone(), *output)),
+        }
+    }
+}
+
+/// One point of a Monte-Carlo campaign: a system, an environment, a horizon
+/// and a trial budget.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// Point label (free-form; lands in reports and JSON).
+    pub label: String,
+    /// The system to simulate.
+    pub system: SystemSpec,
+    /// Environment distributions (offer/stop/kill rates, payload and
+    /// latency distributions) used to generate the random schedules.
+    pub env: EnvConfig,
+    /// Cycles per trial.
+    pub cycles: usize,
+    /// Number of independent trials (any size; split into ⌈trials/64⌉
+    /// shards).
+    pub trials: usize,
+    /// Base seed: trial `j` replays the schedule seeded `seed + j`
+    /// (wrapping at `u64::MAX`).
+    pub seed: u64,
+}
+
+/// One unit of worker-pool work: up to [`LANES`] consecutive trials.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// Shard index (0-based; also its reduction position).
+    pub index: usize,
+    /// Seed of the shard's first lane (`lane k` uses `seed + k`).
+    pub seed: u64,
+    /// Live lanes in this shard (1..=64; only the final shard may be
+    /// partial).
+    pub lanes: usize,
+}
+
+/// Splits `trials` into ⌈trials/64⌉ shards with deterministic seed
+/// derivation: shard `i` starts at `seed + 64·i` so the flattened lane
+/// order is exactly `seed, seed+1, …, seed+trials-1` regardless of how many
+/// threads execute the shards. Arithmetic wraps at `u64::MAX` (consistently
+/// with the per-lane derivation in [`WideHarness::schedules`]), so a
+/// near-maximal user seed stays deterministic instead of panicking in
+/// debug builds.
+pub fn shards(trials: usize, seed: u64) -> Vec<Shard> {
+    (0..trials.div_ceil(LANES))
+        .map(|i| Shard {
+            index: i,
+            seed: seed.wrapping_add((i * LANES) as u64),
+            lanes: LANES.min(trials - i * LANES),
+        })
+        .collect()
+}
+
+/// Outcome of one campaign point.
+#[derive(Debug, Clone)]
+pub struct PointResult {
+    /// Point label (copied from the [`Experiment`]).
+    pub label: String,
+    /// Reduced statistics; `per_lane[j]` is the trial seeded `seed + j`.
+    pub stats: McStats,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Number of shards executed.
+    pub shards: usize,
+    /// Wall-clock seconds for the whole point (compile + schedules + runs).
+    pub wall_secs: f64,
+}
+
+impl PointResult {
+    /// Formats `mean ±ci95 (sd)` for tables.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:.4} ±{:.4} (sd {:.4})",
+            self.stats.mean(),
+            self.stats.ci95(),
+            self.stats.stddev()
+        )
+    }
+}
+
+/// Errors surfaced by the experiment engine.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum ExpError {
+    /// The experiment spec is unusable (zero trials or cycles).
+    EmptyExperiment,
+    /// Building, compiling or analysing the system failed.
+    Core(CoreError),
+}
+
+impl fmt::Display for ExpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExpError::EmptyExperiment => {
+                write!(f, "experiment needs at least one trial and one cycle")
+            }
+            ExpError::Core(e) => write!(f, "system error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExpError {}
+
+impl From<CoreError> for ExpError {
+    fn from(e: CoreError) -> Self {
+        ExpError::Core(e)
+    }
+}
+
+/// Runs one campaign point sharded across `threads` OS threads.
+///
+/// The network is compiled **once**; the resulting [`WideHarness`] is
+/// shared by reference across a [`std::thread::scope`] worker pool. Workers
+/// claim shards from an atomic cursor (so stragglers never idle the pool),
+/// generate that shard's schedules, run them through a clone of the
+/// power-up [`elastic_netlist::wide::WideSimulator`], and the per-shard
+/// statistics are reduced in shard-index order — see the module docs for
+/// the determinism contract.
+///
+/// # Errors
+///
+/// [`ExpError::EmptyExperiment`] for a zero-trial/zero-cycle spec;
+/// [`ExpError::Core`] when the system fails to build or compile.
+///
+/// # Panics
+///
+/// Panics only on library bugs (a worker thread panicking mid-shard), never
+/// on bad experiment inputs.
+pub fn run_experiment(exp: &Experiment, threads: usize) -> Result<PointResult, ExpError> {
+    if exp.trials == 0 || exp.cycles == 0 {
+        return Err(ExpError::EmptyExperiment);
+    }
+    let t0 = Instant::now();
+    let (network, out) = exp.system.build()?;
+    let harness = WideHarness::try_new(&network, out)?;
+    let work = shards(exp.trials, exp.seed);
+    let threads = threads.clamp(1, work.len());
+    let cursor = AtomicUsize::new(0);
+
+    // Each worker returns its (shard index, stats) pairs; reduction sorts
+    // by shard index so the result is independent of thread scheduling.
+    let mut done: Vec<(usize, McStats)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local: Vec<(usize, McStats)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(shard) = work.get(i) else { break };
+                        let scheds = WideHarness::schedules(
+                            &network,
+                            &exp.env,
+                            shard.seed,
+                            exp.cycles,
+                            shard.lanes,
+                        );
+                        local.push((shard.index, harness.run(&scheds)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker panicked (library bug)"))
+            .collect()
+    });
+    done.sort_unstable_by_key(|&(i, _)| i);
+    let stats = McStats::concat(done.into_iter().map(|(_, s)| s));
+    debug_assert_eq!(stats.trials(), exp.trials);
+    Ok(PointResult {
+        label: exp.label.clone(),
+        stats,
+        threads,
+        shards: work.len(),
+        wall_secs: t0.elapsed().as_secs_f64(),
+    })
+}
+
+/// The early-vs-lazy configuration pair every early-evaluation ablation
+/// sweeps: the paper's headline contrast (Table 1 rows 1 and 5).
+pub const EE_CONFIGS: [(Config, &str); 2] = [
+    (Config::ActiveAntiTokens, "early"),
+    (Config::NoEarlyEval, "lazy"),
+];
+
+/// Builds the `sweep_ee_prob`-style campaign point for fast-branch
+/// probability `p_i`: the Fig. 9 example with the opcode distribution on
+/// `Din` set to I with probability `p_i` and the remaining mass split 3:1
+/// between F and M. Shared by `sweep_ee_prob` and `campaign` so their
+/// points stay equivalent by construction.
+///
+/// # Errors
+///
+/// Propagates build failures of the paper example.
+pub fn ee_prob_experiment(
+    p_i: f64,
+    config: Config,
+    tag: &str,
+    cycles: usize,
+    trials: usize,
+    seed: u64,
+) -> Result<Experiment, ExpError> {
+    let sys = paper_example(config)?;
+    let rest = 1.0 - p_i;
+    let mut env = sys.env_config.clone();
+    env.sources.insert(
+        "Din".into(),
+        SourceCfg {
+            rate: 1.0,
+            data: DataGen::Weighted(vec![(0b00, p_i), (0b10, rest * 0.75), (0b01, rest * 0.25)]),
+        },
+    );
+    Ok(Experiment {
+        label: format!("p_i={p_i:.2}/{tag}"),
+        system: SystemSpec::Paper(config),
+        env,
+        cycles,
+        trials,
+        seed,
+    })
+}
+
+/// Outcome of the marked-graph analytic cross-check of one lazy point.
+#[derive(Debug, Clone)]
+pub struct BoundCheck {
+    /// The `min_cycle_ratio` throughput bound of the abstracted system.
+    pub bound: f64,
+    /// Measured Monte-Carlo mean throughput.
+    pub measured: f64,
+    /// Tolerance granted for finite-horizon noise.
+    pub tolerance: f64,
+    /// Whether `measured <= bound + tolerance`.
+    pub ok: bool,
+    /// Component names on the critical cycle.
+    pub critical: Vec<String>,
+}
+
+/// Cross-checks a measured lazy-configuration throughput against the
+/// minimum-cycle-ratio bound of its marked-graph abstraction
+/// (`elastic_core::dmg_bridge`). Lazy systems cannot beat the bound; a
+/// sharded campaign whose lazy mean exceeds it has a bug (bad seeding, a
+/// polluted partial shard, a broken reducer), which is exactly what this
+/// check is for.
+///
+/// # Errors
+///
+/// Propagates abstraction/analysis failures (e.g. a system that is not
+/// strongly connected after abstraction) — as typed errors, not panics, so
+/// campaign runners can report and continue.
+pub fn lazy_bound_check(
+    network: &ElasticNetwork,
+    env: &EnvConfig,
+    measured: f64,
+    tolerance: f64,
+) -> Result<BoundCheck, ExpError> {
+    let b = lazy_throughput_bound(network, env)?;
+    Ok(BoundCheck {
+        bound: b.bound,
+        measured,
+        tolerance,
+        ok: measured <= b.bound + tolerance,
+        critical: b.critical,
+    })
+}
+
+/// A campaign-level record serialized to `BENCH_pr3.json`-style files.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignReport {
+    /// Campaign name.
+    pub name: String,
+    /// Completed points.
+    pub points: Vec<PointResult>,
+    /// Analytic cross-checks, as `(point label, check)` pairs.
+    pub bound_checks: Vec<(String, BoundCheck)>,
+    /// Thread-scaling measurements, as `(threads, wall_secs)` pairs for one
+    /// reference point.
+    pub scaling: Vec<(usize, f64)>,
+}
+
+impl CampaignReport {
+    /// Renders the whole report as a JSON object (hand-rolled: the
+    /// workspace is offline and vendors no serde).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"campaign\": {},\n", json_str(&self.name)));
+        s.push_str("  \"points\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            let sep = if i + 1 == self.points.len() { "" } else { "," };
+            s.push_str(&format!(
+                "    {{\"point\": {}, \"mean\": {}, \"sd\": {}, \"ci95\": {}, \
+                 \"trials\": {}, \"cycles\": {}, \"shards\": {}, \"threads\": {}, \
+                 \"wall_secs\": {}}}{sep}\n",
+                json_str(&p.label),
+                json_f64(p.stats.mean()),
+                json_f64(p.stats.stddev()),
+                json_f64(p.stats.ci95()),
+                p.stats.trials(),
+                p.stats.cycles,
+                p.shards,
+                p.threads,
+                json_f64(p.wall_secs),
+            ));
+        }
+        s.push_str("  ],\n  \"bound_checks\": [\n");
+        for (i, (label, c)) in self.bound_checks.iter().enumerate() {
+            let sep = if i + 1 == self.bound_checks.len() {
+                ""
+            } else {
+                ","
+            };
+            s.push_str(&format!(
+                "    {{\"point\": {}, \"bound\": {}, \"measured\": {}, \
+                 \"tolerance\": {}, \"ok\": {}, \"critical\": [{}]}}{sep}\n",
+                json_str(label),
+                json_f64(c.bound),
+                json_f64(c.measured),
+                json_f64(c.tolerance),
+                c.ok,
+                c.critical
+                    .iter()
+                    .map(|n| json_str(n))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            ));
+        }
+        s.push_str("  ],\n  \"scaling\": [\n");
+        for (i, &(threads, secs)) in self.scaling.iter().enumerate() {
+            let sep = if i + 1 == self.scaling.len() { "" } else { "," };
+            s.push_str(&format!(
+                "    {{\"threads\": {threads}, \"wall_secs\": {}}}{sep}\n",
+                json_f64(secs)
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Writes the JSON rendering to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_json(&self, path: &str) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_json().as_bytes())
+    }
+}
+
+/// Minimal JSON string escape (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Finite floats only — JSON has no NaN/Inf, so degrade to null.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Shared command-line options of the campaign binaries
+/// (`--trials N --threads N --cycles N --seed N --json PATH`).
+#[derive(Debug, Clone)]
+pub struct CliOpts {
+    /// Trials per point.
+    pub trials: usize,
+    /// Worker threads (defaults to the machine's available parallelism).
+    pub threads: usize,
+    /// Cycles per trial.
+    pub cycles: usize,
+    /// Base seed.
+    pub seed: u64,
+    /// Optional JSON output path.
+    pub json: Option<String>,
+}
+
+impl CliOpts {
+    /// Parses `std::env::args`, falling back to the given defaults when a
+    /// flag is absent. Unknown flags are ignored so binaries can add their
+    /// own — but a flag that *is* present with an unparsable or missing
+    /// value is a hard error (exit 2): these binaries produce published
+    /// measurements, and silently running the default size after a typo
+    /// would record numbers for a campaign that never ran.
+    pub fn parse(default_trials: usize, default_cycles: usize) -> CliOpts {
+        let args: Vec<String> = std::env::args().collect();
+        let grab = |flag: &str| -> Option<String> {
+            args.iter().position(|a| a == flag).map(|i| {
+                args.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("error: {flag} requires a value");
+                    std::process::exit(2);
+                })
+            })
+        };
+        fn parsed<T: std::str::FromStr>(flag: &str, v: Option<String>, dflt: T) -> T {
+            match v {
+                None => dflt,
+                Some(raw) => raw.parse().unwrap_or_else(|_| {
+                    eprintln!("error: invalid value for {flag}: {raw:?}");
+                    std::process::exit(2);
+                }),
+            }
+        }
+        fn positive(flag: &str, v: usize) -> usize {
+            if v == 0 {
+                eprintln!("error: {flag} must be at least 1");
+                std::process::exit(2);
+            }
+            v
+        }
+        CliOpts {
+            trials: positive(
+                "--trials",
+                parsed("--trials", grab("--trials"), default_trials),
+            ),
+            threads: positive(
+                "--threads",
+                parsed("--threads", grab("--threads"), default_threads()),
+            ),
+            cycles: positive(
+                "--cycles",
+                parsed("--cycles", grab("--cycles"), default_cycles),
+            ),
+            seed: parsed("--seed", grab("--seed"), 1),
+            json: grab("--json"),
+        }
+    }
+}
+
+/// The machine's available parallelism (1 when unknown).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elastic_core::systems::linear_pipeline;
+
+    fn pipeline_spec() -> (SystemSpec, EnvConfig) {
+        let (net, _, out) = linear_pipeline(2, 1).unwrap();
+        (
+            SystemSpec::Custom {
+                network: net,
+                output: out,
+            },
+            EnvConfig::default(),
+        )
+    }
+
+    #[test]
+    fn shard_derivation_covers_trials_exactly() {
+        // N % 64 == 0, N % 64 != 0 and N < 64 all partition cleanly.
+        for (trials, expect) in [(128usize, vec![64, 64]), (100, vec![64, 36]), (5, vec![5])] {
+            let sh = shards(trials, 1000);
+            assert_eq!(sh.len(), expect.len(), "{trials} trials");
+            for (i, s) in sh.iter().enumerate() {
+                assert_eq!(s.index, i);
+                assert_eq!(s.lanes, expect[i]);
+                assert_eq!(s.seed, 1000 + (i * LANES) as u64);
+            }
+            assert_eq!(sh.iter().map(|s| s.lanes).sum::<usize>(), trials);
+        }
+        assert!(shards(0, 0).is_empty());
+    }
+
+    #[test]
+    fn near_max_seed_wraps_instead_of_panicking() {
+        // Regression: seed arithmetic close to u64::MAX must wrap (like the
+        // sweep binaries' seed offsets), not overflow-panic in debug builds.
+        let base = u64::MAX - 70;
+        let sh = shards(130, base);
+        assert_eq!(sh[0].seed, base);
+        assert_eq!(sh[1].seed, base.wrapping_add(64));
+        assert_eq!(sh[2].seed, 57, "wrapped past u64::MAX");
+        let (system, env) = pipeline_spec();
+        let exp = Experiment {
+            label: "wrap".into(),
+            system,
+            env,
+            cycles: 20,
+            trials: 130,
+            seed: base,
+        };
+        let one = run_experiment(&exp, 1).unwrap();
+        let multi = run_experiment(&exp, 3).unwrap();
+        assert_eq!(one.stats.per_lane, multi.stats.per_lane);
+    }
+
+    #[test]
+    fn empty_experiment_is_an_error() {
+        let (system, env) = pipeline_spec();
+        let exp = Experiment {
+            label: "empty".into(),
+            system,
+            env,
+            cycles: 100,
+            trials: 0,
+            seed: 1,
+        };
+        assert!(matches!(
+            run_experiment(&exp, 2),
+            Err(ExpError::EmptyExperiment)
+        ));
+    }
+
+    #[test]
+    fn partial_shard_matches_direct_wide_run() {
+        // 70 trials = one full word + a 6-lane partial word; the partial
+        // word's upper lanes must not leak into the estimate.
+        let (system, env) = pipeline_spec();
+        let exp = Experiment {
+            label: "partial".into(),
+            system: system.clone(),
+            env: env.clone(),
+            cycles: 60,
+            trials: 70,
+            seed: 400,
+        };
+        let res = run_experiment(&exp, 2).unwrap();
+        assert_eq!(res.stats.trials(), 70);
+        assert_eq!(res.shards, 2);
+        // Reference: drive the two shards directly through WideHarness.
+        let (net, out) = system.build().unwrap();
+        let h = WideHarness::new(&net, out);
+        let s0 = WideHarness::schedules(&net, &env, 400, 60, 64);
+        let s1 = WideHarness::schedules(&net, &env, 400 + 64, 60, 6);
+        let expect: Vec<f64> = h
+            .run(&s0)
+            .per_lane
+            .into_iter()
+            .chain(h.run(&s1).per_lane)
+            .collect();
+        assert_eq!(res.stats.per_lane, expect);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let (system, env) = pipeline_spec();
+        let exp = Experiment {
+            label: "det".into(),
+            system,
+            env,
+            cycles: 50,
+            trials: 130,
+            seed: 77,
+        };
+        let one = run_experiment(&exp, 1).unwrap();
+        for threads in [2, 3, 8] {
+            let multi = run_experiment(&exp, threads).unwrap();
+            assert_eq!(
+                one.stats.per_lane, multi.stats.per_lane,
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn lazy_bound_check_holds_on_paper_lazy_config() {
+        let sys = paper_example(Config::NoEarlyEval).unwrap();
+        let exp = Experiment {
+            label: "lazy".into(),
+            system: SystemSpec::Paper(Config::NoEarlyEval),
+            env: sys.env_config.clone(),
+            cycles: 300,
+            trials: 96,
+            seed: 9,
+        };
+        let res = run_experiment(&exp, 2).unwrap();
+        let check =
+            lazy_bound_check(&sys.network, &sys.env_config, res.stats.mean(), 0.03).unwrap();
+        assert!(
+            check.ok,
+            "lazy mean {} exceeded bound {}",
+            check.measured, check.bound
+        );
+        assert!(!check.critical.is_empty());
+    }
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let report = CampaignReport {
+            name: "unit \"quoted\"".into(),
+            points: vec![PointResult {
+                label: "p\\0".into(),
+                stats: McStats {
+                    cycles: 10,
+                    per_lane: vec![0.25, 0.75],
+                },
+                threads: 2,
+                shards: 1,
+                wall_secs: 0.5,
+            }],
+            bound_checks: vec![(
+                "lazy".into(),
+                BoundCheck {
+                    bound: 0.25,
+                    measured: 0.2,
+                    tolerance: 0.01,
+                    ok: true,
+                    critical: vec!["M1".into()],
+                },
+            )],
+            scaling: vec![(1, 2.0), (4, f64::NAN)],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"campaign\": \"unit \\\"quoted\\\"\""));
+        assert!(json.contains("\"point\": \"p\\\\0\""));
+        assert!(json.contains("\"mean\": 0.500000"));
+        assert!(json.contains("\"trials\": 2"));
+        assert!(json.contains("\"ok\": true"));
+        assert!(json.contains("\"critical\": [\"M1\"]"));
+        // Non-finite wall times degrade to null instead of invalid JSON.
+        assert!(json.contains("\"wall_secs\": null"));
+        // Balanced braces/brackets as a cheap well-formedness proxy.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                json.matches(open).count(),
+                json.matches(close).count(),
+                "{open}{close}"
+            );
+        }
+    }
+}

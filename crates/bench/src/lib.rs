@@ -6,7 +6,10 @@
 //! schedules per run through the bit-parallel
 //! [`elastic_netlist::wide::WideSimulator`] backend, with a scalar
 //! reference path ([`WideHarness::run_scalar`]) for equivalence checks and
-//! speedup measurements.
+//! speedup measurements. The [`exp`] module scales a single 64-lane word to
+//! arbitrary-size campaigns sharded across OS threads.
+
+pub mod exp;
 
 use std::time::Instant;
 
@@ -17,10 +20,11 @@ use elastic_core::sim::{BehavSim, EnvConfig, RandomEnv};
 use elastic_core::stats::SimReport;
 use elastic_core::systems::{paper_example, Config, PaperSystem};
 use elastic_core::verify::{NetlistTestbench, Schedule};
+use elastic_core::CoreError;
 use elastic_netlist::area::AreaReport;
 use elastic_netlist::opt::optimize;
 use elastic_netlist::sim::Simulator;
-use elastic_netlist::wide::{WideSimulator, LANES};
+use elastic_netlist::wide::{lane_mask, WideSimulator, LANES};
 
 /// One row of the regenerated Table 1.
 #[derive(Debug, Clone)]
@@ -146,8 +150,16 @@ pub struct McStats {
 }
 
 impl McStats {
-    /// Mean throughput across trials.
+    /// Number of trials.
+    pub fn trials(&self) -> usize {
+        self.per_lane.len()
+    }
+
+    /// Mean throughput across trials (0 for an empty run).
     pub fn mean(&self) -> f64 {
+        if self.per_lane.is_empty() {
+            return 0.0;
+        }
         self.per_lane.iter().sum::<f64>() / self.per_lane.len() as f64
     }
 
@@ -164,6 +176,42 @@ impl McStats {
             .sum::<f64>()
             / (self.per_lane.len() - 1) as f64;
         var.sqrt()
+    }
+
+    /// Half-width of the normal-approximation 95% confidence interval on
+    /// the mean: `1.96 · s / √n` (0 for fewer than two trials).
+    pub fn ci95(&self) -> f64 {
+        if self.per_lane.len() < 2 {
+            return 0.0;
+        }
+        1.96 * self.stddev() / (self.per_lane.len() as f64).sqrt()
+    }
+
+    /// Concatenates per-shard statistics into one campaign-level `McStats`,
+    /// preserving lane order (shard 0's lanes first). The caller supplies
+    /// the shards in shard-index order so the result is independent of
+    /// which worker thread ran which shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shards disagree on the cycle horizon — their rates
+    /// would not be commensurable.
+    pub fn concat(shards: impl IntoIterator<Item = McStats>) -> McStats {
+        let mut out = McStats {
+            cycles: 0,
+            per_lane: Vec::new(),
+        };
+        for s in shards {
+            assert!(
+                out.per_lane.is_empty() || out.cycles == s.cycles,
+                "shards must share one horizon ({} vs {})",
+                out.cycles,
+                s.cycles
+            );
+            out.cycles = s.cycles;
+            out.per_lane.extend_from_slice(&s.per_lane);
+        }
+        out
     }
 }
 
@@ -193,24 +241,33 @@ impl WideHarness {
     /// Compiles `net` and resolves the testbench handles. `out` is the
     /// channel whose positive-transfer rate is reported as throughput.
     pub fn new(net: &ElasticNetwork, out: ChanId) -> WideHarness {
+        Self::try_new(net, out).expect("compiles")
+    }
+
+    /// Fallible variant of [`WideHarness::new`] for campaign runners that
+    /// must surface a broken system spec instead of panicking a worker.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation and testbench-resolution failures.
+    pub fn try_new(net: &ElasticNetwork, out: ChanId) -> Result<WideHarness, CoreError> {
         let compiled = compile(
             net,
             &CompileOptions {
                 data_width: MC_DATA_WIDTH,
                 nondet_merge: false,
             },
-        )
-        .expect("compiles");
-        let tb = NetlistTestbench::new(net, &compiled.netlist, MC_DATA_WIDTH).expect("testbench");
-        let wide_proto = WideSimulator::new(&compiled.netlist).expect("valid");
-        let scalar_proto = Simulator::new(&compiled.netlist).expect("valid");
-        WideHarness {
+        )?;
+        let tb = NetlistTestbench::new(net, &compiled.netlist, MC_DATA_WIDTH)?;
+        let wide_proto = WideSimulator::new(&compiled.netlist).map_err(CoreError::from)?;
+        let scalar_proto = Simulator::new(&compiled.netlist).map_err(CoreError::from)?;
+        Ok(WideHarness {
             compiled,
             tb,
             out,
             wide_proto,
             scalar_proto,
-        }
+        })
     }
 
     /// Shared horizon of a schedule batch.
@@ -229,7 +286,8 @@ impl WideHarness {
     }
 
     /// Generates `lanes` independent random schedules with seeds
-    /// `seed..seed + lanes`.
+    /// `seed..seed + lanes` (wrapping at `u64::MAX`, matching the shard
+    /// seed derivation of `exp::shards`).
     pub fn schedules(
         net: &ElasticNetwork,
         env: &EnvConfig,
@@ -239,23 +297,27 @@ impl WideHarness {
     ) -> Vec<Schedule> {
         assert!((1..=LANES).contains(&lanes), "1..={LANES} lanes");
         (0..lanes as u64)
-            .map(|k| Schedule::random(net, env, seed + k, cycles))
+            .map(|k| Schedule::random(net, env, seed.wrapping_add(k), cycles))
             .collect()
     }
 
     /// Runs all schedules at once through the bit-parallel backend: one
-    /// compiled-tape pass per cycle advances every trial.
+    /// compiled-tape pass per cycle advances every trial. A partial word
+    /// (fewer than [`LANES`] schedules — e.g. the final shard of a sharded
+    /// campaign) is masked to the live lanes, so the dead upper lanes can
+    /// never pollute the statistics.
     pub fn run(&self, schedules: &[Schedule]) -> McStats {
         let cycles = Self::horizon(schedules);
+        let live = lane_mask(schedules.len());
         let mut sim = self.wide_proto.clone();
         let nets = &self.compiled.channels[self.out.index()];
         let mut counts = vec![0u64; schedules.len()];
         for t in 0..cycles {
             sim.cycle(&self.tb.wide_inputs_at(schedules, t))
                 .expect("runs");
-            // Positive transfer: V+ & !S+ & !V- (kills excluded), all lanes
-            // at once.
-            let mask = sim.value(nets.vp) & !sim.value(nets.sp) & !sim.value(nets.vn);
+            // Positive transfer: V+ & !S+ & !V- (kills excluded), all live
+            // lanes at once.
+            let mask = sim.value(nets.vp) & !sim.value(nets.sp) & !sim.value(nets.vn) & live;
             for (lane, c) in counts.iter_mut().enumerate() {
                 *c += mask >> lane & 1;
             }

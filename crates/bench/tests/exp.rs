@@ -1,0 +1,103 @@
+//! Property tests for the sharded Monte-Carlo experiment engine: the
+//! shard/seed/reduce pipeline must be indistinguishable from driving the
+//! 64-lane words directly, for any trial count and any thread count.
+
+use elastic_bench::exp::{run_experiment, shards, Experiment, SystemSpec};
+use elastic_bench::WideHarness;
+use elastic_core::sim::{EnvConfig, SinkCfg, SourceCfg};
+use elastic_core::systems::linear_pipeline;
+use elastic_netlist::wide::LANES;
+use proptest::prelude::*;
+
+/// A small but non-trivial environment: throttled source, back-pressuring
+/// and killing sink, so schedules actually differ between seeds.
+fn stress_env() -> EnvConfig {
+    EnvConfig {
+        default_source: SourceCfg {
+            rate: 0.8,
+            ..Default::default()
+        },
+        default_sink: SinkCfg {
+            stop_prob: 0.25,
+            kill_prob: 0.1,
+        },
+        ..Default::default()
+    }
+}
+
+fn pipeline_experiment(trials: usize, seed: u64, cycles: usize) -> Experiment {
+    let (network, _, output) = linear_pipeline(2, 1).unwrap();
+    Experiment {
+        label: format!("prop/{trials}/{seed}"),
+        system: SystemSpec::Custom { network, output },
+        env: stress_env(),
+        cycles,
+        trials,
+        seed,
+    }
+}
+
+/// Reference path: drive each 64-lane word directly through
+/// `WideHarness::run` (no worker pool, no cursor, no reduction) and flatten
+/// in seed order.
+fn direct_per_lane(exp: &Experiment) -> Vec<f64> {
+    let (net, out) = exp.system.build().unwrap();
+    let h = WideHarness::new(&net, out);
+    shards(exp.trials, exp.seed)
+        .iter()
+        .flat_map(|s| {
+            let scheds = WideHarness::schedules(&net, &exp.env, s.seed, exp.cycles, s.lanes);
+            h.run(&scheds).per_lane
+        })
+        .collect()
+}
+
+proptest! {
+    /// Sharded `trials = N` reproduces the direct single-word runs exactly
+    /// for the covered lanes — including `N < 64` and `N % 64 != 0`, where
+    /// the final partial word's dead lanes must contribute nothing.
+    #[test]
+    fn sharded_equals_direct_wide_runs(n in 1usize..150, seed in 0u64..1000) {
+        let exp = pipeline_experiment(n, seed, 30);
+        let res = run_experiment(&exp, 3).unwrap();
+        prop_assert_eq!(res.stats.trials(), n);
+        let direct = direct_per_lane(&exp);
+        prop_assert_eq!(&res.stats.per_lane, &direct);
+        // Means agree exactly, not just approximately: same summands, same
+        // order.
+        let direct_mean = direct.iter().sum::<f64>() / direct.len() as f64;
+        prop_assert_eq!(res.stats.mean(), direct_mean);
+    }
+
+    /// Per-shard seeding is a pure function of (base seed, shard index):
+    /// every thread count flattens to the same per-lane vector.
+    #[test]
+    fn seeding_is_deterministic_across_thread_counts(
+        n in 1usize..200,
+        seed in 0u64..1000,
+        threads in 2usize..6,
+    ) {
+        let exp = pipeline_experiment(n, seed, 25);
+        let reference = run_experiment(&exp, 1).unwrap();
+        let multi = run_experiment(&exp, threads).unwrap();
+        prop_assert_eq!(&reference.stats.per_lane, &multi.stats.per_lane);
+        prop_assert_eq!(reference.stats.cycles, multi.stats.cycles);
+    }
+
+    /// The shard partition itself: covers exactly `seed..seed+n` in order,
+    /// all words full except possibly the last.
+    #[test]
+    fn shard_partition_is_exact(n in 1usize..5000, seed in 0u64..u64::MAX / 2) {
+        let sh = shards(n, seed);
+        prop_assert_eq!(sh.len(), n.div_ceil(LANES));
+        let mut next = seed;
+        for (i, s) in sh.iter().enumerate() {
+            prop_assert_eq!(s.index, i);
+            prop_assert_eq!(s.seed, next);
+            let full = i + 1 < sh.len();
+            prop_assert!(if full { s.lanes == LANES } else { (1..=LANES).contains(&s.lanes) });
+            next += s.lanes as u64;
+        }
+        prop_assert_eq!(next, seed + n as u64);
+    }
+}

@@ -74,19 +74,42 @@ impl DataGen {
                 *seq += 1;
                 v
             }
-            DataGen::Weighted(choices) => {
-                let total: f64 = choices.iter().map(|&(_, w)| w).sum();
-                let mut x = rng.gen_range(0.0..total);
-                for &(v, w) in choices {
-                    if x < w {
-                        return v;
-                    }
-                    x -= w;
-                }
-                choices.last().map(|&(v, _)| v).unwrap_or(0)
-            }
+            DataGen::Weighted(choices) => weighted_draw(choices, rng).map_or(0, |i| choices[i].0),
         }
     }
+}
+
+/// Draws an index from `choices` proportionally to the weights, ignoring
+/// entries whose weight is not a positive finite number.
+///
+/// Degenerate distributions never panic (the old code hit `gen_range` on
+/// an empty `0.0..0.0` range when every weight was zero): an empty list
+/// returns `None`, and a non-empty list with no usable weight falls back
+/// deterministically to `Some(0)` — the first entry — so simulations stay
+/// reproducible.
+fn weighted_draw<T>(choices: &[(T, f64)], rng: &mut StdRng) -> Option<usize> {
+    let usable = |w: f64| w.is_finite() && w > 0.0;
+    let total: f64 = choices.iter().map(|&(_, w)| w).filter(|&w| usable(w)).sum();
+    if !(total.is_finite() && total > 0.0) {
+        // Degenerate distribution: deterministic fallback to the first
+        // entry (if any) so simulations stay reproducible.
+        return if choices.is_empty() { None } else { Some(0) };
+    }
+    let mut x = rng.gen_range(0.0..total);
+    let mut last = None;
+    for (i, &(_, w)) in choices.iter().enumerate() {
+        if !usable(w) {
+            continue;
+        }
+        if x < w {
+            return Some(i);
+        }
+        x -= w;
+        last = Some(i);
+    }
+    // Floating-point slop can exhaust the loop; the last usable entry is
+    // the right owner of the residual mass.
+    last
 }
 
 /// Per-source configuration: how often the environment offers a token and
@@ -153,26 +176,30 @@ impl LatencyDist {
         LatencyDist { choices }
     }
 
-    /// Expected latency.
+    /// Expected latency. Degenerate weight sets (empty, all zero/negative)
+    /// fall back to the first latency, or 1 for an empty distribution,
+    /// mirroring the sampling fallback.
     pub fn mean(&self) -> f64 {
-        let total: f64 = self.choices.iter().map(|&(_, w)| w).sum();
+        let usable = |w: f64| w.is_finite() && w > 0.0;
+        let total: f64 = self
+            .choices
+            .iter()
+            .map(|&(_, w)| w)
+            .filter(|&w| usable(w))
+            .sum();
+        if !(total.is_finite() && total > 0.0) {
+            return self.choices.first().map_or(1.0, |&(l, _)| f64::from(l));
+        }
         self.choices
             .iter()
+            .filter(|&&(_, w)| usable(w))
             .map(|&(l, w)| f64::from(l) * w)
             .sum::<f64>()
             / total
     }
 
     fn sample(&self, rng: &mut StdRng) -> u32 {
-        let total: f64 = self.choices.iter().map(|&(_, w)| w).sum();
-        let mut x = rng.gen_range(0.0..total);
-        for &(l, w) in &self.choices {
-            if x < w {
-                return l;
-            }
-            x -= w;
-        }
-        self.choices.last().map(|&(l, _)| l).unwrap_or(1)
+        weighted_draw(&self.choices, rng).map_or(1, |i| self.choices[i].0)
     }
 }
 
@@ -316,6 +343,51 @@ mod tests {
         assert!((counts[0] as f64 / 10_000.0 - 0.6).abs() < 0.03);
         assert!((counts[1] as f64 / 10_000.0 - 0.3).abs() < 0.03);
         assert!((counts[2] as f64 / 10_000.0 - 0.1).abs() < 0.03);
+    }
+
+    #[test]
+    fn zero_weight_distribution_does_not_panic() {
+        // Regression: gen_range(0.0..0.0) used to panic on an empty range
+        // when every weight was zero. The fallback is deterministic: the
+        // first entry.
+        let gen = DataGen::Weighted(vec![(7, 0.0), (9, 0.0)]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seq = 0;
+        for _ in 0..10 {
+            assert_eq!(gen.sample(&mut rng, &mut seq), 7);
+        }
+        // An empty choice list degrades to payload 0.
+        let empty = DataGen::Weighted(vec![]);
+        assert_eq!(empty.sample(&mut rng, &mut seq), 0);
+    }
+
+    #[test]
+    fn negative_and_nan_weights_are_ignored() {
+        // Negative weights used to corrupt the cumulative walk (x -= w
+        // grows x); now only positive finite weights carry mass.
+        let gen = DataGen::Weighted(vec![(1, -5.0), (2, 1.0), (3, f64::NAN)]);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seq = 0;
+        for _ in 0..50 {
+            assert_eq!(gen.sample(&mut rng, &mut seq), 2);
+        }
+        // All-negative falls back to the first entry.
+        let neg = DataGen::Weighted(vec![(4, -1.0), (5, -2.0)]);
+        assert_eq!(neg.sample(&mut rng, &mut seq), 4);
+    }
+
+    #[test]
+    fn degenerate_latency_distribution_is_safe() {
+        let zero = LatencyDist::weighted(vec![(6, 0.0), (8, 0.0)]);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(zero.sample(&mut rng), 6);
+        assert_eq!(zero.mean(), 6.0);
+        let empty = LatencyDist::weighted(vec![]);
+        assert_eq!(empty.sample(&mut rng), 1);
+        assert_eq!(empty.mean(), 1.0);
+        // Mixed: the negative entry contributes nothing to the mean.
+        let mixed = LatencyDist::weighted(vec![(2, 1.0), (100, -1.0)]);
+        assert_eq!(mixed.mean(), 2.0);
     }
 
     #[test]

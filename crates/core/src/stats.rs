@@ -62,24 +62,62 @@ pub struct SimReport {
 
 impl SimReport {
     /// Per-cycle rate of positive transfers on `chan`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chan` is out of range; campaigns aggregating reports from
+    /// several systems should prefer [`SimReport::try_positive_rate`].
     pub fn positive_rate(&self, chan: ChanId) -> f64 {
-        self.rate(self.channels[chan.index()].positive)
+        self.try_positive_rate(chan).expect("channel in range")
+    }
+
+    /// Checked variant of [`SimReport::positive_rate`]: `None` when `chan`
+    /// does not belong to this report.
+    pub fn try_positive_rate(&self, chan: ChanId) -> Option<f64> {
+        Some(self.rate(self.get(chan)?.positive))
     }
 
     /// Per-cycle rate of negative transfers on `chan`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chan` is out of range (see [`SimReport::try_negative_rate`]).
     pub fn negative_rate(&self, chan: ChanId) -> f64 {
-        self.rate(self.channels[chan.index()].negative)
+        self.try_negative_rate(chan).expect("channel in range")
+    }
+
+    /// Checked variant of [`SimReport::negative_rate`].
+    pub fn try_negative_rate(&self, chan: ChanId) -> Option<f64> {
+        Some(self.rate(self.get(chan)?.negative))
     }
 
     /// Per-cycle rate of kills on `chan`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chan` is out of range (see [`SimReport::try_kill_rate`]).
     pub fn kill_rate(&self, chan: ChanId) -> f64 {
-        self.rate(self.channels[chan.index()].kills)
+        self.try_kill_rate(chan).expect("channel in range")
+    }
+
+    /// Checked variant of [`SimReport::kill_rate`].
+    pub fn try_kill_rate(&self, chan: ChanId) -> Option<f64> {
+        Some(self.rate(self.get(chan)?.kills))
     }
 
     /// Channel throughput: positive + negative + kills, per cycle
     /// (the quantity the paper reports as `Th`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chan` is out of range (see [`SimReport::try_throughput`]).
     pub fn throughput(&self, chan: ChanId) -> f64 {
-        self.rate(self.channels[chan.index()].total_activity())
+        self.try_throughput(chan).expect("channel in range")
+    }
+
+    /// Checked variant of [`SimReport::throughput`].
+    pub fn try_throughput(&self, chan: ChanId) -> Option<f64> {
+        Some(self.rate(self.get(chan)?.total_activity()))
     }
 
     fn rate(&self, count: u64) -> f64 {
@@ -90,13 +128,22 @@ impl SimReport {
         }
     }
 
+    /// Stats of one channel, or `None` when `chan` is out of range — the
+    /// accessor to use when one report among many comes from a different
+    /// system than the channel id (aggregated multi-system campaigns must
+    /// not take down the whole run on a stale id).
+    pub fn get(&self, chan: ChanId) -> Option<&ChannelStats> {
+        self.channels.get(chan.index())
+    }
+
     /// Stats of one channel.
     ///
     /// # Panics
     ///
-    /// Panics if `chan` is out of range.
+    /// Panics if `chan` is out of range; see [`SimReport::get`] for the
+    /// checked variant.
     pub fn channel(&self, chan: ChanId) -> &ChannelStats {
-        &self.channels[chan.index()]
+        self.get(chan).expect("channel in range")
     }
 }
 
@@ -153,6 +200,23 @@ mod tests {
         assert!((r.positive_rate(c) - 0.2).abs() < 1e-12);
         assert!((r.kill_rate(c) - 0.1).abs() < 1e-12);
         assert!((r.negative_rate(c) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_channel_is_none_not_panic() {
+        let r = SimReport {
+            channels: vec![ChannelStats::default()],
+            names: vec!["c".into()],
+            cycles: 10,
+            internal_annihilations: 0,
+        };
+        let bogus = ChanId(7);
+        assert!(r.get(bogus).is_none());
+        assert_eq!(r.try_positive_rate(bogus), None);
+        assert_eq!(r.try_negative_rate(bogus), None);
+        assert_eq!(r.try_kill_rate(bogus), None);
+        assert_eq!(r.try_throughput(bogus), None);
+        assert_eq!(r.try_positive_rate(ChanId(0)), Some(0.0));
     }
 
     #[test]

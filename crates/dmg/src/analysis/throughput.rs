@@ -47,16 +47,26 @@ pub struct CycleRatio {
 ///
 /// # Errors
 ///
+/// * [`DmgError::DelayCount`] if `delays.len() != g.num_nodes()`.
+/// * [`DmgError::ZeroDelay`] if any delay is zero (cycle ratios would be
+///   unbounded).
 /// * [`DmgError::NotStronglyConnected`] if the graph is not strongly
 ///   connected (the ratio would be ill-defined).
-/// * [`DmgError::Empty`] if `delays` is empty or the graph has no arcs.
+/// * [`DmgError::Empty`] if the graph has no arcs.
 ///
-/// # Panics
-///
-/// Panics if `delays.len() != g.num_nodes()` or any delay is zero.
+/// Bad inputs are typed errors rather than panics so multi-threaded
+/// experiment workers can surface them instead of aborting a whole
+/// campaign.
 pub fn min_cycle_ratio(g: &Dmg, delays: &[u64]) -> Result<CycleRatio, DmgError> {
-    assert_eq!(delays.len(), g.num_nodes(), "one delay per node required");
-    assert!(delays.iter().all(|&d| d > 0), "delays must be positive");
+    if delays.len() != g.num_nodes() {
+        return Err(DmgError::DelayCount {
+            expected: g.num_nodes(),
+            found: delays.len(),
+        });
+    }
+    if let Some(zero) = (0..g.num_nodes()).find(|&i| delays[i] == 0) {
+        return Err(DmgError::ZeroDelay(crate::graph::NodeId(zero as u32)));
+    }
     if g.num_arcs() == 0 {
         return Err(DmgError::Empty);
     }
@@ -220,6 +230,31 @@ mod tests {
         let g = crate::examples::fig1_dmg();
         let r = min_cycle_ratio(&g, &vec![1; g.num_nodes()]).unwrap();
         assert!((r.ratio - 0.25).abs() < 1e-6, "ratio {}", r.ratio);
+    }
+
+    #[test]
+    fn bad_delay_inputs_are_errors_not_panics() {
+        // Regression: these used to assert! and abort the process, taking
+        // down every worker thread of a sharded campaign with them.
+        let g = ring_with_tokens(3, 1);
+        assert_eq!(
+            min_cycle_ratio(&g, &[1, 1]).unwrap_err(),
+            DmgError::DelayCount {
+                expected: 3,
+                found: 2
+            }
+        );
+        match min_cycle_ratio(&g, &[1, 0, 1]).unwrap_err() {
+            DmgError::ZeroDelay(n) => assert_eq!(n.index(), 1),
+            other => panic!("expected ZeroDelay, got {other:?}"),
+        }
+        // Errors survive a worker-thread boundary instead of panicking it.
+        let err = std::thread::scope(|s| {
+            s.spawn(|| min_cycle_ratio(&g, &[]).unwrap_err())
+                .join()
+                .expect("worker must not panic")
+        });
+        assert!(matches!(err, DmgError::DelayCount { found: 0, .. }));
     }
 
     #[test]

@@ -25,6 +25,16 @@ pub enum DmgError {
     NotStronglyConnected,
     /// Bounded state-space exploration hit its configured limit.
     StateLimit(usize),
+    /// A per-node delay vector had the wrong number of entries.
+    DelayCount {
+        /// Number of entries the graph expects (one per node).
+        expected: usize,
+        /// Number of entries that were supplied.
+        found: usize,
+    },
+    /// A per-node delay was zero (delays must be strictly positive — a
+    /// zero-delay node would make cycle ratios unbounded).
+    ZeroDelay(NodeId),
 }
 
 impl fmt::Display for DmgError {
@@ -46,6 +56,19 @@ impl fmt::Display for DmgError {
                 write!(
                     f,
                     "state-space exploration exceeded limit of {limit} markings"
+                )
+            }
+            DmgError::DelayCount { expected, found } => {
+                write!(
+                    f,
+                    "delay vector has {found} entries, graph has {expected} nodes"
+                )
+            }
+            DmgError::ZeroDelay(n) => {
+                write!(
+                    f,
+                    "node {} has zero delay; delays must be positive",
+                    n.index()
                 )
             }
         }

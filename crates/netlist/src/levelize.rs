@@ -139,6 +139,10 @@ pub struct FfCommit {
 /// [`wide::WideSimulator`](crate::wide::WideSimulator). The tape layout is
 /// public so alternative backends (e.g. a future SIMD or JIT evaluator) can
 /// reuse the levelization pass.
+///
+/// A compiled program is immutable plain data (`Send + Sync`, asserted in
+/// `wide.rs`): compile once, then share it by reference across the worker
+/// threads of a sharded Monte-Carlo campaign.
 #[derive(Debug, Clone)]
 pub struct Program {
     num_slots: usize,

@@ -53,6 +53,38 @@ use crate::levelize::{Instr, Program};
 /// Number of independent trials evaluated per step (bits in the lane word).
 pub const LANES: usize = 64;
 
+/// Lane word with the low `lanes` bits set — the mask covering the live
+/// lanes of a (possibly partial) shard. Sharded Monte-Carlo campaigns slice
+/// `trials` into `⌈trials/64⌉` words; the final word usually covers fewer
+/// than [`LANES`] trials, and masking keeps the dead upper lanes from
+/// polluting aggregate statistics.
+///
+/// # Panics
+///
+/// Panics if `lanes > LANES` (`lanes == 0` yields the empty mask).
+pub const fn lane_mask(lanes: usize) -> u64 {
+    assert!(lanes <= LANES, "at most LANES lanes per word");
+    if lanes == LANES {
+        u64::MAX
+    } else {
+        (1u64 << lanes) - 1
+    }
+}
+
+// Thread-safety contract of the wide backend: a compiled `Program` is
+// immutable instruction data, so one compilation can be shared by reference
+// across a `std::thread::scope` worker pool, and a `WideSimulator` is plain
+// owned state (`Vec<u64>` words, no interior mutability or aliasing), so
+// each worker can clone the power-up prototype and run shards
+// independently. The experiment engine in `elastic_bench` relies on both
+// bounds; this assertion turns an accidental `Rc`/`RefCell` regression into
+// a compile error here rather than a trait-bound error downstream.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Program>();
+    assert_send_sync::<WideSimulator>();
+};
+
 /// A compiled, bit-parallel simulator running [`LANES`] trials at once.
 ///
 /// The cycle structure matches [`sim::Simulator::cycle`](crate::sim::Simulator::cycle):
@@ -459,6 +491,47 @@ mod tests {
         scalar.cycle(&[(a, true)]).unwrap();
         assert!(!scalar.value(l), "latch holds: enable settled low");
         assert_eq!(wide.value(l), 0, "wide agrees in every lane");
+    }
+
+    #[test]
+    fn lane_mask_covers_partial_and_full_words() {
+        assert_eq!(lane_mask(0), 0);
+        assert_eq!(lane_mask(1), 1);
+        assert_eq!(lane_mask(5), 0b1_1111);
+        assert_eq!(lane_mask(63), u64::MAX >> 1);
+        assert_eq!(lane_mask(LANES), u64::MAX);
+    }
+
+    #[test]
+    fn clones_run_independently_across_threads() {
+        // The sharding contract: one compiled prototype, one clone per
+        // worker, bit-identical results regardless of which thread ran
+        // which shard.
+        let mut n = Netlist::new("shard");
+        let inc = n.input("inc");
+        let q = n.dff(false);
+        let d = n.xor(q, inc);
+        n.bind_dff(q, d).unwrap();
+        let proto = WideSimulator::new(&n).unwrap();
+        let run = |mask: u64| {
+            let mut sim = proto.clone();
+            for _ in 0..5 {
+                sim.cycle(&[(inc, mask)]).unwrap();
+            }
+            sim.value(q)
+        };
+        let expected: Vec<u64> = [0u64, u64::MAX, 0xAAAA_5555_AAAA_5555]
+            .iter()
+            .map(|&m| run(m))
+            .collect();
+        let got: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = [0u64, u64::MAX, 0xAAAA_5555_AAAA_5555]
+                .iter()
+                .map(|&m| s.spawn(move || run(m)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(expected, got);
     }
 
     #[test]
