@@ -84,6 +84,48 @@ fn bench_wide_mc(c: &mut Criterion) {
     g.finish();
 }
 
+/// Per-layer attribution of the PR-4 execution pipeline on one 512-trial
+/// batch: the unpacked single-word path (peephole only), the packed
+/// single-word path, and the packed multi-word paths. Schedule generation
+/// is excluded (pre-built once), so the group isolates simulation cost.
+fn bench_mc_backends(c: &mut Criterion) {
+    use elastic_bench::{Backend, WideHarness, MAX_TRIALS_PER_RUN};
+    use elastic_netlist::wide::LANES;
+    let sys = paper_example(Config::ActiveAntiTokens).expect("builds");
+    let harness = WideHarness::new(&sys.network, sys.output_channel);
+    let scheds = WideHarness::schedules(&sys.network, &sys.env_config, 3, 500, MAX_TRIALS_PER_RUN);
+    let mut g = c.benchmark_group("mc_512_trials_500_cycles");
+    g.sample_size(10);
+    g.bench_with_input(BenchmarkId::from_parameter("unpacked_w1"), &(), |b, ()| {
+        b.iter(|| {
+            scheds
+                .chunks(LANES)
+                .map(|s| harness.run_unpacked(s).mean())
+                .sum::<f64>()
+        });
+    });
+    for backend in [
+        Backend::Wide1,
+        Backend::Wide2,
+        Backend::Wide4,
+        Backend::Wide8,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(backend.label()),
+            &backend,
+            |b, &backend| {
+                b.iter(|| {
+                    scheds
+                        .chunks(backend.lanes())
+                        .map(|s| harness.try_run_backend(s, backend).expect("runs").mean())
+                        .sum::<f64>()
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
 fn bench_gate_sim(c: &mut Criterion) {
     c.bench_function("gate_level_fig9_1k_cycles", |b| {
         use elastic_core::compile::{compile, CompileOptions};
@@ -94,6 +136,7 @@ fn bench_gate_sim(c: &mut Criterion) {
             &CompileOptions {
                 data_width: 2,
                 nondet_merge: false,
+                optimize: false,
             },
         )
         .expect("compiles");
@@ -115,6 +158,7 @@ criterion_group!(
     bench_pipeline,
     bench_dmg,
     bench_gate_sim,
-    bench_wide_mc
+    bench_wide_mc,
+    bench_mc_backends
 );
 criterion_main!(benches);

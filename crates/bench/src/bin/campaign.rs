@@ -1,28 +1,45 @@
 //! End-to-end Monte-Carlo campaign runner for the sharded experiment
-//! engine — the binary behind `BENCH_pr3.json` and the CI cross-check.
+//! engine — the binary behind `BENCH_pr4.json` and the CI cross-check.
 //!
 //! Runs a `sweep_ee_prob`-equivalent campaign (early vs lazy at three
-//! fast-branch probabilities) at arbitrary trial counts, then:
+//! fast-branch probabilities) at arbitrary trial counts on the selected
+//! backend (default: the full throughput pipeline — optimized netlist,
+//! observed-cone DCE, peephole tape, packed stimulus, 8-word `WideSim`),
+//! then:
 //!
 //! 1. **Determinism check** — re-runs one point at a *different* thread
 //!    count and asserts the per-lane vector is bit-identical (the engine's
 //!    shard/seed/reduce contract).
-//! 2. **Analytic cross-check** — the lazy configuration's measured mean
+//! 2. **Backend equivalence** — the same point re-run on the single-word
+//!    backend must be bit-identical lane by lane (chunk size cannot change
+//!    results), and a 64-trial sub-batch re-run through the **scalar
+//!    interpreter on the unoptimized netlist** must match too — the
+//!    end-to-end cross-check of the optimize → levelize → peephole → pack
+//!    pipeline. Either divergence exits non-zero.
+//! 3. **Analytic cross-check** — the lazy configuration's measured mean
 //!    must respect the marked-graph `min_cycle_ratio` bound
 //!    (`elastic_core::dmg_bridge`); early evaluation is expected to beat
 //!    it. A violation exits non-zero.
-//! 3. **Thread scaling** — one reference point at 1/2/4/8 threads, wall
+//! 4. **Thread scaling** — one reference point at 1/2/4/8 threads, wall
 //!    times recorded in the JSON report.
 //!
+//! Every JSON point carries `cycles_per_sec` (trials × cycles / wall), the
+//! per-core metric the PR-4 acceptance gate compares against
+//! `BENCH_pr3.json`.
+//!
 //! Usage: `campaign [--trials N] [--threads N] [--cycles N] [--seed N]
-//! [--json PATH]` (JSON defaults to `BENCH_pr3.json`).
+//! [--backend {scalar,wide,wide1,wide2,wide4,wide8}] [--json PATH]`
+//! (JSON defaults to `BENCH_pr4.json`).
 
 use elastic_bench::exp::{
-    ee_prob_experiment, lazy_bound_check, run_experiment, CampaignReport, CliOpts, Experiment,
-    EE_CONFIGS,
+    ee_prob_experiment, lazy_bound_check, run_experiment_backend, CampaignReport, CliOpts,
+    Experiment, EE_CONFIGS,
 };
+use elastic_bench::{Backend, WideHarness};
 use elastic_core::systems::Config;
-use elastic_netlist::wide::LANES;
+
+/// Fast-branch probabilities swept per configuration cell.
+const CELLS_P: [f64; 3] = [0.0, 0.5, 1.0];
 
 /// Builds the point spec for one (probability, config) cell — the shared
 /// `sweep_ee_prob` construction, so campaign points stay equivalent to the
@@ -33,32 +50,39 @@ fn point(p_i: f64, config: Config, tag: &str, opts: &CliOpts) -> Experiment {
 
 fn main() {
     let opts = CliOpts::parse(256, 200);
-    let json_path = opts.json.clone().unwrap_or_else(|| "BENCH_pr3.json".into());
+    let json_path = opts.json.clone().unwrap_or_else(|| "BENCH_pr4.json".into());
     let mut report = CampaignReport {
         name: format!(
-            "pr3_campaign trials={} cycles={} threads={}",
-            opts.trials, opts.cycles, opts.threads
+            "pr4_campaign trials={} cycles={} threads={} backend={}",
+            opts.trials,
+            opts.cycles,
+            opts.threads,
+            opts.backend.label()
         ),
         ..Default::default()
     };
     println!(
-        "campaign: {} trials x {} cycles per point, {} threads",
-        opts.trials, opts.cycles, opts.threads
+        "campaign: {} trials x {} cycles per point, {} threads, backend {}",
+        opts.trials,
+        opts.cycles,
+        opts.threads,
+        opts.backend.label()
     );
 
-    let cells: Vec<(f64, Config, &str)> = [0.0, 0.5, 1.0]
+    let cells: Vec<(f64, Config, &str)> = CELLS_P
         .iter()
         .flat_map(|&p| EE_CONFIGS.map(|(config, tag)| (p, config, tag)))
         .collect();
     for &(p_i, config, tag) in &cells {
         let exp = point(p_i, config, tag, &opts);
-        let res = run_experiment(&exp, opts.threads).expect("campaign point");
+        let res = run_experiment_backend(&exp, opts.threads, opts.backend).expect("campaign point");
         println!(
-            "  {:<18} {}  [{} shards, {:.3}s]",
+            "  {:<18} {}  [{} shards, {:.3}s, {:.2}M cycles/s]",
             res.label,
             res.summary(),
             res.shards,
-            res.wall_secs
+            res.wall_secs,
+            res.cycles_per_sec() / 1e6
         );
         report.points.push(res);
     }
@@ -69,14 +93,16 @@ fn main() {
         .points
         .iter()
         .find(|r| r.label == probe.label)
-        .expect("probe point ran in the sweep above");
+        .expect("probe point ran in the sweep above")
+        .clone();
     // Compare against a *different* thread count, so the check exercises
     // the shard/cursor/reduce contract even when the campaign itself ran
     // single-threaded (the default on a 1-core host). With a single shard
     // both runs clamp to 1 thread and the comparison is only a
     // reproducibility check — the printed counts say which one ran.
     let reference =
-        run_experiment(&probe, if multi.threads == 1 { 2 } else { 1 }).expect("probe reference");
+        run_experiment_backend(&probe, if multi.threads == 1 { 2 } else { 1 }, opts.backend)
+            .expect("probe reference");
     assert_eq!(
         multi.stats.per_lane, reference.stats.per_lane,
         "campaign diverged between thread counts"
@@ -88,7 +114,40 @@ fn main() {
         multi.stats.trials()
     );
 
-    // 2. Analytic cross-check: lazy throughput respects its marked-graph
+    // 2. Backend equivalence. (a) The single-word backend re-chunks the
+    //    same seeds into 64-lane shards — the per-lane vector must not
+    //    move. (b) A 64-trial sub-batch through the scalar interpreter on
+    //    the *unoptimized* netlist anchors the whole optimized pipeline to
+    //    the reference semantics (full-size scalar replays would take
+    //    minutes; 64 trials exercise every moving part).
+    if opts.backend != Backend::Wide1 {
+        let narrow = run_experiment_backend(&probe, opts.threads, Backend::Wide1)
+            .expect("single-word replay");
+        assert_eq!(
+            multi.stats.per_lane, narrow.stats.per_lane,
+            "re-chunking for the single-word backend changed the results"
+        );
+        println!(
+            "backend equivalence: {} == wide1 on {} lanes (bit-identical)",
+            multi.backend,
+            multi.stats.trials()
+        );
+    }
+    {
+        let (network, out) = probe.system.build().expect("builds");
+        let h = WideHarness::try_new(&network, out).expect("compiles");
+        let sub = 64.min(opts.trials);
+        let scheds = WideHarness::schedules(&network, &probe.env, probe.seed, probe.cycles, sub);
+        let scalar = h.run_scalar(&scheds);
+        assert_eq!(
+            &multi.stats.per_lane[..sub],
+            &scalar.per_lane[..],
+            "optimized pipeline diverged from the scalar interpreter"
+        );
+        println!("scalar anchor: first {sub} lanes == unoptimized gate-level interpreter");
+    }
+
+    // 3. Analytic cross-check: lazy throughput respects its marked-graph
     //    bound. The tolerance covers finite-horizon noise only: three
     //    CI-half-widths plus one token's worth of horizon truncation.
     for &(p_i, config, tag) in &cells {
@@ -121,11 +180,11 @@ fn main() {
         report.bound_checks.push((exp.label.clone(), check));
     }
 
-    // 3. Thread scaling on one reference point. The determinism run above
+    // 4. Thread scaling on one reference point. The determinism run above
     //    doubles as one sample, and requested counts that the engine would
     //    clamp to an already-measured shard-limited count are skipped so
     //    every emitted row is a distinct, truthful measurement.
-    let num_shards = opts.trials.div_ceil(LANES);
+    let num_shards = opts.trials.div_ceil(opts.backend.lanes());
     println!("scaling (p_i=0.50/early point, {num_shards} shards):");
     for threads in [1usize, 2, 4, 8] {
         let actual = threads.min(num_shards);
@@ -135,7 +194,7 @@ fn main() {
         let res = if actual == reference.threads {
             reference.clone()
         } else {
-            run_experiment(&probe, actual).expect("scaling point")
+            run_experiment_backend(&probe, actual, opts.backend).expect("scaling point")
         };
         println!("  {actual} thread(s): {:.3}s", res.wall_secs);
         report.scaling.push((actual, res.wall_secs));

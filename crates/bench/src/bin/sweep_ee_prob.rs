@@ -13,9 +13,13 @@
 //! magnitude.
 //!
 //! Usage: `sweep_ee_prob [--trials N] [--threads N] [--cycles N]
-//! [--seed N] [--json PATH]`
+//! [--seed N] [--json PATH]
+//! [--backend {scalar,wide,wide1,wide2,wide4,wide8}]` (backend defaults to
+//! the full wide8 pipeline).
 
-use elastic_bench::exp::{ee_prob_experiment, run_experiment, CampaignReport, CliOpts, EE_CONFIGS};
+use elastic_bench::exp::{
+    ee_prob_experiment, run_experiment_backend, CampaignReport, CliOpts, EE_CONFIGS,
+};
 use elastic_bench::{measure_speedup, WideHarness};
 use elastic_core::systems::{paper_example, Config};
 use elastic_netlist::wide::LANES;
@@ -36,7 +40,8 @@ fn main() {
         for (k, (config, tag)) in EE_CONFIGS.into_iter().enumerate() {
             let exp = ee_prob_experiment(p_i, config, tag, opts.cycles, opts.trials, opts.seed)
                 .expect("builds");
-            let res = run_experiment(&exp, opts.threads).expect("campaign point");
+            let res =
+                run_experiment_backend(&exp, opts.threads, opts.backend).expect("campaign point");
             cells[k] = (res.stats.mean(), res.stats.ci95());
             report.points.push(res);
         }

@@ -1,18 +1,18 @@
 //! Sharded multi-threaded Monte-Carlo experiment engine.
 //!
 //! A single [`crate::WideHarness::run`] advances at most
-//! [`LANES`] (= 64) trials in one bit-parallel pass. This module scales the
-//! paper's randomized experiments (Sect. 6.1, Figs. 5–9, Table 1) to
-//! arbitrary trial counts across OS threads:
+//! [`crate::MAX_TRIALS_PER_RUN`] (= 512) trials in one bit-parallel pass.
+//! This module scales the paper's randomized experiments (Sect. 6.1,
+//! Figs. 5–9, Table 1) to arbitrary trial counts across OS threads:
 //!
 //! ```text
-//!   Experiment { system × env × cycles × trials, seed }
-//!        │ shards()                 ⌈trials/64⌉ shards, shard i covering
-//!        ▼                          seeds seed+64·i .. seed+64·i+lanes
-//!   [Shard 0][Shard 1]…[Shard n-1]  (the last shard may be partial)
-//!        │ std::thread::scope       compile once, share &WideHarness;
-//!        ▼                          each worker clones the power-up
-//!   worker₀ … workerₜ               WideSimulator per shard it claims
+//!   Experiment { system × env × cycles × trials, seed } × Backend
+//!        │ shards_for()             ⌈trials/L⌉ shards of L = backend lanes
+//!        ▼                          (512 for wide8); shard i covers seeds
+//!   [Shard 0][Shard 1]…[Shard n-1]  seed+L·i .. seed+L·i+lanes
+//!        │ std::thread::scope       compile+optimize once, share
+//!        ▼                          &WideHarness; each worker packs its
+//!   worker₀ … workerₜ               shard's stimulus and runs a WideSim<W>
 //!        │ reduce (by shard index)
 //!        ▼
 //!   McStats { per_lane[trials] } → mean / stddev / 95% CI
@@ -21,7 +21,8 @@
 //! **Determinism contract:** lane *j* of the campaign always runs the
 //! schedule seeded `seed + j`, and shards are reduced in shard-index order
 //! — so the per-lane vector (and therefore mean/sd/CI) is bit-identical for
-//! every thread count, including a single-threaded run of the same seeds.
+//! every thread count, **every backend and every chunk size**, including a
+//! single-threaded scalar run of the same seeds.
 //!
 //! **Thread-safety contract:** a compiled [`elastic_netlist::levelize::Program`]
 //! is immutable instruction data and a
@@ -48,7 +49,7 @@ use elastic_core::systems::{paper_example, Config};
 use elastic_core::CoreError;
 use elastic_netlist::wide::LANES;
 
-use crate::{McStats, WideHarness};
+use crate::{Backend, McStats, WideHarness};
 
 /// Which elastic system a campaign point simulates.
 #[derive(Debug, Clone)]
@@ -104,31 +105,43 @@ pub struct Experiment {
     pub seed: u64,
 }
 
-/// One unit of worker-pool work: up to [`LANES`] consecutive trials.
+/// One unit of worker-pool work: a run of consecutive trials (at most the
+/// backend's lane capacity).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Shard {
     /// Shard index (0-based; also its reduction position).
     pub index: usize,
     /// Seed of the shard's first lane (`lane k` uses `seed + k`).
     pub seed: u64,
-    /// Live lanes in this shard (1..=64; only the final shard may be
-    /// partial).
+    /// Live lanes in this shard (only the final shard may be partial).
     pub lanes: usize,
 }
 
-/// Splits `trials` into ⌈trials/64⌉ shards with deterministic seed
-/// derivation: shard `i` starts at `seed + 64·i` so the flattened lane
-/// order is exactly `seed, seed+1, …, seed+trials-1` regardless of how many
-/// threads execute the shards. Arithmetic wraps at `u64::MAX` (consistently
-/// with the per-lane derivation in [`WideHarness::schedules`]), so a
-/// near-maximal user seed stays deterministic instead of panicking in
-/// debug builds.
+/// Splits `trials` into ⌈trials/64⌉ single-word shards — the classic PR-3
+/// chunking, equivalent to [`shards_for`] with [`LANES`] lanes per shard.
 pub fn shards(trials: usize, seed: u64) -> Vec<Shard> {
-    (0..trials.div_ceil(LANES))
+    shards_for(trials, seed, LANES)
+}
+
+/// Splits `trials` into ⌈trials/lanes_per_shard⌉ shards with deterministic
+/// seed derivation: shard `i` starts at `seed + lanes_per_shard·i`, so the
+/// flattened lane order is exactly `seed, seed+1, …, seed+trials-1` —
+/// independent of the thread count **and of the chunk size**: re-chunking
+/// for a wider backend permutes nothing. Arithmetic wraps at `u64::MAX`
+/// (consistently with the per-lane derivation in
+/// [`WideHarness::schedules`]), so a near-maximal user seed stays
+/// deterministic instead of panicking in debug builds.
+///
+/// # Panics
+///
+/// Panics if `lanes_per_shard` is zero.
+pub fn shards_for(trials: usize, seed: u64, lanes_per_shard: usize) -> Vec<Shard> {
+    assert!(lanes_per_shard > 0, "shards need at least one lane");
+    (0..trials.div_ceil(lanes_per_shard))
         .map(|i| Shard {
             index: i,
-            seed: seed.wrapping_add((i * LANES) as u64),
-            lanes: LANES.min(trials - i * LANES),
+            seed: seed.wrapping_add((i * lanes_per_shard) as u64),
+            lanes: lanes_per_shard.min(trials - i * lanes_per_shard),
         })
         .collect()
 }
@@ -146,6 +159,8 @@ pub struct PointResult {
     pub shards: usize,
     /// Wall-clock seconds for the whole point (compile + schedules + runs).
     pub wall_secs: f64,
+    /// Execution backend label (see [`Backend::label`]).
+    pub backend: &'static str,
 }
 
 impl PointResult {
@@ -157,6 +172,18 @@ impl PointResult {
             self.stats.ci95(),
             self.stats.stddev()
         )
+    }
+
+    /// End-to-end throughput of the point in simulated cycles per
+    /// wall-clock second (`trials × cycles / wall_secs`) — the headline
+    /// per-core metric of the Monte-Carlo engine.
+    pub fn cycles_per_sec(&self) -> f64 {
+        let total = self.stats.trials() as f64 * self.stats.cycles as f64;
+        if self.wall_secs > 0.0 {
+            total / self.wall_secs
+        } else {
+            f64::INFINITY
+        }
     }
 }
 
@@ -189,15 +216,30 @@ impl From<CoreError> for ExpError {
     }
 }
 
-/// Runs one campaign point sharded across `threads` OS threads.
+/// Runs one campaign point on the default (widest) backend — see
+/// [`run_experiment_backend`].
 ///
-/// The network is compiled **once**; the resulting [`WideHarness`] is
-/// shared by reference across a [`std::thread::scope`] worker pool. Workers
-/// claim shards from an atomic cursor (so stragglers never idle the pool),
-/// generate that shard's schedules, run them through a clone of the
-/// power-up [`elastic_netlist::wide::WideSimulator`], and the per-shard
+/// # Errors
+///
+/// [`ExpError::EmptyExperiment`] for a zero-trial/zero-cycle spec;
+/// [`ExpError::Core`] when the system fails to build or compile.
+pub fn run_experiment(exp: &Experiment, threads: usize) -> Result<PointResult, ExpError> {
+    run_experiment_backend(exp, threads, Backend::default())
+}
+
+/// Runs one campaign point sharded across `threads` OS threads on the
+/// chosen [`Backend`].
+///
+/// The network is compiled **once** (through the full optimize → levelize →
+/// peephole pipeline); the resulting [`WideHarness`] is shared by reference
+/// across a [`std::thread::scope`] worker pool. Workers claim shards from
+/// an atomic cursor (so stragglers never idle the pool), generate that
+/// shard's schedules, pack them into a stimulus matrix and run them through
+/// a fresh power-up [`elastic_netlist::wide::WideSim`]; the per-shard
 /// statistics are reduced in shard-index order — see the module docs for
-/// the determinism contract.
+/// the determinism contract. Shards cover `backend.lanes()` trials each
+/// (512 for the default `wide8`), and the flattened per-lane vector is
+/// identical for **every** backend and chunk size.
 ///
 /// # Errors
 ///
@@ -208,14 +250,18 @@ impl From<CoreError> for ExpError {
 ///
 /// Panics only on library bugs (a worker thread panicking mid-shard), never
 /// on bad experiment inputs.
-pub fn run_experiment(exp: &Experiment, threads: usize) -> Result<PointResult, ExpError> {
+pub fn run_experiment_backend(
+    exp: &Experiment,
+    threads: usize,
+    backend: Backend,
+) -> Result<PointResult, ExpError> {
     if exp.trials == 0 || exp.cycles == 0 {
         return Err(ExpError::EmptyExperiment);
     }
     let t0 = Instant::now();
     let (network, out) = exp.system.build()?;
     let harness = WideHarness::try_new(&network, out)?;
-    let work = shards(exp.trials, exp.seed);
+    let work = shards_for(exp.trials, exp.seed, backend.lanes());
     let threads = threads.clamp(1, work.len());
     let cursor = AtomicUsize::new(0);
 
@@ -236,7 +282,10 @@ pub fn run_experiment(exp: &Experiment, threads: usize) -> Result<PointResult, E
                             exp.cycles,
                             shard.lanes,
                         );
-                        local.push((shard.index, harness.run(&scheds)));
+                        let stats = harness
+                            .try_run_backend(&scheds, backend)
+                            .expect("shard sized to the backend (library bug)");
+                        local.push((shard.index, stats));
                     }
                     local
                 })
@@ -256,6 +305,7 @@ pub fn run_experiment(exp: &Experiment, threads: usize) -> Result<PointResult, E
         threads,
         shards: work.len(),
         wall_secs: t0.elapsed().as_secs_f64(),
+        backend: backend.label(),
     })
 }
 
@@ -372,7 +422,7 @@ impl CampaignReport {
             s.push_str(&format!(
                 "    {{\"point\": {}, \"mean\": {}, \"sd\": {}, \"ci95\": {}, \
                  \"trials\": {}, \"cycles\": {}, \"shards\": {}, \"threads\": {}, \
-                 \"wall_secs\": {}}}{sep}\n",
+                 \"wall_secs\": {}, \"backend\": {}, \"cycles_per_sec\": {}}}{sep}\n",
                 json_str(&p.label),
                 json_f64(p.stats.mean()),
                 json_f64(p.stats.stddev()),
@@ -382,6 +432,8 @@ impl CampaignReport {
                 p.shards,
                 p.threads,
                 json_f64(p.wall_secs),
+                json_str(p.backend),
+                json_f64(p.cycles_per_sec()),
             ));
         }
         s.push_str("  ],\n  \"bound_checks\": [\n");
@@ -458,7 +510,8 @@ fn json_f64(v: f64) -> String {
 }
 
 /// Shared command-line options of the campaign binaries
-/// (`--trials N --threads N --cycles N --seed N --json PATH`).
+/// (`--trials N --threads N --cycles N --seed N --json PATH
+/// --backend {scalar,wide,wide1,wide2,wide4,wide8}`).
 #[derive(Debug, Clone)]
 pub struct CliOpts {
     /// Trials per point.
@@ -471,6 +524,8 @@ pub struct CliOpts {
     pub seed: u64,
     /// Optional JSON output path.
     pub json: Option<String>,
+    /// Execution backend (defaults to the widest, `wide8`).
+    pub backend: Backend,
 }
 
 impl CliOpts {
@@ -506,6 +561,16 @@ impl CliOpts {
             }
             v
         }
+        let backend = match grab("--backend") {
+            None => Backend::default(),
+            Some(raw) => Backend::parse(&raw).unwrap_or_else(|| {
+                eprintln!(
+                    "error: invalid value for --backend: {raw:?} \
+                     (expected scalar, wide, wide1, wide2, wide4 or wide8)"
+                );
+                std::process::exit(2);
+            }),
+        };
         CliOpts {
             trials: positive(
                 "--trials",
@@ -521,6 +586,7 @@ impl CliOpts {
             ),
             seed: parsed("--seed", grab("--seed"), 1),
             json: grab("--json"),
+            backend,
         }
     }
 }
@@ -604,8 +670,10 @@ mod tests {
 
     #[test]
     fn partial_shard_matches_direct_wide_run() {
-        // 70 trials = one full word + a 6-lane partial word; the partial
-        // word's upper lanes must not leak into the estimate.
+        // 70 trials: one 512-lane shard (partial) on the default wide8
+        // backend, two shards on wide1. Neither chunking may leak its dead
+        // upper lanes into the estimate, and both must flatten to the same
+        // per-lane vector as direct single-word runs.
         let (system, env) = pipeline_spec();
         let exp = Experiment {
             label: "partial".into(),
@@ -617,8 +685,11 @@ mod tests {
         };
         let res = run_experiment(&exp, 2).unwrap();
         assert_eq!(res.stats.trials(), 70);
-        assert_eq!(res.shards, 2);
-        // Reference: drive the two shards directly through WideHarness.
+        assert_eq!(res.shards, 1, "one 512-lane shard on the default backend");
+        let narrow = run_experiment_backend(&exp, 2, Backend::Wide1).unwrap();
+        assert_eq!(narrow.shards, 2, "two 64-lane shards on wide1");
+        // Reference: drive the two 64-lane shards directly through
+        // WideHarness.
         let (net, out) = system.build().unwrap();
         let h = WideHarness::new(&net, out);
         let s0 = WideHarness::schedules(&net, &env, 400, 60, 64);
@@ -630,6 +701,36 @@ mod tests {
             .chain(h.run(&s1).per_lane)
             .collect();
         assert_eq!(res.stats.per_lane, expect);
+        assert_eq!(narrow.stats.per_lane, expect);
+    }
+
+    #[test]
+    fn all_backends_agree_bit_exactly() {
+        // The same experiment on every backend — scalar interpreter on the
+        // raw netlist included — must produce the identical per-lane
+        // vector: the end-to-end cross-check of the optimize → levelize →
+        // peephole → pack pipeline.
+        let (system, env) = pipeline_spec();
+        let exp = Experiment {
+            label: "backends".into(),
+            system,
+            env,
+            cycles: 40,
+            trials: 70,
+            seed: 3000,
+        };
+        let reference = run_experiment_backend(&exp, 1, Backend::Scalar).unwrap();
+        assert_eq!(reference.backend, "scalar");
+        for backend in [
+            Backend::Wide1,
+            Backend::Wide2,
+            Backend::Wide4,
+            Backend::Wide8,
+        ] {
+            let res = run_experiment_backend(&exp, 2, backend).unwrap();
+            assert_eq!(res.stats.per_lane, reference.stats.per_lane, "{backend:?}");
+            assert_eq!(res.backend, backend.label());
+        }
     }
 
     #[test]
@@ -688,6 +789,7 @@ mod tests {
                 threads: 2,
                 shards: 1,
                 wall_secs: 0.5,
+                backend: "wide8",
             }],
             bound_checks: vec![(
                 "lazy".into(),
@@ -706,6 +808,9 @@ mod tests {
         assert!(json.contains("\"point\": \"p\\\\0\""));
         assert!(json.contains("\"mean\": 0.500000"));
         assert!(json.contains("\"trials\": 2"));
+        assert!(json.contains("\"backend\": \"wide8\""));
+        // 2 trials × 10 cycles / 0.5 s = 40 cycles/sec.
+        assert!(json.contains("\"cycles_per_sec\": 40.000000"));
         assert!(json.contains("\"ok\": true"));
         assert!(json.contains("\"critical\": [\"M1\"]"));
         // Non-finite wall times degrade to null instead of invalid JSON.

@@ -2,11 +2,14 @@
 //! Criterion benches.
 //!
 //! The Monte-Carlo machinery lives here: [`WideHarness`] compiles an
-//! elastic network once and then evaluates up to 64 independent random
-//! schedules per run through the bit-parallel
-//! [`elastic_netlist::wide::WideSimulator`] backend, with a scalar
-//! reference path ([`WideHarness::run_scalar`]) for equivalence checks and
-//! speedup measurements. The [`exp`] module scales a single 64-lane word to
+//! elastic network once through the throughput-first execution pipeline —
+//! netlist optimization, observed-cone dead-code elimination, tape
+//! peephole, packed stimulus — and then evaluates up to
+//! [`MAX_TRIALS_PER_RUN`] independent random schedules per run through the
+//! multi-word bit-parallel [`elastic_netlist::wide::WideSim`] backend, with
+//! a scalar reference path on the *unoptimized* netlist
+//! ([`WideHarness::run_scalar`]) for end-to-end equivalence checks and
+//! speedup measurements. The [`exp`] module scales single runs to
 //! arbitrary-size campaigns sharded across OS threads.
 
 pub mod exp;
@@ -19,12 +22,14 @@ use elastic_core::network::ElasticNetwork;
 use elastic_core::sim::{BehavSim, EnvConfig, RandomEnv};
 use elastic_core::stats::SimReport;
 use elastic_core::systems::{paper_example, Config, PaperSystem};
-use elastic_core::verify::{NetlistTestbench, Schedule};
+use elastic_core::verify::{NetlistTestbench, PackedStimulus, Schedule};
 use elastic_core::CoreError;
 use elastic_netlist::area::AreaReport;
-use elastic_netlist::opt::optimize;
+use elastic_netlist::levelize::Program;
+use elastic_netlist::opt::{optimize, optimize_observed};
 use elastic_netlist::sim::Simulator;
-use elastic_netlist::wide::{lane_mask, WideSimulator, LANES};
+use elastic_netlist::wide::{lane_masks, WideSim, LANES};
+use elastic_netlist::NetId;
 
 /// One row of the regenerated Table 1.
 #[derive(Debug, Clone)]
@@ -91,6 +96,7 @@ pub fn control_area(sys: &PaperSystem) -> AreaReport {
         &elastic_core::compile::CompileOptions {
             data_width: 2,
             nondet_merge: false,
+            optimize: false,
         },
     )
     .expect("compiles");
@@ -215,22 +221,119 @@ impl McStats {
     }
 }
 
-/// A compiled network plus the testbench handles needed to replay
-/// [`Schedule`]s against it — compile once, run many schedule batches.
+/// Maximum schedules a single [`WideHarness::run`] advances at once: the
+/// widest (`W = 8`) multi-word backend packs 512 trials per tape pass.
+pub const MAX_TRIALS_PER_RUN: usize = 8 * LANES;
+
+/// Which execution engine a Monte-Carlo run uses.
+///
+/// All backends produce bit-identical per-lane [`McStats`] for the same
+/// schedules (asserted by tests and the `campaign` binary); they differ
+/// only in speed. `Scalar` runs the raw unoptimized netlist through the
+/// gate-level interpreter — the end-to-end reference that cross-checks the
+/// whole optimize → levelize → peephole → pack pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// One scalar gate-level [`Simulator`] run per trial, raw netlist.
+    Scalar,
+    /// Single-word compiled backend (64 trials per pass).
+    Wide1,
+    /// Two-word compiled backend (128 trials per pass).
+    Wide2,
+    /// Four-word compiled backend (256 trials per pass).
+    Wide4,
+    /// Eight-word compiled backend (512 trials per pass) — the default.
+    #[default]
+    Wide8,
+}
+
+impl Backend {
+    /// Every backend, scalar first.
+    pub const ALL: [Backend; 5] = [
+        Backend::Scalar,
+        Backend::Wide1,
+        Backend::Wide2,
+        Backend::Wide4,
+        Backend::Wide8,
+    ];
+
+    /// Trials one run (and therefore one campaign shard) covers. The
+    /// scalar backend is per-trial, so it keeps the classic 64-trial shard
+    /// for scheduling parity with `Wide1`.
+    pub fn lanes(self) -> usize {
+        match self {
+            Backend::Scalar | Backend::Wide1 => LANES,
+            Backend::Wide2 => 2 * LANES,
+            Backend::Wide4 => 4 * LANES,
+            Backend::Wide8 => 8 * LANES,
+        }
+    }
+
+    /// CLI name (`--backend` value).
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Wide1 => "wide1",
+            Backend::Wide2 => "wide2",
+            Backend::Wide4 => "wide4",
+            Backend::Wide8 => "wide8",
+        }
+    }
+
+    /// Parses a `--backend` value; `wide` is an alias for the widest
+    /// backend.
+    pub fn parse(s: &str) -> Option<Backend> {
+        match s {
+            "scalar" => Some(Backend::Scalar),
+            "wide" | "wide8" => Some(Backend::Wide8),
+            "wide1" => Some(Backend::Wide1),
+            "wide2" => Some(Backend::Wide2),
+            "wide4" => Some(Backend::Wide4),
+            _ => None,
+        }
+    }
+}
+
+/// A compiled network plus everything needed to replay [`Schedule`]s
+/// against it — compile once, run many schedule batches.
+///
+/// Construction builds the throughput-first execution pipeline:
+///
+/// 1. **raw compile** — the gate-for-gate netlist, kept for the scalar
+///    reference path and channel-rail probing;
+/// 2. **optimize** — [`CompileOptions::optimize`] reruns the paper's
+///    "simple logic synthesis" (Sect. 6) ahead of simulation;
+/// 3. **observed-cone DCE** — [`optimize_observed`] keeps only the logic
+///    that can influence the observed channel's `V⁺/S⁺/V⁻` rails;
+/// 4. **levelize + peephole** — [`Program::compile_optimized`] emits the
+///    instruction tapes and collapses copies, fuses inverters and drops
+///    phase-dead recomputation;
+/// 5. **per run: pack + multi-word execute** — schedules are packed once
+///    into a [`PackedStimulus`] matrix and streamed through a
+///    [`WideSim<W>`] with sparse `trailing_zeros` transfer counting.
 ///
 /// # Panics
 ///
-/// Construction and runs panic on library errors (compilation failures,
-/// missing rails): the bench binaries want loud failures, like the rest of
-/// this crate.
+/// The non-`try` constructors and runners panic on library errors
+/// (compilation failures, missing rails, bad batches): the bench binaries
+/// want loud failures, like the rest of this crate.
 pub struct WideHarness {
+    /// Raw (unoptimized) compilation: scalar reference path + rail ids.
     compiled: Compiled,
     tb: NetlistTestbench,
     out: ChanId,
-    /// Power-up-state simulators built once at construction; runs clone
-    /// them instead of re-levelizing / re-checking the netlist per call.
-    wide_proto: WideSimulator,
+    /// Power-up-state scalar simulator on the raw netlist; cloned per
+    /// reference run.
     scalar_proto: Simulator,
+    /// Peephole-optimized tape over the observed-cone netlist — the wide
+    /// path all `Wide*` backends execute.
+    prog: Program,
+    /// Testbench resolved against the observed-cone netlist (input names
+    /// survive optimization).
+    wide_tb: NetlistTestbench,
+    /// The observed channel's `(V⁺, S⁺, V⁻)` rails in the observed-cone
+    /// netlist.
+    obs_rails: (NetId, NetId, NetId),
 }
 
 /// Payload width used by the Monte-Carlo harness (matches the 2-bit opcode
@@ -256,38 +359,67 @@ impl WideHarness {
             &CompileOptions {
                 data_width: MC_DATA_WIDTH,
                 nondet_merge: false,
+                optimize: false,
             },
         )?;
         let tb = NetlistTestbench::new(net, &compiled.netlist, MC_DATA_WIDTH)?;
-        let wide_proto = WideSimulator::new(&compiled.netlist).map_err(CoreError::from)?;
         let scalar_proto = Simulator::new(&compiled.netlist).map_err(CoreError::from)?;
+        // The wide path: optimized compile, then keep only the cones that
+        // can influence the three observed rails, then peephole the tape.
+        let opt = compile(
+            net,
+            &CompileOptions {
+                data_width: MC_DATA_WIDTH,
+                nondet_merge: false,
+                optimize: true,
+            },
+        )?;
+        let rails = &opt.channels[out.index()];
+        let (obs, map) = optimize_observed(&opt.netlist, &[rails.vp, rails.sp, rails.vn])
+            .map_err(CoreError::from)?;
+        let remap = |id: NetId| map[id.index()].expect("observed rails survive as outputs");
+        let obs_rails = (remap(rails.vp), remap(rails.sp), remap(rails.vn));
+        let wide_tb = NetlistTestbench::new(net, &obs, MC_DATA_WIDTH)?;
+        let (prog, _stats) = Program::compile_optimized(&obs).map_err(CoreError::from)?;
         Ok(WideHarness {
             compiled,
             tb,
             out,
-            wide_proto,
             scalar_proto,
+            prog,
+            wide_tb,
+            obs_rails,
         })
     }
 
     /// Shared horizon of a schedule batch.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when the batch is empty or mixes horizons — per-lane rates
-    /// would silently be wrong for the shorter schedules otherwise.
-    fn horizon(schedules: &[Schedule]) -> u64 {
-        let cycles = schedules.first().expect("at least one schedule").cycles();
-        assert!(
-            schedules.iter().all(|s| s.cycles() == cycles),
-            "schedules must share one horizon"
-        );
-        cycles as u64
+    /// [`CoreError::ScheduleBatch`] when the batch is empty or mixes
+    /// horizons — per-lane rates would silently be wrong for the shorter
+    /// schedules otherwise.
+    fn try_horizon(schedules: &[Schedule]) -> Result<u64, CoreError> {
+        let Some(first) = schedules.first() else {
+            return Err(CoreError::ScheduleBatch("empty schedule batch".into()));
+        };
+        let cycles = first.cycles();
+        if let Some(bad) = schedules.iter().find(|s| s.cycles() != cycles) {
+            return Err(CoreError::ScheduleBatch(format!(
+                "mixed horizons: {cycles} vs {}",
+                bad.cycles()
+            )));
+        }
+        Ok(cycles as u64)
     }
 
     /// Generates `lanes` independent random schedules with seeds
     /// `seed..seed + lanes` (wrapping at `u64::MAX`, matching the shard
-    /// seed derivation of `exp::shards`).
+    /// seed derivation of `exp::shards_for`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero or exceeds [`MAX_TRIALS_PER_RUN`].
     pub fn schedules(
         net: &ElasticNetwork,
         env: &EnvConfig,
@@ -295,29 +427,123 @@ impl WideHarness {
         cycles: usize,
         lanes: usize,
     ) -> Vec<Schedule> {
-        assert!((1..=LANES).contains(&lanes), "1..={LANES} lanes");
+        assert!(
+            (1..=MAX_TRIALS_PER_RUN).contains(&lanes),
+            "1..={MAX_TRIALS_PER_RUN} lanes"
+        );
         (0..lanes as u64)
             .map(|k| Schedule::random(net, env, seed.wrapping_add(k), cycles))
             .collect()
     }
 
-    /// Runs all schedules at once through the bit-parallel backend: one
-    /// compiled-tape pass per cycle advances every trial. A partial word
-    /// (fewer than [`LANES`] schedules — e.g. the final shard of a sharded
-    /// campaign) is masked to the live lanes, so the dead upper lanes can
-    /// never pollute the statistics.
+    /// Runs all schedules at once through the narrowest multi-word backend
+    /// that holds them (≤ 64 → `W = 1`, ≤ 128 → `W = 2`, …): one
+    /// peephole-optimized tape pass per cycle advances every trial from the
+    /// packed stimulus matrix. Partial final words are masked to the live
+    /// lanes, so dead lanes can never pollute the statistics.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::ScheduleBatch`] for an empty batch, more than
+    /// [`MAX_TRIALS_PER_RUN`] schedules, or mixed horizons.
+    pub fn try_run(&self, schedules: &[Schedule]) -> Result<McStats, CoreError> {
+        match schedules.len() {
+            0 => Err(CoreError::ScheduleBatch("empty schedule batch".into())),
+            n if n <= LANES => self.try_run_w::<1>(schedules),
+            n if n <= 2 * LANES => self.try_run_w::<2>(schedules),
+            n if n <= 4 * LANES => self.try_run_w::<4>(schedules),
+            n if n <= 8 * LANES => self.try_run_w::<8>(schedules),
+            n => Err(CoreError::ScheduleBatch(format!(
+                "{n} schedules exceed the {MAX_TRIALS_PER_RUN}-lane capacity"
+            ))),
+        }
+    }
+
+    /// Panicking wrapper around [`WideHarness::try_run`] for the bench
+    /// binaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics on bad batches (see [`WideHarness::try_run`]).
     pub fn run(&self, schedules: &[Schedule]) -> McStats {
-        let cycles = Self::horizon(schedules);
-        let live = lane_mask(schedules.len());
-        let mut sim = self.wide_proto.clone();
-        let nets = &self.compiled.channels[self.out.index()];
+        self.try_run(schedules).expect("runs")
+    }
+
+    /// Runs a batch on an explicitly chosen [`Backend`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::ScheduleBatch`] when the batch is empty, exceeds the
+    /// backend's lane capacity, or mixes horizons.
+    pub fn try_run_backend(
+        &self,
+        schedules: &[Schedule],
+        backend: Backend,
+    ) -> Result<McStats, CoreError> {
+        match backend {
+            Backend::Scalar => self.try_run_scalar(schedules),
+            Backend::Wide1 => self.try_run_w::<1>(schedules),
+            Backend::Wide2 => self.try_run_w::<2>(schedules),
+            Backend::Wide4 => self.try_run_w::<4>(schedules),
+            Backend::Wide8 => self.try_run_w::<8>(schedules),
+        }
+    }
+
+    /// The multi-word hot loop: pack once, then stream rows into the
+    /// values arena by slot index and count transfers by iterating the set
+    /// bits of the per-word transfer mask (`trailing_zeros`), instead of
+    /// shifting through all 64 lanes every cycle.
+    fn try_run_w<const W: usize>(&self, schedules: &[Schedule]) -> Result<McStats, CoreError> {
+        let cycles = Self::try_horizon(schedules)?;
+        let stim = PackedStimulus::pack(&self.wide_tb, schedules, W)?;
+        let mut sim: WideSim<W> = WideSim::from_program(self.prog.clone());
+        sim.check_input_slots(stim.slots())
+            .map_err(CoreError::from)?;
+        let live = lane_masks::<W>(schedules.len());
+        let (vp, sp, vn) = self.obs_rails;
+        let mut counts = vec![0u32; schedules.len()];
+        for t in 0..cycles as usize {
+            sim.cycle_packed(stim.slots(), stim.row(t));
+            // Positive transfer: V+ & !S+ & !V- (kills excluded), one word
+            // of lanes at a time.
+            for (w, &mask) in live.iter().enumerate() {
+                let mut m = sim.word(vp, w) & !sim.word(sp, w) & !sim.word(vn, w) & mask;
+                while m != 0 {
+                    counts[w * LANES + m.trailing_zeros() as usize] += 1;
+                    m &= m - 1;
+                }
+            }
+        }
+        Ok(McStats {
+            cycles,
+            per_lane: counts
+                .iter()
+                .map(|&c| f64::from(c) / cycles as f64)
+                .collect(),
+        })
+    }
+
+    /// The pre-packing execution path: the same peephole-optimized program,
+    /// but driven per cycle through
+    /// [`NetlistTestbench::wide_inputs_at`]'s freshly allocated
+    /// `(NetId, mask)` vectors. Kept to attribute the stimulus-packing gain
+    /// in benchmarks and as the reference for the packed-equivalence
+    /// property tests (≤ 64 schedules).
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty/mixed-horizon batches or more than [`LANES`]
+    /// schedules.
+    pub fn run_unpacked(&self, schedules: &[Schedule]) -> McStats {
+        let cycles = Self::try_horizon(schedules).expect("valid batch");
+        let live = lane_masks::<1>(schedules.len())[0];
+        let mut sim: WideSim<1> = WideSim::from_program(self.prog.clone());
+        let (vp, sp, vn) = self.obs_rails;
         let mut counts = vec![0u64; schedules.len()];
         for t in 0..cycles {
-            sim.cycle(&self.tb.wide_inputs_at(schedules, t))
+            sim.cycle(&self.wide_tb.wide_inputs_at(schedules, t))
                 .expect("runs");
-            // Positive transfer: V+ & !S+ & !V- (kills excluded), all live
-            // lanes at once.
-            let mask = sim.value(nets.vp) & !sim.value(nets.sp) & !sim.value(nets.vn) & live;
+            let mask = sim.value(vp) & !sim.value(sp) & !sim.value(vn) & live;
             for (lane, c) in counts.iter_mut().enumerate() {
                 *c += mask >> lane & 1;
             }
@@ -329,11 +555,17 @@ impl WideHarness {
     }
 
     /// Reference path: the same schedules, one scalar gate-level
-    /// [`Simulator`] run per trial. Produces identical statistics to
-    /// [`WideHarness::run`] (asserted in tests); exists to measure the
-    /// per-trial speedup of the wide backend.
-    pub fn run_scalar(&self, schedules: &[Schedule]) -> McStats {
-        let cycles = Self::horizon(schedules);
+    /// [`Simulator`] run per trial over the **unoptimized** netlist.
+    /// Produces identical statistics to every other backend (asserted in
+    /// tests) — this is the end-to-end cross-check of the optimizer, the
+    /// peephole pass and the packed stimulus, and the baseline for speedup
+    /// measurements.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::ScheduleBatch`] for an empty or mixed-horizon batch.
+    pub fn try_run_scalar(&self, schedules: &[Schedule]) -> Result<McStats, CoreError> {
+        let cycles = Self::try_horizon(schedules)?;
         let nets = &self.compiled.channels[self.out.index()];
         let per_lane = schedules
             .iter()
@@ -349,7 +581,22 @@ impl WideHarness {
                 count as f64 / cycles as f64
             })
             .collect();
-        McStats { cycles, per_lane }
+        Ok(McStats { cycles, per_lane })
+    }
+
+    /// Panicking wrapper around [`WideHarness::try_run_scalar`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty or mixed-horizon batches.
+    pub fn run_scalar(&self, schedules: &[Schedule]) -> McStats {
+        self.try_run_scalar(schedules).expect("runs")
+    }
+
+    /// The peephole-optimized program the wide backends execute (tape
+    /// statistics for reports and benches).
+    pub fn program(&self) -> &Program {
+        &self.prog
     }
 }
 
@@ -444,6 +691,65 @@ mod tests {
         for r in &rows {
             assert!(text.contains(&r.label));
         }
+    }
+
+    #[test]
+    fn execution_pipeline_shrinks_the_tape() {
+        // The optimize → observed-cone DCE → peephole front end must leave
+        // a much shorter instruction tape than a raw levelization of the
+        // same system — that reduction is the per-cycle work the engine no
+        // longer does.
+        let sys = paper_example(Config::ActiveAntiTokens).unwrap();
+        let h = WideHarness::new(&sys.network, sys.output_channel);
+        let raw_nl = compile(
+            &sys.network,
+            &CompileOptions {
+                data_width: MC_DATA_WIDTH,
+                nondet_merge: false,
+                optimize: false,
+            },
+        )
+        .unwrap()
+        .netlist;
+        let raw = Program::compile(&raw_nl).unwrap();
+        let raw_len = raw.high().len() + raw.low().len();
+        let opt_len = h.program().high().len() + h.program().low().len();
+        assert!(
+            opt_len * 2 < raw_len,
+            "optimized tape {opt_len} not under half the raw {raw_len}"
+        );
+        println!("tape: raw {raw_len} instrs -> optimized {opt_len}");
+    }
+
+    #[test]
+    fn try_run_rejects_bad_batches_typed() {
+        // Satellite hardening: empty and mixed-horizon batches are typed
+        // errors on every entry point, not panics.
+        let sys = paper_example(Config::ActiveAntiTokens).unwrap();
+        let h = WideHarness::new(&sys.network, sys.output_channel);
+        assert!(matches!(h.try_run(&[]), Err(CoreError::ScheduleBatch(_))));
+        assert!(matches!(
+            h.try_run_scalar(&[]),
+            Err(CoreError::ScheduleBatch(_))
+        ));
+        let mut mixed = WideHarness::schedules(&sys.network, &sys.env_config, 1, 50, 2);
+        mixed.push(Schedule::random(&sys.network, &sys.env_config, 9, 60));
+        assert!(matches!(
+            h.try_run(&mixed),
+            Err(CoreError::ScheduleBatch(_))
+        ));
+        assert!(matches!(
+            h.try_run_scalar(&mixed),
+            Err(CoreError::ScheduleBatch(_))
+        ));
+        // Capacity: 65 schedules overflow the single-word backend but fit
+        // the default auto-width path.
+        let many = WideHarness::schedules(&sys.network, &sys.env_config, 1, 20, 65);
+        assert!(matches!(
+            h.try_run_backend(&many, Backend::Wide1),
+            Err(CoreError::ScheduleBatch(_))
+        ));
+        assert_eq!(h.try_run(&many).unwrap().trials(), 65);
     }
 
     #[test]

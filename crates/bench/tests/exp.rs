@@ -2,8 +2,10 @@
 //! shard/seed/reduce pipeline must be indistinguishable from driving the
 //! 64-lane words directly, for any trial count and any thread count.
 
-use elastic_bench::exp::{run_experiment, shards, Experiment, SystemSpec};
-use elastic_bench::WideHarness;
+use elastic_bench::exp::{
+    run_experiment, run_experiment_backend, shards, shards_for, Experiment, SystemSpec,
+};
+use elastic_bench::{Backend, WideHarness};
 use elastic_core::sim::{EnvConfig, SinkCfg, SourceCfg};
 use elastic_core::systems::linear_pipeline;
 use elastic_netlist::wide::LANES;
@@ -85,19 +87,56 @@ proptest! {
     }
 
     /// The shard partition itself: covers exactly `seed..seed+n` in order,
-    /// all words full except possibly the last.
+    /// all words full except possibly the last — for the classic 64-lane
+    /// chunking and every wider backend chunk size.
     #[test]
     fn shard_partition_is_exact(n in 1usize..5000, seed in 0u64..u64::MAX / 2) {
         let sh = shards(n, seed);
         prop_assert_eq!(sh.len(), n.div_ceil(LANES));
-        let mut next = seed;
-        for (i, s) in sh.iter().enumerate() {
-            prop_assert_eq!(s.index, i);
-            prop_assert_eq!(s.seed, next);
-            let full = i + 1 < sh.len();
-            prop_assert!(if full { s.lanes == LANES } else { (1..=LANES).contains(&s.lanes) });
-            next += s.lanes as u64;
+        for chunk in [LANES, 2 * LANES, 4 * LANES, 8 * LANES] {
+            let sh = shards_for(n, seed, chunk);
+            prop_assert_eq!(sh.len(), n.div_ceil(chunk));
+            let mut next = seed;
+            for (i, s) in sh.iter().enumerate() {
+                prop_assert_eq!(s.index, i);
+                prop_assert_eq!(s.seed, next);
+                let full = i + 1 < sh.len();
+                prop_assert!(if full { s.lanes == chunk } else { (1..=chunk).contains(&s.lanes) });
+                next += s.lanes as u64;
+            }
+            prop_assert_eq!(next, seed + n as u64);
         }
-        prop_assert_eq!(next, seed + n as u64);
+    }
+
+    /// Satellite (c): a `PackedStimulus`-driven run reproduces the
+    /// `wide_inputs_at`-driven (per-cycle allocation) path bit-exactly for
+    /// any shard size — the two stimulus paths execute the identical
+    /// optimized program, so the per-lane rate vectors must be equal, not
+    /// just close.
+    #[test]
+    fn packed_runs_equal_unpacked_runs(n in 1usize..150, seed in 0u64..1000) {
+        let exp = pipeline_experiment(n, seed, 30);
+        let (net, out) = exp.system.build().unwrap();
+        let h = WideHarness::new(&net, out);
+        // Packed, auto-width multi-word path (what campaigns run).
+        let packed: Vec<f64> = shards_for(n, seed, 8 * LANES)
+            .iter()
+            .flat_map(|s| {
+                let scheds = WideHarness::schedules(&net, &exp.env, s.seed, exp.cycles, s.lanes);
+                h.run(&scheds).per_lane
+            })
+            .collect();
+        // Unpacked single-word reference (pre-PR4 stimulus path).
+        let unpacked: Vec<f64> = shards(n, seed)
+            .iter()
+            .flat_map(|s| {
+                let scheds = WideHarness::schedules(&net, &exp.env, s.seed, exp.cycles, s.lanes);
+                h.run_unpacked(&scheds).per_lane
+            })
+            .collect();
+        prop_assert_eq!(&packed, &unpacked);
+        // And the sharded engine agrees with both on every backend width.
+        let engine = run_experiment_backend(&exp, 3, Backend::Wide4).unwrap();
+        prop_assert_eq!(&engine.stats.per_lane, &packed);
     }
 }

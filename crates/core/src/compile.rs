@@ -14,6 +14,7 @@
 //! strip the upstream negative rails — the area savings of Table 1's
 //! passive rows.
 
+use elastic_netlist::opt::optimize;
 use elastic_netlist::{NetId, Netlist};
 
 use crate::channel::ChanId;
@@ -31,6 +32,15 @@ pub struct CompileOptions {
     /// input steering a mux), as in the paper's Fig. 8(b) data-correctness
     /// testbenches.
     pub nondet_merge: bool,
+    /// Run [`elastic_netlist::opt::optimize`] on the emitted netlist before
+    /// returning — the paper's "simple logic synthesis techniques" step
+    /// (Sect. 6) applied ahead of simulation instead of only for area
+    /// reports. Every channel rail is marked as an output first, so all
+    /// [`ChannelNets`] survive and are remapped through the optimizer's
+    /// net map (a rail may land on a folded constant, e.g. the upstream
+    /// `V⁻` of a passive channel). Defaults to `false`, which preserves
+    /// the raw gate-for-gate emission.
+    pub optimize: bool,
 }
 
 /// Per-channel rail nets of a compiled network.
@@ -51,10 +61,14 @@ pub struct ChannelNets {
 /// Result of compiling an [`ElasticNetwork`].
 #[derive(Debug, Clone)]
 pub struct Compiled {
-    /// The gate-level netlist (unoptimized; run
-    /// [`elastic_netlist::opt::optimize`] for area reports).
+    /// The gate-level netlist. Raw gate-for-gate emission by default; the
+    /// optimized rebuild when [`CompileOptions::optimize`] is set (run
+    /// [`elastic_netlist::opt::optimize`] yourself for area reports on the
+    /// raw form).
     pub netlist: Netlist,
-    /// Rail nets per channel, indexed by [`ChanId`].
+    /// Rail nets per channel, indexed by [`ChanId`]. Under
+    /// [`CompileOptions::optimize`] these are already remapped into the
+    /// optimized netlist.
     pub channels: Vec<ChannelNets>,
 }
 
@@ -416,8 +430,56 @@ pub fn compile(net: &ElasticNetwork, opts: &CompileOptions) -> Result<Compiled, 
         }
     }
 
-    Ok(Compiled {
+    let compiled = Compiled {
         netlist: n,
+        channels,
+    };
+    if opts.optimize {
+        return optimize_compiled(compiled);
+    }
+    Ok(compiled)
+}
+
+/// Optimizes a freshly compiled netlist and remaps every channel rail
+/// through the old→new net map. All rails are marked as outputs first so
+/// none can be dropped by dead-code elimination — constant folding still
+/// strips the logic *behind* a rail that settles to a constant, which is
+/// where the lazy/passive configurations shed their counterflow gates.
+fn optimize_compiled(compiled: Compiled) -> Result<Compiled, CoreError> {
+    let mut nl = compiled.netlist;
+    for ch in &compiled.channels {
+        for r in [ch.vp, ch.sp, ch.vn, ch.sn] {
+            nl.mark_output(r)?;
+        }
+        for &d in &ch.data {
+            nl.mark_output(d)?;
+        }
+    }
+    let (opt, map) = optimize(&nl)?;
+    let remap = |id: NetId| -> Result<NetId, CoreError> {
+        map[id.index()].ok_or_else(|| {
+            CoreError::Netlist(format!("channel rail {id} lost during optimization"))
+        })
+    };
+    let channels = compiled
+        .channels
+        .iter()
+        .map(|ch| {
+            Ok(ChannelNets {
+                vp: remap(ch.vp)?,
+                sp: remap(ch.sp)?,
+                vn: remap(ch.vn)?,
+                sn: remap(ch.sn)?,
+                data: ch
+                    .data
+                    .iter()
+                    .map(|&d| remap(d))
+                    .collect::<Result<_, _>>()?,
+            })
+        })
+        .collect::<Result<Vec<_>, CoreError>>()?;
+    Ok(Compiled {
+        netlist: opt,
         channels,
     })
 }
@@ -716,6 +778,7 @@ mod tests {
             &CompileOptions {
                 data_width: 1,
                 nondet_merge: false,
+                optimize: false,
             },
         )
         .unwrap_err();
@@ -725,6 +788,7 @@ mod tests {
             &CompileOptions {
                 data_width: 3,
                 nondet_merge: false,
+                optimize: false,
             },
         )
         .unwrap();
@@ -738,6 +802,7 @@ mod tests {
             &CompileOptions {
                 data_width: 1,
                 nondet_merge: false,
+                optimize: false,
             },
         )
         .unwrap();

@@ -44,6 +44,9 @@ pub enum CoreError {
         /// What was violated.
         message: String,
     },
+    /// A Monte-Carlo schedule batch was unusable: empty, larger than the
+    /// backend's lane capacity, or mixing cycle horizons.
+    ScheduleBatch(String),
     /// Underlying netlist error (compilation only).
     Netlist(String),
 }
@@ -81,6 +84,7 @@ impl fmt::Display for CoreError {
                     channel.index()
                 )
             }
+            CoreError::ScheduleBatch(msg) => write!(f, "bad schedule batch: {msg}"),
             CoreError::Netlist(e) => write!(f, "netlist error: {e}"),
         }
     }

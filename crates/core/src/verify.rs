@@ -307,6 +307,165 @@ impl NetlistTestbench {
     }
 }
 
+/// A dense, pre-packed stimulus matrix for the bit-parallel Monte-Carlo hot
+/// path: one `cycles × input-slots` table of lane-word groups, built once
+/// per shard from up to `width × 64` [`Schedule`]s and then streamed into
+/// [`elastic_netlist::wide::WideSim::cycle_packed`] by raw slot index — no
+/// per-cycle heap allocation, no per-lane `HashMap` lookups and no `NetId`
+/// validation inside the simulation loop.
+///
+/// Lane `l` of every row carries schedule `schedules[l]`; word `l / 64`,
+/// bit `l % 64`. Rows reproduce [`NetlistTestbench::wide_inputs_at`]
+/// bit-for-bit (asserted by unit and property tests), the testbench input
+/// order is preserved, and `slots[i]` is the dense arena index of the
+/// testbench's `i`-th input net.
+#[derive(Debug, Clone)]
+pub struct PackedStimulus {
+    cycles: usize,
+    width: usize,
+    slots: Vec<u32>,
+    /// Row-major: `words[(t * slots.len() + i) * width + w]` is lane word
+    /// `w` of input `i` at cycle `t`.
+    words: Vec<u64>,
+}
+
+impl PackedStimulus {
+    /// Packs `schedules` into a dense stimulus matrix with `width` lane
+    /// words per input (capacity `width × 64` schedules).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::ScheduleBatch`] when the batch is empty, exceeds the
+    /// lane capacity, or mixes cycle horizons.
+    pub fn pack(
+        tb: &NetlistTestbench,
+        schedules: &[Schedule],
+        width: usize,
+    ) -> Result<PackedStimulus, CoreError> {
+        let lanes = schedules.len();
+        if lanes == 0 {
+            return Err(CoreError::ScheduleBatch("empty schedule batch".into()));
+        }
+        if lanes > width * LANES {
+            return Err(CoreError::ScheduleBatch(format!(
+                "{lanes} schedules exceed the {}-lane capacity of a {width}-word backend",
+                width * LANES
+            )));
+        }
+        let cycles = schedules[0].cycles;
+        if let Some(bad) = schedules.iter().find(|s| s.cycles != cycles) {
+            return Err(CoreError::ScheduleBatch(format!(
+                "mixed horizons: {cycles} vs {}",
+                bad.cycles
+            )));
+        }
+        let mut slots: Vec<u32> = Vec::new();
+        for (_, offer, dins) in &tb.srcs {
+            slots.push(offer.index() as u32);
+            slots.extend(dins.iter().map(|d| d.index() as u32));
+        }
+        for (_, stop, kill) in &tb.sinks {
+            slots.push(stop.index() as u32);
+            slots.push(kill.index() as u32);
+        }
+        for (_, fin) in &tb.vls {
+            slots.push(fin.index() as u32);
+        }
+        let n = slots.len();
+        let mut words = vec![0u64; cycles * n * width];
+        // One stream lookup per (component, lane) — the per-(cycle × lane)
+        // string hashing of the unpacked path happens once, here, at pack
+        // time.
+        let cell = |t: usize, col: usize, w: usize| (t * n + col) * width + w;
+        let mut col = 0usize;
+        for (name, _, dins) in &tb.srcs {
+            for (lane, sched) in schedules.iter().enumerate() {
+                let (w, bit) = (lane / LANES, lane % LANES);
+                let Some(stream) = sched.offers.get(name) else {
+                    continue;
+                };
+                for (t, &offer) in stream.iter().take(cycles).enumerate() {
+                    if let Some(d) = offer {
+                        words[cell(t, col, w)] |= 1 << bit;
+                        for j in 0..dins.len() {
+                            if d >> j & 1 == 1 {
+                                words[cell(t, col + 1 + j, w)] |= 1 << bit;
+                            }
+                        }
+                    }
+                }
+            }
+            col += 1 + dins.len();
+        }
+        for (name, _, _) in &tb.sinks {
+            for (lane, sched) in schedules.iter().enumerate() {
+                let (w, bit) = (lane / LANES, lane % LANES);
+                for (stream, c) in [
+                    (sched.stops.get(name), col),
+                    (sched.kills.get(name), col + 1),
+                ] {
+                    let Some(stream) = stream else { continue };
+                    for (t, &v) in stream.iter().take(cycles).enumerate() {
+                        if v {
+                            words[cell(t, c, w)] |= 1 << bit;
+                        }
+                    }
+                }
+            }
+            col += 2;
+        }
+        for (name, _) in &tb.vls {
+            for (lane, sched) in schedules.iter().enumerate() {
+                let (w, bit) = (lane / LANES, lane % LANES);
+                let Some(stream) = sched.finishes.get(name) else {
+                    continue;
+                };
+                for (t, &v) in stream.iter().take(cycles).enumerate() {
+                    if v {
+                        words[cell(t, col, w)] |= 1 << bit;
+                    }
+                }
+            }
+            col += 1;
+        }
+        debug_assert_eq!(col, n);
+        Ok(PackedStimulus {
+            cycles,
+            width,
+            slots,
+            words,
+        })
+    }
+
+    /// Horizon of the packed schedules, in cycles.
+    pub fn cycles(&self) -> usize {
+        self.cycles
+    }
+
+    /// Lane words per input (the `W` of the target backend).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Dense arena slot of every input column, in testbench input order.
+    /// Validate once against the target simulator with
+    /// [`elastic_netlist::wide::WideSim::check_input_slots`].
+    pub fn slots(&self) -> &[u32] {
+        &self.slots
+    }
+
+    /// The stimulus row of cycle `t`: `slots.len() × width` lane words,
+    /// ready for [`elastic_netlist::wide::WideSim::cycle_packed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= cycles`.
+    pub fn row(&self, t: usize) -> &[u64] {
+        let stride = self.slots.len() * self.width;
+        &self.words[t * stride..(t + 1) * stride]
+    }
+}
+
 /// Runs the behavioural simulator and the compiled netlist side by side
 /// under the same [`Schedule`] and compares all four rails of every channel
 /// on every cycle.
@@ -327,6 +486,7 @@ pub fn cosim_check(
         &CompileOptions {
             data_width,
             nondet_merge: false,
+            optimize: false,
         },
     )?;
     let nl = &compiled.netlist;
@@ -421,6 +581,7 @@ pub fn cosim_check_wide(
         &CompileOptions {
             data_width,
             nondet_merge: false,
+            optimize: false,
         },
     )?;
     let nl = &compiled.netlist;
@@ -751,6 +912,173 @@ mod tests {
                 .collect();
             cosim_check_wide(&sys.network, &scheds, 2)
                 .unwrap_or_else(|e| panic!("{config:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn packed_stimulus_matches_wide_inputs_at() {
+        // The packed matrix must reproduce the per-cycle packing of
+        // `wide_inputs_at` bit for bit, in the same input order — on a
+        // system exercising all three stream kinds (sources with payloads,
+        // sinks, variable-latency units).
+        use crate::ee::{EarlyEval, EeTerm};
+        let mut net = ElasticNetwork::new("stim");
+        let g = net.add_source("g");
+        let s1 = net.add_source("s1");
+        let bg = net.add_eb("bg", false);
+        let b1 = net.add_eb("b1", false);
+        let vl = net.add_var_latency("vl");
+        let ee = EarlyEval::new(
+            0,
+            vec![
+                EeTerm {
+                    guard_mask: 1,
+                    guard_value: 0,
+                    required: vec![],
+                    select: 0,
+                },
+                EeTerm {
+                    guard_mask: 1,
+                    guard_value: 1,
+                    required: vec![1],
+                    select: 1,
+                },
+            ],
+        );
+        let j = net.add_early_join("w", 2, ee).unwrap();
+        let snk = net.add_sink("snk");
+        net.connect(g, 0, bg, 0, "cg").unwrap();
+        net.connect(s1, 0, b1, 0, "c1").unwrap();
+        net.connect(b1, 0, vl, 0, "bv").unwrap();
+        net.connect(bg, 0, j, 0, "jg").unwrap();
+        net.connect(vl, 0, j, 1, "jv").unwrap();
+        net.connect(j, 0, snk, 0, "out").unwrap();
+        let compiled = compile(
+            &net,
+            &CompileOptions {
+                data_width: 2,
+                nondet_merge: false,
+                optimize: false,
+            },
+        )
+        .unwrap();
+        let tb = NetlistTestbench::new(&net, &compiled.netlist, 2).unwrap();
+        let cycles = 40usize;
+        let scheds: Vec<Schedule> = (0..10)
+            .map(|k| Schedule::random(&net, &stress_cfg(), 900 + k, cycles))
+            .collect();
+        let stim = PackedStimulus::pack(&tb, &scheds, 1).unwrap();
+        assert_eq!(stim.cycles(), cycles);
+        for t in 0..cycles as u64 {
+            let reference = tb.wide_inputs_at(&scheds, t);
+            let row = stim.row(t as usize);
+            assert_eq!(reference.len(), stim.slots().len());
+            for (i, &(net_id, mask)) in reference.iter().enumerate() {
+                assert_eq!(stim.slots()[i], net_id.index() as u32, "column {i}");
+                assert_eq!(row[i], mask, "cycle {t} input {i}");
+            }
+        }
+        // Width 2: lanes past 63 spill into the second word; the first word
+        // of a 64-schedule prefix is unchanged.
+        let wide_scheds: Vec<Schedule> = (0..80)
+            .map(|k| Schedule::random(&net, &stress_cfg(), 2000 + k, 16))
+            .collect();
+        let two = PackedStimulus::pack(&tb, &wide_scheds, 2).unwrap();
+        let one = PackedStimulus::pack(&tb, &wide_scheds[..64], 1).unwrap();
+        let spill = PackedStimulus::pack(&tb, &wide_scheds[64..], 1).unwrap();
+        for t in 0..16 {
+            for i in 0..two.slots().len() {
+                assert_eq!(two.row(t)[i * 2], one.row(t)[i], "word 0 cycle {t}");
+                assert_eq!(two.row(t)[i * 2 + 1], spill.row(t)[i], "word 1 cycle {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_stimulus_rejects_bad_batches() {
+        let (net, _, _) = linear_pipeline(1, 0).unwrap();
+        let compiled = compile(&net, &CompileOptions::default()).unwrap();
+        let tb = NetlistTestbench::new(&net, &compiled.netlist, 0).unwrap();
+        let cfg = EnvConfig::default();
+        assert!(matches!(
+            PackedStimulus::pack(&tb, &[], 1),
+            Err(CoreError::ScheduleBatch(_))
+        ));
+        let too_many: Vec<Schedule> = (0..65)
+            .map(|k| Schedule::random(&net, &cfg, k, 5))
+            .collect();
+        assert!(matches!(
+            PackedStimulus::pack(&tb, &too_many, 1),
+            Err(CoreError::ScheduleBatch(_))
+        ));
+        PackedStimulus::pack(&tb, &too_many, 2).unwrap();
+        let mixed = [
+            Schedule::random(&net, &cfg, 1, 5),
+            Schedule::random(&net, &cfg, 2, 6),
+        ];
+        assert!(matches!(
+            PackedStimulus::pack(&tb, &mixed, 1),
+            Err(CoreError::ScheduleBatch(_))
+        ));
+    }
+
+    #[test]
+    fn optimized_compile_keeps_rails_cycle_exact() {
+        // The CompileOptions::optimize knob: remapped rails must report the
+        // same four-rail trace as the raw compilation, cycle by cycle, and
+        // the optimized netlist must actually be smaller.
+        use crate::systems::{paper_example, Config};
+        for config in [Config::ActiveAntiTokens, Config::NoEarlyEval] {
+            let sys = paper_example(config).unwrap();
+            let raw = compile(
+                &sys.network,
+                &CompileOptions {
+                    data_width: 2,
+                    nondet_merge: false,
+                    optimize: false,
+                },
+            )
+            .unwrap();
+            let opt = compile(
+                &sys.network,
+                &CompileOptions {
+                    data_width: 2,
+                    nondet_merge: false,
+                    optimize: true,
+                },
+            )
+            .unwrap();
+            assert!(
+                opt.netlist.len() < raw.netlist.len(),
+                "{config:?}: {} !< {}",
+                opt.netlist.len(),
+                raw.netlist.len()
+            );
+            let tb_raw = NetlistTestbench::new(&sys.network, &raw.netlist, 2).unwrap();
+            let tb_opt = NetlistTestbench::new(&sys.network, &opt.netlist, 2).unwrap();
+            let sched = Schedule::random(&sys.network, &sys.env_config, 77, 300);
+            let mut sim_raw = Simulator::new(&raw.netlist).unwrap();
+            let mut sim_opt = Simulator::new(&opt.netlist).unwrap();
+            for t in 0..300u64 {
+                sim_raw.cycle(&tb_raw.inputs_at(&sched, t)).unwrap();
+                sim_opt.cycle(&tb_opt.inputs_at(&sched, t)).unwrap();
+                for chan in sys.network.channels() {
+                    let (r, o) = (&raw.channels[chan.index()], &opt.channels[chan.index()]);
+                    for (rail, (rr, oo)) in [
+                        ("vp", (r.vp, o.vp)),
+                        ("sp", (r.sp, o.sp)),
+                        ("vn", (r.vn, o.vn)),
+                        ("sn", (r.sn, o.sn)),
+                    ] {
+                        assert_eq!(
+                            sim_raw.value(rr),
+                            sim_opt.value(oo),
+                            "{config:?} cycle {t} {} {rail}",
+                            sys.network.channel(chan).name
+                        );
+                    }
+                }
+            }
         }
     }
 

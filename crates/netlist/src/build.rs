@@ -365,6 +365,29 @@ impl Netlist {
         Ok(())
     }
 
+    /// Replaces the primary-output list with `nets` (deduplicated, in the
+    /// given order). This is the observability hook of
+    /// [`opt::optimize_observed`](crate::opt::optimize_observed): dead-code
+    /// elimination keeps exactly the cones of the outputs, so narrowing the
+    /// output set narrows what a downstream simulator has to evaluate.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::UnknownNet`] if any net is out of range (the output
+    /// list is left unchanged).
+    pub fn set_outputs(&mut self, nets: &[NetId]) -> Result<(), NetlistError> {
+        for &n in nets {
+            self.check_net(n)?;
+        }
+        self.outputs.clear();
+        for &n in nets {
+            if !self.outputs.contains(&n) {
+                self.outputs.push(n);
+            }
+        }
+        Ok(())
+    }
+
     /// Assigns a display name to a net (required for MC atoms & exporters).
     ///
     /// # Errors

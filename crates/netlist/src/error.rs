@@ -39,6 +39,14 @@ pub enum NetlistError {
     DuplicateName(String),
     /// A name lookup failed.
     UnknownName(String),
+    /// A per-lane accessor was given a lane index outside the simulator's
+    /// lane word.
+    LaneOutOfRange {
+        /// The requested lane.
+        lane: usize,
+        /// Number of lanes the simulator holds.
+        lanes: usize,
+    },
 }
 
 impl fmt::Display for NetlistError {
@@ -73,6 +81,9 @@ impl fmt::Display for NetlistError {
             }
             NetlistError::DuplicateName(n) => write!(f, "duplicate net name {n:?}"),
             NetlistError::UnknownName(n) => write!(f, "no net named {n:?}"),
+            NetlistError::LaneOutOfRange { lane, lanes } => {
+                write!(f, "lane {lane} out of range for a {lanes}-lane simulator")
+            }
         }
     }
 }

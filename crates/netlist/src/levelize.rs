@@ -80,6 +80,28 @@ pub enum Instr {
         /// Second input slot.
         b: u32,
     },
+    /// `slots[dst] = slots[a] & !slots[b]` — produced by the
+    /// [`Program::peephole`] pass fusing a `Not` into its `And2` consumer
+    /// (the `x & !y` kill-gating shape is everywhere in elastic
+    /// controllers). Never emitted by the initial lowering.
+    AndNot {
+        /// Destination slot.
+        dst: u32,
+        /// Non-inverted input slot.
+        a: u32,
+        /// Inverted input slot.
+        b: u32,
+    },
+    /// `slots[dst] = slots[a] | !slots[b]` — peephole fusion of a `Not`
+    /// into its `Or2` consumer. Never emitted by the initial lowering.
+    OrNot {
+        /// Destination slot.
+        dst: u32,
+        /// Non-inverted input slot.
+        a: u32,
+        /// Inverted input slot.
+        b: u32,
+    },
     /// N-ary AND over `args[start..start + len]` (see [`Program::args`]).
     AndN {
         /// Destination slot.
@@ -122,6 +144,56 @@ pub enum Instr {
     },
 }
 
+impl Instr {
+    /// Destination slot of this instruction.
+    pub fn dst(self) -> u32 {
+        match self {
+            Instr::Fill { dst, .. }
+            | Instr::Copy { dst, .. }
+            | Instr::Not { dst, .. }
+            | Instr::And2 { dst, .. }
+            | Instr::Or2 { dst, .. }
+            | Instr::Xor2 { dst, .. }
+            | Instr::AndNot { dst, .. }
+            | Instr::OrNot { dst, .. }
+            | Instr::AndN { dst, .. }
+            | Instr::OrN { dst, .. }
+            | Instr::Mux { dst, .. }
+            | Instr::LatchEn { dst, .. } => dst,
+        }
+    }
+}
+
+/// Appends the slots `instr` reads to `out`. A [`Instr::LatchEn`] reads its
+/// own destination (the hold path), so `dst` is among its operands.
+fn push_operands(instr: Instr, args: &[u32], out: &mut Vec<u32>) {
+    match instr {
+        Instr::Fill { .. } => {}
+        Instr::Copy { src, .. } | Instr::Not { src, .. } => out.push(src),
+        Instr::And2 { a, b, .. }
+        | Instr::Or2 { a, b, .. }
+        | Instr::Xor2 { a, b, .. }
+        | Instr::AndNot { a, b, .. }
+        | Instr::OrNot { a, b, .. } => {
+            out.push(a);
+            out.push(b);
+        }
+        Instr::AndN { start, len, .. } | Instr::OrN { start, len, .. } => {
+            out.extend(&args[start as usize..(start + len) as usize]);
+        }
+        Instr::Mux { sel, a, b, .. } => {
+            out.push(sel);
+            out.push(a);
+            out.push(b);
+        }
+        Instr::LatchEn { dst, d, en } => {
+            out.push(d);
+            out.push(en);
+            out.push(dst);
+        }
+    }
+}
+
 /// A flip-flop commit record: at every rising edge slot `q` takes the value
 /// captured from slot `d` at the end of the previous cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -153,6 +225,7 @@ pub struct Program {
     ffs: Vec<FfCommit>,
     inputs: Vec<NetId>,
     state_nets: Vec<NetId>,
+    outputs: Vec<NetId>,
 }
 
 impl Program {
@@ -194,7 +267,24 @@ impl Program {
             ffs,
             inputs: netlist.inputs().to_vec(),
             state_nets: netlist.state_elements(),
+            outputs: netlist.outputs().to_vec(),
         })
+    }
+
+    /// Compiles and immediately runs the [`Program::peephole`] pass.
+    ///
+    /// The resulting tapes preserve, cycle by cycle, the values of the
+    /// netlist's primary outputs, state elements and flip-flop captures —
+    /// other nets may go stale (their instructions can be eliminated), so
+    /// probe only outputs and state on a peephole-optimized program.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Program::compile`].
+    pub fn compile_optimized(netlist: &Netlist) -> Result<(Program, PeepholeStats), NetlistError> {
+        let mut p = Program::compile(netlist)?;
+        let stats = p.peephole();
+        Ok((p, stats))
     }
 
     /// Number of value slots (= number of nets in the source netlist).
@@ -238,6 +328,470 @@ impl Program {
     pub fn state_nets(&self) -> &[NetId] {
         &self.state_nets
     }
+
+    /// Primary outputs of the source netlist — the observation set the
+    /// [`Program::peephole`] pass preserves (together with state elements
+    /// and flip-flop captures).
+    pub fn outputs(&self) -> &[NetId] {
+        &self.outputs
+    }
+
+    /// Peephole-optimizes the instruction tapes in place:
+    ///
+    /// 1. **copy-chain collapsing** — readers of a `Copy` destination are
+    ///    redirected to its source (sound within a tape: every slot is
+    ///    written at most once per tape, in dependency order);
+    /// 2. **inverter fusion** — `Not` feeding `And2`/`Or2` becomes a single
+    ///    [`Instr::AndNot`]/[`Instr::OrNot`], and inverted mux selects swap
+    ///    their arms;
+    /// 3. **constant folding** — slots never written by either tape (and
+    ///    not inputs or state) are stuck at their power-up value, `Fill`
+    ///    destinations are tape-local constants, and both fold through
+    ///    every gate kind (including shrinking `AndN`/`OrN` operand runs
+    ///    and deleting never-enabled hold latches);
+    /// 4. **phase-aware dead-code elimination** — an instruction survives
+    ///    only if its destination is read before being overwritten, by a
+    ///    live instruction, a flip-flop capture, or an end-of-cycle
+    ///    observation of an output/state net. A combinational gate whose
+    ///    value is only consumed after the low phase thus executes once per
+    ///    cycle instead of twice — for latch-free controllers this removes
+    ///    the high tape entirely.
+    ///
+    /// After the pass, only primary outputs, state elements and flip-flop
+    /// captures are guaranteed to hold their exact per-cycle values; other
+    /// slots may be stale. Equivalence on the preserved nets is asserted
+    /// against the scalar interpreter by property tests over random
+    /// netlists.
+    pub fn peephole(&mut self) -> PeepholeStats {
+        let n = self.num_slots;
+        let mut stats = PeepholeStats {
+            instrs_before: self.high.len() + self.low.len(),
+            ..PeepholeStats::default()
+        };
+        // Global constants: slots never written by either tape are stuck at
+        // their power-up value — unless they are inputs (driven by the
+        // testbench) or state elements (flip-flop commits and `load_state`
+        // write them outside the tapes).
+        let mut konst_base: Vec<Option<bool>> = self.init.iter().map(|&b| Some(b)).collect();
+        for i in self.high.iter().chain(self.low.iter()) {
+            konst_base[i.dst() as usize] = None;
+        }
+        for &i in &self.inputs {
+            konst_base[i.index()] = None;
+        }
+        for &s in &self.state_nets {
+            konst_base[s.index()] = None;
+        }
+        // Forward rewrite of both tapes to a joint fixpoint (a fold in one
+        // pass can expose a fusion in the next).
+        loop {
+            let mut changed = false;
+            let high = std::mem::take(&mut self.high);
+            let (high, ch) = rewrite_tape(&high, &mut self.args, &konst_base, n, &mut stats);
+            self.high = high;
+            changed |= ch;
+            let low = std::mem::take(&mut self.low);
+            let (low, cl) = rewrite_tape(&low, &mut self.args, &konst_base, n, &mut stats);
+            self.low = low;
+            changed |= cl;
+            if !changed {
+                break;
+            }
+        }
+        self.eliminate_dead();
+        stats.instrs_after = self.high.len() + self.low.len();
+        stats
+    }
+
+    /// Phase-aware dead-code elimination over both tapes (step 4 of
+    /// [`Program::peephole`]): backward liveness in execution order (low
+    /// tape, then high tape, with needs at the top of the high tape wrapping
+    /// to the previous cycle's end), iterated to a fixpoint. Roots are the
+    /// end-of-cycle observations: primary outputs, state elements and
+    /// flip-flop data captures.
+    fn eliminate_dead(&mut self) {
+        let n = self.num_slots;
+        let mut roots = vec![false; n];
+        for &o in &self.outputs {
+            roots[o.index()] = true;
+        }
+        for &s in &self.state_nets {
+            roots[s.index()] = true;
+        }
+        for f in &self.ffs {
+            roots[f.d as usize] = true;
+        }
+        let mut live_high = vec![false; self.high.len()];
+        let mut live_low = vec![false; self.low.len()];
+        // Slots whose value at the top of the high tape is read before being
+        // rewritten — they bind to the previous cycle's end-of-low values.
+        // (Flip-flop outputs and inputs are overwritten at the cycle
+        // boundary, but they have no tape writers, so carrying their needs
+        // across is harmless.)
+        let mut boundary = vec![false; n];
+        let mut ops: Vec<u32> = Vec::new();
+        loop {
+            let mut changed = false;
+            // `needed[s]`: at the current point of the backward scan, the
+            // value of slot `s` is read later in the cycle before any write.
+            let mut needed = roots.clone();
+            for (s, &b) in boundary.iter().enumerate() {
+                needed[s] = needed[s] || b;
+            }
+            for (tape, live) in [(&self.low, &mut live_low), (&self.high, &mut live_high)] {
+                for (pos, &instr) in tape.iter().enumerate().rev() {
+                    let dst = instr.dst() as usize;
+                    if needed[dst] || live[pos] {
+                        if !live[pos] {
+                            live[pos] = true;
+                            changed = true;
+                        }
+                        // This write satisfies any later read of `dst`; its
+                        // operands become needed in turn. (A `LatchEn` lists
+                        // its own destination as an operand, so the hold
+                        // path re-arms the need across the boundary.)
+                        needed[dst] = false;
+                        ops.clear();
+                        push_operands(instr, &self.args, &mut ops);
+                        for &o in &ops {
+                            needed[o as usize] = true;
+                        }
+                    } else {
+                        // Dead write: later reads bind to it, so it blocks
+                        // upstream needs — `needed[dst]` is already false.
+                    }
+                }
+            }
+            if needed != boundary {
+                boundary = needed;
+                changed = true;
+            }
+            if !changed {
+                break;
+            }
+        }
+        let mut keep = live_high.iter();
+        self.high
+            .retain(|_| *keep.next().expect("one flag per instr"));
+        let mut keep = live_low.iter();
+        self.low
+            .retain(|_| *keep.next().expect("one flag per instr"));
+    }
+}
+
+/// Statistics of one [`Program::peephole`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PeepholeStats {
+    /// Instructions across both tapes before the pass.
+    pub instrs_before: usize,
+    /// Instructions across both tapes after the pass.
+    pub instrs_after: usize,
+    /// `Not` + `And2`/`Or2` pairs fused into `AndNot`/`OrNot`.
+    pub fused: usize,
+    /// Folding steps applied (one instruction may fold several times on its
+    /// way to a fixpoint).
+    pub folded: usize,
+}
+
+/// One forward rewrite pass over a tape: alias-resolves operands through
+/// copies, then folds/fuses each instruction to a fixpoint (see
+/// [`Program::peephole`] steps 1–3). Returns the rewritten tape and whether
+/// anything changed.
+fn rewrite_tape(
+    tape: &[Instr],
+    args: &mut Vec<u32>,
+    konst_base: &[Option<bool>],
+    num_slots: usize,
+    stats: &mut PeepholeStats,
+) -> (Vec<Instr>, bool) {
+    // Tape-local facts, keyed by slot. All are sound for the remainder of
+    // the tape because every slot is written at most once per tape and the
+    // tape is in dependency order.
+    let mut alias: Vec<u32> = (0..num_slots as u32).collect();
+    let mut inv: Vec<Option<u32>> = vec![None; num_slots];
+    let mut konst: Vec<Option<bool>> = konst_base.to_vec();
+    let mut out: Vec<Instr> = Vec::with_capacity(tape.len());
+    let mut changed = false;
+    for &orig in tape {
+        match simplify(orig, args, &alias, &inv, &konst, stats) {
+            None => changed = true, // hold-latch deleted: the slot keeps its value
+            Some(instr) => {
+                changed |= instr != orig;
+                match instr {
+                    Instr::Fill { dst, ones } => konst[dst as usize] = Some(ones),
+                    Instr::Copy { dst, src } => {
+                        alias[dst as usize] = src;
+                        konst[dst as usize] = konst[src as usize];
+                        inv[dst as usize] = inv[src as usize];
+                    }
+                    Instr::Not { dst, src } => inv[dst as usize] = Some(src),
+                    _ => {}
+                }
+                out.push(instr);
+            }
+        }
+    }
+    (out, changed)
+}
+
+/// Folds one instruction to a local fixpoint under the tape-local facts.
+/// Returns `None` when the instruction can be deleted outright (a hold
+/// latch whose enable is constant-false or whose data is its own output).
+#[allow(clippy::too_many_lines)]
+fn simplify(
+    orig: Instr,
+    args: &mut Vec<u32>,
+    alias: &[u32],
+    inv: &[Option<u32>],
+    konst: &[Option<bool>],
+    stats: &mut PeepholeStats,
+) -> Option<Instr> {
+    let r = |mut s: u32| {
+        while alias[s as usize] != s {
+            s = alias[s as usize];
+        }
+        s
+    };
+    let k = |s: u32| konst[s as usize];
+    let iv = |s: u32| inv[s as usize];
+    let mut cur = match orig {
+        Instr::Fill { .. } | Instr::AndN { .. } | Instr::OrN { .. } => orig,
+        Instr::Copy { dst, src } => Instr::Copy { dst, src: r(src) },
+        Instr::Not { dst, src } => Instr::Not { dst, src: r(src) },
+        Instr::And2 { dst, a, b } => Instr::And2 {
+            dst,
+            a: r(a),
+            b: r(b),
+        },
+        Instr::Or2 { dst, a, b } => Instr::Or2 {
+            dst,
+            a: r(a),
+            b: r(b),
+        },
+        Instr::Xor2 { dst, a, b } => Instr::Xor2 {
+            dst,
+            a: r(a),
+            b: r(b),
+        },
+        Instr::AndNot { dst, a, b } => Instr::AndNot {
+            dst,
+            a: r(a),
+            b: r(b),
+        },
+        Instr::OrNot { dst, a, b } => Instr::OrNot {
+            dst,
+            a: r(a),
+            b: r(b),
+        },
+        Instr::Mux { dst, sel, a, b } => Instr::Mux {
+            dst,
+            sel: r(sel),
+            a: r(a),
+            b: r(b),
+        },
+        Instr::LatchEn { dst, d, en } => Instr::LatchEn {
+            dst,
+            d: r(d),
+            en: r(en),
+        },
+    };
+    loop {
+        let next = match cur {
+            Instr::Fill { .. } => break,
+            Instr::Copy { dst, src } => match k(src) {
+                Some(v) => Instr::Fill { dst, ones: v },
+                None => break,
+            },
+            Instr::Not { dst, src } => match (k(src), iv(src)) {
+                (Some(v), _) => Instr::Fill { dst, ones: !v },
+                (None, Some(x)) => Instr::Copy { dst, src: x }, // double negation
+                (None, None) => break,
+            },
+            Instr::And2 { dst, a, b } => {
+                if k(a) == Some(false)
+                    || k(b) == Some(false)
+                    || iv(a) == Some(b)
+                    || iv(b) == Some(a)
+                {
+                    Instr::Fill { dst, ones: false }
+                } else if k(a) == Some(true) || a == b {
+                    Instr::Copy { dst, src: b }
+                } else if k(b) == Some(true) {
+                    Instr::Copy { dst, src: a }
+                } else if let Some(x) = iv(b) {
+                    stats.fused += 1;
+                    Instr::AndNot { dst, a, b: x }
+                } else if let Some(x) = iv(a) {
+                    stats.fused += 1;
+                    Instr::AndNot { dst, a: b, b: x }
+                } else {
+                    break;
+                }
+            }
+            Instr::Or2 { dst, a, b } => {
+                if k(a) == Some(true) || k(b) == Some(true) || iv(a) == Some(b) || iv(b) == Some(a)
+                {
+                    Instr::Fill { dst, ones: true }
+                } else if k(a) == Some(false) || a == b {
+                    Instr::Copy { dst, src: b }
+                } else if k(b) == Some(false) {
+                    Instr::Copy { dst, src: a }
+                } else if let Some(x) = iv(b) {
+                    stats.fused += 1;
+                    Instr::OrNot { dst, a, b: x }
+                } else if let Some(x) = iv(a) {
+                    stats.fused += 1;
+                    Instr::OrNot { dst, a: b, b: x }
+                } else {
+                    break;
+                }
+            }
+            Instr::Xor2 { dst, a, b } => match (k(a), k(b)) {
+                (Some(x), Some(y)) => Instr::Fill { dst, ones: x ^ y },
+                (Some(false), None) => Instr::Copy { dst, src: b },
+                (Some(true), None) => Instr::Not { dst, src: b },
+                (None, Some(false)) => Instr::Copy { dst, src: a },
+                (None, Some(true)) => Instr::Not { dst, src: a },
+                (None, None) if a == b => Instr::Fill { dst, ones: false },
+                (None, None) if iv(a) == Some(b) || iv(b) == Some(a) => {
+                    Instr::Fill { dst, ones: true }
+                }
+                (None, None) => break,
+            },
+            // a & !b
+            Instr::AndNot { dst, a, b } => {
+                if k(a) == Some(false) || k(b) == Some(true) || a == b {
+                    Instr::Fill { dst, ones: false }
+                } else if k(b) == Some(false) || iv(b) == Some(a) {
+                    Instr::Copy { dst, src: a }
+                } else if k(a) == Some(true) || iv(a) == Some(b) {
+                    Instr::Not { dst, src: b }
+                } else if let Some(x) = iv(b) {
+                    Instr::And2 { dst, a, b: x } // !b == x
+                } else {
+                    break;
+                }
+            }
+            // a | !b
+            Instr::OrNot { dst, a, b } => {
+                if k(a) == Some(true) || k(b) == Some(false) || a == b {
+                    Instr::Fill { dst, ones: true }
+                } else if k(b) == Some(true) || iv(b) == Some(a) {
+                    Instr::Copy { dst, src: a }
+                } else if k(a) == Some(false) || iv(a) == Some(b) {
+                    Instr::Not { dst, src: b }
+                } else if let Some(x) = iv(b) {
+                    Instr::Or2 { dst, a, b: x } // !b == x
+                } else {
+                    break;
+                }
+            }
+            Instr::AndN { dst, start, len } => {
+                let range = start as usize..(start + len) as usize;
+                let ops: Vec<u32> = args[range.clone()].iter().map(|&s| r(s)).collect();
+                if ops.iter().any(|&s| k(s) == Some(false))
+                    || ops.iter().any(|&s| iv(s).is_some_and(|x| ops.contains(&x)))
+                {
+                    Instr::Fill { dst, ones: false }
+                } else {
+                    let mut kept: Vec<u32> = Vec::with_capacity(ops.len());
+                    for &s in &ops {
+                        if k(s) != Some(true) && !kept.contains(&s) {
+                            kept.push(s);
+                        }
+                    }
+                    match kept[..] {
+                        [] => Instr::Fill { dst, ones: true },
+                        [x] => Instr::Copy { dst, src: x },
+                        [x, y] => Instr::And2 { dst, a: x, b: y },
+                        _ => {
+                            if kept[..] == args[range] {
+                                break;
+                            }
+                            let new_start = args.len() as u32;
+                            args.extend_from_slice(&kept);
+                            Instr::AndN {
+                                dst,
+                                start: new_start,
+                                len: kept.len() as u32,
+                            }
+                        }
+                    }
+                }
+            }
+            Instr::OrN { dst, start, len } => {
+                let range = start as usize..(start + len) as usize;
+                let ops: Vec<u32> = args[range.clone()].iter().map(|&s| r(s)).collect();
+                if ops.iter().any(|&s| k(s) == Some(true))
+                    || ops.iter().any(|&s| iv(s).is_some_and(|x| ops.contains(&x)))
+                {
+                    Instr::Fill { dst, ones: true }
+                } else {
+                    let mut kept: Vec<u32> = Vec::with_capacity(ops.len());
+                    for &s in &ops {
+                        if k(s) != Some(false) && !kept.contains(&s) {
+                            kept.push(s);
+                        }
+                    }
+                    match kept[..] {
+                        [] => Instr::Fill { dst, ones: false },
+                        [x] => Instr::Copy { dst, src: x },
+                        [x, y] => Instr::Or2 { dst, a: x, b: y },
+                        _ => {
+                            if kept[..] == args[range] {
+                                break;
+                            }
+                            let new_start = args.len() as u32;
+                            args.extend_from_slice(&kept);
+                            Instr::OrN {
+                                dst,
+                                start: new_start,
+                                len: kept.len() as u32,
+                            }
+                        }
+                    }
+                }
+            }
+            Instr::Mux { dst, sel, a, b } => match k(sel) {
+                Some(true) => Instr::Copy { dst, src: a },
+                Some(false) => Instr::Copy { dst, src: b },
+                None if a == b => Instr::Copy { dst, src: a },
+                None => match (k(a), k(b)) {
+                    (Some(true), Some(false)) => Instr::Copy { dst, src: sel },
+                    (Some(false), Some(true)) => Instr::Not { dst, src: sel },
+                    (Some(true), _) => Instr::Or2 { dst, a: sel, b },
+                    (Some(false), _) => Instr::AndNot { dst, a: b, b: sel },
+                    (_, Some(true)) => Instr::OrNot { dst, a, b: sel },
+                    (_, Some(false)) => Instr::And2 { dst, a: sel, b: a },
+                    (None, None) => {
+                        if let Some(x) = iv(sel) {
+                            Instr::Mux {
+                                dst,
+                                sel: x,
+                                a: b,
+                                b: a,
+                            }
+                        } else if sel == a {
+                            Instr::Or2 { dst, a: sel, b } // s ? s : b == s | b
+                        } else if sel == b {
+                            Instr::And2 { dst, a: sel, b: a } // s ? a : s == s & a
+                        } else {
+                            break;
+                        }
+                    }
+                },
+            },
+            Instr::LatchEn { dst, d, en } => match k(en) {
+                Some(true) => Instr::Copy { dst, src: d },
+                Some(false) => return None, // never enabled: holds forever
+                None if d == dst => return None, // recaptures its own value
+                None => break,
+            },
+        };
+        stats.folded += 1;
+        cur = next;
+    }
+    Some(cur)
 }
 
 /// Whether `net` is (re)computed during `phase`, i.e. gets an instruction.
@@ -387,7 +941,9 @@ mod tests {
                     Instr::Copy { dst, src } | Instr::Not { dst, src } => (dst, vec![src]),
                     Instr::And2 { dst, a, b }
                     | Instr::Or2 { dst, a, b }
-                    | Instr::Xor2 { dst, a, b } => (dst, vec![a, b]),
+                    | Instr::Xor2 { dst, a, b }
+                    | Instr::AndNot { dst, a, b }
+                    | Instr::OrNot { dst, a, b } => (dst, vec![a, b]),
                     Instr::AndN { dst, start, len } | Instr::OrN { dst, start, len } => (
                         dst,
                         p.args()[start as usize..(start + len) as usize].to_vec(),
@@ -453,6 +1009,147 @@ mod tests {
             .low()
             .iter()
             .any(|i| matches!(i, Instr::Copy { dst, .. } if *dst == l.0)));
+    }
+
+    /// Runs both programs cycle by cycle on the same input pattern and
+    /// compares the given nets after every cycle (via a wide backend at
+    /// lane 0 — the only Program executor in this crate).
+    fn cosim_programs(n: &Netlist, optimized: Program, probes: &[NetId], cycles: usize) {
+        use crate::wide::WideSim;
+        let mut reference = WideSim::<1>::new(n).unwrap();
+        let mut opt = WideSim::<1>::from_program(optimized);
+        let inputs = n.inputs().to_vec();
+        for t in 0..cycles {
+            let drive: Vec<(NetId, u64)> = inputs
+                .iter()
+                .enumerate()
+                .map(|(i, &inp)| {
+                    let x = (t as u64 + 3).wrapping_mul(i as u64 + 7);
+                    (inp, x.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                })
+                .collect();
+            reference.cycle(&drive).unwrap();
+            opt.cycle(&drive).unwrap();
+            for &p in probes {
+                assert_eq!(
+                    reference.value(p),
+                    opt.value(p),
+                    "cycle {t} net {}",
+                    n.net_name(p)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn peephole_fuses_and_preserves_outputs() {
+        // The x & !y / x | !y shapes of elastic controllers must fuse, and
+        // the observed output must stay cycle-exact.
+        let mut n = Netlist::new("fuse");
+        let a = n.input("a");
+        let b = n.input("b");
+        let q = n.dff(false);
+        let kill = n.and_not(a, b); // Not + And2 -> AndNot
+        let nb = n.not(b);
+        let keep = n.or2(q, nb); // Not + Or2 -> OrNot (nb also feeds kill path)
+        let d = n.xor(kill, keep);
+        n.bind_dff(q, d).unwrap();
+        let out = n.or2(kill, keep);
+        n.mark_output(out).unwrap();
+        let (p, stats) = Program::compile_optimized(&n).unwrap();
+        assert!(stats.fused >= 2, "{stats:?}");
+        assert!(stats.instrs_after < stats.instrs_before, "{stats:?}");
+        assert!(
+            p.low()
+                .iter()
+                .any(|i| matches!(i, Instr::AndNot { .. } | Instr::OrNot { .. })),
+            "fused ops survive into the tape: {:?}",
+            p.low()
+        );
+        cosim_programs(&n, p, &[out, q], 24);
+    }
+
+    #[test]
+    fn peephole_drops_high_tape_of_latch_free_logic() {
+        // Without latches, nothing observes the high-phase recomputation:
+        // combinational values are only consumed by the flip-flop capture
+        // and end-of-cycle probes, both after the low tape.
+        let mut n = Netlist::new("ffonly");
+        let a = n.input("a");
+        let q = n.dff(false);
+        let d = n.xor(q, a);
+        n.bind_dff(q, d).unwrap();
+        let out = n.and2(q, a);
+        n.mark_output(out).unwrap();
+        let (p, _) = Program::compile_optimized(&n).unwrap();
+        assert!(p.high().is_empty(), "high tape dead: {:?}", p.high());
+        assert!(!p.low().is_empty());
+        cosim_programs(&n, p, &[out, q], 16);
+    }
+
+    #[test]
+    fn peephole_keeps_latch_phase_reads_alive() {
+        // A high-phase latch samples its data during the high phase, so the
+        // high-tape computation of its input cone must survive.
+        let mut n = Netlist::new("latched");
+        let a = n.input("a");
+        let b = n.input("b");
+        let x = n.and2(a, b);
+        let h = n.latch(LatchPhase::High, false);
+        n.bind_latch(h, x).unwrap();
+        let out = n.or2(h, a);
+        n.mark_output(out).unwrap();
+        let (p, _) = Program::compile_optimized(&n).unwrap();
+        assert!(
+            p.high().iter().any(|i| i.dst() == x.0),
+            "latch data cone stays in the high tape: {:?}",
+            p.high()
+        );
+        cosim_programs(&n, p, &[out, h], 16);
+    }
+
+    #[test]
+    fn peephole_folds_constants_and_copies() {
+        let mut n = Netlist::new("konst");
+        let a = n.input("a");
+        let zero = n.constant(false);
+        let one = n.constant(true);
+        let w = n.wire();
+        n.bind_wire(w, a).unwrap(); // Copy chain
+        let x = n.and2(w, one); // = a
+        let y = n.or2(x, zero); // = a
+        let m = n.mux(one, y, zero); // = a
+        let dead = n.xor(zero, zero); // never observed
+        let _ = dead;
+        n.mark_output(m).unwrap();
+        let (p, stats) = Program::compile_optimized(&n).unwrap();
+        assert!(stats.folded > 0, "{stats:?}");
+        // Everything collapses to (at most) a copy of the input per tape.
+        assert!(
+            p.high().len() + p.low().len() <= 2,
+            "high {:?} low {:?}",
+            p.high(),
+            p.low()
+        );
+        cosim_programs(&n, p, &[m], 8);
+    }
+
+    #[test]
+    fn peephole_removes_never_enabled_latch() {
+        let mut n = Netlist::new("hold");
+        let a = n.input("a");
+        let zero = n.constant(false);
+        let l = n.latch_en(LatchPhase::High, zero, true);
+        n.bind_latch(l, a).unwrap();
+        let out = n.or2(l, a);
+        n.mark_output(out).unwrap();
+        let (p, _) = Program::compile_optimized(&n).unwrap();
+        assert!(
+            !p.high().iter().any(|i| i.dst() == l.0),
+            "held latch has no instruction: {:?}",
+            p.high()
+        );
+        cosim_programs(&n, p, &[out, l], 10);
     }
 
     #[test]

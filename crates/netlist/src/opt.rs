@@ -382,6 +382,35 @@ pub fn optimize(netlist: &Netlist) -> Result<(Netlist, Vec<Option<NetId>>), Netl
     Ok((out, map))
 }
 
+/// Observability-aware variant of [`optimize`]: simplifies `netlist` as if
+/// only the nets in `observed` (plus the primary-input interface) were
+/// visible, so dead-code elimination keeps exactly the cones — through
+/// combinational logic *and* state — that can influence an observed net.
+///
+/// This is the front end of the Monte-Carlo execution pipeline: a compiled
+/// elastic controller is full of logic that exists only for exporters,
+/// probes or unobserved channels (payload registers behind non-guard
+/// channels, negative rails of passive interfaces, `.en`/`.go` scratch
+/// outputs), and a throughput experiment observing a single channel's
+/// `V⁺/S⁺/V⁻` rails does not need to simulate any of it.
+///
+/// Returns the optimized netlist and the old→new net map; every net in
+/// `observed` is guaranteed to map to `Some` (it is re-marked as an output,
+/// possibly on a folded constant).
+///
+/// # Errors
+///
+/// [`NetlistError::UnknownNet`] if an observed net is out of range, plus
+/// everything [`optimize`] can return.
+pub fn optimize_observed(
+    netlist: &Netlist,
+    observed: &[NetId],
+) -> Result<(Netlist, Vec<Option<NetId>>), NetlistError> {
+    let mut scoped = netlist.clone();
+    scoped.set_outputs(observed)?;
+    optimize(&scoped)
+}
+
 /// Maps an old net id to the new netlist, materializing constants on
 /// demand. Walks the alias chain (buffers, bound wires, 1-input AND/OR) and
 /// stops at the first node that is constant or already materialized — a
@@ -520,6 +549,42 @@ mod tests {
         let (opt, _) = optimize(&n).unwrap();
         let y2 = opt.find("y").unwrap();
         assert!(matches!(opt.gate(y2), Gate::Const(false)));
+    }
+
+    #[test]
+    fn observed_cone_drops_unobserved_logic() {
+        // Two independent cones; observing only one must drop the other —
+        // including its flip-flop — while the observed cone stays
+        // cycle-exact and every observed net maps to Some.
+        let mut n = Netlist::new("obs");
+        let a = n.input("a");
+        let b = n.input("b");
+        let q_live = n.dff(false);
+        let d_live = n.xor(q_live, a);
+        n.bind_dff(q_live, d_live).unwrap();
+        let q_dead = n.dff(false);
+        let d_dead = n.xor(q_dead, b);
+        n.bind_dff(q_dead, d_dead).unwrap();
+        let watched = n.or2(q_live, a);
+        n.mark_output(watched).unwrap();
+        n.mark_output(q_dead).unwrap(); // would keep it alive...
+        let (opt, map) = optimize_observed(&n, &[watched]).unwrap(); // ...but we observe less
+        assert!(map[watched.index()].is_some());
+        assert!(map[q_dead.index()].is_none(), "unobserved cone dropped");
+        assert_eq!(AreaReport::of(&opt).flipflops, 1);
+        // Inputs survive as interface even when dead.
+        assert_eq!(opt.inputs().len(), 2);
+        // Behaviour of the observed net is preserved.
+        let w2 = map[watched.index()].unwrap();
+        let mut s1 = Simulator::new(&n).unwrap();
+        let mut s2 = Simulator::new(&opt).unwrap();
+        let a2 = opt.find("a").unwrap();
+        for t in 0..16u64 {
+            let v = t % 3 == 0;
+            s1.cycle(&[(a, v), (b, t % 2 == 0)]).unwrap();
+            s2.cycle(&[(a2, v)]).unwrap();
+            assert_eq!(s1.value(watched), s2.value(w2), "cycle {t}");
+        }
     }
 
     #[test]

@@ -1,16 +1,22 @@
-//! Bit-parallel compiled simulation: 64 independent trials per step.
+//! Bit-parallel compiled simulation: up to `W × 64` independent trials per
+//! step.
 //!
-//! [`WideSimulator`] executes a levelized [`Program`] with every value slot
-//! widened to a `u64`: bit *k* of every slot belongs to trial (*lane*) *k*,
-//! so one pass over the instruction tape advances 64 independent Monte
-//! Carlo schedules with word-wide AND/OR/XOR/NOT/MUX operations and batched
-//! flip-flop commits. This is the engine behind the paper's randomized
-//! experiments (Sect. 6.1, Figs. 5–9, Table 1): the netlist is compiled
-//! once and the per-trial cost drops by roughly the lane count.
+//! [`WideSim<W>`] executes a levelized [`Program`] with every value slot
+//! widened to `[u64; W]`: bit *k* of word *w* belongs to trial (*lane*)
+//! `w·64 + k`, so one pass over the instruction tape — one decode — drives
+//! up to 512 independent Monte Carlo schedules (`W ∈ {1, 2, 4, 8}`) with
+//! word-wide AND/OR/XOR/NOT/MUX operations and batched flip-flop commits.
+//! The inner loops are const-generic over `W`, so the compiler unrolls and
+//! vectorizes them per width. [`WideSimulator`] is the single-word
+//! (`W = 1`) instance with the full per-lane convenience API. This is the
+//! engine behind the paper's randomized experiments (Sect. 6.1, Figs. 5–9,
+//! Table 1): the netlist is compiled once and the per-trial cost drops by
+//! roughly the lane count.
 //!
 //! Lane 0 of a wide run is bit-exact with [`sim::Simulator`](crate::sim::Simulator)
 //! under the same inputs — asserted by the co-simulation harness in
-//! `elastic_core::verify` and by property tests over random netlists.
+//! `elastic_core::verify` and by property tests over random netlists
+//! (including `W > 1` lane-k-equals-scalar-trial-k properties).
 //!
 //! # Example
 //!
@@ -71,11 +77,35 @@ pub const fn lane_mask(lanes: usize) -> u64 {
     }
 }
 
+/// Per-word live-lane masks for a shard of `lanes` trials on a `W`-word
+/// simulator: word `w` covers lanes `w·64 .. w·64+64`, and only the final
+/// populated word may be partial (the multi-word generalization of
+/// [`lane_mask`]).
+///
+/// # Panics
+///
+/// Panics if `lanes > W * LANES`.
+pub fn lane_masks<const W: usize>(lanes: usize) -> [u64; W] {
+    assert!(lanes <= W * LANES, "at most {} lanes per shard", W * LANES);
+    let mut masks = [0u64; W];
+    for (w, word) in masks.iter_mut().enumerate() {
+        let lo = w * LANES;
+        *word = if lanes >= lo + LANES {
+            u64::MAX
+        } else if lanes > lo {
+            lane_mask(lanes - lo)
+        } else {
+            0
+        };
+    }
+    masks
+}
+
 // Thread-safety contract of the wide backend: a compiled `Program` is
 // immutable instruction data, so one compilation can be shared by reference
-// across a `std::thread::scope` worker pool, and a `WideSimulator` is plain
-// owned state (`Vec<u64>` words, no interior mutability or aliasing), so
-// each worker can clone the power-up prototype and run shards
+// across a `std::thread::scope` worker pool, and a `WideSim` is plain
+// owned state (`Vec<[u64; W]>` words, no interior mutability or aliasing),
+// so each worker can clone the power-up prototype and run shards
 // independently. The experiment engine in `elastic_bench` relies on both
 // bounds; this assertion turns an accidental `Rc`/`RefCell` regression into
 // a compile error here rather than a trait-bound error downstream.
@@ -83,26 +113,39 @@ const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<Program>();
     assert_send_sync::<WideSimulator>();
+    assert_send_sync::<WideSim<8>>();
 };
 
-/// A compiled, bit-parallel simulator running [`LANES`] trials at once.
+/// A compiled, bit-parallel simulator running `W ×` [`LANES`] trials at
+/// once: every value slot is a `[u64; W]`, and one instruction decode
+/// drives all `W` words through a const-generic inner loop.
 ///
 /// The cycle structure matches [`sim::Simulator::cycle`](crate::sim::Simulator::cycle):
 /// rising edge (batched flip-flop commit), high-phase tape, low-phase tape,
 /// capture of flip-flop data inputs. There is no oscillation error at run
 /// time — [`Program::compile`] rejects the offending netlists statically.
+///
+/// The `W = 1` instance is aliased as [`WideSimulator`] and carries the
+/// per-lane convenience API (`value`, `set_input`, `state`, …); wider
+/// instances are driven through [`WideSim::cycle_wide`] or the allocation-
+/// free [`WideSim::cycle_packed`] hot path.
 #[derive(Debug, Clone)]
-pub struct WideSimulator {
+pub struct WideSim<const W: usize> {
     prog: Program,
-    /// One `u64` per net: bit `k` is the value in lane `k`.
-    values: Vec<u64>,
-    /// Flip-flop data captured at the end of the last settle, one word per
-    /// entry of [`Program::ffs`].
-    captured: Vec<u64>,
-    /// Per-slot input marker for `set_input` validation.
+    /// One `[u64; W]` per net: bit `k` of word `w` is the value in lane
+    /// `w * 64 + k`.
+    values: Vec<[u64; W]>,
+    /// Flip-flop data captured at the end of the last settle, one entry per
+    /// element of [`Program::ffs`].
+    captured: Vec<[u64; W]>,
+    /// Per-slot input marker for input validation.
     is_input: Vec<bool>,
     time: u64,
 }
+
+/// The single-word (64-trial) instance of [`WideSim`] — the backend
+/// introduced in PR 2, API-compatible with its original form.
+pub type WideSimulator = WideSim<1>;
 
 /// Broadcasts a `bool` to a full lane word.
 fn splat(v: bool) -> u64 {
@@ -113,7 +156,7 @@ fn splat(v: bool) -> u64 {
     }
 }
 
-impl WideSimulator {
+impl<const W: usize> WideSim<W> {
     /// Compiles `netlist` (see [`Program::compile`]) and initializes all
     /// lanes to the power-up state.
     ///
@@ -122,25 +165,35 @@ impl WideSimulator {
     /// Propagates [`NetlistError::UnboundState`] and
     /// [`NetlistError::CombinationalCycle`].
     pub fn new(netlist: &Netlist) -> Result<Self, NetlistError> {
-        let mut is_input = vec![false; netlist.len()];
-        for &i in netlist.inputs() {
-            is_input[i.index()] = true;
-        }
-        let prog = Program::compile(netlist)?;
-        Ok(Self::from_program(prog, is_input))
+        Ok(Self::from_program(Program::compile(netlist)?))
     }
 
-    /// Wraps an already-compiled program (all lanes at power-up state).
-    fn from_program(prog: Program, is_input: Vec<bool>) -> Self {
-        let values: Vec<u64> = prog.init().iter().map(|&b| splat(b)).collect();
+    /// Wraps an already-compiled — possibly [`Program::peephole`]-optimized
+    /// — program, with all lanes at the power-up state. The primary-input
+    /// set is taken from [`Program::inputs`].
+    ///
+    /// On a peephole-optimized program only primary outputs, state elements
+    /// and flip-flop captures hold exact per-cycle values; probe other nets
+    /// only on an unoptimized program.
+    pub fn from_program(prog: Program) -> Self {
+        let mut is_input = vec![false; prog.num_slots()];
+        for &i in prog.inputs() {
+            is_input[i.index()] = true;
+        }
+        let values: Vec<[u64; W]> = prog.init().iter().map(|&b| [splat(b); W]).collect();
         let captured = prog.ffs().iter().map(|f| values[f.q as usize]).collect();
-        WideSimulator {
+        WideSim {
             prog,
             values,
             captured,
             is_input,
             time: 0,
         }
+    }
+
+    /// Total number of independent trials: `W ×` [`LANES`].
+    pub const fn num_lanes() -> usize {
+        W * LANES
     }
 
     /// The levelized program being executed.
@@ -153,6 +206,207 @@ impl WideSimulator {
         self.time
     }
 
+    /// Lane word `w` of any net (meaningful after a settle): bit `k` is the
+    /// value in lane `w * 64 + k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is out of range or `w >= W`.
+    pub fn word(&self, net: NetId, w: usize) -> u64 {
+        self.values[net.index()][w]
+    }
+
+    /// Value of one net in one of the `W × 64` lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is out of range or `lane >= W * 64`.
+    pub fn lane(&self, net: NetId, lane: usize) -> bool {
+        assert!(lane < W * LANES, "lane {lane} out of range");
+        self.values[net.index()][lane / LANES] >> (lane % LANES) & 1 == 1
+    }
+
+    /// Sets all `W` words of a primary input for the upcoming settle.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::UnknownNet`] if `net` is not a primary input.
+    pub fn set_input_words(&mut self, net: NetId, words: [u64; W]) -> Result<(), NetlistError> {
+        if net.index() >= self.values.len() || !self.is_input[net.index()] {
+            return Err(NetlistError::UnknownNet(net));
+        }
+        self.values[net.index()] = words;
+        Ok(())
+    }
+
+    /// Runs one full clock cycle in every lane with word-set inputs: rising
+    /// edge (batched flip-flop commit), settle of both phases, capture of
+    /// flip-flop data inputs.
+    ///
+    /// # Errors
+    ///
+    /// Input errors from [`WideSim::set_input_words`]. Unlike the scalar
+    /// interpreter there is no oscillation path — settling is one pass per
+    /// phase over the compiled tape.
+    pub fn cycle_wide(&mut self, inputs: &[(NetId, [u64; W])]) -> Result<(), NetlistError> {
+        self.commit();
+        for &(net, words) in inputs {
+            self.set_input_words(net, words)?;
+        }
+        self.finish_cycle();
+        Ok(())
+    }
+
+    /// Validates a packed-stimulus slot list once, before the hot loop:
+    /// every slot must be a primary input.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::UnknownNet`] naming the first offending slot.
+    pub fn check_input_slots(&self, slots: &[u32]) -> Result<(), NetlistError> {
+        for &s in slots {
+            if s as usize >= self.values.len() || !self.is_input[s as usize] {
+                return Err(NetlistError::UnknownNet(NetId(s)));
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs one full clock cycle driven by a packed stimulus row: slot
+    /// `slots[i]` receives words `row[i*W .. (i+1)*W]`, written straight
+    /// into the values arena. This is the allocation-free Monte-Carlo hot
+    /// path: no `NetId` validation and no heap traffic per cycle — validate
+    /// the slot list once with [`WideSim::check_input_slots`].
+    ///
+    /// # Panics
+    ///
+    /// Debug builds assert `row.len() == slots.len() * W` and that every
+    /// slot is a primary input; release builds panic on out-of-range slots
+    /// via the slice index.
+    pub fn cycle_packed(&mut self, slots: &[u32], row: &[u64]) {
+        debug_assert_eq!(row.len(), slots.len() * W, "one W-word group per slot");
+        self.commit();
+        for (i, &s) in slots.iter().enumerate() {
+            debug_assert!(self.is_input[s as usize], "slot {s} is not an input");
+            let v = &mut self.values[s as usize];
+            for w in 0..W {
+                v[w] = row[i * W + w];
+            }
+        }
+        self.finish_cycle();
+    }
+
+    /// Rising edge: commit the captured flip-flop data to the outputs.
+    fn commit(&mut self) {
+        for (slot, f) in self.captured.iter().zip(self.prog.ffs()) {
+            self.values[f.q as usize] = *slot;
+        }
+    }
+
+    /// Settle both phases, capture flip-flop data, advance time.
+    fn finish_cycle(&mut self) {
+        self.settle();
+        for (slot, f) in self.captured.iter_mut().zip(self.prog.ffs()) {
+            *slot = self.values[f.d as usize];
+        }
+        self.time += 1;
+    }
+
+    /// Settles the combinational logic and transparent latches for both
+    /// clock phases (high then low) without touching flip-flops: a single
+    /// pass over each tape, in dependency order.
+    pub fn settle(&mut self) {
+        Self::run_tape(&mut self.values, self.prog.high(), self.prog.args());
+        Self::run_tape(&mut self.values, self.prog.low(), self.prog.args());
+    }
+
+    fn run_tape(values: &mut [[u64; W]], tape: &[Instr], args: &[u32]) {
+        for &instr in tape {
+            match instr {
+                Instr::Fill { dst, ones } => values[dst as usize] = [splat(ones); W],
+                Instr::Copy { dst, src } => values[dst as usize] = values[src as usize],
+                Instr::Not { dst, src } => {
+                    let s = values[src as usize];
+                    let d = &mut values[dst as usize];
+                    for w in 0..W {
+                        d[w] = !s[w];
+                    }
+                }
+                Instr::And2 { dst, a, b } => {
+                    let (x, y) = (values[a as usize], values[b as usize]);
+                    let d = &mut values[dst as usize];
+                    for w in 0..W {
+                        d[w] = x[w] & y[w];
+                    }
+                }
+                Instr::Or2 { dst, a, b } => {
+                    let (x, y) = (values[a as usize], values[b as usize]);
+                    let d = &mut values[dst as usize];
+                    for w in 0..W {
+                        d[w] = x[w] | y[w];
+                    }
+                }
+                Instr::Xor2 { dst, a, b } => {
+                    let (x, y) = (values[a as usize], values[b as usize]);
+                    let d = &mut values[dst as usize];
+                    for w in 0..W {
+                        d[w] = x[w] ^ y[w];
+                    }
+                }
+                Instr::AndNot { dst, a, b } => {
+                    let (x, y) = (values[a as usize], values[b as usize]);
+                    let d = &mut values[dst as usize];
+                    for w in 0..W {
+                        d[w] = x[w] & !y[w];
+                    }
+                }
+                Instr::OrNot { dst, a, b } => {
+                    let (x, y) = (values[a as usize], values[b as usize]);
+                    let d = &mut values[dst as usize];
+                    for w in 0..W {
+                        d[w] = x[w] | !y[w];
+                    }
+                }
+                Instr::AndN { dst, start, len } => {
+                    let mut acc = [u64::MAX; W];
+                    for &a in &args[start as usize..(start + len) as usize] {
+                        let v = values[a as usize];
+                        for w in 0..W {
+                            acc[w] &= v[w];
+                        }
+                    }
+                    values[dst as usize] = acc;
+                }
+                Instr::OrN { dst, start, len } => {
+                    let mut acc = [0u64; W];
+                    for &a in &args[start as usize..(start + len) as usize] {
+                        let v = values[a as usize];
+                        for w in 0..W {
+                            acc[w] |= v[w];
+                        }
+                    }
+                    values[dst as usize] = acc;
+                }
+                Instr::Mux { dst, sel, a, b } => {
+                    let (s, x, y) = (values[sel as usize], values[a as usize], values[b as usize]);
+                    let d = &mut values[dst as usize];
+                    for w in 0..W {
+                        d[w] = s[w] & x[w] | !s[w] & y[w];
+                    }
+                }
+                Instr::LatchEn { dst, d, en } => {
+                    let (e, x) = (values[en as usize], values[d as usize]);
+                    let q = &mut values[dst as usize];
+                    for w in 0..W {
+                        q[w] = e[w] & x[w] | !e[w] & q[w];
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl WideSim<1> {
     /// Sets a primary input across all lanes: bit `k` of `mask` drives lane
     /// `k` for the upcoming settle.
     ///
@@ -160,11 +414,7 @@ impl WideSimulator {
     ///
     /// [`NetlistError::UnknownNet`] if `net` is not a primary input.
     pub fn set_input(&mut self, net: NetId, mask: u64) -> Result<(), NetlistError> {
-        if net.index() >= self.values.len() || !self.is_input[net.index()] {
-            return Err(NetlistError::UnknownNet(net));
-        }
-        self.values[net.index()] = mask;
-        Ok(())
+        self.set_input_words(net, [mask])
     }
 
     /// Sets a primary input in a single lane, leaving the other lanes as
@@ -172,19 +422,19 @@ impl WideSimulator {
     ///
     /// # Errors
     ///
-    /// [`NetlistError::UnknownNet`] if `net` is not a primary input.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `lane >= LANES` (like [`WideSimulator::value_lane`]).
+    /// [`NetlistError::UnknownNet`] if `net` is out of range or not a
+    /// primary input (checked before anything is read);
+    /// [`NetlistError::LaneOutOfRange`] if `lane >= LANES`.
     pub fn set_input_lane(&mut self, net: NetId, lane: usize, v: bool) -> Result<(), NetlistError> {
-        assert!(lane < LANES, "lane {lane} out of range");
-        let cur = if net.index() < self.values.len() {
-            self.values[net.index()]
-        } else {
-            0
-        };
-        self.set_input(net, cur & !(1 << lane) | (u64::from(v) << lane))
+        if lane >= LANES {
+            return Err(NetlistError::LaneOutOfRange { lane, lanes: LANES });
+        }
+        if net.index() >= self.values.len() || !self.is_input[net.index()] {
+            return Err(NetlistError::UnknownNet(net));
+        }
+        let cur = self.values[net.index()][0];
+        self.values[net.index()][0] = cur & !(1 << lane) | (u64::from(v) << lane);
+        Ok(())
     }
 
     /// Lane word of any net (meaningful after a settle): bit `k` is the
@@ -194,7 +444,7 @@ impl WideSimulator {
     ///
     /// Panics if `net` is out of range.
     pub fn value(&self, net: NetId) -> u64 {
-        self.values[net.index()]
+        self.values[net.index()][0]
     }
 
     /// Value of one net in one lane.
@@ -204,7 +454,7 @@ impl WideSimulator {
     /// Panics if `net` is out of range or `lane >= LANES`.
     pub fn value_lane(&self, net: NetId, lane: usize) -> bool {
         assert!(lane < LANES, "lane {lane} out of range");
-        self.values[net.index()] >> lane & 1 == 1
+        self.values[net.index()][0] >> lane & 1 == 1
     }
 
     /// Extracts one lane across several nets — the wide counterpart of
@@ -223,67 +473,12 @@ impl WideSimulator {
     /// interpreter there is no oscillation path — settling is one pass per
     /// phase over the compiled tape.
     pub fn cycle(&mut self, inputs: &[(NetId, u64)]) -> Result<(), NetlistError> {
-        for (slot, f) in self.captured.iter().zip(self.prog.ffs()) {
-            self.values[f.q as usize] = *slot;
-        }
+        self.commit();
         for &(net, mask) in inputs {
             self.set_input(net, mask)?;
         }
-        self.settle();
-        for (slot, f) in self.captured.iter_mut().zip(self.prog.ffs()) {
-            *slot = self.values[f.d as usize];
-        }
-        self.time += 1;
+        self.finish_cycle();
         Ok(())
-    }
-
-    /// Settles the combinational logic and transparent latches for both
-    /// clock phases (high then low) without touching flip-flops: a single
-    /// pass over each tape, in dependency order.
-    pub fn settle(&mut self) {
-        Self::run_tape(&mut self.values, self.prog.high(), self.prog.args());
-        Self::run_tape(&mut self.values, self.prog.low(), self.prog.args());
-    }
-
-    fn run_tape(values: &mut [u64], tape: &[Instr], args: &[u32]) {
-        for &instr in tape {
-            match instr {
-                Instr::Fill { dst, ones } => values[dst as usize] = splat(ones),
-                Instr::Copy { dst, src } => values[dst as usize] = values[src as usize],
-                Instr::Not { dst, src } => values[dst as usize] = !values[src as usize],
-                Instr::And2 { dst, a, b } => {
-                    values[dst as usize] = values[a as usize] & values[b as usize];
-                }
-                Instr::Or2 { dst, a, b } => {
-                    values[dst as usize] = values[a as usize] | values[b as usize];
-                }
-                Instr::Xor2 { dst, a, b } => {
-                    values[dst as usize] = values[a as usize] ^ values[b as usize];
-                }
-                Instr::AndN { dst, start, len } => {
-                    let mut acc = u64::MAX;
-                    for &a in &args[start as usize..(start + len) as usize] {
-                        acc &= values[a as usize];
-                    }
-                    values[dst as usize] = acc;
-                }
-                Instr::OrN { dst, start, len } => {
-                    let mut acc = 0u64;
-                    for &a in &args[start as usize..(start + len) as usize] {
-                        acc |= values[a as usize];
-                    }
-                    values[dst as usize] = acc;
-                }
-                Instr::Mux { dst, sel, a, b } => {
-                    let s = values[sel as usize];
-                    values[dst as usize] = s & values[a as usize] | !s & values[b as usize];
-                }
-                Instr::LatchEn { dst, d, en } => {
-                    let e = values[en as usize];
-                    values[dst as usize] = e & values[d as usize] | !e & values[dst as usize];
-                }
-            }
-        }
     }
 
     /// Snapshot of the state-element lane words, in
@@ -293,7 +488,7 @@ impl WideSimulator {
         self.prog
             .state_nets()
             .iter()
-            .map(|&n| self.values[n.index()])
+            .map(|&n| self.values[n.index()][0])
             .collect()
     }
 
@@ -306,7 +501,7 @@ impl WideSimulator {
     /// [`NetlistError::StateWidthMismatch`] when `words.len()` differs from
     /// the number of state elements.
     pub fn load_state(&mut self, words: &[u64]) -> Result<(), NetlistError> {
-        let WideSimulator {
+        let WideSim {
             prog,
             values,
             captured,
@@ -320,7 +515,7 @@ impl WideSimulator {
             });
         }
         for (&net, &w) in state_nets.iter().zip(words) {
-            values[net.index()] = w;
+            values[net.index()] = [w];
         }
         // Every flip-flop is a state net, so its freshly loaded output is
         // exactly what the next rising edge must commit.
@@ -542,7 +737,99 @@ mod tests {
         let mut sim = WideSimulator::new(&n).unwrap();
         assert!(sim.set_input(x, 1).is_err(), "cannot drive a non-input");
         sim.set_input_lane(a, 3, true).unwrap();
-        assert_eq!(sim.values[a.index()], 8);
+        assert_eq!(sim.value(a), 8);
+        // Out-of-range lane and non-input nets are typed errors, not panics
+        // — and the lane check comes first, before any slot is read.
+        assert!(matches!(
+            sim.set_input_lane(a, LANES, true),
+            Err(NetlistError::LaneOutOfRange {
+                lane: 64,
+                lanes: 64
+            })
+        ));
+        assert!(matches!(
+            sim.set_input_lane(x, 0, true),
+            Err(NetlistError::UnknownNet(_))
+        ));
+        assert!(matches!(
+            sim.set_input_lane(NetId(999), 0, true),
+            Err(NetlistError::UnknownNet(_))
+        ));
+        assert_eq!(sim.value(a), 8, "failed calls leave the lanes untouched");
+    }
+
+    #[test]
+    fn multi_word_lane_matches_single_word() {
+        // A 4-word simulator runs 256 trials; lane k must equal lane k % 64
+        // of a single-word run driven with the same per-lane bits.
+        let mut n = Netlist::new("mw");
+        let en = n.input("en");
+        let q = n.dff(false);
+        let t = n.xor(q, en);
+        n.bind_dff(q, t).unwrap();
+        let mut wide = WideSim::<4>::new(&n).unwrap();
+        let mut narrow = WideSimulator::new(&n).unwrap();
+        assert_eq!(WideSim::<4>::num_lanes(), 256);
+        let pattern = 0xF0F0_A5A5_0F0F_5A5Au64;
+        for step in 0..6u64 {
+            let m = pattern.rotate_left(step as u32 * 7);
+            wide.cycle_wide(&[(en, [m, !m, m.rotate_left(1), 0])])
+                .unwrap();
+            narrow.cycle(&[(en, m)]).unwrap();
+            for lane in 0..64 {
+                assert_eq!(
+                    wide.lane(q, lane),
+                    narrow.value_lane(q, lane),
+                    "word 0 lane {lane} step {step}"
+                );
+            }
+            assert_eq!(wide.word(q, 0), narrow.value(q));
+        }
+        // Word 3 was driven all-zero: those lanes never toggle.
+        assert_eq!(wide.word(q, 3), 0);
+    }
+
+    #[test]
+    fn cycle_packed_equals_cycle_wide() {
+        let mut n = Netlist::new("packed");
+        let a = n.input("a");
+        let b = n.input("b");
+        let q = n.dff(false);
+        let d = n.xor(q, a);
+        let x = n.and2(d, b);
+        n.bind_dff(q, x).unwrap();
+        let mut by_net = WideSim::<2>::new(&n).unwrap();
+        let mut by_slot = WideSim::<2>::new(&n).unwrap();
+        let slots = [a.0, b.0];
+        by_slot.check_input_slots(&slots).unwrap();
+        assert!(
+            by_slot.check_input_slots(&[x.0]).is_err(),
+            "non-input slots rejected up front"
+        );
+        for step in 0..8u64 {
+            let row = [
+                step.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                !step,
+                step.rotate_left(13) ^ 0xAAAA,
+                step.wrapping_mul(3),
+            ];
+            by_net
+                .cycle_wide(&[(a, [row[0], row[1]]), (b, [row[2], row[3]])])
+                .unwrap();
+            by_slot.cycle_packed(&slots, &row);
+            assert_eq!(by_net.word(q, 0), by_slot.word(q, 0), "step {step}");
+            assert_eq!(by_net.word(q, 1), by_slot.word(q, 1), "step {step}");
+        }
+        assert_eq!(by_net.time(), by_slot.time());
+    }
+
+    #[test]
+    fn lane_masks_cover_multi_word_shards() {
+        assert_eq!(lane_masks::<1>(5), [0b1_1111]);
+        assert_eq!(lane_masks::<2>(64), [u64::MAX, 0]);
+        assert_eq!(lane_masks::<2>(70), [u64::MAX, 0b11_1111]);
+        assert_eq!(lane_masks::<4>(256), [u64::MAX; 4]);
+        assert_eq!(lane_masks::<4>(0), [0; 4]);
     }
 
     #[test]

@@ -22,6 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &CompileOptions {
                 data_width: 2,
                 nondet_merge: false,
+                optimize: false,
             },
         )?;
         let (opt, _) = optimize(&compiled.netlist)?;

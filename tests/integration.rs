@@ -143,6 +143,7 @@ fn verilog_blif_smv_export_of_paper_example() {
         &CompileOptions {
             data_width: 2,
             nondet_merge: false,
+            optimize: false,
         },
     )
     .unwrap();
