@@ -137,6 +137,7 @@ fn bench_gate_sim(c: &mut Criterion) {
                 data_width: 2,
                 nondet_merge: false,
                 optimize: false,
+                fault: None,
             },
         )
         .expect("compiles");

@@ -2,6 +2,7 @@
 //! its throughput as a function of initial token count (the classic
 //! occupancy curve of elastic buffers).
 
+use elastic_bench::rate_or_exit;
 use elastic_core::sim::{BehavSim, EnvConfig, RandomEnv, SourceCfg};
 use elastic_core::systems::linear_pipeline;
 
@@ -24,7 +25,7 @@ fn main() {
             sim.run(&mut env, 3000).expect("runs");
             println!(
                 "{stages:>7} {tokens:>7} {:>11.3}",
-                sim.report().positive_rate(cout)
+                rate_or_exit(sim.report().try_positive_rate(cout), "out")
             );
         }
     }

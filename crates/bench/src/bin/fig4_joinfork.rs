@@ -45,7 +45,13 @@ fn main() {
     sim.run(&mut env, 2000).expect("runs");
     let r = sim.report();
     println!("\neager fork with a stalling branch (stop 80%):");
-    println!("  fast branch rate: {:.3}", r.positive_rate(cf));
-    println!("  slow branch rate: {:.3}", r.positive_rate(cs));
+    println!(
+        "  fast branch rate: {:.3}",
+        elastic_bench::rate_or_exit(r.try_positive_rate(cf), "cf")
+    );
+    println!(
+        "  slow branch rate: {:.3}",
+        elastic_bench::rate_or_exit(r.try_positive_rate(cs), "cs")
+    );
     println!("  (equal in steady state; the fork decouples per-cycle timing)");
 }

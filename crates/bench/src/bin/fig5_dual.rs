@@ -30,7 +30,7 @@ fn main() {
     println!("kills + internal annihilations account for every injected anti-token;");
     println!(
         "input channel activity {:.3} equals output activity {:.3} (token preservation)",
-        r.throughput(cin),
-        r.throughput(cout)
+        elastic_bench::rate_or_exit(r.try_throughput(cin), "c0"),
+        elastic_bench::rate_or_exit(r.try_throughput(cout), "out")
     );
 }

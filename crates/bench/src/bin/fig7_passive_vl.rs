@@ -20,9 +20,9 @@ fn main() {
         println!(
             "  {:<22} Th {:.3}   F3->W neg {:.3}   Mo->W neg {:.3}",
             sys.config.label(),
-            r.positive_rate(sys.output_channel),
-            r.negative_rate(sys.channels.f3_w),
-            r.negative_rate(sys.channels.mo_w),
+            elastic_bench::rate_or_exit(r.try_positive_rate(sys.output_channel), "W->Dout"),
+            elastic_bench::rate_or_exit(r.try_negative_rate(sys.channels.f3_w), "F3->W"),
+            elastic_bench::rate_or_exit(r.try_negative_rate(sys.channels.mo_w), "Mo->W"),
         );
     }
     println!("\nFig. 7(b) — variable-latency units use a go/done/ack handshake;");

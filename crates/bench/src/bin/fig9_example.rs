@@ -1,7 +1,12 @@
 //! Regenerates **Fig. 9**: the example datapath and its elastic control
 //! layer — structure dump, simulation, and the DMG throughput bound that
 //! early evaluation beats.
+//!
+//! `--channel NAME` additionally reports the positive/negative/kill rates
+//! of any named channel (e.g. `--channel "M1->M2"`); an unknown name is a
+//! proper error, not a panic.
 
+use elastic_bench::{rate_or_exit, try_rates};
 use elastic_core::dmg_bridge::lazy_throughput_bound;
 use elastic_core::sim::{BehavSim, RandomEnv};
 use elastic_core::systems::{paper_example, Config};
@@ -30,10 +35,33 @@ fn main() {
     let mut sim = BehavSim::new(net).expect("valid");
     let mut env = RandomEnv::new(2007, sys.env_config.clone());
     sim.run(&mut env, 10_000).expect("runs");
-    let th = sim.report().positive_rate(sys.output_channel);
+    let report = sim.report();
+    let th = rate_or_exit(report.try_positive_rate(sys.output_channel), "W->Dout");
     println!("measured throughput with early evaluation: {th:.3}");
     println!(
         "early evaluation beats the lazy bound: {}",
         th > bound.bound
     );
+
+    // Optional probe of a user-named channel — resolved and reported
+    // through the checked accessors so a typo is an error, not a panic.
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--channel") {
+        let name = args.get(i + 1).unwrap_or_else(|| {
+            eprintln!("error: --channel requires a channel name");
+            std::process::exit(2);
+        });
+        let Some(chan) = net.channel_by_name(name) else {
+            eprintln!(
+                "error: no channel named {name:?} in the Fig. 9 example; \
+                 see the structure dump above for valid names"
+            );
+            std::process::exit(1);
+        };
+        let (p, n, k) = try_rates(&report, chan).unwrap_or_else(|| {
+            eprintln!("error: channel {name:?} missing from the report");
+            std::process::exit(1);
+        });
+        println!("channel {name}: +{p:.3} -{n:.3} x{k:.3}");
+    }
 }

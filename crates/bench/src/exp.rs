@@ -43,6 +43,7 @@ use std::time::Instant;
 
 use elastic_core::channel::ChanId;
 use elastic_core::dmg_bridge::lazy_throughput_bound;
+use elastic_core::gen::{self, TopoParams};
 use elastic_core::network::ElasticNetwork;
 use elastic_core::sim::{DataGen, EnvConfig, SourceCfg};
 use elastic_core::systems::{paper_example, Config};
@@ -65,6 +66,12 @@ pub enum SystemSpec {
         /// Observed output channel.
         output: ChanId,
     },
+    /// A randomly generated topology (`elastic_core::gen`): the fuzz
+    /// campaign's scenario-diversity axis, usable by any Monte-Carlo
+    /// experiment. Pair it with the environment of
+    /// [`gen::generate`]'s [`gen::GeneratedSystem::env`] so
+    /// the schedules match the topology's sources/sinks/VL units.
+    Generated(TopoParams),
 }
 
 impl SystemSpec {
@@ -72,7 +79,8 @@ impl SystemSpec {
     ///
     /// # Errors
     ///
-    /// Propagates build failures of the paper example.
+    /// Propagates build failures of the paper example or the topology
+    /// generator.
     pub fn build(&self) -> Result<(ElasticNetwork, ChanId), CoreError> {
         match self {
             SystemSpec::Paper(config) => {
@@ -80,6 +88,10 @@ impl SystemSpec {
                 Ok((sys.network, sys.output_channel))
             }
             SystemSpec::Custom { network, output } => Ok((network.clone(), *output)),
+            SystemSpec::Generated(params) => {
+                let sys = gen::generate(params)?;
+                Ok((sys.network, sys.output_channel))
+            }
         }
     }
 }
@@ -482,7 +494,7 @@ impl CampaignReport {
 }
 
 /// Minimal JSON string escape (quotes, backslashes, control chars).
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -501,7 +513,7 @@ fn json_str(s: &str) -> String {
 }
 
 /// Finite floats only — JSON has no NaN/Inf, so degrade to null.
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.6}")
     } else {

@@ -1,0 +1,326 @@
+//! Multi-threaded differential fuzz campaign over generated elastic
+//! topologies — the `fuzz_topo` binary's engine.
+//!
+//! The campaign sweeps a band of master seeds; each seed samples a
+//! [`TopoParams`] knob set, generates a network (`elastic_core::gen`) and
+//! runs the tri-backend differential (DMG replay ↔ compiled-pipeline cosim
+//! ↔ min-cycle-ratio bound). Seeds are claimed from an atomic cursor by a
+//! scoped worker pool, exactly like the Monte-Carlo engine's shards, and
+//! outcomes are reduced in seed order so reports are deterministic for any
+//! thread count.
+//!
+//! Failures are shrunk to a minimal failing parameter set before being
+//! reported. In `--inject` mode the campaign instead *sabotages* the
+//! gate-level lowering of one anti-token-active early join per eligible
+//! topology ([`FaultInjection::DropAntiToken`]) and asserts the harness
+//! catches every one — the sensitivity self-test behind the acceptance
+//! criterion "an injected EE-join bug is caught".
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use elastic_core::compile::FaultInjection;
+use elastic_core::gen::{
+    differential_check, generate, injectable_join, shrink_params, DiffOptions, DiffReport,
+    TopoParams,
+};
+
+use crate::exp::{json_f64, json_str};
+
+/// Campaign options (the `fuzz_topo` CLI surface).
+#[derive(Debug, Clone)]
+pub struct FuzzOpts {
+    /// First master seed; the campaign covers `seed..seed + count`.
+    pub seed: u64,
+    /// Topologies to sample.
+    pub count: usize,
+    /// Simulated cycles per lane per topology.
+    pub cycles: usize,
+    /// Schedule lanes per topology.
+    pub lanes: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Negative mode: inject a dropped-anti-token fault into one eligible
+    /// early join per topology and require the harness to catch it.
+    pub inject: bool,
+}
+
+impl Default for FuzzOpts {
+    fn default() -> Self {
+        FuzzOpts {
+            seed: 1,
+            count: 200,
+            cycles: 256,
+            lanes: 4,
+            threads: 1,
+            inject: false,
+        }
+    }
+}
+
+/// Outcome of one sampled topology.
+#[derive(Debug, Clone)]
+pub struct FuzzOutcome {
+    /// Master seed of the sample.
+    pub seed: u64,
+    /// The sampled parameters.
+    pub params: TopoParams,
+    /// The differential result (clean mode), or the failure message.
+    pub report: Result<DiffReport, String>,
+    /// Minimal failing parameter set (only on failure).
+    pub minimal: Option<TopoParams>,
+    /// Inject mode: `Some(caught)` when a fault was injected; `None` when
+    /// the topology had no anti-token-active early join to sabotage.
+    pub injected: Option<bool>,
+}
+
+/// Aggregate campaign result.
+#[derive(Debug, Clone)]
+pub struct FuzzSummary {
+    /// Per-seed outcomes, in seed order.
+    pub outcomes: Vec<FuzzOutcome>,
+    /// Wall-clock seconds for the whole campaign.
+    pub wall_secs: f64,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Whether the campaign ran in inject (sensitivity self-test) mode.
+    pub inject: bool,
+}
+
+impl FuzzSummary {
+    /// Seeds whose differential failed (clean mode).
+    pub fn mismatches(&self) -> Vec<&FuzzOutcome> {
+        self.outcomes.iter().filter(|o| o.report.is_err()).collect()
+    }
+
+    /// `(eligible, caught)` counts of the inject mode.
+    pub fn injection_counts(&self) -> (usize, usize) {
+        let eligible = self
+            .outcomes
+            .iter()
+            .filter(|o| o.injected.is_some())
+            .count();
+        let caught = self
+            .outcomes
+            .iter()
+            .filter(|o| o.injected == Some(true))
+            .count();
+        (eligible, caught)
+    }
+
+    /// Whether the campaign met its acceptance criteria: zero differential
+    /// mismatches, and in inject mode every injected fault caught *and* at
+    /// least one topology eligible — a sensitivity self-test that found
+    /// nothing to sabotage proved nothing, and must not pass silently
+    /// (e.g. after generator drift empties the seed band of active early
+    /// joins).
+    pub fn ok(&self) -> bool {
+        let (eligible, caught) = self.injection_counts();
+        self.mismatches().is_empty() && caught == eligible && (!self.inject || eligible > 0)
+    }
+
+    /// Renders the campaign as a JSON object (hand-rolled like the
+    /// Monte-Carlo engine's reports; the workspace vendors no serde).
+    pub fn to_json(&self, name: &str) -> String {
+        let (eligible, caught) = self.injection_counts();
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"campaign\": {},\n", json_str(name)));
+        s.push_str(&format!("  \"topologies\": {},\n", self.outcomes.len()));
+        s.push_str(&format!("  \"threads\": {},\n", self.threads));
+        s.push_str(&format!("  \"wall_secs\": {},\n", json_f64(self.wall_secs)));
+        s.push_str(&format!(
+            "  \"ee_joins\": {},\n",
+            self.outcomes
+                .iter()
+                .filter_map(|o| o.report.as_ref().ok())
+                .map(|r| r.ee_joins)
+                .sum::<usize>()
+        ));
+        s.push_str(&format!(
+            "  \"bound_checked\": {},\n",
+            self.outcomes
+                .iter()
+                .filter_map(|o| o.report.as_ref().ok())
+                .filter(|r| r.bound.is_some())
+                .count()
+        ));
+        s.push_str(&format!("  \"injected\": {eligible},\n"));
+        s.push_str(&format!("  \"injected_caught\": {caught},\n"));
+        s.push_str("  \"mismatches\": [\n");
+        let mismatches = self.mismatches();
+        for (i, o) in mismatches.iter().enumerate() {
+            let sep = if i + 1 == mismatches.len() { "" } else { "," };
+            let msg = o.report.as_ref().err().map(String::as_str).unwrap_or("");
+            s.push_str(&format!(
+                "    {{\"seed\": {}, \"error\": {}, \"minimal\": {}}}{sep}\n",
+                o.seed,
+                json_str(msg),
+                json_str(&format!("{:?}", o.minimal.as_ref().unwrap_or(&o.params))),
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str(&format!("  \"ok\": {}\n}}\n", self.ok()));
+        s
+    }
+
+    /// Writes the JSON rendering to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_json(&self, name: &str, path: &str) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_json(name).as_bytes())
+    }
+}
+
+/// Runs one seed of the campaign.
+fn run_seed(seed: u64, opts: &FuzzOpts) -> FuzzOutcome {
+    let params = TopoParams::sample(seed);
+    let diff = DiffOptions {
+        cycles: opts.cycles,
+        lanes: opts.lanes,
+        seed: seed.wrapping_add(0x5eed),
+        fault: None,
+        check_bound: true,
+    };
+    let sys = match generate(&params) {
+        Ok(sys) => sys,
+        Err(e) => {
+            return FuzzOutcome {
+                seed,
+                params,
+                report: Err(format!("generation failed: {e}")),
+                minimal: None,
+                injected: None,
+            }
+        }
+    };
+    if opts.inject {
+        // Probe with the differential's own seed so the eligibility check
+        // observes lane 0 of the very run the fault is injected into.
+        let injected = injectable_join(&sys, diff.seed, opts.cycles).map(|join| {
+            let faulty = DiffOptions {
+                fault: Some(FaultInjection::DropAntiToken { join }),
+                ..diff.clone()
+            };
+            differential_check(&sys, &faulty).is_err()
+        });
+        // Inject mode still runs the clean differential: a harness that
+        // flags faults but also flags clean systems is useless.
+        let report = differential_check(&sys, &diff).map_err(|e| e.to_string());
+        let minimal = report.is_err().then(|| shrink_params(&params, &diff));
+        return FuzzOutcome {
+            seed,
+            params,
+            report,
+            minimal,
+            injected,
+        };
+    }
+    match differential_check(&sys, &diff) {
+        Ok(report) => FuzzOutcome {
+            seed,
+            params,
+            report: Ok(report),
+            minimal: None,
+            injected: None,
+        },
+        Err(e) => FuzzOutcome {
+            seed,
+            params: params.clone(),
+            report: Err(e.to_string()),
+            minimal: Some(shrink_params(&params, &diff)),
+            injected: None,
+        },
+    }
+}
+
+/// Runs the campaign: `count` seeded topologies claimed by `threads`
+/// workers from an atomic cursor, outcomes reduced in seed order.
+pub fn run_fuzz(opts: &FuzzOpts) -> FuzzSummary {
+    let t0 = Instant::now();
+    let count = opts.count.max(1);
+    let threads = opts.threads.clamp(1, count);
+    let cursor = AtomicUsize::new(0);
+    let mut outcomes: Vec<(u64, FuzzOutcome)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= count {
+                            break;
+                        }
+                        let seed = opts.seed.wrapping_add(i as u64);
+                        local.push((seed, run_seed(seed, opts)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("fuzz worker panicked (library bug)"))
+            .collect()
+    });
+    outcomes.sort_unstable_by_key(|&(s, _)| s);
+    FuzzSummary {
+        outcomes: outcomes.into_iter().map(|(_, o)| o).collect(),
+        wall_secs: t0.elapsed().as_secs_f64(),
+        threads,
+        inject: opts.inject,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_campaign_is_clean_and_deterministic() {
+        let opts = FuzzOpts {
+            seed: 1,
+            count: 6,
+            cycles: 120,
+            lanes: 2,
+            threads: 2,
+            inject: false,
+        };
+        let a = run_fuzz(&opts);
+        assert!(a.ok(), "mismatches: {:?}", a.mismatches());
+        assert_eq!(a.outcomes.len(), 6);
+        // Outcomes are seed-ordered and thread-count independent.
+        let b = run_fuzz(&FuzzOpts { threads: 1, ..opts });
+        for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+            assert_eq!(x.seed, y.seed);
+            assert_eq!(x.report.is_ok(), y.report.is_ok());
+        }
+        let json = a.to_json("unit");
+        assert!(json.contains("\"ok\": true"), "{json}");
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(json.matches(open).count(), json.matches(close).count());
+        }
+    }
+
+    #[test]
+    fn inject_mode_catches_sabotaged_joins() {
+        // Sweep until at least two topologies are eligible for injection;
+        // every injected fault must be caught.
+        let opts = FuzzOpts {
+            seed: 1,
+            count: 12,
+            cycles: 200,
+            lanes: 2,
+            threads: 2,
+            inject: true,
+        };
+        let summary = run_fuzz(&opts);
+        let (eligible, caught) = summary.injection_counts();
+        assert!(eligible >= 2, "only {eligible} injectable topologies");
+        assert_eq!(caught, eligible, "missed injections");
+        assert!(summary.ok());
+    }
+}

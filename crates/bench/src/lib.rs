@@ -13,6 +13,7 @@
 //! arbitrary-size campaigns sharded across OS threads.
 
 pub mod exp;
+pub mod fuzz;
 
 use std::time::Instant;
 
@@ -97,6 +98,7 @@ pub fn control_area(sys: &PaperSystem) -> AreaReport {
             data_width: 2,
             nondet_merge: false,
             optimize: false,
+            fault: None,
         },
     )
     .expect("compiles");
@@ -360,6 +362,7 @@ impl WideHarness {
                 data_width: MC_DATA_WIDTH,
                 nondet_merge: false,
                 optimize: false,
+                fault: None,
             },
         )?;
         let tb = NetlistTestbench::new(net, &compiled.netlist, MC_DATA_WIDTH)?;
@@ -372,6 +375,7 @@ impl WideHarness {
                 data_width: MC_DATA_WIDTH,
                 nondet_merge: false,
                 optimize: true,
+                fault: None,
             },
         )?;
         let rails = &opt.channels[out.index()];
@@ -641,12 +645,34 @@ pub fn measure_speedup(harness: &WideHarness, schedules: &[Schedule]) -> Speedup
 }
 
 /// Convenience: positive/negative/kill rates of a channel from a report.
+///
+/// # Panics
+///
+/// Panics if `chan` is out of range; binaries resolving user-supplied
+/// channel names must use [`try_rates`] (or [`rate_or_exit`]) instead.
 pub fn rates(report: &SimReport, chan: ChanId) -> (f64, f64, f64) {
-    (
-        report.positive_rate(chan),
-        report.negative_rate(chan),
-        report.kill_rate(chan),
-    )
+    try_rates(report, chan).expect("channel in range")
+}
+
+/// Checked variant of [`rates`]: `None` when `chan` does not belong to the
+/// report.
+pub fn try_rates(report: &SimReport, chan: ChanId) -> Option<(f64, f64, f64)> {
+    Some((
+        report.try_positive_rate(chan)?,
+        report.try_negative_rate(chan)?,
+        report.try_kill_rate(chan)?,
+    ))
+}
+
+/// Unwraps a checked per-channel rate for the figure binaries: prints a
+/// proper error naming the channel and exits with status 1 instead of
+/// panicking with `expect("channel in range")` — the satellite hardening
+/// for binaries whose channel ids can come from user input.
+pub fn rate_or_exit(rate: Option<f64>, what: &str) -> f64 {
+    rate.unwrap_or_else(|| {
+        eprintln!("error: channel {what} is not part of this simulation report");
+        std::process::exit(1);
+    })
 }
 
 #[cfg(test)]
@@ -707,6 +733,7 @@ mod tests {
                 data_width: MC_DATA_WIDTH,
                 nondet_merge: false,
                 optimize: false,
+                fault: None,
             },
         )
         .unwrap()

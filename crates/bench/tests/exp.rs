@@ -140,3 +140,57 @@ proptest! {
         prop_assert_eq!(&engine.stats.per_lane, &packed);
     }
 }
+
+/// Satellite regression: a single-trial campaign must report finite
+/// statistics (the `n − 1` sample-variance divisor degenerates at one
+/// trial) and serialize to JSON without any `NaN`/`inf` literal.
+#[test]
+fn single_trial_campaign_has_finite_stats_and_clean_json() {
+    use elastic_bench::exp::CampaignReport;
+    let exp = pipeline_experiment(1, 42, 50);
+    let res = run_experiment(&exp, 2).unwrap();
+    assert_eq!(res.stats.trials(), 1);
+    assert!(res.stats.mean().is_finite());
+    assert_eq!(
+        res.stats.stddev(),
+        0.0,
+        "sample sd of one trial is 0, not NaN"
+    );
+    assert_eq!(
+        res.stats.ci95(),
+        0.0,
+        "CI half-width of one trial is 0, not NaN"
+    );
+    assert!(res.summary().chars().all(|c| c != 'N'), "{}", res.summary());
+    let report = CampaignReport {
+        name: "trials=1".into(),
+        points: vec![res],
+        ..Default::default()
+    };
+    let json = report.to_json();
+    assert!(!json.contains("NaN") && !json.contains("inf"), "{json}");
+    assert!(json.contains("\"sd\": 0.000000"), "{json}");
+    assert!(json.contains("\"ci95\": 0.000000"), "{json}");
+}
+
+/// The generated-topology system spec plugs into the Monte-Carlo engine
+/// like any other system: deterministic per-lane results for any thread
+/// count, using the topology's own environment.
+#[test]
+fn generated_system_spec_runs_in_the_engine() {
+    use elastic_core::gen::{self, TopoParams};
+    let params = TopoParams::sample(3);
+    let sys = gen::generate(&params).unwrap();
+    let exp = Experiment {
+        label: "gen/3".into(),
+        system: SystemSpec::Generated(params),
+        env: sys.env.clone(),
+        cycles: 60,
+        trials: 70,
+        seed: 9,
+    };
+    let one = run_experiment(&exp, 1).unwrap();
+    let multi = run_experiment(&exp, 3).unwrap();
+    assert_eq!(one.stats.per_lane, multi.stats.per_lane);
+    assert_eq!(one.stats.trials(), 70);
+}

@@ -22,6 +22,24 @@ use crate::ee::EarlyEval;
 use crate::error::CoreError;
 use crate::network::{CompId, ComponentKind, ElasticNetwork};
 
+/// A deliberate controller bug injected at compile time — mutation testing
+/// for the verification harnesses. A differential harness that cannot
+/// detect these faults is not testing anything; the fuzz campaign's
+/// negative mode compiles one lowering with a fault and asserts the
+/// divergence is caught (`crate::gen`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FaultInjection {
+    /// Suppress the anti-token generation (G) gates of the named
+    /// early-evaluation join: the join still fires early, but the inputs it
+    /// fired without are never sent the anti-token that should kill their
+    /// late tokens — the canonical EE-join bug of Sect. 4.3.
+    DropAntiToken {
+        /// Display name of the join component to sabotage.
+        join: String,
+    },
+}
+
 /// Options controlling compilation.
 #[derive(Debug, Clone, Default)]
 pub struct CompileOptions {
@@ -41,6 +59,9 @@ pub struct CompileOptions {
     /// `V⁻` of a passive channel). Defaults to `false`, which preserves
     /// the raw gate-for-gate emission.
     pub optimize: bool,
+    /// Optional deliberate bug, for negative tests of the verification
+    /// harnesses. `None` (the default) compiles the faithful controllers.
+    pub fault: Option<FaultInjection>,
 }
 
 /// Per-channel rail nets of a compiled network.
@@ -575,11 +596,21 @@ fn emit_join(
     let sn_b = n.and2(nabsorb, nvp_b);
     n.bind_wire(sn_shadow[b.index()], sn_b)?;
 
+    // Fault injection: a sabotaged join keeps firing early but never
+    // raises its G gates, so late inputs are never killed.
+    let drop_anti = matches!(
+        &opts.fault,
+        Some(FaultInjection::DropAntiToken { join }) if *join == net.component(comp).name
+    );
     let nfire = n.not(fire);
     for (i, &a) in ins.iter().enumerate() {
         let cha = channels[a.index()].clone();
         let nveff = n.not(vpeff[i]);
-        let g = n.and2(fire, nveff);
+        let g = if drop_anti {
+            n.constant(false)
+        } else {
+            n.and2(fire, nveff)
+        };
         let vn_a = n.or2(pend[i], g);
         n.bind_wire(cha.vn, vn_a)?;
         let nvn_a = n.not(vn_a);
@@ -779,6 +810,7 @@ mod tests {
                 data_width: 1,
                 nondet_merge: false,
                 optimize: false,
+                fault: None,
             },
         )
         .unwrap_err();
@@ -789,6 +821,7 @@ mod tests {
                 data_width: 3,
                 nondet_merge: false,
                 optimize: false,
+                fault: None,
             },
         )
         .unwrap();
@@ -803,6 +836,7 @@ mod tests {
                 data_width: 1,
                 nondet_merge: false,
                 optimize: false,
+                fault: None,
             },
         )
         .unwrap();

@@ -47,6 +47,10 @@ pub enum CoreError {
     /// A Monte-Carlo schedule batch was unusable: empty, larger than the
     /// backend's lane capacity, or mixing cycle horizons.
     ScheduleBatch(String),
+    /// A differential fuzz check failed: the DMG reference replay, the
+    /// compiled pipeline and/or the analytic throughput bound disagree on a
+    /// generated topology (`crate::gen`).
+    Differential(String),
     /// Underlying netlist error (compilation only).
     Netlist(String),
 }
@@ -85,6 +89,7 @@ impl fmt::Display for CoreError {
                 )
             }
             CoreError::ScheduleBatch(msg) => write!(f, "bad schedule batch: {msg}"),
+            CoreError::Differential(msg) => write!(f, "differential check failed: {msg}"),
             CoreError::Netlist(e) => write!(f, "netlist error: {e}"),
         }
     }

@@ -45,6 +45,7 @@ pub mod compile;
 pub mod dmg_bridge;
 pub mod ee;
 pub mod elasticize;
+pub mod gen;
 pub mod network;
 pub mod protocol;
 pub mod sim;

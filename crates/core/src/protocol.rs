@@ -68,7 +68,15 @@ impl ProtocolMonitor {
                 });
             }
         }
-        if trace.retry_neg && !sig.vn {
+        // Negative persistence is annihilation-aware: an eager fork's
+        // backward anti-token join withdraws V⁻ in the cycle a forward
+        // token arrives, because the pair annihilates at the fork's
+        // *output* channels instead of as a local kill — the channel then
+        // shows the positive event. A withdrawal therefore always
+        // coincides with V⁺ high on the same channel (found by the
+        // topology fuzzer; see `crate::gen`); V⁻ vanishing with both
+        // valid rails low is still a dropped anti-token.
+        if trace.retry_neg && !sig.vn && !sig.vp {
             return Err(CoreError::ProtocolViolation {
                 channel: chan,
                 message: "V- dropped after a negative retry (persistence)".into(),
@@ -182,6 +190,20 @@ mod tests {
             .observe(c, sig(false, false, false, false, 0))
             .unwrap_err();
         assert!(err.to_string().contains("V- dropped"), "{err}");
+    }
+
+    #[test]
+    fn negative_retry_resolved_by_arriving_token_is_legal() {
+        // The fork-withdrawal corner the topology fuzzer uncovered: after a
+        // negative retry, V⁻ may withdraw in the same cycle a forward token
+        // shows up — the anti-token annihilated one combinational level
+        // downstream (at the fork's output channels), so the channel sees a
+        // positive event instead of a kill.
+        let mut m = ProtocolMonitor::new(1);
+        let c = ChanId(0);
+        m.observe(c, sig(false, false, true, true, 0)).unwrap(); // neg retry
+        m.observe(c, sig(true, false, false, false, 3)).unwrap(); // T, anti gone
+        m.observe(c, sig(false, false, false, false, 0)).unwrap(); // I
     }
 
     #[test]

@@ -487,6 +487,7 @@ pub fn cosim_check(
             data_width,
             nondet_merge: false,
             optimize: false,
+            fault: None,
         },
     )?;
     let nl = &compiled.netlist;
@@ -582,6 +583,7 @@ pub fn cosim_check_wide(
             data_width,
             nondet_merge: false,
             optimize: false,
+            fault: None,
         },
     )?;
     let nl = &compiled.netlist;
@@ -959,6 +961,7 @@ mod tests {
                 data_width: 2,
                 nondet_merge: false,
                 optimize: false,
+                fault: None,
             },
         )
         .unwrap();
@@ -1036,6 +1039,7 @@ mod tests {
                     data_width: 2,
                     nondet_merge: false,
                     optimize: false,
+                    fault: None,
                 },
             )
             .unwrap();
@@ -1045,6 +1049,7 @@ mod tests {
                     data_width: 2,
                     nondet_merge: false,
                     optimize: true,
+                    fault: None,
                 },
             )
             .unwrap();

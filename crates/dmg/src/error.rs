@@ -35,6 +35,21 @@ pub enum DmgError {
     /// A per-node delay was zero (delays must be strictly positive — a
     /// zero-delay node would make cycle ratios unbounded).
     ZeroDelay(NodeId),
+    /// A replayed execution pushed an arc marking outside its configured
+    /// token/anti-token capacity window — the token-flow signature of a
+    /// lost, duplicated or spuriously annihilated token.
+    BoundViolation {
+        /// The arc whose marking escaped its window.
+        arc: ArcId,
+        /// The marking the replay reached.
+        marking: i64,
+        /// Inclusive lower bound (anti-token capacity).
+        lo: i64,
+        /// Inclusive upper bound (token capacity).
+        hi: i64,
+        /// Cycle at which the violation was detected.
+        cycle: u64,
+    },
 }
 
 impl fmt::Display for DmgError {
@@ -69,6 +84,19 @@ impl fmt::Display for DmgError {
                     f,
                     "node {} has zero delay; delays must be positive",
                     n.index()
+                )
+            }
+            DmgError::BoundViolation {
+                arc,
+                marking,
+                lo,
+                hi,
+                cycle,
+            } => {
+                write!(
+                    f,
+                    "arc {} marking {marking} escaped [{lo}, {hi}] at cycle {cycle}",
+                    arc.index()
                 )
             }
         }

@@ -5,7 +5,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::error::DmgError;
 use crate::fire::{Enabling, FiringRecord};
-use crate::graph::Dmg;
+use crate::graph::{Dmg, NodeId};
 use crate::marking::Marking;
 
 /// How a [`RandomExecutor`] picks among enabled nodes.
@@ -123,6 +123,165 @@ impl RandomExecutor {
     }
 }
 
+/// One firing replayed from an external (cycle-accurate) execution, with
+/// the enabling rule the cycle-start marking justified. `rule` is `None`
+/// when the firing was only enabled up to the intra-cycle timing slack of
+/// the circuit implementation (e.g. an eager fork delivering a copy before
+/// its join consumed the inputs) — legal, but worth surfacing in exported
+/// traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceStep {
+    /// Cycle index of the external execution.
+    pub cycle: u64,
+    /// The node that fired.
+    pub node: NodeId,
+    /// Enabling rule at the cycle-start marking, if any held.
+    pub rule: Option<Enabling>,
+}
+
+/// Checked replay of an externally observed execution onto a DMG — the
+/// reference side of the differential fuzz harness.
+///
+/// A cycle-accurate simulator (behavioural or gate-level) reports which
+/// nodes fired in each cycle; the replayer applies the marked-graph firing
+/// rule (identical for P/N/E firings, so one `fire` covers tokens moving
+/// forward, anti-tokens moving backward and annihilations) and asserts at
+/// every cycle boundary that each arc marking stays inside its configured
+/// token/anti-token capacity window. Firing-rule conservation makes cycle
+/// token sums invariant by construction, so any token the implementation
+/// loses, duplicates or spuriously annihilates shows up as an arc marking
+/// drifting out of its window.
+///
+/// The full firing trace is recorded and exportable with
+/// [`Replayer::export_trace`] for failure reports.
+#[derive(Debug, Clone)]
+pub struct Replayer<'g> {
+    g: &'g Dmg,
+    m: Marking,
+    cycle_start: Marking,
+    bounds: Vec<(i64, i64)>,
+    trace: Vec<TraceStep>,
+    cycle: u64,
+}
+
+impl<'g> Replayer<'g> {
+    /// Creates a replayer at the initial marking. `bounds[arc]` is the
+    /// inclusive `(lo, hi)` marking window of each arc: `hi` the token
+    /// capacity of the storage the arc abstracts, `lo` the (negative)
+    /// anti-token capacity, both widened by whatever intra-cycle slack the
+    /// implementation's firing observation points introduce.
+    ///
+    /// # Errors
+    ///
+    /// [`DmgError::MarkingSize`] when `bounds` does not have one entry per
+    /// arc.
+    pub fn new(g: &'g Dmg, bounds: Vec<(i64, i64)>) -> Result<Self, DmgError> {
+        if bounds.len() != g.num_arcs() {
+            return Err(DmgError::MarkingSize {
+                expected: g.num_arcs(),
+                found: bounds.len(),
+            });
+        }
+        let m = g.initial_marking();
+        Ok(Replayer {
+            g,
+            cycle_start: m.clone(),
+            m,
+            bounds,
+            trace: Vec::new(),
+            cycle: 0,
+        })
+    }
+
+    /// Replays one firing observed in the current cycle. Firings within a
+    /// cycle commute (marking updates are additive), so callers may report
+    /// them in any order; bounds are checked at [`Replayer::end_cycle`].
+    ///
+    /// # Errors
+    ///
+    /// [`DmgError::UnknownNode`] for a node outside the graph.
+    pub fn fire(&mut self, node: NodeId) -> Result<(), DmgError> {
+        if node.index() >= self.g.num_nodes() {
+            return Err(DmgError::UnknownNode(node));
+        }
+        let rule = self.g.enabling(&self.cycle_start, node);
+        self.g.fire_unchecked(&mut self.m, node);
+        self.trace.push(TraceStep {
+            cycle: self.cycle,
+            node,
+            rule,
+        });
+        Ok(())
+    }
+
+    /// Closes the current cycle: checks every arc marking against its
+    /// capacity window and advances the cycle counter.
+    ///
+    /// # Errors
+    ///
+    /// [`DmgError::BoundViolation`] naming the first arc outside its
+    /// window.
+    pub fn end_cycle(&mut self) -> Result<(), DmgError> {
+        for a in self.g.arcs() {
+            let v = self.m.get(a);
+            let (lo, hi) = self.bounds[a.index()];
+            if v < lo || v > hi {
+                return Err(DmgError::BoundViolation {
+                    arc: a,
+                    marking: v,
+                    lo,
+                    hi,
+                    cycle: self.cycle,
+                });
+            }
+        }
+        self.cycle += 1;
+        self.cycle_start = self.m.clone();
+        Ok(())
+    }
+
+    /// The marking reached so far.
+    pub fn marking(&self) -> &Marking {
+        &self.m
+    }
+
+    /// Completed cycles.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The recorded firing trace.
+    pub fn trace(&self) -> &[TraceStep] {
+        &self.trace
+    }
+
+    /// Renders the recorded trace, one line per cycle with activity, e.g.
+    /// `"@3 mul:P sink:?"` — `?` marks firings not enabled at the
+    /// cycle-start marking (intra-cycle slack). The tail of this export is
+    /// the payload of differential-mismatch reports.
+    pub fn export_trace(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let mut last: Option<u64> = None;
+        for step in &self.trace {
+            if last != Some(step.cycle) {
+                if last.is_some() {
+                    out.push('\n');
+                }
+                let _ = write!(out, "@{}", step.cycle);
+                last = Some(step.cycle);
+            }
+            let _ = write!(
+                out,
+                " {}:{}",
+                self.g.node_name(step.node),
+                step.rule.map_or('?', Enabling::tag)
+            );
+        }
+        out
+    }
+}
+
 /// Formats a trace as a compact string such as `"n2:P n1:E n7:N"`, handy in
 /// test failure messages and the figure-1 demo binary.
 pub fn format_trace(g: &Dmg, trace: &[FiringRecord]) -> String {
@@ -180,6 +339,91 @@ mod tests {
             .filter(|r| r.rule == Enabling::Positive)
             .count();
         assert!(pos * 2 > trace.len(), "most firings should be positive");
+    }
+
+    #[test]
+    fn replayer_accepts_legal_execution_and_tracks_marking() {
+        let g = crate::examples::fig1_dmg();
+        let bounds = vec![(-4i64, 4i64); g.num_arcs()];
+        let mut rep = Replayer::new(&g, bounds.clone()).unwrap();
+        // Drive the replayer from the random executor: any legal execution
+        // must replay cleanly and end on the executor's marking.
+        let mut m = g.initial_marking();
+        let mut exec = RandomExecutor::new(3, SchedulingPolicy::UniformEnabled);
+        for _ in 0..40 {
+            if let Some(rec) = exec.step(&g, &mut m).unwrap() {
+                rep.fire(rec.node).unwrap();
+            }
+            rep.end_cycle().unwrap();
+        }
+        assert_eq!(rep.marking(), &m);
+        assert_eq!(rep.cycle(), 40);
+        assert_eq!(rep.trace().len(), 40);
+        // Sequential firings are all rule-classified.
+        assert!(rep.trace().iter().all(|s| s.rule.is_some()));
+        let dump = rep.export_trace();
+        assert!(dump.starts_with("@0 "), "{dump}");
+        assert!(dump.lines().count() <= 40);
+    }
+
+    #[test]
+    fn replayer_flags_token_leak_as_bound_violation() {
+        // Firing only the consumer of a ring drains its input arc below the
+        // anti-token window — the signature of a component consuming tokens
+        // it never received.
+        let mut b = crate::graph::DmgBuilder::new();
+        let p = b.node("p");
+        let c = b.node("c");
+        b.arc(p, c, 1);
+        b.arc(c, p, 0);
+        let g = b.build().unwrap();
+        let mut rep = Replayer::new(&g, vec![(-2, 2), (-2, 2)]).unwrap();
+        let mut hit = None;
+        for _ in 0..6 {
+            rep.fire(c).unwrap();
+            if let Err(e) = rep.end_cycle() {
+                hit = Some(e);
+                break;
+            }
+        }
+        match hit {
+            Some(DmgError::BoundViolation {
+                marking, lo, hi, ..
+            }) => {
+                assert!(
+                    marking < lo || marking > hi,
+                    "{marking} outside [{lo}, {hi}]"
+                );
+            }
+            other => panic!("expected a bound violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replayer_rejects_bad_inputs() {
+        let g = crate::examples::fig1_dmg();
+        assert!(matches!(
+            Replayer::new(&g, vec![(-1, 1)]),
+            Err(DmgError::MarkingSize { .. })
+        ));
+        let mut rep = Replayer::new(&g, vec![(-9, 9); g.num_arcs()]).unwrap();
+        let bogus = crate::graph::NodeId(999);
+        assert_eq!(rep.fire(bogus).unwrap_err(), DmgError::UnknownNode(bogus));
+    }
+
+    #[test]
+    fn replayer_marks_slack_firings_in_export() {
+        // A firing that is not enabled at the cycle-start marking replays
+        // (slack-tolerant) but exports as `?`.
+        let g = crate::examples::fig1_dmg();
+        let n0 = g
+            .nodes()
+            .find(|&n| g.enabling(&g.initial_marking(), n).is_none());
+        let Some(n0) = n0 else { return };
+        let mut rep = Replayer::new(&g, vec![(-99, 99); g.num_arcs()]).unwrap();
+        rep.fire(n0).unwrap();
+        assert!(rep.trace()[0].rule.is_none());
+        assert!(rep.export_trace().contains(":?"));
     }
 
     #[test]

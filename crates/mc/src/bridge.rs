@@ -92,7 +92,19 @@ pub fn netlist_kripke(
             limit: opts.max_inputs,
         });
     }
-    let combos = 1usize << num_inputs;
+    // The alphabet is 2^inputs; a raised `max_inputs` must not turn into a
+    // shift-overflow panic once the input count reaches the word width
+    // (`1usize << 64` aborts in debug builds). Anything wide enough to
+    // overflow the shift is unexplorable anyway, so it is the same typed
+    // budget violation.
+    let combos = if num_inputs < usize::BITS as usize {
+        1usize << num_inputs
+    } else {
+        return Err(McError::Budget {
+            what: "inputs",
+            limit: opts.max_inputs.min(usize::BITS as usize - 1),
+        });
+    };
     let mut sim = Simulator::new(netlist)?;
     let inputs: Vec<_> = netlist.inputs().to_vec();
     let named: Vec<(String, _)> = netlist
@@ -313,6 +325,27 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(e, McError::Budget { what: "inputs", .. }));
+    }
+
+    #[test]
+    fn word_width_inputs_are_a_typed_budget_error_not_a_shift_panic() {
+        // Regression: raising `max_inputs` past the word width used to hit
+        // `1usize << 64` and abort. The wide netlist is rejected with a
+        // typed budget error before any exploration is attempted.
+        let mut n = Netlist::new("very_wide");
+        for i in 0..usize::BITS as usize {
+            n.input(format!("i{i}"));
+        }
+        let e = netlist_kripke(
+            &n,
+            &[],
+            BridgeOptions {
+                max_ff_states: 4,
+                max_inputs: usize::MAX,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(e, McError::Budget { what: "inputs", .. }), "{e:?}");
     }
 
     #[test]

@@ -23,6 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 data_width: 2,
                 nondet_merge: false,
                 optimize: false,
+                fault: None,
             },
         )?;
         let (opt, _) = optimize(&compiled.netlist)?;

@@ -144,6 +144,7 @@ fn verilog_blif_smv_export_of_paper_example() {
             data_width: 2,
             nondet_merge: false,
             optimize: false,
+            fault: None,
         },
     )
     .unwrap();

@@ -313,6 +313,24 @@ proptest! {
         }
     }
 
+    /// The tri-backend differential over generated topologies: for any
+    /// sampled `TopoParams`, the behavioural reference, its DMG-replayed
+    /// transfer trace, the compiled execution pipeline and the analytic
+    /// min-cycle-ratio bound must all agree (`elastic_circuits::core::gen`).
+    /// On failure the counterexample is shrunk to a minimal failing
+    /// parameter set before being reported.
+    #[test]
+    fn generated_topology_differential(seed in 0u64..100_000) {
+        use elastic_circuits::core::gen::{
+            check_seed, shrink_params, DiffOptions, TopoParams,
+        };
+        let opts = DiffOptions { cycles: 160, lanes: 2, ..Default::default() };
+        if let Err(e) = check_seed(seed, &opts) {
+            let minimal = shrink_params(&TopoParams::sample(seed), &opts);
+            prop_assert!(false, "differential failed: {e}\nminimal failing params: {minimal:?}");
+        }
+    }
+
     /// With kills enabled, received data is still strictly increasing
     /// (no duplication, no reordering — kills only delete).
     #[test]
