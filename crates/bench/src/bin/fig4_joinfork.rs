@@ -28,7 +28,8 @@ fn main() {
     println!("Fig. 4 — join + eager fork controllers");
     println!("gate-level area: {}", AreaReport::of(&compiled.netlist));
     println!("\nVerilog (excerpt):");
-    for line in to_verilog(&compiled.netlist).lines().take(12) {
+    let verilog = to_verilog(&compiled.netlist).expect("exportable netlist");
+    for line in verilog.lines().take(12) {
         println!("  {line}");
     }
 

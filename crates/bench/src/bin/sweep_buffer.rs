@@ -8,11 +8,11 @@
 //! a `--trials`-schedule gate-level estimate plus confidence interval.
 //!
 //! Usage: `sweep_buffer [--trials N] [--threads N] [--cycles N]
-//! [--seed N] [--json PATH]
-//! [--backend {scalar,wide,wide1,wide2,wide4,wide8}]` (backend defaults to
-//! the full wide8 pipeline).
+//! [--seed N] [--json PATH] [--queue N]
+//! [--backend {auto,scalar,wide,wide1,wide2,wide4,wide8}]` (backend
+//! defaults to runtime width dispatch over the streaming pipeline).
 
-use elastic_bench::exp::{run_experiment_backend, CampaignReport, CliOpts, Experiment, SystemSpec};
+use elastic_bench::exp::{run_experiment_opts, CampaignReport, CliOpts, Experiment, SystemSpec};
 use elastic_core::network::ElasticNetwork;
 use elastic_core::systems::{paper_example, w_early_eval, Config};
 use elastic_netlist::wide::LANES;
@@ -88,7 +88,7 @@ fn main() {
             trials: opts.trials,
             seed: opts.seed.wrapping_add(19),
         };
-        let res = run_experiment_backend(&exp, opts.threads, opts.backend).expect("campaign point");
+        let res = run_experiment_opts(&exp, &opts.engine()).expect("campaign point");
         println!(
             "{depth:>8} {:>11.3} {:>8.3}",
             res.stats.mean(),

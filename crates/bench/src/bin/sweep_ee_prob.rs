@@ -13,12 +13,12 @@
 //! magnitude.
 //!
 //! Usage: `sweep_ee_prob [--trials N] [--threads N] [--cycles N]
-//! [--seed N] [--json PATH]
-//! [--backend {scalar,wide,wide1,wide2,wide4,wide8}]` (backend defaults to
-//! the full wide8 pipeline).
+//! [--seed N] [--json PATH] [--queue N]
+//! [--backend {auto,scalar,wide,wide1,wide2,wide4,wide8}]` (backend
+//! defaults to runtime width dispatch over the streaming pipeline).
 
 use elastic_bench::exp::{
-    ee_prob_experiment, run_experiment_backend, CampaignReport, CliOpts, EE_CONFIGS,
+    ee_prob_experiment, run_experiment_opts, CampaignReport, CliOpts, EE_CONFIGS,
 };
 use elastic_bench::{measure_speedup, WideHarness};
 use elastic_core::systems::{paper_example, Config};
@@ -40,8 +40,7 @@ fn main() {
         for (k, (config, tag)) in EE_CONFIGS.into_iter().enumerate() {
             let exp = ee_prob_experiment(p_i, config, tag, opts.cycles, opts.trials, opts.seed)
                 .expect("builds");
-            let res =
-                run_experiment_backend(&exp, opts.threads, opts.backend).expect("campaign point");
+            let res = run_experiment_opts(&exp, &opts.engine()).expect("campaign point");
             cells[k] = (res.stats.mean(), res.stats.ci95());
             report.points.push(res);
         }

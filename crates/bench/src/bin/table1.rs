@@ -18,10 +18,15 @@ use elastic_core::systems::{paper_example, Config};
 use elastic_netlist::wide::LANES;
 
 fn main() {
-    let cycles: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(10_000);
+    // A positional horizon must parse; silently running the 10k default
+    // after a typo would print a table for a simulation that never ran.
+    let cycles: usize = match std::env::args().nth(1) {
+        Some(raw) if !raw.starts_with("--") => raw.parse().unwrap_or_else(|_| {
+            eprintln!("error: invalid cycle count {raw:?}");
+            std::process::exit(2);
+        }),
+        _ => 10_000,
+    };
     // The positional horizon also seeds the Monte-Carlo default, so both
     // halves of the output share one horizon unless --cycles overrides it.
     let opts = CliOpts::parse(LANES, cycles);

@@ -6,23 +6,32 @@
 //! Figs. 5–9, Table 1) to arbitrary trial counts across OS threads:
 //!
 //! ```text
-//!   Experiment { system × env × cycles × trials, seed } × Backend
-//!        │ shards_for()             ⌈trials/L⌉ shards of L = backend lanes
-//!        ▼                          (512 for wide8); shard i covers seeds
+//!   Experiment { system × env × cycles × trials, seed } × BackendSel
+//!        │ dispatch_backend()       runtime word width W from tape
+//!        │ shards_for()             footprint + trial count (or forced);
+//!        ▼                          ⌈trials/L⌉ shards of L = W·64 lanes
 //!   [Shard 0][Shard 1]…[Shard n-1]  seed+L·i .. seed+L·i+lanes
-//!        │ std::thread::scope       compile+optimize once, share
-//!        ▼                          &WideHarness; each worker packs its
-//!   worker₀ … workerₜ               shard's stimulus and runs a WideSim<W>
-//!        │ reduce (by shard index)
-//!        ▼
+//!        │ streaming pipeline       compile+optimize once, share
+//!        ▼                          &WideHarness; hybrid workers pack
+//!   pack(k+1) ∥ execute(k)          shard k+1 while shard k executes
+//!        │ reduce (by shard index)  (bounded stimulus queue, see
+//!        ▼                          `stream` module docs)
 //!   McStats { per_lane[trials] } → mean / stddev / 95% CI
 //! ```
 //!
 //! **Determinism contract:** lane *j* of the campaign always runs the
 //! schedule seeded `seed + j`, and shards are reduced in shard-index order
 //! — so the per-lane vector (and therefore mean/sd/CI) is bit-identical for
-//! every thread count, **every backend and every chunk size**, including a
-//! single-threaded scalar run of the same seeds.
+//! every thread count, **every queue depth, every backend (runtime-
+//! dispatched or forced), every cache-block size and every chunk size**,
+//! including a single-threaded scalar run of the same seeds.
+//!
+//! **Oversubscription contract:** the engine never spawns more workers
+//! than there are shards, and clamps the pool to the machine's available
+//! parallelism — an explicit `--threads 8` on a 1-core host runs 1 worker
+//! and records both numbers ([`PointResult::requested_threads`] vs
+//! [`PointResult::threads`]), instead of timeslicing eight threads over
+//! one core and *slowing down* (the BENCH_pr4.json `scaling` regression).
 //!
 //! **Thread-safety contract:** a compiled [`elastic_netlist::levelize::Program`]
 //! is immutable instruction data and a
@@ -50,7 +59,10 @@ use elastic_core::systems::{paper_example, Config};
 use elastic_core::CoreError;
 use elastic_netlist::wide::LANES;
 
-use crate::{Backend, McStats, WideHarness};
+use crate::stream::run_shards_streaming;
+use crate::{
+    dispatch_backend, Backend, BackendSel, McStats, WideHarness, DISPATCH_FOOTPRINT_BYTES,
+};
 
 /// Which elastic system a campaign point simulates.
 #[derive(Debug, Clone)]
@@ -165,14 +177,25 @@ pub struct PointResult {
     pub label: String,
     /// Reduced statistics; `per_lane[j]` is the trial seeded `seed + j`.
     pub stats: McStats,
-    /// Worker threads used.
+    /// Worker threads actually spawned (requested, clamped to the shard
+    /// count and the machine's available parallelism).
     pub threads: usize,
+    /// Worker threads the caller asked for, before clamping.
+    pub requested_threads: usize,
     /// Number of shards executed.
     pub shards: usize,
-    /// Wall-clock seconds for the whole point (compile + schedules + runs).
+    /// Wall-clock seconds for the whole point (compile + stimulus + runs;
+    /// compile excluded when a prebuilt harness is supplied).
     pub wall_secs: f64,
-    /// Execution backend label (see [`Backend::label`]).
+    /// Executed backend label (see [`Backend::label`]) — for
+    /// [`BackendSel::Auto`] this is the width the dispatch picked.
     pub backend: &'static str,
+    /// Backend selection mode label (see [`BackendSel::label`]): `"auto"`
+    /// when the width was runtime-dispatched, else the forced backend.
+    pub dispatch: &'static str,
+    /// Bounded stimulus-queue depth of the streaming pipeline (1 for the
+    /// batch scalar path).
+    pub queue: usize,
 }
 
 impl PointResult {
@@ -228,44 +251,125 @@ impl From<CoreError> for ExpError {
     }
 }
 
-/// Runs one campaign point on the default (widest) backend — see
-/// [`run_experiment_backend`].
+/// Tunables of the streaming experiment engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineOpts {
+    /// Requested worker threads; the engine clamps to the shard count and
+    /// the machine's available parallelism (see [`effective_threads`]).
+    pub threads: usize,
+    /// Bounded stimulus-queue depth: at most this many packed stimulus
+    /// matrices exist at once (queued + mid-pack), which is the pipeline's
+    /// memory bound. Clamped to at least 1.
+    pub queue: usize,
+    /// Backend selection: runtime width dispatch or a forced backend.
+    pub backend: BackendSel,
+    /// Byte budget for cache-blocked tape scheduling
+    /// ([`elastic_netlist::levelize::Program::block_plan`]).
+    pub block_bytes: usize,
+}
+
+impl Default for EngineOpts {
+    fn default() -> Self {
+        EngineOpts {
+            threads: default_threads(),
+            queue: 2,
+            backend: BackendSel::Auto,
+            block_bytes: DISPATCH_FOOTPRINT_BYTES,
+        }
+    }
+}
+
+/// The worker count the engine actually spawns for `requested` threads
+/// over `shards` shards: clamped so that (a) spare workers with no shard
+/// to claim are never spawned, and (b) the pool never oversubscribes the
+/// machine — `requested > available_parallelism` timeslices workers over
+/// the same cores and *increases* wall time (the BENCH_pr4.json `scaling`
+/// regression: 2 threads took 2.5× as long as 1 on a 1-core host).
+pub fn effective_threads(requested: usize, shards: usize) -> usize {
+    requested.clamp(1, shards.max(1)).min(default_threads())
+}
+
+/// Runs one campaign point with default engine options (runtime-dispatched
+/// backend, streaming pipeline) — see [`run_experiment_opts`].
 ///
 /// # Errors
 ///
 /// [`ExpError::EmptyExperiment`] for a zero-trial/zero-cycle spec;
 /// [`ExpError::Core`] when the system fails to build or compile.
 pub fn run_experiment(exp: &Experiment, threads: usize) -> Result<PointResult, ExpError> {
-    run_experiment_backend(exp, threads, Backend::default())
+    run_experiment_opts(
+        exp,
+        &EngineOpts {
+            threads,
+            ..EngineOpts::default()
+        },
+    )
 }
 
-/// Runs one campaign point sharded across `threads` OS threads on the
-/// chosen [`Backend`].
-///
-/// The network is compiled **once** (through the full optimize → levelize →
-/// peephole pipeline); the resulting [`WideHarness`] is shared by reference
-/// across a [`std::thread::scope`] worker pool. Workers claim shards from
-/// an atomic cursor (so stragglers never idle the pool), generate that
-/// shard's schedules, pack them into a stimulus matrix and run them through
-/// a fresh power-up [`elastic_netlist::wide::WideSim`]; the per-shard
-/// statistics are reduced in shard-index order — see the module docs for
-/// the determinism contract. Shards cover `backend.lanes()` trials each
-/// (512 for the default `wide8`), and the flattened per-lane vector is
-/// identical for **every** backend and chunk size.
+/// Runs one campaign point on a forced [`Backend`] — the pre-dispatch
+/// entry point, kept for backend-equivalence checks. Identical per-lane
+/// results to [`run_experiment_opts`] with [`BackendSel::Auto`] (asserted
+/// by proptests).
 ///
 /// # Errors
 ///
 /// [`ExpError::EmptyExperiment`] for a zero-trial/zero-cycle spec;
 /// [`ExpError::Core`] when the system fails to build or compile.
+pub fn run_experiment_backend(
+    exp: &Experiment,
+    threads: usize,
+    backend: Backend,
+) -> Result<PointResult, ExpError> {
+    run_experiment_opts(
+        exp,
+        &EngineOpts {
+            threads,
+            backend: BackendSel::Fixed(backend),
+            ..EngineOpts::default()
+        },
+    )
+}
+
+/// Runs one campaign point through the streaming pipeline.
+///
+/// The network is compiled **once** (through the full optimize → levelize →
+/// peephole pipeline); the resulting [`WideHarness`] is shared by reference
+/// across the hybrid worker pool of the `stream` module: stimulus packing
+/// (producer), tape execution (consumer) and transfer-count reduction
+/// overlap, so the stimulus for shard *k+1* is packed while shard *k*
+/// executes behind a bounded queue. The word width is taken from
+/// `opts.backend` — [`dispatch_backend`] at runtime for
+/// [`BackendSel::Auto`] — and each shard covers `backend.lanes()` trials.
+/// The scalar reference backend has no packed path and falls back to the
+/// batch engine (one gate-level interpreter run per trial).
+///
+/// See the module docs for the determinism and oversubscription contracts.
+///
+/// # Errors
+///
+/// [`ExpError::EmptyExperiment`] for a zero-trial/zero-cycle spec;
+/// [`ExpError::Core`] when the system fails to build, compile, or run.
 ///
 /// # Panics
 ///
 /// Panics only on library bugs (a worker thread panicking mid-shard), never
 /// on bad experiment inputs.
-pub fn run_experiment_backend(
+pub fn run_experiment_opts(exp: &Experiment, opts: &EngineOpts) -> Result<PointResult, ExpError> {
+    run_experiment_streaming(exp, opts, |_, _| {})
+}
+
+/// [`run_experiment_opts`] with a partial-result hook: `on_partial(i, s)`
+/// fires on the calling thread, in shard-index order, as soon as shards
+/// `0..=i` have all completed — live progress for long campaigns without
+/// waiting for the final reduction.
+///
+/// # Errors
+///
+/// See [`run_experiment_opts`].
+pub fn run_experiment_streaming(
     exp: &Experiment,
-    threads: usize,
-    backend: Backend,
+    opts: &EngineOpts,
+    on_partial: impl FnMut(usize, &McStats),
 ) -> Result<PointResult, ExpError> {
     if exp.trials == 0 || exp.cycles == 0 {
         return Err(ExpError::EmptyExperiment);
@@ -273,13 +377,96 @@ pub fn run_experiment_backend(
     let t0 = Instant::now();
     let (network, out) = exp.system.build()?;
     let harness = WideHarness::try_new(&network, out)?;
-    let work = shards_for(exp.trials, exp.seed, backend.lanes());
-    let threads = threads.clamp(1, work.len());
-    let cursor = AtomicUsize::new(0);
+    run_core(&harness, &network, exp, opts, t0, on_partial)
+}
 
-    // Each worker returns its (shard index, stats) pairs; reduction sorts
-    // by shard index so the result is independent of thread scheduling.
-    let mut done: Vec<(usize, McStats)> = std::thread::scope(|s| {
+/// Runs one campaign point against a **prebuilt** harness, skipping the
+/// per-point compile: campaign binaries sweeping many environments over
+/// the same system build the [`WideHarness`] once and amortize it.
+/// `exp.system` is ignored — `harness`/`network` stand in for it, and the
+/// caller is responsible for their consistency. `wall_secs` (and therefore
+/// [`PointResult::cycles_per_sec`]) covers only stimulus + execution.
+///
+/// # Errors
+///
+/// [`ExpError::EmptyExperiment`] for a zero-trial/zero-cycle spec;
+/// [`ExpError::Core`] when a pipeline stage fails.
+pub fn run_prepared(
+    harness: &WideHarness,
+    network: &ElasticNetwork,
+    exp: &Experiment,
+    opts: &EngineOpts,
+) -> Result<PointResult, ExpError> {
+    if exp.trials == 0 || exp.cycles == 0 {
+        return Err(ExpError::EmptyExperiment);
+    }
+    run_core(harness, network, exp, opts, Instant::now(), |_, _| {})
+}
+
+/// The engine core shared by every entry point: dispatch the backend,
+/// shard the trials, run the streaming pipeline (or the batch scalar
+/// fallback), reduce in shard-index order.
+fn run_core(
+    harness: &WideHarness,
+    network: &ElasticNetwork,
+    exp: &Experiment,
+    opts: &EngineOpts,
+    t0: Instant,
+    mut on_partial: impl FnMut(usize, &McStats),
+) -> Result<PointResult, ExpError> {
+    let backend = match opts.backend {
+        BackendSel::Auto => dispatch_backend(harness.program(), exp.trials),
+        BackendSel::Fixed(b) => b,
+    };
+    let work = shards_for(exp.trials, exp.seed, backend.lanes());
+    let threads = effective_threads(opts.threads, work.len());
+    let stats = if backend == Backend::Scalar {
+        let mut done = run_batch_scalar(harness, network, exp, &work, threads);
+        done.sort_unstable_by_key(|&(i, _)| i);
+        for (i, s) in &done {
+            on_partial(*i, s);
+        }
+        McStats::concat(done.into_iter().map(|(_, s)| s))
+    } else {
+        let width = backend.lanes() / LANES;
+        let plan = harness.program().block_plan(width, opts.block_bytes);
+        let per_shard = run_shards_streaming(
+            harness, network, &exp.env, exp.cycles, &work, width, &plan, threads, opts.queue,
+            on_partial,
+        )?;
+        McStats::concat(per_shard)
+    };
+    debug_assert_eq!(stats.trials(), exp.trials);
+    Ok(PointResult {
+        label: exp.label.clone(),
+        stats,
+        threads,
+        requested_threads: opts.threads,
+        shards: work.len(),
+        wall_secs: t0.elapsed().as_secs_f64(),
+        backend: backend.label(),
+        dispatch: opts.backend.label(),
+        queue: if backend == Backend::Scalar {
+            1
+        } else {
+            opts.queue.max(1)
+        },
+    })
+}
+
+/// The scalar fallback: the classic PR4 batch pool — workers claim shards
+/// from an atomic cursor, generate that shard's schedules and run them one
+/// gate-level interpreter pass per trial. Returns unsorted
+/// `(shard index, stats)` pairs.
+fn run_batch_scalar(
+    harness: &WideHarness,
+    network: &ElasticNetwork,
+    exp: &Experiment,
+    work: &[Shard],
+    threads: usize,
+) -> Vec<(usize, McStats)> {
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 s.spawn(|| {
@@ -288,14 +475,14 @@ pub fn run_experiment_backend(
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(shard) = work.get(i) else { break };
                         let scheds = WideHarness::schedules(
-                            &network,
+                            network,
                             &exp.env,
                             shard.seed,
                             exp.cycles,
                             shard.lanes,
                         );
                         let stats = harness
-                            .try_run_backend(&scheds, backend)
+                            .try_run_scalar(&scheds)
                             .expect("shard sized to the backend (library bug)");
                         local.push((shard.index, stats));
                     }
@@ -307,17 +494,6 @@ pub fn run_experiment_backend(
             .into_iter()
             .flat_map(|h| h.join().expect("worker panicked (library bug)"))
             .collect()
-    });
-    done.sort_unstable_by_key(|&(i, _)| i);
-    let stats = McStats::concat(done.into_iter().map(|(_, s)| s));
-    debug_assert_eq!(stats.trials(), exp.trials);
-    Ok(PointResult {
-        label: exp.label.clone(),
-        stats,
-        threads,
-        shards: work.len(),
-        wall_secs: t0.elapsed().as_secs_f64(),
-        backend: backend.label(),
     })
 }
 
@@ -408,6 +584,20 @@ pub fn lazy_bound_check(
     })
 }
 
+/// One thread-scaling measurement of a campaign's reference point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalingRow {
+    /// Threads the ladder step asked for.
+    pub requested: usize,
+    /// Threads the engine actually spawned (see [`effective_threads`]) —
+    /// the corrected PR6 methodology: BENCH_pr4.json recorded requested
+    /// threads only, which on an oversubscribed host made "2 threads" a
+    /// measurement of timeslicing overhead, not scaling.
+    pub effective: usize,
+    /// Wall-clock seconds of the reference point at this step.
+    pub wall_secs: f64,
+}
+
 /// A campaign-level record serialized to `BENCH_pr3.json`-style files.
 #[derive(Debug, Clone, Default)]
 pub struct CampaignReport {
@@ -417,9 +607,8 @@ pub struct CampaignReport {
     pub points: Vec<PointResult>,
     /// Analytic cross-checks, as `(point label, check)` pairs.
     pub bound_checks: Vec<(String, BoundCheck)>,
-    /// Thread-scaling measurements, as `(threads, wall_secs)` pairs for one
-    /// reference point.
-    pub scaling: Vec<(usize, f64)>,
+    /// Thread-scaling measurements for one reference point.
+    pub scaling: Vec<ScalingRow>,
 }
 
 impl CampaignReport {
@@ -434,7 +623,8 @@ impl CampaignReport {
             s.push_str(&format!(
                 "    {{\"point\": {}, \"mean\": {}, \"sd\": {}, \"ci95\": {}, \
                  \"trials\": {}, \"cycles\": {}, \"shards\": {}, \"threads\": {}, \
-                 \"wall_secs\": {}, \"backend\": {}, \"cycles_per_sec\": {}}}{sep}\n",
+                 \"requested_threads\": {}, \"queue\": {}, \"wall_secs\": {}, \
+                 \"backend\": {}, \"dispatch\": {}, \"cycles_per_sec\": {}}}{sep}\n",
                 json_str(&p.label),
                 json_f64(p.stats.mean()),
                 json_f64(p.stats.stddev()),
@@ -443,8 +633,11 @@ impl CampaignReport {
                 p.stats.cycles,
                 p.shards,
                 p.threads,
+                p.requested_threads,
+                p.queue,
                 json_f64(p.wall_secs),
                 json_str(p.backend),
+                json_str(p.dispatch),
                 json_f64(p.cycles_per_sec()),
             ));
         }
@@ -471,11 +664,14 @@ impl CampaignReport {
             ));
         }
         s.push_str("  ],\n  \"scaling\": [\n");
-        for (i, &(threads, secs)) in self.scaling.iter().enumerate() {
+        for (i, &row) in self.scaling.iter().enumerate() {
             let sep = if i + 1 == self.scaling.len() { "" } else { "," };
             s.push_str(&format!(
-                "    {{\"threads\": {threads}, \"wall_secs\": {}}}{sep}\n",
-                json_f64(secs)
+                "    {{\"requested_threads\": {}, \"effective_threads\": {}, \
+                 \"wall_secs\": {}}}{sep}\n",
+                row.requested,
+                row.effective,
+                json_f64(row.wall_secs)
             ));
         }
         s.push_str("  ]\n}\n");
@@ -522,13 +718,14 @@ pub(crate) fn json_f64(v: f64) -> String {
 }
 
 /// Shared command-line options of the campaign binaries
-/// (`--trials N --threads N --cycles N --seed N --json PATH
-/// --backend {scalar,wide,wide1,wide2,wide4,wide8}`).
+/// (`--trials N --threads N --cycles N --seed N --json PATH --queue N
+/// --backend {auto,scalar,wide,wide1,wide2,wide4,wide8}`).
 #[derive(Debug, Clone)]
 pub struct CliOpts {
     /// Trials per point.
     pub trials: usize,
-    /// Worker threads (defaults to the machine's available parallelism).
+    /// Worker threads (defaults to the machine's available parallelism;
+    /// the engine clamps, see [`effective_threads`]).
     pub threads: usize,
     /// Cycles per trial.
     pub cycles: usize,
@@ -536,8 +733,10 @@ pub struct CliOpts {
     pub seed: u64,
     /// Optional JSON output path.
     pub json: Option<String>,
-    /// Execution backend (defaults to the widest, `wide8`).
-    pub backend: Backend,
+    /// Backend selection (defaults to runtime dispatch, `auto`).
+    pub backend: BackendSel,
+    /// Streaming-pipeline stimulus queue depth.
+    pub queue: usize,
 }
 
 impl CliOpts {
@@ -574,11 +773,11 @@ impl CliOpts {
             v
         }
         let backend = match grab("--backend") {
-            None => Backend::default(),
-            Some(raw) => Backend::parse(&raw).unwrap_or_else(|| {
+            None => BackendSel::Auto,
+            Some(raw) => BackendSel::parse(&raw).unwrap_or_else(|| {
                 eprintln!(
                     "error: invalid value for --backend: {raw:?} \
-                     (expected scalar, wide, wide1, wide2, wide4 or wide8)"
+                     (expected auto, scalar, wide, wide1, wide2, wide4 or wide8)"
                 );
                 std::process::exit(2);
             }),
@@ -599,6 +798,20 @@ impl CliOpts {
             seed: parsed("--seed", grab("--seed"), 1),
             json: grab("--json"),
             backend,
+            queue: positive(
+                "--queue",
+                parsed("--queue", grab("--queue"), EngineOpts::default().queue),
+            ),
+        }
+    }
+
+    /// The [`EngineOpts`] these CLI options describe.
+    pub fn engine(&self) -> EngineOpts {
+        EngineOpts {
+            threads: self.threads,
+            queue: self.queue,
+            backend: self.backend,
+            ..EngineOpts::default()
         }
     }
 }
@@ -799,9 +1012,12 @@ mod tests {
                     per_lane: vec![0.25, 0.75],
                 },
                 threads: 2,
+                requested_threads: 8,
                 shards: 1,
                 wall_secs: 0.5,
                 backend: "wide8",
+                dispatch: "auto",
+                queue: 2,
             }],
             bound_checks: vec![(
                 "lazy".into(),
@@ -813,7 +1029,18 @@ mod tests {
                     critical: vec!["M1".into()],
                 },
             )],
-            scaling: vec![(1, 2.0), (4, f64::NAN)],
+            scaling: vec![
+                ScalingRow {
+                    requested: 1,
+                    effective: 1,
+                    wall_secs: 2.0,
+                },
+                ScalingRow {
+                    requested: 4,
+                    effective: 1,
+                    wall_secs: f64::NAN,
+                },
+            ],
         };
         let json = report.to_json();
         assert!(json.contains("\"campaign\": \"unit \\\"quoted\\\"\""));
@@ -821,6 +1048,10 @@ mod tests {
         assert!(json.contains("\"mean\": 0.500000"));
         assert!(json.contains("\"trials\": 2"));
         assert!(json.contains("\"backend\": \"wide8\""));
+        assert!(json.contains("\"dispatch\": \"auto\""));
+        assert!(json.contains("\"requested_threads\": 8"));
+        assert!(json.contains("\"queue\": 2"));
+        assert!(json.contains("\"requested_threads\": 4, \"effective_threads\": 1"));
         // 2 trials × 10 cycles / 0.5 s = 40 cycles/sec.
         assert!(json.contains("\"cycles_per_sec\": 40.000000"));
         assert!(json.contains("\"ok\": true"));

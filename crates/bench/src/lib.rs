@@ -14,6 +14,7 @@
 
 pub mod exp;
 pub mod fuzz;
+mod stream;
 
 use std::time::Instant;
 
@@ -26,7 +27,7 @@ use elastic_core::systems::{paper_example, Config, PaperSystem};
 use elastic_core::verify::{NetlistTestbench, PackedStimulus, Schedule};
 use elastic_core::CoreError;
 use elastic_netlist::area::AreaReport;
-use elastic_netlist::levelize::Program;
+use elastic_netlist::levelize::{BlockPlan, Program};
 use elastic_netlist::opt::{optimize, optimize_observed};
 use elastic_netlist::sim::Simulator;
 use elastic_netlist::wide::{lane_masks, WideSim, LANES};
@@ -296,6 +297,64 @@ impl Backend {
     }
 }
 
+/// How the experiment engine chooses its execution backend: a forced
+/// [`Backend`], or per-topology runtime dispatch via [`dispatch_backend`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendSel {
+    /// Pick the word width at runtime from the compiled tape's value-arena
+    /// footprint and the campaign's trial count — the default.
+    #[default]
+    Auto,
+    /// Force one backend (the pre-PR6 behaviour; `--backend wide4` etc.).
+    Fixed(Backend),
+}
+
+impl BackendSel {
+    /// CLI name (`--backend` value).
+    pub fn label(self) -> &'static str {
+        match self {
+            BackendSel::Auto => "auto",
+            BackendSel::Fixed(b) => b.label(),
+        }
+    }
+
+    /// Parses a `--backend` value: `auto`, or anything [`Backend::parse`]
+    /// accepts.
+    pub fn parse(s: &str) -> Option<BackendSel> {
+        if s == "auto" {
+            return Some(BackendSel::Auto);
+        }
+        Backend::parse(s).map(BackendSel::Fixed)
+    }
+}
+
+/// Value-arena byte budget the runtime width dispatch keeps a topology's
+/// working set under: half a typical 1 MiB L2, leaving room for the
+/// stimulus rows streaming through the same cache.
+pub const DISPATCH_FOOTPRINT_BYTES: usize = 512 * 1024;
+
+/// Picks the word width for a topology at runtime: the widest `W` whose
+/// `W`-word value arena fits [`DISPATCH_FOOTPRINT_BYTES`], narrowed while a
+/// narrower backend already holds every trial (`trials ≤ (W/2)·LANES`) —
+/// wider words would only splat zeros through dead lanes. Never returns
+/// [`Backend::Scalar`]; the scalar path is a reference, not a dispatch
+/// target. The choice is recorded in campaign JSON as `dispatch`.
+pub fn dispatch_backend(prog: &Program, trials: usize) -> Backend {
+    let mut w = 8usize;
+    while w > 1 && prog.footprint_bytes(w) > DISPATCH_FOOTPRINT_BYTES {
+        w /= 2;
+    }
+    while w > 1 && trials <= (w / 2) * LANES {
+        w /= 2;
+    }
+    match w {
+        1 => Backend::Wide1,
+        2 => Backend::Wide2,
+        4 => Backend::Wide4,
+        _ => Backend::Wide8,
+    }
+}
+
 /// A compiled network plus everything needed to replay [`Schedule`]s
 /// against it — compile once, run many schedule batches.
 ///
@@ -517,6 +576,129 @@ impl WideHarness {
                     m &= m - 1;
                 }
             }
+        }
+        Ok(McStats {
+            cycles,
+            per_lane: counts
+                .iter()
+                .map(|&c| f64::from(c) / cycles as f64)
+                .collect(),
+        })
+    }
+
+    /// Generates a packed stimulus matrix for `lanes` trials directly —
+    /// the streaming pipeline's producer stage. Bit-identical to packing
+    /// [`WideHarness::schedules`] with the same arguments (each lane `k`
+    /// replays the RNG stream of seed `seed + k`), but built in one fused
+    /// pass without materializing [`Schedule`]s.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::ScheduleBatch`] when `lanes` is zero or exceeds
+    /// `width · LANES`.
+    pub fn generate_stimulus(
+        &self,
+        net: &ElasticNetwork,
+        env: &EnvConfig,
+        seed: u64,
+        cycles: usize,
+        lanes: usize,
+        width: usize,
+    ) -> Result<PackedStimulus, CoreError> {
+        PackedStimulus::generate(&self.wide_tb, net, env, seed, lanes, cycles, width)
+    }
+
+    /// Executes a pre-built stimulus matrix — the streaming pipeline's
+    /// consumer stage. The word width is dispatched at runtime from
+    /// `stim.width()` onto the matching monomorphized backend, and the tape
+    /// runs through `plan`'s cache blocks
+    /// ([`WideSim::cycle_packed_blocked`]). Only the first `lanes` trials
+    /// count toward the statistics; trailing lanes of a partial word are
+    /// masked out.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::ScheduleBatch`] when `lanes` is zero, exceeds the
+    /// stimulus width's capacity, or `stim.width()` is not one of
+    /// {1, 2, 4, 8}; propagates slot-validation failures.
+    pub fn try_run_stim(
+        &self,
+        stim: &PackedStimulus,
+        lanes: usize,
+        plan: &BlockPlan,
+    ) -> Result<McStats, CoreError> {
+        match stim.width() {
+            1 => self.run_stim_w::<1>(stim, lanes, plan),
+            2 => self.run_stim_w::<2>(stim, lanes, plan),
+            4 => self.run_stim_w::<4>(stim, lanes, plan),
+            8 => self.run_stim_w::<8>(stim, lanes, plan),
+            w => Err(CoreError::ScheduleBatch(format!(
+                "unsupported stimulus width {w} (expected 1, 2, 4 or 8)"
+            ))),
+        }
+    }
+
+    fn run_stim_w<const W: usize>(
+        &self,
+        stim: &PackedStimulus,
+        lanes: usize,
+        plan: &BlockPlan,
+    ) -> Result<McStats, CoreError> {
+        if lanes == 0 || lanes > W * LANES {
+            return Err(CoreError::ScheduleBatch(format!(
+                "{lanes} trials do not fit a {W}-word backend (1..={})",
+                W * LANES
+            )));
+        }
+        let cycles = stim.cycles() as u64;
+        let mut sim: WideSim<W> = WideSim::from_program(self.prog.clone());
+        sim.check_input_slots(stim.slots())
+            .map_err(CoreError::from)?;
+        let live = lane_masks::<W>(lanes);
+        let (vp, sp, vn) = self.obs_rails;
+        let mut counts = vec![0u32; lanes];
+        // Bit-sliced vertical counters: per lane word, 8 planes hold each
+        // lane's transfer count for up to 255 cycles (plane `b` is bit `b`
+        // of every lane's count). Adding a transfer mask is a ripple-carry
+        // over the planes — ~2 word ops per cycle on average, instead of
+        // one `trailing_zeros` round-trip per set bit (≈ 48 on a dense
+        // word). Flushes decode the planes into the scalar counts.
+        let mut planes = [[0u64; 8]; W];
+        let mut window = 0u32;
+        let flush = |counts: &mut [u32], planes: &mut [[u64; 8]; W]| {
+            for (w, pl) in planes.iter_mut().enumerate() {
+                for (b, plane) in pl.iter_mut().enumerate() {
+                    let mut m = *plane;
+                    while m != 0 {
+                        counts[w * LANES + m.trailing_zeros() as usize] += 1 << b;
+                        m &= m - 1;
+                    }
+                    *plane = 0;
+                }
+            }
+        };
+        for t in 0..cycles as usize {
+            sim.cycle_packed_blocked(stim.slots(), stim.row(t), plan);
+            for (w, &mask) in live.iter().enumerate() {
+                let mut carry = sim.word(vp, w) & !sim.word(sp, w) & !sim.word(vn, w) & mask;
+                for plane in planes[w].iter_mut() {
+                    if carry == 0 {
+                        break;
+                    }
+                    let c = *plane & carry;
+                    *plane ^= carry;
+                    carry = c;
+                }
+                debug_assert_eq!(carry, 0, "255-cycle window overflowed a lane counter");
+            }
+            window += 1;
+            if window == 255 {
+                flush(&mut counts, &mut planes);
+                window = 0;
+            }
+        }
+        if window > 0 {
+            flush(&mut counts, &mut planes);
         }
         Ok(McStats {
             cycles,
@@ -803,6 +985,82 @@ mod tests {
             per_lane: vec![0.5],
         };
         assert_eq!(one.stddev(), 0.0);
+    }
+
+    #[test]
+    fn stimulus_path_matches_schedule_path_exactly() {
+        // The streaming producer/consumer pair (generate_stimulus +
+        // try_run_stim) must be bit-identical to the batch path (schedules
+        // + try_run) for every width and for blocked execution.
+        let sys = paper_example(Config::ActiveAntiTokens).unwrap();
+        let h = WideHarness::new(&sys.network, sys.output_channel);
+        let (seed, cycles, lanes) = (21u64, 300usize, 70usize);
+        let scheds = WideHarness::schedules(&sys.network, &sys.env_config, seed, cycles, lanes);
+        let batch = h.try_run(&scheds).unwrap();
+        for width in [2usize, 4, 8] {
+            let stim = h
+                .generate_stimulus(&sys.network, &sys.env_config, seed, cycles, lanes, width)
+                .unwrap();
+            for budget in [usize::MAX, 256] {
+                let plan = h.program().block_plan(width, budget);
+                let streamed = h.try_run_stim(&stim, lanes, &plan).unwrap();
+                assert_eq!(
+                    streamed.per_lane, batch.per_lane,
+                    "width {width} budget {budget}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn try_run_stim_rejects_bad_lane_counts() {
+        let sys = paper_example(Config::ActiveAntiTokens).unwrap();
+        let h = WideHarness::new(&sys.network, sys.output_channel);
+        let stim = h
+            .generate_stimulus(&sys.network, &sys.env_config, 3, 50, 64, 1)
+            .unwrap();
+        let plan = h.program().block_plan(1, usize::MAX);
+        assert!(matches!(
+            h.try_run_stim(&stim, 0, &plan),
+            Err(CoreError::ScheduleBatch(_))
+        ));
+        assert!(matches!(
+            h.try_run_stim(&stim, 65, &plan),
+            Err(CoreError::ScheduleBatch(_))
+        ));
+    }
+
+    #[test]
+    fn dispatch_picks_sane_widths() {
+        let sys = paper_example(Config::ActiveAntiTokens).unwrap();
+        let h = WideHarness::new(&sys.network, sys.output_channel);
+        let p = h.program();
+        // The paper example's tape is tiny, so trials drive the choice.
+        assert_eq!(dispatch_backend(p, 1), Backend::Wide1);
+        assert_eq!(dispatch_backend(p, LANES), Backend::Wide1);
+        assert_eq!(dispatch_backend(p, LANES + 1), Backend::Wide2);
+        assert_eq!(dispatch_backend(p, 4 * LANES + 1), Backend::Wide8);
+        assert_eq!(dispatch_backend(p, 100_000), Backend::Wide8);
+        // Never scalar, and the choice always holds the trials it is asked
+        // about (or is the widest backend).
+        for trials in [1, 63, 64, 65, 500, 512, 513] {
+            let b = dispatch_backend(p, trials);
+            assert!(b != Backend::Scalar);
+            assert!(b.lanes() >= trials.min(MAX_TRIALS_PER_RUN));
+        }
+    }
+
+    #[test]
+    fn backend_sel_parses_auto_and_fixed() {
+        assert_eq!(BackendSel::parse("auto"), Some(BackendSel::Auto));
+        assert_eq!(
+            BackendSel::parse("wide4"),
+            Some(BackendSel::Fixed(Backend::Wide4))
+        );
+        assert_eq!(BackendSel::parse("nope"), None);
+        assert_eq!(BackendSel::Auto.label(), "auto");
+        assert_eq!(BackendSel::Fixed(Backend::Scalar).label(), "scalar");
+        assert_eq!(BackendSel::default(), BackendSel::Auto);
     }
 
     #[test]

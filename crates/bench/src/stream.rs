@@ -1,0 +1,186 @@
+//! Bounded-queue streaming producer/consumer pipeline for Monte-Carlo
+//! shards.
+//!
+//! The PR4 engine ran each shard as `generate schedules → pack → execute`
+//! sequentially inside one worker, so the stimulus for shard *k+1* only
+//! started once shard *k* had fully executed. This module overlaps the
+//! stages instead:
+//!
+//! ```text
+//!             ┌──────────── bounded queue (≤ depth in flight) ───────────┐
+//!   pack(k+1) │ [stim k] [stim k+1] …                                    │
+//!  ───────────┤                                                          │
+//!   workers   │  pop → execute(k) → (k, McStats) ──mpsc──▶ reducer       │
+//!             └──────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! Every worker is a *hybrid* pack-or-execute loop: it prefers popping a
+//! packed stimulus and executing it (draining the queue keeps latency to
+//! first result low); if the queue has nothing to execute it claims the
+//! next shard to pack, provided fewer than `depth` stimuli are packed or
+//! in flight — the backpressure that bounds memory to
+//! `depth × stimulus_bytes`. With one worker the loop degenerates to
+//! pack/execute alternation, which is exactly the batch engine's order.
+//!
+//! The reducer runs on the calling thread: it receives `(shard index,
+//! stats)` pairs over an mpsc channel and emits partial [`McStats`] in
+//! shard-index order through the `on_partial` callback as soon as each
+//! prefix completes. Because shard seeds (not worker identity) determine
+//! every RNG stream and the reduction is by shard index, the final
+//! per-lane vector is bit-identical for every worker count and queue
+//! depth — asserted by the proptests in `tests/exp.rs`.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex};
+
+use elastic_core::network::ElasticNetwork;
+use elastic_core::sim::EnvConfig;
+use elastic_core::verify::PackedStimulus;
+use elastic_core::CoreError;
+use elastic_netlist::levelize::BlockPlan;
+
+use crate::exp::Shard;
+use crate::{McStats, WideHarness};
+
+/// Shared pipeline state behind one mutex; workers sleep on the paired
+/// condvar whenever they can neither execute nor pack.
+struct PipeState {
+    /// Next shard index to claim for packing.
+    next_pack: usize,
+    /// Packed stimuli awaiting execution, in claim order.
+    queue: VecDeque<(usize, PackedStimulus)>,
+    /// Shards currently being packed (claimed, not yet queued).
+    packing: usize,
+    /// First error any stage hit; set once, aborts the pipeline.
+    error: Option<CoreError>,
+}
+
+impl PipeState {
+    /// Nothing left to pack, nothing mid-pack, nothing queued: any
+    /// remaining executions are already owned by other workers.
+    fn drained(&self, total: usize) -> bool {
+        self.next_pack >= total && self.packing == 0 && self.queue.is_empty()
+    }
+}
+
+/// Runs `shards` through the streaming pipeline on `workers` hybrid
+/// threads with a `depth`-bounded stimulus queue, returning the per-shard
+/// statistics in shard-index order. `on_partial(index, stats)` fires on
+/// the calling thread, in index order, as soon as every shard up to
+/// `index` has completed.
+///
+/// # Errors
+///
+/// The first stage error (stimulus generation or execution), after the
+/// pipeline has drained.
+#[allow(clippy::too_many_arguments)] // one call site; a builder would obscure the stage wiring
+pub(crate) fn run_shards_streaming(
+    harness: &WideHarness,
+    network: &ElasticNetwork,
+    env: &EnvConfig,
+    cycles: usize,
+    shards: &[Shard],
+    width: usize,
+    plan: &BlockPlan,
+    workers: usize,
+    depth: usize,
+    mut on_partial: impl FnMut(usize, &McStats),
+) -> Result<Vec<McStats>, CoreError> {
+    assert!(workers >= 1, "pipeline needs a worker");
+    let depth = depth.max(1);
+    let state = Mutex::new(PipeState {
+        next_pack: 0,
+        queue: VecDeque::with_capacity(depth),
+        packing: 0,
+        error: None,
+    });
+    let cvar = Condvar::new();
+    let (tx, rx) = mpsc::channel::<(usize, McStats)>();
+
+    let mut results: Vec<Option<McStats>> = vec![None; shards.len()];
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let (state, cvar) = (&state, &cvar);
+            s.spawn(move || {
+                let fail = |e: CoreError| {
+                    let mut g = state.lock().expect("pipeline lock");
+                    g.error.get_or_insert(e);
+                    cvar.notify_all();
+                };
+                let mut guard = state.lock().expect("pipeline lock");
+                loop {
+                    if guard.error.is_some() {
+                        break;
+                    }
+                    if let Some((idx, stim)) = guard.queue.pop_front() {
+                        drop(guard);
+                        // A queue slot freed: packers blocked on depth can
+                        // proceed while this worker executes.
+                        cvar.notify_all();
+                        match harness.try_run_stim(&stim, shards[idx].lanes, plan) {
+                            Ok(stats) => {
+                                let _ = tx.send((idx, stats));
+                            }
+                            Err(e) => {
+                                fail(e);
+                                break;
+                            }
+                        }
+                        guard = state.lock().expect("pipeline lock");
+                    } else if guard.next_pack < shards.len()
+                        && guard.queue.len() + guard.packing < depth
+                    {
+                        let shard = shards[guard.next_pack];
+                        guard.next_pack += 1;
+                        guard.packing += 1;
+                        drop(guard);
+                        match harness.generate_stimulus(
+                            network,
+                            env,
+                            shard.seed,
+                            cycles,
+                            shard.lanes,
+                            width,
+                        ) {
+                            Ok(stim) => {
+                                guard = state.lock().expect("pipeline lock");
+                                guard.packing -= 1;
+                                guard.queue.push_back((shard.index, stim));
+                                cvar.notify_all();
+                            }
+                            Err(e) => {
+                                fail(e);
+                                break;
+                            }
+                        }
+                    } else if guard.drained(shards.len()) {
+                        break;
+                    } else {
+                        guard = cvar.wait(guard).expect("pipeline lock");
+                    }
+                }
+            });
+        }
+        // The reducer: this thread owns the original `tx`; dropping it
+        // leaves the workers' clones, so `rx` ends once they all exit.
+        drop(tx);
+        let mut emitted = 0usize;
+        for (idx, stats) in rx {
+            results[idx] = Some(stats);
+            while emitted < results.len() && results[emitted].is_some() {
+                on_partial(emitted, results[emitted].as_ref().expect("just checked"));
+                emitted += 1;
+            }
+        }
+    });
+
+    if let Some(e) = state.into_inner().expect("pipeline lock").error {
+        return Err(e);
+    }
+    Ok(results
+        .into_iter()
+        .map(|r| r.expect("drained pipeline completed every shard"))
+        .collect())
+}

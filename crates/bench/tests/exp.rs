@@ -3,9 +3,10 @@
 //! 64-lane words directly, for any trial count and any thread count.
 
 use elastic_bench::exp::{
-    run_experiment, run_experiment_backend, shards, shards_for, Experiment, SystemSpec,
+    effective_threads, run_experiment, run_experiment_backend, run_experiment_opts,
+    run_experiment_streaming, shards, shards_for, EngineOpts, Experiment, SystemSpec,
 };
-use elastic_bench::{Backend, WideHarness};
+use elastic_bench::{Backend, BackendSel, WideHarness};
 use elastic_core::sim::{EnvConfig, SinkCfg, SourceCfg};
 use elastic_core::systems::linear_pipeline;
 use elastic_netlist::wide::LANES;
@@ -139,6 +140,59 @@ proptest! {
         let engine = run_experiment_backend(&exp, 3, Backend::Wide4).unwrap();
         prop_assert_eq!(&engine.stats.per_lane, &packed);
     }
+
+    /// Tentpole invariant: the streaming pipeline is bit-identical to the
+    /// direct reference for every queue depth, cache-block budget, thread
+    /// count, and backend (runtime-dispatched or forced) — streaming is an
+    /// execution strategy, never a semantic knob.
+    #[test]
+    fn streaming_is_invariant_under_queue_block_and_backend(
+        n in 1usize..150,
+        seed in 0u64..500,
+        threads in 1usize..5,
+    ) {
+        let exp = pipeline_experiment(n, seed, 30);
+        let direct = direct_per_lane(&exp);
+        for queue in [1usize, 2, 8] {
+            for block_bytes in [usize::MAX, 4096, 64] {
+                for backend in [
+                    BackendSel::Auto,
+                    BackendSel::Fixed(Backend::Wide1),
+                    BackendSel::Fixed(Backend::Wide8),
+                ] {
+                    let opts = EngineOpts { threads, queue, backend, block_bytes };
+                    let res = run_experiment_opts(&exp, &opts).unwrap();
+                    prop_assert_eq!(
+                        &res.stats.per_lane, &direct,
+                        "queue={} block={} backend={}",
+                        queue, block_bytes, opts.backend.label()
+                    );
+                }
+            }
+        }
+    }
+
+    /// The partial-result stream is the final result: partials arrive in
+    /// shard-index order, exactly once each, and their concatenation is the
+    /// reduced per-lane vector.
+    #[test]
+    fn partial_stream_concatenates_to_the_batch_result(
+        n in 1usize..200,
+        seed in 0u64..500,
+        queue in 1usize..4,
+    ) {
+        let exp = pipeline_experiment(n, seed, 25);
+        let opts = EngineOpts { threads: 3, queue, ..EngineOpts::default() };
+        let mut streamed: Vec<f64> = Vec::new();
+        let mut indices: Vec<usize> = Vec::new();
+        let res = run_experiment_streaming(&exp, &opts, |i, s| {
+            indices.push(i);
+            streamed.extend_from_slice(&s.per_lane);
+        }).unwrap();
+        prop_assert_eq!(&indices, &(0..indices.len()).collect::<Vec<_>>());
+        prop_assert_eq!(&streamed, &res.stats.per_lane);
+        prop_assert_eq!(&res.stats.per_lane, &direct_per_lane(&exp));
+    }
 }
 
 /// Satellite regression: a single-trial campaign must report finite
@@ -171,6 +225,48 @@ fn single_trial_campaign_has_finite_stats_and_clean_json() {
     assert!(!json.contains("NaN") && !json.contains("inf"), "{json}");
     assert!(json.contains("\"sd\": 0.000000"), "{json}");
     assert!(json.contains("\"ci95\": 0.000000"), "{json}");
+}
+
+/// Satellite regression (the BENCH_pr4.json scaling bug): an oversubscribed
+/// thread request no longer spawns more workers than the host can run or
+/// the shard count can feed. The request is honored in the report
+/// (`requested_threads`) but the engine clamps the spawned pool, and the
+/// results are bit-identical to the single-threaded run.
+#[test]
+fn oversubscribed_thread_requests_are_clamped() {
+    // 80 trials on the auto-dispatched width collapse to very few shards;
+    // request far more threads than either the shards or this machine.
+    let exp = pipeline_experiment(80, 7, 25);
+    let opts = EngineOpts {
+        threads: 64,
+        ..EngineOpts::default()
+    };
+    let res = run_experiment_opts(&exp, &opts).unwrap();
+    assert_eq!(res.requested_threads, 64);
+    assert_eq!(res.threads, effective_threads(64, res.shards));
+    assert!(
+        res.threads <= res.shards,
+        "spawned {} workers for {} shards",
+        res.threads,
+        res.shards
+    );
+    let avail = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    assert!(
+        res.threads <= avail,
+        "spawned {} workers on a {avail}-way host",
+        res.threads
+    );
+    let single = run_experiment(&exp, 1).unwrap();
+    assert_eq!(single.stats.per_lane, res.stats.per_lane);
+
+    // The clamp is monotone and bounded for any request.
+    for requested in [1usize, 2, 7, 64, 1024] {
+        let eff = effective_threads(requested, 4);
+        assert!(eff >= 1 && eff <= 4.min(avail.max(1)));
+        assert!(eff <= requested);
+    }
+    assert_eq!(effective_threads(0, 4), 1, "zero requests still run");
+    assert_eq!(effective_threads(8, 0), 1, "zero shards still spawn one");
 }
 
 /// The generated-topology system spec plugs into the Monte-Carlo engine

@@ -867,11 +867,11 @@ mod tests {
     fn exports_work_on_compiled_controllers() {
         let (net, _, _) = pipeline();
         let compiled = compile(&net, &CompileOptions::default()).unwrap();
-        let v = elastic_netlist::export::to_verilog(&compiled.netlist);
+        let v = elastic_netlist::export::to_verilog(&compiled.netlist).unwrap();
         assert!(v.contains("module lin"));
         let smv = elastic_netlist::export::to_smv(&compiled.netlist).unwrap();
         assert!(smv.contains("MODULE main"));
-        let blif = elastic_netlist::export::to_blif(&compiled.netlist);
+        let blif = elastic_netlist::export::to_blif(&compiled.netlist).unwrap();
         assert!(blif.contains(".model lin"));
     }
 }

@@ -21,12 +21,12 @@ use elastic_netlist::sim::Simulator;
 use elastic_netlist::wide::{WideSimulator, LANES};
 use elastic_netlist::NetId;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 
 use crate::compile::{compile, sanitize, CompileOptions};
 use crate::error::CoreError;
 use crate::network::{CompId, ComponentKind, ElasticNetwork};
-use crate::sim::{BehavSim, EnvConfig, Environment};
+use crate::sim::{BehavSim, DataGen, EnvConfig, Environment};
 
 /// A pre-generated environment schedule, replayable both by the behavioural
 /// simulator (as an [`Environment`]) and by the netlist testbench (as
@@ -319,7 +319,7 @@ impl NetlistTestbench {
 /// bit-for-bit (asserted by unit and property tests), the testbench input
 /// order is preserved, and `slots[i]` is the dense arena index of the
 /// testbench's `i`-th input net.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PackedStimulus {
     cycles: usize,
     width: usize,
@@ -327,6 +327,202 @@ pub struct PackedStimulus {
     /// Row-major: `words[(t * slots.len() + i) * width + w]` is lane word
     /// `w` of input `i` at cycle `t`.
     words: Vec<u64>,
+}
+
+/// `1 / 2^53`: the scale of the rand shim's 53-bit unit-interval draw.
+const UNIT_53: f64 = 1.0 / (1u64 << 53) as f64;
+
+/// Integer-threshold Bernoulli, bit-identical to the rand shim's
+/// `gen_bool(p)` (which tests `((r >> 11) as f64) * 2⁻⁵³ < p`).
+///
+/// Let `m = r >> 11 < 2^53`. Both `m as f64` and the `2⁻⁵³` scaling are
+/// exact, so `gen_bool` accepts iff `m < p·2^53` as reals; `p·2^53` is
+/// itself exact for any `p ∈ [0, 1]` (a power-of-two scaling never
+/// rounds), hence `m < p·2^53 ⇔ m < ⌈p·2^53⌉` over the integers. One
+/// shift and one integer compare per draw, no float conversion — this is
+/// the hot-loop form used by [`PackedStimulus::generate`], asserted
+/// equivalent in `bool_draw_matches_gen_bool`.
+struct BoolDraw {
+    threshold: u64,
+}
+
+impl BoolDraw {
+    fn new(p: f64) -> BoolDraw {
+        debug_assert!((0.0..=1.0).contains(&p));
+        BoolDraw {
+            threshold: (p * (1u64 << 53) as f64).ceil() as u64,
+        }
+    }
+
+    #[inline]
+    fn draw(&self, rng: &mut StdRng) -> bool {
+        (rng.next_u64() >> 11) < self.threshold
+    }
+}
+
+/// Cycle-block size of the fused generator's inner loops: per block, each
+/// lane's RNG state is pulled onto the stack once for `GEN_BLOCK`
+/// consecutive draws and the lane bits accumulate in a block-local buffer
+/// (≤ `GEN_BLOCK × 8` bytes per stream, L1-resident) before one store per
+/// cycle lands them in the stimulus matrix.
+const GEN_BLOCK: usize = 64;
+
+/// Fills one Bernoulli input column (a sink's stop/kill or a VL unit's
+/// finish stream) for one 64-lane word group, cycle-blocked as described on
+/// [`GEN_BLOCK`]. `cell(t)` maps a cycle to the column's word index for
+/// this group. Per-lane draw order is cycle-sequential (blocks advance in
+/// order and each lane runs a whole block before the next lane), so every
+/// lane consumes its RNG exactly like the one-schedule-at-a-time path.
+fn fill_bool_stream(
+    words: &mut [u64],
+    rngs: &mut [StdRng],
+    b: &BoolDraw,
+    cycles: usize,
+    cell: impl Fn(usize) -> usize,
+) {
+    let mut buf = [0u64; GEN_BLOCK];
+    let mut t0 = 0;
+    while t0 < cycles {
+        let bl = GEN_BLOCK.min(cycles - t0);
+        buf.fill(0);
+        for (k, slot) in rngs.iter_mut().enumerate() {
+            let mut rng = slot.clone();
+            let mut bw = 0u64;
+            for i in 0..bl {
+                bw |= u64::from(b.draw(&mut rng)) << i;
+            }
+            buf[k] = bw;
+            *slot = rng;
+        }
+        // buf[k] bit i = lane k, cycle t0+i; transpose to cycle-major rows.
+        transpose64(&mut buf);
+        for (i, &a) in buf[..bl].iter().enumerate() {
+            words[cell(t0 + i)] = a;
+        }
+        t0 += bl;
+    }
+}
+
+/// In-place 64×64 bit-matrix transpose (Hacker's Delight 7-3): output row
+/// `i` bit `k` = input row `k` bit `i`. Turns the generator's lane-major
+/// draw buffers into the stimulus matrix's cycle-major lane words in
+/// ~6·64 word operations per 4096 bits — instead of one read-modify-write
+/// per drawn bit.
+fn transpose64(a: &mut [u64; GEN_BLOCK]) {
+    let mut j = 32usize;
+    let mut m = 0x0000_0000_FFFF_FFFFu64;
+    while j != 0 {
+        let mut k = 0usize;
+        while k < 64 {
+            // Swap the high `j` bits of row k with the low `j` bits of row
+            // k+j (the LSB-first orientation of Hacker's Delight 7-3).
+            let t = ((a[k] >> j) ^ a[k + j]) & m;
+            a[k] ^= t << j;
+            a[k + j] ^= t;
+            k = (k + j + 1) & !j;
+        }
+        j >>= 1;
+        m ^= m << j;
+    }
+}
+
+/// Pre-resolved source payload generator for the fused stimulus path:
+/// the per-draw work of `weighted_draw` (re-summing the weight total,
+/// re-filtering unusable entries, dynamic dispatch into the RNG) is hoisted
+/// to construction, keeping the draw itself to one `next_u64` and a short
+/// float walk with **exactly** the original's FP semantics and RNG
+/// consumption (including the degenerate-distribution early return that
+/// draws nothing).
+enum SrcPlan<'a> {
+    /// Const/Counter/Alternate (no RNG) — delegate to [`DataGen::sample`].
+    Exact(&'a DataGen),
+    /// Degenerate weighted distribution: deterministic value, **no draw**.
+    Fixed(u64),
+    /// Weighted distribution, compiled to integer mantissa cutoffs: a draw
+    /// with top-53-bit mantissa `m` selects `values[#cuts ≤ m]`.
+    Walk { cuts: Vec<u64>, values: Vec<u64> },
+}
+
+/// The entry index `weighted_draw` picks for a raw mantissa `m`, replicated
+/// operation for operation: `rng.gen_range(0.0..total)` is start + unit ×
+/// (end − start) clamped below the open upper bound, followed by the
+/// first-hit subtractive walk with last-usable-entry fallback.
+fn walk_select(m: u64, total: f64, entries: &[(u64, f64)]) -> usize {
+    let v = m as f64 * UNIT_53 * total;
+    let mut x = if v < total {
+        v
+    } else {
+        total.next_down().max(0.0)
+    };
+    for (i, &(_, w)) in entries.iter().enumerate() {
+        if x < w {
+            return i;
+        }
+        x -= w;
+    }
+    entries.len() - 1
+}
+
+impl<'a> SrcPlan<'a> {
+    fn new(data: &'a DataGen) -> SrcPlan<'a> {
+        let DataGen::Weighted(choices) = data else {
+            return SrcPlan::Exact(data);
+        };
+        let usable = |w: f64| w.is_finite() && w > 0.0;
+        let total: f64 = choices.iter().map(|&(_, w)| w).filter(|&w| usable(w)).sum();
+        if !(total.is_finite() && total > 0.0) {
+            // weighted_draw returns before touching the RNG here: an empty
+            // list maps to payload 0, anything else to the first entry.
+            return SrcPlan::Fixed(choices.first().map_or(0, |c| c.0));
+        }
+        let entries: Vec<(u64, f64)> = choices
+            .iter()
+            .filter(|&&(_, w)| usable(w))
+            .copied()
+            .collect();
+        // The selected index is monotone non-decreasing in the mantissa
+        // (every step of `walk_select` — two multiplications, the clamp,
+        // and the running subtraction — preserves ordering), so each
+        // boundary is an exact integer cutoff recoverable by binary search
+        // over the 2^53 mantissa values. This moves all floating-point off
+        // the per-draw path: a draw is one shift plus `entries.len() - 1`
+        // integer compares.
+        let cuts: Vec<u64> = (0..entries.len() - 1)
+            .map(|i| {
+                // Smallest m with walk_select(m) > i; 2^53 when unreachable.
+                let (mut lo, mut hi) = (0u64, 1u64 << 53);
+                while lo < hi {
+                    let mid = lo + (hi - lo) / 2;
+                    if walk_select(mid, total, &entries) > i {
+                        hi = mid;
+                    } else {
+                        lo = mid + 1;
+                    }
+                }
+                lo
+            })
+            .collect();
+        SrcPlan::Walk {
+            cuts,
+            values: entries.into_iter().map(|(v, _)| v).collect(),
+        }
+    }
+
+    #[inline]
+    fn draw(&self, rng: &mut StdRng, seq: &mut u64) -> u64 {
+        match self {
+            SrcPlan::Exact(d) => d.sample(rng, seq),
+            SrcPlan::Fixed(v) => *v,
+            SrcPlan::Walk { cuts, values } => {
+                let m = rng.next_u64() >> 11;
+                let mut idx = 0usize;
+                for &c in cuts {
+                    idx += usize::from(m >= c);
+                }
+                values[idx]
+            }
+        }
+    }
 }
 
 impl PackedStimulus {
@@ -429,6 +625,247 @@ impl PackedStimulus {
             col += 1;
         }
         debug_assert_eq!(col, n);
+        Ok(PackedStimulus {
+            cycles,
+            width,
+            slots,
+            words,
+        })
+    }
+
+    /// Generates `lanes` random schedules seeded `seed..seed + lanes`
+    /// (wrapping at `u64::MAX`) **directly into packed form**, fusing
+    /// [`Schedule::random`] and [`PackedStimulus::pack`] into one pass.
+    ///
+    /// This is the streaming Monte-Carlo engine's stimulus producer. The
+    /// two-step path materializes per-component `HashMap<String, Vec<bool>>`
+    /// streams per lane and then re-reads them bit by bit at pack time;
+    /// profiling shows that bookkeeping dominates the whole campaign
+    /// (stimulus ≈ 25× the tape-execution cost on the Fig. 9 example). The
+    /// fused path holds one RNG per lane of a 64-lane word group and makes
+    /// **exactly the same draw calls in the same per-lane order** as
+    /// [`Schedule::random`] — same `gen_bool` short-circuits, same
+    /// [`DataGen::sample`] calls, same per-component stream order — so the
+    /// packed words are bit-identical to
+    /// `PackedStimulus::pack(tb, &[Schedule::random(net, cfg, seed + j,
+    /// cycles), …], width)` (asserted by unit and property tests), while
+    /// skipping every allocation and string hash in between.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::ScheduleBatch`] when `lanes` is zero or exceeds the
+    /// `width × 64` lane capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tb` was not resolved against (a compilation of) `net`:
+    /// the testbench must list exactly `net`'s sources, sinks and
+    /// variable-latency units, in component order.
+    pub fn generate(
+        tb: &NetlistTestbench,
+        net: &ElasticNetwork,
+        cfg: &EnvConfig,
+        seed: u64,
+        lanes: usize,
+        cycles: usize,
+        width: usize,
+    ) -> Result<PackedStimulus, CoreError> {
+        if lanes == 0 {
+            return Err(CoreError::ScheduleBatch("empty schedule batch".into()));
+        }
+        if lanes > width * LANES {
+            return Err(CoreError::ScheduleBatch(format!(
+                "{lanes} schedules exceed the {}-lane capacity of a {width}-word backend",
+                width * LANES
+            )));
+        }
+        let mut slots: Vec<u32> = Vec::new();
+        for (_, offer, dins) in &tb.srcs {
+            slots.push(offer.index() as u32);
+            slots.extend(dins.iter().map(|d| d.index() as u32));
+        }
+        for (_, stop, kill) in &tb.sinks {
+            slots.push(stop.index() as u32);
+            slots.push(kill.index() as u32);
+        }
+        for (_, fin) in &tb.vls {
+            slots.push(fin.index() as u32);
+        }
+        let n = slots.len();
+        let mut words = vec![0u64; cycles * n * width];
+        // Column base of the i-th source / sink / VL group, in the packed
+        // input order (sources first, then sinks, then VLs).
+        let mut col = 0usize;
+        let src_base: Vec<usize> = tb
+            .srcs
+            .iter()
+            .map(|(_, _, dins)| {
+                let base = col;
+                col += 1 + dins.len();
+                base
+            })
+            .collect();
+        let sink_base: Vec<usize> = tb
+            .sinks
+            .iter()
+            .map(|_| {
+                let base = col;
+                col += 2;
+                base
+            })
+            .collect();
+        let vl_base: Vec<usize> = tb
+            .vls
+            .iter()
+            .map(|_| {
+                let base = col;
+                col += 1;
+                base
+            })
+            .collect();
+        debug_assert_eq!(col, n);
+
+        let cell = |t: usize, col: usize, w: usize| (t * n + col) * width + w;
+        // One 64-lane word group at a time: 64 independent per-lane RNG
+        // streams advanced component-major (all of component A's cycles,
+        // then component B's), exactly like 64 separate `Schedule::random`
+        // calls — the streams never interact, so interleaving lanes within
+        // a cycle is free.
+        for g in 0..lanes.div_ceil(LANES) {
+            let glen = LANES.min(lanes - g * LANES);
+            let mut rngs: Vec<StdRng> = (0..glen)
+                .map(|k| StdRng::seed_from_u64(seed.wrapping_add((g * LANES + k) as u64)))
+                .collect();
+            let (mut src_i, mut sink_i, mut vl_i) = (0, 0, 0);
+            for comp in net.components() {
+                let name = net.component(comp).name.as_str();
+                match &net.component(comp).kind {
+                    ComponentKind::Source => {
+                        let (tb_name, _, dins) = &tb.srcs[src_i];
+                        debug_assert_eq!(tb_name, name, "testbench/network source order");
+                        let c = cfg.sources.get(name).unwrap_or(&cfg.default_source);
+                        let base_col = src_base[src_i];
+                        let offer = if c.rate >= 1.0 {
+                            None
+                        } else {
+                            Some(BoolDraw::new(c.rate.clamp(0.0, 1.0)))
+                        };
+                        let plan = SrcPlan::new(&c.data);
+                        let mut seq = [0u64; LANES];
+                        // Cycle blocks, lanes outer: each lane's RNG state
+                        // is copied to the stack for GEN_BLOCK consecutive
+                        // draws (registers, not a round-trip through the
+                        // `rngs` vec per draw); lane-major bit buffers are
+                        // transposed to cycle-major words once per block.
+                        let mut buf_offer = [0u64; GEN_BLOCK];
+                        let mut buf_din = vec![[0u64; GEN_BLOCK]; dins.len()];
+                        let mut dw = vec![0u64; dins.len()];
+                        let mut t0 = 0;
+                        while t0 < cycles {
+                            let bl = GEN_BLOCK.min(cycles - t0);
+                            buf_offer.fill(0);
+                            for a in buf_din.iter_mut() {
+                                a.fill(0);
+                            }
+                            for (k, slot) in rngs.iter_mut().enumerate() {
+                                let mut rng = slot.clone();
+                                let mut sq = seq[k];
+                                let mut ow = 0u64;
+                                dw.fill(0);
+                                match (&offer, &plan) {
+                                    // Hot path (the campaign shape): an
+                                    // always-offering source with a compiled
+                                    // weighted walk and at most two data
+                                    // bits. No per-cycle Option check, and
+                                    // the bit-planes accumulate in registers
+                                    // instead of through the `dw` slice.
+                                    (None, SrcPlan::Walk { cuts, values }) if dw.len() <= 2 => {
+                                        let (mut d0, mut d1) = (0u64, 0u64);
+                                        for i in 0..bl {
+                                            let m = rng.next_u64() >> 11;
+                                            let mut idx = 0usize;
+                                            for &c in cuts.iter() {
+                                                idx += usize::from(m >= c);
+                                            }
+                                            let d = values[idx];
+                                            d0 |= (d & 1) << i;
+                                            d1 |= (d >> 1 & 1) << i;
+                                        }
+                                        ow = if bl == 64 { !0 } else { (1 << bl) - 1 };
+                                        if let Some(m) = dw.first_mut() {
+                                            *m = d0;
+                                        }
+                                        if let Some(m) = dw.get_mut(1) {
+                                            *m = d1;
+                                        }
+                                    }
+                                    _ => {
+                                        for i in 0..bl {
+                                            if offer.as_ref().is_none_or(|b| b.draw(&mut rng)) {
+                                                let d = plan.draw(&mut rng, &mut sq);
+                                                ow |= 1 << i;
+                                                for (j, m) in dw.iter_mut().enumerate() {
+                                                    *m |= (d >> j & 1) << i;
+                                                }
+                                            }
+                                        }
+                                    }
+                                }
+                                buf_offer[k] = ow;
+                                for (j, &m) in dw.iter().enumerate() {
+                                    buf_din[j][k] = m;
+                                }
+                                *slot = rng;
+                                seq[k] = sq;
+                            }
+                            transpose64(&mut buf_offer);
+                            for a in buf_din.iter_mut() {
+                                transpose64(a);
+                            }
+                            for (i, &o) in buf_offer[..bl].iter().enumerate() {
+                                let base = cell(t0 + i, base_col, g);
+                                words[base] = o;
+                                for (j, a) in buf_din.iter().enumerate() {
+                                    words[base + (j + 1) * width] = a[i];
+                                }
+                            }
+                            t0 += bl;
+                        }
+                        src_i += 1;
+                    }
+                    ComponentKind::Sink => {
+                        debug_assert_eq!(&tb.sinks[sink_i].0, name, "testbench/network sink order");
+                        let c = cfg.sinks.get(name).copied().unwrap_or(cfg.default_sink);
+                        let base_col = sink_base[sink_i];
+                        // Stops stream first, then kills — matching the
+                        // collect order (and so the RNG order) of
+                        // `Schedule::random`. A zero probability draws
+                        // nothing at all, also matching.
+                        for (off, p) in [(0, c.stop_prob), (1, c.kill_prob)] {
+                            if p <= 0.0 {
+                                continue;
+                            }
+                            let b = BoolDraw::new(p.min(1.0));
+                            fill_bool_stream(&mut words, &mut rngs, &b, cycles, |t| {
+                                cell(t, base_col + off, g)
+                            });
+                        }
+                        sink_i += 1;
+                    }
+                    ComponentKind::VarLatency => {
+                        debug_assert_eq!(&tb.vls[vl_i].0, name, "testbench/network VL order");
+                        let dist = cfg.vls.get(name).unwrap_or(&cfg.default_vl);
+                        let b = BoolDraw::new((1.0 / dist.mean()).clamp(0.05, 1.0));
+                        let base_col = vl_base[vl_i];
+                        fill_bool_stream(&mut words, &mut rngs, &b, cycles, |t| {
+                            cell(t, base_col, g)
+                        });
+                        vl_i += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
         Ok(PackedStimulus {
             cycles,
             width,
@@ -1023,6 +1460,87 @@ mod tests {
             PackedStimulus::pack(&tb, &mixed, 1),
             Err(CoreError::ScheduleBatch(_))
         ));
+    }
+
+    #[test]
+    fn generate_matches_pack_of_random_schedules() {
+        // The fused generator must be bit-identical to the two-step
+        // Schedule::random → pack path for every stream kind and every RNG
+        // branch: full-rate and sub-rate sources, zero and non-zero
+        // stop/kill probabilities, configured and default VL distributions,
+        // and partial final word groups.
+        use crate::systems::{paper_example, Config};
+        let sys = paper_example(Config::ActiveAntiTokens).unwrap();
+        let compiled = compile(
+            &sys.network,
+            &CompileOptions {
+                data_width: 2,
+                nondet_merge: false,
+                optimize: false,
+                fault: None,
+            },
+        )
+        .unwrap();
+        let tb = NetlistTestbench::new(&sys.network, &compiled.netlist, 2).unwrap();
+        for (cfg, tag) in [(sys.env_config.clone(), "paper"), (stress_cfg(), "stress")] {
+            // 150 lanes: two full words and a 22-lane partial on width 3,
+            // seeds wrapping near u64::MAX.
+            for seed in [0u64, 424242, u64::MAX - 10] {
+                let scheds: Vec<Schedule> = (0..150)
+                    .map(|k| Schedule::random(&sys.network, &cfg, seed.wrapping_add(k), 37))
+                    .collect();
+                let packed = PackedStimulus::pack(&tb, &scheds, 3).unwrap();
+                let fused =
+                    PackedStimulus::generate(&tb, &sys.network, &cfg, seed, 150, 37, 3).unwrap();
+                assert_eq!(packed, fused, "{tag} seed {seed}");
+            }
+        }
+        // Degenerate counts mirror pack's errors.
+        assert!(matches!(
+            PackedStimulus::generate(&tb, &sys.network, &sys.env_config, 1, 0, 10, 1),
+            Err(CoreError::ScheduleBatch(_))
+        ));
+        assert!(matches!(
+            PackedStimulus::generate(&tb, &sys.network, &sys.env_config, 1, 65, 10, 1),
+            Err(CoreError::ScheduleBatch(_))
+        ));
+    }
+
+    #[test]
+    fn generate_matches_pack_for_stateful_datagens() {
+        // Counter/Alternate payloads advance a per-(lane, source) sequence
+        // counter; the fused generator must track one counter per lane.
+        let (net, _, _) = linear_pipeline(2, 1).unwrap();
+        let compiled = compile(
+            &net,
+            &CompileOptions {
+                data_width: 2,
+                nondet_merge: false,
+                optimize: false,
+                fault: None,
+            },
+        )
+        .unwrap();
+        let tb = NetlistTestbench::new(&net, &compiled.netlist, 2).unwrap();
+        for data in [crate::sim::DataGen::Counter, crate::sim::DataGen::Alternate] {
+            let cfg = EnvConfig {
+                default_source: SourceCfg {
+                    rate: 0.6,
+                    data: data.clone(),
+                },
+                default_sink: SinkCfg {
+                    stop_prob: 0.2,
+                    kill_prob: 0.0,
+                },
+                ..Default::default()
+            };
+            let scheds: Vec<Schedule> = (0..70)
+                .map(|k| Schedule::random(&net, &cfg, 50 + k, 25))
+                .collect();
+            let packed = PackedStimulus::pack(&tb, &scheds, 2).unwrap();
+            let fused = PackedStimulus::generate(&tb, &net, &cfg, 50, 70, 25, 2).unwrap();
+            assert_eq!(packed, fused, "{data:?}");
+        }
     }
 
     #[test]

@@ -47,6 +47,20 @@ pub enum NetlistError {
         /// Number of lanes the simulator holds.
         lanes: usize,
     },
+    /// Two distinct nets sanitize to the same exported identifier, so the
+    /// emitted Verilog/BLIF/SMV would silently merge them.
+    DuplicateIdent {
+        /// The colliding sanitized identifier.
+        ident: String,
+        /// The first net that claimed the identifier.
+        first: NetId,
+        /// The other net that sanitizes to the same identifier.
+        second: NetId,
+    },
+    /// An I/O failure while writing an exported artefact to disk. Holds the
+    /// rendered `std::io::Error` message (kept as a string so the error type
+    /// stays `Clone`/`Eq`).
+    Io(String),
 }
 
 impl fmt::Display for NetlistError {
@@ -84,6 +98,19 @@ impl fmt::Display for NetlistError {
             NetlistError::LaneOutOfRange { lane, lanes } => {
                 write!(f, "lane {lane} out of range for a {lanes}-lane simulator")
             }
+            NetlistError::DuplicateIdent {
+                ident,
+                first,
+                second,
+            } => {
+                write!(
+                    f,
+                    "nets {} and {} both export as identifier {ident:?}",
+                    first.index(),
+                    second.index()
+                )
+            }
+            NetlistError::Io(msg) => write!(f, "export i/o failure: {msg}"),
         }
     }
 }

@@ -3,7 +3,8 @@
 use std::fmt::Write as _;
 
 use crate::build::{Gate, LatchPhase, Netlist};
-use crate::export::ident;
+use crate::error::NetlistError;
+use crate::export::{check_idents, ident};
 
 /// Renders the netlist in BLIF.
 ///
@@ -12,24 +13,38 @@ use crate::export::ident;
 /// the `ah`/`al` (active-high/low) latch types, which is how SIS models
 /// level-sensitive storage.
 ///
+/// # Errors
+///
+/// Returns [`NetlistError::UnboundState`] if a flip-flop or latch data
+/// input was never bound, and [`NetlistError::DuplicateIdent`] if two nets
+/// sanitize to the same BLIF identifier.
+///
 /// # Example
 ///
 /// ```
 /// use elastic_netlist::{export::to_blif, Netlist};
 ///
+/// # fn main() -> Result<(), elastic_netlist::NetlistError> {
 /// let mut n = Netlist::new("andgate");
 /// let a = n.input("a");
 /// let b = n.input("b");
 /// let y = n.and2(a, b);
 /// n.set_name(y, "y").unwrap();
 /// n.mark_output(y).unwrap();
-/// let blif = to_blif(&n);
+/// let blif = to_blif(&n)?;
 /// assert!(blif.contains(".model andgate"));
 /// assert!(blif.contains(".names a b y\n11 1"));
+/// # Ok(())
+/// # }
 /// ```
-pub fn to_blif(netlist: &Netlist) -> String {
+pub fn to_blif(netlist: &Netlist) -> Result<String, NetlistError> {
+    check_idents(netlist)?;
     let mut s = String::new();
     let name = |id| ident(&netlist.net_name(id));
+    let unbound = |id| NetlistError::UnboundState {
+        net: id,
+        name: netlist.net_name(id),
+    };
     let _ = writeln!(s, ".model {}", ident(netlist.name()));
     let ins: Vec<_> = netlist.inputs().iter().map(|&i| name(i)).collect();
     let outs: Vec<_> = netlist.outputs().iter().map(|&o| name(o)).collect();
@@ -50,7 +65,7 @@ pub fn to_blif(netlist: &Netlist) -> String {
                 let _ = writeln!(s, ".names {} {lhs}\n1 1", name(*a));
             }
             Gate::Wire { src } => {
-                let src = src.expect("bound before export");
+                let src = src.ok_or_else(|| unbound(id))?;
                 let _ = writeln!(s, ".names {} {lhs}\n1 1", name(src));
             }
             Gate::Not(a) => {
@@ -82,11 +97,11 @@ pub fn to_blif(netlist: &Netlist) -> String {
                 let _ = writeln!(s, "11- 1\n0-1 1");
             }
             Gate::Dff { d, init } => {
-                let d = d.expect("bound before export");
+                let d = d.ok_or_else(|| unbound(id))?;
                 let _ = writeln!(s, ".latch {} {lhs} re clk {}", name(d), u8::from(*init));
             }
             Gate::Latch { d, en, phase, init } => {
-                let d = d.expect("bound before export");
+                let d = d.ok_or_else(|| unbound(id))?;
                 // SIS has no enabled latch; expand the enable as a hold mux
                 // feeding an active-high/low latch.
                 let dn = match en {
@@ -107,7 +122,7 @@ pub fn to_blif(netlist: &Netlist) -> String {
         }
     }
     let _ = writeln!(s, ".end");
-    s
+    Ok(s)
 }
 
 #[cfg(test)]
@@ -123,7 +138,7 @@ mod tests {
         let y = n.or([a, b, c]);
         n.set_name(y, "y").unwrap();
         n.mark_output(y).unwrap();
-        let blif = to_blif(&n);
+        let blif = to_blif(&n).unwrap();
         assert!(blif.contains("1-- 1\n-1- 1\n--1 1"), "{blif}");
     }
 
@@ -136,7 +151,7 @@ mod tests {
         let l = n.latch(LatchPhase::Low, false);
         n.bind_latch(l, q).unwrap();
         n.set_name(l, "l").unwrap();
-        let blif = to_blif(&n);
+        let blif = to_blif(&n).unwrap();
         assert!(blif.contains(".latch a q re clk 1"), "{blif}");
         assert!(blif.contains(".latch q l al clk 0"), "{blif}");
     }
@@ -149,9 +164,23 @@ mod tests {
         let l = n.latch_en(LatchPhase::High, en, false);
         n.bind_latch(l, a).unwrap();
         n.set_name(l, "l").unwrap();
-        let blif = to_blif(&n);
+        let blif = to_blif(&n).unwrap();
         assert!(blif.contains(".names en a l l_hold"), "{blif}");
         assert!(blif.contains(".latch l_hold l ah clk 0"), "{blif}");
+    }
+
+    #[test]
+    fn unbound_latch_is_a_typed_error() {
+        let mut n = Netlist::new("dangling");
+        let l = n.latch(LatchPhase::High, false);
+        n.set_name(l, "l").unwrap();
+        assert_eq!(
+            to_blif(&n),
+            Err(NetlistError::UnboundState {
+                net: l,
+                name: "l".into()
+            })
+        );
     }
 
     #[test]
@@ -164,7 +193,7 @@ mod tests {
         for (net, nm) in [(inv, "inv"), (one, "one"), (zero, "zero")] {
             n.set_name(net, nm).unwrap();
         }
-        let blif = to_blif(&n);
+        let blif = to_blif(&n).unwrap();
         assert!(blif.contains(".names a inv\n0 1"));
         assert!(blif.contains(".names one\n1"));
         assert!(blif.contains(".names zero\n.end") || blif.contains(".names zero\n.names"));

@@ -10,6 +10,12 @@ mod blif;
 mod smv;
 mod verilog;
 
+use std::collections::HashMap;
+use std::path::Path;
+
+use crate::build::Netlist;
+use crate::error::NetlistError;
+
 pub use blif::to_blif;
 pub use smv::to_smv;
 pub use verilog::to_verilog;
@@ -31,6 +37,61 @@ pub(crate) fn ident(name: &str) -> String {
     out
 }
 
+/// Verifies that every net sanitizes to a *distinct* identifier.
+///
+/// Sanitization is lossy (`ident("V+") == ident("V-") == "V_"`), so two
+/// differently named nets can alias in the emitted text, which would merge
+/// them silently in any downstream tool. Every exporter runs this precheck
+/// and returns [`NetlistError::DuplicateIdent`] instead of emitting the
+/// aliased netlist.
+pub(crate) fn check_idents(netlist: &Netlist) -> Result<(), NetlistError> {
+    let mut seen: HashMap<String, crate::build::NetId> = HashMap::new();
+    for id in netlist.nets() {
+        let name = ident(&netlist.net_name(id));
+        if let Some(&first) = seen.get(&name) {
+            return Err(NetlistError::DuplicateIdent {
+                ident: name,
+                first,
+                second: id,
+            });
+        }
+        seen.insert(name, id);
+    }
+    Ok(())
+}
+
+/// Renders and writes the Verilog model to `path`.
+///
+/// # Errors
+///
+/// Any [`to_verilog`] error, or [`NetlistError::Io`] if the write fails.
+pub fn write_verilog(netlist: &Netlist, path: impl AsRef<Path>) -> Result<(), NetlistError> {
+    write_text(path, &to_verilog(netlist)?)
+}
+
+/// Renders and writes the BLIF model to `path`.
+///
+/// # Errors
+///
+/// Any [`to_blif`] error, or [`NetlistError::Io`] if the write fails.
+pub fn write_blif(netlist: &Netlist, path: impl AsRef<Path>) -> Result<(), NetlistError> {
+    write_text(path, &to_blif(netlist)?)
+}
+
+/// Renders and writes the SMV model to `path`.
+///
+/// # Errors
+///
+/// Any [`to_smv`] error, or [`NetlistError::Io`] if the write fails.
+pub fn write_smv(netlist: &Netlist, path: impl AsRef<Path>) -> Result<(), NetlistError> {
+    write_text(path, &to_smv(netlist)?)
+}
+
+pub(crate) fn write_text(path: impl AsRef<Path>, text: &str) -> Result<(), NetlistError> {
+    std::fs::write(path.as_ref(), text)
+        .map_err(|e| NetlistError::Io(format!("{}: {e}", path.as_ref().display())))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -41,5 +102,59 @@ mod tests {
         assert_eq!(ident("3x"), "n3x");
         assert_eq!(ident("ok_name"), "ok_name");
         assert_eq!(ident(""), "n");
+    }
+
+    #[test]
+    fn check_idents_flags_sanitization_collisions() {
+        let mut n = Netlist::new("m");
+        let a = n.input("V+");
+        let b = n.input("V-");
+        let err = check_idents(&n).unwrap_err();
+        assert_eq!(
+            err,
+            NetlistError::DuplicateIdent {
+                ident: "V_".into(),
+                first: a,
+                second: b,
+            }
+        );
+    }
+
+    #[test]
+    fn check_idents_flags_fallback_name_capture() {
+        // A user-assigned name that matches another net's synthesized
+        // `w<i>` fallback is also a collision.
+        let mut n = Netlist::new("m");
+        let a = n.input("a");
+        let unnamed = n.not(a); // falls back to w1
+        n.set_name(a, "w1").unwrap();
+        let err = check_idents(&n).unwrap_err();
+        assert_eq!(
+            err,
+            NetlistError::DuplicateIdent {
+                ident: "w1".into(),
+                first: a,
+                second: unnamed,
+            }
+        );
+    }
+
+    #[test]
+    fn check_idents_accepts_distinct_names() {
+        let mut n = Netlist::new("m");
+        let a = n.input("a");
+        let y = n.not(a);
+        n.set_name(y, "y").unwrap();
+        assert!(check_idents(&n).is_ok());
+    }
+
+    #[test]
+    fn write_helpers_report_io_failures() {
+        let mut n = Netlist::new("m");
+        let a = n.input("a");
+        let y = n.not(a);
+        n.set_name(y, "y").unwrap();
+        let err = write_verilog(&n, "/nonexistent-dir/out.v").unwrap_err();
+        assert!(matches!(err, NetlistError::Io(_)), "{err}");
     }
 }

@@ -4,7 +4,7 @@ use std::fmt::Write as _;
 
 use crate::build::{Gate, Netlist};
 use crate::error::NetlistError;
-use crate::export::ident;
+use crate::export::{check_idents, ident};
 
 /// Renders the netlist as an SMV module.
 ///
@@ -17,7 +17,10 @@ use crate::export::ident;
 /// Returns [`NetlistError::BadBind`] if the netlist contains transparent
 /// latches: SMV's synchronous semantics has no level-sensitive storage, so
 /// latch-based designs must be converted to their flip-flop equivalents
-/// before export (our controllers are flip-flop based already).
+/// before export (our controllers are flip-flop based already). Also
+/// returns [`NetlistError::UnboundState`] for a flip-flop or wire whose
+/// data input was never bound, and [`NetlistError::DuplicateIdent`] if two
+/// nets sanitize to the same SMV identifier.
 ///
 /// # Example
 ///
@@ -37,7 +40,12 @@ use crate::export::ident;
 /// # }
 /// ```
 pub fn to_smv(netlist: &Netlist) -> Result<String, NetlistError> {
+    check_idents(netlist)?;
     let name = |id| ident(&netlist.net_name(id));
+    let unbound = |id| NetlistError::UnboundState {
+        net: id,
+        name: netlist.net_name(id),
+    };
     for id in netlist.nets() {
         if let Gate::Latch { .. } = netlist.gate(id) {
             return Err(NetlistError::BadBind(id));
@@ -62,7 +70,7 @@ pub fn to_smv(netlist: &Netlist) -> Result<String, NetlistError> {
             Gate::Input => continue,
             Gate::Const(v) => if *v { "TRUE" } else { "FALSE" }.to_string(),
             Gate::Buf(a) => name(*a),
-            Gate::Wire { src } => name(src.expect("bound before export")),
+            Gate::Wire { src } => name(src.ok_or_else(|| unbound(id))?),
             Gate::Not(a) => format!("!{}", name(*a)),
             Gate::And(v) if v.is_empty() => "TRUE".to_string(),
             Gate::And(v) => v.iter().map(|&a| name(a)).collect::<Vec<_>>().join(" & "),
@@ -73,7 +81,7 @@ pub fn to_smv(netlist: &Netlist) -> Result<String, NetlistError> {
                 format!("({} ? {} : {})", name(*sel), name(*a), name(*b))
             }
             Gate::Dff { d, init } => {
-                let d = d.expect("bound before export");
+                let d = d.ok_or_else(|| unbound(id))?;
                 let _ = writeln!(
                     assigns,
                     "  init({lhs}) := {};",

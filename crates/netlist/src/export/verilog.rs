@@ -3,7 +3,8 @@
 use std::fmt::Write as _;
 
 use crate::build::{Gate, LatchPhase, Netlist};
-use crate::export::ident;
+use crate::error::NetlistError;
+use crate::export::{check_idents, ident};
 
 /// Renders the netlist as a synthesizable structural Verilog module.
 ///
@@ -11,23 +12,37 @@ use crate::export::ident;
 /// level-sensitive `always @*` blocks on `clk`/`!clk` (and the enable when
 /// present). Nets keep their display names when set.
 ///
+/// # Errors
+///
+/// Returns [`NetlistError::UnboundState`] if a flip-flop or latch data
+/// input was never bound, and [`NetlistError::DuplicateIdent`] if two nets
+/// sanitize to the same Verilog identifier.
+///
 /// # Example
 ///
 /// ```
 /// use elastic_netlist::{export::to_verilog, Netlist};
 ///
+/// # fn main() -> Result<(), elastic_netlist::NetlistError> {
 /// let mut n = Netlist::new("inv");
 /// let a = n.input("a");
 /// let y = n.not(a);
 /// n.set_name(y, "y").unwrap();
 /// n.mark_output(y).unwrap();
-/// let v = to_verilog(&n);
+/// let v = to_verilog(&n)?;
 /// assert!(v.contains("module inv"));
 /// assert!(v.contains("assign y = ~a;"));
+/// # Ok(())
+/// # }
 /// ```
-pub fn to_verilog(netlist: &Netlist) -> String {
+pub fn to_verilog(netlist: &Netlist) -> Result<String, NetlistError> {
+    check_idents(netlist)?;
     let mut s = String::new();
     let name = |id| ident(&netlist.net_name(id));
+    let unbound = |id| NetlistError::UnboundState {
+        net: id,
+        name: netlist.net_name(id),
+    };
     let has_state = netlist.nets().any(|n| netlist.gate(n).is_stateful());
 
     let mut ports: Vec<String> = Vec::new();
@@ -76,7 +91,7 @@ pub fn to_verilog(netlist: &Netlist) -> String {
                 let _ = writeln!(s, "  assign {lhs} = {};", name(*a));
             }
             Gate::Wire { src } => {
-                let src = src.expect("bound before export");
+                let src = src.ok_or_else(|| unbound(id))?;
                 let _ = writeln!(s, "  assign {lhs} = {};", name(src));
             }
             Gate::Not(a) => {
@@ -109,7 +124,7 @@ pub fn to_verilog(netlist: &Netlist) -> String {
                 );
             }
             Gate::Dff { d, init } => {
-                let d = d.expect("bound before export");
+                let d = d.ok_or_else(|| unbound(id))?;
                 let _ = writeln!(s, "  always @(posedge clk)");
                 let _ = writeln!(
                     s,
@@ -119,7 +134,7 @@ pub fn to_verilog(netlist: &Netlist) -> String {
                 );
             }
             Gate::Latch { d, en, phase, .. } => {
-                let d = d.expect("bound before export");
+                let d = d.ok_or_else(|| unbound(id))?;
                 let level = match phase {
                     LatchPhase::High => "clk".to_string(),
                     LatchPhase::Low => "~clk".to_string(),
@@ -134,7 +149,7 @@ pub fn to_verilog(netlist: &Netlist) -> String {
         }
     }
     let _ = writeln!(s, "endmodule");
-    s
+    Ok(s)
 }
 
 #[cfg(test)]
@@ -148,7 +163,7 @@ mod tests {
         let q = n.dff_bound(a, true);
         n.set_name(q, "q").unwrap();
         n.mark_output(q).unwrap();
-        let v = to_verilog(&n);
+        let v = to_verilog(&n).unwrap();
         assert!(v.contains("input clk, rst;"), "{v}");
         assert!(v.contains("always @(posedge clk)"));
         assert!(v.contains("q <= 1'b1; else q <= a;"));
@@ -162,7 +177,7 @@ mod tests {
         let l = n.latch_en(LatchPhase::Low, en, false);
         n.bind_latch(l, a).unwrap();
         n.set_name(l, "l").unwrap();
-        let v = to_verilog(&n);
+        let v = to_verilog(&n).unwrap();
         assert!(v.contains("if (~clk & en) l = a;"), "{v}");
     }
 
@@ -174,7 +189,7 @@ mod tests {
         let y = n.or2(a, b);
         n.set_name(y, "y").unwrap();
         n.mark_output(y).unwrap();
-        let v = to_verilog(&n);
+        let v = to_verilog(&n).unwrap();
         assert!(!v.contains("clk"));
         assert!(v.contains("assign y = a | b;"));
     }
@@ -192,11 +207,36 @@ mod tests {
         for (net, nm) in [(x, "x"), (m, "m"), (t, "t"), (f, "f"), (c0, "c0")] {
             n.set_name(net, nm).unwrap();
         }
-        let v = to_verilog(&n);
+        let v = to_verilog(&n).unwrap();
         assert!(v.contains("assign x = a ^ b;"));
         assert!(v.contains("assign m = a ? b : c0;"));
         assert!(v.contains("assign t = 1'b1;"));
         assert!(v.contains("assign f = 1'b0;"));
         assert!(v.contains("assign c0 = 1'b0;"));
+    }
+
+    #[test]
+    fn unbound_dff_is_a_typed_error() {
+        let mut n = Netlist::new("dangling");
+        let q = n.dff(false);
+        n.set_name(q, "q").unwrap();
+        assert_eq!(
+            to_verilog(&n),
+            Err(NetlistError::UnboundState {
+                net: q,
+                name: "q".into()
+            })
+        );
+    }
+
+    #[test]
+    fn ident_collision_is_a_typed_error() {
+        let mut n = Netlist::new("m");
+        n.input("V+");
+        n.input("V-");
+        assert!(matches!(
+            to_verilog(&n),
+            Err(NetlistError::DuplicateIdent { .. })
+        ));
     }
 }

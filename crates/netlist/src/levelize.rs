@@ -204,6 +204,55 @@ pub struct FfCommit {
     pub d: u32,
 }
 
+/// A cache-blocking schedule over a program's two phase tapes: consecutive
+/// instruction ranges whose touched value slots fit a byte budget, so each
+/// block's working set stays L1/L2-resident while the wide backend sweeps
+/// its lane words through it.
+///
+/// Blocks partition each tape **in order** — executing them back to back
+/// performs exactly the instruction sequence of the unblocked tape, so
+/// results are bit-identical for every block size (asserted by property
+/// tests in `wide.rs` and the experiment-engine proptests).
+///
+/// Produced by [`Program::block_plan`]; consumed by
+/// [`wide::WideSim::cycle_packed_blocked`](crate::wide::WideSim::cycle_packed_blocked).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockPlan {
+    /// `(start, end)` instruction ranges partitioning the high tape.
+    high: Vec<(usize, usize)>,
+    /// `(start, end)` instruction ranges partitioning the low tape.
+    low: Vec<(usize, usize)>,
+    /// The byte budget the plan was built for.
+    budget_bytes: usize,
+}
+
+impl BlockPlan {
+    /// Instruction ranges of the high-phase tape, in execution order.
+    pub fn high(&self) -> &[(usize, usize)] {
+        &self.high
+    }
+
+    /// Instruction ranges of the low-phase tape, in execution order.
+    pub fn low(&self) -> &[(usize, usize)] {
+        &self.low
+    }
+
+    /// The working-set byte budget this plan was built for.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    /// Total number of blocks across both tapes.
+    pub fn len(&self) -> usize {
+        self.high.len() + self.low.len()
+    }
+
+    /// Whether the plan holds no blocks (both tapes empty).
+    pub fn is_empty(&self) -> bool {
+        self.high.is_empty() && self.low.is_empty()
+    }
+}
+
 /// A levelized netlist: one instruction tape per clock phase, plus the
 /// flip-flop commit list and initial slot values.
 ///
@@ -334,6 +383,69 @@ impl Program {
     /// and flip-flop captures).
     pub fn outputs(&self) -> &[NetId] {
         &self.outputs
+    }
+
+    /// Bytes of simulator value state a `width`-word backend needs for this
+    /// program (the `values` arena of a
+    /// [`wide::WideSim`](crate::wide::WideSim)): `num_slots × width × 8`.
+    /// The runtime word-width dispatch of the Monte-Carlo engine uses this
+    /// to keep the arena cache-resident.
+    pub fn footprint_bytes(&self, width: usize) -> usize {
+        self.num_slots * width * 8
+    }
+
+    /// Splits both phase tapes into consecutive instruction blocks whose
+    /// touched-slot working set stays within `budget_bytes` for a
+    /// `width`-word backend — see [`BlockPlan`]. Each block gets at least
+    /// one instruction, so a tiny budget degrades to per-instruction blocks
+    /// rather than failing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn block_plan(&self, width: usize, budget_bytes: usize) -> BlockPlan {
+        assert!(width > 0, "block plan needs a word width");
+        let bytes_per_slot = width * 8;
+        let mut operands = Vec::new();
+        let mut split = |tape: &[Instr]| -> Vec<(usize, usize)> {
+            let mut blocks = Vec::new();
+            let mut start = 0usize;
+            // Slot-indexed epoch marks: slot i is in the current block's
+            // working set iff touched[i] == epoch. Reset is O(1) per block.
+            let mut touched = vec![0u32; self.num_slots];
+            let mut epoch = 1u32;
+            let mut live = 0usize;
+            for (i, &instr) in tape.iter().enumerate() {
+                operands.clear();
+                operands.push(instr.dst());
+                push_operands(instr, &self.args, &mut operands);
+                let fresh = operands
+                    .iter()
+                    .filter(|&&s| touched[s as usize] != epoch)
+                    .count();
+                if i > start && (live + fresh) * bytes_per_slot > budget_bytes {
+                    blocks.push((start, i));
+                    start = i;
+                    epoch += 1;
+                    live = 0;
+                }
+                for &s in &operands {
+                    if touched[s as usize] != epoch {
+                        touched[s as usize] = epoch;
+                        live += 1;
+                    }
+                }
+            }
+            if start < tape.len() {
+                blocks.push((start, tape.len()));
+            }
+            blocks
+        };
+        BlockPlan {
+            high: split(&self.high),
+            low: split(&self.low),
+            budget_bytes,
+        }
     }
 
     /// Peephole-optimizes the instruction tapes in place:
@@ -1165,5 +1277,85 @@ mod tests {
         assert!(p.init()[q.index()]);
         assert!(p.init()[k.index()]);
         assert_eq!(p.state_nets(), &[q]);
+    }
+
+    /// A few-dozen-gate netlist with both phases populated, for block tests.
+    fn blocky_netlist() -> Netlist {
+        let mut n = Netlist::new("blocky");
+        let a = n.input("a");
+        let b = n.input("b");
+        let mut x = a;
+        for i in 0..24 {
+            let l = n.latch(
+                if i % 2 == 0 {
+                    LatchPhase::High
+                } else {
+                    LatchPhase::Low
+                },
+                false,
+            );
+            n.bind_latch(l, x).unwrap();
+            x = if i % 3 == 0 {
+                n.and2(l, b)
+            } else {
+                n.xor(l, a)
+            };
+        }
+        n.mark_output(x).unwrap();
+        n
+    }
+
+    /// Asserts `plan`'s ranges partition `0..len` in order without gaps.
+    fn assert_partitions(blocks: &[(usize, usize)], len: usize) {
+        let mut at = 0usize;
+        for &(s, e) in blocks {
+            assert_eq!(s, at, "blocks out of order or gapped: {blocks:?}");
+            assert!(e > s, "empty block: {blocks:?}");
+            at = e;
+        }
+        assert_eq!(at, len, "blocks do not cover the tape: {blocks:?}");
+    }
+
+    #[test]
+    fn block_plan_partitions_tapes_in_order() {
+        let n = blocky_netlist();
+        let p = Program::compile(&n).unwrap();
+        for budget in [1, 64, 256, 4096, usize::MAX] {
+            let plan = p.block_plan(4, budget);
+            assert_partitions(plan.high(), p.high().len());
+            assert_partitions(plan.low(), p.low().len());
+            assert_eq!(plan.budget_bytes(), budget);
+            assert!(!plan.is_empty());
+        }
+    }
+
+    #[test]
+    fn block_plan_single_block_when_footprint_fits() {
+        let n = blocky_netlist();
+        let p = Program::compile(&n).unwrap();
+        let plan = p.block_plan(8, p.footprint_bytes(8));
+        assert_eq!(plan.high(), &[(0, p.high().len())]);
+        assert_eq!(plan.low(), &[(0, p.low().len())]);
+        assert_eq!(plan.len(), 2);
+    }
+
+    #[test]
+    fn block_plan_tiny_budget_degrades_to_per_instruction() {
+        let n = blocky_netlist();
+        let p = Program::compile(&n).unwrap();
+        // One byte can never hold even a single slot, so every instruction
+        // becomes its own block rather than the planner failing.
+        let plan = p.block_plan(1, 1);
+        assert_eq!(plan.high().len(), p.high().len());
+        assert_eq!(plan.low().len(), p.low().len());
+        assert_partitions(plan.high(), p.high().len());
+    }
+
+    #[test]
+    fn footprint_scales_with_width() {
+        let n = blocky_netlist();
+        let p = Program::compile(&n).unwrap();
+        assert_eq!(p.footprint_bytes(1), p.num_slots() * 8);
+        assert_eq!(p.footprint_bytes(8), p.num_slots() * 64);
     }
 }

@@ -126,6 +126,15 @@ impl VcdRecorder {
         s
     }
 
+    /// Renders the recording and writes it to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::NetlistError::Io`] if the write fails.
+    pub fn write(&self, path: impl AsRef<std::path::Path>) -> Result<(), crate::NetlistError> {
+        crate::export::write_text(path, &self.render())
+    }
+
     /// Short identifier codes per VCD convention (printable ASCII 33..127).
     fn code(mut i: usize) -> String {
         let mut out = String::new();
@@ -202,6 +211,14 @@ mod tests {
         let text = vcd.render();
         // The constant changes once (initial emission) and never again.
         assert_eq!(text.matches("1!").count(), 1, "{text}");
+    }
+
+    #[test]
+    fn write_reports_io_failures() {
+        let n = toggler();
+        let vcd = VcdRecorder::new(&n);
+        let err = vcd.write("/nonexistent-dir/wave.vcd").unwrap_err();
+        assert!(matches!(err, crate::NetlistError::Io(_)), "{err}");
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub trait RngCore {
 /// Trait mirroring the used subset of `rand::Rng`.
 pub trait Rng: RngCore {
     /// Uniform sample from a half-open range. Panics if the range is empty.
+    #[inline]
     fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
     where
         Self: Sized,
@@ -42,6 +43,7 @@ pub trait Rng: RngCore {
     }
 
     /// Bernoulli draw with probability `p` of returning `true`.
+    #[inline]
     fn gen_bool(&mut self, p: f64) -> bool
     where
         Self: Sized,
@@ -54,6 +56,7 @@ pub trait Rng: RngCore {
 impl<R: RngCore> Rng for R {}
 
 /// Map a u64 to [0, 1) using the top 53 bits (standard double-precision trick).
+#[inline]
 fn unit_f64(x: u64) -> f64 {
     (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
@@ -132,6 +135,7 @@ pub mod rngs {
     }
 
     impl RngCore for StdRng {
+        #[inline]
         fn next_u64(&mut self) -> u64 {
             let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
             let t = self.s[1] << 17;

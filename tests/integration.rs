@@ -148,10 +148,10 @@ fn verilog_blif_smv_export_of_paper_example() {
         },
     )
     .unwrap();
-    let v = to_verilog(&compiled.netlist);
+    let v = to_verilog(&compiled.netlist).unwrap();
     assert!(v.contains("module") && v.contains("endmodule"));
     assert!(v.len() > 5000, "full controller netlist");
-    let b = to_blif(&compiled.netlist);
+    let b = to_blif(&compiled.netlist).unwrap();
     assert!(b.contains(".model") && b.contains(".latch"));
     let s = to_smv(&compiled.netlist).unwrap();
     assert!(s.contains("MODULE main") && s.contains("next("));

@@ -331,6 +331,34 @@ proptest! {
         }
     }
 
+    /// Generated topologies compile and round-trip through all three
+    /// exporters (and the VCD renderer) without panicking — a typed
+    /// `NetlistError` is the only acceptable failure mode, and compiled
+    /// controllers (flip-flop based, pre-sanitized names) must in fact
+    /// export cleanly.
+    #[test]
+    fn generated_topologies_export_cleanly(seed in 0u64..100_000) {
+        use elastic_circuits::core::compile::{compile, CompileOptions};
+        use elastic_circuits::core::gen::{generate, TopoParams};
+        use elastic_circuits::netlist::export::{to_blif, to_smv, to_verilog};
+        use elastic_circuits::netlist::vcd::VcdRecorder;
+        let sys = generate(&TopoParams::sample(seed)).unwrap();
+        // Early-evaluation guard masks need at least one data bit.
+        let opts = CompileOptions {
+            data_width: 2,
+            ..CompileOptions::default()
+        };
+        let compiled = compile(&sys.network, &opts).unwrap();
+        let v = to_verilog(&compiled.netlist);
+        prop_assert!(v.is_ok(), "verilog export failed: {:?}", v.unwrap_err());
+        let b = to_blif(&compiled.netlist);
+        prop_assert!(b.is_ok(), "blif export failed: {:?}", b.unwrap_err());
+        let s = to_smv(&compiled.netlist);
+        prop_assert!(s.is_ok(), "smv export failed: {:?}", s.unwrap_err());
+        let vcd = VcdRecorder::new(&compiled.netlist).render();
+        prop_assert!(vcd.contains("$enddefinitions"));
+    }
+
     /// With kills enabled, received data is still strictly increasing
     /// (no duplication, no reordering — kills only delete).
     #[test]
