@@ -16,9 +16,11 @@
 //!
 //! Any mismatch is shrunk to a minimal failing `TopoParams` and reported;
 //! the process exits non-zero. `--inject` flips the campaign into its
-//! sensitivity self-test: an anti-token-dropping fault is compiled into
-//! one active early join per eligible topology, and every injected fault
-//! must be caught.
+//! sensitivity self-test: each seed compiles one fault from the full
+//! family — dropped anti-token, rail flip, stuck-at-0/1 valids and stops,
+//! duplicated token, lost token — into a probed-effective site, and every
+//! injected fault must be caught by the differential; a silently accepted
+//! fault is shrunk to minimal `TopoParams` and reported.
 //!
 //! Usage: `fuzz_topo [--seed N] [--count N] [--cycles N] [--lanes N]
 //! [--threads N] [--json PATH] [--inject]`
@@ -65,7 +67,7 @@ fn main() {
         opts.lanes,
         opts.threads,
         if opts.inject {
-            " [inject: dropped-anti-token sensitivity self-test]"
+            " [inject: fault-family sensitivity self-test]"
         } else {
             ""
         }
@@ -106,10 +108,24 @@ fn main() {
     if opts.inject {
         let (eligible, caught) = summary.injection_counts();
         println!("  injected faults: {caught}/{eligible} caught");
+        for (class, e, c) in summary.injections_by_class() {
+            if e > 0 {
+                println!("    {class:<16} {c}/{e} caught");
+            }
+        }
+        for m in summary.missed() {
+            eprintln!(
+                "MISSED INJECTION at seed {} (class {}): minimal params {:?}",
+                m.seed,
+                m.fault.unwrap_or("?"),
+                m.minimal.as_ref().unwrap_or(&m.params)
+            );
+        }
         if eligible == 0 {
             eprintln!(
-                "error: no topology in this band had an anti-token-active early join — \
-                 the sensitivity self-test proved nothing (widen --count or move --seed)"
+                "error: no topology in this band had an effective site for any fault \
+                 class — the sensitivity self-test proved nothing (widen --count or \
+                 move --seed)"
             );
         }
     }

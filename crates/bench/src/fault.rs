@@ -1,0 +1,693 @@
+//! Fault-injection recovery-time Monte-Carlo campaign engine — the
+//! `fault_campaign` binary's core (`BENCH_pr7.json`).
+//!
+//! The campaign sweeps *fault classes × injection sites × generated
+//! topologies*: for each sampled [`TopoParams`] topology and each fault
+//! class, [`injectable_site`] picks a channel/rail/cycle where the fault
+//! is guaranteed to be *effective* (probed against a clean behavioural
+//! pre-run), the network is compiled **with** the corruption gate spliced
+//! into that rail ([`elastic_core::compile::FaultInjection`]), and the
+//! packed wide backend runs
+//! one trial per lane with an **independent per-lane injection window**
+//! ([`PackedStimulus::arm_fault`]) — 64–512 fault instances per tape pass.
+//!
+//! Each lane feeds a streaming [`RecoveryDetector`] on the faulted
+//! channel's four rails: the detector records every cycle on which the
+//! trace breaks a SELF obligation and the lane has *recovered* once the
+//! violations stop for [`FaultCampaignOpts::recovery_tail`] cycles — the
+//! trace has re-entered the legal `(I*R*T)*` language. A second, unarmed
+//! run of the identical stimulus gives the fault-free throughput, so
+//! every lane also reports its throughput dip.
+//!
+//! Per class the campaign aggregates the recovery-time distribution
+//! (p50/p99 cycles from injection to the last violating cycle), the
+//! non-recovery rate (disturbed lanes still violating at the horizon) and
+//! the mean throughput dip.
+//!
+//! Jobs run through the same generic streaming pipeline as the throughput
+//! engine (`stream::run_pipeline`): the produce stage compiles the
+//! faulted netlist and packs the stimulus, the consume stage executes the
+//! tape — and because every seed derives from the job index, the whole
+//! report is bit-identical for every thread count and queue depth.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use elastic_core::channel::ChannelSignals;
+use elastic_core::compile::{compile, CompileOptions};
+use elastic_core::gen::{generate, injectable_site, TopoParams};
+use elastic_core::protocol::RecoveryDetector;
+use elastic_core::verify::{NetlistTestbench, PackedStimulus};
+use elastic_core::CoreError;
+use elastic_netlist::levelize::Program;
+use elastic_netlist::opt::optimize_observed;
+use elastic_netlist::wide::{lane_masks, WideSim, LANES};
+use elastic_netlist::NetId;
+
+use crate::exp::{default_threads, effective_threads, json_f64, json_str};
+use crate::stream::run_pipeline;
+use crate::{MAX_TRIALS_PER_RUN, MC_DATA_WIDTH};
+
+/// Every transient rail-fault class the campaign can inject, in report
+/// order. (`drop_anti_token` is a *lowering* sabotage, not a transient
+/// rail fault, and lives in the fuzz campaign's inject mode instead.)
+pub const FAULT_CLASSES: [&str; 5] = [
+    "rail_flip",
+    "stuck_at_0",
+    "stuck_at_1",
+    "duplicate_token",
+    "lose_token",
+];
+
+/// Consecutive lanes get injection windows staggered by `lane % STAGGER`
+/// cycles, so packed trials carry genuinely independent fault instances
+/// (different cycles, different schedules) from one probed base site.
+const WINDOW_STAGGER: usize = 4;
+
+/// Campaign options (the `fault_campaign` CLI surface).
+#[derive(Debug, Clone)]
+pub struct FaultCampaignOpts {
+    /// Generated topologies to sweep (seeds `seed..seed + topologies`).
+    pub topologies: usize,
+    /// Base seed for topology sampling and schedule generation.
+    pub seed: u64,
+    /// Cycles per trial (the horizon; at least 16).
+    pub cycles: usize,
+    /// Trials (= packed lanes) per topology × class job, 1..=512.
+    pub lanes: usize,
+    /// Armed cycles per lane's injection window (clamped to ≥ 1).
+    pub window_len: usize,
+    /// Violation-free cycles required before a disturbed lane counts as
+    /// recovered ([`RecoveryDetector::recovered`]).
+    pub recovery_tail: usize,
+    /// Worker threads (clamped like the throughput engine).
+    pub threads: usize,
+    /// Streaming-pipeline job queue depth.
+    pub queue: usize,
+    /// Fault classes to inject (subset of [`FAULT_CLASSES`]).
+    pub classes: Vec<String>,
+}
+
+impl Default for FaultCampaignOpts {
+    fn default() -> Self {
+        FaultCampaignOpts {
+            topologies: 100,
+            seed: 1,
+            cycles: 256,
+            lanes: 64,
+            window_len: 1,
+            recovery_tail: 16,
+            threads: default_threads(),
+            queue: 2,
+            classes: FAULT_CLASSES.iter().map(|&c| c.to_string()).collect(),
+        }
+    }
+}
+
+/// One compiled-and-packed campaign job, ready to execute: the produce
+/// stage's payload.
+struct FaultJob {
+    /// Peephole-optimized tape over the observed-cone faulted netlist.
+    prog: Program,
+    /// The faulted channel's `(V⁺, S⁺, V⁻, S⁻)` rails in the observed
+    /// netlist — the recovery detector's feed.
+    site: (NetId, NetId, NetId, NetId),
+    /// The output channel's `(V⁺, S⁺, V⁻)` rails — throughput counting.
+    out: (NetId, NetId, NetId),
+    /// Stimulus with per-lane fault windows armed.
+    armed: PackedStimulus,
+    /// The identical stimulus, fault column all-zero: the fault-free
+    /// reference for the throughput dip.
+    baseline: PackedStimulus,
+    /// Per-lane injection-window start cycles.
+    windows: Vec<usize>,
+    /// Display name of the faulted channel.
+    site_name: String,
+}
+
+/// Per-lane outcome of one armed trial.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaneOutcome {
+    /// The armed run violated a SELF obligation that the unarmed run did
+    /// not — the fault was observable on the monitored channel.
+    pub disturbed: bool,
+    /// The violations stopped at least `recovery_tail` cycles before the
+    /// horizon (trivially true for undisturbed lanes).
+    pub recovered: bool,
+    /// Cycles from this lane's injection-window start to the end of the
+    /// last violating cycle (0 for undisturbed lanes).
+    pub recovery_cycles: u64,
+    /// Fault-free transfer rate minus armed transfer rate at the output.
+    pub dip: f64,
+}
+
+/// Outcome of one topology × class job.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// Topology index within the campaign.
+    pub topology: usize,
+    /// Fault class label.
+    pub class: String,
+    /// Faulted channel name; `None` when the topology had no effective
+    /// injection site for this class (the job is skipped, not failed).
+    pub site: Option<String>,
+    /// Per-lane outcomes (empty for skipped jobs).
+    pub lanes: Vec<LaneOutcome>,
+}
+
+/// Aggregated recovery statistics of one fault class.
+#[derive(Debug, Clone)]
+pub struct ClassStats {
+    /// Fault class label.
+    pub class: String,
+    /// Topologies with an effective injection site for this class.
+    pub sites: usize,
+    /// Armed trials across those sites.
+    pub trials: usize,
+    /// Trials whose monitor observed at least one injected violation.
+    pub disturbed: usize,
+    /// Disturbed trials that re-entered the legal language.
+    pub recovered: usize,
+    /// Median cycles-to-recovery over disturbed-and-recovered trials.
+    pub recovery_p50: f64,
+    /// 99th-percentile cycles-to-recovery (nearest rank).
+    pub recovery_p99: f64,
+    /// `1 − recovered/disturbed` (0 when nothing was disturbed).
+    pub non_recovery_rate: f64,
+    /// Mean output-throughput dip over disturbed trials.
+    pub mean_dip: f64,
+}
+
+/// The whole campaign, serialized to `BENCH_pr7.json`.
+#[derive(Debug, Clone)]
+pub struct FaultCampaignReport {
+    /// Campaign name (echoes the options).
+    pub name: String,
+    /// The options the campaign ran with.
+    pub opts: FaultCampaignOpts,
+    /// Worker threads actually spawned.
+    pub threads: usize,
+    /// Per-class aggregates, in `opts.classes` order.
+    pub classes: Vec<ClassStats>,
+    /// Per-job outcomes, in job order (topology-major, class-minor).
+    pub jobs: Vec<JobOutcome>,
+    /// Wall-clock seconds for the whole campaign.
+    pub wall_secs: f64,
+}
+
+/// Nearest-rank percentile of a sorted sample (`NaN` for an empty one —
+/// rendered as JSON `null`).
+fn percentile(sorted: &[u64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)] as f64
+}
+
+impl FaultCampaignReport {
+    /// Aggregates per-job outcomes into per-class statistics.
+    fn aggregate(opts: &FaultCampaignOpts, jobs: &[JobOutcome]) -> Vec<ClassStats> {
+        opts.classes
+            .iter()
+            .map(|class| {
+                let of_class: Vec<&JobOutcome> =
+                    jobs.iter().filter(|j| &j.class == class).collect();
+                let sites = of_class.iter().filter(|j| j.site.is_some()).count();
+                let lanes: Vec<&LaneOutcome> =
+                    of_class.iter().flat_map(|j| j.lanes.iter()).collect();
+                let disturbed: Vec<&&LaneOutcome> = lanes.iter().filter(|l| l.disturbed).collect();
+                let mut samples: Vec<u64> = disturbed
+                    .iter()
+                    .filter(|l| l.recovered)
+                    .map(|l| l.recovery_cycles)
+                    .collect();
+                samples.sort_unstable();
+                let recovered = samples.len();
+                let dips: f64 = disturbed.iter().map(|l| l.dip).sum();
+                ClassStats {
+                    class: class.clone(),
+                    sites,
+                    trials: lanes.len(),
+                    disturbed: disturbed.len(),
+                    recovered,
+                    recovery_p50: percentile(&samples, 0.50),
+                    recovery_p99: percentile(&samples, 0.99),
+                    non_recovery_rate: if disturbed.is_empty() {
+                        0.0
+                    } else {
+                        1.0 - recovered as f64 / disturbed.len() as f64
+                    },
+                    mean_dip: if disturbed.is_empty() {
+                        0.0
+                    } else {
+                        dips / disturbed.len() as f64
+                    },
+                }
+            })
+            .collect()
+    }
+
+    /// Renders the report as a JSON object (hand-rolled like every other
+    /// report in this crate; the workspace vendors no serde).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"campaign\": {},\n", json_str(&self.name)));
+        s.push_str(&format!("  \"topologies\": {},\n", self.opts.topologies));
+        s.push_str(&format!("  \"cycles\": {},\n", self.opts.cycles));
+        s.push_str(&format!("  \"lanes\": {},\n", self.opts.lanes));
+        s.push_str(&format!("  \"window_len\": {},\n", self.opts.window_len));
+        s.push_str(&format!(
+            "  \"recovery_tail\": {},\n",
+            self.opts.recovery_tail
+        ));
+        s.push_str(&format!("  \"seed\": {},\n", self.opts.seed));
+        s.push_str(&format!("  \"threads\": {},\n", self.threads));
+        s.push_str(&format!(
+            "  \"requested_threads\": {},\n",
+            self.opts.threads
+        ));
+        s.push_str(&format!("  \"queue\": {},\n", self.opts.queue));
+        s.push_str(&format!("  \"wall_secs\": {},\n", json_f64(self.wall_secs)));
+        s.push_str("  \"classes\": [\n");
+        for (i, c) in self.classes.iter().enumerate() {
+            let sep = if i + 1 == self.classes.len() { "" } else { "," };
+            s.push_str(&format!(
+                "    {{\"class\": {}, \"sites\": {}, \"trials\": {}, \
+                 \"disturbed\": {}, \"recovered\": {}, \"recovery_p50\": {}, \
+                 \"recovery_p99\": {}, \"non_recovery_rate\": {}, \
+                 \"mean_throughput_dip\": {}}}{sep}\n",
+                json_str(&c.class),
+                c.sites,
+                c.trials,
+                c.disturbed,
+                c.recovered,
+                json_f64(c.recovery_p50),
+                json_f64(c.recovery_p99),
+                json_f64(c.non_recovery_rate),
+                json_f64(c.mean_dip),
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Writes the JSON rendering to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_json(&self, path: &str) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_json().as_bytes())
+    }
+}
+
+/// The word width holding `lanes` trials.
+fn width_for(lanes: usize) -> usize {
+    match lanes {
+        n if n <= LANES => 1,
+        n if n <= 2 * LANES => 2,
+        n if n <= 4 * LANES => 4,
+        _ => 8,
+    }
+}
+
+/// Builds one campaign job: sample the topology, probe an effective
+/// injection site, compile with the corruption gate, resolve the observed
+/// rails, pack the stimulus and arm the per-lane windows. Returns `None`
+/// when the topology has no effective site for the class (a skipped job).
+fn build_job(
+    topo: usize,
+    class: &str,
+    opts: &FaultCampaignOpts,
+) -> Result<Option<FaultJob>, CoreError> {
+    let params = TopoParams::sample(opts.seed.wrapping_add(topo as u64));
+    let Ok(sys) = generate(&params) else {
+        return Ok(None);
+    };
+    let sched_seed = opts.seed.wrapping_add((topo * opts.lanes) as u64);
+    let Some((fault, eff)) = injectable_site(&sys, class, sched_seed, opts.cycles) else {
+        return Ok(None);
+    };
+    let opt = compile(
+        &sys.network,
+        &CompileOptions {
+            data_width: MC_DATA_WIDTH,
+            nondet_merge: false,
+            optimize: true,
+            fault: Some(fault.clone()),
+        },
+    )?;
+    let site_name = fault
+        .channel()
+        .expect("rail-fault classes always name a channel")
+        .to_string();
+    let site_chan = sys
+        .network
+        .channels()
+        .find(|&c| sys.network.channel(c).name == site_name)
+        .expect("injectable_site picked an existing channel");
+    let site_rails = &opt.channels[site_chan.index()];
+    let out_rails = &opt.channels[sys.output_channel.index()];
+    // Keep the observed cone: the output's transfer rails plus all four
+    // rails the recovery detector feeds on (deduplicated — the faulted
+    // channel may be the output channel).
+    let mut observe: Vec<NetId> = Vec::new();
+    for id in [
+        out_rails.vp,
+        out_rails.sp,
+        out_rails.vn,
+        site_rails.vp,
+        site_rails.sp,
+        site_rails.vn,
+        site_rails.sn,
+    ] {
+        if !observe.contains(&id) {
+            observe.push(id);
+        }
+    }
+    let (obs, map) = optimize_observed(&opt.netlist, &observe).map_err(CoreError::from)?;
+    let remap = |id: NetId| map[id.index()].expect("observed rails survive as outputs");
+    let tb = NetlistTestbench::with_fault(&sys.network, &obs, MC_DATA_WIDTH, &fault)?;
+    let col = tb.fault_col().ok_or_else(|| {
+        CoreError::FaultSite(format!(
+            "fault {} lowered without an arm input",
+            fault.label()
+        ))
+    })?;
+    let (prog, _) = Program::compile_optimized(&obs).map_err(CoreError::from)?;
+    let width = width_for(opts.lanes);
+    let baseline = PackedStimulus::generate(
+        &tb,
+        &sys.network,
+        &sys.env,
+        sched_seed,
+        opts.lanes,
+        opts.cycles,
+        width,
+    )?;
+    let mut armed = baseline.clone();
+    let len = opts.window_len.max(1);
+    let mut windows = Vec::with_capacity(opts.lanes);
+    for lane in 0..opts.lanes {
+        // Stagger windows so each lane carries an independent fault
+        // instance; the base cycle is effective for lane 0's schedule by
+        // construction, neighbours differ by schedule *and* cycle.
+        let start = (eff + lane % WINDOW_STAGGER).min(opts.cycles.saturating_sub(len));
+        armed.arm_fault(col, lane, start, len)?;
+        windows.push(start);
+    }
+    Ok(Some(FaultJob {
+        prog,
+        site: (
+            remap(site_rails.vp),
+            remap(site_rails.sp),
+            remap(site_rails.vn),
+            remap(site_rails.sn),
+        ),
+        out: (
+            remap(out_rails.vp),
+            remap(out_rails.sp),
+            remap(out_rails.vn),
+        ),
+        armed,
+        baseline,
+        windows,
+        site_name,
+    }))
+}
+
+/// One tape pass: advances every lane through `stim`, counting output
+/// transfers and feeding each lane's recovery detector with the faulted
+/// channel's rails.
+fn drive<const W: usize>(
+    job: &FaultJob,
+    stim: &PackedStimulus,
+) -> Result<(Vec<u32>, Vec<RecoveryDetector>), CoreError> {
+    let lanes = job.windows.len();
+    let mut sim: WideSim<W> = WideSim::from_program(job.prog.clone());
+    sim.check_input_slots(stim.slots())
+        .map_err(CoreError::from)?;
+    let live = lane_masks::<W>(lanes);
+    let (svp, ssp, svn, ssn) = job.site;
+    let (ovp, osp, ovn) = job.out;
+    let mut counts = vec![0u32; lanes];
+    let mut dets = vec![RecoveryDetector::new(); lanes];
+    for t in 0..stim.cycles() {
+        sim.cycle_packed(stim.slots(), stim.row(t));
+        for (w, &mask) in live.iter().enumerate() {
+            let (vpw, spw, vnw, snw) = (
+                sim.word(svp, w),
+                sim.word(ssp, w),
+                sim.word(svn, w),
+                sim.word(ssn, w),
+            );
+            for b in 0..LANES.min(lanes - w * LANES) {
+                dets[w * LANES + b].observe(ChannelSignals {
+                    vp: vpw >> b & 1 == 1,
+                    sp: spw >> b & 1 == 1,
+                    vn: vnw >> b & 1 == 1,
+                    sn: snw >> b & 1 == 1,
+                    data: 0,
+                });
+            }
+            let mut m = sim.word(ovp, w) & !sim.word(osp, w) & !sim.word(ovn, w) & mask;
+            while m != 0 {
+                counts[w * LANES + m.trailing_zeros() as usize] += 1;
+                m &= m - 1;
+            }
+        }
+    }
+    Ok((counts, dets))
+}
+
+/// Executes one built job: the unarmed baseline pass, the armed pass, and
+/// the per-lane classification.
+fn run_job_w<const W: usize>(
+    job: &FaultJob,
+    opts: &FaultCampaignOpts,
+) -> Result<Vec<LaneOutcome>, CoreError> {
+    let (base_counts, base_dets) = drive::<W>(job, &job.baseline)?;
+    let (armed_counts, armed_dets) = drive::<W>(job, &job.armed)?;
+    let cycles = job.armed.cycles() as f64;
+    Ok((0..job.windows.len())
+        .map(|j| {
+            let det = &armed_dets[j];
+            // A generated network is protocol-clean, but gate the
+            // classification on the baseline anyway: only *injected*
+            // violations count as disturbance.
+            let disturbed = det.violations() > base_dets[j].violations();
+            LaneOutcome {
+                disturbed,
+                recovered: det.recovered(opts.recovery_tail),
+                recovery_cycles: det
+                    .last_violation()
+                    .map_or(0, |lv| ((lv + 1).saturating_sub(job.windows[j])) as u64),
+                dip: (f64::from(base_counts[j]) - f64::from(armed_counts[j])) / cycles,
+            }
+        })
+        .collect())
+}
+
+/// Width-dispatched [`run_job_w`].
+fn run_job(job: &FaultJob, opts: &FaultCampaignOpts) -> Result<Vec<LaneOutcome>, CoreError> {
+    match job.armed.width() {
+        1 => run_job_w::<1>(job, opts),
+        2 => run_job_w::<2>(job, opts),
+        4 => run_job_w::<4>(job, opts),
+        8 => run_job_w::<8>(job, opts),
+        w => Err(CoreError::ScheduleBatch(format!(
+            "unsupported stimulus width {w}"
+        ))),
+    }
+}
+
+/// Runs the campaign: `topologies × classes` jobs through the streaming
+/// pipeline, reduced in job order, aggregated per class.
+///
+/// # Errors
+///
+/// [`CoreError::FaultSite`] for an unknown class label or an unusable
+/// option set; the first job error otherwise (compile or execution
+/// failures — *missing* injection sites are skipped jobs, not errors).
+pub fn run_fault_campaign(opts: &FaultCampaignOpts) -> Result<FaultCampaignReport, CoreError> {
+    if let Some(bad) = opts
+        .classes
+        .iter()
+        .find(|c| !FAULT_CLASSES.contains(&c.as_str()))
+    {
+        return Err(CoreError::FaultSite(format!(
+            "unknown fault class {bad:?} (expected one of {FAULT_CLASSES:?})"
+        )));
+    }
+    if opts.cycles < 16 {
+        return Err(CoreError::FaultSite(format!(
+            "campaign horizon {} is too short for warm-up + recovery tail (min 16)",
+            opts.cycles
+        )));
+    }
+    if opts.lanes == 0 || opts.lanes > MAX_TRIALS_PER_RUN {
+        return Err(CoreError::FaultSite(format!(
+            "{} lanes per job (expected 1..={MAX_TRIALS_PER_RUN})",
+            opts.lanes
+        )));
+    }
+    let t0 = Instant::now();
+    let nc = opts.classes.len();
+    let jobs_total = opts.topologies * nc;
+    let threads = effective_threads(opts.threads, jobs_total);
+    let jobs = if jobs_total == 0 {
+        Vec::new()
+    } else {
+        run_pipeline::<Option<FaultJob>, JobOutcome>(
+            jobs_total,
+            threads,
+            opts.queue,
+            |i| build_job(i / nc, &opts.classes[i % nc], opts),
+            |i, payload| {
+                let (topology, class) = (i / nc, opts.classes[i % nc].clone());
+                match payload {
+                    None => Ok(JobOutcome {
+                        topology,
+                        class,
+                        site: None,
+                        lanes: Vec::new(),
+                    }),
+                    Some(job) => {
+                        let lanes = run_job(&job, opts)?;
+                        Ok(JobOutcome {
+                            topology,
+                            class,
+                            site: Some(job.site_name),
+                            lanes,
+                        })
+                    }
+                }
+            },
+            |_, _| {},
+        )?
+    };
+    let classes = FaultCampaignReport::aggregate(opts, &jobs);
+    Ok(FaultCampaignReport {
+        name: format!(
+            "pr7_fault_campaign topologies={} cycles={} lanes={} window={} tail={} seed={}",
+            opts.topologies,
+            opts.cycles,
+            opts.lanes,
+            opts.window_len,
+            opts.recovery_tail,
+            opts.seed
+        ),
+        opts: opts.clone(),
+        threads,
+        classes,
+        jobs,
+        wall_secs: t0.elapsed().as_secs_f64(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_opts(threads: usize) -> FaultCampaignOpts {
+        FaultCampaignOpts {
+            topologies: 6,
+            seed: 11,
+            cycles: 96,
+            lanes: 8,
+            window_len: 1,
+            recovery_tail: 12,
+            threads,
+            queue: 2,
+            ..FaultCampaignOpts::default()
+        }
+    }
+
+    #[test]
+    fn small_campaign_disturbs_and_is_thread_deterministic() {
+        let a = run_fault_campaign(&small_opts(1)).unwrap();
+        assert_eq!(a.classes.len(), FAULT_CLASSES.len());
+        let sites: usize = a.classes.iter().map(|c| c.sites).sum();
+        let disturbed: usize = a.classes.iter().map(|c| c.disturbed).sum();
+        assert!(sites > 0, "no injectable sites across 6 topologies");
+        assert!(disturbed > 0, "no lane observed an injected violation");
+        // Every armed-and-disturbed lane measured a coherent recovery
+        // outcome: recovered lanes have a recovery point, percentiles are
+        // ordered.
+        for c in &a.classes {
+            assert!(c.recovered <= c.disturbed, "{}", c.class);
+            assert!(c.disturbed <= c.trials, "{}", c.class);
+            if c.recovered > 0 {
+                assert!(c.recovery_p50 <= c.recovery_p99, "{}", c.class);
+                assert!(c.recovery_p50 >= 1.0, "{}", c.class);
+            }
+        }
+        // Bit-identical report for a different worker count.
+        let b = run_fault_campaign(&small_opts(3)).unwrap();
+        for (x, y) in a.jobs.iter().zip(&b.jobs) {
+            assert_eq!(x.topology, y.topology);
+            assert_eq!(x.class, y.class);
+            assert_eq!(x.site, y.site);
+            assert_eq!(x.lanes, y.lanes);
+        }
+    }
+
+    #[test]
+    fn report_json_is_well_formed() {
+        let r = run_fault_campaign(&FaultCampaignOpts {
+            topologies: 2,
+            cycles: 64,
+            lanes: 4,
+            threads: 2,
+            ..small_opts(2)
+        })
+        .unwrap();
+        let json = r.to_json();
+        for class in FAULT_CLASSES {
+            assert!(json.contains(&format!("\"class\": \"{class}\"")), "{json}");
+        }
+        assert!(json.contains("\"recovery_p50\""));
+        assert!(json.contains("\"non_recovery_rate\""));
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(json.matches(open).count(), json.matches(close).count());
+        }
+    }
+
+    #[test]
+    fn bad_options_are_fault_site_errors() {
+        let base = small_opts(1);
+        for bad in [
+            FaultCampaignOpts {
+                classes: vec!["meltdown".into()],
+                ..base.clone()
+            },
+            FaultCampaignOpts {
+                cycles: 8,
+                ..base.clone()
+            },
+            FaultCampaignOpts {
+                lanes: 0,
+                ..base.clone()
+            },
+            FaultCampaignOpts {
+                lanes: MAX_TRIALS_PER_RUN + 1,
+                ..base.clone()
+            },
+        ] {
+            assert!(matches!(
+                run_fault_campaign(&bad),
+                Err(CoreError::FaultSite(_))
+            ));
+        }
+        // An empty class list is a no-op campaign, not an error.
+        let empty = run_fault_campaign(&FaultCampaignOpts {
+            classes: Vec::new(),
+            ..base
+        })
+        .unwrap();
+        assert!(empty.classes.is_empty());
+        assert!(empty.jobs.is_empty());
+    }
+}

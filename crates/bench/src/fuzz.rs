@@ -10,11 +10,16 @@
 //! thread count.
 //!
 //! Failures are shrunk to a minimal failing parameter set before being
-//! reported. In `--inject` mode the campaign instead *sabotages* the
-//! gate-level lowering of one anti-token-active early join per eligible
-//! topology ([`FaultInjection::DropAntiToken`]) and asserts the harness
-//! catches every one — the sensitivity self-test behind the acceptance
-//! criterion "an injected EE-join bug is caught".
+//! reported. In `--inject` mode the campaign instead *sabotages* each
+//! eligible topology with one fault from the full [`FaultInjection`]
+//! family — the class rotates with the master seed over
+//! [`INJECT_CLASSES`]: the PR-5 dropped-anti-token lowering bug plus
+//! every transient rail class (flip, stuck-at-0/1, duplicated and lost
+//! tokens, armed for a single *effective* cycle probed by
+//! [`injectable_site`]) — and asserts the harness flags every one. A
+//! silently accepted fault is shrunk ([`shrink_params_by`]) to a minimal
+//! `TopoParams` that still accepts the same class, and reported with its
+//! fault spec.
 
 use std::io::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -22,11 +27,23 @@ use std::time::Instant;
 
 use elastic_core::compile::FaultInjection;
 use elastic_core::gen::{
-    differential_check, generate, injectable_join, shrink_params, DiffOptions, DiffReport,
-    TopoParams,
+    differential_check, generate, injectable_join, injectable_site, shrink_params,
+    shrink_params_by, DiffOptions, DiffReport, GeneratedSystem, TopoParams,
 };
 
 use crate::exp::{json_f64, json_str};
+
+/// Fault classes the inject mode rotates through, keyed on the master
+/// seed: the lowering sabotage plus every transient rail class of
+/// [`crate::fault::FAULT_CLASSES`].
+pub const INJECT_CLASSES: [&str; 6] = [
+    "drop_anti_token",
+    "rail_flip",
+    "stuck_at_0",
+    "stuck_at_1",
+    "duplicate_token",
+    "lose_token",
+];
 
 /// Campaign options (the `fuzz_topo` CLI surface).
 #[derive(Debug, Clone)]
@@ -71,8 +88,11 @@ pub struct FuzzOutcome {
     /// Minimal failing parameter set (only on failure).
     pub minimal: Option<TopoParams>,
     /// Inject mode: `Some(caught)` when a fault was injected; `None` when
-    /// the topology had no anti-token-active early join to sabotage.
+    /// the topology had no effective site for the seed's fault class.
     pub injected: Option<bool>,
+    /// Inject mode: the fault class injected (label from
+    /// [`INJECT_CLASSES`]), when a site was found.
+    pub fault: Option<&'static str>,
 }
 
 /// Aggregate campaign result.
@@ -92,6 +112,37 @@ impl FuzzSummary {
     /// Seeds whose differential failed (clean mode).
     pub fn mismatches(&self) -> Vec<&FuzzOutcome> {
         self.outcomes.iter().filter(|o| o.report.is_err()).collect()
+    }
+
+    /// Seeds whose injected fault was silently accepted (inject mode) —
+    /// each carries the shrunk minimal topology in
+    /// [`FuzzOutcome::minimal`].
+    pub fn missed(&self) -> Vec<&FuzzOutcome> {
+        self.outcomes
+            .iter()
+            .filter(|o| o.injected == Some(false))
+            .collect()
+    }
+
+    /// Per-class `(class, eligible, caught)` counts of the inject mode,
+    /// in [`INJECT_CLASSES`] order.
+    pub fn injections_by_class(&self) -> Vec<(&'static str, usize, usize)> {
+        INJECT_CLASSES
+            .iter()
+            .map(|&class| {
+                let eligible = self
+                    .outcomes
+                    .iter()
+                    .filter(|o| o.fault == Some(class))
+                    .count();
+                let caught = self
+                    .outcomes
+                    .iter()
+                    .filter(|o| o.fault == Some(class) && o.injected == Some(true))
+                    .count();
+                (class, eligible, caught)
+            })
+            .collect()
     }
 
     /// `(eligible, caught)` counts of the inject mode.
@@ -147,6 +198,28 @@ impl FuzzSummary {
         ));
         s.push_str(&format!("  \"injected\": {eligible},\n"));
         s.push_str(&format!("  \"injected_caught\": {caught},\n"));
+        s.push_str("  \"injected_by_class\": {\n");
+        let by_class = self.injections_by_class();
+        for (i, (class, eligible, caught)) in by_class.iter().enumerate() {
+            let sep = if i + 1 == by_class.len() { "" } else { "," };
+            s.push_str(&format!(
+                "    {}: {{\"eligible\": {eligible}, \"caught\": {caught}}}{sep}\n",
+                json_str(class)
+            ));
+        }
+        s.push_str("  },\n");
+        s.push_str("  \"missed_injections\": [\n");
+        let missed = self.missed();
+        for (i, o) in missed.iter().enumerate() {
+            let sep = if i + 1 == missed.len() { "" } else { "," };
+            s.push_str(&format!(
+                "    {{\"seed\": {}, \"class\": {}, \"minimal\": {}}}{sep}\n",
+                o.seed,
+                json_str(o.fault.unwrap_or("?")),
+                json_str(&format!("{:?}", o.minimal.as_ref().unwrap_or(&o.params))),
+            ));
+        }
+        s.push_str("  ],\n");
         s.push_str("  \"mismatches\": [\n");
         let mismatches = self.mismatches();
         for (i, o) in mismatches.iter().enumerate() {
@@ -175,6 +248,25 @@ impl FuzzSummary {
     }
 }
 
+/// Probes one topology for an injectable fault of `class`, returning the
+/// fault plus the single-cycle injection window (`None` window for the
+/// always-on lowering sabotage). Probing uses the differential's own seed
+/// so the eligibility check observes lane 0 of the very run the fault is
+/// injected into.
+fn probe_site(
+    sys: &GeneratedSystem,
+    class: &'static str,
+    seed: u64,
+    cycles: usize,
+) -> Option<(FaultInjection, Option<(usize, usize)>)> {
+    if class == "drop_anti_token" {
+        injectable_join(sys, seed, cycles)
+            .map(|join| (FaultInjection::DropAntiToken { join }, None))
+    } else {
+        injectable_site(sys, class, seed, cycles).map(|(fault, t)| (fault, Some((t, 1))))
+    }
+}
+
 /// Runs one seed of the campaign.
 fn run_seed(seed: u64, opts: &FuzzOpts) -> FuzzOutcome {
     let params = TopoParams::sample(seed);
@@ -183,6 +275,7 @@ fn run_seed(seed: u64, opts: &FuzzOpts) -> FuzzOutcome {
         lanes: opts.lanes,
         seed: seed.wrapping_add(0x5eed),
         fault: None,
+        fault_window: None,
         check_bound: true,
     };
     let sys = match generate(&params) {
@@ -194,29 +287,59 @@ fn run_seed(seed: u64, opts: &FuzzOpts) -> FuzzOutcome {
                 report: Err(format!("generation failed: {e}")),
                 minimal: None,
                 injected: None,
+                fault: None,
             }
         }
     };
     if opts.inject {
-        // Probe with the differential's own seed so the eligibility check
-        // observes lane 0 of the very run the fault is injected into.
-        let injected = injectable_join(&sys, diff.seed, opts.cycles).map(|join| {
-            let faulty = DiffOptions {
-                fault: Some(FaultInjection::DropAntiToken { join }),
-                ..diff.clone()
+        let class = INJECT_CLASSES[(seed % INJECT_CLASSES.len() as u64) as usize];
+        let (injected, fault, missed_minimal) =
+            match probe_site(&sys, class, diff.seed, opts.cycles) {
+                None => (None, None, None),
+                Some((fault, fault_window)) => {
+                    let faulty = DiffOptions {
+                        fault: Some(fault),
+                        fault_window,
+                        ..diff.clone()
+                    };
+                    let caught = differential_check(&sys, &faulty).is_err();
+                    // A silently accepted fault shrinks to a minimal
+                    // topology that still accepts the same class —
+                    // regenerate, re-probe, and require the differential
+                    // to stay quiet.
+                    let minimal = (!caught).then(|| {
+                        shrink_params_by(&params, |p| {
+                            let Ok(sys) = generate(p) else { return false };
+                            let Some((fault, fault_window)) =
+                                probe_site(&sys, class, diff.seed, opts.cycles)
+                            else {
+                                return false;
+                            };
+                            let faulty = DiffOptions {
+                                fault: Some(fault),
+                                fault_window,
+                                ..diff.clone()
+                            };
+                            differential_check(&sys, &faulty).is_ok()
+                        })
+                    });
+                    (Some(caught), Some(class), minimal)
+                }
             };
-            differential_check(&sys, &faulty).is_err()
-        });
         // Inject mode still runs the clean differential: a harness that
         // flags faults but also flags clean systems is useless.
         let report = differential_check(&sys, &diff).map_err(|e| e.to_string());
-        let minimal = report.is_err().then(|| shrink_params(&params, &diff));
+        let minimal = report
+            .is_err()
+            .then(|| shrink_params(&params, &diff))
+            .or(missed_minimal);
         return FuzzOutcome {
             seed,
             params,
             report,
             minimal,
             injected,
+            fault,
         };
     }
     match differential_check(&sys, &diff) {
@@ -226,6 +349,7 @@ fn run_seed(seed: u64, opts: &FuzzOpts) -> FuzzOutcome {
             report: Ok(report),
             minimal: None,
             injected: None,
+            fault: None,
         },
         Err(e) => FuzzOutcome {
             seed,
@@ -233,6 +357,7 @@ fn run_seed(seed: u64, opts: &FuzzOpts) -> FuzzOutcome {
             report: Err(e.to_string()),
             minimal: Some(shrink_params(&params, &diff)),
             injected: None,
+            fault: None,
         },
     }
 }
@@ -306,12 +431,13 @@ mod tests {
     }
 
     #[test]
-    fn inject_mode_catches_sabotaged_joins() {
-        // Sweep until at least two topologies are eligible for injection;
-        // every injected fault must be caught.
+    fn inject_mode_catches_every_fault_class() {
+        // 18 seeds rotate three times through the 6-class family; several
+        // distinct classes must find an effective site, and every injected
+        // fault must be flagged.
         let opts = FuzzOpts {
             seed: 1,
-            count: 12,
+            count: 18,
             cycles: 200,
             lanes: 2,
             threads: 2,
@@ -319,8 +445,26 @@ mod tests {
         };
         let summary = run_fuzz(&opts);
         let (eligible, caught) = summary.injection_counts();
-        assert!(eligible >= 2, "only {eligible} injectable topologies");
-        assert_eq!(caught, eligible, "missed injections");
+        assert!(eligible >= 4, "only {eligible} injectable topologies");
+        assert_eq!(
+            caught,
+            eligible,
+            "missed injections: {:?}",
+            summary.missed()
+        );
+        let by_class = summary.injections_by_class();
+        let classes_hit = by_class.iter().filter(|&&(_, e, _)| e > 0).count();
+        assert!(
+            classes_hit >= 3,
+            "only {classes_hit} classes found a site: {by_class:?}"
+        );
+        for (class, e, c) in by_class {
+            assert_eq!(e, c, "class {class} was silently accepted");
+        }
+        assert!(summary.missed().is_empty());
         assert!(summary.ok());
+        let json = summary.to_json("unit");
+        assert!(json.contains("\"injected_by_class\""), "{json}");
+        assert!(json.contains("\"missed_injections\": [\n  ]"), "{json}");
     }
 }

@@ -13,6 +13,7 @@
 //! arbitrary-size campaigns sharded across OS threads.
 
 pub mod exp;
+pub mod fault;
 pub mod fuzz;
 mod stream;
 

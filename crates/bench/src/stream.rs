@@ -23,12 +23,19 @@
 //! pack/execute alternation, which is exactly the batch engine's order.
 //!
 //! The reducer runs on the calling thread: it receives `(shard index,
-//! stats)` pairs over an mpsc channel and emits partial [`McStats`] in
+//! stats)` pairs over an mpsc channel and emits partial results in
 //! shard-index order through the `on_partial` callback as soon as each
 //! prefix completes. Because shard seeds (not worker identity) determine
 //! every RNG stream and the reduction is by shard index, the final
 //! per-lane vector is bit-identical for every worker count and queue
 //! depth — asserted by the proptests in `tests/exp.rs`.
+//!
+//! The pipeline itself ([`run_pipeline`]) is generic over the produced
+//! payload and the consumed result: the throughput engine instantiates it
+//! with `PackedStimulus → McStats` ([`run_shards_streaming`]) and the
+//! fault-campaign engine with per-job harness builds → recovery records
+//! (`crate::fault`), sharing the queueing, backpressure and in-order
+//! reduction.
 
 use std::collections::VecDeque;
 use std::sync::mpsc;
@@ -45,23 +52,143 @@ use crate::{McStats, WideHarness};
 
 /// Shared pipeline state behind one mutex; workers sleep on the paired
 /// condvar whenever they can neither execute nor pack.
-struct PipeState {
-    /// Next shard index to claim for packing.
+struct PipeState<S> {
+    /// Next item index to claim for producing.
     next_pack: usize,
-    /// Packed stimuli awaiting execution, in claim order.
-    queue: VecDeque<(usize, PackedStimulus)>,
-    /// Shards currently being packed (claimed, not yet queued).
+    /// Produced payloads awaiting consumption, in claim order.
+    queue: VecDeque<(usize, S)>,
+    /// Items currently being produced (claimed, not yet queued).
     packing: usize,
     /// First error any stage hit; set once, aborts the pipeline.
     error: Option<CoreError>,
 }
 
-impl PipeState {
-    /// Nothing left to pack, nothing mid-pack, nothing queued: any
-    /// remaining executions are already owned by other workers.
+impl<S> PipeState<S> {
+    /// Nothing left to produce, nothing mid-production, nothing queued:
+    /// any remaining consumptions are already owned by other workers.
     fn drained(&self, total: usize) -> bool {
         self.next_pack >= total && self.packing == 0 && self.queue.is_empty()
     }
+}
+
+/// Runs `total` items through the streaming pipeline on `workers` hybrid
+/// threads with a `depth`-bounded payload queue, returning the per-item
+/// results in item-index order. `produce(i)` builds item `i`'s payload
+/// (the expensive, parallelizable stage: stimulus packing, per-job
+/// compilation); `consume(i, payload)` turns it into the item's result
+/// (tape execution, measurement). `on_partial(index, result)` fires on
+/// the calling thread, in index order, as soon as every item up to
+/// `index` has completed.
+///
+/// Determinism: results are keyed by item index, never by worker
+/// identity, so as long as `produce`/`consume` are deterministic
+/// functions of the index the output vector is bit-identical for every
+/// worker count and queue depth.
+///
+/// # Errors
+///
+/// The first stage error (production or consumption), after the pipeline
+/// has drained.
+pub(crate) fn run_pipeline<S, R>(
+    total: usize,
+    workers: usize,
+    depth: usize,
+    produce: impl Fn(usize) -> Result<S, CoreError> + Sync,
+    consume: impl Fn(usize, S) -> Result<R, CoreError> + Sync,
+    mut on_partial: impl FnMut(usize, &R),
+) -> Result<Vec<R>, CoreError>
+where
+    S: Send,
+    R: Send,
+{
+    assert!(workers >= 1, "pipeline needs a worker");
+    let depth = depth.max(1);
+    let state = Mutex::new(PipeState::<S> {
+        next_pack: 0,
+        queue: VecDeque::with_capacity(depth),
+        packing: 0,
+        error: None,
+    });
+    let cvar = Condvar::new();
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+
+    let mut results: Vec<Option<R>> = (0..total).map(|_| None).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let (state, cvar) = (&state, &cvar);
+            let (produce, consume) = (&produce, &consume);
+            s.spawn(move || {
+                let fail = |e: CoreError| {
+                    let mut g = state.lock().expect("pipeline lock");
+                    g.error.get_or_insert(e);
+                    cvar.notify_all();
+                };
+                let mut guard = state.lock().expect("pipeline lock");
+                loop {
+                    if guard.error.is_some() {
+                        break;
+                    }
+                    if let Some((idx, payload)) = guard.queue.pop_front() {
+                        drop(guard);
+                        // A queue slot freed: producers blocked on depth
+                        // can proceed while this worker consumes.
+                        cvar.notify_all();
+                        match consume(idx, payload) {
+                            Ok(res) => {
+                                let _ = tx.send((idx, res));
+                            }
+                            Err(e) => {
+                                fail(e);
+                                break;
+                            }
+                        }
+                        guard = state.lock().expect("pipeline lock");
+                    } else if guard.next_pack < total && guard.queue.len() + guard.packing < depth {
+                        let idx = guard.next_pack;
+                        guard.next_pack += 1;
+                        guard.packing += 1;
+                        drop(guard);
+                        match produce(idx) {
+                            Ok(payload) => {
+                                guard = state.lock().expect("pipeline lock");
+                                guard.packing -= 1;
+                                guard.queue.push_back((idx, payload));
+                                cvar.notify_all();
+                            }
+                            Err(e) => {
+                                fail(e);
+                                break;
+                            }
+                        }
+                    } else if guard.drained(total) {
+                        break;
+                    } else {
+                        guard = cvar.wait(guard).expect("pipeline lock");
+                    }
+                }
+            });
+        }
+        // The reducer: this thread owns the original `tx`; dropping it
+        // leaves the workers' clones, so `rx` ends once they all exit.
+        drop(tx);
+        let mut emitted = 0usize;
+        for (idx, res) in rx {
+            results[idx] = Some(res);
+            while emitted < results.len() && results[emitted].is_some() {
+                on_partial(emitted, results[emitted].as_ref().expect("just checked"));
+                emitted += 1;
+            }
+        }
+    });
+
+    if let Some(e) = state.into_inner().expect("pipeline lock").error {
+        return Err(e);
+    }
+    Ok(results
+        .into_iter()
+        .map(|r| r.expect("drained pipeline completed every item"))
+        .collect())
 }
 
 /// Runs `shards` through the streaming pipeline on `workers` hybrid
@@ -69,6 +196,9 @@ impl PipeState {
 /// statistics in shard-index order. `on_partial(index, stats)` fires on
 /// the calling thread, in index order, as soon as every shard up to
 /// `index` has completed.
+///
+/// Thin instantiation of [`run_pipeline`]: produce = fused stimulus
+/// generation for shard *i*, consume = blocked tape execution.
 ///
 /// # Errors
 ///
@@ -85,102 +215,17 @@ pub(crate) fn run_shards_streaming(
     plan: &BlockPlan,
     workers: usize,
     depth: usize,
-    mut on_partial: impl FnMut(usize, &McStats),
+    on_partial: impl FnMut(usize, &McStats),
 ) -> Result<Vec<McStats>, CoreError> {
-    assert!(workers >= 1, "pipeline needs a worker");
-    let depth = depth.max(1);
-    let state = Mutex::new(PipeState {
-        next_pack: 0,
-        queue: VecDeque::with_capacity(depth),
-        packing: 0,
-        error: None,
-    });
-    let cvar = Condvar::new();
-    let (tx, rx) = mpsc::channel::<(usize, McStats)>();
-
-    let mut results: Vec<Option<McStats>> = vec![None; shards.len()];
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            let tx = tx.clone();
-            let (state, cvar) = (&state, &cvar);
-            s.spawn(move || {
-                let fail = |e: CoreError| {
-                    let mut g = state.lock().expect("pipeline lock");
-                    g.error.get_or_insert(e);
-                    cvar.notify_all();
-                };
-                let mut guard = state.lock().expect("pipeline lock");
-                loop {
-                    if guard.error.is_some() {
-                        break;
-                    }
-                    if let Some((idx, stim)) = guard.queue.pop_front() {
-                        drop(guard);
-                        // A queue slot freed: packers blocked on depth can
-                        // proceed while this worker executes.
-                        cvar.notify_all();
-                        match harness.try_run_stim(&stim, shards[idx].lanes, plan) {
-                            Ok(stats) => {
-                                let _ = tx.send((idx, stats));
-                            }
-                            Err(e) => {
-                                fail(e);
-                                break;
-                            }
-                        }
-                        guard = state.lock().expect("pipeline lock");
-                    } else if guard.next_pack < shards.len()
-                        && guard.queue.len() + guard.packing < depth
-                    {
-                        let shard = shards[guard.next_pack];
-                        guard.next_pack += 1;
-                        guard.packing += 1;
-                        drop(guard);
-                        match harness.generate_stimulus(
-                            network,
-                            env,
-                            shard.seed,
-                            cycles,
-                            shard.lanes,
-                            width,
-                        ) {
-                            Ok(stim) => {
-                                guard = state.lock().expect("pipeline lock");
-                                guard.packing -= 1;
-                                guard.queue.push_back((shard.index, stim));
-                                cvar.notify_all();
-                            }
-                            Err(e) => {
-                                fail(e);
-                                break;
-                            }
-                        }
-                    } else if guard.drained(shards.len()) {
-                        break;
-                    } else {
-                        guard = cvar.wait(guard).expect("pipeline lock");
-                    }
-                }
-            });
-        }
-        // The reducer: this thread owns the original `tx`; dropping it
-        // leaves the workers' clones, so `rx` ends once they all exit.
-        drop(tx);
-        let mut emitted = 0usize;
-        for (idx, stats) in rx {
-            results[idx] = Some(stats);
-            while emitted < results.len() && results[emitted].is_some() {
-                on_partial(emitted, results[emitted].as_ref().expect("just checked"));
-                emitted += 1;
-            }
-        }
-    });
-
-    if let Some(e) = state.into_inner().expect("pipeline lock").error {
-        return Err(e);
-    }
-    Ok(results
-        .into_iter()
-        .map(|r| r.expect("drained pipeline completed every shard"))
-        .collect())
+    run_pipeline::<PackedStimulus, McStats>(
+        shards.len(),
+        workers,
+        depth,
+        |i| {
+            let shard = shards[i];
+            harness.generate_stimulus(network, env, shard.seed, cycles, shard.lanes, width)
+        },
+        |i, stim| harness.try_run_stim(&stim, shards[i].lanes, plan),
+        on_partial,
+    )
 }

@@ -1,0 +1,263 @@
+//! Fault-injection equivalence and regression tests.
+//!
+//! 1. **Lane equivalence** (proptest): a wide backend running lane *k*
+//!    with a per-lane fault mask must be bit-identical — every observed
+//!    rail, every cycle — to a scalar netlist run of trial *k* with the
+//!    same fault armed on its schedule, across word widths `W ∈
+//!    {1,2,4,8}`, the plain and cache-blocked tape paths, and the
+//!    schedule-pack versus fused-generate stimulus producers.
+//! 2. **Empty-fault regression**: a campaign with no fault injected must
+//!    reproduce the committed `BENCH_pr6.json` means bit-identically —
+//!    the PR7 fault plumbing (fault-arm inputs, stimulus fault column,
+//!    generalized worker pipeline) is strictly pay-for-what-you-inject.
+//!
+//! Counterexample seeds shrunk during development are pinned in
+//! `proptest-regressions/fault.txt` and replayed before the random phase.
+
+use elastic_bench::exp::{ee_prob_experiment, run_experiment};
+use elastic_bench::fault::FAULT_CLASSES;
+use elastic_bench::{WideHarness, MC_DATA_WIDTH};
+use elastic_core::compile::{compile, CompileOptions};
+use elastic_core::gen::{generate, injectable_site, TopoParams};
+use elastic_core::systems::Config;
+use elastic_core::verify::{NetlistTestbench, PackedStimulus};
+use elastic_netlist::levelize::Program;
+use elastic_netlist::opt::optimize_observed;
+use elastic_netlist::sim::Simulator;
+use elastic_netlist::wide::{WideSim, LANES};
+use elastic_netlist::NetId;
+use proptest::prelude::*;
+
+const CYCLES: usize = 48;
+
+/// One fully prepared faulted system: observed-cone netlist, testbench
+/// with the fault-arm input resolved, tape program, armed schedules and
+/// the observed rail set (site V⁺S⁺V⁻S⁻ + output V⁺S⁺V⁻, deduplicated).
+struct Prepared {
+    tb: NetlistTestbench,
+    prog: Program,
+    rails: Vec<NetId>,
+    schedules: Vec<elastic_core::verify::Schedule>,
+    windows: Vec<(usize, usize)>,
+    sys: elastic_core::gen::GeneratedSystem,
+    seed: u64,
+    scalar: Simulator,
+}
+
+/// Builds a faulted generated system with per-lane armed windows, or
+/// `None` when the sampled topology has no effective site for the class.
+fn prepare(topo: u64, class: &str, seed: u64, lanes: usize, len: usize) -> Option<Prepared> {
+    let sys = generate(&TopoParams::sample(topo)).ok()?;
+    let (fault, eff) = injectable_site(&sys, class, seed, CYCLES)?;
+    let opt = compile(
+        &sys.network,
+        &CompileOptions {
+            data_width: MC_DATA_WIDTH,
+            nondet_merge: false,
+            optimize: true,
+            fault: Some(fault.clone()),
+        },
+    )
+    .ok()?;
+    let site_name = fault.channel().expect("rail fault").to_string();
+    let site = sys
+        .network
+        .channels()
+        .find(|&c| sys.network.channel(c).name == site_name)
+        .expect("existing channel");
+    let s = &opt.channels[site.index()];
+    let o = &opt.channels[sys.output_channel.index()];
+    let mut observe: Vec<NetId> = Vec::new();
+    for id in [o.vp, o.sp, o.vn, s.vp, s.sp, s.vn, s.sn] {
+        if !observe.contains(&id) {
+            observe.push(id);
+        }
+    }
+    let (obs, map) = optimize_observed(&opt.netlist, &observe).ok()?;
+    let rails: Vec<NetId> = observe
+        .iter()
+        .map(|&id| map[id.index()].expect("observed rails survive"))
+        .collect();
+    let tb = NetlistTestbench::with_fault(&sys.network, &obs, MC_DATA_WIDTH, &fault).ok()?;
+    assert!(tb.fault_col().is_some(), "rail fault resolves an arm input");
+    let (prog, _) = Program::compile_optimized(&obs).ok()?;
+    let scalar = Simulator::new(&obs).ok()?;
+    let mut schedules = WideHarness::schedules(&sys.network, &sys.env, seed, CYCLES, lanes);
+    let mut windows = Vec::with_capacity(lanes);
+    for (k, sched) in schedules.iter_mut().enumerate() {
+        // Independent per-lane instances: staggered start cycles, clamped
+        // to the horizon.
+        let start = (eff + k % 5).min(CYCLES - len);
+        sched.arm_fault(start, len).expect("window fits");
+        windows.push((start, len));
+    }
+    Some(Prepared {
+        tb,
+        prog,
+        rails,
+        schedules,
+        windows,
+        sys,
+        seed,
+        scalar,
+    })
+}
+
+/// Scalar reference: runs trial `k`'s schedule (fault armed) through the
+/// gate-level interpreter on the same observed netlist, recording every
+/// observed rail each cycle.
+fn scalar_trace(p: &Prepared, k: usize) -> Vec<Vec<bool>> {
+    let mut sim = p.scalar.clone();
+    (0..CYCLES as u64)
+        .map(|t| {
+            sim.cycle(&p.tb.inputs_at(&p.schedules[k], t))
+                .expect("runs");
+            p.rails.iter().map(|&r| sim.value(r)).collect()
+        })
+        .collect()
+}
+
+/// Wide path: packs all lanes (fault masks included) and records the same
+/// rails per lane per cycle, on the plain or cache-blocked tape.
+fn wide_trace<const W: usize>(
+    p: &Prepared,
+    stim: &PackedStimulus,
+    blocked: bool,
+) -> Vec<Vec<Vec<bool>>> {
+    let mut sim: WideSim<W> = WideSim::from_program(p.prog.clone());
+    sim.check_input_slots(stim.slots()).expect("slots");
+    let plan = p.prog.block_plan(W, 4096);
+    let lanes = p.schedules.len();
+    let mut out = vec![Vec::with_capacity(CYCLES); lanes];
+    for t in 0..CYCLES {
+        if blocked {
+            sim.cycle_packed_blocked(stim.slots(), stim.row(t), &plan);
+        } else {
+            sim.cycle_packed(stim.slots(), stim.row(t));
+        }
+        for (k, lane_out) in out.iter_mut().enumerate() {
+            let (w, b) = (k / LANES, k % LANES);
+            lane_out.push(
+                p.rails
+                    .iter()
+                    .map(|&r| sim.word(r, w) >> b & 1 == 1)
+                    .collect(),
+            );
+        }
+    }
+    out
+}
+
+proptest! {
+    /// Wide lane *k* under a per-lane fault mask ≡ scalar run of trial
+    /// *k* with the same fault — all rails, all cycles, every word width,
+    /// plain and blocked tapes, and both stimulus producers.
+    #[test]
+    fn wide_fault_lane_equals_scalar_faulted_trial(
+        topo in 0u64..500,
+        class_idx in 0usize..5,
+        lanes in 1usize..10,
+        len in 1usize..4,
+        wsel in 0usize..4,
+    ) {
+        let class = FAULT_CLASSES[class_idx];
+        let Some(p) = prepare(topo, class, topo.wrapping_add(0xfa), lanes, len) else {
+            return Err(TestCaseError::Reject);
+        };
+        let scalar: Vec<Vec<Vec<bool>>> = (0..lanes).map(|k| scalar_trace(&p, k)).collect();
+        let width = [1usize, 2, 4, 8][wsel];
+        let stim = PackedStimulus::pack(&p.tb, &p.schedules, width).expect("packs");
+        // Stimulus-producer equivalence: the fused generate + per-lane
+        // arm_fault path (the campaign's streaming producer) builds the
+        // identical matrix to packing pre-armed schedules.
+        let mut generated = PackedStimulus::generate(
+            &p.tb, &p.sys.network, &p.sys.env, p.seed, lanes, CYCLES, width,
+        ).expect("generates");
+        let col = p.tb.fault_col().expect("fault col");
+        for (k, &(start, wl)) in p.windows.iter().enumerate() {
+            generated.arm_fault(col, k, start, wl).expect("arms");
+        }
+        prop_assert_eq!(&generated, &stim);
+        for blocked in [false, true] {
+            let wide = match width {
+                1 => wide_trace::<1>(&p, &stim, blocked),
+                2 => wide_trace::<2>(&p, &stim, blocked),
+                4 => wide_trace::<4>(&p, &stim, blocked),
+                _ => wide_trace::<8>(&p, &stim, blocked),
+            };
+            for k in 0..lanes {
+                prop_assert_eq!(
+                    &wide[k], &scalar[k],
+                    "lane {} diverged (topo {}, class {}, W={}, blocked={})",
+                    k, topo, class, width, blocked
+                );
+            }
+        }
+    }
+}
+
+/// Locates a file at the workspace root (walking up from this crate).
+fn workspace_file(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .map(|a| a.join(name))
+        .find(|p| p.is_file())
+        .unwrap_or_else(|| panic!("{name} not found above {}", env!("CARGO_MANIFEST_DIR")))
+}
+
+/// Pulls `"key": value` out of one JSON point line (hand-rolled, like the
+/// writers in this workspace).
+fn field<'a>(line: &'a str, key: &str) -> &'a str {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat).unwrap_or_else(|| panic!("{key} in {line}")) + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).expect("terminated");
+    rest[..end].trim_matches('"')
+}
+
+#[test]
+fn empty_fault_campaign_reproduces_bench_pr6_means() {
+    // BENCH_pr6.json was produced by `campaign` at its defaults: 1024
+    // trials x 2000 cycles, seed 1. Re-running those points through the
+    // engine — which now carries the whole fault subsystem (fault-arm
+    // inputs, stimulus fault column, generalized pipeline) with *no* fault
+    // set — must reproduce every committed mean and standard deviation to
+    // the last printed digit.
+    let text = std::fs::read_to_string(workspace_file("BENCH_pr6.json")).expect("baseline");
+    let mut checked = 0;
+    // The bound_checks section also carries "point" keys — campaign points
+    // are the lines that additionally report a mean.
+    for line in text
+        .lines()
+        .filter(|l| l.contains("\"point\": ") && l.contains("\"mean\": "))
+    {
+        let label = field(line, "point");
+        let (p_part, tag) = label.split_once('/').expect("label shape");
+        let p_i: f64 = p_part
+            .strip_prefix("p_i=")
+            .expect("label shape")
+            .parse()
+            .unwrap();
+        let config = match tag {
+            "early" => Config::ActiveAntiTokens,
+            "lazy" => Config::NoEarlyEval,
+            other => panic!("unknown config tag {other}"),
+        };
+        let trials: usize = field(line, "trials").parse().unwrap();
+        let cycles: usize = field(line, "cycles").parse().unwrap();
+        let exp = ee_prob_experiment(p_i, config, tag, cycles, trials, 1).expect("builds");
+        let res = run_experiment(&exp, 2).expect("runs");
+        assert_eq!(
+            format!("{:.6}", res.stats.mean()),
+            field(line, "mean"),
+            "{label}: mean drifted from the PR6 baseline"
+        );
+        assert_eq!(
+            format!("{:.6}", res.stats.stddev()),
+            field(line, "sd"),
+            "{label}: stddev drifted from the PR6 baseline"
+        );
+        checked += 1;
+    }
+    assert_eq!(checked, 6, "BENCH_pr6.json carries six campaign points");
+}

@@ -22,11 +22,49 @@ use crate::ee::EarlyEval;
 use crate::error::CoreError;
 use crate::network::{CompId, ComponentKind, ElasticNetwork};
 
+/// One of the three forward/backward handshake rails a fault can target.
+///
+/// `S⁻` is deliberately not faultable: on passive channels it is a
+/// synthesized boundary inverter rather than a controller output, so a
+/// fault there would test the compiler's plumbing, not the protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultRail {
+    /// Forward valid `V⁺`.
+    Vp,
+    /// Forward stop `S⁺`.
+    Sp,
+    /// Backward valid `V⁻` (anti-token).
+    Vn,
+}
+
+impl FaultRail {
+    /// Every faultable rail.
+    pub const ALL: [FaultRail; 3] = [FaultRail::Vp, FaultRail::Sp, FaultRail::Vn];
+
+    /// Net-name suffix of the rail (`vp`/`sp`/`vn`).
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultRail::Vp => "vp",
+            FaultRail::Sp => "sp",
+            FaultRail::Vn => "vn",
+        }
+    }
+}
+
 /// A deliberate controller bug injected at compile time — mutation testing
 /// for the verification harnesses. A differential harness that cannot
 /// detect these faults is not testing anything; the fuzz campaign's
 /// negative mode compiles one lowering with a fault and asserts the
 /// divergence is caught (`crate::gen`).
+///
+/// `DropAntiToken` is a *structural* fault: the sabotaged gates are wrong
+/// on every cycle. The other variants are *transient* faults: compilation
+/// inserts a corruption gate on the targeted rail, controlled by a new
+/// primary input `fault.<channel>.<rail>` that the testbench arms for a
+/// chosen cycle window — per lane in the packed wide backends, so each of
+/// the 512 trials of a word can carry an independent fault instance. The
+/// behavioural simulator applies the same corruption by forcing the rail
+/// during signal settlement (`crate::sim::BehavSim::inject_fault`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum FaultInjection {
@@ -38,6 +76,100 @@ pub enum FaultInjection {
         /// Display name of the join component to sabotage.
         join: String,
     },
+    /// Invert the chosen rail while the fault input is armed — the
+    /// single-event-upset model (a transient bit flip when armed for one
+    /// cycle).
+    RailFlip {
+        /// Display name of the channel whose rail is corrupted.
+        channel: String,
+        /// Which rail flips.
+        rail: FaultRail,
+    },
+    /// Force the chosen rail to `value` while the fault input is armed —
+    /// stuck-at-0/1 over a cycle window.
+    StuckAt {
+        /// Display name of the channel whose rail is corrupted.
+        channel: String,
+        /// Which rail sticks.
+        rail: FaultRail,
+        /// The stuck value.
+        value: bool,
+    },
+    /// Assert `V⁺` while armed even though the producer offers nothing —
+    /// a spurious (duplicated) token materializes on the channel.
+    DuplicateToken {
+        /// Display name of the channel gaining the token.
+        channel: String,
+    },
+    /// Suppress `V⁺` while armed even though the producer offers a token —
+    /// the token is lost in flight.
+    LoseToken {
+        /// Display name of the channel losing the token.
+        channel: String,
+    },
+}
+
+impl FaultInjection {
+    /// The channel a rail-level fault targets (`None` for the structural
+    /// `DropAntiToken`).
+    pub fn channel(&self) -> Option<&str> {
+        match self {
+            FaultInjection::DropAntiToken { .. } => None,
+            FaultInjection::RailFlip { channel, .. }
+            | FaultInjection::StuckAt { channel, .. }
+            | FaultInjection::DuplicateToken { channel }
+            | FaultInjection::LoseToken { channel } => Some(channel),
+        }
+    }
+
+    /// The rail a rail-level fault corrupts. Duplicated and lost tokens
+    /// are `V⁺` faults.
+    pub fn rail(&self) -> Option<FaultRail> {
+        match self {
+            FaultInjection::DropAntiToken { .. } => None,
+            FaultInjection::RailFlip { rail, .. } | FaultInjection::StuckAt { rail, .. } => {
+                Some(*rail)
+            }
+            FaultInjection::DuplicateToken { .. } | FaultInjection::LoseToken { .. } => {
+                Some(FaultRail::Vp)
+            }
+        }
+    }
+
+    /// Name of the arming primary input the compiled netlist exposes for
+    /// this fault (`None` for `DropAntiToken`, which needs no arming).
+    pub fn input_name(&self) -> Option<String> {
+        let rail = self.rail()?;
+        let channel = self.channel()?;
+        Some(format!("fault.{}.{}", sanitize(channel), rail.label()))
+    }
+
+    /// Corrupted rail value for a raw (fault-free) rail value and an arm
+    /// bit — the behavioural-simulator mirror of the injected gate.
+    pub fn corrupt(&self, raw: bool, armed: bool) -> bool {
+        if !armed {
+            return raw;
+        }
+        match self {
+            FaultInjection::DropAntiToken { .. } => raw,
+            FaultInjection::RailFlip { .. } => !raw,
+            FaultInjection::StuckAt { value, .. } => *value,
+            FaultInjection::DuplicateToken { .. } => true,
+            FaultInjection::LoseToken { .. } => false,
+        }
+    }
+
+    /// Short class label for campaign reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultInjection::DropAntiToken { .. } => "drop_anti_token",
+            FaultInjection::RailFlip { .. } => "rail_flip",
+            FaultInjection::StuckAt { value: false, .. } => "stuck_at_0",
+            FaultInjection::StuckAt { value: true, .. } => "stuck_at_1",
+            FaultInjection::DuplicateToken { .. } => "duplicate_token",
+            FaultInjection::LoseToken { .. } => "lose_token",
+        }
+    }
 }
 
 /// Options controlling compilation.
@@ -114,13 +246,36 @@ pub fn sanitize(name: &str) -> String {
         .collect()
 }
 
+/// The net a producer binds for a given channel rail: the raw shadow wire
+/// on the faulted rail (the corruption gate re-drives the public net), the
+/// public rail net everywhere else.
+fn drive_net(
+    channels: &[ChannelNets],
+    fault_site: Option<(usize, FaultRail, NetId)>,
+    chan: ChanId,
+    rail: FaultRail,
+) -> NetId {
+    match fault_site {
+        Some((c, r, raw)) if c == chan.index() && r == rail => raw,
+        _ => {
+            let ch = &channels[chan.index()];
+            match rail {
+                FaultRail::Vp => ch.vp,
+                FaultRail::Sp => ch.sp,
+                FaultRail::Vn => ch.vn,
+            }
+        }
+    }
+}
+
 /// Compiles the network.
 ///
 /// # Errors
 ///
 /// Propagates structural errors from [`ElasticNetwork::check`], netlist
-/// errors, and [`CoreError::BadEarlyEval`] when a guard mask does not fit in
-/// `opts.data_width` bits.
+/// errors, [`CoreError::FaultSite`] when [`CompileOptions::fault`] names a
+/// nonexistent join or channel, and [`CoreError::BadEarlyEval`] when a
+/// guard mask does not fit in `opts.data_width` bits.
 #[allow(clippy::too_many_lines)]
 pub fn compile(net: &ElasticNetwork, opts: &CompileOptions) -> Result<Compiled, CoreError> {
     net.check()?;
@@ -167,6 +322,60 @@ pub fn compile(net: &ElasticNetwork, opts: &CompileOptions) -> Result<Compiled, 
         }
     }
 
+    // Fault-site validation and corruption-gate insertion. A rail fault
+    // splices `rail = corrupt(raw, arm)` between the producer and every
+    // consumer of the targeted rail: the producer is redirected onto a
+    // fresh `raw` wire (via [`drive_net`]) while the public rail — the net
+    // all consumers, probes and output marks reference — is bound to the
+    // corruption gate, controlled by the new primary input
+    // `fault.<channel>.<rail>`. Unknown site names are typed errors, not
+    // silent no-ops.
+    let fault_site: Option<(usize, FaultRail, NetId)> = match &opts.fault {
+        None => None,
+        Some(FaultInjection::DropAntiToken { join }) => {
+            let found = net.components().any(|c| {
+                net.component(c).name == *join
+                    && matches!(net.component(c).kind, ComponentKind::Join { .. })
+            });
+            if !found {
+                return Err(CoreError::FaultSite(format!(
+                    "no join component named {join:?} to sabotage"
+                )));
+            }
+            None
+        }
+        Some(fault) => {
+            let site = fault.channel().expect("rail faults name a channel");
+            let chan = net
+                .channels()
+                .find(|&c| net.channel(c).name == site)
+                .ok_or_else(|| {
+                    CoreError::FaultSite(format!("no channel named {site:?} to corrupt"))
+                })?;
+            let rail = fault.rail().expect("rail faults target a rail");
+            let ch = &channels[chan.index()];
+            let public = match rail {
+                FaultRail::Vp => ch.vp,
+                FaultRail::Sp => ch.sp,
+                FaultRail::Vn => ch.vn,
+            };
+            let arm = n.input(fault.input_name().expect("rail faults are armed"));
+            let raw = n.wire();
+            n.set_name(raw, format!("{}.{}.raw", sanitize(site), rail.label()))?;
+            let corrupted = match fault {
+                FaultInjection::RailFlip { .. } => n.xor(raw, arm),
+                FaultInjection::StuckAt { value: true, .. }
+                | FaultInjection::DuplicateToken { .. } => n.or2(raw, arm),
+                FaultInjection::StuckAt { value: false, .. } | FaultInjection::LoseToken { .. } => {
+                    n.and_not(raw, arm)
+                }
+                FaultInjection::DropAntiToken { .. } => unreachable!("handled above"),
+            };
+            n.bind_wire(public, corrupted)?;
+            Some((chan.index(), rail, raw))
+        }
+    };
+
     let zero = n.constant(false);
 
     // The V⁻ a producer's backward logic sees: zero on passive channels.
@@ -188,7 +397,7 @@ pub fn compile(net: &ElasticNetwork, opts: &CompileOptions) -> Result<Compiled, 
                 let offering = n.dff(false);
                 n.set_name(offering, format!("{cname}.offering"))?;
                 let vp = n.or2(offering, offer);
-                n.bind_wire(ch.vp, vp)?;
+                n.bind_wire(drive_net(&channels, fault_site, c, FaultRail::Vp), vp)?;
                 let sn = n.not(vp);
                 n.bind_wire(sn_shadow[c.index()], sn)?;
                 // Hold while retried: vp & sp & !vn.
@@ -213,9 +422,9 @@ pub fn compile(net: &ElasticNetwork, opts: &CompileOptions) -> Result<Compiled, 
                 let killing = n.dff(false);
                 n.set_name(killing, format!("{cname}.killing"))?;
                 let vn = n.or2(killing, kill);
-                n.bind_wire(ch.vn, vn)?;
+                n.bind_wire(drive_net(&channels, fault_site, a, FaultRail::Vn), vn)?;
                 let sp = n.and_not(stop, vn);
-                n.bind_wire(ch.sp, sp)?;
+                n.bind_wire(drive_net(&channels, fault_site, a, FaultRail::Sp), sp)?;
                 // killing' = vn & !vp & sn (anti-token still unresolved).
                 let nvp = n.not(ch.vp);
                 let hold = n.and([vn, nvp, ch.sn]);
@@ -244,9 +453,9 @@ pub fn compile(net: &ElasticNetwork, opts: &CompileOptions) -> Result<Compiled, 
                 n.set_name(nvs, format!("{cname}.nvs"))?;
                 let vnb = backward_vn(&channels, b);
                 // Rails we produce (all registered).
-                n.bind_wire(chb.vp, v)?;
-                n.bind_wire(cha.sp, vs)?;
-                n.bind_wire(cha.vn, nv)?;
+                n.bind_wire(drive_net(&channels, fault_site, b, FaultRail::Vp), v)?;
+                n.bind_wire(drive_net(&channels, fault_site, a, FaultRail::Sp), vs)?;
+                n.bind_wire(drive_net(&channels, fault_site, a, FaultRail::Vn), nv)?;
                 n.bind_wire(sn_shadow[b.index()], nvs)?;
                 // Entries.
                 let nvs_not = n.not(vs);
@@ -313,6 +522,7 @@ pub fn compile(net: &ElasticNetwork, opts: &CompileOptions) -> Result<Compiled, 
                     net,
                     &channels,
                     &sn_shadow,
+                    fault_site,
                     comp,
                     inputs,
                     ee.as_ref(),
@@ -335,7 +545,7 @@ pub fn compile(net: &ElasticNetwork, opts: &CompileOptions) -> Result<Compiled, 
                     dones.push(done);
                     let nd = n.not(done);
                     let vp_b = n.and2(cha.vp, nd);
-                    n.bind_wire(chb.vp, vp_b)?;
+                    n.bind_wire(drive_net(&channels, fault_site, b, FaultRail::Vp), vp_b)?;
                     for (&da, &db) in cha.data.iter().zip(&chb.data) {
                         n.bind_wire(db, da)?;
                     }
@@ -352,11 +562,11 @@ pub fn compile(net: &ElasticNetwork, opts: &CompileOptions) -> Result<Compiled, 
                 let mut vn_in = vns_gated.clone();
                 vn_in.push(nvp_a);
                 let vn_a = n.and(vn_in);
-                n.bind_wire(cha.vn, vn_a)?;
+                n.bind_wire(drive_net(&channels, fault_site, a, FaultRail::Vn), vn_a)?;
                 let nall = n.not(all_res);
                 let nvn_a = n.not(vn_a);
                 let sp_a = n.and2(nall, nvn_a);
-                n.bind_wire(cha.sp, sp_a)?;
+                n.bind_wire(drive_net(&channels, fault_site, a, FaultRail::Sp), sp_a)?;
                 let nsn_a = n.not(cha.sn);
                 let consumed_neg = n.and2(vn_a, nsn_a);
                 let ncons_neg = n.not(consumed_neg);
@@ -388,19 +598,19 @@ pub fn compile(net: &ElasticNetwork, opts: &CompileOptions) -> Result<Compiled, 
                 let idle = n.and2(nbusy, ndone);
                 let vnb = backward_vn(&channels, b);
                 let vn_a = n.and2(vnb, idle);
-                n.bind_wire(cha.vn, vn_a)?;
+                n.bind_wire(drive_net(&channels, fault_site, a, FaultRail::Vn), vn_a)?;
                 let nsp_b = n.not(chb.sp);
                 let out_resolving = n.and2(done, nsp_b);
                 let can_accept = n.or2(idle, out_resolving);
                 let ncan = n.not(can_accept);
                 let nvn_a = n.not(vn_a);
                 let sp_a = n.and2(ncan, nvn_a);
-                n.bind_wire(cha.sp, sp_a)?;
+                n.bind_wire(drive_net(&channels, fault_site, a, FaultRail::Sp), sp_a)?;
                 let nsp_a = n.not(sp_a);
                 let t_in = n.and([cha.vp, nsp_a, nvn_a]);
                 n.set_name(t_in, format!("{cname}.go"))?;
                 n.mark_output(t_in)?;
-                n.bind_wire(chb.vp, done)?;
+                n.bind_wire(drive_net(&channels, fault_site, b, FaultRail::Vp), done)?;
                 // sn(b): pass-through resolution when idle, absorb when busy.
                 let nsn_a2 = n.not(cha.sn);
                 let res_t = n.or2(cha.vp, nsn_a2); // vp_a | !sn_a
@@ -512,6 +722,7 @@ fn emit_join(
     net: &ElasticNetwork,
     channels: &[ChannelNets],
     sn_shadow: &[NetId],
+    fault_site: Option<(usize, FaultRail, NetId)>,
     comp: CompId,
     inputs: usize,
     ee: Option<&EarlyEval>,
@@ -586,7 +797,7 @@ fn emit_join(
     };
     let npend = n.not(any_pend);
     let vp_b = n.and2(enable, npend);
-    n.bind_wire(chb.vp, vp_b)?;
+    n.bind_wire(drive_net(channels, fault_site, b, FaultRail::Vp), vp_b)?;
     let nsp_b = n.not(chb.sp);
     let fire = n.and2(vp_b, nsp_b);
     let nvp_b = n.not(vp_b);
@@ -612,10 +823,10 @@ fn emit_join(
             n.and2(fire, nveff)
         };
         let vn_a = n.or2(pend[i], g);
-        n.bind_wire(cha.vn, vn_a)?;
+        n.bind_wire(drive_net(channels, fault_site, a, FaultRail::Vn), vn_a)?;
         let nvn_a = n.not(vn_a);
         let sp_a = n.and2(nfire, nvn_a);
-        n.bind_wire(cha.sp, sp_a)?;
+        n.bind_wire(drive_net(channels, fault_site, a, FaultRail::Sp), sp_a)?;
         // pend' = (pend | G | absorb) & !resolved.
         let nsn_a = n.not(cha.sn);
         let res_t = n.or2(cha.vp, nsn_a);

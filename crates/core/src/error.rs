@@ -51,6 +51,10 @@ pub enum CoreError {
     /// compiled pipeline and/or the analytic throughput bound disagree on a
     /// generated topology (`crate::gen`).
     Differential(String),
+    /// A fault-injection site was invalid: the named channel/join does not
+    /// exist, the rail cannot be faulted, or the requested injection window
+    /// falls outside the simulated horizon.
+    FaultSite(String),
     /// Underlying netlist error (compilation only).
     Netlist(String),
 }
@@ -90,6 +94,7 @@ impl fmt::Display for CoreError {
             }
             CoreError::ScheduleBatch(msg) => write!(f, "bad schedule batch: {msg}"),
             CoreError::Differential(msg) => write!(f, "differential check failed: {msg}"),
+            CoreError::FaultSite(msg) => write!(f, "invalid fault site: {msg}"),
             CoreError::Netlist(e) => write!(f, "netlist error: {e}"),
         }
     }
@@ -113,6 +118,7 @@ mod tests {
             CoreError::NoFixpoint,
             CoreError::BadEarlyEval("x".into()),
             CoreError::BufferlessCycle(vec!["a".into()]),
+            CoreError::FaultSite("x".into()),
         ] {
             assert!(e.to_string().chars().next().unwrap().is_lowercase());
         }

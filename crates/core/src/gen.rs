@@ -625,6 +625,15 @@ pub struct DiffOptions {
     /// Optional deliberate bug in the gate-level lowering (negative
     /// tests).
     pub fault: Option<FaultInjection>,
+    /// Injection window `(start, len)` arming a compiled-in rail fault in
+    /// every lane of the compiled side. The behavioural reference always
+    /// stays fault-free — it is the faithful semantics the rail-exact
+    /// cosim compares against, so the first cycle the armed corruption
+    /// gate changes a rail value is flagged. Ignored for the structural
+    /// [`FaultInjection::DropAntiToken`] (which has no arm wire); when
+    /// `None`, a rail fault defaults to a window in the middle of the
+    /// horizon.
+    pub fault_window: Option<(usize, usize)>,
     /// Cross-check lazy throughput against the min-cycle-ratio bound.
     pub check_bound: bool,
 }
@@ -636,6 +645,7 @@ impl Default for DiffOptions {
             lanes: 4,
             seed: 1,
             fault: None,
+            fault_window: None,
             check_bound: true,
         }
     }
@@ -677,7 +687,7 @@ pub fn differential_check(
 ) -> Result<DiffReport, CoreError> {
     let net = &sys.network;
     let cycles = opts.cycles.max(1);
-    let schedules: Vec<Schedule> = (0..opts.lanes.max(1))
+    let mut schedules: Vec<Schedule> = (0..opts.lanes.max(1))
         .map(|k| Schedule::random(net, &sys.env, opts.seed.wrapping_add(k as u64), cycles))
         .collect();
 
@@ -695,7 +705,26 @@ pub fn differential_check(
     )?;
     let (prog, _) = Program::compile_optimized(&compiled.netlist).map_err(CoreError::from)?;
     let mut wide: WideSim<1> = WideSim::from_program(prog);
-    let tb = NetlistTestbench::new(net, &compiled.netlist, GEN_DATA_WIDTH)?;
+    let tb = match &opts.fault {
+        Some(f) if f.input_name().is_some() => {
+            NetlistTestbench::with_fault(net, &compiled.netlist, GEN_DATA_WIDTH, f)?
+        }
+        _ => NetlistTestbench::new(net, &compiled.netlist, GEN_DATA_WIDTH)?,
+    };
+    // Rail faults get armed in every lane of the compiled side only; the
+    // behavioural lanes replay the same schedules but ignore the arm
+    // stream, staying the faithful reference.
+    let fault_window = if tb.fault_col().is_some() {
+        let (start, len) = opts
+            .fault_window
+            .unwrap_or((cycles / 4, (cycles / 8).max(1)));
+        for s in &mut schedules {
+            s.arm_fault(start, len)?;
+        }
+        Some((start, len))
+    } else {
+        None
+    };
     let stim = PackedStimulus::pack(&tb, &schedules, 1)?;
     wide.check_input_slots(stim.slots())
         .map_err(CoreError::from)?;
@@ -708,6 +737,12 @@ pub fn differential_check(
         .collect::<Result<_, CoreError>>()?;
     let mut replayer = Replayer::new(&sys.dmg, sys.bounds.clone())
         .map_err(|e| CoreError::Differential(format!("replayer setup: {e}")))?;
+    if let Some((start, len)) = fault_window {
+        // The replay is fed from the (clean) behavioural reference, but an
+        // armed fault is *expected* to push markings around while active:
+        // keep the replayer from attributing that drift to a token bug.
+        replayer.tolerate_window(start as u64, (start + len) as u64);
+    }
     let node_ids: Vec<NodeId> = sys.dmg.nodes().collect();
 
     let trace_tail = |r: &Replayer| -> String {
@@ -991,20 +1026,125 @@ pub fn injectable_join(sys: &GeneratedSystem, seed: u64, cycles: usize) -> Optio
         .map(|((c, _, _), _)| net.component(*c).name.clone())
 }
 
+/// A candidate fault paired with its effectiveness predicate over clean
+/// `(vp, sp, vn)` rail samples.
+type SiteCandidate = (FaultInjection, fn((bool, bool, bool)) -> bool);
+
+/// Finds an *effective* injection site for the rail-fault class labelled
+/// `class` (a [`FaultInjection::label`] string): a channel, rail and start
+/// cycle where arming the fault actually changes the rail value, observed
+/// from a clean behavioural pre-run of the schedule seeded `seed` — run it
+/// with the `DiffOptions::seed` the fault will be injected under, so the
+/// probe watches lane 0 of that very differential. This is the
+/// observability precondition of the rail-fault negative tests: a stuck-at
+/// on a rail already at that value, a lost token on an idle channel or a
+/// duplicated one on a busy channel changes nothing and is undetectable by
+/// construction.
+///
+/// Returns the fault plus an effective start cycle, or `None` when the
+/// class label is unknown or no channel shows an effective cycle. Channel
+/// scan order rotates with `seed` so campaigns spread sites across the
+/// topology.
+pub fn injectable_site(
+    sys: &GeneratedSystem,
+    class: &str,
+    seed: u64,
+    cycles: usize,
+) -> Option<(FaultInjection, usize)> {
+    use crate::compile::FaultRail;
+    let net = &sys.network;
+    let chans: Vec<ChanId> = net.channels().collect();
+    if chans.is_empty() || cycles < 8 {
+        return None;
+    }
+    let mut behav = BehavSim::new(net).ok()?;
+    let mut sched = Schedule::random(net, &sys.env, seed, cycles);
+    let mut rails: Vec<Vec<(bool, bool, bool)>> = vec![Vec::with_capacity(cycles); chans.len()];
+    for _ in 0..cycles {
+        behav.step(&mut sched).ok()?;
+        for (i, &c) in chans.iter().enumerate() {
+            let s = behav.signals(c);
+            rails[i].push((s.vp, s.sp, s.vn));
+        }
+    }
+    // Hit a warmed-up network and leave a recovery tail before the horizon.
+    let lo = cycles / 8;
+    let hi = (cycles - cycles / 4).max(lo + 1);
+    let fault_for = |name: String| -> Option<SiteCandidate> {
+        match class {
+            "rail_flip" => Some((
+                FaultInjection::RailFlip {
+                    channel: name,
+                    rail: FaultRail::Vp,
+                },
+                |_| true,
+            )),
+            "stuck_at_0" => Some((
+                FaultInjection::StuckAt {
+                    channel: name,
+                    rail: FaultRail::Vp,
+                    value: false,
+                },
+                |(vp, _, _)| vp,
+            )),
+            "stuck_at_1" => Some((
+                FaultInjection::StuckAt {
+                    channel: name,
+                    rail: FaultRail::Sp,
+                    value: true,
+                },
+                |(_, sp, _)| !sp,
+            )),
+            "duplicate_token" => Some((
+                FaultInjection::DuplicateToken { channel: name },
+                |(vp, _, _)| !vp,
+            )),
+            "lose_token" => Some((FaultInjection::LoseToken { channel: name }, |(vp, _, _)| vp)),
+            _ => None,
+        }
+    };
+    let offset = (seed % chans.len() as u64) as usize;
+    for k in 0..chans.len() {
+        let i = (offset + k) % chans.len();
+        let name = net.channel(chans[i]).name.clone();
+        let (fault, effective) = fault_for(name)?;
+        if let Some(t) = (lo..hi.min(rails[i].len())).find(|&t| effective(rails[i][t])) {
+            return Some((fault, t));
+        }
+    }
+    None
+}
+
 /// Shrinks a failing parameter set to a (locally) minimal one that still
 /// fails the differential: each step tries the candidate reductions —
 /// fewer units, no extra edges, single-stage chains, no VL/passive/kill
 /// noise, a free-flowing environment — and keeps the first that preserves
 /// the failure, until none does.
 ///
+/// A candidate that fails with [`CoreError::FaultSite`] is treated as
+/// *passing*: the shrunk topology no longer has the named injection site,
+/// which is a different failure from the one being minimized.
+///
 /// Returns `params` unchanged when it does not fail in the first place.
 pub fn shrink_params(params: &TopoParams, opts: &DiffOptions) -> TopoParams {
-    let fails = |p: &TopoParams| -> bool {
-        match generate(p) {
-            Ok(sys) => differential_check(&sys, opts).is_err(),
-            Err(_) => false,
-        }
-    };
+    shrink_params_by(params, |p| match generate(p) {
+        Ok(sys) => match differential_check(&sys, opts) {
+            Err(CoreError::FaultSite(_)) | Ok(_) => false,
+            Err(_) => true,
+        },
+        Err(_) => false,
+    })
+}
+
+/// [`shrink_params`] with a caller-supplied failure predicate: keeps any
+/// candidate reduction for which `fails` still holds, until none does.
+/// The fuzz campaign's inject mode uses this with an *inverted* predicate
+/// ("the injected fault is still silently accepted") to minimize a missed
+/// injection, which [`shrink_params`]'s fixed differential predicate
+/// cannot express.
+///
+/// Returns `params` unchanged when `fails(params)` is false.
+pub fn shrink_params_by(params: &TopoParams, fails: impl Fn(&TopoParams) -> bool) -> TopoParams {
     if !fails(params) {
         return params.clone();
     }
@@ -1161,6 +1301,85 @@ mod tests {
             "dropped anti-tokens escaped the harness on {}/{tried} systems",
             tried - caught
         );
+    }
+
+    #[test]
+    fn injected_rail_faults_are_caught_per_class() {
+        // For every rail-fault class: find an effective site from the
+        // clean pre-run, arm a single-cycle window there, and assert the
+        // differential flags the run. The behavioural reference keeps the
+        // faithful semantics, so the corrupted rail diverges at exactly
+        // the armed effective cycle.
+        for class in [
+            "rail_flip",
+            "stuck_at_0",
+            "stuck_at_1",
+            "duplicate_token",
+            "lose_token",
+        ] {
+            let mut done = false;
+            for seed in 0..16u64 {
+                let params = TopoParams::sample(seed);
+                let sys = generate(&params).unwrap();
+                let base = DiffOptions {
+                    cycles: 200,
+                    lanes: 2,
+                    ..Default::default()
+                };
+                let Some((fault, start)) = injectable_site(&sys, class, base.seed, base.cycles)
+                else {
+                    continue;
+                };
+                let opts = DiffOptions {
+                    fault: Some(fault.clone()),
+                    fault_window: Some((start, 1)),
+                    ..base
+                };
+                assert!(
+                    differential_check(&sys, &opts).is_err(),
+                    "{class} at {fault:?} cycle {start} escaped on seed {seed}"
+                );
+                done = true;
+                break;
+            }
+            assert!(done, "no effective site found for {class} in 16 seeds");
+        }
+    }
+
+    #[test]
+    fn bad_fault_specs_surface_as_fault_site_errors() {
+        let params = TopoParams::sample(3);
+        let sys = generate(&params).unwrap();
+        // Unknown channel: typed error from compilation-time validation.
+        let bad_chan = DiffOptions {
+            cycles: 50,
+            lanes: 1,
+            fault: Some(FaultInjection::LoseToken {
+                channel: "nope".into(),
+            }),
+            ..Default::default()
+        };
+        assert!(matches!(
+            differential_check(&sys, &bad_chan),
+            Err(CoreError::FaultSite(_))
+        ));
+        // ... and the shrinker treats it as not-the-failure-in-question.
+        assert_eq!(shrink_params(&params, &bad_chan), params);
+        // Out-of-horizon window: typed error from schedule arming.
+        let (fault, _) = injectable_site(&sys, "rail_flip", 1, 50).expect("site");
+        let bad_window = DiffOptions {
+            cycles: 50,
+            lanes: 1,
+            fault: Some(fault),
+            fault_window: Some((49, 5)),
+            ..Default::default()
+        };
+        assert!(matches!(
+            differential_check(&sys, &bad_window),
+            Err(CoreError::FaultSite(_))
+        ));
+        // Unknown class label.
+        assert!(injectable_site(&sys, "melt_the_clock", 1, 50).is_none());
     }
 
     #[test]

@@ -98,6 +98,87 @@ impl ProtocolMonitor {
     }
 }
 
+/// Streaming recovery classifier for fault-injection campaigns.
+///
+/// Where [`ProtocolMonitor`] *aborts* on the first persistence violation,
+/// the detector keeps scoring: it feeds on the settled rail quadruple of
+/// one channel, cycle by cycle, records every cycle on which the trace
+/// breaks a SELF obligation — a channel invariant of eq. (2), positive
+/// persistence (`V⁺` dropped after a retry) or annihilation-aware negative
+/// persistence — and then resynchronizes its acceptor state so scoring
+/// continues on the post-fault trace. A network has *recovered* when the
+/// violations simply stop: the observed trace has re-entered the legal
+/// `(I*R*T)*` language and stays there. The cycle index of the last
+/// violation is the recovery point ([`RecoveryDetector::last_violation`]);
+/// a fault whose disturbance persists to the end of the horizon never
+/// recovered.
+///
+/// Data stability is deliberately not checked: the wide fault campaigns
+/// observe control rails only.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryDetector {
+    cycle: usize,
+    retry_pos: bool,
+    retry_neg: bool,
+    violations: usize,
+    last_violation: Option<usize>,
+}
+
+impl RecoveryDetector {
+    /// Creates a detector with no pending obligations.
+    pub fn new() -> Self {
+        RecoveryDetector::default()
+    }
+
+    /// Feeds one settled cycle; returns `true` when this cycle violated an
+    /// obligation.
+    pub fn observe(&mut self, sig: ChannelSignals) -> bool {
+        let bad = sig.check_invariants().is_err()
+            || (self.retry_pos && !sig.vp)
+            // Annihilation-aware, like the online monitor: V⁻ may withdraw
+            // in the cycle a forward token arrives (downstream kill).
+            || (self.retry_neg && !sig.vn && !sig.vp);
+        if bad {
+            self.violations += 1;
+            self.last_violation = Some(self.cycle);
+            // Resynchronize: drop stale obligations so one corrupt cycle
+            // scores once and scoring continues on the post-fault trace.
+            self.retry_pos = false;
+            self.retry_neg = false;
+        } else {
+            self.retry_pos = matches!(sig.event(), ChannelEvent::Retry);
+            self.retry_neg = matches!(sig.event(), ChannelEvent::NegativeRetry);
+        }
+        self.cycle += 1;
+        bad
+    }
+
+    /// Cycles observed so far.
+    pub fn cycles(&self) -> usize {
+        self.cycle
+    }
+
+    /// Total violating cycles.
+    pub fn violations(&self) -> usize {
+        self.violations
+    }
+
+    /// Cycle index of the most recent violation (`None` for a clean trace).
+    pub fn last_violation(&self) -> Option<usize> {
+        self.last_violation
+    }
+
+    /// Whether the trace has settled back into the legal language: no
+    /// violation during the final `tail` observed cycles. A clean trace is
+    /// trivially recovered.
+    pub fn recovered(&self, tail: usize) -> bool {
+        match self.last_violation {
+            None => true,
+            Some(last) => last + tail < self.cycle,
+        }
+    }
+}
+
 /// Classifies a whole trace of channel signals, returning the event string
 /// (`T`, `R`, `I`, `N`/`n` for negative transfer/retry, `K` for kill) —
 /// useful in tests and the Fig. 2 demo binary.
@@ -258,6 +339,60 @@ mod tests {
         m.reset();
         // Without the reset this would be a persistence violation.
         m.observe(c, sig(false, false, false, false, 0)).unwrap();
+    }
+
+    #[test]
+    fn recovery_detector_clean_trace_is_recovered() {
+        let mut d = RecoveryDetector::new();
+        for s in [
+            sig(false, false, false, false, 0), // I
+            sig(true, true, false, false, 1),   // R
+            sig(true, false, false, false, 1),  // T
+        ] {
+            assert!(!d.observe(s));
+        }
+        assert_eq!(d.violations(), 0);
+        assert_eq!(d.last_violation(), None);
+        assert!(d.recovered(3));
+    }
+
+    #[test]
+    fn recovery_detector_scores_and_resynchronizes() {
+        let mut d = RecoveryDetector::new();
+        d.observe(sig(true, true, false, false, 1)); // R: obligation pending
+        assert!(d.observe(sig(false, false, false, false, 0)), "V+ dropped");
+        assert_eq!(d.last_violation(), Some(1));
+        // Post-fault trace is legal again: no further violations.
+        for _ in 0..5 {
+            assert!(!d.observe(sig(true, false, false, false, 0)));
+        }
+        assert_eq!(d.violations(), 1);
+        assert!(d.recovered(5), "violation 5 cycles before the end");
+        assert!(!d.recovered(6), "tail longer than the quiet suffix");
+    }
+
+    #[test]
+    fn recovery_detector_flags_invariant_breaks() {
+        let mut d = RecoveryDetector::new();
+        assert!(d.observe(sig(false, true, true, false, 0)), "V- with S+");
+        assert!(d.observe(sig(true, false, false, true, 0)), "V+ with S-");
+        assert_eq!(d.violations(), 2);
+        assert!(!d.recovered(1), "violation on the final cycle");
+    }
+
+    #[test]
+    fn recovery_detector_negative_persistence_is_annihilation_aware() {
+        let mut d = RecoveryDetector::new();
+        d.observe(sig(false, false, true, true, 0)); // negative retry
+        assert!(
+            !d.observe(sig(true, false, false, false, 0)),
+            "withdrawal with arriving token is legal"
+        );
+        d.observe(sig(false, false, true, true, 0)); // negative retry again
+        assert!(
+            d.observe(sig(false, false, false, false, 0)),
+            "anti-token vanished with both valids low"
+        );
     }
 
     #[test]

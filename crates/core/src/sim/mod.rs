@@ -21,6 +21,7 @@ mod env;
 pub use env::{DataGen, EnvConfig, Environment, LatencyDist, RandomEnv, SinkCfg, SourceCfg};
 
 use crate::channel::{ChanId, ChannelSignals};
+use crate::compile::{FaultInjection, FaultRail};
 use crate::error::CoreError;
 use crate::network::{CompId, ComponentKind, ElasticNetwork};
 use crate::protocol::ProtocolMonitor;
@@ -106,6 +107,10 @@ pub struct BehavSim {
     check_protocol: bool,
     internal_annihilations: u64,
     time: u64,
+    /// Armed rail fault: `(fault, site channel, rail, start, end)` — the
+    /// rail is corrupted while `start <= time < end`, mirroring the
+    /// compiled corruption gate (`crate::compile`).
+    fault: Option<(FaultInjection, ChanId, FaultRail, u64, u64)>,
 }
 
 impl BehavSim {
@@ -161,7 +166,58 @@ impl BehavSim {
             check_protocol: true,
             internal_annihilations: 0,
             time: 0,
+            fault: None,
         })
+    }
+
+    /// Arms a transient rail fault: while `start <= time < start + len` the
+    /// targeted rail of the named channel is corrupted after every
+    /// settlement pass — the behavioural mirror of the corruption gate the
+    /// compiler splices in for the same [`FaultInjection`]. The two
+    /// backends apply the *same fault specification*; they are not
+    /// guaranteed bit-identical under an active fault, because controllers
+    /// feed back their raw (pre-corruption) rail values internally at
+    /// slightly different points.
+    ///
+    /// Injecting a fault usually also means disabling the erroring monitor
+    /// ([`BehavSim::set_check_protocol`]) and scoring the trace with
+    /// [`crate::protocol::RecoveryDetector`] instead.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::FaultSite`] when the fault names a channel this network
+    /// does not have, the window is empty, or the fault is the structural
+    /// [`FaultInjection::DropAntiToken`] (a compile-time sabotage with no
+    /// behavioural counterpart — inject it via
+    /// [`crate::compile::CompileOptions::fault`]).
+    pub fn inject_fault(
+        &mut self,
+        fault: FaultInjection,
+        start: u64,
+        len: u64,
+    ) -> Result<(), CoreError> {
+        let Some(site) = fault.channel() else {
+            return Err(CoreError::FaultSite(
+                "drop-anti-token is a compile-time sabotage, not a behavioural rail fault".into(),
+            ));
+        };
+        let chan = self
+            .net
+            .channels()
+            .find(|&c| self.net.channel(c).name == site)
+            .ok_or_else(|| CoreError::FaultSite(format!("no channel named {site:?} to corrupt")))?;
+        if len == 0 {
+            return Err(CoreError::FaultSite("empty injection window".into()));
+        }
+        let rail = fault.rail().expect("rail faults target a rail");
+        let end = start.saturating_add(len);
+        self.fault = Some((fault, chan, rail, start, end));
+        Ok(())
+    }
+
+    /// Disarms any pending rail fault.
+    pub fn clear_fault(&mut self) {
+        self.fault = None;
     }
 
     /// Disables the runtime protocol monitor (kept on by default; only worth
@@ -281,6 +337,20 @@ impl BehavSim {
             let before = self.sig.clone();
             for &comp in &comps {
                 self.eval_component(comp);
+            }
+            // Armed rail fault: corrupt the settled rail, like the
+            // compiled corruption gate between producer and consumers.
+            // Every pass re-evaluates the raw value, so the corruption is
+            // stable across passes.
+            if let Some((fault, chan, rail, start, end)) = &self.fault {
+                if (*start..*end).contains(&self.time) {
+                    let s = &mut self.sig[chan.index()];
+                    match rail {
+                        FaultRail::Vp => s.vp = fault.corrupt(s.vp, true),
+                        FaultRail::Sp => s.sp = fault.corrupt(s.sp, true),
+                        FaultRail::Vn => s.vn = fault.corrupt(s.vn, true),
+                    }
+                }
             }
             // Passive anti-token interfaces force S⁻ = ¬V⁺ at the boundary.
             for &chan in &passive {
@@ -1064,6 +1134,171 @@ mod tests {
         let mut env = RandomEnv::new(11, cfg);
         // Any invariant or persistence violation would error out here.
         sim.run(&mut env, 5000).unwrap();
+    }
+
+    #[test]
+    fn fault_site_validation_is_typed_per_variant() {
+        let (net, _cin, _cout) = pipeline(0);
+        let mut sim = BehavSim::new(&net).unwrap();
+        // Unknown channel: every rail-fault variant is a typed error.
+        for fault in [
+            FaultInjection::RailFlip {
+                channel: "nope".into(),
+                rail: FaultRail::Vp,
+            },
+            FaultInjection::StuckAt {
+                channel: "nope".into(),
+                rail: FaultRail::Sp,
+                value: true,
+            },
+            FaultInjection::DuplicateToken {
+                channel: "nope".into(),
+            },
+            FaultInjection::LoseToken {
+                channel: "nope".into(),
+            },
+        ] {
+            assert!(
+                matches!(
+                    sim.inject_fault(fault.clone(), 0, 1),
+                    Err(CoreError::FaultSite(_))
+                ),
+                "{fault:?} on a nonexistent channel must be FaultSite"
+            );
+        }
+        // Empty window on a valid channel.
+        assert!(matches!(
+            sim.inject_fault(
+                FaultInjection::RailFlip {
+                    channel: "out".into(),
+                    rail: FaultRail::Vp,
+                },
+                3,
+                0
+            ),
+            Err(CoreError::FaultSite(_))
+        ));
+        // The structural sabotage has no behavioural counterpart.
+        assert!(matches!(
+            sim.inject_fault(FaultInjection::DropAntiToken { join: "j".into() }, 0, 1),
+            Err(CoreError::FaultSite(_))
+        ));
+    }
+
+    #[test]
+    fn stuck_at_forces_rail_during_window_only() {
+        let (net, _cin, cout) = pipeline(0);
+        let mut sim = BehavSim::new(&net).unwrap();
+        sim.set_check_protocol(false);
+        sim.inject_fault(
+            FaultInjection::StuckAt {
+                channel: "out".into(),
+                rail: FaultRail::Sp,
+                value: true,
+            },
+            5,
+            4,
+        )
+        .unwrap();
+        let mut env = RandomEnv::new(3, EnvConfig::default());
+        for t in 0..20u64 {
+            sim.step(&mut env).unwrap();
+            let s = sim.signals(cout);
+            if (5..9).contains(&t) {
+                assert!(s.sp, "S+ stuck high inside the window (t={t})");
+            } else if t >= 10 {
+                assert!(!s.sp, "free-flowing sink never stops outside (t={t})");
+            }
+        }
+    }
+
+    #[test]
+    fn lose_token_suppresses_a_flowing_valid() {
+        let (net, _cin, cout) = pipeline(0);
+        let mut clean = BehavSim::new(&net).unwrap();
+        let mut faulty = clean.clone();
+        faulty.set_check_protocol(false);
+        faulty
+            .inject_fault(
+                FaultInjection::LoseToken {
+                    channel: "out".into(),
+                },
+                6,
+                1,
+            )
+            .unwrap();
+        let mut env_c = RandomEnv::new(3, EnvConfig::default());
+        let mut env_f = RandomEnv::new(3, EnvConfig::default());
+        for t in 0..12u64 {
+            clean.step(&mut env_c).unwrap();
+            faulty.step(&mut env_f).unwrap();
+            if t == 6 {
+                assert!(clean.signals(cout).vp, "clean run offers a token");
+                assert!(!faulty.signals(cout).vp, "faulted run lost it");
+            }
+        }
+        // One fewer token was delivered downstream.
+        let snk = net.component_by_name("snk").unwrap();
+        assert_eq!(
+            clean.sink_received(snk).len(),
+            faulty.sink_received(snk).len() + 1
+        );
+    }
+
+    #[test]
+    fn duplicate_token_asserts_valid_on_idle_channel() {
+        let (net, _cin, cout) = pipeline(0);
+        let mut sim = BehavSim::new(&net).unwrap();
+        sim.set_check_protocol(false);
+        let mut cfg = EnvConfig::default();
+        cfg.sources.insert(
+            "src".into(),
+            SourceCfg {
+                rate: 0.0,
+                data: DataGen::Const(0),
+            },
+        );
+        sim.inject_fault(
+            FaultInjection::DuplicateToken {
+                channel: "out".into(),
+            },
+            4,
+            1,
+        )
+        .unwrap();
+        let mut env = RandomEnv::new(3, cfg);
+        for t in 0..8u64 {
+            sim.step(&mut env).unwrap();
+            assert_eq!(
+                sim.signals(cout).vp,
+                t == 4,
+                "spurious token exactly in the window (t={t})"
+            );
+        }
+    }
+
+    #[test]
+    fn rail_flip_inverts_for_one_cycle() {
+        let (net, _cin, cout) = pipeline(0);
+        let mut sim = BehavSim::new(&net).unwrap();
+        sim.set_check_protocol(false);
+        sim.inject_fault(
+            FaultInjection::RailFlip {
+                channel: "out".into(),
+                rail: FaultRail::Vp,
+            },
+            5,
+            1,
+        )
+        .unwrap();
+        let mut env = RandomEnv::new(3, EnvConfig::default());
+        // Free flow: vp is high every cycle from t=2 on, except the flip.
+        for t in 0..10u64 {
+            sim.step(&mut env).unwrap();
+            if t >= 2 {
+                assert_eq!(sim.signals(cout).vp, t != 5, "t={t}");
+            }
+        }
     }
 
     #[test]

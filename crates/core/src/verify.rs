@@ -23,7 +23,7 @@ use elastic_netlist::NetId;
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 
-use crate::compile::{compile, sanitize, CompileOptions};
+use crate::compile::{compile, sanitize, CompileOptions, FaultInjection};
 use crate::error::CoreError;
 use crate::network::{CompId, ComponentKind, ElasticNetwork};
 use crate::sim::{BehavSim, DataGen, EnvConfig, Environment};
@@ -37,6 +37,11 @@ pub struct Schedule {
     stops: HashMap<String, Vec<bool>>,
     kills: HashMap<String, Vec<bool>>,
     finishes: HashMap<String, Vec<bool>>,
+    /// Per-cycle arming of the netlist's compiled-in fault gate, if any.
+    /// Empty (the default) means the fault stays dormant: the arm input is
+    /// driven low every cycle and the corruption gate passes the raw rail
+    /// through.
+    fault: Vec<bool>,
     cycles: usize,
 }
 
@@ -55,6 +60,7 @@ impl Schedule {
             stops: HashMap::new(),
             kills: HashMap::new(),
             finishes: HashMap::new(),
+            fault: Vec::new(),
             cycles,
         };
         for comp in net.components() {
@@ -139,6 +145,43 @@ impl Schedule {
         Schedule::bit(&self.finishes, name, t)
     }
 
+    /// Arms the compiled-in fault gate for `len` cycles starting at cycle
+    /// `start`. Only meaningful when the netlist was compiled with
+    /// [`crate::compile::CompileOptions::fault`] set to a rail fault — a
+    /// schedule replayed against a fault-free netlist simply has no arm
+    /// input to drive.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::FaultSite`] when the window is empty or extends past
+    /// the schedule horizon.
+    pub fn arm_fault(&mut self, start: usize, len: usize) -> Result<(), CoreError> {
+        if len == 0 {
+            return Err(CoreError::FaultSite("empty injection window".into()));
+        }
+        let end = start
+            .checked_add(len)
+            .filter(|&e| e <= self.cycles)
+            .ok_or_else(|| {
+                CoreError::FaultSite(format!(
+                    "injection window {start}+{len} exceeds the {}-cycle horizon",
+                    self.cycles
+                ))
+            })?;
+        if self.fault.is_empty() {
+            self.fault = vec![false; self.cycles];
+        }
+        for slot in &mut self.fault[start..end] {
+            *slot = true;
+        }
+        Ok(())
+    }
+
+    /// Whether the compiled-in fault gate is armed at cycle `t`.
+    pub fn fault_at(&self, t: u64) -> bool {
+        self.fault.get(t as usize).copied().unwrap_or(false)
+    }
+
     fn offer(&self, name: &str, t: u64) -> Option<u64> {
         self.offer_at(name, t)
     }
@@ -193,6 +236,10 @@ pub struct NetlistTestbench {
     srcs: Vec<(String, NetId, Vec<NetId>)>,
     sinks: Vec<(String, NetId, NetId)>,
     vls: Vec<(String, NetId)>,
+    /// The `fault.<channel>.<rail>` arm input of a fault-compiled netlist.
+    /// Always the **last** input column, so a fault-free compilation's
+    /// stimulus layout is byte-identical to one that never heard of faults.
+    fault: Option<NetId>,
 }
 
 impl NetlistTestbench {
@@ -236,7 +283,56 @@ impl NetlistTestbench {
                 _ => {}
             }
         }
-        Ok(NetlistTestbench { srcs, sinks, vls })
+        Ok(NetlistTestbench {
+            srcs,
+            sinks,
+            vls,
+            fault: None,
+        })
+    }
+
+    /// Like [`Self::new`], additionally resolving the arm input of the
+    /// fault the netlist was compiled with
+    /// ([`crate::compile::CompileOptions::fault`]). For
+    /// [`FaultInjection::DropAntiToken`] — a structural sabotage with no
+    /// arm wire — this is identical to [`Self::new`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::FaultSite`] when the netlist has no arm input for
+    /// `fault` (i.e. it was compiled fault-free or with a different fault),
+    /// plus everything [`Self::new`] reports.
+    pub fn with_fault(
+        net: &ElasticNetwork,
+        nl: &elastic_netlist::Netlist,
+        data_width: usize,
+        fault: &FaultInjection,
+    ) -> Result<Self, CoreError> {
+        let mut tb = NetlistTestbench::new(net, nl, data_width)?;
+        if let Some(name) = fault.input_name() {
+            let id = nl.find(&name).map_err(|_| {
+                CoreError::FaultSite(format!(
+                    "netlist has no fault-arm input {name:?}; compile with this fault first"
+                ))
+            })?;
+            tb.fault = Some(id);
+        }
+        Ok(tb)
+    }
+
+    /// The packed-stimulus column of the fault-arm input, if one was
+    /// resolved: always the last column, after every source, sink and
+    /// variable-latency group.
+    pub fn fault_col(&self) -> Option<usize> {
+        self.fault?;
+        let n = self
+            .srcs
+            .iter()
+            .map(|(_, _, dins)| 1 + dins.len())
+            .sum::<usize>()
+            + 2 * self.sinks.len()
+            + self.vls.len();
+        Some(n)
     }
 
     /// Primary-input assignments for cycle `t` of one schedule.
@@ -255,6 +351,9 @@ impl NetlistTestbench {
         }
         for (name, fin) in &self.vls {
             inputs.push((*fin, schedule.finish_at(name, t)));
+        }
+        if let Some(arm) = self.fault {
+            inputs.push((arm, schedule.fault_at(t)));
         }
         inputs
     }
@@ -302,6 +401,9 @@ impl NetlistTestbench {
         }
         for (name, fin) in &self.vls {
             inputs.push((*fin, pack(&|s| s.finish_at(name, t))));
+        }
+        if let Some(arm) = self.fault {
+            inputs.push((arm, pack(&|s| s.fault_at(t))));
         }
         inputs
     }
@@ -567,6 +669,9 @@ impl PackedStimulus {
         for (_, fin) in &tb.vls {
             slots.push(fin.index() as u32);
         }
+        if let Some(arm) = tb.fault {
+            slots.push(arm.index() as u32);
+        }
         let n = slots.len();
         let mut words = vec![0u64; cycles * n * width];
         // One stream lookup per (component, lane) — the per-(cycle × lane)
@@ -617,6 +722,17 @@ impl PackedStimulus {
                     continue;
                 };
                 for (t, &v) in stream.iter().take(cycles).enumerate() {
+                    if v {
+                        words[cell(t, col, w)] |= 1 << bit;
+                    }
+                }
+            }
+            col += 1;
+        }
+        if tb.fault.is_some() {
+            for (lane, sched) in schedules.iter().enumerate() {
+                let (w, bit) = (lane / LANES, lane % LANES);
+                for (t, &v) in sched.fault.iter().take(cycles).enumerate() {
                     if v {
                         words[cell(t, col, w)] |= 1 << bit;
                     }
@@ -691,6 +807,9 @@ impl PackedStimulus {
         for (_, fin) in &tb.vls {
             slots.push(fin.index() as u32);
         }
+        if let Some(arm) = tb.fault {
+            slots.push(arm.index() as u32);
+        }
         let n = slots.len();
         let mut words = vec![0u64; cycles * n * width];
         // Column base of the i-th source / sink / VL group, in the packed
@@ -723,6 +842,10 @@ impl PackedStimulus {
                 base
             })
             .collect();
+        // The fault-arm column (if any) stays all-zero: freshly generated
+        // schedules are unarmed, matching `Schedule::random`. Campaigns arm
+        // per-lane windows afterwards with [`Self::arm_fault`].
+        col += usize::from(tb.fault.is_some());
         debug_assert_eq!(col, n);
 
         let cell = |t: usize, col: usize, w: usize| (t * n + col) * width + w;
@@ -900,6 +1023,54 @@ impl PackedStimulus {
     pub fn row(&self, t: usize) -> &[u64] {
         let stride = self.slots.len() * self.width;
         &self.words[t * stride..(t + 1) * stride]
+    }
+
+    /// Arms the fault column `col` (from
+    /// [`NetlistTestbench::fault_col`]) for lane `lane` over the window
+    /// `start..start + len` — each packed trial gets its own independent
+    /// fault instance this way. Bit-identical to arming the corresponding
+    /// [`Schedule`] with [`Schedule::arm_fault`] before packing.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::FaultSite`] when the column or lane does not exist, the
+    /// window is empty, or it extends past the packed horizon.
+    pub fn arm_fault(
+        &mut self,
+        col: usize,
+        lane: usize,
+        start: usize,
+        len: usize,
+    ) -> Result<(), CoreError> {
+        let n = self.slots.len();
+        if col >= n {
+            return Err(CoreError::FaultSite(format!(
+                "no stimulus column {col} (the matrix has {n})"
+            )));
+        }
+        if lane >= self.width * LANES {
+            return Err(CoreError::FaultSite(format!(
+                "lane {lane} exceeds the {}-lane capacity",
+                self.width * LANES
+            )));
+        }
+        if len == 0 {
+            return Err(CoreError::FaultSite("empty injection window".into()));
+        }
+        let end = start
+            .checked_add(len)
+            .filter(|&e| e <= self.cycles)
+            .ok_or_else(|| {
+                CoreError::FaultSite(format!(
+                    "injection window {start}+{len} exceeds the {}-cycle horizon",
+                    self.cycles
+                ))
+            })?;
+        let (w, bit) = (lane / LANES, lane % LANES);
+        for t in start..end {
+            self.words[(t * n + col) * self.width + w] |= 1 << bit;
+        }
+        Ok(())
     }
 }
 
@@ -1634,5 +1805,123 @@ mod tests {
         for r in &results {
             assert!(r.holds, "{} on {} failed", r.property, r.channel);
         }
+    }
+
+    #[test]
+    fn fault_arm_window_validation() {
+        let (net, _, _) = linear_pipeline(1, 0).unwrap();
+        let mut s = Schedule::random(&net, &EnvConfig::default(), 3, 20);
+        assert!(matches!(s.arm_fault(5, 0), Err(CoreError::FaultSite(_))));
+        assert!(matches!(s.arm_fault(15, 6), Err(CoreError::FaultSite(_))));
+        assert!(matches!(
+            s.arm_fault(usize::MAX, 2),
+            Err(CoreError::FaultSite(_))
+        ));
+        s.arm_fault(5, 3).unwrap();
+        assert!(!s.fault_at(4) && s.fault_at(5) && s.fault_at(7) && !s.fault_at(8));
+        // Exactly-at-horizon windows are legal.
+        s.arm_fault(18, 2).unwrap();
+        assert!(s.fault_at(19));
+    }
+
+    #[test]
+    fn fault_testbench_resolution() {
+        use crate::compile::FaultRail;
+        let (net, _, _) = linear_pipeline(2, 1).unwrap();
+        let fault = FaultInjection::RailFlip {
+            channel: "c1".into(),
+            rail: FaultRail::Vp,
+        };
+        let plain = compile(&net, &CompileOptions::default()).unwrap();
+        // A fault-free netlist has no arm input to resolve.
+        assert!(matches!(
+            NetlistTestbench::with_fault(&net, &plain.netlist, 0, &fault),
+            Err(CoreError::FaultSite(_))
+        ));
+        let faulty = compile(
+            &net,
+            &CompileOptions {
+                data_width: 0,
+                nondet_merge: false,
+                optimize: false,
+                fault: Some(fault.clone()),
+            },
+        )
+        .unwrap();
+        let tb = NetlistTestbench::with_fault(&net, &faulty.netlist, 0, &fault).unwrap();
+        // Arm column is last: source offer + sink stop/kill, then the arm.
+        assert_eq!(tb.fault_col(), Some(3));
+        // DropAntiToken has no arm wire; with_fault degrades to new().
+        let drop = FaultInjection::DropAntiToken { join: "x".into() };
+        let tb2 = NetlistTestbench::with_fault(&net, &plain.netlist, 0, &drop).unwrap();
+        assert_eq!(tb2.fault_col(), None);
+    }
+
+    #[test]
+    fn packed_fault_column_matches_armed_schedules() {
+        use crate::compile::FaultRail;
+        let (net, _, _) = linear_pipeline(2, 0).unwrap();
+        let fault = FaultInjection::StuckAt {
+            channel: "c1".into(),
+            rail: FaultRail::Sp,
+            value: true,
+        };
+        let compiled = compile(
+            &net,
+            &CompileOptions {
+                data_width: 2,
+                nondet_merge: false,
+                optimize: false,
+                fault: Some(fault.clone()),
+            },
+        )
+        .unwrap();
+        let tb = NetlistTestbench::with_fault(&net, &compiled.netlist, 2, &fault).unwrap();
+        let col = tb.fault_col().unwrap();
+        let cycles = 30usize;
+        // Lane k gets the window (k, 3): arm schedules, pack, and compare
+        // against generate + post-generation arming.
+        let cfg = stress_cfg();
+        let mut scheds: Vec<Schedule> = (0..70)
+            .map(|k| Schedule::random(&net, &cfg, 600 + k, cycles))
+            .collect();
+        for (k, s) in scheds.iter_mut().enumerate() {
+            s.arm_fault(k % 20, 3).unwrap();
+        }
+        let packed = PackedStimulus::pack(&tb, &scheds, 2).unwrap();
+        let mut fused = PackedStimulus::generate(&tb, &net, &cfg, 600, 70, cycles, 2).unwrap();
+        for k in 0..70 {
+            fused.arm_fault(col, k, k % 20, 3).unwrap();
+        }
+        assert_eq!(packed, fused);
+        // The per-cycle input paths agree too.
+        for t in 0..cycles as u64 {
+            let reference = tb.wide_inputs_at(&scheds[..64], t);
+            let row = packed.row(t as usize);
+            for (i, &(net_id, mask)) in reference.iter().enumerate() {
+                assert_eq!(packed.slots()[i], net_id.index() as u32);
+                assert_eq!(row[i * 2], mask, "cycle {t} input {i}");
+            }
+            let scalar = tb.inputs_at(&scheds[0], t);
+            assert_eq!(scalar.len(), packed.slots().len());
+            assert_eq!(scalar[col].1, scheds[0].fault_at(t));
+        }
+        // arm_fault window/site validation on the packed matrix.
+        assert!(matches!(
+            fused.arm_fault(col + 1, 0, 0, 1),
+            Err(CoreError::FaultSite(_))
+        ));
+        assert!(matches!(
+            fused.arm_fault(col, 128, 0, 1),
+            Err(CoreError::FaultSite(_))
+        ));
+        assert!(matches!(
+            fused.arm_fault(col, 0, 0, 0),
+            Err(CoreError::FaultSite(_))
+        ));
+        assert!(matches!(
+            fused.arm_fault(col, 0, cycles - 1, 2),
+            Err(CoreError::FaultSite(_))
+        ));
     }
 }
