@@ -134,6 +134,7 @@ fn bench_gate_sim(c: &mut Criterion) {
         let compiled = compile(
             &sys.network,
             &CompileOptions {
+                lint: false,
                 data_width: 2,
                 nondet_merge: false,
                 optimize: false,

@@ -105,7 +105,17 @@ fn main() {
             o.minimal.as_ref().unwrap_or(&o.params)
         );
     }
+    for o in summary.lint_violations() {
+        eprintln!(
+            "LINT VIOLATION at seed {}: {}\n  minimal failing params: {:?}",
+            o.seed,
+            o.lint.as_deref().unwrap_or("?"),
+            o.minimal.as_ref().unwrap_or(&o.params)
+        );
+    }
     if opts.inject {
+        let (lint_eligible, lint_caught) = summary.lint_sabotage_counts();
+        println!("  lint token-drop sabotage: {lint_caught}/{lint_eligible} caught as E101");
         let (eligible, caught) = summary.injection_counts();
         println!("  injected faults: {caught}/{eligible} caught");
         for (class, e, c) in summary.injections_by_class() {

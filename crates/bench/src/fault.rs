@@ -333,6 +333,7 @@ fn build_job(
     let opt = compile(
         &sys.network,
         &CompileOptions {
+            lint: false,
             data_width: MC_DATA_WIDTH,
             nondet_merge: false,
             optimize: true,

@@ -2,9 +2,11 @@
 //! topologies — the `fuzz_topo` binary's engine.
 //!
 //! The campaign sweeps a band of master seeds; each seed samples a
-//! [`TopoParams`] knob set, generates a network (`elastic_core::gen`) and
-//! runs the tri-backend differential (DMG replay ↔ compiled-pipeline cosim
-//! ↔ min-cycle-ratio bound). Seeds are claimed from an atomic cursor by a
+//! [`TopoParams`] knob set, generates a network (`elastic_core::gen`),
+//! lints it with the `elastic_lint` static analyzer (the fourth oracle:
+//! live-by-construction generation must produce zero error diagnostics)
+//! and runs the tri-backend differential (DMG replay ↔ compiled-pipeline
+//! cosim ↔ min-cycle-ratio bound). Seeds are claimed from an atomic cursor by a
 //! scoped worker pool, exactly like the Monte-Carlo engine's shards, and
 //! outcomes are reduced in seed order so reports are deterministic for any
 //! thread count.
@@ -30,6 +32,8 @@ use elastic_core::gen::{
     differential_check, generate, injectable_join, injectable_site, shrink_params,
     shrink_params_by, DiffOptions, DiffReport, GeneratedSystem, TopoParams,
 };
+use elastic_core::network::{ComponentKind, ElasticNetwork};
+use elastic_lint::lint_network;
 
 use crate::exp::{json_f64, json_str};
 
@@ -93,6 +97,14 @@ pub struct FuzzOutcome {
     /// Inject mode: the fault class injected (label from
     /// [`INJECT_CLASSES`]), when a site was found.
     pub fault: Option<&'static str>,
+    /// First error diagnostic of the static lint over the *clean*
+    /// topology — the fourth oracle. Generation is live-by-construction,
+    /// so any value here is a bug in the generator or the analyzer.
+    pub lint: Option<String>,
+    /// Inject mode: `Some(caught)` when the token-drop lint sabotage was
+    /// applicable (the network has a cycle) — the analyzer must flag the
+    /// de-tokenized variant with `E101`. `None` for acyclic topologies.
+    pub lint_sabotage: Option<bool>,
 }
 
 /// Aggregate campaign result.
@@ -145,6 +157,29 @@ impl FuzzSummary {
             .collect()
     }
 
+    /// Topologies whose clean-network lint reported an error — static
+    /// false positives (or generator liveness bugs); acceptance requires
+    /// zero.
+    pub fn lint_violations(&self) -> Vec<&FuzzOutcome> {
+        self.outcomes.iter().filter(|o| o.lint.is_some()).collect()
+    }
+
+    /// `(eligible, caught)` counts of the token-drop lint sabotage
+    /// (inject mode).
+    pub fn lint_sabotage_counts(&self) -> (usize, usize) {
+        let eligible = self
+            .outcomes
+            .iter()
+            .filter(|o| o.lint_sabotage.is_some())
+            .count();
+        let caught = self
+            .outcomes
+            .iter()
+            .filter(|o| o.lint_sabotage == Some(true))
+            .count();
+        (eligible, caught)
+    }
+
     /// `(eligible, caught)` counts of the inject mode.
     pub fn injection_counts(&self) -> (usize, usize) {
         let eligible = self
@@ -161,14 +196,20 @@ impl FuzzSummary {
     }
 
     /// Whether the campaign met its acceptance criteria: zero differential
-    /// mismatches, and in inject mode every injected fault caught *and* at
-    /// least one topology eligible — a sensitivity self-test that found
-    /// nothing to sabotage proved nothing, and must not pass silently
-    /// (e.g. after generator drift empties the seed band of active early
-    /// joins).
+    /// mismatches, zero clean-lint violations, and in inject mode every
+    /// injected fault caught, every token-drop lint sabotage caught, *and*
+    /// at least one topology eligible for each — a sensitivity self-test
+    /// that found nothing to sabotage proved nothing, and must not pass
+    /// silently (e.g. after generator drift empties the seed band of
+    /// active early joins or of rings).
     pub fn ok(&self) -> bool {
         let (eligible, caught) = self.injection_counts();
-        self.mismatches().is_empty() && caught == eligible && (!self.inject || eligible > 0)
+        let (lint_eligible, lint_caught) = self.lint_sabotage_counts();
+        self.mismatches().is_empty()
+            && self.lint_violations().is_empty()
+            && caught == eligible
+            && lint_caught == lint_eligible
+            && (!self.inject || (eligible > 0 && lint_eligible > 0))
     }
 
     /// Renders the campaign as a JSON object (hand-rolled like the
@@ -198,6 +239,26 @@ impl FuzzSummary {
         ));
         s.push_str(&format!("  \"injected\": {eligible},\n"));
         s.push_str(&format!("  \"injected_caught\": {caught},\n"));
+        let (lint_eligible, lint_caught) = self.lint_sabotage_counts();
+        s.push_str(&format!(
+            "  \"lint_sabotage\": {{\"eligible\": {lint_eligible}, \"caught\": {lint_caught}}},\n"
+        ));
+        s.push_str("  \"lint_violations\": [\n");
+        let lint_violations = self.lint_violations();
+        for (i, o) in lint_violations.iter().enumerate() {
+            let sep = if i + 1 == lint_violations.len() {
+                ""
+            } else {
+                ","
+            };
+            s.push_str(&format!(
+                "    {{\"seed\": {}, \"error\": {}, \"minimal\": {}}}{sep}\n",
+                o.seed,
+                json_str(o.lint.as_deref().unwrap_or("?")),
+                json_str(&format!("{:?}", o.minimal.as_ref().unwrap_or(&o.params))),
+            ));
+        }
+        s.push_str("  ],\n");
         s.push_str("  \"injected_by_class\": {\n");
         let by_class = self.injections_by_class();
         for (i, (class, eligible, caught)) in by_class.iter().enumerate() {
@@ -267,6 +328,81 @@ fn probe_site(
     }
 }
 
+/// Whether the network contains any directed cycle, tokens ignored.
+/// Written as Kahn-style indegree elimination — deliberately a different
+/// algorithm from the lint crate's DFS walk, so the sabotage expectation
+/// ("dropping all tokens from a cyclic network must trip E101") does not
+/// share code with the oracle under test.
+fn has_cycle(net: &ElasticNetwork) -> bool {
+    let n = net.num_components();
+    let mut indeg = vec![0usize; n];
+    let mut out: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for ch in net.channels() {
+        let c = net.channel(ch);
+        out[c.from.0.index()].push(c.to.0.index());
+        indeg[c.to.0.index()] += 1;
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut removed = 0usize;
+    while let Some(v) = queue.pop() {
+        removed += 1;
+        for &w in &out[v] {
+            indeg[w] -= 1;
+            if indeg[w] == 0 {
+                queue.push(w);
+            }
+        }
+    }
+    removed < n
+}
+
+/// Clears every initial token in `net`.
+fn drop_all_tokens(net: &mut ElasticNetwork) {
+    let buffers: Vec<_> = net
+        .components()
+        .filter(|&c| {
+            matches!(
+                net.component(c).kind,
+                ComponentKind::Eb {
+                    init_token: true,
+                    ..
+                }
+            )
+        })
+        .collect();
+    for c in buffers {
+        net.set_init_token(c, false).expect("known buffer id");
+    }
+}
+
+/// The token-drop lint sabotage: de-tokenize the network and require the
+/// analyzer to flag the starved cycle. Only applicable to cyclic
+/// topologies (a DAG stays live with zero tokens). A miss shrinks to a
+/// minimal parameter set that still misses.
+fn lint_token_drop_sabotage(
+    sys: &GeneratedSystem,
+    params: &TopoParams,
+) -> (Option<bool>, Option<TopoParams>) {
+    if !has_cycle(&sys.network) {
+        return (None, None);
+    }
+    let mut sick = sys.network.clone();
+    drop_all_tokens(&mut sick);
+    let caught = lint_network(&sick).has_code("E101");
+    let minimal = (!caught).then(|| {
+        shrink_params_by(params, |p| {
+            let Ok(sys) = generate(p) else { return false };
+            if !has_cycle(&sys.network) {
+                return false;
+            }
+            let mut sick = sys.network.clone();
+            drop_all_tokens(&mut sick);
+            !lint_network(&sick).has_code("E101")
+        })
+    });
+    (Some(caught), minimal)
+}
+
 /// Runs one seed of the campaign.
 fn run_seed(seed: u64, opts: &FuzzOpts) -> FuzzOutcome {
     let params = TopoParams::sample(seed);
@@ -288,9 +424,23 @@ fn run_seed(seed: u64, opts: &FuzzOpts) -> FuzzOutcome {
                 minimal: None,
                 injected: None,
                 fault: None,
+                lint: None,
+                lint_sabotage: None,
             }
         }
     };
+    // Fourth oracle: the clean topology must pass the static analyzer —
+    // generation is live-by-construction, so an error diagnostic here is
+    // a generator or analyzer bug. A violation shrinks like a mismatch.
+    let lint = lint_network(&sys.network)
+        .errors()
+        .next()
+        .map(ToString::to_string);
+    let lint_minimal = lint.is_some().then(|| {
+        shrink_params_by(&params, |p| {
+            generate(p).is_ok_and(|sys| !lint_network(&sys.network).is_clean())
+        })
+    });
     if opts.inject {
         let class = INJECT_CLASSES[(seed % INJECT_CLASSES.len() as u64) as usize];
         let (injected, fault, missed_minimal) =
@@ -326,13 +476,18 @@ fn run_seed(seed: u64, opts: &FuzzOpts) -> FuzzOutcome {
                     (Some(caught), Some(class), minimal)
                 }
             };
+        // Negative lint oracle: dropping every token from a cyclic
+        // topology must trip the liveness code.
+        let (lint_sabotage, lint_sabotage_minimal) = lint_token_drop_sabotage(&sys, &params);
         // Inject mode still runs the clean differential: a harness that
         // flags faults but also flags clean systems is useless.
         let report = differential_check(&sys, &diff).map_err(|e| e.to_string());
         let minimal = report
             .is_err()
             .then(|| shrink_params(&params, &diff))
-            .or(missed_minimal);
+            .or(missed_minimal)
+            .or(lint_minimal)
+            .or(lint_sabotage_minimal);
         return FuzzOutcome {
             seed,
             params,
@@ -340,6 +495,8 @@ fn run_seed(seed: u64, opts: &FuzzOpts) -> FuzzOutcome {
             minimal,
             injected,
             fault,
+            lint,
+            lint_sabotage,
         };
     }
     match differential_check(&sys, &diff) {
@@ -347,9 +504,11 @@ fn run_seed(seed: u64, opts: &FuzzOpts) -> FuzzOutcome {
             seed,
             params,
             report: Ok(report),
-            minimal: None,
+            minimal: lint_minimal,
             injected: None,
             fault: None,
+            lint,
+            lint_sabotage: None,
         },
         Err(e) => FuzzOutcome {
             seed,
@@ -358,6 +517,8 @@ fn run_seed(seed: u64, opts: &FuzzOpts) -> FuzzOutcome {
             minimal: Some(shrink_params(&params, &diff)),
             injected: None,
             fault: None,
+            lint,
+            lint_sabotage: None,
         },
     }
 }
@@ -461,10 +622,19 @@ mod tests {
         for (class, e, c) in by_class {
             assert_eq!(e, c, "class {class} was silently accepted");
         }
+        // Lint oracle: at least one cyclic topology was token-drop
+        // sabotaged, and the analyzer flagged every such drop as E101.
+        let (lint_eligible, lint_caught) = summary.lint_sabotage_counts();
+        assert!(lint_eligible > 0, "no cyclic topology to sabotage");
+        assert_eq!(
+            lint_caught, lint_eligible,
+            "lint missed a token-drop sabotage"
+        );
         assert!(summary.missed().is_empty());
         assert!(summary.ok());
         let json = summary.to_json("unit");
         assert!(json.contains("\"injected_by_class\""), "{json}");
         assert!(json.contains("\"missed_injections\": [\n  ]"), "{json}");
+        assert!(json.contains("\"lint_sabotage\""), "{json}");
     }
 }

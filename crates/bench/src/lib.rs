@@ -97,6 +97,7 @@ pub fn control_area(sys: &PaperSystem) -> AreaReport {
     let compiled = elastic_core::compile::compile(
         &sys.network,
         &elastic_core::compile::CompileOptions {
+            lint: false,
             data_width: 2,
             nondet_merge: false,
             optimize: false,
@@ -419,6 +420,7 @@ impl WideHarness {
         let compiled = compile(
             net,
             &CompileOptions {
+                lint: false,
                 data_width: MC_DATA_WIDTH,
                 nondet_merge: false,
                 optimize: false,
@@ -432,6 +434,7 @@ impl WideHarness {
         let opt = compile(
             net,
             &CompileOptions {
+                lint: false,
                 data_width: MC_DATA_WIDTH,
                 nondet_merge: false,
                 optimize: true,
@@ -913,6 +916,7 @@ mod tests {
         let raw_nl = compile(
             &sys.network,
             &CompileOptions {
+                lint: false,
                 data_width: MC_DATA_WIDTH,
                 nondet_merge: false,
                 optimize: false,

@@ -229,3 +229,125 @@ pub(crate) fn run_shards_streaming(
         on_partial,
     )
 }
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering};
+
+    use super::*;
+
+    /// Loom-style deterministic stress of the `Mutex<PipeState>`+Condvar
+    /// hand-off: many iterations per (workers, depth) combo, with
+    /// `yield_now` jostling inside both stages to shake out interleavings,
+    /// asserting the three pipeline invariants the batch engines rely on:
+    ///
+    /// 1. backpressure — at most `depth` payloads are claimed-or-queued
+    ///    plus one popped payload in each worker's hands at any instant,
+    ///    i.e. live payloads never exceed `depth + workers` (the memory
+    ///    bound; the pop happens under the lock, so claimed-or-queued
+    ///    alone is not observable from outside the mutex),
+    /// 2. exactly-once — every index is produced once and consumed once,
+    /// 3. ordered reduction — `on_partial` fires for 0..total in strict
+    ///    index order and the result vector is index-keyed.
+    #[test]
+    fn pipeline_handoff_invariants_hold_under_stress() {
+        const TOTAL: usize = 24;
+        for &(workers, depth) in &[(1, 1), (2, 1), (2, 2), (4, 2), (4, 8), (8, 3)] {
+            for round in 0..8 {
+                let in_system = AtomicIsize::new(0);
+                let peak = AtomicIsize::new(0);
+                let produced = AtomicUsize::new(0);
+                let consumed = AtomicUsize::new(0);
+                let mut partial_next = 0usize;
+                let out = run_pipeline::<usize, usize>(
+                    TOTAL,
+                    workers,
+                    depth,
+                    |i| {
+                        let now = in_system.fetch_add(1, Ordering::SeqCst) + 1;
+                        peak.fetch_max(now, Ordering::SeqCst);
+                        produced.fetch_add(1, Ordering::SeqCst);
+                        // Jostle the scheduler so claim/queue/pop orders vary.
+                        for _ in 0..(i + round) % 3 {
+                            std::thread::yield_now();
+                        }
+                        Ok(i * 10)
+                    },
+                    |i, payload| {
+                        in_system.fetch_sub(1, Ordering::SeqCst);
+                        consumed.fetch_add(1, Ordering::SeqCst);
+                        for _ in 0..(i + round) % 2 {
+                            std::thread::yield_now();
+                        }
+                        Ok(payload + 1)
+                    },
+                    |idx, res| {
+                        assert_eq!(idx, partial_next, "on_partial out of order");
+                        assert_eq!(*res, idx * 10 + 1);
+                        partial_next += 1;
+                    },
+                )
+                .expect("clean pipeline");
+                assert_eq!(partial_next, TOTAL);
+                assert_eq!(produced.load(Ordering::SeqCst), TOTAL);
+                assert_eq!(consumed.load(Ordering::SeqCst), TOTAL);
+                let peak = peak.load(Ordering::SeqCst);
+                assert!(
+                    peak <= (depth + workers) as isize,
+                    "backpressure violated: {peak} payloads live > depth {depth} \
+                     + workers {workers} (round {round})"
+                );
+                assert_eq!(out, (0..TOTAL).map(|i| i * 10 + 1).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    /// A producer error aborts the pipeline (first error wins, workers
+    /// wake from the condvar and exit) without deadlock, and no item
+    /// claimed after the failure leaks a permanent `packing` slot.
+    #[test]
+    fn pipeline_aborts_on_produce_error_without_deadlock() {
+        for &(workers, depth) in &[(1, 1), (3, 2), (4, 4)] {
+            let err = run_pipeline::<usize, usize>(
+                50,
+                workers,
+                depth,
+                |i| {
+                    if i == 7 {
+                        Err(CoreError::ScheduleBatch(format!("boom at {i}")))
+                    } else {
+                        Ok(i)
+                    }
+                },
+                |_, payload| Ok(payload),
+                |_, _| {},
+            )
+            .expect_err("pipeline must surface the stage error");
+            assert!(err.to_string().contains("boom at 7"), "{err}");
+        }
+    }
+
+    /// A consumer error likewise aborts; results already reduced before
+    /// the failure are discarded (the call returns `Err`, not a prefix).
+    #[test]
+    fn pipeline_aborts_on_consume_error_without_deadlock() {
+        for &(workers, depth) in &[(2, 1), (4, 3)] {
+            let err = run_pipeline::<usize, usize>(
+                40,
+                workers,
+                depth,
+                Ok,
+                |i, payload| {
+                    if i == 11 {
+                        Err(CoreError::ScheduleBatch("consume failed".into()))
+                    } else {
+                        Ok(payload)
+                    }
+                },
+                |_, _| {},
+            )
+            .expect_err("pipeline must surface the stage error");
+            assert!(err.to_string().contains("consume failed"), "{err}");
+        }
+    }
+}

@@ -52,6 +52,7 @@ fn prepare(topo: u64, class: &str, seed: u64, lanes: usize, len: usize) -> Optio
     let opt = compile(
         &sys.network,
         &CompileOptions {
+            lint: false,
             data_width: MC_DATA_WIDTH,
             nondet_merge: false,
             optimize: true,

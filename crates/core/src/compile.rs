@@ -194,6 +194,13 @@ pub struct CompileOptions {
     /// Optional deliberate bug, for negative tests of the verification
     /// harnesses. `None` (the default) compiles the faithful controllers.
     pub fault: Option<FaultInjection>,
+    /// Run the static liveness lint before emission:
+    /// [`ElasticNetwork::check_token_liveness`] rejects networks with a
+    /// token-free cycle, which would deadlock at power-up and waste the
+    /// whole downstream compile/simulate budget. Off by default so
+    /// deliberately sick networks stay compilable for negative tests; the
+    /// full multi-pass analyzer lives in the `elastic_lint` crate.
+    pub lint: bool,
 }
 
 /// Per-channel rail nets of a compiled network.
@@ -274,11 +281,15 @@ fn drive_net(
 ///
 /// Propagates structural errors from [`ElasticNetwork::check`], netlist
 /// errors, [`CoreError::FaultSite`] when [`CompileOptions::fault`] names a
-/// nonexistent join or channel, and [`CoreError::BadEarlyEval`] when a
-/// guard mask does not fit in `opts.data_width` bits.
+/// nonexistent join or channel, [`CoreError::BadEarlyEval`] when a guard
+/// mask does not fit in `opts.data_width` bits, and — under
+/// [`CompileOptions::lint`] — [`CoreError::TokenStarvedCycle`].
 #[allow(clippy::too_many_lines)]
 pub fn compile(net: &ElasticNetwork, opts: &CompileOptions) -> Result<Compiled, CoreError> {
     net.check()?;
+    if opts.lint {
+        net.check_token_liveness()?;
+    }
     let w = opts.data_width;
     let mut n = Netlist::new(net.name());
 
@@ -1018,6 +1029,7 @@ mod tests {
         let err = compile(
             &build(),
             &CompileOptions {
+                lint: false,
                 data_width: 1,
                 nondet_merge: false,
                 optimize: false,
@@ -1029,6 +1041,7 @@ mod tests {
         compile(
             &build(),
             &CompileOptions {
+                lint: false,
                 data_width: 3,
                 nondet_merge: false,
                 optimize: false,
@@ -1044,6 +1057,7 @@ mod tests {
         let compiled = compile(
             &net,
             &CompileOptions {
+                lint: false,
                 data_width: 1,
                 nondet_merge: false,
                 optimize: false,

@@ -149,15 +149,7 @@ impl SyncDatapath {
 /// Propagates [`CoreError`] from network construction (bad ports, invalid
 /// early-evaluation functions, buffer-free cycles).
 pub fn elasticize(dp: &SyncDatapath) -> Result<ElasticNetwork, CoreError> {
-    let mut net = ElasticNetwork::new(dp.name.clone());
-
-    // Fan-out per node decides whether a fork is inserted.
-    let mut fanout: HashMap<usize, usize> = HashMap::new();
-    for &(from, _, _) in &dp.wires {
-        *fanout.entry(from.0).or_insert(0) += 1;
-    }
-
-    // Build per-node component clusters: (input_target, output_source).
+    // Per-node component cluster: (input_target, output_source).
     // input_target: component+port offset receiving each wired input.
     struct Cluster {
         /// Component consuming input port i of the sync node.
@@ -168,6 +160,16 @@ pub fn elasticize(dp: &SyncDatapath) -> Result<ElasticNetwork, CoreError> {
         fork: Option<CompId>,
         next_fork_port: usize,
     }
+
+    let mut net = ElasticNetwork::new(dp.name.clone());
+
+    // Fan-out per node decides whether a fork is inserted.
+    let mut fanout: HashMap<usize, usize> = HashMap::new();
+    for &(from, _, _) in &dp.wires {
+        *fanout.entry(from.0).or_insert(0) += 1;
+    }
+
+    // Build per-node component clusters.
     let mut clusters: Vec<Cluster> = Vec::new();
     for (i, (name, kind)) in dp.nodes.iter().enumerate() {
         let fan = fanout.get(&i).copied().unwrap_or(0);

@@ -33,6 +33,13 @@ pub enum CoreError {
     /// A cycle of components exists with no elastic buffer stage on it —
     /// composing the controllers would create a combinational cycle.
     BufferlessCycle(Vec<String>),
+    /// A cycle of components carries no initial token: every directed cycle
+    /// of an elastic network needs at least one token to be live (paper
+    /// Sect. 2), so this topology deadlocks at power-up.
+    TokenStarvedCycle(Vec<String>),
+    /// A buffer-only mutation (e.g. [`crate::network::ElasticNetwork::set_init_token`])
+    /// was applied to a component that is not an elastic buffer.
+    NotABuffer(CompId),
     /// An early-evaluation function failed validation.
     BadEarlyEval(String),
     /// Signal evaluation failed to converge (controller implementation bug).
@@ -82,6 +89,16 @@ impl fmt::Display for CoreError {
                     "combinational (buffer-free) cycle through: {}",
                     names.join(" -> ")
                 )
+            }
+            CoreError::TokenStarvedCycle(names) => {
+                write!(
+                    f,
+                    "token-starved cycle (no initial token) through: {}",
+                    names.join(" -> ")
+                )
+            }
+            CoreError::NotABuffer(c) => {
+                write!(f, "component {} is not an elastic buffer", c.index())
             }
             CoreError::BadEarlyEval(msg) => write!(f, "invalid early-evaluation function: {msg}"),
             CoreError::NoFixpoint => write!(f, "signal evaluation did not converge"),

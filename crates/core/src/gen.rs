@@ -195,6 +195,24 @@ impl GeneratedSystem {
 /// parameters — the generator is exercised by proptests).
 #[allow(clippy::too_many_lines)]
 pub fn generate(params: &TopoParams) -> Result<GeneratedSystem, CoreError> {
+    // Unit-level edge of the topology draw.
+    struct Edge {
+        from: usize,
+        to: usize,
+        back: bool,
+    }
+    // Register chain `e{k}r{j}` per edge (`s{i}r{j}` / `k{i}r{j}` per
+    // environment link); metadata records the channel names its endpoints
+    // will have after elasticization.
+    struct Chain {
+        from_node: usize, // DMG node index (assigned below)
+        to_node: usize,
+        start_name: String,
+        end_name: String,
+        stages: usize,
+        tokens: usize,
+    }
+
     let mut rng = StdRng::seed_from_u64(params.structure_seed);
     let n = params.units.max(2);
     let max_stages = params.max_stages.max(1);
@@ -202,11 +220,6 @@ pub fn generate(params: &TopoParams) -> Result<GeneratedSystem, CoreError> {
     // 1. Unit-level edges. Rings: a Hamiltonian cycle whose closing edge
     //    (and every extra back edge) carries tokens; DAGs: a spanning
     //    forward backbone. Extra forward edges add fork/join density.
-    struct Edge {
-        from: usize,
-        to: usize,
-        back: bool,
-    }
     let mut edges: Vec<Edge> = Vec::new();
     if params.ring {
         for i in 0..n {
@@ -302,16 +315,7 @@ pub fn generate(params: &TopoParams) -> Result<GeneratedSystem, CoreError> {
         .collect();
 
     // Chains: registers `e{k}r{j}` per edge, `s{i}r{j}` / `k{i}r{j}` per
-    // environment link. Chain metadata records the channel names its
-    // endpoints will have after elasticization.
-    struct Chain {
-        from_node: usize, // DMG node index (assigned below)
-        to_node: usize,
-        start_name: String,
-        end_name: String,
-        stages: usize,
-        tokens: usize,
-    }
+    // environment link.
     let mut chains: Vec<Chain> = Vec::new();
     let mut next_port: Vec<usize> = vec![0; n];
     let wire_chain = |dp: &mut SyncDatapath,
@@ -697,6 +701,7 @@ pub fn differential_check(
     let compiled = compile(
         net,
         &CompileOptions {
+            lint: false,
             data_width: GEN_DATA_WIDTH,
             nondet_merge: false,
             optimize: true,

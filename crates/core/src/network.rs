@@ -451,6 +451,28 @@ impl ElasticNetwork {
             .flatten()
     }
 
+    /// Sets the power-up token of an elastic buffer.
+    ///
+    /// Used by the liveness lint's sabotage tests and the fuzzer's
+    /// negative oracle to derive token-starved variants of a network
+    /// without rebuilding it.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownComponent`] for a bad id,
+    /// [`CoreError::NotABuffer`] if the component is not an
+    /// [`ComponentKind::Eb`].
+    pub fn set_init_token(&mut self, id: CompId, token: bool) -> Result<(), CoreError> {
+        self.check_comp(id)?;
+        match &mut self.components[id.index()].kind {
+            ComponentKind::Eb { init_token, .. } => {
+                *init_token = token;
+                Ok(())
+            }
+            _ => Err(CoreError::NotABuffer(id)),
+        }
+    }
+
     /// Validates the network: all ports wired, and no buffer-free cycle.
     ///
     /// # Errors
@@ -482,15 +504,56 @@ impl ElasticNetwork {
     }
 
     fn check_bufferless_cycles(&self) -> Result<(), CoreError> {
-        // DFS over components, following channels forward, where only
-        // pass-through components propagate the path.
+        match self.find_uncut_cycle(ComponentKind::cuts_forward_path) {
+            Some(names) => Err(CoreError::BufferlessCycle(names)),
+            None => Ok(()),
+        }
+    }
+
+    /// Checks the token-liveness obligation of paper Sect. 2: every
+    /// directed cycle of the network must carry at least one initial token,
+    /// or the components on it wait on each other forever. A cycle carries
+    /// a token exactly when it passes through an [`ComponentKind::Eb`] with
+    /// `init_token` set, so the check looks for a cycle avoiding all of
+    /// them. Unlike [`ElasticNetwork::check`] this does not require all
+    /// ports to be wired — it is usable mid-construction and by the lint
+    /// passes of `elastic_lint`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::TokenStarvedCycle`] with the component names of a
+    /// token-free cycle.
+    pub fn check_token_liveness(&self) -> Result<(), CoreError> {
+        let cuts = |k: &ComponentKind| {
+            matches!(
+                k,
+                ComponentKind::Source
+                    | ComponentKind::Sink
+                    | ComponentKind::Eb {
+                        init_token: true,
+                        ..
+                    }
+            )
+        };
+        match self.find_uncut_cycle(cuts) {
+            Some(names) => Err(CoreError::TokenStarvedCycle(names)),
+            None => Ok(()),
+        }
+    }
+
+    /// Finds one directed cycle avoiding every component for which `cuts`
+    /// is true, returning the names of the components on it. DFS over
+    /// components, following channels forward, where only non-cutting
+    /// components propagate the path. Unwired output ports simply end the
+    /// path, so the search is usable before [`ElasticNetwork::check`].
+    fn find_uncut_cycle(&self, cuts: impl Fn(&ComponentKind) -> bool) -> Option<Vec<String>> {
         const WHITE: u8 = 0;
         const GREY: u8 = 1;
         const BLACK: u8 = 2;
         let n = self.components.len();
         let mut colour = vec![WHITE; n];
         for start in 0..n {
-            if colour[start] != WHITE || self.components[start].kind.cuts_forward_path() {
+            if colour[start] != WHITE || cuts(&self.components[start].kind) {
                 continue;
             }
             let mut stack = vec![(start, 0usize)];
@@ -499,10 +562,13 @@ impl ElasticNetwork {
             while let Some(&mut (v, ref mut cursor)) = stack.last_mut() {
                 let outs = &self.out_conn[v];
                 if *cursor < outs.len() {
-                    let chan = outs[*cursor].expect("checked wired");
+                    let Some(chan) = outs[*cursor] else {
+                        *cursor += 1;
+                        continue;
+                    };
                     *cursor += 1;
                     let w = self.channels[chan.index()].to.0.index();
-                    if self.components[w].kind.cuts_forward_path() {
+                    if cuts(&self.components[w].kind) {
                         continue;
                     }
                     match colour[w] {
@@ -513,11 +579,12 @@ impl ElasticNetwork {
                         }
                         GREY => {
                             let pos = path.iter().position(|&p| p == w).expect("on path");
-                            let names = path[pos..]
-                                .iter()
-                                .map(|&p| self.components[p].name.clone())
-                                .collect();
-                            return Err(CoreError::BufferlessCycle(names));
+                            return Some(
+                                path[pos..]
+                                    .iter()
+                                    .map(|&p| self.components[p].name.clone())
+                                    .collect(),
+                            );
                         }
                         _ => {}
                     }
@@ -528,7 +595,7 @@ impl ElasticNetwork {
                 }
             }
         }
-        Ok(())
+        None
     }
 
     fn check_comp(&self, id: CompId) -> Result<(), CoreError> {
@@ -647,6 +714,54 @@ mod tests {
             ComponentKind::Eb { init_token, .. } => assert!(!*init_token),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn token_liveness_flags_starved_ring() {
+        // A buffered ring whose only buffer holds no token: structurally
+        // fine (check passes) but deadlocked from cycle 0.
+        let mut net = ElasticNetwork::new("starved");
+        let join = net.add_join("j", 2);
+        let fork = net.add_fork("f", 2);
+        let b = net.add_eb("b", false);
+        let src = net.add_source("src");
+        let snk = net.add_sink("snk");
+        net.connect(src, 0, join, 0, "in").unwrap();
+        net.connect(join, 0, fork, 0, "jf").unwrap();
+        net.connect(fork, 0, b, 0, "fb").unwrap();
+        net.connect(b, 0, join, 1, "bj").unwrap();
+        net.connect(fork, 1, snk, 0, "out").unwrap();
+        net.check().unwrap();
+        let err = net.check_token_liveness().unwrap_err();
+        let CoreError::TokenStarvedCycle(names) = err else {
+            panic!("unexpected error kind");
+        };
+        assert!(names.contains(&"b".to_string()), "{names:?}");
+        // Flipping the token in restores liveness.
+        net.set_init_token(b, true).unwrap();
+        net.check_token_liveness().unwrap();
+    }
+
+    #[test]
+    fn token_liveness_usable_before_check() {
+        // An unwired output port must not panic the liveness walk.
+        let mut net = ElasticNetwork::new("partial");
+        let join = net.add_join("j", 2);
+        let fork = net.add_fork("f", 2);
+        net.connect(join, 0, fork, 0, "jf").unwrap();
+        net.connect(fork, 0, join, 1, "fb").unwrap();
+        assert!(net.check().is_err());
+        let err = net.check_token_liveness().unwrap_err();
+        assert!(matches!(err, CoreError::TokenStarvedCycle(_)));
+    }
+
+    #[test]
+    fn set_init_token_rejects_non_buffers() {
+        let mut net = ElasticNetwork::new("t");
+        let src = net.add_source("src");
+        let err = net.set_init_token(src, true).unwrap_err();
+        assert!(matches!(err, CoreError::NotABuffer(_)));
+        assert!(net.set_init_token(CompId(99), true).is_err());
     }
 
     #[test]

@@ -1092,6 +1092,7 @@ pub fn cosim_check(
     let compiled = compile(
         net,
         &CompileOptions {
+            lint: false,
             data_width,
             nondet_merge: false,
             optimize: false,
@@ -1188,6 +1189,7 @@ pub fn cosim_check_wide(
     let compiled = compile(
         net,
         &CompileOptions {
+            lint: false,
             data_width,
             nondet_merge: false,
             optimize: false,
@@ -1566,6 +1568,7 @@ mod tests {
         let compiled = compile(
             &net,
             &CompileOptions {
+                lint: false,
                 data_width: 2,
                 nondet_merge: false,
                 optimize: false,
@@ -1645,6 +1648,7 @@ mod tests {
         let compiled = compile(
             &sys.network,
             &CompileOptions {
+                lint: false,
                 data_width: 2,
                 nondet_merge: false,
                 optimize: false,
@@ -1685,6 +1689,7 @@ mod tests {
         let compiled = compile(
             &net,
             &CompileOptions {
+                lint: false,
                 data_width: 2,
                 nondet_merge: false,
                 optimize: false,
@@ -1725,6 +1730,7 @@ mod tests {
             let raw = compile(
                 &sys.network,
                 &CompileOptions {
+                    lint: false,
                     data_width: 2,
                     nondet_merge: false,
                     optimize: false,
@@ -1735,6 +1741,7 @@ mod tests {
             let opt = compile(
                 &sys.network,
                 &CompileOptions {
+                    lint: false,
                     data_width: 2,
                     nondet_merge: false,
                     optimize: true,
@@ -1841,6 +1848,7 @@ mod tests {
         let faulty = compile(
             &net,
             &CompileOptions {
+                lint: false,
                 data_width: 0,
                 nondet_merge: false,
                 optimize: false,
@@ -1869,6 +1877,7 @@ mod tests {
         let compiled = compile(
             &net,
             &CompileOptions {
+                lint: false,
                 data_width: 2,
                 nondet_merge: false,
                 optimize: false,

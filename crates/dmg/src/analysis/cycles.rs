@@ -52,6 +52,17 @@ impl Cycle {
 /// Returns `(cycles, truncated)` where `truncated` reports whether the limit
 /// stopped the enumeration early.
 pub fn simple_cycles(g: &Dmg, limit: usize) -> (Vec<Cycle>, bool) {
+    fn unblock(v: usize, blocked: &mut [bool], block_map: &mut [Vec<usize>]) {
+        if !blocked[v] {
+            return;
+        }
+        blocked[v] = false;
+        let waiters = std::mem::take(&mut block_map[v]);
+        for w in waiters {
+            unblock(w, blocked, block_map);
+        }
+    }
+
     let n = g.num_nodes();
     let mut cycles = Vec::new();
     let mut truncated = false;
@@ -66,26 +77,15 @@ pub fn simple_cycles(g: &Dmg, limit: usize) -> (Vec<Cycle>, bool) {
         let mut cursors: Vec<usize> = vec![0];
         blocked[start] = true;
 
-        fn unblock(v: usize, blocked: &mut [bool], block_map: &mut [Vec<usize>]) {
-            if !blocked[v] {
-                return;
-            }
-            blocked[v] = false;
-            let waiters = std::mem::take(&mut block_map[v]);
-            for w in waiters {
-                unblock(w, blocked, block_map);
-            }
-        }
-
         // Tracks whether a cycle was closed from each stack frame, to decide
         // between unblocking and deferred blocking on pop.
         let mut found_flags: Vec<bool> = vec![false];
 
         while let Some(&v) = path_nodes.last() {
-            let cursor = *cursors.last().unwrap();
+            let cursor = *cursors.last().expect("cursors parallels path_nodes");
             let outs = g.out_arcs(crate::NodeId(v as u32));
             if cursor < outs.len() {
-                *cursors.last_mut().unwrap() += 1;
+                *cursors.last_mut().expect("cursors parallels path_nodes") += 1;
                 let arc = outs[cursor];
                 let w = g.arc_info(arc).to.index();
                 if w < start {
@@ -96,7 +96,7 @@ pub fn simple_cycles(g: &Dmg, limit: usize) -> (Vec<Cycle>, bool) {
                     let mut arcs = path_arcs.clone();
                     arcs.push(arc);
                     cycles.push(Cycle { arcs });
-                    *found_flags.last_mut().unwrap() = true;
+                    *found_flags.last_mut().expect("flags parallel path_nodes") = true;
                     if cycles.len() >= limit {
                         truncated = true;
                         break 'starts;
@@ -110,7 +110,7 @@ pub fn simple_cycles(g: &Dmg, limit: usize) -> (Vec<Cycle>, bool) {
                 }
             } else {
                 // Exhausted v's successors: pop.
-                let v_found = found_flags.pop().unwrap();
+                let v_found = found_flags.pop().expect("flags parallel path_nodes");
                 path_nodes.pop();
                 cursors.pop();
                 let popped_arc = path_arcs.pop();

@@ -124,7 +124,7 @@ pub fn check_repetitive(g: &Dmg, max_steps: usize, seed: u64) -> Result<usize, D
             && counts.values().all(|&c| c == counts[&rec.node])
             // all equal to each other:
             && {
-                let first = *counts.values().next().unwrap();
+                let first = *counts.values().next().expect("counts is non-empty");
                 counts.values().all(|&c| c == first)
             };
         if uniform {

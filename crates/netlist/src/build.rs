@@ -13,6 +13,14 @@ impl NetId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Builds a [`NetId`] from a dense index, without validating it
+    /// against any netlist. External analyses (the `elastic_lint` tape
+    /// passes) need this to turn [`crate::levelize::Instr`] slot indices
+    /// back into net ids; accessors on [`Netlist`] still bounds-check.
+    pub fn from_index(index: usize) -> NetId {
+        NetId(index as u32)
+    }
 }
 
 impl fmt::Display for NetId {
@@ -128,6 +136,32 @@ impl Gate {
     /// Whether this gate holds state across cycles.
     pub fn is_stateful(&self) -> bool {
         matches!(self, Gate::Dff { .. } | Gate::Latch { .. })
+    }
+
+    /// Short lowercase kind label for diagnostics (`"and"`, `"latch.H"`,
+    /// ...), so cycle reports can say *what* each net on the loop is, not
+    /// just its name.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Gate::Input => "input",
+            Gate::Const(_) => "const",
+            Gate::Buf(_) => "buf",
+            Gate::Wire { .. } => "wire",
+            Gate::Not(_) => "not",
+            Gate::And(_) => "and",
+            Gate::Or(_) => "or",
+            Gate::Xor(_, _) => "xor",
+            Gate::Mux { .. } => "mux",
+            Gate::Dff { .. } => "dff",
+            Gate::Latch {
+                phase: LatchPhase::High,
+                ..
+            } => "latch.H",
+            Gate::Latch {
+                phase: LatchPhase::Low,
+                ..
+            } => "latch.L",
+        }
     }
 }
 
@@ -424,7 +458,7 @@ impl Netlist {
     pub fn net_name(&self, net: NetId) -> String {
         self.names
             .get(net.index())
-            .and_then(|n| n.clone())
+            .and_then(Clone::clone)
             .unwrap_or_else(|| format!("w{}", net.index()))
     }
 

@@ -12,20 +12,29 @@
 //! of both phases, are sequential and fine.
 
 use crate::build::{Gate, LatchPhase, NetId, Netlist};
-use crate::error::NetlistError;
+use crate::error::{CycleNet, NetlistError};
 
 /// Checks the netlist for combinational cycles in either clock phase.
 ///
 /// # Errors
 ///
-/// [`NetlistError::CombinationalCycle`] with the names of the nets on the
-/// first cycle found (shortest-first within the offending strongly
-/// connected component is not guaranteed; the cycle is representative).
+/// [`NetlistError::CombinationalCycle`] with the *shortest* cycle found:
+/// cycle detection runs per strongly connected component of the
+/// phase-dependency graph, and the report is the minimum-length loop
+/// within the first offending component (BFS from each of its nets), each
+/// net labelled with its gate kind. An actionable two-net report beats an
+/// arbitrary DFS walk that can drag half the netlist into the message.
 pub fn check_combinational_cycles(netlist: &Netlist) -> Result<(), NetlistError> {
     for phase in [LatchPhase::High, LatchPhase::Low] {
-        if let Some(cycle) = find_cycle_in_phase(netlist, phase) {
-            let names = cycle.into_iter().map(|n| netlist.net_name(n)).collect();
-            return Err(NetlistError::CombinationalCycle(names));
+        if let Some(cycle) = shortest_cycle_in_phase(netlist, phase) {
+            let nets = cycle
+                .into_iter()
+                .map(|n| CycleNet {
+                    name: netlist.net_name(n),
+                    kind: netlist.gate(n).kind_name(),
+                })
+                .collect();
+            return Err(NetlistError::CombinationalCycle(nets));
         }
     }
     Ok(())
@@ -86,54 +95,130 @@ pub(crate) fn topo_order_in_phase(netlist: &Netlist, phase: LatchPhase) -> Vec<N
     order
 }
 
-/// Finds one cycle among the phase-active edges via iterative DFS with
-/// colouring, returning the nets on the cycle in order.
-fn find_cycle_in_phase(netlist: &Netlist, phase: LatchPhase) -> Option<Vec<NetId>> {
-    const WHITE: u8 = 0;
-    const GREY: u8 = 1;
-    const BLACK: u8 = 2;
+/// Finds the shortest cycle among the phase-active edges, if any.
+///
+/// Two stages: iterative Tarjan SCC over the dependency graph (linear, the
+/// cost paid on every clean compile), then — only when a cyclic component
+/// exists — BFS from every net of the first offending component,
+/// restricted to that component, keeping the minimum-length loop. The
+/// returned nets follow the dependency direction (each net reads the
+/// next).
+fn shortest_cycle_in_phase(netlist: &Netlist, phase: LatchPhase) -> Option<Vec<NetId>> {
     let n = netlist.len();
-    let mut colour = vec![WHITE; n];
-    let mut stack: Vec<(NetId, usize)> = Vec::new();
-    let mut path: Vec<NetId> = Vec::new();
+    let deps: Vec<Vec<NetId>> = netlist
+        .nets()
+        .map(|v| deps_in_phase(netlist, v, phase))
+        .collect();
+    let scc_of = tarjan_scc(n, &deps);
 
-    for start in netlist.nets() {
-        if colour[start.index()] != WHITE {
-            continue;
-        }
-        colour[start.index()] = GREY;
-        stack.push((start, 0));
-        path.push(start);
-        while let Some(&mut (v, ref mut cursor)) = stack.last_mut() {
-            let deps = deps_in_phase(netlist, v, phase);
-            if *cursor < deps.len() {
-                let w = deps[*cursor];
-                *cursor += 1;
-                match colour[w.index()] {
-                    WHITE => {
-                        colour[w.index()] = GREY;
-                        stack.push((w, 0));
-                        path.push(w);
-                    }
-                    GREY => {
-                        // Found a back edge: the cycle is the path suffix
-                        // from w to v, plus the edge v->w.
-                        let pos = path
-                            .iter()
-                            .position(|&p| p == w)
-                            .expect("grey node on path");
-                        return Some(path[pos..].to_vec());
-                    }
-                    _ => {}
+    // A component is cyclic iff it has >1 member, or its single member
+    // depends on itself.
+    let mut size = vec![0usize; n];
+    for &c in &scc_of {
+        size[c] += 1;
+    }
+    let cyclic = |v: usize| size[scc_of[v]] > 1 || deps[v].iter().any(|w| w.index() == v);
+    let offender = (0..n).find(|&v| cyclic(v))?;
+    let scc = scc_of[offender];
+
+    // BFS within the component from each member back to itself; the
+    // shortest such loop is the component's girth. Only runs on the error
+    // path, so the quadratic worst case never taxes a clean compile.
+    let mut best: Option<Vec<usize>> = None;
+    let members: Vec<usize> = (0..n).filter(|&v| scc_of[v] == scc).collect();
+    for &src in &members {
+        let mut parent: Vec<Option<usize>> = vec![None; n];
+        let mut queue = std::collections::VecDeque::from([src]);
+        let mut found = None;
+        'bfs: while let Some(v) = queue.pop_front() {
+            for w in &deps[v] {
+                let w = w.index();
+                if scc_of[w] != scc {
+                    continue;
                 }
-            } else {
-                colour[v.index()] = BLACK;
-                stack.pop();
-                path.pop();
+                if w == src {
+                    found = Some(v);
+                    break 'bfs;
+                }
+                if parent[w].is_none() {
+                    parent[w] = Some(v);
+                    queue.push_back(w);
+                }
+            }
+        }
+        if let Some(last) = found {
+            let mut cycle = vec![last];
+            let mut v = last;
+            while v != src {
+                v = parent[v].expect("bfs reached last from src");
+                cycle.push(v);
+            }
+            cycle.reverse();
+            if best.as_ref().is_none_or(|b| cycle.len() < b.len()) {
+                best = Some(cycle);
             }
         }
     }
-    None
+    best.map(|c| c.into_iter().map(NetId::from_index).collect())
+}
+
+/// Iterative Tarjan strongly-connected components over `deps` edges,
+/// returning each net's component id.
+fn tarjan_scc(n: usize, deps: &[Vec<NetId>]) -> Vec<usize> {
+    const UNSEEN: usize = usize::MAX;
+    let mut index = vec![UNSEEN; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut scc_of = vec![UNSEEN; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut next_scc = 0usize;
+    // Explicit call stack: (net, edge cursor).
+    let mut call: Vec<(usize, usize)> = Vec::new();
+    for root in 0..n {
+        if index[root] != UNSEEN {
+            continue;
+        }
+        call.push((root, 0));
+        index[root] = next_index;
+        low[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+        while let Some(&mut (v, ref mut cursor)) = call.last_mut() {
+            if let Some(w) = deps[v].get(*cursor) {
+                *cursor += 1;
+                let w = w.index();
+                if index[w] == UNSEEN {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                if low[v] == index[v] {
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        scc_of[w] = next_scc;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    next_scc += 1;
+                }
+                call.pop();
+                if let Some(&(u, _)) = call.last() {
+                    low[u] = low[u].min(low[v]);
+                }
+            }
+        }
+    }
+    scc_of
 }
 
 #[cfg(test)]
@@ -201,6 +286,46 @@ mod tests {
         n.bind_latch(h2, inv).unwrap();
         let err = check_combinational_cycles(&n).unwrap_err();
         assert!(matches!(err, NetlistError::CombinationalCycle(names) if names.len() >= 2));
+    }
+
+    #[test]
+    fn shortest_cycle_reported_with_kinds() {
+        // One SCC holding a 3-net loop (a -> wb -> b -> a) and a 4-net
+        // loop (a -> wc -> c -> b -> a): the report must pick the short
+        // one and label each net's gate kind.
+        let mut n = Netlist::new("m");
+        let wb = n.wire();
+        let wc = n.wire();
+        let a = n.and2(wb, wc);
+        n.set_name(a, "a").unwrap();
+        let b = n.not(a);
+        let c = n.buf(b);
+        n.bind_wire(wb, b).unwrap();
+        n.bind_wire(wc, c).unwrap();
+        let err = check_combinational_cycles(&n).unwrap_err();
+        let NetlistError::CombinationalCycle(nets) = err else {
+            panic!("unexpected error kind");
+        };
+        assert_eq!(nets.len(), 3, "{nets:?}");
+        let kinds: Vec<&str> = nets.iter().map(|c| c.kind).collect();
+        assert!(kinds.contains(&"and"), "{kinds:?}");
+        assert!(kinds.contains(&"wire"), "{kinds:?}");
+        assert!(kinds.contains(&"not"), "{kinds:?}");
+        assert!(nets.iter().any(|c| c.name == "a"), "{nets:?}");
+    }
+
+    #[test]
+    fn self_loop_is_shortest_cycle() {
+        // A latch reading itself through nothing else: a 1-net cycle.
+        let mut n = Netlist::new("m");
+        let l = n.latch(LatchPhase::High, false);
+        n.bind_latch(l, l).unwrap();
+        let err = check_combinational_cycles(&n).unwrap_err();
+        let NetlistError::CombinationalCycle(nets) = err else {
+            panic!("unexpected error kind");
+        };
+        assert_eq!(nets.len(), 1, "{nets:?}");
+        assert_eq!(nets[0].kind, "latch.H");
     }
 
     #[test]

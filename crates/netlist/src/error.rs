@@ -2,6 +2,23 @@ use std::fmt;
 
 use crate::build::NetId;
 
+/// One net on a reported combinational cycle: its display name plus the
+/// gate kind ([`crate::build::Gate::kind_name`]), so the report tells the
+/// reader *what* is looping, not just which nets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleNet {
+    /// Display name of the net (or its `w<i>` fallback).
+    pub name: String,
+    /// Gate-kind label, e.g. `"and"`, `"latch.H"`.
+    pub kind: &'static str,
+}
+
+impl fmt::Display for CycleNet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.name, self.kind)
+    }
+}
+
 /// Errors produced while building, checking or simulating a netlist.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -19,9 +36,10 @@ pub enum NetlistError {
     /// or applied twice.
     BadBind(NetId),
     /// The netlist contains a combinational cycle (not cut by any flip-flop
-    /// or by latches of both phases). The cycle is reported through the
-    /// names of the participating nets.
-    CombinationalCycle(Vec<String>),
+    /// or by latches of both phases). The *shortest* offending cycle is
+    /// reported (BFS within its strongly connected component), each net
+    /// with its name and gate kind.
+    CombinationalCycle(Vec<CycleNet>),
     /// Simulation failed to reach a fixpoint within the iteration budget —
     /// the symptom of an oscillating (level-sensitive) loop.
     Oscillation {
@@ -81,8 +99,14 @@ impl fmt::Display for NetlistError {
                     n.index()
                 )
             }
-            NetlistError::CombinationalCycle(names) => {
-                write!(f, "combinational cycle through: {}", names.join(" -> "))
+            NetlistError::CombinationalCycle(nets) => {
+                let rendered: Vec<String> = nets.iter().map(ToString::to_string).collect();
+                write!(
+                    f,
+                    "combinational cycle ({} nets, shortest in its scc): {}",
+                    nets.len(),
+                    rendered.join(" -> ")
+                )
             }
             NetlistError::Oscillation { phase } => {
                 write!(f, "simulation oscillated during the {phase} phase")
@@ -123,8 +147,17 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = NetlistError::CombinationalCycle(vec!["a".into(), "b".into()]);
-        assert!(e.to_string().contains("a -> b"));
+        let e = NetlistError::CombinationalCycle(vec![
+            CycleNet {
+                name: "a".into(),
+                kind: "and",
+            },
+            CycleNet {
+                name: "b".into(),
+                kind: "not",
+            },
+        ]);
+        assert!(e.to_string().contains("a[and] -> b[not]"), "{e}");
     }
 
     #[test]

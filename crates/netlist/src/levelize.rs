@@ -162,6 +162,18 @@ impl Instr {
             | Instr::LatchEn { dst, .. } => dst,
         }
     }
+
+    /// The slots this instruction reads, resolving N-ary operand-pool
+    /// windows through `args` (see [`Program::args`]). A
+    /// [`Instr::LatchEn`] reads its own destination (the hold path), so
+    /// its `dst` is among the returned operands. Public so external
+    /// analyses (the `elastic_lint` translation-validation passes) share
+    /// the executor's exact operand semantics instead of re-deriving them.
+    pub fn operands(self, args: &[u32]) -> Vec<u32> {
+        let mut out = Vec::new();
+        push_operands(self, args, &mut out);
+        out
+    }
 }
 
 /// Appends the slots `instr` reads to `out`. A [`Instr::LatchEn`] reads its

@@ -20,6 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let compiled = compile(
             &sys.network,
             &CompileOptions {
+                lint: false,
                 data_width: 2,
                 nondet_merge: false,
                 optimize: false,
