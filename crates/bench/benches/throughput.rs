@@ -139,6 +139,7 @@ fn bench_gate_sim(c: &mut Criterion) {
                 nondet_merge: false,
                 optimize: false,
                 fault: None,
+                faults: vec![],
             },
         )
         .expect("compiles");

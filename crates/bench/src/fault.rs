@@ -338,6 +338,7 @@ fn build_job(
             nondet_merge: false,
             optimize: true,
             fault: Some(fault.clone()),
+            faults: vec![],
         },
     )?;
     let site_name = fault

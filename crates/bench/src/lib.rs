@@ -15,6 +15,7 @@
 pub mod exp;
 pub mod fault;
 pub mod fuzz;
+pub mod stabilize;
 mod stream;
 
 use std::time::Instant;
@@ -102,6 +103,7 @@ pub fn control_area(sys: &PaperSystem) -> AreaReport {
             nondet_merge: false,
             optimize: false,
             fault: None,
+            faults: vec![],
         },
     )
     .expect("compiles");
@@ -425,6 +427,7 @@ impl WideHarness {
                 nondet_merge: false,
                 optimize: false,
                 fault: None,
+                faults: vec![],
             },
         )?;
         let tb = NetlistTestbench::new(net, &compiled.netlist, MC_DATA_WIDTH)?;
@@ -439,6 +442,7 @@ impl WideHarness {
                 nondet_merge: false,
                 optimize: true,
                 fault: None,
+                faults: vec![],
             },
         )?;
         let rails = &opt.channels[out.index()];
@@ -921,6 +925,7 @@ mod tests {
                 nondet_merge: false,
                 optimize: false,
                 fault: None,
+                faults: vec![],
             },
         )
         .unwrap()

@@ -16,11 +16,14 @@
 
 use elastic_bench::exp::{ee_prob_experiment, run_experiment};
 use elastic_bench::fault::FAULT_CLASSES;
+use elastic_bench::stabilize::PROCESS_CLASSES;
 use elastic_bench::{WideHarness, MC_DATA_WIDTH};
-use elastic_core::compile::{compile, CompileOptions};
+use elastic_core::compile::{compile, CompileOptions, FaultInjection, FaultRail};
+use elastic_core::fault::FaultProcess;
 use elastic_core::gen::{generate, injectable_site, TopoParams};
 use elastic_core::systems::Config;
 use elastic_core::verify::{NetlistTestbench, PackedStimulus};
+use elastic_core::CoreError;
 use elastic_netlist::levelize::Program;
 use elastic_netlist::opt::optimize_observed;
 use elastic_netlist::sim::Simulator;
@@ -39,6 +42,9 @@ struct Prepared {
     rails: Vec<NetId>,
     schedules: Vec<elastic_core::verify::Schedule>,
     windows: Vec<(usize, usize)>,
+    /// `(site, lane, start, len)` of every armed process window
+    /// (process-based preparations only).
+    process_windows: Vec<(usize, usize, usize, usize)>,
     sys: elastic_core::gen::GeneratedSystem,
     seed: u64,
     scalar: Simulator,
@@ -57,6 +63,7 @@ fn prepare(topo: u64, class: &str, seed: u64, lanes: usize, len: usize) -> Optio
             nondet_merge: false,
             optimize: true,
             fault: Some(fault.clone()),
+            faults: vec![],
         },
     )
     .ok()?;
@@ -98,6 +105,7 @@ fn prepare(topo: u64, class: &str, seed: u64, lanes: usize, len: usize) -> Optio
         rails,
         schedules,
         windows,
+        process_windows: Vec::new(),
         sys,
         seed,
         scalar,
@@ -193,6 +201,315 @@ proptest! {
                     k, topo, class, width, blocked
                 );
             }
+        }
+    }
+}
+
+/// Builds a small instance of the named fault-process class on `sys`, or
+/// `None` when the sampled topology offers no usable site (mirrors the
+/// campaign engine's per-class construction at test scale).
+fn test_process(
+    sys: &elastic_core::gen::GeneratedSystem,
+    class: &str,
+    seed: u64,
+) -> Option<FaultProcess> {
+    let process = match class {
+        "periodic" => {
+            let (fault, eff) = injectable_site(sys, "rail_flip", seed, CYCLES)?;
+            FaultProcess::Periodic {
+                fault,
+                period: 12,
+                duty: 2,
+                start: eff.min(CYCLES - 2),
+            }
+        }
+        "sustained" => {
+            let (fault, eff) = injectable_site(sys, "stuck_at_0", seed, CYCLES)?;
+            FaultProcess::Sustained {
+                fault,
+                start: eff,
+                len: 8.min(CYCLES - eff),
+            }
+        }
+        "correlated" => {
+            let (fault, _) = injectable_site(sys, "rail_flip", seed, CYCLES)?;
+            let first = fault.channel()?.to_string();
+            let second = sys
+                .network
+                .channels()
+                .map(|c| sys.network.channel(c).name.clone())
+                .find(|n| *n != first);
+            let site2 = match second {
+                Some(channel) => FaultInjection::RailFlip {
+                    channel,
+                    rail: FaultRail::Vp,
+                },
+                None => FaultInjection::RailFlip {
+                    channel: first,
+                    rail: FaultRail::Sp,
+                },
+            };
+            FaultProcess::Correlated {
+                faults: vec![fault, site2],
+                bursts: 2,
+                len: 4,
+            }
+        }
+        "byzantine" => {
+            let channel = sys
+                .network
+                .channels()
+                .map(|c| sys.network.channel(c))
+                .find(|ch| !ch.passive)
+                .map(|ch| ch.name.clone())?;
+            FaultProcess::Byzantine {
+                channel,
+                period: 12,
+                duty: 2,
+            }
+        }
+        other => panic!("unknown process class {other}"),
+    };
+    process.validate(&sys.network, CYCLES).ok()?;
+    Some(process)
+}
+
+/// Prepares a system compiled with one corruption gate per process site,
+/// schedules armed with lane *k*'s process-instance windows on every
+/// site, and the observed rail set (all site rails + output rails).
+fn prepare_process(topo: u64, class: &str, seed: u64, lanes: usize) -> Option<Prepared> {
+    let sys = generate(&TopoParams::sample(topo)).ok()?;
+    let process = test_process(&sys, class, seed)?;
+    let sites = process.sites();
+    let opt = compile(
+        &sys.network,
+        &CompileOptions {
+            lint: false,
+            data_width: MC_DATA_WIDTH,
+            nondet_merge: false,
+            optimize: true,
+            fault: None,
+            faults: sites.clone(),
+        },
+    )
+    .ok()?;
+    let o = &opt.channels[sys.output_channel.index()];
+    let mut observe: Vec<NetId> = vec![o.vp, o.sp, o.vn];
+    for site in &sites {
+        let name = site.channel().expect("rail fault").to_string();
+        let chan = sys
+            .network
+            .channels()
+            .find(|&c| sys.network.channel(c).name == name)
+            .expect("existing channel");
+        let s = &opt.channels[chan.index()];
+        for id in [s.vp, s.sp, s.vn, s.sn] {
+            if !observe.contains(&id) {
+                observe.push(id);
+            }
+        }
+    }
+    let (obs, map) = optimize_observed(&opt.netlist, &observe).ok()?;
+    let rails: Vec<NetId> = observe
+        .iter()
+        .map(|&id| map[id.index()].expect("observed rails survive"))
+        .collect();
+    let tb = NetlistTestbench::with_faults(&sys.network, &obs, MC_DATA_WIDTH, &sites).ok()?;
+    assert_eq!(tb.fault_cols().len(), sites.len(), "one column per site");
+    let (prog, _) = Program::compile_optimized(&obs).ok()?;
+    let scalar = Simulator::new(&obs).ok()?;
+    let mut schedules = WideHarness::schedules(&sys.network, &sys.env, seed, CYCLES, lanes);
+    let mut process_windows = Vec::new();
+    for (k, sched) in schedules.iter_mut().enumerate() {
+        for (site, site_windows) in process.windows(seed, k, CYCLES).iter().enumerate() {
+            for &(start, len) in site_windows {
+                sched.arm_fault_site(site, start, len).expect("window fits");
+                process_windows.push((site, k, start, len));
+            }
+        }
+    }
+    Some(Prepared {
+        tb,
+        prog,
+        rails,
+        schedules,
+        windows: Vec::new(),
+        process_windows,
+        sys,
+        seed,
+        scalar,
+    })
+}
+
+proptest! {
+    /// Wide lane *k* running fault-process instance *k* ≡ scalar run of
+    /// trial *k* with the same per-site windows armed on its schedule —
+    /// all rails, all cycles, every word width, plain and blocked tapes,
+    /// and both stimulus producers — for every process class.
+    #[test]
+    fn wide_process_lane_equals_scalar_process_trial(
+        topo in 0u64..500,
+        class_idx in 0usize..4,
+        lanes in 1usize..10,
+        wsel in 0usize..4,
+    ) {
+        let class = PROCESS_CLASSES[class_idx];
+        let Some(p) = prepare_process(topo, class, topo.wrapping_add(0x9b), lanes) else {
+            return Err(TestCaseError::Reject);
+        };
+        let scalar: Vec<Vec<Vec<bool>>> = (0..lanes).map(|k| scalar_trace(&p, k)).collect();
+        let width = [1usize, 2, 4, 8][wsel];
+        let stim = PackedStimulus::pack(&p.tb, &p.schedules, width).expect("packs");
+        // Stimulus-producer equivalence: the campaign's fused generate +
+        // per-site-column arm path builds the identical matrix to packing
+        // pre-armed schedules.
+        let mut generated = PackedStimulus::generate(
+            &p.tb, &p.sys.network, &p.sys.env, p.seed, lanes, CYCLES, width,
+        ).expect("generates");
+        let cols = p.tb.fault_cols();
+        for &(site, lane, start, len) in &p.process_windows {
+            generated.arm_fault(cols[site], lane, start, len).expect("arms");
+        }
+        prop_assert_eq!(&generated, &stim);
+        for blocked in [false, true] {
+            let wide = match width {
+                1 => wide_trace::<1>(&p, &stim, blocked),
+                2 => wide_trace::<2>(&p, &stim, blocked),
+                4 => wide_trace::<4>(&p, &stim, blocked),
+                _ => wide_trace::<8>(&p, &stim, blocked),
+            };
+            for k in 0..lanes {
+                prop_assert_eq!(
+                    &wide[k], &scalar[k],
+                    "lane {} diverged (topo {}, class {}, W={}, blocked={})",
+                    k, topo, class, width, blocked
+                );
+            }
+        }
+    }
+}
+
+/// A zero-intensity process (periodic, duty 0) expands to no windows on
+/// any lane, so the armed stimulus is byte-identical to the fault-free
+/// one and every observed rail reproduces the fault-free trace
+/// digit-for-digit — the process plumbing is strictly
+/// pay-for-what-you-inject, exactly like the `BENCH_pr6.json` regression
+/// below for the single-shot machinery.
+#[test]
+fn zero_intensity_process_is_fault_free_bit_for_bit() {
+    /// Output-rail trace of one schedule on a compile of `sys` carrying
+    /// `faults` corruption gates (none ever armed).
+    fn output_trace(
+        sys: &elastic_core::gen::GeneratedSystem,
+        faults: Vec<FaultInjection>,
+        seed: u64,
+    ) -> Option<Vec<Vec<bool>>> {
+        let gated = !faults.is_empty();
+        let opt = compile(
+            &sys.network,
+            &CompileOptions {
+                lint: false,
+                data_width: MC_DATA_WIDTH,
+                nondet_merge: false,
+                optimize: true,
+                fault: None,
+                faults: faults.clone(),
+            },
+        )
+        .ok()?;
+        let o = &opt.channels[sys.output_channel.index()];
+        let observe = [o.vp, o.sp, o.vn];
+        let (obs, map) = optimize_observed(&opt.netlist, &observe).ok()?;
+        let rails: Vec<NetId> = observe
+            .iter()
+            .map(|&id| map[id.index()].expect("survives"))
+            .collect();
+        let tb = if gated {
+            NetlistTestbench::with_faults(&sys.network, &obs, MC_DATA_WIDTH, &faults).ok()?
+        } else {
+            NetlistTestbench::new(&sys.network, &obs, MC_DATA_WIDTH).ok()?
+        };
+        let sched = WideHarness::schedules(&sys.network, &sys.env, seed, CYCLES, 1).remove(0);
+        let mut sim = Simulator::new(&obs).ok()?;
+        Some(
+            (0..CYCLES as u64)
+                .map(|t| {
+                    sim.cycle(&tb.inputs_at(&sched, t)).expect("runs");
+                    rails.iter().map(|&r| sim.value(r)).collect()
+                })
+                .collect(),
+        )
+    }
+
+    let mut checked = 0;
+    for topo in 0u64..40 {
+        let Ok(sys) = generate(&TopoParams::sample(topo)) else {
+            continue;
+        };
+        let Some((fault, _)) = injectable_site(&sys, "rail_flip", topo, CYCLES) else {
+            continue;
+        };
+        let process = FaultProcess::Periodic {
+            fault,
+            period: 12,
+            duty: 0,
+            start: 0,
+        };
+        process.validate(&sys.network, CYCLES).expect("valid");
+        for lane in 0..4 {
+            assert!(
+                process
+                    .windows(topo, lane, CYCLES)
+                    .iter()
+                    .all(Vec::is_empty),
+                "duty 0 must arm nothing"
+            );
+            assert!(process.merged_windows(topo, lane, CYCLES).is_empty());
+        }
+        let Some(gated) = output_trace(&sys, process.sites(), topo.wrapping_add(0x9b)) else {
+            continue;
+        };
+        let free =
+            output_trace(&sys, vec![], topo.wrapping_add(0x9b)).expect("fault-free compiles");
+        assert_eq!(
+            gated, free,
+            "topo {topo}: a never-armed corruption gate changed an observed rail"
+        );
+        checked += 1;
+        if checked >= 5 {
+            return;
+        }
+    }
+    panic!("fewer than 5 topologies yielded a usable zero-intensity process");
+}
+
+/// Satellite-6 closure at the packed-stimulus layer: malformed process
+/// arming surfaces as typed [`CoreError::FaultSite`] values — wrong
+/// column, wrong lane, window past the horizon — never a panic, and the
+/// testbench resolves exactly one column per site.
+#[test]
+fn packed_layer_rejects_bad_process_arming_typed() {
+    let p = (0u64..200)
+        .find_map(|topo| prepare_process(topo, "byzantine", 0x5e, 2))
+        .expect("some topology supports a byzantine process");
+    let cols = p.tb.fault_cols();
+    assert_eq!(cols.len(), 2, "byzantine resolves two side columns");
+    let mut stim =
+        PackedStimulus::generate(&p.tb, &p.sys.network, &p.sys.env, p.seed, 2, CYCLES, 1)
+            .expect("generates");
+    for (err, label) in [
+        (stim.arm_fault(cols[1] + 1, 0, 0, 1), "phantom column"),
+        (stim.arm_fault(cols[0], 64, 0, 1), "phantom lane"),
+        (stim.arm_fault(cols[0], 0, 0, 0), "empty window"),
+        (stim.arm_fault(cols[0], 0, CYCLES - 1, 2), "past horizon"),
+        (
+            stim.arm_fault(cols[0], 0, usize::MAX, 2),
+            "overflowing window",
+        ),
+    ] {
+        match err {
+            Err(CoreError::FaultSite(_)) => {}
+            other => panic!("{label}: expected FaultSite, got {other:?}"),
         }
     }
 }

@@ -194,6 +194,13 @@ pub struct CompileOptions {
     /// Optional deliberate bug, for negative tests of the verification
     /// harnesses. `None` (the default) compiles the faithful controllers.
     pub fault: Option<FaultInjection>,
+    /// Additional fault sites spliced alongside [`CompileOptions::fault`] —
+    /// the multi-site form used by [`crate::fault::FaultProcess`] expansion
+    /// (correlated bursts strike several channels, a Byzantine adversary
+    /// arms both side rails of one channel). Each rail site gets its own
+    /// corruption gate and arm input; two sites on the same channel rail
+    /// are rejected with [`CoreError::FaultProcess`].
+    pub faults: Vec<FaultInjection>,
     /// Run the static liveness lint before emission:
     /// [`ElasticNetwork::check_token_liveness`] rejects networks with a
     /// token-free cycle, which would deadlock at power-up and waste the
@@ -254,17 +261,21 @@ pub fn sanitize(name: &str) -> String {
 }
 
 /// The net a producer binds for a given channel rail: the raw shadow wire
-/// on the faulted rail (the corruption gate re-drives the public net), the
-/// public rail net everywhere else.
+/// on a faulted rail (the corruption gate re-drives the public net), the
+/// public rail net everywhere else. Multi-site processes register several
+/// sites; at most one can match since duplicates are rejected up front.
 fn drive_net(
     channels: &[ChannelNets],
-    fault_site: Option<(usize, FaultRail, NetId)>,
+    fault_sites: &[(usize, FaultRail, NetId)],
     chan: ChanId,
     rail: FaultRail,
 ) -> NetId {
-    match fault_site {
-        Some((c, r, raw)) if c == chan.index() && r == rail => raw,
-        _ => {
+    match fault_sites
+        .iter()
+        .find(|&&(c, r, _)| c == chan.index() && r == rail)
+    {
+        Some(&(_, _, raw)) => raw,
+        None => {
             let ch = &channels[chan.index()];
             match rail {
                 FaultRail::Vp => ch.vp,
@@ -341,51 +352,61 @@ pub fn compile(net: &ElasticNetwork, opts: &CompileOptions) -> Result<Compiled, 
     // corruption gate, controlled by the new primary input
     // `fault.<channel>.<rail>`. Unknown site names are typed errors, not
     // silent no-ops.
-    let fault_site: Option<(usize, FaultRail, NetId)> = match &opts.fault {
-        None => None,
-        Some(FaultInjection::DropAntiToken { join }) => {
-            let found = net.components().any(|c| {
-                net.component(c).name == *join
-                    && matches!(net.component(c).kind, ComponentKind::Join { .. })
-            });
-            if !found {
-                return Err(CoreError::FaultSite(format!(
-                    "no join component named {join:?} to sabotage"
-                )));
-            }
-            None
-        }
-        Some(fault) => {
-            let site = fault.channel().expect("rail faults name a channel");
-            let chan = net
-                .channels()
-                .find(|&c| net.channel(c).name == site)
-                .ok_or_else(|| {
-                    CoreError::FaultSite(format!("no channel named {site:?} to corrupt"))
-                })?;
-            let rail = fault.rail().expect("rail faults target a rail");
-            let ch = &channels[chan.index()];
-            let public = match rail {
-                FaultRail::Vp => ch.vp,
-                FaultRail::Sp => ch.sp,
-                FaultRail::Vn => ch.vn,
-            };
-            let arm = n.input(fault.input_name().expect("rail faults are armed"));
-            let raw = n.wire();
-            n.set_name(raw, format!("{}.{}.raw", sanitize(site), rail.label()))?;
-            let corrupted = match fault {
-                FaultInjection::RailFlip { .. } => n.xor(raw, arm),
-                FaultInjection::StuckAt { value: true, .. }
-                | FaultInjection::DuplicateToken { .. } => n.or2(raw, arm),
-                FaultInjection::StuckAt { value: false, .. } | FaultInjection::LoseToken { .. } => {
-                    n.and_not(raw, arm)
+    let mut fault_sites: Vec<(usize, FaultRail, NetId)> = Vec::new();
+    for fault in opts.fault.iter().chain(&opts.faults) {
+        match fault {
+            FaultInjection::DropAntiToken { join } => {
+                let found = net.components().any(|c| {
+                    net.component(c).name == *join
+                        && matches!(net.component(c).kind, ComponentKind::Join { .. })
+                });
+                if !found {
+                    return Err(CoreError::FaultSite(format!(
+                        "no join component named {join:?} to sabotage"
+                    )));
                 }
-                FaultInjection::DropAntiToken { .. } => unreachable!("handled above"),
-            };
-            n.bind_wire(public, corrupted)?;
-            Some((chan.index(), rail, raw))
+            }
+            fault => {
+                let site = fault.channel().expect("rail faults name a channel");
+                let chan = net
+                    .channels()
+                    .find(|&c| net.channel(c).name == site)
+                    .ok_or_else(|| {
+                        CoreError::FaultSite(format!("no channel named {site:?} to corrupt"))
+                    })?;
+                let rail = fault.rail().expect("rail faults target a rail");
+                if fault_sites
+                    .iter()
+                    .any(|&(c, r, _)| c == chan.index() && r == rail)
+                {
+                    return Err(CoreError::FaultProcess(format!(
+                        "two corruption gates requested on channel {site:?} rail {}: \
+                         overlapping windows on one rail must share a single site",
+                        rail.label()
+                    )));
+                }
+                let ch = &channels[chan.index()];
+                let public = match rail {
+                    FaultRail::Vp => ch.vp,
+                    FaultRail::Sp => ch.sp,
+                    FaultRail::Vn => ch.vn,
+                };
+                let arm = n.input(fault.input_name().expect("rail faults are armed"));
+                let raw = n.wire();
+                n.set_name(raw, format!("{}.{}.raw", sanitize(site), rail.label()))?;
+                let corrupted = match fault {
+                    FaultInjection::RailFlip { .. } => n.xor(raw, arm),
+                    FaultInjection::StuckAt { value: true, .. }
+                    | FaultInjection::DuplicateToken { .. } => n.or2(raw, arm),
+                    FaultInjection::StuckAt { value: false, .. }
+                    | FaultInjection::LoseToken { .. } => n.and_not(raw, arm),
+                    FaultInjection::DropAntiToken { .. } => unreachable!("handled above"),
+                };
+                n.bind_wire(public, corrupted)?;
+                fault_sites.push((chan.index(), rail, raw));
+            }
         }
-    };
+    }
 
     let zero = n.constant(false);
 
@@ -408,7 +429,7 @@ pub fn compile(net: &ElasticNetwork, opts: &CompileOptions) -> Result<Compiled, 
                 let offering = n.dff(false);
                 n.set_name(offering, format!("{cname}.offering"))?;
                 let vp = n.or2(offering, offer);
-                n.bind_wire(drive_net(&channels, fault_site, c, FaultRail::Vp), vp)?;
+                n.bind_wire(drive_net(&channels, &fault_sites, c, FaultRail::Vp), vp)?;
                 let sn = n.not(vp);
                 n.bind_wire(sn_shadow[c.index()], sn)?;
                 // Hold while retried: vp & sp & !vn.
@@ -433,9 +454,9 @@ pub fn compile(net: &ElasticNetwork, opts: &CompileOptions) -> Result<Compiled, 
                 let killing = n.dff(false);
                 n.set_name(killing, format!("{cname}.killing"))?;
                 let vn = n.or2(killing, kill);
-                n.bind_wire(drive_net(&channels, fault_site, a, FaultRail::Vn), vn)?;
+                n.bind_wire(drive_net(&channels, &fault_sites, a, FaultRail::Vn), vn)?;
                 let sp = n.and_not(stop, vn);
-                n.bind_wire(drive_net(&channels, fault_site, a, FaultRail::Sp), sp)?;
+                n.bind_wire(drive_net(&channels, &fault_sites, a, FaultRail::Sp), sp)?;
                 // killing' = vn & !vp & sn (anti-token still unresolved).
                 let nvp = n.not(ch.vp);
                 let hold = n.and([vn, nvp, ch.sn]);
@@ -464,9 +485,9 @@ pub fn compile(net: &ElasticNetwork, opts: &CompileOptions) -> Result<Compiled, 
                 n.set_name(nvs, format!("{cname}.nvs"))?;
                 let vnb = backward_vn(&channels, b);
                 // Rails we produce (all registered).
-                n.bind_wire(drive_net(&channels, fault_site, b, FaultRail::Vp), v)?;
-                n.bind_wire(drive_net(&channels, fault_site, a, FaultRail::Sp), vs)?;
-                n.bind_wire(drive_net(&channels, fault_site, a, FaultRail::Vn), nv)?;
+                n.bind_wire(drive_net(&channels, &fault_sites, b, FaultRail::Vp), v)?;
+                n.bind_wire(drive_net(&channels, &fault_sites, a, FaultRail::Sp), vs)?;
+                n.bind_wire(drive_net(&channels, &fault_sites, a, FaultRail::Vn), nv)?;
                 n.bind_wire(sn_shadow[b.index()], nvs)?;
                 // Entries.
                 let nvs_not = n.not(vs);
@@ -533,7 +554,7 @@ pub fn compile(net: &ElasticNetwork, opts: &CompileOptions) -> Result<Compiled, 
                     net,
                     &channels,
                     &sn_shadow,
-                    fault_site,
+                    &fault_sites,
                     comp,
                     inputs,
                     ee.as_ref(),
@@ -556,7 +577,7 @@ pub fn compile(net: &ElasticNetwork, opts: &CompileOptions) -> Result<Compiled, 
                     dones.push(done);
                     let nd = n.not(done);
                     let vp_b = n.and2(cha.vp, nd);
-                    n.bind_wire(drive_net(&channels, fault_site, b, FaultRail::Vp), vp_b)?;
+                    n.bind_wire(drive_net(&channels, &fault_sites, b, FaultRail::Vp), vp_b)?;
                     for (&da, &db) in cha.data.iter().zip(&chb.data) {
                         n.bind_wire(db, da)?;
                     }
@@ -573,11 +594,11 @@ pub fn compile(net: &ElasticNetwork, opts: &CompileOptions) -> Result<Compiled, 
                 let mut vn_in = vns_gated.clone();
                 vn_in.push(nvp_a);
                 let vn_a = n.and(vn_in);
-                n.bind_wire(drive_net(&channels, fault_site, a, FaultRail::Vn), vn_a)?;
+                n.bind_wire(drive_net(&channels, &fault_sites, a, FaultRail::Vn), vn_a)?;
                 let nall = n.not(all_res);
                 let nvn_a = n.not(vn_a);
                 let sp_a = n.and2(nall, nvn_a);
-                n.bind_wire(drive_net(&channels, fault_site, a, FaultRail::Sp), sp_a)?;
+                n.bind_wire(drive_net(&channels, &fault_sites, a, FaultRail::Sp), sp_a)?;
                 let nsn_a = n.not(cha.sn);
                 let consumed_neg = n.and2(vn_a, nsn_a);
                 let ncons_neg = n.not(consumed_neg);
@@ -609,19 +630,19 @@ pub fn compile(net: &ElasticNetwork, opts: &CompileOptions) -> Result<Compiled, 
                 let idle = n.and2(nbusy, ndone);
                 let vnb = backward_vn(&channels, b);
                 let vn_a = n.and2(vnb, idle);
-                n.bind_wire(drive_net(&channels, fault_site, a, FaultRail::Vn), vn_a)?;
+                n.bind_wire(drive_net(&channels, &fault_sites, a, FaultRail::Vn), vn_a)?;
                 let nsp_b = n.not(chb.sp);
                 let out_resolving = n.and2(done, nsp_b);
                 let can_accept = n.or2(idle, out_resolving);
                 let ncan = n.not(can_accept);
                 let nvn_a = n.not(vn_a);
                 let sp_a = n.and2(ncan, nvn_a);
-                n.bind_wire(drive_net(&channels, fault_site, a, FaultRail::Sp), sp_a)?;
+                n.bind_wire(drive_net(&channels, &fault_sites, a, FaultRail::Sp), sp_a)?;
                 let nsp_a = n.not(sp_a);
                 let t_in = n.and([cha.vp, nsp_a, nvn_a]);
                 n.set_name(t_in, format!("{cname}.go"))?;
                 n.mark_output(t_in)?;
-                n.bind_wire(drive_net(&channels, fault_site, b, FaultRail::Vp), done)?;
+                n.bind_wire(drive_net(&channels, &fault_sites, b, FaultRail::Vp), done)?;
                 // sn(b): pass-through resolution when idle, absorb when busy.
                 let nsn_a2 = n.not(cha.sn);
                 let res_t = n.or2(cha.vp, nsn_a2); // vp_a | !sn_a
@@ -733,7 +754,7 @@ fn emit_join(
     net: &ElasticNetwork,
     channels: &[ChannelNets],
     sn_shadow: &[NetId],
-    fault_site: Option<(usize, FaultRail, NetId)>,
+    fault_sites: &[(usize, FaultRail, NetId)],
     comp: CompId,
     inputs: usize,
     ee: Option<&EarlyEval>,
@@ -808,7 +829,7 @@ fn emit_join(
     };
     let npend = n.not(any_pend);
     let vp_b = n.and2(enable, npend);
-    n.bind_wire(drive_net(channels, fault_site, b, FaultRail::Vp), vp_b)?;
+    n.bind_wire(drive_net(channels, fault_sites, b, FaultRail::Vp), vp_b)?;
     let nsp_b = n.not(chb.sp);
     let fire = n.and2(vp_b, nsp_b);
     let nvp_b = n.not(vp_b);
@@ -820,9 +841,8 @@ fn emit_join(
 
     // Fault injection: a sabotaged join keeps firing early but never
     // raises its G gates, so late inputs are never killed.
-    let drop_anti = matches!(
-        &opts.fault,
-        Some(FaultInjection::DropAntiToken { join }) if *join == net.component(comp).name
+    let drop_anti = opts.fault.iter().chain(&opts.faults).any(
+        |f| matches!(f, FaultInjection::DropAntiToken { join } if *join == net.component(comp).name),
     );
     let nfire = n.not(fire);
     for (i, &a) in ins.iter().enumerate() {
@@ -834,10 +854,10 @@ fn emit_join(
             n.and2(fire, nveff)
         };
         let vn_a = n.or2(pend[i], g);
-        n.bind_wire(drive_net(channels, fault_site, a, FaultRail::Vn), vn_a)?;
+        n.bind_wire(drive_net(channels, fault_sites, a, FaultRail::Vn), vn_a)?;
         let nvn_a = n.not(vn_a);
         let sp_a = n.and2(nfire, nvn_a);
-        n.bind_wire(drive_net(channels, fault_site, a, FaultRail::Sp), sp_a)?;
+        n.bind_wire(drive_net(channels, fault_sites, a, FaultRail::Sp), sp_a)?;
         // pend' = (pend | G | absorb) & !resolved.
         let nsn_a = n.not(cha.sn);
         let res_t = n.or2(cha.vp, nsn_a);
@@ -1034,6 +1054,7 @@ mod tests {
                 nondet_merge: false,
                 optimize: false,
                 fault: None,
+                faults: vec![],
             },
         )
         .unwrap_err();
@@ -1046,6 +1067,7 @@ mod tests {
                 nondet_merge: false,
                 optimize: false,
                 fault: None,
+                faults: vec![],
             },
         )
         .unwrap();
@@ -1062,6 +1084,7 @@ mod tests {
                 nondet_merge: false,
                 optimize: false,
                 fault: None,
+                faults: vec![],
             },
         )
         .unwrap();

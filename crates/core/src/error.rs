@@ -62,6 +62,11 @@ pub enum CoreError {
     /// exist, the rail cannot be faulted, or the requested injection window
     /// falls outside the simulated horizon.
     FaultSite(String),
+    /// A fault *process* specification was invalid: overlapping windows on
+    /// the same rail, a Byzantine adversary arming only one channel side,
+    /// or an intensity that exceeds the window/horizon it must fit in
+    /// (`crate::fault`).
+    FaultProcess(String),
     /// Underlying netlist error (compilation only).
     Netlist(String),
 }
@@ -112,6 +117,7 @@ impl fmt::Display for CoreError {
             CoreError::ScheduleBatch(msg) => write!(f, "bad schedule batch: {msg}"),
             CoreError::Differential(msg) => write!(f, "differential check failed: {msg}"),
             CoreError::FaultSite(msg) => write!(f, "invalid fault site: {msg}"),
+            CoreError::FaultProcess(msg) => write!(f, "invalid fault process: {msg}"),
             CoreError::Netlist(e) => write!(f, "netlist error: {e}"),
         }
     }
@@ -136,6 +142,7 @@ mod tests {
             CoreError::BadEarlyEval("x".into()),
             CoreError::BufferlessCycle(vec!["a".into()]),
             CoreError::FaultSite("x".into()),
+            CoreError::FaultProcess("x".into()),
         ] {
             assert!(e.to_string().chars().next().unwrap().is_lowercase());
         }

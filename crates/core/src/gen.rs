@@ -706,6 +706,7 @@ pub fn differential_check(
             nondet_merge: false,
             optimize: true,
             fault: opts.fault.clone(),
+            faults: vec![],
         },
     )?;
     let (prog, _) = Program::compile_optimized(&compiled.netlist).map_err(CoreError::from)?;

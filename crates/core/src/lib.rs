@@ -46,6 +46,7 @@ pub mod compile;
 pub mod dmg_bridge;
 pub mod ee;
 pub mod elasticize;
+pub mod fault;
 pub mod gen;
 pub mod network;
 pub mod protocol;

@@ -115,6 +115,21 @@ impl ProtocolMonitor {
 ///
 /// Data stability is deliberately not checked: the wide fault campaigns
 /// observe control rails only.
+///
+/// # Stabilization under continuous disturbance
+///
+/// Under a fault *process* (`crate::fault`) the one-shot question "did the
+/// violations stop?" is not enough: the process re-injects, possibly while
+/// the trace is still mid-recovery from the previous strike. The detector
+/// therefore doubles as a **stabilization tracker**: the driver calls
+/// [`RecoveryDetector::fault_event`] at every injection-window start,
+/// which *retimes* the stabilization clock without erasing the violation
+/// history. [`RecoveryDetector::stabilization_time`] then reports the
+/// cycles from the **last** fault event to the onset of sustained
+/// `(I*R*T)*` conformance (`None` while the trace is still violating near
+/// the horizon — non-stabilized), and
+/// [`RecoveryDetector::violation_rate`] gives the steady-state violation
+/// rate for processes that never quiesce.
 #[derive(Debug, Clone, Default)]
 pub struct RecoveryDetector {
     cycle: usize,
@@ -122,6 +137,8 @@ pub struct RecoveryDetector {
     retry_neg: bool,
     violations: usize,
     last_violation: Option<usize>,
+    fault_events: usize,
+    last_fault_event: Option<usize>,
 }
 
 impl RecoveryDetector {
@@ -175,6 +192,57 @@ impl RecoveryDetector {
         match self.last_violation {
             None => true,
             Some(last) => last + tail < self.cycle,
+        }
+    }
+
+    /// Marks a fault event at the *current* cycle (call it just before
+    /// observing the first cycle of an injection window): retimes the
+    /// stabilization clock so [`RecoveryDetector::stabilization_time`]
+    /// measures from this disturbance, not the first one. Violation counts
+    /// and pending obligations are deliberately kept — re-injection during
+    /// a recovery tail must not erase the evidence that the tail was never
+    /// completed.
+    pub fn fault_event(&mut self) {
+        self.fault_events += 1;
+        self.last_fault_event = Some(self.cycle);
+    }
+
+    /// Fault events marked so far.
+    pub fn fault_events(&self) -> usize {
+        self.fault_events
+    }
+
+    /// Cycle index of the most recent fault event.
+    pub fn last_fault_event(&self) -> Option<usize> {
+        self.last_fault_event
+    }
+
+    /// Stabilization time under the observed disturbance: cycles from the
+    /// last [`RecoveryDetector::fault_event`] (cycle 0 when none was
+    /// marked) to the cycle *after* the last violation — the onset of the
+    /// sustained `(I*R*T)*` suffix. Zero when the trace never violated
+    /// after the last event; `None` when the trace has not stabilized,
+    /// i.e. a violation falls inside the final `tail` cycles
+    /// ([`RecoveryDetector::recovered`] is false).
+    pub fn stabilization_time(&self, tail: usize) -> Option<u64> {
+        if !self.recovered(tail) {
+            return None;
+        }
+        let origin = self.last_fault_event.unwrap_or(0);
+        Some(match self.last_violation {
+            None => 0,
+            Some(last) => ((last + 1).saturating_sub(origin)) as u64,
+        })
+    }
+
+    /// Steady-state violation rate: violating cycles per observed cycle
+    /// (0 for an empty trace) — the residual disturbance level of a
+    /// process that never quiesces.
+    pub fn violation_rate(&self) -> f64 {
+        if self.cycle == 0 {
+            0.0
+        } else {
+            self.violations as f64 / self.cycle as f64
         }
     }
 }
@@ -393,6 +461,81 @@ mod tests {
             d.observe(sig(false, false, false, false, 0)),
             "anti-token vanished with both valids low"
         );
+    }
+
+    #[test]
+    fn stabilization_retimes_on_reinjection_during_tail() {
+        // First strike at cycle 1, then a quiet stretch that *looks* like a
+        // completed recovery...
+        let mut d = RecoveryDetector::new();
+        d.observe(sig(true, true, false, false, 1)); // 0: R, obligation
+        assert!(d.observe(sig(false, false, false, false, 0))); // 1: V+ drop
+        for _ in 0..8 {
+            d.observe(sig(false, false, false, false, 0)); // 2..=9 quiet
+        }
+        assert!(d.recovered(4));
+        assert_eq!(d.stabilization_time(4), Some(2), "1 strike, quiet from 2");
+        // ...but the process re-injects mid-tail: the tracker must retime
+        // to the new event, not keep reporting the first recovery.
+        d.fault_event(); // event at cycle 10
+        d.observe(sig(true, true, false, false, 2)); // 10: R
+        assert!(d.observe(sig(false, false, false, false, 0))); // 11: drop
+        assert!(!d.recovered(4), "violation 11 inside a 4-tail at cycle 12");
+        assert_eq!(d.stabilization_time(4), None, "mid-recovery: not stable");
+        for _ in 0..6 {
+            d.observe(sig(false, false, false, false, 0)); // 12..=17 quiet
+        }
+        assert_eq!(d.violations(), 2, "history survives the retime");
+        assert_eq!(d.fault_events(), 1);
+        assert_eq!(d.last_fault_event(), Some(10));
+        assert_eq!(
+            d.stabilization_time(4),
+            Some(2),
+            "measured from the re-injection at 10 to conformance onset 12"
+        );
+        assert!((d.violation_rate() - 2.0 / 18.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stabilization_is_zero_when_last_event_causes_no_violation() {
+        let mut d = RecoveryDetector::new();
+        assert!(d.observe(sig(false, true, true, false, 0))); // 0: invariant
+        for _ in 0..9 {
+            d.observe(sig(false, false, false, false, 0)); // 1..=9 quiet
+        }
+        d.fault_event(); // event at 10 that the network masks entirely
+        for _ in 0..5 {
+            d.observe(sig(false, false, false, false, 0)); // 10..=14 quiet
+        }
+        assert_eq!(
+            d.stabilization_time(3),
+            Some(0),
+            "no violation after the last event: instantly conformant"
+        );
+    }
+
+    #[test]
+    fn reinjection_keeps_pending_obligations() {
+        // A fault event between a retry and its resolution must not erase
+        // the persistence obligation.
+        let mut d = RecoveryDetector::new();
+        d.observe(sig(true, true, false, false, 1)); // 0: R
+        d.fault_event();
+        assert!(
+            d.observe(sig(false, false, false, false, 0)),
+            "V+ drop across a fault event still scores"
+        );
+    }
+
+    #[test]
+    fn violation_rate_of_never_quiescing_trace() {
+        let mut d = RecoveryDetector::new();
+        for _ in 0..10 {
+            assert!(d.observe(sig(false, true, true, false, 0)));
+        }
+        assert_eq!(d.stabilization_time(1), None, "never stabilizes");
+        assert!((d.violation_rate() - 1.0).abs() < 1e-12);
+        assert_eq!(RecoveryDetector::new().violation_rate(), 0.0);
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub use env::{DataGen, EnvConfig, Environment, LatencyDist, RandomEnv, SinkCfg, 
 use crate::channel::{ChanId, ChannelSignals};
 use crate::compile::{FaultInjection, FaultRail};
 use crate::error::CoreError;
+use crate::fault::FaultProcess;
 use crate::network::{CompId, ComponentKind, ElasticNetwork};
 use crate::protocol::ProtocolMonitor;
 use crate::stats::{ChannelStats, SimReport};
@@ -107,11 +108,15 @@ pub struct BehavSim {
     check_protocol: bool,
     internal_annihilations: u64,
     time: u64,
-    /// Armed rail fault: `(fault, site channel, rail, start, end)` — the
-    /// rail is corrupted while `start <= time < end`, mirroring the
-    /// compiled corruption gate (`crate::compile`).
-    fault: Option<(FaultInjection, ChanId, FaultRail, u64, u64)>,
+    /// Armed rail-fault sites, one entry per distinct channel rail.
+    faults: Vec<ArmedFault>,
 }
+
+/// An armed rail-fault site: `(fault, site channel, rail, windows)` where
+/// the rail is corrupted while `start <= time < end` for any
+/// `(start, end)` window, mirroring the compiled corruption gates
+/// (`crate::compile`).
+type ArmedFault = (FaultInjection, ChanId, FaultRail, Vec<(u64, u64)>);
 
 impl BehavSim {
     /// Builds a simulator over a validated copy of the network.
@@ -166,7 +171,7 @@ impl BehavSim {
             check_protocol: true,
             internal_annihilations: 0,
             time: 0,
-            fault: None,
+            faults: Vec::new(),
         })
     }
 
@@ -196,6 +201,57 @@ impl BehavSim {
         start: u64,
         len: u64,
     ) -> Result<(), CoreError> {
+        if len == 0 {
+            return Err(CoreError::FaultSite("empty injection window".into()));
+        }
+        let end = start.saturating_add(len);
+        self.arm_site(fault, vec![(start, end)])
+    }
+
+    /// Arms a whole [`FaultProcess`]: validates it eagerly against this
+    /// network and the `cycles` horizon, then arms every site with its
+    /// deterministic `(seed, lane)` window expansion — the behavioural
+    /// counterpart of compiling with
+    /// [`crate::compile::CompileOptions::faults`] `= process.sites()` and
+    /// arming the trailing stimulus columns with
+    /// [`FaultProcess::windows`]. Calling it repeatedly composes processes
+    /// on disjoint channel rails.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::FaultProcess`] / [`CoreError::FaultSite`] from
+    /// [`FaultProcess::validate`], and [`CoreError::FaultProcess`] when a
+    /// site collides with an already-armed channel rail.
+    pub fn inject_process(
+        &mut self,
+        process: &FaultProcess,
+        seed: u64,
+        lane: usize,
+        cycles: usize,
+    ) -> Result<(), CoreError> {
+        process.validate(&self.net, cycles)?;
+        for (site, windows) in process
+            .sites()
+            .into_iter()
+            .zip(process.windows(seed, lane, cycles))
+        {
+            self.arm_site(
+                site,
+                windows
+                    .into_iter()
+                    .map(|(s, l)| (s as u64, (s + l) as u64))
+                    .collect(),
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Arms one corruption site with a list of `(start, end)` windows.
+    fn arm_site(
+        &mut self,
+        fault: FaultInjection,
+        windows: Vec<(u64, u64)>,
+    ) -> Result<(), CoreError> {
         let Some(site) = fault.channel() else {
             return Err(CoreError::FaultSite(
                 "drop-anti-token is a compile-time sabotage, not a behavioural rail fault".into(),
@@ -206,18 +262,25 @@ impl BehavSim {
             .channels()
             .find(|&c| self.net.channel(c).name == site)
             .ok_or_else(|| CoreError::FaultSite(format!("no channel named {site:?} to corrupt")))?;
-        if len == 0 {
-            return Err(CoreError::FaultSite("empty injection window".into()));
-        }
         let rail = fault.rail().expect("rail faults target a rail");
-        let end = start.saturating_add(len);
-        self.fault = Some((fault, chan, rail, start, end));
+        if self
+            .faults
+            .iter()
+            .any(|&(_, c, r, _)| c == chan && r == rail)
+        {
+            return Err(CoreError::FaultProcess(format!(
+                "channel {site:?} rail {} is already armed: overlapping windows on one rail \
+                 must share a single site",
+                rail.label()
+            )));
+        }
+        self.faults.push((fault, chan, rail, windows));
         Ok(())
     }
 
-    /// Disarms any pending rail fault.
+    /// Disarms every pending rail fault.
     pub fn clear_fault(&mut self) {
-        self.fault = None;
+        self.faults.clear();
     }
 
     /// Disables the runtime protocol monitor (kept on by default; only worth
@@ -338,12 +401,12 @@ impl BehavSim {
             for &comp in &comps {
                 self.eval_component(comp);
             }
-            // Armed rail fault: corrupt the settled rail, like the
-            // compiled corruption gate between producer and consumers.
-            // Every pass re-evaluates the raw value, so the corruption is
-            // stable across passes.
-            if let Some((fault, chan, rail, start, end)) = &self.fault {
-                if (*start..*end).contains(&self.time) {
+            // Armed rail faults: corrupt each settled rail whose site has
+            // an active window, like the compiled corruption gates between
+            // producer and consumers. Every pass re-evaluates the raw
+            // value, so the corruption is stable across passes.
+            for (fault, chan, rail, windows) in &self.faults {
+                if windows.iter().any(|&(s, e)| (s..e).contains(&self.time)) {
                     let s = &mut self.sig[chan.index()];
                     match rail {
                         FaultRail::Vp => s.vp = fault.corrupt(s.vp, true),

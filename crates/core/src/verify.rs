@@ -16,7 +16,9 @@
 
 use std::collections::HashMap;
 
-use elastic_mc::{check_fair, netlist_kripke, parse, BridgeOptions, Kripke, NetlistKripke};
+use elastic_mc::{
+    check_fair, netlist_kripke, parse, BridgeOptions, ConvergenceReport, Kripke, NetlistKripke,
+};
 use elastic_netlist::sim::Simulator;
 use elastic_netlist::wide::{WideSimulator, LANES};
 use elastic_netlist::NetId;
@@ -42,6 +44,10 @@ pub struct Schedule {
     /// driven low every cycle and the corruption gate passes the raw rail
     /// through.
     fault: Vec<bool>,
+    /// Arm streams of the additional fault sites (site 1, 2, …) of a
+    /// multi-site compilation ([`crate::compile::CompileOptions::faults`]).
+    /// Site 0 is [`Schedule::fault`]; missing streams read as unarmed.
+    more_faults: Vec<Vec<bool>>,
     cycles: usize,
 }
 
@@ -61,6 +67,7 @@ impl Schedule {
             kills: HashMap::new(),
             finishes: HashMap::new(),
             fault: Vec::new(),
+            more_faults: Vec::new(),
             cycles,
         };
         for comp in net.components() {
@@ -156,6 +163,25 @@ impl Schedule {
     /// [`CoreError::FaultSite`] when the window is empty or extends past
     /// the schedule horizon.
     pub fn arm_fault(&mut self, start: usize, len: usize) -> Result<(), CoreError> {
+        self.arm_fault_site(0, start, len)
+    }
+
+    /// Arms fault site `site` (site 0 = the [`Self::arm_fault`] stream, the
+    /// primary [`crate::compile::CompileOptions::fault`]; sites 1, 2, … are
+    /// the [`crate::compile::CompileOptions::faults`] extras, in order) for
+    /// `len` cycles starting at `start`. Multi-site fault processes arm each
+    /// of their sites independently this way.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::FaultSite`] when the window is empty or extends past
+    /// the schedule horizon.
+    pub fn arm_fault_site(
+        &mut self,
+        site: usize,
+        start: usize,
+        len: usize,
+    ) -> Result<(), CoreError> {
         if len == 0 {
             return Err(CoreError::FaultSite("empty injection window".into()));
         }
@@ -168,10 +194,18 @@ impl Schedule {
                     self.cycles
                 ))
             })?;
-        if self.fault.is_empty() {
-            self.fault = vec![false; self.cycles];
+        let stream = if site == 0 {
+            &mut self.fault
+        } else {
+            if self.more_faults.len() < site {
+                self.more_faults.resize(site, Vec::new());
+            }
+            &mut self.more_faults[site - 1]
+        };
+        if stream.is_empty() {
+            *stream = vec![false; self.cycles];
         }
-        for slot in &mut self.fault[start..end] {
+        for slot in &mut stream[start..end] {
             *slot = true;
         }
         Ok(())
@@ -180,6 +214,18 @@ impl Schedule {
     /// Whether the compiled-in fault gate is armed at cycle `t`.
     pub fn fault_at(&self, t: u64) -> bool {
         self.fault.get(t as usize).copied().unwrap_or(false)
+    }
+
+    /// Whether fault site `site` (0-based, site 0 = [`Self::fault_at`]) is
+    /// armed at cycle `t`.
+    pub fn fault_site_at(&self, site: usize, t: u64) -> bool {
+        if site == 0 {
+            return self.fault_at(t);
+        }
+        self.more_faults
+            .get(site - 1)
+            .and_then(|v| v.get(t as usize).copied())
+            .unwrap_or(false)
     }
 
     fn offer(&self, name: &str, t: u64) -> Option<u64> {
@@ -240,6 +286,11 @@ pub struct NetlistTestbench {
     /// Always the **last** input column, so a fault-free compilation's
     /// stimulus layout is byte-identical to one that never heard of faults.
     fault: Option<NetId>,
+    /// Arm inputs of the additional fault sites of a multi-site
+    /// compilation, in site order: their columns trail the primary fault
+    /// column, so a single-site layout is unchanged. Non-empty only when
+    /// `fault` is `Some`.
+    more_faults: Vec<NetId>,
 }
 
 impl NetlistTestbench {
@@ -288,6 +339,7 @@ impl NetlistTestbench {
             sinks,
             vls,
             fault: None,
+            more_faults: Vec::new(),
         })
     }
 
@@ -320,6 +372,41 @@ impl NetlistTestbench {
         Ok(tb)
     }
 
+    /// Like [`Self::with_fault`] for a multi-site fault list: resolves one
+    /// arm input per rail fault, in site order. Site *i*'s stimulus column
+    /// is `fault_cols()[i]`, matching [`Schedule::arm_fault_site`] indices.
+    /// Structural faults ([`FaultInjection::DropAntiToken`]) have no arm
+    /// wire and are skipped, exactly as in [`Self::with_fault`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::FaultSite`] when any listed fault has no arm input in
+    /// the netlist, plus everything [`Self::new`] reports.
+    pub fn with_faults(
+        net: &ElasticNetwork,
+        nl: &elastic_netlist::Netlist,
+        data_width: usize,
+        faults: &[FaultInjection],
+    ) -> Result<Self, CoreError> {
+        let mut tb = NetlistTestbench::new(net, nl, data_width)?;
+        for fault in faults {
+            let Some(name) = fault.input_name() else {
+                continue;
+            };
+            let id = nl.find(&name).map_err(|_| {
+                CoreError::FaultSite(format!(
+                    "netlist has no fault-arm input {name:?}; compile with this fault first"
+                ))
+            })?;
+            if tb.fault.is_none() {
+                tb.fault = Some(id);
+            } else {
+                tb.more_faults.push(id);
+            }
+        }
+        Ok(tb)
+    }
+
     /// The packed-stimulus column of the fault-arm input, if one was
     /// resolved: always the last column, after every source, sink and
     /// variable-latency group.
@@ -333,6 +420,17 @@ impl NetlistTestbench {
             + 2 * self.sinks.len()
             + self.vls.len();
         Some(n)
+    }
+
+    /// The packed-stimulus columns of every resolved fault-arm input, in
+    /// site order (column *i* is [`Schedule`] fault site *i*). Empty for a
+    /// fault-free testbench; `fault_cols()[0] == fault_col().unwrap()`
+    /// otherwise.
+    pub fn fault_cols(&self) -> Vec<usize> {
+        let Some(base) = self.fault_col() else {
+            return Vec::new();
+        };
+        (base..=base + self.more_faults.len()).collect()
     }
 
     /// Primary-input assignments for cycle `t` of one schedule.
@@ -354,6 +452,9 @@ impl NetlistTestbench {
         }
         if let Some(arm) = self.fault {
             inputs.push((arm, schedule.fault_at(t)));
+            for (i, &extra) in self.more_faults.iter().enumerate() {
+                inputs.push((extra, schedule.fault_site_at(i + 1, t)));
+            }
         }
         inputs
     }
@@ -404,6 +505,9 @@ impl NetlistTestbench {
         }
         if let Some(arm) = self.fault {
             inputs.push((arm, pack(&|s| s.fault_at(t))));
+            for (i, &extra) in self.more_faults.iter().enumerate() {
+                inputs.push((extra, pack(&|s| s.fault_site_at(i + 1, t))));
+            }
         }
         inputs
     }
@@ -671,6 +775,7 @@ impl PackedStimulus {
         }
         if let Some(arm) = tb.fault {
             slots.push(arm.index() as u32);
+            slots.extend(tb.more_faults.iter().map(|f| f.index() as u32));
         }
         let n = slots.len();
         let mut words = vec![0u64; cycles * n * width];
@@ -730,15 +835,23 @@ impl PackedStimulus {
             col += 1;
         }
         if tb.fault.is_some() {
-            for (lane, sched) in schedules.iter().enumerate() {
-                let (w, bit) = (lane / LANES, lane % LANES);
-                for (t, &v) in sched.fault.iter().take(cycles).enumerate() {
-                    if v {
-                        words[cell(t, col, w)] |= 1 << bit;
+            for site in 0..=tb.more_faults.len() {
+                for (lane, sched) in schedules.iter().enumerate() {
+                    let (w, bit) = (lane / LANES, lane % LANES);
+                    let stream = if site == 0 {
+                        Some(&sched.fault)
+                    } else {
+                        sched.more_faults.get(site - 1)
+                    };
+                    let Some(stream) = stream else { continue };
+                    for (t, &v) in stream.iter().take(cycles).enumerate() {
+                        if v {
+                            words[cell(t, col, w)] |= 1 << bit;
+                        }
                     }
                 }
+                col += 1;
             }
-            col += 1;
         }
         debug_assert_eq!(col, n);
         Ok(PackedStimulus {
@@ -809,6 +922,7 @@ impl PackedStimulus {
         }
         if let Some(arm) = tb.fault {
             slots.push(arm.index() as u32);
+            slots.extend(tb.more_faults.iter().map(|f| f.index() as u32));
         }
         let n = slots.len();
         let mut words = vec![0u64; cycles * n * width];
@@ -842,10 +956,12 @@ impl PackedStimulus {
                 base
             })
             .collect();
-        // The fault-arm column (if any) stays all-zero: freshly generated
+        // The fault-arm columns (if any) stay all-zero: freshly generated
         // schedules are unarmed, matching `Schedule::random`. Campaigns arm
         // per-lane windows afterwards with [`Self::arm_fault`].
-        col += usize::from(tb.fault.is_some());
+        if tb.fault.is_some() {
+            col += 1 + tb.more_faults.len();
+        }
         debug_assert_eq!(col, n);
 
         let cell = |t: usize, col: usize, w: usize| (t * n + col) * width + w;
@@ -1097,6 +1213,7 @@ pub fn cosim_check(
             nondet_merge: false,
             optimize: false,
             fault: None,
+            faults: vec![],
         },
     )?;
     let nl = &compiled.netlist;
@@ -1194,6 +1311,7 @@ pub fn cosim_check_wide(
             nondet_merge: false,
             optimize: false,
             fault: None,
+            faults: vec![],
         },
     )?;
     let nl = &compiled.netlist;
@@ -1342,6 +1460,45 @@ pub fn check_network_properties(
     }
     let states = kripke.num_states();
     Ok((results, states))
+}
+
+/// Exhaustive self-stabilization check: compiles `net` with the corruption
+/// gates of `process` (every site becomes a free `fault.<channel>.<rail>`
+/// arm input) and asks, by explicit-state exploration, whether the
+/// protocol re-enters its legal `(I*R*T)*` state set from **every**
+/// fault-reachable state once the arms go quiet — the convergence half of
+/// a self-stabilization proof; closure holds by construction since the
+/// legal set is the arm-low reachable set. `horizon` is only used to
+/// validate the process spec (the state-space analysis is horizon-free).
+///
+/// # Errors
+///
+/// [`CoreError::FaultProcess`] / [`CoreError::FaultSite`] for an invalid
+/// process, compilation errors, and [`CoreError::Netlist`] wrapping the
+/// model checker's budget errors when the faulted environment is too wide
+/// for exhaustive exploration. `data_width` is the compiled payload width
+/// (early-evaluation guards dictate a minimum; 0 for pure control
+/// checking) — every data bit is another free environment input, so keep
+/// it minimal.
+pub fn check_network_convergence(
+    net: &ElasticNetwork,
+    process: &crate::fault::FaultProcess,
+    horizon: usize,
+    data_width: usize,
+    opts: BridgeOptions,
+) -> Result<ConvergenceReport, CoreError> {
+    process.validate(net, horizon)?;
+    let compiled = compile(
+        net,
+        &CompileOptions {
+            faults: process.sites(),
+            data_width,
+            ..CompileOptions::default()
+        },
+    )?;
+    let kripke = netlist_kripke(&compiled.netlist, &[], opts)
+        .map_err(|e| CoreError::Netlist(e.to_string()))?;
+    Ok(kripke.convergence_report())
 }
 
 /// Builds the Kripke structure of a compiled network with the standard
@@ -1573,6 +1730,7 @@ mod tests {
                 nondet_merge: false,
                 optimize: false,
                 fault: None,
+                faults: vec![],
             },
         )
         .unwrap();
@@ -1653,6 +1811,7 @@ mod tests {
                 nondet_merge: false,
                 optimize: false,
                 fault: None,
+                faults: vec![],
             },
         )
         .unwrap();
@@ -1694,6 +1853,7 @@ mod tests {
                 nondet_merge: false,
                 optimize: false,
                 fault: None,
+                faults: vec![],
             },
         )
         .unwrap();
@@ -1735,6 +1895,7 @@ mod tests {
                     nondet_merge: false,
                     optimize: false,
                     fault: None,
+                    faults: vec![],
                 },
             )
             .unwrap();
@@ -1746,6 +1907,7 @@ mod tests {
                     nondet_merge: false,
                     optimize: true,
                     fault: None,
+                    faults: vec![],
                 },
             )
             .unwrap();
@@ -1853,6 +2015,7 @@ mod tests {
                 nondet_merge: false,
                 optimize: false,
                 fault: Some(fault.clone()),
+                faults: vec![],
             },
         )
         .unwrap();
@@ -1882,6 +2045,7 @@ mod tests {
                 nondet_merge: false,
                 optimize: false,
                 fault: Some(fault.clone()),
+                faults: vec![],
             },
         )
         .unwrap();

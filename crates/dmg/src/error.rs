@@ -50,6 +50,9 @@ pub enum DmgError {
         /// Cycle at which the violation was detected.
         cycle: u64,
     },
+    /// A fault-tolerance window specification was invalid: an empty
+    /// `start >= end` window, or windows supplied out of order.
+    ToleranceWindow(String),
 }
 
 impl fmt::Display for DmgError {
@@ -98,6 +101,9 @@ impl fmt::Display for DmgError {
                     "arc {} marking {marking} escaped [{lo}, {hi}] at cycle {cycle}",
                     arc.index()
                 )
+            }
+            DmgError::ToleranceWindow(msg) => {
+                write!(f, "invalid tolerance window: {msg}")
             }
         }
     }

@@ -162,10 +162,13 @@ pub struct Replayer<'g> {
     bounds: Vec<(i64, i64)>,
     trace: Vec<TraceStep>,
     cycle: u64,
-    /// Cycle window `[start, end)` in which bound violations are recorded
+    /// Cycle windows `[start, end)` in which bound violations are recorded
     /// instead of aborting the replay — fault-injection campaigns expect
-    /// the marking to drift while a fault is armed.
-    tolerate: Option<(u64, u64)>,
+    /// the marking to drift while a fault is armed. Sorted, non-empty,
+    /// non-overlapping; a fault *process* contributes one window per
+    /// disturbance interval (`FaultProcess::merged_windows` in
+    /// `elastic_core`).
+    tolerate: Vec<(u64, u64)>,
     tolerated_violations: usize,
 }
 
@@ -195,7 +198,7 @@ impl<'g> Replayer<'g> {
             bounds,
             trace: Vec::new(),
             cycle: 0,
-            tolerate: None,
+            tolerate: Vec::new(),
             tolerated_violations: 0,
         })
     }
@@ -210,7 +213,36 @@ impl<'g> Replayer<'g> {
     /// replay as usual — a network that never re-enters its capacity
     /// windows after the window closes is a genuine non-recovery.
     pub fn tolerate_window(&mut self, start: u64, end: u64) {
-        self.tolerate = Some((start, end));
+        self.tolerate = vec![(start, end)];
+    }
+
+    /// Declares a whole set of tolerated `[start, end)` windows at once —
+    /// the disturbance intervals of a fault *process* re-injecting over the
+    /// run. Replaces any previously declared windows.
+    ///
+    /// # Errors
+    ///
+    /// [`DmgError::ToleranceWindow`] for an empty window (`start >= end`)
+    /// or windows that are unsorted or overlapping — a merged, ordered
+    /// interval set is the only unambiguous tolerance specification.
+    pub fn tolerate_windows(&mut self, windows: &[(u64, u64)]) -> Result<(), DmgError> {
+        for (i, &(s, e)) in windows.iter().enumerate() {
+            if s >= e {
+                return Err(DmgError::ToleranceWindow(format!(
+                    "window {i} [{s}, {e}) is empty"
+                )));
+            }
+            if i > 0 && windows[i - 1].1 > s {
+                return Err(DmgError::ToleranceWindow(format!(
+                    "window {i} [{s}, {e}) starts before window {} ends at {} — \
+                     merge and sort the intervals first",
+                    i - 1,
+                    windows[i - 1].1
+                )));
+            }
+        }
+        self.tolerate = windows.to_vec();
+        Ok(())
     }
 
     /// Bound violations recorded inside the tolerated window.
@@ -249,7 +281,8 @@ impl<'g> Replayer<'g> {
     pub fn end_cycle(&mut self) -> Result<(), DmgError> {
         let tolerated = self
             .tolerate
-            .is_some_and(|(lo, hi)| (lo..hi).contains(&self.cycle));
+            .iter()
+            .any(|&(lo, hi)| (lo..hi).contains(&self.cycle));
         for a in self.g.arcs() {
             let v = self.m.get(a);
             let (lo, hi) = self.bounds[a.index()];
@@ -469,6 +502,62 @@ mod tests {
         }
         assert_eq!(rec.cycle(), 6);
         assert!(rec.tolerated_violations() > 0);
+    }
+
+    #[test]
+    fn replayer_tolerates_multiple_disjoint_windows() {
+        let mut b = crate::graph::DmgBuilder::new();
+        let p = b.node("p");
+        let c = b.node("c");
+        b.arc(p, c, 1);
+        b.arc(c, p, 0);
+        let g = b.build().unwrap();
+        let mut rep = Replayer::new(&g, vec![(-2, 2), (-2, 2)]).unwrap();
+        // A periodic process: two disturbance intervals, quiet in between.
+        rep.tolerate_windows(&[(0, 3), (5, 8)]).unwrap();
+        // Drain past the bound inside window 0, refill before it closes.
+        for _ in 0..3 {
+            rep.fire(c).unwrap();
+            rep.end_cycle().unwrap();
+        }
+        for _ in 0..2 {
+            rep.fire(p).unwrap();
+            rep.end_cycle().unwrap();
+        }
+        let drift_in_first = rep.tolerated_violations();
+        assert!(drift_in_first > 0, "window 0 recorded the drift");
+        // Same overshoot inside window 1: tolerated again, not fatal —
+        // with the old single-window API the second strike would abort.
+        for _ in 0..3 {
+            rep.fire(c).unwrap();
+            rep.end_cycle().unwrap();
+        }
+        assert!(rep.tolerated_violations() > drift_in_first);
+        // The gap between windows enforces as usual: a replay still out of
+        // bounds at cycle 8 (past window 1) is a genuine non-recovery.
+        assert!(matches!(
+            rep.end_cycle(),
+            Err(DmgError::BoundViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn tolerance_window_specs_are_validated() {
+        let g = crate::examples::fig1_dmg();
+        let mut rep = Replayer::new(&g, vec![(-9, 9); g.num_arcs()]).unwrap();
+        assert!(matches!(
+            rep.tolerate_windows(&[(3, 3)]),
+            Err(DmgError::ToleranceWindow(_))
+        ));
+        assert!(matches!(
+            rep.tolerate_windows(&[(5, 8), (0, 3)]),
+            Err(DmgError::ToleranceWindow(_))
+        ));
+        assert!(matches!(
+            rep.tolerate_windows(&[(0, 4), (3, 6)]),
+            Err(DmgError::ToleranceWindow(_))
+        ));
+        rep.tolerate_windows(&[(0, 3), (3, 6)]).unwrap();
     }
 
     #[test]

@@ -59,6 +59,7 @@ fn lint_system(
             nondet_merge: false,
             optimize: false,
             fault: None,
+            faults: vec![],
         };
         match compile(net, &opts) {
             Ok(compiled) => {

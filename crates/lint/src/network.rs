@@ -9,6 +9,7 @@
 //! | E105 | error    | early-enabling join input whose anti-tokens have nowhere to annihilate (no backward path to a token source or passive boundary) |
 //! | E106 | error    | controller not forward-reachable from any token origin (dead logic) |
 //! | W201 | warning  | passive channel with no early-evaluation join downstream |
+//! | W202 | warning  | single-point-of-failure channel: a lost token on a closed one-token buffer ring is unrecoverable |
 //! | W301 | warning  | buffer capacity caps the lazy throughput bound below 1 token/cycle |
 //!
 //! The passes only use the network's public accessors, so they run on
@@ -21,7 +22,7 @@ use elastic_core::sim::EnvConfig;
 
 use crate::{Diagnostic, LintReport};
 
-/// Runs every structural network pass (E101–E106, W201).
+/// Runs every structural network pass (E101–E106, W201, W202).
 ///
 /// [`lint_network_with_env`] additionally runs the throughput-bound pass,
 /// which needs the environment's latency distributions.
@@ -34,6 +35,7 @@ pub fn lint_network(net: &ElasticNetwork) -> LintReport {
     check_counterflow_paths(net, &mut diags);
     check_reachability(net, &mut diags);
     check_passive_utility(net, &mut diags);
+    check_single_point_of_failure(net, &mut diags);
     LintReport::new(diags)
 }
 
@@ -340,6 +342,66 @@ fn check_passive_utility(net: &ElasticNetwork, diags: &mut Vec<Diagnostic>) {
     }
 }
 
+/// W202: a cycle passing only through buffers and variable-latency units
+/// is a *closed* token ring — no join merges outside tokens in, no fork
+/// offers a redundant path, so its token population is invariant under
+/// the protocol. When such a ring circulates exactly one token, every
+/// channel on it is a single point of failure: a `lose_token` fault there
+/// removes the ring's only token, and with no source upstream and no
+/// second token-holding buffer on the cycle the loss is provably
+/// non-recoverable — the ring idles forever (the fault-injection
+/// campaigns observe exactly this as a permanent zero-throughput,
+/// never-recovering outcome). A ring with two or more tokens degrades but
+/// stays live; a ring with none is already dead at power-up (E101).
+fn check_single_point_of_failure(net: &ElasticNetwork, diags: &mut Vec<Diagnostic>) {
+    let cuts =
+        |k: &ComponentKind| !matches!(k, ComponentKind::Eb { .. } | ComponentKind::VarLatency);
+    let Some(cycle) = find_uncut_cycle(net, cuts) else {
+        return;
+    };
+    let tokens = cycle
+        .iter()
+        .filter(|&&c| {
+            matches!(
+                net.component(c).kind,
+                ComponentKind::Eb {
+                    init_token: true,
+                    ..
+                }
+            )
+        })
+        .count();
+    if tokens != 1 {
+        return;
+    }
+    for (i, &v) in cycle.iter().enumerate() {
+        let next = cycle[(i + 1) % cycle.len()];
+        for port in 0..net.component(v).kind.num_outputs() {
+            let Some(chan) = net.output_channel(v, port) else {
+                continue;
+            };
+            if net.channel(chan).to.0 == next {
+                diags.push(
+                    Diagnostic::warning(
+                        "W202",
+                        net.channel(chan).name.clone(),
+                        format!(
+                            "single point of failure: losing a token here kills the only \
+                             token of the closed buffer ring {} — no redundant path or \
+                             spare token can ever recover it",
+                            cycle_site(net, &cycle)
+                        ),
+                    )
+                    .with_suggestion(
+                        "hold a spare token in a second buffer on the ring, or break the \
+                         ring with a join fed from a token-producing region",
+                    ),
+                );
+            }
+        }
+    }
+}
+
 /// W301: the min-cycle-ratio bound of the marked-graph abstraction, under
 /// the environment's mean latencies. A bound below 1 means some
 /// buffer/latency cycle structurally caps throughput — often a missing
@@ -607,6 +669,99 @@ mod tests {
             "warnings only: {}",
             report.render_human()
         );
+    }
+
+    /// A closed two-buffer token ring (no source, join or fork on the
+    /// cycle) holding `tokens` initial tokens.
+    fn closed_ring(tokens: usize) -> ElasticNetwork {
+        let mut net = ElasticNetwork::new("closed");
+        let a = net.add_eb("a", tokens >= 1);
+        let b = net.add_eb("b", tokens >= 2);
+        net.connect(a, 0, b, 0, "ab").unwrap();
+        net.connect(b, 0, a, 0, "ba").unwrap();
+        net
+    }
+
+    #[test]
+    fn one_token_closed_ring_warns_w202_on_every_channel() {
+        let report = lint_network(&closed_ring(1));
+        let sites: Vec<&str> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == "W202")
+            .map(|d| d.site.as_str())
+            .collect();
+        assert_eq!(sites, ["ab", "ba"], "{}", report.render_human());
+        assert!(
+            report.is_clean(),
+            "warnings only: {}",
+            report.render_human()
+        );
+    }
+
+    #[test]
+    fn redundant_token_or_join_suppresses_w202() {
+        // A second circulating token is a spare: one loss degrades but
+        // does not kill the ring.
+        let report = lint_network(&closed_ring(2));
+        assert!(!report.has_code("W202"), "{}", report.render_human());
+        // A ring through a join/fork (the diamond fixture) merges outside
+        // token flow — not a closed ring, whatever its token count.
+        let report = lint_network(&ring(true));
+        assert!(!report.has_code("W202"), "{}", report.render_human());
+    }
+
+    /// Cross-check against the fault campaigns' non-recovery outcomes: a
+    /// `lose_token` strike on a W202-flagged channel is *permanently*
+    /// non-recoverable — the ring's throughput drops to zero and stays
+    /// there, exactly the never-recovering tail the injection campaigns
+    /// record for these sites.
+    #[test]
+    fn w202_channel_lose_token_never_recovers() {
+        use elastic_core::compile::FaultInjection;
+        use elastic_core::sim::{BehavSim, EnvConfig, RandomEnv};
+
+        let net = closed_ring(1);
+        let report = lint_network(&net);
+        let flagged: Vec<String> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == "W202")
+            .map(|d| d.site.clone())
+            .collect();
+        assert!(!flagged.is_empty());
+
+        let mut env = RandomEnv::new(7, EnvConfig::default());
+        // Fault-free reference: the token circulates forever.
+        let mut sim = BehavSim::new(&net).unwrap();
+        sim.run(&mut env, 64).unwrap();
+        let free = sim.report();
+        let chan = net.channel_by_name(&flagged[0]).unwrap();
+        assert!(free.channels[chan.index()].positive > 16);
+
+        // Strike the flagged channel with lose-token over a whole token
+        // period, then keep simulating four times longer than the strike.
+        let mut sim = BehavSim::new(&net).unwrap();
+        sim.inject_fault(
+            FaultInjection::LoseToken {
+                channel: flagged[0].clone(),
+            },
+            8,
+            4,
+        )
+        .unwrap();
+        sim.set_check_protocol(false);
+        let mut env = RandomEnv::new(7, EnvConfig::default());
+        sim.run(&mut env, 64).unwrap();
+        let struck = sim.report();
+        let after_strike: u64 = struck.channels[chan.index()].positive;
+        // Activity stops at the strike and never comes back: everything
+        // the channel transferred happened in the pre-strike prefix.
+        assert!(
+            after_strike <= 8,
+            "ring recovered after losing its only token: {after_strike} transfers"
+        );
+        assert!(free.channels[chan.index()].positive > 4 * after_strike);
     }
 
     #[test]

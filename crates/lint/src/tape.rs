@@ -418,6 +418,7 @@ mod tests {
                     nondet_merge: false,
                     optimize: false,
                     fault: None,
+                    faults: vec![],
                 },
             )
             .unwrap();
@@ -457,6 +458,7 @@ mod tests {
                     channel: chan,
                     rail: FaultRail::Vp,
                 }),
+                faults: vec![],
             },
         )
         .unwrap();

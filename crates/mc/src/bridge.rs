@@ -66,6 +66,117 @@ impl NetlistKripke {
     fn split(&self, s: StateId) -> (usize, usize) {
         (s / self.combos, s % self.combos)
     }
+
+    /// Self-stabilization convergence analysis for a netlist carrying
+    /// fault-arm inputs (primary inputs named `fault.*`, as spliced by
+    /// `elastic_core::compile` for each corruption site).
+    ///
+    /// The structure's flip-flop states were explored under *all* input
+    /// valuations, arms included, so they are exactly the fault-reachable
+    /// states. The **legal** set is re-derived as the states reachable
+    /// from reset with every arm held low. Convergence then asks: from
+    /// every fault-reachable state, does *every* fault-free run (arms low,
+    /// environment still adversarial) re-enter the legal set? A state
+    /// diverges iff it can start an infinite arm-low run that avoids the
+    /// legal set forever — the greatest fixpoint of "outside the legal set
+    /// with some arm-low successor still inside the fixpoint". When no
+    /// state diverges, the protocol is self-stabilizing in the closure
+    /// sense (the legal set is closed under arm-low transitions by
+    /// construction) and [`ConvergenceReport::convergence_bound`] is the
+    /// worst-case number of fault-free cycles back to legality.
+    ///
+    /// A netlist without `fault.*` inputs is trivially converging: every
+    /// reachable state is legal.
+    pub fn convergence_report(&self) -> ConvergenceReport {
+        let fault_bits: Vec<usize> = self
+            .input_names
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.starts_with("fault."))
+            .map(|(i, _)| i)
+            .collect();
+        let arm_mask: usize = fault_bits.iter().map(|&b| 1usize << b).sum();
+        let clean: Vec<usize> = (0..self.combos).filter(|c| c & arm_mask == 0).collect();
+        let nff = self.ff_states.len();
+
+        // Legal set: BFS from reset over arm-low transitions only.
+        let mut legal = vec![false; nff];
+        let mut queue = vec![0usize];
+        legal[0] = true;
+        while let Some(s) = queue.pop() {
+            for &c in &clean {
+                let t = self.delta[s * self.combos + c] as usize;
+                if !legal[t] {
+                    legal[t] = true;
+                    queue.push(t);
+                }
+            }
+        }
+        let legal_count = legal.iter().filter(|&&l| l).count();
+
+        // Backward closure: level[s] = worst-case arm-low cycles until the
+        // run is inside the legal set, for every environment choice. A
+        // state joins level k+1 once all its arm-low successors sit at
+        // level <= k; states that never join can sustain an infinite
+        // illegal arm-low run — they diverge.
+        let mut level = vec![None::<usize>; nff];
+        for (s, &l) in legal.iter().enumerate() {
+            if l {
+                level[s] = Some(0);
+            }
+        }
+        let mut bound = 0usize;
+        loop {
+            let mut changed = false;
+            for s in 0..nff {
+                if level[s].is_some() {
+                    continue;
+                }
+                let worst = clean
+                    .iter()
+                    .map(|&c| level[self.delta[s * self.combos + c] as usize])
+                    .try_fold(0usize, |acc, l| l.map(|l| acc.max(l)));
+                if let Some(w) = worst {
+                    level[s] = Some(w + 1);
+                    bound = bound.max(w + 1);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let diverging = level.iter().filter(|l| l.is_none()).count();
+        ConvergenceReport {
+            ff_states: nff,
+            legal: legal_count,
+            diverging,
+            converging: diverging == 0,
+            convergence_bound: bound,
+            fault_inputs: fault_bits.len(),
+        }
+    }
+}
+
+/// Verdict of [`NetlistKripke::convergence_report`]: does the protocol
+/// re-enter its legal `(I*R*T)*` state set from every fault-reachable
+/// state once the fault arms go quiet?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvergenceReport {
+    /// Fault-reachable flip-flop states (explored under all arm values).
+    pub ff_states: usize,
+    /// States reachable from reset with every arm held low.
+    pub legal: usize,
+    /// States from which some fault-free run avoids the legal set forever.
+    pub diverging: usize,
+    /// `diverging == 0`: the network is self-stabilizing under this fault
+    /// set.
+    pub converging: bool,
+    /// Worst-case fault-free cycles from any fault-reachable state back
+    /// into the legal set (0 when every reachable state is legal).
+    pub convergence_bound: usize,
+    /// Number of `fault.*` arm inputs found.
+    pub fault_inputs: usize,
 }
 
 /// Explores the reachable states of `netlist` under all input sequences and
@@ -355,6 +466,56 @@ mod tests {
         let d = k.describe_state(1);
         assert!(d.contains("grant=0"), "{d}");
         assert!(d.contains("req=1"), "{d}");
+    }
+
+    #[test]
+    fn convergence_trivial_without_fault_arms() {
+        let k = netlist_kripke(&follower(), &[], BridgeOptions::default()).unwrap();
+        let r = k.convergence_report();
+        assert_eq!(r.fault_inputs, 0);
+        assert!(r.converging);
+        assert_eq!(r.diverging, 0);
+        assert_eq!(r.legal, r.ff_states);
+        assert_eq!(r.convergence_bound, 0);
+    }
+
+    #[test]
+    fn convergence_of_a_self_draining_corruption() {
+        // A 2-bit shift chain fed by the fault arm: while armed the chain
+        // fills with illegal state, once the arm drops the ones drain out
+        // in two cycles — self-stabilizing with convergence bound 2.
+        let mut n = Netlist::new("drain");
+        let arm = n.input("fault.c.vp");
+        let b0 = n.dff_bound(arm, false);
+        let b1 = n.dff_bound(b0, false);
+        n.set_name(b0, "b0").unwrap();
+        n.set_name(b1, "b1").unwrap();
+        let k = netlist_kripke(&n, &[], BridgeOptions::default()).unwrap();
+        let r = k.convergence_report();
+        assert_eq!(r.fault_inputs, 1);
+        assert_eq!(r.ff_states, 4, "arm reaches all four chain states");
+        assert_eq!(r.legal, 1, "arm-low from reset stays at 00");
+        assert!(r.converging, "{r:?}");
+        assert_eq!(r.convergence_bound, 2, "two cycles to flush the chain");
+    }
+
+    #[test]
+    fn convergence_detects_a_latching_fault() {
+        // A sticky bit: once the arm has set it, it feeds itself and never
+        // clears — the corrupted state survives arbitrarily long fault-free
+        // operation, so the netlist is NOT self-stabilizing.
+        let mut n = Netlist::new("sticky");
+        let arm = n.input("fault.c.vp");
+        let bit = n.dff(false);
+        let d = n.or([bit, arm]);
+        n.bind_dff(bit, d).unwrap();
+        n.set_name(bit, "stuck").unwrap();
+        let k = netlist_kripke(&n, &[], BridgeOptions::default()).unwrap();
+        let r = k.convergence_report();
+        assert_eq!(r.ff_states, 2);
+        assert_eq!(r.legal, 1);
+        assert_eq!(r.diverging, 1, "the latched state never re-legalizes");
+        assert!(!r.converging);
     }
 
     #[test]

@@ -46,7 +46,7 @@ mod kripke;
 pub mod parser;
 
 pub use bitset::StateSet;
-pub use bridge::{netlist_kripke, BridgeOptions, NetlistKripke};
+pub use bridge::{netlist_kripke, BridgeOptions, ConvergenceReport, NetlistKripke};
 pub use checker::{check, check_fair, witness_to, CheckResult};
 pub use ctl::Ctl;
 pub use error::McError;

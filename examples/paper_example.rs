@@ -25,6 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 nondet_merge: false,
                 optimize: false,
                 fault: None,
+                faults: vec![],
             },
         )?;
         let (opt, _) = optimize(&compiled.netlist)?;

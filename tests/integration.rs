@@ -146,6 +146,7 @@ fn verilog_blif_smv_export_of_paper_example() {
             nondet_merge: false,
             optimize: false,
             fault: None,
+            faults: vec![],
         },
     )
     .unwrap();
