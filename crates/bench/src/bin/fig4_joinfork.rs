@@ -3,26 +3,23 @@
 //! eager fork letting a fast branch run ahead.
 
 use elastic_core::compile::{compile, CompileOptions};
-use elastic_core::network::ElasticNetwork;
+use elastic_core::dsl::Dsl;
 use elastic_core::sim::{BehavSim, EnvConfig, RandomEnv, SinkCfg};
 use elastic_netlist::area::AreaReport;
 use elastic_netlist::export::to_verilog;
 
 fn main() {
-    let mut net = ElasticNetwork::new("fig4");
-    let s1 = net.add_source("s1");
-    let s2 = net.add_source("s2");
-    let j = net.add_join("join", 2);
-    let b = net.add_eb("eb", false);
-    let f = net.add_fork("fork", 2);
-    let fast = net.add_sink("fast");
-    let slow = net.add_sink("slow");
-    net.connect(s1, 0, j, 0, "a1").unwrap();
-    net.connect(s2, 0, j, 1, "a2").unwrap();
-    net.connect(j, 0, b, 0, "jb").unwrap();
-    net.connect(b, 0, f, 0, "bf").unwrap();
-    let cf = net.connect(f, 0, fast, 0, "cf").unwrap();
-    let cs = net.connect(f, 1, slow, 0, "cs").unwrap();
+    let mut d = Dsl::new("fig4");
+    let s1 = d.source("s1").unwrap();
+    let s2 = d.source("s2").unwrap();
+    let j = d
+        .join::<2>("join", [s1.label("a1"), s2.label("a2")])
+        .unwrap();
+    let b = d.eb("eb", false, j.label("jb")).unwrap();
+    let [f0, f1] = d.fork::<2>("fork", b.label("bf")).unwrap();
+    let cf = d.sink("fast", f0.label("cf")).unwrap();
+    let cs = d.sink("slow", f1.label("cs")).unwrap();
+    let net = d.finish().unwrap();
 
     let compiled = compile(&net, &CompileOptions::default()).expect("compiles");
     println!("Fig. 4 — join + eager fork controllers");

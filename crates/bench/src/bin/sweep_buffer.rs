@@ -13,59 +13,8 @@
 //! defaults to runtime width dispatch over the streaming pipeline).
 
 use elastic_bench::exp::{run_experiment_opts, CampaignReport, CliOpts, Experiment, SystemSpec};
-use elastic_core::network::ElasticNetwork;
-use elastic_core::systems::{paper_example, w_early_eval, Config};
+use elastic_core::systems::{paper_example, paper_example_with_c_depth, Config};
 use elastic_netlist::wide::LANES;
-
-fn build_with_c_depth(depth: usize) -> (ElasticNetwork, elastic_core::channel::ChanId) {
-    // Rebuild the Fig. 9 topology with a parameterized C chain.
-    let mut net = ElasticNetwork::new(format!("fig9_c{depth}"));
-    let din = net.add_source("Din");
-    let dout = net.add_sink("Dout");
-    let s_join = net.add_join("S", 2);
-    let s_fork = net.add_fork("Sfork", 4);
-    net.connect(din, 0, s_join, 0, "Din->S").unwrap();
-    net.connect(s_join, 0, s_fork, 0, "S->Sfork").unwrap();
-    let eb_i = net.add_buffer("EBi", 1, 0);
-    net.connect(s_fork, 0, eb_i, 0, "S->I").unwrap();
-    let f1 = net.add_buffer("F1", 1, 0);
-    let f2 = net.add_buffer("F2", 1, 0);
-    let f3 = net.add_buffer("F3", 1, 0);
-    net.connect(s_fork, 1, f1, 0, "S->F1").unwrap();
-    net.connect(f1, 0, f2, 0, "F1->F2").unwrap();
-    net.connect(f2, 0, f3, 0, "F2->F3").unwrap();
-    let eb_sm = net.add_buffer("EBsm", 1, 0);
-    let m1 = net.add_var_latency("M1");
-    let m2 = net.add_var_latency("M2");
-    let eb_mo = net.add_buffer("EBmo", 1, 0);
-    net.connect(s_fork, 2, eb_sm, 0, "S->EBsm").unwrap();
-    net.connect(eb_sm, 0, m1, 0, "S->M1").unwrap();
-    net.connect(m1, 0, m2, 0, "M1->M2").unwrap();
-    net.connect(m2, 0, eb_mo, 0, "M2->W").unwrap();
-    let w = net.add_early_join("W", 4, w_early_eval()).unwrap();
-    if depth == 0 {
-        net.connect(s_fork, 3, w, 0, "S->W").unwrap();
-    } else {
-        let c = net.add_buffer("C", depth, 0);
-        net.connect(s_fork, 3, c, 0, "S->C").unwrap();
-        net.connect(c, 0, w, 0, "C->W").unwrap();
-    }
-    net.connect(eb_i, 0, w, 1, "I->W").unwrap();
-    net.connect(f3, 0, w, 2, "F3->W").unwrap();
-    net.connect(eb_mo, 0, w, 3, "Mo->W").unwrap();
-    let w1 = net.add_buffer("W1", 1, 1);
-    let w2 = net.add_buffer("W2", 1, 1);
-    let w3 = net.add_buffer("W3", 1, 1);
-    let wf = net.add_fork("Wfork", 2);
-    net.connect(w, 0, w1, 0, "W->W1").unwrap();
-    net.connect(w1, 0, w2, 0, "W1->W2").unwrap();
-    net.connect(w2, 0, w3, 0, "W2->W3").unwrap();
-    net.connect(w3, 0, wf, 0, "W3->Wfork").unwrap();
-    let out = net.connect(wf, 0, dout, 0, "W->Dout").unwrap();
-    net.connect(wf, 1, s_join, 1, "W->S").unwrap();
-    net.check().unwrap();
-    (net, out)
-}
 
 fn main() {
     let opts = CliOpts::parse(LANES, 2000);
@@ -79,7 +28,8 @@ fn main() {
         "C depth", "throughput", "+/-ci95", opts.trials, opts.cycles, opts.threads
     );
     for depth in 0..=4usize {
-        let (network, output) = build_with_c_depth(depth);
+        let sys = paper_example_with_c_depth(Config::ActiveAntiTokens, depth).expect("builds");
+        let (network, output) = (sys.network, sys.output_channel);
         let exp = Experiment {
             label: format!("c_depth={depth}"),
             system: SystemSpec::Custom { network, output },

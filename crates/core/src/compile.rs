@@ -936,9 +936,9 @@ mod tests {
 
     fn pipeline() -> (ElasticNetwork, ChanId, ChanId) {
         let mut net = ElasticNetwork::new("lin");
-        let src = net.add_source("src");
-        let eb = net.add_buffer("eb", 2, 0);
-        let snk = net.add_sink("snk");
+        let src = net.add_source("src").unwrap();
+        let eb = net.add_buffer("eb", 2, 0).unwrap();
+        let snk = net.add_sink("snk").unwrap();
         let cin = net.connect(src, 0, eb, 0, "cin").unwrap();
         let cout = net.connect(eb, 0, snk, 0, "cout").unwrap();
         (net, cin, cout)
@@ -1004,10 +1004,10 @@ mod tests {
     #[test]
     fn join_controller_compiles() {
         let mut net = ElasticNetwork::new("join");
-        let s1 = net.add_source("s1");
-        let s2 = net.add_source("s2");
-        let j = net.add_join("j", 2);
-        let snk = net.add_sink("snk");
+        let s1 = net.add_source("s1").unwrap();
+        let s2 = net.add_source("s2").unwrap();
+        let j = net.add_join("j", 2).unwrap();
+        let snk = net.add_sink("snk").unwrap();
         net.connect(s1, 0, j, 0, "a1").unwrap();
         net.connect(s2, 0, j, 1, "a2").unwrap();
         net.connect(j, 0, snk, 0, "out").unwrap();
@@ -1028,8 +1028,8 @@ mod tests {
         use crate::ee::{EarlyEval, EeTerm};
         let build = || {
             let mut net = ElasticNetwork::new("ej");
-            let g = net.add_source("g");
-            let s = net.add_source("s");
+            let g = net.add_source("g").unwrap();
+            let s = net.add_source("s").unwrap();
             let ee = EarlyEval::new(
                 0,
                 vec![EeTerm {
@@ -1040,7 +1040,7 @@ mod tests {
                 }],
             );
             let j = net.add_early_join("j", 2, ee).unwrap();
-            let snk = net.add_sink("snk");
+            let snk = net.add_sink("snk").unwrap();
             net.connect(g, 0, j, 0, "cg").unwrap();
             net.connect(s, 0, j, 1, "cs").unwrap();
             net.connect(j, 0, snk, 0, "out").unwrap();

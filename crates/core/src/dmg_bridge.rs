@@ -173,12 +173,12 @@ mod tests {
         // src -> eb(no token) -> eb(token) -> snk is open; close via a ring:
         // build a 4-buffer ring with one token by hand.
         let mut net = ElasticNetwork::new("ring");
-        let j = net.add_join("j", 2);
-        let b1 = net.add_eb("b1", true);
-        let b2 = net.add_eb("b2", false);
-        let f = net.add_fork("f", 2);
-        let src = net.add_source("src");
-        let snk = net.add_sink("snk");
+        let j = net.add_join("j", 2).unwrap();
+        let b1 = net.add_eb("b1", true).unwrap();
+        let b2 = net.add_eb("b2", false).unwrap();
+        let f = net.add_fork("f", 2).unwrap();
+        let src = net.add_source("src").unwrap();
+        let snk = net.add_sink("snk").unwrap();
         net.connect(src, 0, j, 0, "in").unwrap();
         net.connect(j, 0, b1, 0, "c1").unwrap();
         net.connect(b1, 0, b2, 0, "c2").unwrap();

@@ -70,29 +70,59 @@ impl SyncDatapath {
     }
 
     /// Adds a node.
-    pub fn node(&mut self, name: impl Into<String>, kind: SyncNode) -> SyncId {
-        self.nodes.push((name.into(), kind));
-        SyncId(self.nodes.len() - 1)
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::DuplicateName`] if a node with the same name already
+    /// exists — node names seed the component names of [`elasticize`], so
+    /// a clash here would produce a broken control network.
+    pub fn node(&mut self, name: impl Into<String>, kind: SyncNode) -> Result<SyncId, CoreError> {
+        let name = name.into();
+        if self.nodes.iter().any(|(n, _)| *n == name) {
+            return Err(CoreError::DuplicateName(name));
+        }
+        self.nodes.push((name, kind));
+        Ok(SyncId(self.nodes.len() - 1))
     }
 
     /// Adds an environment input.
-    pub fn input(&mut self, name: impl Into<String>) -> SyncId {
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::DuplicateName`] on a name clash.
+    pub fn input(&mut self, name: impl Into<String>) -> Result<SyncId, CoreError> {
         self.node(name, SyncNode::Input)
     }
 
     /// Adds an environment output.
-    pub fn output(&mut self, name: impl Into<String>) -> SyncId {
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::DuplicateName`] on a name clash.
+    pub fn output(&mut self, name: impl Into<String>) -> Result<SyncId, CoreError> {
         self.node(name, SyncNode::Output)
     }
 
     /// Adds a register — elasticized into an EB controller driving the
     /// latch-pair with independent enables (paper Sect. 6, step 1).
-    pub fn register(&mut self, name: impl Into<String>, init_valid: bool) -> SyncId {
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::DuplicateName`] on a name clash.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        init_valid: bool,
+    ) -> Result<SyncId, CoreError> {
         self.node(name, SyncNode::Register { init_valid })
     }
 
     /// Adds a combinational single-cycle block.
-    pub fn block(&mut self, name: impl Into<String>, inputs: usize) -> SyncId {
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::DuplicateName`] on a name clash.
+    pub fn block(&mut self, name: impl Into<String>, inputs: usize) -> Result<SyncId, CoreError> {
         self.node(
             name,
             SyncNode::Block {
@@ -104,12 +134,16 @@ impl SyncDatapath {
     }
 
     /// Adds a block with early evaluation on its inputs.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::DuplicateName`] on a name clash.
     pub fn early_block(
         &mut self,
         name: impl Into<String>,
         inputs: usize,
         early: EarlyEval,
-    ) -> SyncId {
+    ) -> Result<SyncId, CoreError> {
         self.node(
             name,
             SyncNode::Block {
@@ -122,7 +156,11 @@ impl SyncDatapath {
 
     /// Adds a variable-latency multi-cycle block (single input) —
     /// elasticized into a go/done/ack controller (paper Sect. 4.4).
-    pub fn var_latency_block(&mut self, name: impl Into<String>) -> SyncId {
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::DuplicateName`] on a name clash.
+    pub fn var_latency_block(&mut self, name: impl Into<String>) -> Result<SyncId, CoreError> {
         self.node(
             name,
             SyncNode::Block {
@@ -136,6 +174,55 @@ impl SyncDatapath {
     /// Wires `from`'s output to input `port` of `to`.
     pub fn wire(&mut self, from: SyncId, to: SyncId, port: usize) {
         self.wires.push((from, to, port));
+    }
+
+    /// Adds a chain of `stages` registers named `<prefix>r0..` between
+    /// `from` and input `port` of `to`, carrying `tokens` initial values in
+    /// the downstream-most registers — the datapath-level counterpart of
+    /// [`ElasticNetwork::add_buffer`]. Returns the names the chain's
+    /// endpoint channels will carry after [`elasticize`]
+    /// (`"<from>-><prefix>r0"`, `"<prefix>r<last>-><to>"`); a zero-stage
+    /// chain wires `from` directly to `to` and both names collapse to
+    /// `"<from>-><to>"`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::DuplicateName`] if any register name clashes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens > stages` or an id is out of range.
+    pub fn register_chain(
+        &mut self,
+        prefix: &str,
+        from: SyncId,
+        to: SyncId,
+        port: usize,
+        stages: usize,
+        tokens: usize,
+    ) -> Result<(String, String), CoreError> {
+        assert!(tokens <= stages, "one initial value per register at most");
+        let from_name = self.nodes[from.0].0.clone();
+        let to_name = self.nodes[to.0].0.clone();
+        if stages == 0 {
+            self.wire(from, to, port);
+            let name = format!("{from_name}->{to_name}");
+            return Ok((name.clone(), name));
+        }
+        let mut regs = Vec::with_capacity(stages);
+        for j in 0..stages {
+            let init = j >= stages - tokens;
+            regs.push(self.register(format!("{prefix}r{j}"), init)?);
+        }
+        self.wire(from, regs[0], 0);
+        for w in regs.windows(2) {
+            self.wire(w[0], w[1], 0);
+        }
+        self.wire(regs[stages - 1], to, port);
+        Ok((
+            format!("{from_name}->{prefix}r0"),
+            format!("{prefix}r{}->{to_name}", stages - 1),
+        ))
     }
 }
 
@@ -175,7 +262,7 @@ pub fn elasticize(dp: &SyncDatapath) -> Result<ElasticNetwork, CoreError> {
         let fan = fanout.get(&i).copied().unwrap_or(0);
         let mut cluster = match kind {
             SyncNode::Input => {
-                let s = net.add_source(name.clone());
+                let s = net.add_source(name.clone())?;
                 Cluster {
                     input: None,
                     output: Some(s),
@@ -184,7 +271,7 @@ pub fn elasticize(dp: &SyncDatapath) -> Result<ElasticNetwork, CoreError> {
                 }
             }
             SyncNode::Output => {
-                let s = net.add_sink(name.clone());
+                let s = net.add_sink(name.clone())?;
                 Cluster {
                     input: Some(s),
                     output: None,
@@ -193,7 +280,7 @@ pub fn elasticize(dp: &SyncDatapath) -> Result<ElasticNetwork, CoreError> {
                 }
             }
             SyncNode::Register { init_valid } => {
-                let b = net.add_eb(name.clone(), *init_valid);
+                let b = net.add_eb(name.clone(), *init_valid)?;
                 Cluster {
                     input: Some(b),
                     output: Some(b),
@@ -212,13 +299,13 @@ pub fn elasticize(dp: &SyncDatapath) -> Result<ElasticNetwork, CoreError> {
                         Some(f) => {
                             net.add_early_join(format!("{name}.join"), *inputs, f.clone())?
                         }
-                        None => net.add_join(format!("{name}.join"), *inputs),
+                        None => net.add_join(format!("{name}.join"), *inputs)?,
                     })
                 } else {
                     None
                 };
                 let vl = if *variable_latency {
-                    Some(net.add_var_latency(format!("{name}.vl")))
+                    Some(net.add_var_latency(format!("{name}.vl"))?)
                 } else {
                     None
                 };
@@ -233,7 +320,7 @@ pub fn elasticize(dp: &SyncDatapath) -> Result<ElasticNetwork, CoreError> {
                         // A 1-input combinational block is control-transparent;
                         // represent it by a plain join of one input so the
                         // channel structure matches the datapath.
-                        let j = net.add_join(format!("{name}.pass"), 1);
+                        let j = net.add_join(format!("{name}.pass"), 1)?;
                         (Some(j), Some(j))
                     }
                 };
@@ -246,7 +333,7 @@ pub fn elasticize(dp: &SyncDatapath) -> Result<ElasticNetwork, CoreError> {
             }
         };
         if fan > 1 {
-            let f = net.add_fork(format!("{name}.fork"), fan);
+            let f = net.add_fork(format!("{name}.fork"), fan)?;
             let out = cluster.output.expect("fan-out from a node with no output");
             net.connect(out, 0, f, 0, format!("{name}.fo"))?;
             cluster.fork = Some(f);
@@ -294,12 +381,12 @@ mod tests {
     /// constant-side register fed by the same input through a fork.
     fn small_datapath() -> SyncDatapath {
         let mut dp = SyncDatapath::new("adder");
-        let i = dp.input("in");
-        let r1 = dp.register("r1", false);
-        let r2 = dp.register("r2", false);
-        let add = dp.block("add", 2);
-        let r3 = dp.register("r3", false);
-        let o = dp.output("out");
+        let i = dp.input("in").unwrap();
+        let r1 = dp.register("r1", false).unwrap();
+        let r2 = dp.register("r2", false).unwrap();
+        let add = dp.block("add", 2).unwrap();
+        let r3 = dp.register("r3", false).unwrap();
+        let o = dp.output("out").unwrap();
         dp.wire(i, r1, 0);
         dp.wire(r1, add, 0);
         dp.wire(r1, r2, 0);
@@ -351,13 +438,13 @@ mod tests {
     #[test]
     fn balancing_the_reconvergence_restores_full_rate() {
         let mut dp = SyncDatapath::new("balanced");
-        let i = dp.input("in");
-        let r1 = dp.register("r1", false);
-        let r1b = dp.register("r1b", false); // balance register
-        let r2 = dp.register("r2", false);
-        let add = dp.block("add", 2);
-        let r3 = dp.register("r3", false);
-        let o = dp.output("out");
+        let i = dp.input("in").unwrap();
+        let r1 = dp.register("r1", false).unwrap();
+        let r1b = dp.register("r1b", false).unwrap(); // balance register
+        let r2 = dp.register("r2", false).unwrap();
+        let add = dp.block("add", 2).unwrap();
+        let r3 = dp.register("r3", false).unwrap();
+        let o = dp.output("out").unwrap();
         dp.wire(i, r1, 0);
         dp.wire(r1, r1b, 0);
         dp.wire(r1b, add, 0);
@@ -377,10 +464,10 @@ mod tests {
     #[test]
     fn variable_latency_block_gets_vl_controller() {
         let mut dp = SyncDatapath::new("vl");
-        let i = dp.input("in");
-        let r = dp.register("r", false);
-        let m = dp.var_latency_block("mul");
-        let o = dp.output("out");
+        let i = dp.input("in").unwrap();
+        let r = dp.register("r", false).unwrap();
+        let m = dp.var_latency_block("mul").unwrap();
+        let o = dp.output("out").unwrap();
         dp.wire(i, r, 0);
         dp.wire(r, m, 0);
         dp.wire(m, o, 0);
@@ -394,12 +481,12 @@ mod tests {
     fn early_block_gets_early_join() {
         use crate::ee::EeTerm;
         let mut dp = SyncDatapath::new("mux");
-        let sel = dp.input("sel");
-        let a = dp.input("a");
-        let b = dp.input("b");
-        let rs = dp.register("rs", false);
-        let ra = dp.register("ra", false);
-        let rb = dp.register("rb", false);
+        let sel = dp.input("sel").unwrap();
+        let a = dp.input("a").unwrap();
+        let b = dp.input("b").unwrap();
+        let rs = dp.register("rs", false).unwrap();
+        let ra = dp.register("ra", false).unwrap();
+        let rb = dp.register("rb", false).unwrap();
         let ee = EarlyEval::new(
             0,
             vec![
@@ -417,8 +504,8 @@ mod tests {
                 },
             ],
         );
-        let mux = dp.early_block("mux", 3, ee);
-        let o = dp.output("out");
+        let mux = dp.early_block("mux", 3, ee).unwrap();
+        let o = dp.output("out").unwrap();
         dp.wire(sel, rs, 0);
         dp.wire(a, ra, 0);
         dp.wire(b, rb, 0);

@@ -37,6 +37,10 @@ pub enum CoreError {
     /// of an elastic network needs at least one token to be live (paper
     /// Sect. 2), so this topology deadlocks at power-up.
     TokenStarvedCycle(Vec<String>),
+    /// A component was added with a name that is already taken in the same
+    /// network/datapath. Names key `component_by_name`, elasticization
+    /// clustering and export sanitization, so they must be unique.
+    DuplicateName(String),
     /// A buffer-only mutation (e.g. [`crate::network::ElasticNetwork::set_init_token`])
     /// was applied to a component that is not an elastic buffer.
     NotABuffer(CompId),
@@ -102,6 +106,9 @@ impl fmt::Display for CoreError {
                     names.join(" -> ")
                 )
             }
+            CoreError::DuplicateName(name) => {
+                write!(f, "duplicate component name {name:?}")
+            }
             CoreError::NotABuffer(c) => {
                 write!(f, "component {} is not an elastic buffer", c.index())
             }
@@ -143,6 +150,7 @@ mod tests {
             CoreError::BufferlessCycle(vec!["a".into()]),
             CoreError::FaultSite("x".into()),
             CoreError::FaultProcess("x".into()),
+            CoreError::DuplicateName("x".into()),
         ] {
             assert!(e.to_string().chars().next().unwrap().is_lowercase());
         }

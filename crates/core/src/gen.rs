@@ -312,38 +312,12 @@ pub fn generate(params: &TopoParams) -> Result<GeneratedSystem, CoreError> {
                 },
             )
         })
-        .collect();
+        .collect::<Result<_, CoreError>>()?;
 
     // Chains: registers `e{k}r{j}` per edge, `s{i}r{j}` / `k{i}r{j}` per
-    // environment link.
+    // environment link, all through `SyncDatapath::register_chain`.
     let mut chains: Vec<Chain> = Vec::new();
     let mut next_port: Vec<usize> = vec![0; n];
-    let wire_chain = |dp: &mut SyncDatapath,
-                      rng: &mut StdRng,
-                      prefix: String,
-                      from: SyncId,
-                      from_name: String,
-                      to: SyncId,
-                      to_name: String,
-                      port: usize,
-                      stages: usize,
-                      tokens: usize|
-     -> (String, String) {
-        debug_assert!(stages >= 1 && tokens <= stages);
-        let _ = rng;
-        let regs: Vec<SyncId> = (0..stages)
-            .map(|j| dp.register(format!("{prefix}r{j}"), j >= stages - tokens))
-            .collect();
-        dp.wire(from, regs[0], 0);
-        for w in regs.windows(2) {
-            dp.wire(w[0], w[1], 0);
-        }
-        dp.wire(regs[stages - 1], to, port);
-        (
-            format!("{from_name}->{prefix}r0"),
-            format!("{prefix}r{}->{to_name}", stages - 1),
-        )
-    };
 
     // DMG node indexing: units 0..n, then sources, then sinks.
     let src_node = |i: usize| n + i;
@@ -358,18 +332,14 @@ pub fn generate(params: &TopoParams) -> Result<GeneratedSystem, CoreError> {
         };
         let port = next_port[e.to];
         next_port[e.to] += 1;
-        let (start_name, end_name) = wire_chain(
-            &mut dp,
-            &mut rng,
-            format!("e{k}"),
+        let (start_name, end_name) = dp.register_chain(
+            &format!("e{k}"),
             blocks[e.from],
-            format!("u{}", e.from),
             blocks[e.to],
-            format!("u{}", e.to),
             port,
             stages,
             tokens,
-        );
+        )?;
         chains.push(Chain {
             from_node: e.from,
             to_node: e.to,
@@ -380,22 +350,12 @@ pub fn generate(params: &TopoParams) -> Result<GeneratedSystem, CoreError> {
         });
     }
     for (i, &u) in src_units.iter().enumerate() {
-        let src = dp.input(format!("src{i}"));
+        let src = dp.input(format!("src{i}"))?;
         let stages = rng.gen_range(1..max_stages + 1);
         let port = next_port[u];
         next_port[u] += 1;
-        let (start_name, end_name) = wire_chain(
-            &mut dp,
-            &mut rng,
-            format!("s{i}"),
-            src,
-            format!("src{i}"),
-            blocks[u],
-            format!("u{u}"),
-            port,
-            stages,
-            0,
-        );
+        let (start_name, end_name) =
+            dp.register_chain(&format!("s{i}"), src, blocks[u], port, stages, 0)?;
         chains.push(Chain {
             from_node: src_node(i),
             to_node: u,
@@ -406,20 +366,10 @@ pub fn generate(params: &TopoParams) -> Result<GeneratedSystem, CoreError> {
         });
     }
     for (i, &u) in snk_units.iter().enumerate() {
-        let snk = dp.output(format!("snk{i}"));
+        let snk = dp.output(format!("snk{i}"))?;
         let stages = rng.gen_range(1..max_stages + 1);
-        let (start_name, end_name) = wire_chain(
-            &mut dp,
-            &mut rng,
-            format!("k{i}"),
-            blocks[u],
-            format!("u{u}"),
-            snk,
-            format!("snk{i}"),
-            0,
-            stages,
-            0,
-        );
+        let (start_name, end_name) =
+            dp.register_chain(&format!("k{i}"), blocks[u], snk, 0, stages, 0)?;
         chains.push(Chain {
             from_node: u,
             to_node: snk_node(i),

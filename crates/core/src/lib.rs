@@ -43,7 +43,9 @@ mod error;
 
 pub mod channel;
 pub mod compile;
+pub mod corpus;
 pub mod dmg_bridge;
+pub mod dsl;
 pub mod ee;
 pub mod elasticize;
 pub mod fault;

@@ -10,6 +10,7 @@
 //! simulator ([`crate::sim`]) and the gate-level compiler
 //! ([`crate::compile`]).
 
+use std::collections::HashMap;
 use std::fmt;
 
 use crate::channel::ChanId;
@@ -150,9 +151,9 @@ pub struct Channel {
 ///
 /// # fn main() -> Result<(), elastic_core::CoreError> {
 /// let mut net = ElasticNetwork::new("pipeline");
-/// let src = net.add_source("src");
-/// let b = net.add_buffer("b", 2, 1); // one EB (2 stages), one initial token
-/// let snk = net.add_sink("snk");
+/// let src = net.add_source("src")?;
+/// let b = net.add_buffer("b", 2, 1)?; // one EB (2 stages), one initial token
+/// let snk = net.add_sink("snk")?;
 /// net.connect(src, 0, b, 0, "in")?;
 /// net.connect(b, 0, snk, 0, "out")?;
 /// net.check()?;
@@ -171,6 +172,9 @@ pub struct ElasticNetwork {
     /// `(first stage, last stage)` pairs of buffer chains, so that
     /// connecting *from* a chain's handle attaches to its last stage.
     buffer_alias: Vec<(CompId, CompId)>,
+    /// Component name -> id. Enforces name uniqueness at `add` time and
+    /// makes `component_by_name` O(1).
+    name_index: HashMap<String, u32>,
 }
 
 impl ElasticNetwork {
@@ -183,6 +187,7 @@ impl ElasticNetwork {
             in_conn: Vec::new(),
             out_conn: Vec::new(),
             buffer_alias: Vec::new(),
+            name_index: HashMap::new(),
         }
     }
 
@@ -192,29 +197,58 @@ impl ElasticNetwork {
     }
 
     /// Adds a component of arbitrary kind.
-    pub fn add(&mut self, name: impl Into<String>, kind: ComponentKind) -> CompId {
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::DuplicateName`] if a component with the same name
+    /// already exists: names key [`ElasticNetwork::component_by_name`] and
+    /// the sanitized identifiers of the Verilog/BLIF exporters, so they
+    /// must be unique per network.
+    pub fn add(
+        &mut self,
+        name: impl Into<String>,
+        kind: ComponentKind,
+    ) -> Result<CompId, CoreError> {
+        let name = name.into();
+        if self.name_index.contains_key(&name) {
+            return Err(CoreError::DuplicateName(name));
+        }
         let id = CompId(self.components.len() as u32);
         self.in_conn.push(vec![None; kind.num_inputs()]);
         self.out_conn.push(vec![None; kind.num_outputs()]);
-        self.components.push(Component {
-            kind,
-            name: name.into(),
-        });
-        id
+        self.name_index.insert(name.clone(), id.0);
+        self.components.push(Component { kind, name });
+        Ok(id)
     }
 
     /// Adds an environment source.
-    pub fn add_source(&mut self, name: impl Into<String>) -> CompId {
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::DuplicateName`] on a name clash.
+    pub fn add_source(&mut self, name: impl Into<String>) -> Result<CompId, CoreError> {
         self.add(name, ComponentKind::Source)
     }
 
     /// Adds an environment sink.
-    pub fn add_sink(&mut self, name: impl Into<String>) -> CompId {
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::DuplicateName`] on a name clash.
+    pub fn add_sink(&mut self, name: impl Into<String>) -> Result<CompId, CoreError> {
         self.add(name, ComponentKind::Sink)
     }
 
     /// Adds a single elastic buffer (capacity 2, latency 1).
-    pub fn add_eb(&mut self, name: impl Into<String>, init_token: bool) -> CompId {
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::DuplicateName`] on a name clash.
+    pub fn add_eb(
+        &mut self,
+        name: impl Into<String>,
+        init_token: bool,
+    ) -> Result<CompId, CoreError> {
         self.add(
             name,
             ComponentKind::Eb {
@@ -234,10 +268,19 @@ impl ElasticNetwork {
     /// the first stage's input; connecting *from* it attaches to the last
     /// stage's output.
     ///
+    /// # Errors
+    ///
+    /// [`CoreError::DuplicateName`] if any stage name `<name>.<i>` clashes.
+    ///
     /// # Panics
     ///
     /// Panics if `stages == 0` or `tokens > stages`.
-    pub fn add_buffer(&mut self, name: impl Into<String>, stages: usize, tokens: usize) -> CompId {
+    pub fn add_buffer(
+        &mut self,
+        name: impl Into<String>,
+        stages: usize,
+        tokens: usize,
+    ) -> Result<CompId, CoreError> {
         let name = name.into();
         assert!(stages > 0, "buffer needs at least one stage");
         assert!(tokens <= stages, "one initial token per stage at most");
@@ -251,7 +294,7 @@ impl ElasticNetwork {
                     init_token: holds,
                     init_data: 0,
                 },
-            );
+            )?;
             ids.push(id);
         }
         for w in ids.windows(2) {
@@ -261,11 +304,19 @@ impl ElasticNetwork {
         // Alias bookkeeping: input = first stage, output = last stage.
         self.buffer_alias
             .push((ids[0], *ids.last().expect("non-empty")));
-        ids[0]
+        Ok(ids[0])
     }
 
     /// Adds a lazy join with `inputs` inputs.
-    pub fn add_join(&mut self, name: impl Into<String>, inputs: usize) -> CompId {
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::DuplicateName`] on a name clash.
+    pub fn add_join(
+        &mut self,
+        name: impl Into<String>,
+        inputs: usize,
+    ) -> Result<CompId, CoreError> {
         self.add(name, ComponentKind::Join { inputs, ee: None })
     }
 
@@ -273,7 +324,8 @@ impl ElasticNetwork {
     ///
     /// # Errors
     ///
-    /// Propagates [`CoreError::BadEarlyEval`] from validation.
+    /// Propagates [`CoreError::BadEarlyEval`] from validation, and
+    /// [`CoreError::DuplicateName`] on a name clash.
     pub fn add_early_join(
         &mut self,
         name: impl Into<String>,
@@ -281,22 +333,34 @@ impl ElasticNetwork {
         ee: EarlyEval,
     ) -> Result<CompId, CoreError> {
         ee.validate(inputs)?;
-        Ok(self.add(
+        self.add(
             name,
             ComponentKind::Join {
                 inputs,
                 ee: Some(ee),
             },
-        ))
+        )
     }
 
     /// Adds an eager fork with `outputs` outputs.
-    pub fn add_fork(&mut self, name: impl Into<String>, outputs: usize) -> CompId {
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::DuplicateName`] on a name clash.
+    pub fn add_fork(
+        &mut self,
+        name: impl Into<String>,
+        outputs: usize,
+    ) -> Result<CompId, CoreError> {
         self.add(name, ComponentKind::Fork { outputs })
     }
 
     /// Adds a variable-latency unit.
-    pub fn add_var_latency(&mut self, name: impl Into<String>) -> CompId {
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::DuplicateName`] on a name clash.
+    pub fn add_var_latency(&mut self, name: impl Into<String>) -> Result<CompId, CoreError> {
         self.add(name, ComponentKind::VarLatency)
     }
 
@@ -417,12 +481,10 @@ impl ElasticNetwork {
         (0..self.channels.len() as u32).map(ChanId)
     }
 
-    /// Looks up a component by name (first match).
+    /// Looks up a component by name. Names are unique (enforced by
+    /// [`ElasticNetwork::add`]), so this is an O(1) index lookup.
     pub fn component_by_name(&self, name: &str) -> Option<CompId> {
-        self.components
-            .iter()
-            .position(|c| c.name == name)
-            .map(|i| CompId(i as u32))
+        self.name_index.get(name).map(|&i| CompId(i))
     }
 
     /// Looks up a channel by name (first match).
@@ -626,10 +688,10 @@ mod tests {
     #[test]
     fn build_linear_pipeline() {
         let mut net = ElasticNetwork::new("lin");
-        let src = net.add_source("src");
-        let b1 = net.add_eb("b1", true);
-        let b2 = net.add_eb("b2", false);
-        let snk = net.add_sink("snk");
+        let src = net.add_source("src").unwrap();
+        let b1 = net.add_eb("b1", true).unwrap();
+        let b2 = net.add_eb("b2", false).unwrap();
+        let snk = net.add_sink("snk").unwrap();
         net.connect(src, 0, b1, 0, "c0").unwrap();
         net.connect(b1, 0, b2, 0, "c1").unwrap();
         net.connect(b2, 0, snk, 0, "c2").unwrap();
@@ -641,8 +703,8 @@ mod tests {
     #[test]
     fn unconnected_port_detected() {
         let mut net = ElasticNetwork::new("bad");
-        let src = net.add_source("src");
-        let snk = net.add_sink("snk");
+        let src = net.add_source("src").unwrap();
+        let snk = net.add_sink("snk").unwrap();
         let _ = src;
         let _ = snk;
         let err = net.check().unwrap_err();
@@ -652,9 +714,9 @@ mod tests {
     #[test]
     fn double_connection_rejected() {
         let mut net = ElasticNetwork::new("dup");
-        let src = net.add_source("src");
-        let f = net.add_fork("f", 2);
-        let snk1 = net.add_sink("s1");
+        let src = net.add_source("src").unwrap();
+        let f = net.add_fork("f", 2).unwrap();
+        let snk1 = net.add_sink("s1").unwrap();
         net.connect(src, 0, f, 0, "a").unwrap();
         let err = net.connect(src, 0, snk1, 0, "b").unwrap_err();
         assert!(matches!(err, CoreError::BadPort { input: false, .. }));
@@ -664,10 +726,10 @@ mod tests {
     fn bufferless_cycle_detected() {
         // fork -> join -> fork with no buffer: combinational loop.
         let mut net = ElasticNetwork::new("loop");
-        let src = net.add_source("src");
-        let join = net.add_join("j", 2);
-        let fork = net.add_fork("f", 2);
-        let snk = net.add_sink("snk");
+        let src = net.add_source("src").unwrap();
+        let join = net.add_join("j", 2).unwrap();
+        let fork = net.add_fork("f", 2).unwrap();
+        let snk = net.add_sink("snk").unwrap();
         net.connect(src, 0, join, 0, "in").unwrap();
         net.connect(join, 0, fork, 0, "jf").unwrap();
         net.connect(fork, 0, join, 1, "fb").unwrap();
@@ -679,11 +741,11 @@ mod tests {
     #[test]
     fn buffered_cycle_is_fine() {
         let mut net = ElasticNetwork::new("ring");
-        let join = net.add_join("j", 2);
-        let fork = net.add_fork("f", 2);
-        let b = net.add_eb("b", true);
-        let src = net.add_source("src");
-        let snk = net.add_sink("snk");
+        let join = net.add_join("j", 2).unwrap();
+        let fork = net.add_fork("f", 2).unwrap();
+        let b = net.add_eb("b", true).unwrap();
+        let src = net.add_source("src").unwrap();
+        let snk = net.add_sink("snk").unwrap();
         net.connect(src, 0, join, 0, "in").unwrap();
         net.connect(join, 0, fork, 0, "jf").unwrap();
         net.connect(fork, 0, b, 0, "fb").unwrap();
@@ -695,9 +757,9 @@ mod tests {
     #[test]
     fn buffer_chain_aliases_last_stage_output() {
         let mut net = ElasticNetwork::new("chain");
-        let src = net.add_source("src");
-        let eb = net.add_buffer("eb", 2, 1);
-        let snk = net.add_sink("snk");
+        let src = net.add_source("src").unwrap();
+        let eb = net.add_buffer("eb", 2, 1).unwrap();
+        let snk = net.add_sink("snk").unwrap();
         net.connect(src, 0, eb, 0, "in").unwrap();
         net.connect(eb, 0, snk, 0, "out").unwrap();
         net.check().unwrap();
@@ -721,11 +783,11 @@ mod tests {
         // A buffered ring whose only buffer holds no token: structurally
         // fine (check passes) but deadlocked from cycle 0.
         let mut net = ElasticNetwork::new("starved");
-        let join = net.add_join("j", 2);
-        let fork = net.add_fork("f", 2);
-        let b = net.add_eb("b", false);
-        let src = net.add_source("src");
-        let snk = net.add_sink("snk");
+        let join = net.add_join("j", 2).unwrap();
+        let fork = net.add_fork("f", 2).unwrap();
+        let b = net.add_eb("b", false).unwrap();
+        let src = net.add_source("src").unwrap();
+        let snk = net.add_sink("snk").unwrap();
         net.connect(src, 0, join, 0, "in").unwrap();
         net.connect(join, 0, fork, 0, "jf").unwrap();
         net.connect(fork, 0, b, 0, "fb").unwrap();
@@ -746,8 +808,8 @@ mod tests {
     fn token_liveness_usable_before_check() {
         // An unwired output port must not panic the liveness walk.
         let mut net = ElasticNetwork::new("partial");
-        let join = net.add_join("j", 2);
-        let fork = net.add_fork("f", 2);
+        let join = net.add_join("j", 2).unwrap();
+        let fork = net.add_fork("f", 2).unwrap();
         net.connect(join, 0, fork, 0, "jf").unwrap();
         net.connect(fork, 0, join, 1, "fb").unwrap();
         assert!(net.check().is_err());
@@ -758,7 +820,7 @@ mod tests {
     #[test]
     fn set_init_token_rejects_non_buffers() {
         let mut net = ElasticNetwork::new("t");
-        let src = net.add_source("src");
+        let src = net.add_source("src").unwrap();
         let err = net.set_init_token(src, true).unwrap_err();
         assert!(matches!(err, CoreError::NotABuffer(_)));
         assert!(net.set_init_token(CompId(99), true).is_err());
@@ -767,8 +829,8 @@ mod tests {
     #[test]
     fn passive_marking() {
         let mut net = ElasticNetwork::new("p");
-        let src = net.add_source("src");
-        let snk = net.add_sink("snk");
+        let src = net.add_source("src").unwrap();
+        let snk = net.add_sink("snk").unwrap();
         let c = net.connect(src, 0, snk, 0, "c").unwrap();
         net.set_passive(c).unwrap();
         assert!(net.channel(c).passive);
@@ -776,10 +838,27 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_names_rejected() {
+        let mut net = ElasticNetwork::new("dupname");
+        net.add_source("x").unwrap();
+        let err = net.add_sink("x").unwrap_err();
+        assert_eq!(err, CoreError::DuplicateName("x".into()));
+        // Buffer stages claim `<name>.<i>`, so a clash inside a chain is
+        // caught too.
+        net.add_eb("c.1", false).unwrap();
+        assert!(matches!(
+            net.add_buffer("c", 2, 0),
+            Err(CoreError::DuplicateName(_))
+        ));
+        // The failed adds must not have corrupted the lookup index.
+        assert_eq!(net.component_by_name("x"), Some(CompId(0)));
+    }
+
+    #[test]
     fn lookup_by_name() {
         let mut net = ElasticNetwork::new("n");
-        let src = net.add_source("alpha");
-        let snk = net.add_sink("beta");
+        let src = net.add_source("alpha").unwrap();
+        let snk = net.add_sink("beta").unwrap();
         let c = net.connect(src, 0, snk, 0, "alpha->beta").unwrap();
         assert_eq!(net.component_by_name("alpha"), Some(src));
         assert_eq!(net.channel_by_name("alpha->beta"), Some(c));

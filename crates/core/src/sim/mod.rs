@@ -86,9 +86,9 @@ enum VlPhase {
 ///
 /// # fn main() -> Result<(), elastic_core::CoreError> {
 /// let mut net = ElasticNetwork::new("demo");
-/// let src = net.add_source("src");
-/// let eb = net.add_buffer("eb", 2, 0);
-/// let snk = net.add_sink("snk");
+/// let src = net.add_source("src").unwrap();
+/// let eb = net.add_buffer("eb", 2, 0).unwrap();
+/// let snk = net.add_sink("snk").unwrap();
 /// net.connect(src, 0, eb, 0, "in")?;
 /// let out = net.connect(eb, 0, snk, 0, "out")?;
 /// let mut sim = BehavSim::new(&net)?;
@@ -861,9 +861,9 @@ mod tests {
     /// src -> eb(2 stages) -> snk.
     fn pipeline(tokens: usize) -> (ElasticNetwork, ChanId, ChanId) {
         let mut net = ElasticNetwork::new("lin");
-        let src = net.add_source("src");
-        let eb = net.add_buffer("eb", 2, tokens);
-        let snk = net.add_sink("snk");
+        let src = net.add_source("src").unwrap();
+        let eb = net.add_buffer("eb", 2, tokens).unwrap();
+        let snk = net.add_sink("snk").unwrap();
         let cin = net.connect(src, 0, eb, 0, "in").unwrap();
         let cout = net.connect(eb, 0, snk, 0, "out").unwrap();
         (net, cin, cout)
@@ -978,12 +978,12 @@ mod tests {
     #[test]
     fn lazy_join_waits_for_all_inputs() {
         let mut net = ElasticNetwork::new("join");
-        let s1 = net.add_source("s1");
-        let s2 = net.add_source("s2");
-        let b1 = net.add_eb("b1", false);
-        let b2 = net.add_eb("b2", false);
-        let j = net.add_join("j", 2);
-        let snk = net.add_sink("snk");
+        let s1 = net.add_source("s1").unwrap();
+        let s2 = net.add_source("s2").unwrap();
+        let b1 = net.add_eb("b1", false).unwrap();
+        let b2 = net.add_eb("b2", false).unwrap();
+        let j = net.add_join("j", 2).unwrap();
+        let snk = net.add_sink("snk").unwrap();
         net.connect(s1, 0, b1, 0, "a1").unwrap();
         net.connect(s2, 0, b2, 0, "a2").unwrap();
         net.connect(b1, 0, j, 0, "j1").unwrap();
@@ -1009,10 +1009,10 @@ mod tests {
     #[test]
     fn eager_fork_lets_fast_branch_run_ahead_one_token() {
         let mut net = ElasticNetwork::new("fork");
-        let src = net.add_source("src");
-        let f = net.add_fork("f", 2);
-        let fast = net.add_sink("fast");
-        let slow = net.add_sink("slow");
+        let src = net.add_source("src").unwrap();
+        let f = net.add_fork("f", 2).unwrap();
+        let fast = net.add_sink("fast").unwrap();
+        let slow = net.add_sink("slow").unwrap();
         net.connect(src, 0, f, 0, "in").unwrap();
         let cf = net.connect(f, 0, fast, 0, "cf").unwrap();
         let cs = net.connect(f, 1, slow, 0, "cs").unwrap();
@@ -1040,12 +1040,12 @@ mod tests {
     /// as data. Returns `(network, c2, j2, out)`.
     fn ej_harness() -> (ElasticNetwork, ChanId, ChanId, ChanId) {
         let mut net = ElasticNetwork::new("ej");
-        let gs = net.add_source("guard");
-        let s1 = net.add_source("s1");
-        let s2 = net.add_source("s2");
-        let bg = net.add_eb("bg", false);
-        let b1 = net.add_eb("b1", false);
-        let b2 = net.add_eb("b2", false);
+        let gs = net.add_source("guard").unwrap();
+        let s1 = net.add_source("s1").unwrap();
+        let s2 = net.add_source("s2").unwrap();
+        let bg = net.add_eb("bg", false).unwrap();
+        let b1 = net.add_eb("b1", false).unwrap();
+        let b2 = net.add_eb("b2", false).unwrap();
         let ee = EarlyEval::new(
             0,
             vec![EeTerm {
@@ -1056,7 +1056,7 @@ mod tests {
             }],
         );
         let j = net.add_early_join("w", 3, ee).unwrap();
-        let snk = net.add_sink("snk");
+        let snk = net.add_sink("snk").unwrap();
         net.connect(gs, 0, bg, 0, "cg").unwrap();
         net.connect(s1, 0, b1, 0, "c1").unwrap();
         let c2 = net.connect(s2, 0, b2, 0, "c2").unwrap();
@@ -1158,10 +1158,10 @@ mod tests {
     #[test]
     fn variable_latency_unit_delays_tokens() {
         let mut net = ElasticNetwork::new("vl");
-        let src = net.add_source("src");
-        let b = net.add_eb("b", false);
-        let vl = net.add_var_latency("m");
-        let snk = net.add_sink("snk");
+        let src = net.add_source("src").unwrap();
+        let b = net.add_eb("b", false).unwrap();
+        let vl = net.add_var_latency("m").unwrap();
+        let snk = net.add_sink("snk").unwrap();
         net.connect(src, 0, b, 0, "in").unwrap();
         net.connect(b, 0, vl, 0, "bm").unwrap();
         let out = net.connect(vl, 0, snk, 0, "out").unwrap();
@@ -1369,10 +1369,10 @@ mod tests {
         // src -> b1 -> b2 -> snk with killing sink; the b2->snk channel
         // passive: anti-tokens must wait there instead of entering b2.
         let mut net = ElasticNetwork::new("passive");
-        let src = net.add_source("src");
-        let b1 = net.add_eb("b1", false);
-        let b2 = net.add_eb("b2", false);
-        let snk = net.add_sink("snk");
+        let src = net.add_source("src").unwrap();
+        let b1 = net.add_eb("b1", false).unwrap();
+        let b2 = net.add_eb("b2", false).unwrap();
+        let snk = net.add_sink("snk").unwrap();
         let c1 = net.connect(src, 0, b1, 0, "c1").unwrap();
         let c2 = net.connect(b1, 0, b2, 0, "c2").unwrap();
         let c3 = net.connect(b2, 0, snk, 0, "c3").unwrap();

@@ -14,6 +14,7 @@
 use std::collections::HashMap;
 
 use crate::channel::ChanId;
+use crate::dsl::Dsl;
 use crate::ee::{EarlyEval, EeTerm};
 use crate::error::CoreError;
 use crate::network::ElasticNetwork;
@@ -129,94 +130,10 @@ pub fn opcode_distribution() -> DataGen {
     DataGen::Weighted(vec![(0b00, 0.6), (0b10, 0.3), (0b01, 0.05), (0b11, 0.05)])
 }
 
-/// Builds the example system of Fig. 9 in the given configuration.
-///
-/// # Errors
-///
-/// Propagates network construction errors (none expected for the fixed
-/// topology; early-evaluation validation runs on the fly).
-#[allow(clippy::too_many_lines)]
-pub fn paper_example(config: Config) -> Result<PaperSystem, CoreError> {
-    let mut net = ElasticNetwork::new(format!("fig9_{config:?}"));
-
-    let din = net.add_source("Din");
-    let dout = net.add_sink("Dout");
-
-    // S: dispatch = join(new operand, write-back) then fork to the three
-    // execution paths and the opcode register C.
-    let s_join = net.add_join("S", 2);
-    let s_fork = net.add_fork("Sfork", 4);
-    let c_din = net.connect(din, 0, s_join, 0, "Din->S")?;
-    net.connect(s_join, 0, s_fork, 0, "S->Sfork")?;
-
-    // I path: one operand register, I itself is unpipelined (combinational).
-    let eb_i = net.add_buffer("EBi", 1, 0);
-    net.connect(s_fork, 0, eb_i, 0, "S->I")?;
-
-    // F path: three pipeline registers F1, F2, F3.
-    let f1 = net.add_buffer("F1", 1, 0);
-    let f2 = net.add_buffer("F2", 1, 0);
-    let f3 = net.add_buffer("F3", 1, 0);
-    net.connect(s_fork, 1, f1, 0, "S->F1")?;
-    let _f1_f2 = net.connect(f1, 0, f2, 0, "F1->F2")?;
-    let c_f2_f3 = net.connect(f2, 0, f3, 0, "F2->F3")?;
-
-    // M path: operand register, M1, M2, output register.
-    let eb_sm = net.add_buffer("EBsm", 1, 0);
-    let m1 = net.add_var_latency("M1");
-    let m2 = net.add_var_latency("M2");
-    let eb_mo = net.add_buffer("EBmo", 1, 0);
-    net.connect(s_fork, 2, eb_sm, 0, "S->EBsm")?;
-    let c_s_m1 = net.connect(eb_sm, 0, m1, 0, "S->M1")?;
-    let c_m1_m2 = net.connect(m1, 0, m2, 0, "M1->M2")?;
-    let c_m2_w = net.connect(m2, 0, eb_mo, 0, "M2->W")?;
-
-    // Control path: opcode through register C (omitted in NoBufferSw).
-    let w = net.add_early_join(
-        "W",
-        4,
-        match config {
-            Config::NoEarlyEval => EarlyEval::lazy(4),
-            _ => w_early_eval(),
-        },
-    )?;
-    match config {
-        Config::NoBufferSw => {
-            net.connect(s_fork, 3, w, 0, "S->W")?;
-        }
-        _ => {
-            let c = net.add_buffer("C", 1, 0);
-            net.connect(s_fork, 3, c, 0, "S->C")?;
-            net.connect(c, 0, w, 0, "C->W")?;
-        }
-    }
-    let _c_i_w = net.connect(eb_i, 0, w, 1, "I->W")?;
-    let c_f3_w = net.connect(f3, 0, w, 2, "F3->W")?;
-    let c_mo_w = net.connect(eb_mo, 0, w, 3, "Mo->W")?;
-
-    // W output chain: three registers holding the initial tokens, then a
-    // fork to the environment and back to S.
-    let w1 = net.add_buffer("W1", 1, 1);
-    let w2 = net.add_buffer("W2", 1, 1);
-    let w3 = net.add_buffer("W3", 1, 1);
-    let wf = net.add_fork("Wfork", 2);
-    net.connect(w, 0, w1, 0, "W->W1")?;
-    net.connect(w1, 0, w2, 0, "W1->W2")?;
-    net.connect(w2, 0, w3, 0, "W2->W3")?;
-    net.connect(w3, 0, wf, 0, "W3->Wfork")?;
-    let c_dout = net.connect(wf, 0, dout, 0, "W->Dout")?;
-    net.connect(wf, 1, s_join, 1, "W->S")?;
-
-    // Passive interfaces per configuration.
-    match config {
-        Config::PassiveF3W => net.set_passive(c_f3_w)?,
-        Config::PassiveM2W => net.set_passive(c_mo_w)?,
-        _ => {}
-    }
-
-    net.check()?;
-
-    // Environment of Sect. 6.1.
+/// The Sect. 6.1 environment for the Fig. 9 example: always-ready
+/// interfaces, the opcode distribution on `Din` and the measured latency
+/// distributions for `M1`/`M2`.
+pub fn paper_env() -> EnvConfig {
     let mut env = EnvConfig {
         default_source: SourceCfg {
             rate: 1.0,
@@ -237,23 +154,198 @@ pub fn paper_example(config: Config) -> Result<PaperSystem, CoreError> {
     );
     env.vls
         .insert("M2".into(), LatencyDist::weighted(vec![(1, 0.5), (2, 0.5)]));
+    env
+}
+
+/// Builds the example system of Fig. 9 in the given configuration.
+///
+/// # Errors
+///
+/// Propagates network construction errors (none expected for the fixed
+/// topology; early-evaluation validation runs on the fly).
+pub fn paper_example(config: Config) -> Result<PaperSystem, CoreError> {
+    let c_depth = match config {
+        Config::NoBufferSw => 0,
+        _ => 1,
+    };
+    build_paper(config, c_depth, format!("fig9_{config:?}"))
+}
+
+/// Fig. 9 with a parameterized opcode-bypass chain `C` of `c_depth`
+/// registers on `S -> W` (`0` reproduces Table 1 row 2's direct wire) —
+/// the topology family swept by the `sweep_buffer` ablation.
+///
+/// # Errors
+///
+/// Propagates network construction errors.
+pub fn paper_example_with_c_depth(
+    config: Config,
+    c_depth: usize,
+) -> Result<PaperSystem, CoreError> {
+    build_paper(config, c_depth, format!("fig9_c{c_depth}"))
+}
+
+fn build_paper(config: Config, c_depth: usize, name: String) -> Result<PaperSystem, CoreError> {
+    let mut d = Dsl::new(name);
+
+    // S: dispatch = join(new operand, write-back) then fork to the three
+    // execution paths and the opcode register C. The write-back port stays
+    // open until the W chain exists.
+    let din = d.source("Din")?;
+    let (s, [p_din, p_wb]) = d.open_join::<2>("S")?;
+    d.drive(p_din, din.label("Din->S"))?;
+    let [to_i, to_f, to_m, to_c] = d.fork::<4>("Sfork", s.label("S->Sfork"))?;
+
+    // I path: one operand register, I itself is unpipelined (combinational).
+    let i = d.buffer("EBi", 1, 0, to_i.label("S->I"))?;
+
+    // F path: three pipeline registers F1, F2, F3.
+    let f1 = d.buffer("F1", 1, 0, to_f.label("S->F1"))?;
+    let f2 = d.buffer("F2", 1, 0, f1.label("F1->F2"))?;
+    let f3 = d.buffer("F3", 1, 0, f2.label("F2->F3"))?;
+
+    // M path: operand register, M1, M2, output register.
+    let sm = d.buffer("EBsm", 1, 0, to_m.label("S->EBsm"))?;
+    let m1 = d.var_latency("M1", sm.label("S->M1"))?;
+    let m2 = d.var_latency("M2", m1.label("M1->M2"))?;
+    let mo = d.buffer("EBmo", 1, 0, m2.label("M2->W"))?;
+
+    // Control path: opcode through the C chain (direct wire at depth 0).
+    let ctrl = if c_depth == 0 {
+        to_c.label("S->W")
+    } else {
+        d.buffer("C", c_depth, 0, to_c.label("S->C"))?.label("C->W")
+    };
+
+    // W: the result multiplexer, with passivity per configuration.
+    let f3w = f3.label("F3->W");
+    let f3w = if config == Config::PassiveF3W {
+        f3w.passive()
+    } else {
+        f3w
+    };
+    let mow = mo.label("Mo->W");
+    let mow = if config == Config::PassiveM2W {
+        mow.passive()
+    } else {
+        mow
+    };
+    let ee = match config {
+        Config::NoEarlyEval => EarlyEval::lazy(4),
+        _ => w_early_eval(),
+    };
+    let w = d.early_join::<4>("W", ee, [ctrl, i.label("I->W"), f3w, mow])?;
+
+    // W output chain: three registers holding the initial tokens, then a
+    // fork to the environment and back to S.
+    let w1 = d.buffer("W1", 1, 1, w.label("W->W1"))?;
+    let w2 = d.buffer("W2", 1, 1, w1.label("W1->W2"))?;
+    let w3 = d.buffer("W3", 1, 1, w2.label("W2->W3"))?;
+    let [to_env, wb] = d.fork::<2>("Wfork", w3.label("W3->Wfork"))?;
+    let c_dout = d.sink("Dout", to_env.label("W->Dout"))?;
+    d.drive(p_wb, wb.label("W->S"))?;
+
+    let net = d.finish()?;
+    let chan = |n: &str| net.channel_by_name(n).expect("constructed above");
 
     Ok(PaperSystem {
-        network: net,
-        env_config: env,
         output_channel: c_dout,
         channels: PaperChannels {
-            f2_f3: c_f2_f3,
-            f3_w: c_f3_w,
-            s_m1: c_s_m1,
-            m1_m2: c_m1_m2,
-            m2_w: c_m2_w,
-            mo_w: c_mo_w,
-            din: c_din,
+            f2_f3: chan("F2->F3"),
+            f3_w: chan("F3->W"),
+            s_m1: chan("S->M1"),
+            m1_m2: chan("M1->M2"),
+            m2_w: chan("M2->W"),
+            mo_w: chan("Mo->W"),
+            din: chan("Din->S"),
             dout: c_dout,
         },
+        network: net,
+        env_config: paper_env(),
         config,
     })
+}
+
+/// The seed's imperative construction of [`paper_example`]'s network, kept
+/// verbatim as the reference the DSL build is proven isomorphic to (see
+/// `tests/proptests.rs`). Not meant for new code — use [`paper_example`].
+///
+/// # Errors
+///
+/// Propagates network construction errors.
+#[allow(clippy::too_many_lines)]
+#[doc(hidden)]
+pub fn paper_example_imperative(config: Config) -> Result<ElasticNetwork, CoreError> {
+    let mut net = ElasticNetwork::new(format!("fig9_{config:?}"));
+
+    let din = net.add_source("Din")?;
+    let dout = net.add_sink("Dout")?;
+
+    let s_join = net.add_join("S", 2)?;
+    let s_fork = net.add_fork("Sfork", 4)?;
+    net.connect(din, 0, s_join, 0, "Din->S")?;
+    net.connect(s_join, 0, s_fork, 0, "S->Sfork")?;
+
+    let eb_i = net.add_buffer("EBi", 1, 0)?;
+    net.connect(s_fork, 0, eb_i, 0, "S->I")?;
+
+    let f1 = net.add_buffer("F1", 1, 0)?;
+    let f2 = net.add_buffer("F2", 1, 0)?;
+    let f3 = net.add_buffer("F3", 1, 0)?;
+    net.connect(s_fork, 1, f1, 0, "S->F1")?;
+    net.connect(f1, 0, f2, 0, "F1->F2")?;
+    net.connect(f2, 0, f3, 0, "F2->F3")?;
+
+    let eb_sm = net.add_buffer("EBsm", 1, 0)?;
+    let m1 = net.add_var_latency("M1")?;
+    let m2 = net.add_var_latency("M2")?;
+    let eb_mo = net.add_buffer("EBmo", 1, 0)?;
+    net.connect(s_fork, 2, eb_sm, 0, "S->EBsm")?;
+    net.connect(eb_sm, 0, m1, 0, "S->M1")?;
+    net.connect(m1, 0, m2, 0, "M1->M2")?;
+    net.connect(m2, 0, eb_mo, 0, "M2->W")?;
+
+    let w = net.add_early_join(
+        "W",
+        4,
+        match config {
+            Config::NoEarlyEval => EarlyEval::lazy(4),
+            _ => w_early_eval(),
+        },
+    )?;
+    match config {
+        Config::NoBufferSw => {
+            net.connect(s_fork, 3, w, 0, "S->W")?;
+        }
+        _ => {
+            let c = net.add_buffer("C", 1, 0)?;
+            net.connect(s_fork, 3, c, 0, "S->C")?;
+            net.connect(c, 0, w, 0, "C->W")?;
+        }
+    }
+    net.connect(eb_i, 0, w, 1, "I->W")?;
+    let c_f3_w = net.connect(f3, 0, w, 2, "F3->W")?;
+    let c_mo_w = net.connect(eb_mo, 0, w, 3, "Mo->W")?;
+
+    let w1 = net.add_buffer("W1", 1, 1)?;
+    let w2 = net.add_buffer("W2", 1, 1)?;
+    let w3 = net.add_buffer("W3", 1, 1)?;
+    let wf = net.add_fork("Wfork", 2)?;
+    net.connect(w, 0, w1, 0, "W->W1")?;
+    net.connect(w1, 0, w2, 0, "W1->W2")?;
+    net.connect(w2, 0, w3, 0, "W2->W3")?;
+    net.connect(w3, 0, wf, 0, "W3->Wfork")?;
+    net.connect(wf, 0, dout, 0, "W->Dout")?;
+    net.connect(wf, 1, s_join, 1, "W->S")?;
+
+    match config {
+        Config::PassiveF3W => net.set_passive(c_f3_w)?,
+        Config::PassiveM2W => net.set_passive(c_mo_w)?,
+        _ => {}
+    }
+
+    net.check()?;
+    Ok(net)
 }
 
 /// A linear elastic pipeline: source, `stages` single-register buffers
@@ -267,22 +359,40 @@ pub fn linear_pipeline(
     stages: usize,
     tokens: usize,
 ) -> Result<(ElasticNetwork, ChanId, ChanId), CoreError> {
-    let mut net = ElasticNetwork::new("linear");
-    let src = net.add_source("src");
-    let snk = net.add_sink("snk");
-    let mut prev = src;
-    let mut cin = None;
+    let mut d = Dsl::new("linear");
+    let mut ch = d.source("src")?;
     for i in 0..stages {
-        let b = net.add_eb(format!("b{i}"), i < tokens);
-        let c = net.connect(prev, 0, b, 0, format!("c{i}"))?;
-        if i == 0 {
-            cin = Some(c);
-        }
+        ch = d.eb(&format!("b{i}"), i < tokens, ch.label(format!("c{i}")))?;
+    }
+    let cout = d.sink("snk", ch.label("out"))?;
+    let net = d.finish()?;
+    let cin = net.channel_by_name("c0").unwrap_or(cout);
+    Ok((net, cin, cout))
+}
+
+/// The seed's imperative construction of [`linear_pipeline`], kept as the
+/// isomorphism reference (see `tests/proptests.rs`).
+///
+/// # Errors
+///
+/// Propagates network construction errors.
+#[doc(hidden)]
+pub fn linear_pipeline_imperative(
+    stages: usize,
+    tokens: usize,
+) -> Result<ElasticNetwork, CoreError> {
+    let mut net = ElasticNetwork::new("linear");
+    let src = net.add_source("src")?;
+    let snk = net.add_sink("snk")?;
+    let mut prev = src;
+    for i in 0..stages {
+        let b = net.add_eb(format!("b{i}"), i < tokens)?;
+        net.connect(prev, 0, b, 0, format!("c{i}"))?;
         prev = b;
     }
-    let cout = net.connect(prev, 0, snk, 0, "out")?;
+    net.connect(prev, 0, snk, 0, "out")?;
     net.check()?;
-    Ok((net, cin.unwrap_or(cout), cout))
+    Ok(net)
 }
 
 #[cfg(test)]

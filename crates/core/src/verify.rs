@@ -1575,15 +1575,15 @@ mod tests {
     #[test]
     fn cosim_join_fork_network() {
         let mut net = ElasticNetwork::new("jf");
-        let s1 = net.add_source("s1");
-        let s2 = net.add_source("s2");
-        let b1 = net.add_eb("b1", false);
-        let b2 = net.add_eb("b2", true);
-        let j = net.add_join("j", 2);
-        let bj = net.add_eb("bj", false);
-        let f = net.add_fork("f", 2);
-        let k1 = net.add_sink("k1");
-        let k2 = net.add_sink("k2");
+        let s1 = net.add_source("s1").unwrap();
+        let s2 = net.add_source("s2").unwrap();
+        let b1 = net.add_eb("b1", false).unwrap();
+        let b2 = net.add_eb("b2", true).unwrap();
+        let j = net.add_join("j", 2).unwrap();
+        let bj = net.add_eb("bj", false).unwrap();
+        let f = net.add_fork("f", 2).unwrap();
+        let k1 = net.add_sink("k1").unwrap();
+        let k2 = net.add_sink("k2").unwrap();
         net.connect(s1, 0, b1, 0, "c1").unwrap();
         net.connect(s2, 0, b2, 0, "c2").unwrap();
         net.connect(b1, 0, j, 0, "j1").unwrap();
@@ -1600,11 +1600,11 @@ mod tests {
     fn cosim_early_join_with_vl() {
         use crate::ee::{EarlyEval, EeTerm};
         let mut net = ElasticNetwork::new("ejvl");
-        let g = net.add_source("g");
-        let s1 = net.add_source("s1");
-        let bg = net.add_eb("bg", false);
-        let b1 = net.add_eb("b1", false);
-        let vl = net.add_var_latency("vl");
+        let g = net.add_source("g").unwrap();
+        let s1 = net.add_source("s1").unwrap();
+        let bg = net.add_eb("bg", false).unwrap();
+        let b1 = net.add_eb("b1", false).unwrap();
+        let vl = net.add_var_latency("vl").unwrap();
         let ee = EarlyEval::new(
             0,
             vec![
@@ -1623,7 +1623,7 @@ mod tests {
             ],
         );
         let j = net.add_early_join("w", 2, ee).unwrap();
-        let snk = net.add_sink("snk");
+        let snk = net.add_sink("snk").unwrap();
         net.connect(g, 0, bg, 0, "cg").unwrap();
         net.connect(s1, 0, b1, 0, "c1").unwrap();
         net.connect(b1, 0, vl, 0, "bv").unwrap();
@@ -1692,11 +1692,11 @@ mod tests {
         // sinks, variable-latency units).
         use crate::ee::{EarlyEval, EeTerm};
         let mut net = ElasticNetwork::new("stim");
-        let g = net.add_source("g");
-        let s1 = net.add_source("s1");
-        let bg = net.add_eb("bg", false);
-        let b1 = net.add_eb("b1", false);
-        let vl = net.add_var_latency("vl");
+        let g = net.add_source("g").unwrap();
+        let s1 = net.add_source("s1").unwrap();
+        let bg = net.add_eb("bg", false).unwrap();
+        let b1 = net.add_eb("b1", false).unwrap();
+        let vl = net.add_var_latency("vl").unwrap();
         let ee = EarlyEval::new(
             0,
             vec![
@@ -1715,7 +1715,7 @@ mod tests {
             ],
         );
         let j = net.add_early_join("w", 2, ee).unwrap();
-        let snk = net.add_sink("snk");
+        let snk = net.add_sink("snk").unwrap();
         net.connect(g, 0, bg, 0, "cg").unwrap();
         net.connect(s1, 0, b1, 0, "c1").unwrap();
         net.connect(b1, 0, vl, 0, "bv").unwrap();

@@ -6,13 +6,17 @@
 //! throughput bound), then the compiled gate netlist's levelized tapes
 //! before and after peephole optimization (translation validation).
 //!
-//! Usage: `elint [--seed N] [--gen-count N] [--skip-tape] [--json PATH]
-//! [--quiet]`
+//! Usage: `elint [--seed N] [--gen-count N] [--corpus] [--skip-tape]
+//! [--json PATH] [--quiet]`
+//!
+//! `--corpus` additionally lints every benchmark-corpus design
+//! (`elastic_core::corpus`) under all five control configurations.
 //!
 //! Exits 0 when no target produced an error diagnostic, 1 otherwise
 //! (warnings never fail the run), 2 on a usage error.
 
 use elastic_core::compile::{compile, CompileOptions};
+use elastic_core::corpus::{self, CorpusConfig, Knobs, DESIGNS};
 use elastic_core::gen::{generate, TopoParams, GEN_DATA_WIDTH};
 use elastic_core::systems::{paper_example, Config};
 use elastic_lint::{lint_network_with_env, lint_program, LintReport};
@@ -92,6 +96,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let seed: u64 = parse_flag(&args, "--seed", 2007);
     let gen_count: usize = parse_flag(&args, "--gen-count", 0);
+    let corpus = args.iter().any(|a| a == "--corpus");
     let tape = !args.iter().any(|a| a == "--skip-tape");
     let quiet = args.iter().any(|a| a == "--quiet");
     let json_path = args
@@ -115,6 +120,26 @@ fn main() {
             2,
             tape,
         ));
+    }
+    if corpus {
+        for design in DESIGNS {
+            for config in CorpusConfig::all() {
+                let name = format!("{design}/{}", config.tag());
+                match corpus::build(design, config, &Knobs::default()) {
+                    Ok(sys) => targets.push(lint_system(
+                        &name,
+                        &sys.network,
+                        &sys.env,
+                        sys.data_width,
+                        tape,
+                    )),
+                    Err(e) => {
+                        eprintln!("error: building {name} failed: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+        }
     }
     for i in 0..gen_count {
         let topo_seed = seed.wrapping_add(i as u64);

@@ -32,11 +32,11 @@
 //! use elastic_lint::lint_network;
 //!
 //! let mut net = ElasticNetwork::new("starved");
-//! let j = net.add_join("j", 2);
-//! let f = net.add_fork("f", 2);
-//! let b = net.add_eb("b", false); // a ring with no initial token
-//! let src = net.add_source("src");
-//! let snk = net.add_sink("snk");
+//! let j = net.add_join("j", 2).unwrap();
+//! let f = net.add_fork("f", 2).unwrap();
+//! let b = net.add_eb("b", false).unwrap(); // a ring with no initial token
+//! let src = net.add_source("src").unwrap();
+//! let snk = net.add_sink("snk").unwrap();
 //! net.connect(src, 0, j, 0, "in").unwrap();
 //! net.connect(j, 0, f, 0, "jf").unwrap();
 //! net.connect(f, 0, b, 0, "fb").unwrap();

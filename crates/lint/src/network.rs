@@ -500,11 +500,11 @@ mod tests {
     /// A source->join->fork->sink diamond with a buffered feedback ring.
     fn ring(init_token: bool) -> ElasticNetwork {
         let mut net = ElasticNetwork::new("ring");
-        let j = net.add_join("j", 2);
-        let f = net.add_fork("f", 2);
-        let b = net.add_eb("b", init_token);
-        let src = net.add_source("src");
-        let snk = net.add_sink("snk");
+        let j = net.add_join("j", 2).unwrap();
+        let f = net.add_fork("f", 2).unwrap();
+        let b = net.add_eb("b", init_token).unwrap();
+        let src = net.add_source("src").unwrap();
+        let snk = net.add_sink("snk").unwrap();
         net.connect(src, 0, j, 0, "in").unwrap();
         net.connect(j, 0, f, 0, "jf").unwrap();
         net.connect(f, 0, b, 0, "fb").unwrap();
@@ -532,10 +532,10 @@ mod tests {
     #[test]
     fn bufferless_ring_trips_e102() {
         let mut net = ElasticNetwork::new("comb");
-        let j = net.add_join("j", 2);
-        let f = net.add_fork("f", 2);
-        let src = net.add_source("src");
-        let snk = net.add_sink("snk");
+        let j = net.add_join("j", 2).unwrap();
+        let f = net.add_fork("f", 2).unwrap();
+        let src = net.add_source("src").unwrap();
+        let snk = net.add_sink("snk").unwrap();
         net.connect(src, 0, j, 0, "in").unwrap();
         net.connect(j, 0, f, 0, "jf").unwrap();
         net.connect(f, 0, j, 1, "fb").unwrap();
@@ -549,7 +549,7 @@ mod tests {
     #[test]
     fn unwired_port_trips_e103() {
         let mut net = ElasticNetwork::new("partial");
-        let _src = net.add_source("src");
+        let _src = net.add_source("src").unwrap();
         let report = lint_network(&net);
         assert!(report.has_code("E103"), "{}", report.render_human());
     }
@@ -577,7 +577,7 @@ mod tests {
                 ee: Some(ee),
             },
         );
-        let _ = j;
+        let _ = j.unwrap();
         let report = lint_network(&net);
         assert!(report.has_code("E104"), "{}", report.render_human());
     }
@@ -592,8 +592,9 @@ mod tests {
                 inputs: 0,
                 ee: None,
             },
-        );
-        net.add("f0", ComponentKind::Fork { outputs: 0 });
+        )
+        .unwrap();
+        net.add("f0", ComponentKind::Fork { outputs: 0 }).unwrap();
         let report = lint_network(&net);
         let e104 = report
             .diagnostics
@@ -619,9 +620,9 @@ mod tests {
             }],
         );
         let j = net.add_early_join("w", 2, ee).unwrap();
-        let src = net.add_source("src");
-        let b = net.add_eb("b", false); // no token, input left unwired
-        let snk = net.add_sink("snk");
+        let src = net.add_source("src").unwrap();
+        let b = net.add_eb("b", false).unwrap(); // no token, input left unwired
+        let snk = net.add_sink("snk").unwrap();
         net.connect(src, 0, j, 0, "guard").unwrap();
         net.connect(b, 0, j, 1, "operand").unwrap();
         net.connect(j, 0, snk, 0, "out").unwrap();
@@ -639,8 +640,8 @@ mod tests {
         let mut net = ring(true);
         // A buffer wired into its own island: two empty buffers in a loop
         // would be E101 too, so use a token-free pair hanging off nothing.
-        let x = net.add_eb("island_a", false);
-        let y = net.add_eb("island_b", false);
+        let x = net.add_eb("island_a", false).unwrap();
+        let y = net.add_eb("island_b", false).unwrap();
         net.connect(x, 0, y, 0, "xy").unwrap();
         let report = lint_network(&net);
         let sites: Vec<&str> = report
@@ -656,9 +657,9 @@ mod tests {
     #[test]
     fn pointless_passive_channel_warns_w201() {
         let mut net = ElasticNetwork::new("p");
-        let src = net.add_source("src");
-        let b = net.add_eb("b", false);
-        let snk = net.add_sink("snk");
+        let src = net.add_source("src").unwrap();
+        let b = net.add_eb("b", false).unwrap();
+        let snk = net.add_sink("snk").unwrap();
         net.connect(src, 0, b, 0, "in").unwrap();
         let c = net.connect(b, 0, snk, 0, "out").unwrap();
         net.set_passive(c).unwrap();
@@ -675,8 +676,8 @@ mod tests {
     /// cycle) holding `tokens` initial tokens.
     fn closed_ring(tokens: usize) -> ElasticNetwork {
         let mut net = ElasticNetwork::new("closed");
-        let a = net.add_eb("a", tokens >= 1);
-        let b = net.add_eb("b", tokens >= 2);
+        let a = net.add_eb("a", tokens >= 1).unwrap();
+        let b = net.add_eb("b", tokens >= 2).unwrap();
         net.connect(a, 0, b, 0, "ab").unwrap();
         net.connect(b, 0, a, 0, "ba").unwrap();
         net

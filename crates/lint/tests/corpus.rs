@@ -1,0 +1,128 @@
+//! Property tests over the benchmark corpus (`elastic_core::corpus`).
+//!
+//! 1. **Corpus is clean at every knob setting** — every design under every
+//!    control configuration, at randomly drawn early-evaluation
+//!    probability and slow-latency knobs, must build, pass the structural
+//!    `check()`, pass `check_token_liveness()`, lint with zero error
+//!    diagnostics, and actually move tokens in the behavioural simulator
+//!    (the static verdict is not vacuous).
+//! 2. **Token-drop ⇒ starved ring** — clearing every loop-carried initial
+//!    token in the designs that have state rings must flip the lint
+//!    verdict to dirty (`E101` token-starved cycle), mirroring the
+//!    sabotage oracle of `tests/lint.rs` on hand-written rather than
+//!    generated topologies.
+//!
+//! Counterexample seeds are pinned in `proptest-regressions/corpus.txt`
+//! and replayed before the random phase.
+
+use elastic_core::corpus::{build, CorpusConfig, Knobs, DESIGNS};
+use elastic_core::network::{ComponentKind, ElasticNetwork};
+use elastic_core::sim::{BehavSim, RandomEnv};
+use elastic_lint::{lint_network, lint_network_with_env};
+use proptest::prelude::*;
+
+/// Behavioural horizon: long enough for the slowest knob corner (latency
+/// draws up to 23) to push tokens through every design.
+const CYCLES: u64 = 400;
+
+/// The corpus designs whose merge sits on a state ring fed by an initial
+/// token (the feed-forward designs — `fifo_chain`, `nic_split` — have no
+/// cycle to starve).
+const RING_DESIGNS: [&str; 4] = ["flow_counter", "rr_arbiter", "mac_loop", "scoreboard"];
+
+/// Clears every elastic buffer's initial token, returning how many were
+/// dropped.
+fn drop_all_tokens(net: &mut ElasticNetwork) -> usize {
+    let tokens: Vec<_> = net
+        .components()
+        .filter(|&c| {
+            matches!(
+                net.component(c).kind,
+                ComponentKind::Eb {
+                    init_token: true,
+                    ..
+                }
+            )
+        })
+        .collect();
+    for &c in &tokens {
+        net.set_init_token(c, false)
+            .expect("Eb accepts set_init_token");
+    }
+    tokens.len()
+}
+
+proptest! {
+    /// Every design x configuration builds, checks, is token-live, lints
+    /// clean and makes dynamic progress at arbitrary knob settings.
+    #[test]
+    fn corpus_lints_clean_and_moves_tokens(
+        lat in 2u32..24,
+        ee_pct in 0u64..101,
+        env_seed in 0u64..0x1_0000_0000,
+    ) {
+        let knobs = Knobs {
+            ee_prob: ee_pct as f64 / 100.0,
+            latency: lat,
+        };
+        for design in DESIGNS {
+            for config in CorpusConfig::all() {
+                let sys = build(design, config, &knobs).expect("corpus builds at any knobs");
+                prop_assert!(
+                    sys.network.check().is_ok(),
+                    "{design}/{}: structural check failed",
+                    config.tag()
+                );
+                prop_assert!(
+                    sys.network.check_token_liveness().is_ok(),
+                    "{design}/{}: token liveness failed",
+                    config.tag()
+                );
+                let report = lint_network_with_env(&sys.network, &sys.env);
+                prop_assert!(
+                    report.errors().count() == 0,
+                    "{design}/{} lints dirty at ee={ee_pct}% lat={lat}: {}",
+                    config.tag(),
+                    report.render_human()
+                );
+                let mut sim = BehavSim::new(&sys.network).expect("checked network");
+                let mut env = RandomEnv::new(env_seed, sys.env.clone());
+                sim.run(&mut env, CYCLES).expect("protocol holds");
+                let th = sim.report().positive_rate(sys.output_channel);
+                prop_assert!(
+                    th > 0.0,
+                    "{design}/{}: no token reached the output in {CYCLES} cycles \
+                     (ee={ee_pct}% lat={lat} seed={env_seed})",
+                    config.tag()
+                );
+            }
+        }
+    }
+
+    /// Starving the state rings (dropping every initial token) must be
+    /// caught statically on every ring design and configuration.
+    #[test]
+    fn token_drop_starves_ring_designs(lat in 2u32..24, ee_pct in 0u64..101) {
+        let knobs = Knobs {
+            ee_prob: ee_pct as f64 / 100.0,
+            latency: lat,
+        };
+        for design in RING_DESIGNS {
+            for config in CorpusConfig::all() {
+                let mut sys = build(design, config, &knobs).expect("corpus builds");
+                let dropped = drop_all_tokens(&mut sys.network);
+                prop_assert!(
+                    dropped > 0,
+                    "{design}/{}: expected loop-carried initial tokens",
+                    config.tag()
+                );
+                let report = lint_network(&sys.network);
+                prop_assert!(
+                    report.errors().count() > 0,
+                    "{design}/{}: starved ring not flagged",
+                    config.tag()
+                );
+            }
+        }
+    }
+}

@@ -79,6 +79,10 @@ pub enum NetlistError {
     /// rendered `std::io::Error` message (kept as a string so the error type
     /// stays `Clone`/`Eq`).
     Io(String),
+    /// An export round-trip consistency check failed: a renderer produced
+    /// different text on a second pass, or an emitted artefact disagrees
+    /// structurally with the netlist (see `export::round_trip_check`).
+    RoundTrip(String),
 }
 
 impl fmt::Display for NetlistError {
@@ -135,6 +139,7 @@ impl fmt::Display for NetlistError {
                 )
             }
             NetlistError::Io(msg) => write!(f, "export i/o failure: {msg}"),
+            NetlistError::RoundTrip(msg) => write!(f, "export round-trip check failed: {msg}"),
         }
     }
 }

@@ -87,6 +87,50 @@ pub fn write_smv(netlist: &Netlist, path: impl AsRef<Path>) -> Result<(), Netlis
     write_text(path, &to_smv(netlist)?)
 }
 
+/// Runs the export round-trip consistency check used by benchmarks and CI.
+///
+/// All three renderers are invoked twice and must produce byte-identical
+/// text (they are pure functions of the netlist; any divergence means
+/// nondeterministic iteration order leaked into an exporter). The BLIF
+/// output is additionally cross-checked structurally: it must contain
+/// exactly one `.latch` line per state element of the netlist.
+///
+/// # Errors
+///
+/// Any renderer error, or [`NetlistError::RoundTrip`] describing the first
+/// divergence found.
+pub fn round_trip_check(netlist: &Netlist) -> Result<(), NetlistError> {
+    type Render = fn(&Netlist) -> Result<String, NetlistError>;
+    let renders: [(&str, Render); 3] =
+        [("verilog", to_verilog), ("blif", to_blif), ("smv", to_smv)];
+    let mut blif = String::new();
+    for (fmt, render) in renders {
+        let first = render(netlist)?;
+        let second = render(netlist)?;
+        if first != second {
+            return Err(NetlistError::RoundTrip(format!(
+                "{fmt} renderer is not deterministic for module {:?}",
+                netlist.name()
+            )));
+        }
+        if fmt == "blif" {
+            blif = first;
+        }
+    }
+    let latches = blif
+        .lines()
+        .filter(|l| l.trim_start().starts_with(".latch "))
+        .count();
+    let state = netlist.state_elements().len();
+    if latches != state {
+        return Err(NetlistError::RoundTrip(format!(
+            "module {:?}: blif emits {latches} .latch lines but the netlist has {state} state elements",
+            netlist.name()
+        )));
+    }
+    Ok(())
+}
+
 pub(crate) fn write_text(path: impl AsRef<Path>, text: &str) -> Result<(), NetlistError> {
     std::fs::write(path.as_ref(), text)
         .map_err(|e| NetlistError::Io(format!("{}: {e}", path.as_ref().display())))
@@ -146,6 +190,31 @@ mod tests {
         let y = n.not(a);
         n.set_name(y, "y").unwrap();
         assert!(check_idents(&n).is_ok());
+    }
+
+    #[test]
+    fn round_trip_check_accepts_stateful_netlist() {
+        let mut n = Netlist::new("m");
+        let a = n.input("a");
+        let q = n.dff_bound(a, false);
+        n.set_name(q, "q").unwrap();
+        let y = n.not(q);
+        n.set_name(y, "y").unwrap();
+        round_trip_check(&n).unwrap();
+    }
+
+    #[test]
+    fn round_trip_check_counts_latch_lines() {
+        let mut n = Netlist::new("m");
+        let a = n.input("a");
+        let q = n.dff_bound(a, false);
+        n.set_name(q, "q").unwrap();
+        let blif = to_blif(&n).unwrap();
+        assert_eq!(
+            blif.lines().filter(|l| l.starts_with(".latch ")).count(),
+            n.state_elements().len()
+        );
+        round_trip_check(&n).unwrap();
     }
 
     #[test]

@@ -3,17 +3,18 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
-use elastic_circuits::core::network::ElasticNetwork;
+use elastic_circuits::core::dsl::Dsl;
 use elastic_circuits::core::sim::{BehavSim, EnvConfig, RandomEnv, SinkCfg, SourceCfg};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // A producer, two elastic buffers, a consumer.
-    let mut net = ElasticNetwork::new("quickstart");
-    let src = net.add_source("producer");
-    let buf = net.add_buffer("fifo", 2, 0);
-    let snk = net.add_sink("consumer");
-    net.connect(src, 0, buf, 0, "in")?;
-    let out = net.connect(buf, 0, snk, 0, "out")?;
+    // A producer, two elastic buffers, a consumer — channels are linear
+    // values, so every port is connected exactly once by construction.
+    let mut d = Dsl::new("quickstart");
+    let src = d.source("producer")?;
+    let fifo = d.buffer("fifo", 2, 0, src.label("in"))?;
+    let out = d.sink("consumer", fifo.label("out"))?;
+    let net = d.finish()?;
+    let snk = net.component_by_name("consumer").expect("just added");
 
     // The consumer back-pressures 30% of the time.
     let mut cfg = EnvConfig::default();

@@ -97,15 +97,15 @@ fn gate_level_agrees_with_reference_on_random_networks() {
     for seed in 0..6u64 {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut net = ElasticNetwork::new(format!("fuzz{seed}"));
-        let s1 = net.add_source("s1");
-        let s2 = net.add_source("s2");
-        let b1 = net.add_eb("b1", rng.gen_bool(0.5));
-        let b2 = net.add_eb("b2", rng.gen_bool(0.5));
-        let j = net.add_join("j", 2);
-        let b3 = net.add_eb("b3", false);
-        let f = net.add_fork("f", 2);
-        let k1 = net.add_sink("k1");
-        let k2 = net.add_sink("k2");
+        let s1 = net.add_source("s1").unwrap();
+        let s2 = net.add_source("s2").unwrap();
+        let b1 = net.add_eb("b1", rng.gen_bool(0.5)).unwrap();
+        let b2 = net.add_eb("b2", rng.gen_bool(0.5)).unwrap();
+        let j = net.add_join("j", 2).unwrap();
+        let b3 = net.add_eb("b3", false).unwrap();
+        let f = net.add_fork("f", 2).unwrap();
+        let k1 = net.add_sink("k1").unwrap();
+        let k2 = net.add_sink("k2").unwrap();
         net.connect(s1, 0, b1, 0, "c1").unwrap();
         net.connect(s2, 0, b2, 0, "c2").unwrap();
         net.connect(b1, 0, j, 0, "j1").unwrap();
@@ -191,22 +191,22 @@ fn fig9_rebuilt_through_the_elasticization_flow() {
     use elastic_circuits::core::systems::w_early_eval;
 
     let mut dp = SyncDatapath::new("fig9_sync");
-    let din = dp.input("Din");
-    let dout = dp.output("Dout");
-    let s = dp.block("S", 2);
-    let eb_i = dp.register("EBi", false);
-    let f1 = dp.register("F1", false);
-    let f2 = dp.register("F2", false);
-    let f3 = dp.register("F3", false);
-    let eb_sm = dp.register("EBsm", false);
-    let m1 = dp.var_latency_block("M1");
-    let m2 = dp.var_latency_block("M2");
-    let eb_mo = dp.register("EBmo", false);
-    let c = dp.register("C", false);
-    let w = dp.early_block("W", 4, w_early_eval());
-    let w1 = dp.register("W1", true);
-    let w2 = dp.register("W2", true);
-    let w3 = dp.register("W3", true);
+    let din = dp.input("Din").unwrap();
+    let dout = dp.output("Dout").unwrap();
+    let s = dp.block("S", 2).unwrap();
+    let eb_i = dp.register("EBi", false).unwrap();
+    let f1 = dp.register("F1", false).unwrap();
+    let f2 = dp.register("F2", false).unwrap();
+    let f3 = dp.register("F3", false).unwrap();
+    let eb_sm = dp.register("EBsm", false).unwrap();
+    let m1 = dp.var_latency_block("M1").unwrap();
+    let m2 = dp.var_latency_block("M2").unwrap();
+    let eb_mo = dp.register("EBmo", false).unwrap();
+    let c = dp.register("C", false).unwrap();
+    let w = dp.early_block("W", 4, w_early_eval()).unwrap();
+    let w1 = dp.register("W1", true).unwrap();
+    let w2 = dp.register("W2", true).unwrap();
+    let w3 = dp.register("W3", true).unwrap();
     dp.wire(din, s, 0);
     dp.wire(s, eb_i, 0);
     dp.wire(s, f1, 0);

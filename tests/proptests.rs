@@ -1,8 +1,11 @@
 //! Property-based tests over the core invariants, using proptest.
 
+use elastic_circuits::core::dsl::isomorphic;
 use elastic_circuits::core::protocol::is_self_language;
 use elastic_circuits::core::sim::{BehavSim, DataGen, EnvConfig, RandomEnv, SinkCfg, SourceCfg};
-use elastic_circuits::core::systems::linear_pipeline;
+use elastic_circuits::core::systems::{
+    linear_pipeline, linear_pipeline_imperative, paper_example, paper_example_imperative, Config,
+};
 use elastic_circuits::dmg::analysis::simple_cycles;
 use elastic_circuits::dmg::examples::{fig1_dmg, pipeline_ring};
 use elastic_circuits::dmg::exec::{RandomExecutor, SchedulingPolicy};
@@ -375,6 +378,29 @@ proptest! {
         let got = sim.sink_received(snk);
         for w in got.windows(2) {
             prop_assert!(w[0] < w[1]);
+        }
+    }
+
+    /// The DSL-built Fig. 9 system is component- and channel-identical to
+    /// the seed's imperative construction, in every Table 1 configuration.
+    #[test]
+    fn dsl_paper_example_isomorphic_to_seed(cfg_idx in 0usize..5) {
+        let config = Config::all()[cfg_idx];
+        let dsl = paper_example(config).unwrap();
+        let imp = paper_example_imperative(config).unwrap();
+        if let Err(diff) = isomorphic(&dsl.network, &imp) {
+            prop_assert!(false, "{config:?}: {diff}");
+        }
+    }
+
+    /// Same for the linear pipeline family, over all sensible shapes.
+    #[test]
+    fn dsl_linear_pipeline_isomorphic_to_seed(stages in 0usize..8, tokens in 0usize..8) {
+        let tokens = tokens.min(stages);
+        let (net, _, _) = linear_pipeline(stages, tokens).unwrap();
+        let imp = linear_pipeline_imperative(stages, tokens).unwrap();
+        if let Err(diff) = isomorphic(&net, &imp) {
+            prop_assert!(false, "stages={stages} tokens={tokens}: {diff}");
         }
     }
 }
